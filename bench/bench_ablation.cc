@@ -1,0 +1,111 @@
+// Ablation benchmarks for the design choices of Section 5:
+//   - variable-choice heuristic for Shannon expansion (most-occurrences,
+//     as in the paper, vs first vs random),
+//   - pruning of conditional expressions on/off,
+//   - read-once common-factor extraction on/off,
+//   - SUM overflow clamping on/off (Proposition 3's polynomial bound).
+// Each row reports time and the number of mutex expansions (the structural
+// cost that the heuristics/pruning are meant to reduce).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+struct AblationRow {
+  std::string label;
+  CompileOptions compile;
+  ProbabilityOptions probability;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  const int runs = full ? 10 : 3;
+  const int num_vars = full ? 22 : 14;
+  const int terms = full ? 120 : 50;
+
+  std::cout << "# Ablation: Algorithm 1 design choices\n";
+  std::cout << "(#v=" << num_vars << ", L=" << terms
+            << ", #cl=2, #l=2, maxv=50, c=25, theta is <=, MIN and SUM "
+            << "workloads, runs=" << runs << ")\n\n";
+
+  std::vector<AblationRow> rows;
+  {
+    AblationRow base;
+    base.label = "paper config (most-occ, pruning, factorisation, clamp)";
+    rows.push_back(base);
+  }
+  {
+    AblationRow r;
+    r.label = "heuristic: first variable";
+    r.compile.heuristic = VarChoiceHeuristic::kFirst;
+    rows.push_back(r);
+  }
+  {
+    AblationRow r;
+    r.label = "heuristic: random variable";
+    r.compile.heuristic = VarChoiceHeuristic::kRandom;
+    rows.push_back(r);
+  }
+  {
+    AblationRow r;
+    r.label = "pruning off";
+    r.compile.enable_pruning = false;
+    rows.push_back(r);
+  }
+  {
+    AblationRow r;
+    r.label = "factorisation off";
+    r.compile.enable_factorization = false;
+    rows.push_back(r);
+  }
+  {
+    AblationRow r;
+    r.label = "SUM clamping off";
+    r.probability.enable_sum_clamping = false;
+    rows.push_back(r);
+  }
+
+  for (AggKind agg : {AggKind::kMin, AggKind::kSum}) {
+    std::cout << "\n### " << AggKindName(agg) << " workload\n\n";
+    TablePrinter table({"configuration", "time [s]", "mutex expansions",
+                        "d-tree nodes"});
+    for (const AblationRow& row : rows) {
+      size_t mutex_total = 0;
+      size_t nodes_total = 0;
+      RunStats stats = TimeRuns(runs, [&](int run) {
+        ExprPool pool(SemiringKind::kBool);
+        VariableTable vars;
+        ExprGenParams params;
+        params.num_vars = num_vars;
+        params.terms_left = terms;
+        params.clauses_per_term = 2;
+        params.literals_per_clause = 2;
+        params.max_value = 50;
+        params.constant = 25;
+        params.theta = CmpOp::kLe;
+        params.agg_left = agg;
+        GeneratedExpr gen = GenerateComparisonExpr(
+            &pool, &vars, params, static_cast<uint64_t>(run) * 31337 + 17);
+        DTreeCompiler compiler(&pool, &vars, row.compile);
+        DTree tree = compiler.Compile(gen.comparison);
+        mutex_total += compiler.stats().mutex_expansions;
+        nodes_total += tree.size();
+        ComputeDistribution(tree, vars, pool.semiring(), row.probability);
+      });
+      table.PrintRow({row.label, FormatSeconds(stats.mean_seconds),
+                      std::to_string(mutex_total / runs),
+                      std::to_string(nodes_total / runs)});
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Anytime approximation (the paper's pointer to [18]): interval width and
+// wall-clock time as a function of the compilation budget, on hard
+// (non-read-once) expressions where exact compilation is expensive.
+// Expected shape: width decreases monotonically with budget, reaching 0 at
+// full compilation; time grows roughly linearly in the consumed budget --
+// the anytime trade-off.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/approximate.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  const int runs = full ? 10 : 3;
+  const int num_vars = full ? 24 : 18;
+  const int terms = full ? 80 : 50;
+  std::cout << "# Anytime approximation: bounds width vs budget\n";
+  std::cout << "(#v=" << num_vars << ", L=" << terms
+            << ", #cl=2, #l=2, MIN workload, theta is =, c=3, runs=" << runs
+            << ")\n\n";
+
+  TablePrinter table({"budget", "mean width", "time [s]"});
+  for (size_t budget : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u,
+                        262144u, 1048576u}) {
+    double width_sum = 0.0;
+    RunStats stats = TimeRuns(runs, [&](int run) {
+      ExprPool pool(SemiringKind::kBool);
+      VariableTable vars;
+      ExprGenParams params;
+      params.num_vars = num_vars;
+      params.terms_left = terms;
+      params.clauses_per_term = 2;
+      params.literals_per_clause = 2;
+      params.max_value = 5;
+      params.constant = 3;
+      params.theta = CmpOp::kEq;
+      params.agg_left = AggKind::kMin;
+      GeneratedExpr gen = GenerateComparisonExpr(
+          &pool, &vars, params, static_cast<uint64_t>(run) * 7 + 3);
+      ApproximateOptions options;
+      options.node_budget = budget;
+      ProbabilityBounds b =
+          ApproximateProbability(&pool, vars, gen.comparison, options);
+      width_sum += b.Width();
+    });
+    table.PrintRow({std::to_string(budget),
+                    FormatDouble(width_sum / runs, 5),
+                    FormatSeconds(stats.mean_seconds)});
+  }
+  return 0;
+}

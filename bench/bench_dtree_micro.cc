@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) for the core kernels behind
+// Theorem 2 and Propositions 2-3: convolution, read-once compilation,
+// Shannon expansion, and bottom-up probability computation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/prob/distribution.h"
+#include "src/util/rng.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+
+// Convolution cost is O(|a| * |b|) (Proposition 1 / Theorem 2).
+void BM_Convolution(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<Distribution::Entry> entries;
+  for (int i = 0; i < n; ++i) {
+    entries.push_back({i, 1.0 / n});
+  }
+  Distribution a = Distribution::FromPairs(entries);
+  Distribution b = a;
+  for (auto _ : state) {
+    Distribution c = a.Convolve(b, [](int64_t x, int64_t y) { return x + y; });
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Convolution)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+// Read-once chains x1 y1 + x2 y2 + ... compile in linear time with rules
+// 1-3 only (the tractable-query case of Theorem 3).
+void BM_CompileReadOnce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExprPool pool(SemiringKind::kBool);
+    VariableTable vars;
+    std::vector<ExprId> terms;
+    for (int i = 0; i < n; ++i) {
+      VarId x = vars.AddBernoulli(0.5);
+      VarId y = vars.AddBernoulli(0.5);
+      terms.push_back(pool.MulS(pool.Var(x), pool.Var(y)));
+    }
+    ExprId e = pool.AddS(terms);
+    state.ResumeTiming();
+    DTree tree = CompileToDTree(&pool, &vars, e);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CompileReadOnce)->Range(8, 2048)->Complexity();
+
+// Probability computation over a compiled read-once d-tree.
+void BM_ProbabilityReadOnce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < n; ++i) {
+    VarId x = vars.AddBernoulli(0.4);
+    VarId y = vars.AddBernoulli(0.6);
+    terms.push_back(pool.MulS(pool.Var(x), pool.Var(y)));
+  }
+  DTree tree = CompileToDTree(&pool, &vars, pool.AddS(terms));
+  for (auto _ : state) {
+    Distribution d = ComputeDistribution(tree, vars, pool.semiring());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ProbabilityReadOnce)->Range(8, 2048)->Complexity();
+
+// COUNT distribution of n independent tuples: O(n^2) convolutions
+// (Proposition 3 with m = 1).
+void BM_CountDistribution(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < n; ++i) {
+    VarId x = vars.AddBernoulli(0.5);
+    terms.push_back(pool.Tensor(pool.Var(x), pool.ConstM(AggKind::kCount, 1)));
+  }
+  DTree tree = CompileToDTree(&pool, &vars, pool.AddM(AggKind::kCount, terms));
+  for (auto _ : state) {
+    Distribution d = ComputeDistribution(tree, vars, pool.semiring());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_CountDistribution)->Range(8, 512)->Complexity(benchmark::oNSquared);
+
+// Shannon expansion cost on an intrinsically hard expression family
+// (parity-like chains sharing every variable twice).
+void BM_ShannonExpansion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ExprPool pool(SemiringKind::kBool);
+    VariableTable vars;
+    std::vector<VarId> ids;
+    for (int i = 0; i < n; ++i) ids.push_back(vars.AddBernoulli(0.5));
+    // Ring: x0 x1 + x1 x2 + ... + x_{n-1} x0 -- one connected component.
+    std::vector<ExprId> terms;
+    for (int i = 0; i < n; ++i) {
+      terms.push_back(
+          pool.MulS(pool.Var(ids[i]), pool.Var(ids[(i + 1) % n])));
+    }
+    ExprId e = pool.AddS(terms);
+    state.ResumeTiming();
+    DTree tree = CompileToDTree(&pool, &vars, e);
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ShannonExpansion)->DenseRange(4, 16, 4);
+
+// Substitution cost (Eq. 10) on large flat expressions.
+void BM_Substitution(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  for (int i = 0; i < n; ++i) ids.push_back(vars.AddBernoulli(0.5));
+  std::vector<ExprId> terms;
+  for (int i = 0; i + 1 < n; ++i) {
+    terms.push_back(pool.MulS(pool.Var(ids[i]), pool.Var(ids[i + 1])));
+  }
+  ExprId e = pool.AddS(terms);
+  for (auto _ : state) {
+    ExprId sub = pool.Substitute(e, ids[0], 1);
+    benchmark::DoNotOptimize(sub);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Substitution)->Range(8, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment A (Figure 7 a-d): run time of compiling + computing the
+// probability of [Sum_AGG Phi_i (x) v_i  theta  c] while varying the
+// constant c, for AGG in {MIN, MAX, COUNT, SUM} and theta in {=, <=, >=}.
+//
+// Paper grid: #v=25, L=200, R=0, #cl=3, #l=3, maxv=200, c in [0, 300]
+// (SUM: c in [0, 30000]), 30/10 runs. Default grid below is scaled down
+// (see EXPERIMENTS.md); --full restores the paper's sizes.
+//
+// Expected shape: MIN/MAX run time grows with c until c reaches maxv and
+// then saturates (pruning keeps only terms <= c); COUNT/SUM are
+// bell-shaped in c (binomial-coefficient hardness peaks mid-range), with
+// SUM's axis scaled by ~maxv/2 relative to COUNT.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+struct Config {
+  int num_vars;
+  int terms;
+  int runs;
+};
+
+void RunSeries(AggKind agg, const Config& config,
+               const std::vector<int64_t>& constants) {
+  std::cout << "\n### Figure 7: Experiment A, " << AggKindName(agg)
+            << " (#v=" << config.num_vars << ", L=" << config.terms
+            << ", #cl=3, #l=3, maxv=200, runs=" << config.runs << ")\n\n";
+  TablePrinter table({"c", "theta==: time [s]", "theta<=: time [s]",
+                      "theta>=: time [s]"});
+  for (int64_t c : constants) {
+    std::vector<std::string> row = {std::to_string(c)};
+    for (CmpOp theta : {CmpOp::kEq, CmpOp::kLe, CmpOp::kGe}) {
+      RunStats stats = TimeRuns(config.runs, [&](int run) {
+        ExprPool pool(SemiringKind::kBool);
+        VariableTable vars;
+        ExprGenParams params;
+        params.num_vars = config.num_vars;
+        params.terms_left = config.terms;
+        params.clauses_per_term = 3;
+        params.literals_per_clause = 3;
+        params.max_value = 200;
+        params.constant = c;
+        params.theta = theta;
+        params.agg_left = agg;
+        GeneratedExpr gen = GenerateComparisonExpr(
+            &pool, &vars, params,
+            static_cast<uint64_t>(run) * 7919 + c * 13 +
+                static_cast<uint64_t>(agg));
+        CompileOptions options;
+        options.max_nodes = 20'000'000;
+        DTree tree = CompileToDTree(&pool, &vars, gen.comparison, options);
+        ComputeDistribution(tree, vars, pool.semiring());
+      });
+      row.push_back(FormatSeconds(stats.mean_seconds) + " +- " +
+                    FormatSeconds(stats.stddev_seconds));
+    }
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment A (Figure 7): varying the constant c\n";
+
+  // MIN / MAX (Figure 7 a, b).
+  Config cheap = full ? Config{25, 200, 30} : Config{16, 60, 3};
+  std::vector<int64_t> c_grid = {0, 25, 50, 75, 100, 125, 150, 175, 200,
+                                 250, 300};
+  RunSeries(AggKind::kMin, cheap, c_grid);
+  RunSeries(AggKind::kMax, cheap, c_grid);
+
+  // COUNT / SUM (Figure 7 c, d) -- heavier: scaled-down default grid.
+  Config heavy = full ? Config{25, 200, 10} : Config{14, 40, 3};
+  std::vector<int64_t> count_grid =
+      full ? std::vector<int64_t>{0, 25, 50, 75, 100, 125, 150, 175, 200,
+                                  250, 300}
+           : std::vector<int64_t>{0, 5, 10, 15, 20, 25, 30, 40};
+  RunSeries(AggKind::kCount, heavy, count_grid);
+  std::vector<int64_t> sum_grid;
+  for (int64_t c : count_grid) sum_grid.push_back(c * 100);  // ~maxv/2 scale.
+  RunSeries(AggKind::kSum, heavy, sum_grid);
+  return 0;
+}

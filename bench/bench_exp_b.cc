@@ -1,0 +1,61 @@
+// Experiment B (Figure 8b): run time vs the number of terms L at a fixed
+// number of variables (#v=25), for all four monoids; theta is "=", c=100.
+//
+// Expected shape: an initial super-linear ramp while mutex partitioning
+// dominates, saturating into linear growth once all variables have been
+// expanded -- "answering increasingly complex queries on a database of
+// constant size".
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment B (Figure 8b): varying the number of terms L\n";
+  const int num_vars = full ? 25 : 16;
+  const int runs = full ? 10 : 3;
+  std::vector<int> l_grid = full
+      ? std::vector<int>{10, 20, 50, 100, 200, 400, 700, 1000}
+      : std::vector<int>{10, 20, 40, 80, 160, 320};
+  std::cout << "(#v=" << num_vars << ", R=0, #cl=3, #l=3, maxv=200, c=100, "
+            << "theta is =, runs=" << runs << ")\n\n";
+
+  TablePrinter table({"L", "MIN [s]", "MAX [s]", "COUNT [s]", "SUM [s]"});
+  for (int l : l_grid) {
+    std::vector<std::string> row = {std::to_string(l)};
+    for (AggKind agg : {AggKind::kMin, AggKind::kMax, AggKind::kCount,
+                        AggKind::kSum}) {
+      RunStats stats = TimeRuns(runs, [&](int run) {
+        ExprPool pool(SemiringKind::kBool);
+        VariableTable vars;
+        ExprGenParams params;
+        params.num_vars = num_vars;
+        params.terms_left = l;
+        params.clauses_per_term = 3;
+        params.literals_per_clause = 3;
+        params.max_value = 200;
+        params.constant = agg == AggKind::kCount ? 10 : 100;
+        params.theta = CmpOp::kEq;
+        params.agg_left = agg;
+        GeneratedExpr gen = GenerateComparisonExpr(
+            &pool, &vars, params, static_cast<uint64_t>(run) * 104729 + l);
+        DTree tree = CompileToDTree(&pool, &vars, gen.comparison);
+        ComputeDistribution(tree, vars, pool.semiring());
+      });
+      row.push_back(FormatSeconds(stats.mean_seconds));
+    }
+    table.PrintRow(row);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment C (Figure 8a): the easy/hard/easy phase transition when the
+// number of distinct variables #v varies at a fixed expression size.
+//
+// Paper grid: L=90, R=0, #cl=2, #l=2, maxv=5, c=3, theta is =, MIN,
+// runs=40, peaking around 20s/point on the paper's hardware. The default
+// grid uses L=40 so the whole sweep stays under a minute; --full restores
+// L=90 (expect ~30s per run in the hard regime around #v≈30-45).
+//
+// Expected shape: fast for few variables (mutex expansion terminates
+// quickly) and for many variables (clauses become independent), hard in
+// between -- the #SAT-style phase transition, with large variance in the
+// hard regime.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/util/check.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment C (Figure 8a): easy/hard/easy phase "
+               "transition in #v\n";
+  const int runs = full ? 10 : 3;
+  const int terms = full ? 90 : 40;
+  std::vector<int> v_grid =
+      full ? std::vector<int>{5,  10, 15, 20,  25,  30,  40,  50,
+                              60, 80, 120, 160, 200, 250, 300}
+           : std::vector<int>{4, 8, 12, 16, 20, 24, 28, 36, 48, 64, 100, 160};
+  std::cout << "(L=" << terms << ", R=0, #cl=2, #l=2, maxv=5, c=3, theta "
+            << "is =, MIN, runs=" << runs << ")\n\n";
+
+  TablePrinter table(
+      {"#v", "time [s]", "stddev [s]", "mutex nodes", "budget hits"});
+  for (int v : v_grid) {
+    size_t mutex_total = 0;
+    int budget_hits = 0;
+    RunStats stats = TimeRuns(runs, [&](int run) {
+      ExprPool pool(SemiringKind::kBool);
+      VariableTable vars;
+      ExprGenParams params;
+      params.num_vars = v;
+      params.terms_left = terms;
+      params.clauses_per_term = 2;
+      params.literals_per_clause = 2;
+      params.max_value = 5;
+      params.constant = 3;
+      params.theta = CmpOp::kEq;
+      params.agg_left = AggKind::kMin;
+      GeneratedExpr gen = GenerateComparisonExpr(
+          &pool, &vars, params, static_cast<uint64_t>(run) * 2654435761u + v);
+      CompileOptions options;
+      options.max_nodes = full ? 40'000'000 : 4'000'000;
+      try {
+        DTreeCompiler compiler(&pool, &vars, options);
+        DTree tree = compiler.Compile(gen.comparison);
+        mutex_total += compiler.stats().mutex_expansions;
+        ComputeDistribution(tree, vars, pool.semiring());
+      } catch (const CheckError&) {
+        ++budget_hits;  // Report DNF points instead of aborting the sweep.
+      }
+    });
+    table.PrintRow({std::to_string(v), FormatSeconds(stats.mean_seconds),
+                    FormatSeconds(stats.stddev_seconds),
+                    std::to_string(mutex_total / runs),
+                    std::to_string(budget_hits)});
+  }
+  return 0;
+}

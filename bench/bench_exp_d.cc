@@ -1,0 +1,74 @@
+// Experiment D (Figure 9 a, b): phase transition in the clause arity #l
+// (literals per clause, at #cl=3) and in the number of clauses per term
+// #cl (at #l=3), for all four monoids.
+//
+// Paper grid: #v=25, L=100, R=0, maxv=5, c=3, theta is <=, runs=20.
+// Expected shape: easy for small and large #l (resp. #cl), hard in
+// between.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+void RunSweep(const std::string& title, bool vary_literals,
+              const std::vector<int>& grid, int num_vars, int terms,
+              int runs) {
+  std::cout << "\n### " << title << "\n\n";
+  TablePrinter table({vary_literals ? "#l" : "#cl", "MIN [s]", "MAX [s]",
+                      "COUNT [s]", "SUM [s]"});
+  for (int value : grid) {
+    std::vector<std::string> row = {std::to_string(value)};
+    for (AggKind agg : {AggKind::kMin, AggKind::kMax, AggKind::kCount,
+                        AggKind::kSum}) {
+      RunStats stats = TimeRuns(runs, [&](int run) {
+        ExprPool pool(SemiringKind::kBool);
+        VariableTable vars;
+        ExprGenParams params;
+        params.num_vars = num_vars;
+        params.terms_left = terms;
+        params.clauses_per_term = vary_literals ? 3 : value;
+        params.literals_per_clause = vary_literals ? value : 3;
+        params.max_value = 5;
+        params.constant = 3;
+        params.theta = CmpOp::kLe;
+        params.agg_left = agg;
+        GeneratedExpr gen = GenerateComparisonExpr(
+            &pool, &vars, params,
+            static_cast<uint64_t>(run) * 7907 + value * 31 +
+                static_cast<uint64_t>(agg));
+        DTree tree = CompileToDTree(&pool, &vars, gen.comparison);
+        ComputeDistribution(tree, vars, pool.semiring());
+      });
+      row.push_back(FormatSeconds(stats.mean_seconds));
+    }
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment D (Figure 9): varying #l and #cl\n";
+  const int num_vars = full ? 25 : 16;
+  const int terms = full ? 100 : 50;
+  const int runs = full ? 20 : 3;
+  std::vector<int> grid = full
+      ? std::vector<int>{1, 2, 3, 4, 5, 6, 8, 10, 14, 20}
+      : std::vector<int>{1, 2, 3, 4, 6, 8, 12, 16};
+  std::cout << "(#v=" << num_vars << ", L=" << terms
+            << ", R=0, maxv=5, c=3, theta is <=, runs=" << runs << ")\n";
+  RunSweep("Figure 9a: literals per clause #l (at #cl=3)",
+           /*vary_literals=*/true, grid, num_vars, terms, runs);
+  RunSweep("Figure 9b: clauses per term #cl (at #l=3)",
+           /*vary_literals=*/false, grid, num_vars, terms, runs);
+  return 0;
+}

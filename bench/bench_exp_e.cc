@@ -1,0 +1,86 @@
+// Experiment E (Figure 10 a, b): two-sided aggregate comparisons
+// [Sum_AGGL ... theta Sum_AGGR ...] with different monoids per side,
+// varying L at fixed R (a) and R at fixed L (b).
+//
+// Paper grid: #v=25, #cl=2, #l=2, maxv=200, theta is <=, runs=10, pairs
+// MIN/MAX, MIN/COUNT, MAX/SUM; L (resp. R) from 50 to 2000.
+//
+// Expected shape (for MAX <= SUM): growing the MAX side makes the
+// condition harder to satisfy and more terms must be compiled (time
+// rises); growing the SUM side satisfies the comparison after a few mutex
+// steps (time falls).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/workload/random_expr.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+struct MonoidPair {
+  AggKind left;
+  AggKind right;
+  const char* label;
+};
+
+void RunSweep(const std::string& title, bool vary_left, int fixed,
+              const std::vector<int>& grid, int num_vars, int runs) {
+  std::cout << "\n### " << title << "\n\n";
+  const MonoidPair pairs[] = {{AggKind::kMin, AggKind::kMax, "MIN/MAX"},
+                              {AggKind::kMin, AggKind::kCount, "MIN/COUNT"},
+                              {AggKind::kMax, AggKind::kSum, "MAX/SUM"}};
+  TablePrinter table({vary_left ? "L" : "R", "MIN/MAX [s]", "MIN/COUNT [s]",
+                      "MAX/SUM [s]"});
+  for (int value : grid) {
+    std::vector<std::string> row = {std::to_string(value)};
+    for (const MonoidPair& pair : pairs) {
+      RunStats stats = TimeRuns(runs, [&](int run) {
+        ExprPool pool(SemiringKind::kBool);
+        VariableTable vars;
+        ExprGenParams params;
+        params.num_vars = num_vars;
+        params.terms_left = vary_left ? value : fixed;
+        params.terms_right = vary_left ? fixed : value;
+        params.clauses_per_term = 2;
+        params.literals_per_clause = 2;
+        params.max_value = 200;
+        params.theta = CmpOp::kLe;
+        params.agg_left = pair.left;
+        params.agg_right = pair.right;
+        GeneratedExpr gen = GenerateComparisonExpr(
+            &pool, &vars, params,
+            static_cast<uint64_t>(run) * 50021 + value * 3 +
+                static_cast<uint64_t>(pair.left));
+        DTree tree = CompileToDTree(&pool, &vars, gen.comparison);
+        ComputeDistribution(tree, vars, pool.semiring());
+      });
+      row.push_back(FormatSeconds(stats.mean_seconds));
+    }
+    table.PrintRow(row);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment E (Figure 10): two-sided aggregations\n";
+  const int num_vars = full ? 25 : 14;
+  const int runs = full ? 10 : 3;
+  const int fixed = full ? 150 : 60;
+  std::vector<int> grid = full
+      ? std::vector<int>{50, 100, 200, 400, 700, 1000, 1500, 2000}
+      : std::vector<int>{25, 50, 100, 200, 400, 600};
+  std::cout << "(#v=" << num_vars << ", #cl=2, #l=2, maxv=200, theta is <=, "
+            << "runs=" << runs << ", fixed side=" << fixed << ")\n";
+  RunSweep("Figure 10a: varying L (fixed R)", /*vary_left=*/true, fixed,
+           grid, num_vars, runs);
+  RunSweep("Figure 10b: varying R (fixed L)", /*vary_left=*/false, fixed,
+           grid, num_vars, runs);
+  return 0;
+}

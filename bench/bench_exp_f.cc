@@ -1,0 +1,111 @@
+// Experiment F (Figure 11 a, b): TPC-H queries Q1 and Q2 across scale
+// factors, with the paper's three-phase breakdown:
+//   Q0    -- deterministic evaluation, no expression/probability work,
+//   [[.]] -- expression construction (the rewriting of Figure 4),
+//   P(.)  -- probability computation for all result tuples (d-trees).
+//
+// Expected shape: both overheads are polynomial in the scale factor; the
+// gap between Q1 and Q2 stems from annotation sizes (Q1's annotations
+// cover ~all lineitems; Q2's only the partsupp tuples of one part).
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/tpch/tpch_gen.h"
+#include "src/tpch/tpch_queries.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+struct PhaseTimes {
+  double q0 = 0;
+  double rewrite = 0;
+  double probability = 0;
+};
+
+PhaseTimes MeasureQuery(Database* db, const Query& q,
+                        bool with_aggregate_distributions) {
+  PhaseTimes t;
+  {
+    WallTimer timer;
+    db->RunDeterministic(q);
+    t.q0 = timer.ElapsedSeconds();
+  }
+  PvcTable result;
+  {
+    WallTimer timer;
+    result = db->Run(q);
+    t.rewrite = timer.ElapsedSeconds();
+  }
+  {
+    WallTimer timer;
+    for (size_t i = 0; i < result.NumRows(); ++i) {
+      db->TupleProbability(result.row(i));
+      if (with_aggregate_distributions) {
+        for (size_t c = 0; c < result.schema().NumColumns(); ++c) {
+          if (result.schema().column(c).type == CellType::kAggExpr) {
+            db->AggregateDistribution(result, i,
+                                      result.schema().column(c).name);
+          }
+        }
+      }
+    }
+    t.probability = timer.ElapsedSeconds();
+  }
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool full = FullMode(argc, argv);
+  std::cout << "# Experiment F (Figure 11): TPC-H Q1 and Q2\n";
+  std::cout << "(scale factor 1.0 = ~10^5 lineitems; monetary values in "
+               "cents; see DESIGN.md for the dbgen substitution)\n";
+
+  std::vector<double> q1_scales =
+      full ? std::vector<double>{0.005, 0.01, 0.02, 0.05, 0.1, 0.2}
+           : std::vector<double>{0.005, 0.01, 0.02, 0.05};
+  std::cout << "\n### Figure 11a: TPC-H Q1 (COUNT per returnflag/linestatus "
+               "group)\n\n";
+  TablePrinter q1_table(
+      {"SF", "lineitems", "Q0 [s]", "[[.]] [s]", "P(.) [s]"});
+  for (double sf : q1_scales) {
+    Database db;
+    TpchConfig config;
+    config.scale_factor = sf;
+    GenerateTpch(&db, config);
+    QueryPtr q1 = BuildTpchQ1(/*shipdate_cutoff=*/1800);
+    PhaseTimes t = MeasureQuery(&db, *q1, /*with_aggregate_distributions=*/true);
+    q1_table.PrintRow({FormatDouble(sf, 3),
+                       std::to_string(db.table("lineitem").NumRows()),
+                       FormatSeconds(t.q0), FormatSeconds(t.rewrite),
+                       FormatSeconds(t.probability)});
+  }
+
+  std::vector<double> q2_scales =
+      full ? std::vector<double>{0.05, 0.1, 0.2, 0.5, 1.0}
+           : std::vector<double>{0.05, 0.1, 0.2, 0.5};
+  std::cout << "\n### Figure 11b: TPC-H Q2 (minimum supply cost, 5-way join "
+               "with nested aggregate)\n\n";
+  TablePrinter q2_table(
+      {"SF", "partsupps", "Q0 [s]", "[[.]] [s]", "P(.) [s]"});
+  for (double sf : q2_scales) {
+    Database db;
+    TpchConfig config;
+    config.scale_factor = sf;
+    GenerateTpch(&db, config);
+    // A part that exists at every scale; region fixed.
+    QueryPtr q2 = BuildTpchQ2(&db, /*partkey=*/0, "EUROPE");
+    PhaseTimes t =
+        MeasureQuery(&db, *q2, /*with_aggregate_distributions=*/false);
+    q2_table.PrintRow({FormatDouble(sf, 3),
+                       std::to_string(db.table("partsupp").NumRows()),
+                       FormatSeconds(t.q0), FormatSeconds(t.rewrite),
+                       FormatSeconds(t.probability)});
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared harness utilities for the experiment benchmarks (Section 7).
+//
+// Each bench binary reproduces one figure/table of the paper: it sweeps the
+// paper's parameter grid (scaled down by default so the full suite runs in
+// minutes on one core; pass --full for paper-scale grids) and prints the
+// series as a markdown table. Shapes -- who wins, saturation points, phase
+// transitions -- are the reproduction target, not absolute seconds (see
+// EXPERIMENTS.md).
+
+#ifndef PVCDB_BENCH_BENCH_UTIL_H_
+#define PVCDB_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace pvcdb_bench {
+
+/// True when --full was passed (paper-scale parameter grids).
+inline bool FullMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) return true;
+  }
+  return false;
+}
+
+/// Mean and standard deviation of a sample, mirroring the paper's
+/// "average wall-clock execution times and estimated standard deviation
+/// while neglecting the slowest and fastest runs".
+struct RunStats {
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;
+};
+
+inline RunStats Summarize(std::vector<double> seconds) {
+  if (seconds.size() > 2) {
+    // Drop the slowest and fastest runs, as in the paper.
+    std::sort(seconds.begin(), seconds.end());
+    seconds.erase(seconds.begin());
+    seconds.pop_back();
+  }
+  RunStats stats;
+  if (seconds.empty()) return stats;
+  double sum = 0.0;
+  for (double s : seconds) sum += s;
+  stats.mean_seconds = sum / seconds.size();
+  double var = 0.0;
+  for (double s : seconds) {
+    var += (s - stats.mean_seconds) * (s - stats.mean_seconds);
+  }
+  stats.stddev_seconds = std::sqrt(var / seconds.size());
+  return stats;
+}
+
+/// Runs `body` `runs` times and summarises the wall-clock times.
+template <typename Body>
+RunStats TimeRuns(int runs, Body&& body) {
+  std::vector<double> times;
+  times.reserve(runs);
+  for (int i = 0; i < runs; ++i) {
+    pvcdb::WallTimer timer;
+    body(i);
+    times.push_back(timer.ElapsedSeconds());
+  }
+  return Summarize(std::move(times));
+}
+
+/// Markdown table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : width_(header.size()) {
+    PrintRow(header);
+    std::string sep;
+    for (size_t i = 0; i < width_; ++i) sep += "|---";
+    std::cout << sep << "|\n";
+  }
+
+  void PrintRow(const std::vector<std::string>& cells) {
+    std::cout << "| ";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) std::cout << " | ";
+      std::cout << cells[i];
+    }
+    // Flush per row: sweeps can be long and partial progress is useful.
+    std::cout << " |" << std::endl;
+  }
+
+ private:
+  size_t width_;
+};
+
+inline std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", s);
+  return buf;
+}
+
+inline std::string FormatDouble(double v, int digits = 4) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace pvcdb_bench
+
+#endif  // PVCDB_BENCH_BENCH_UTIL_H_

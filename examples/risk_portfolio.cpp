@@ -1,0 +1,94 @@
+// Risk aggregation over uncertain events -- the SUM-aggregation use case
+// the paper's introduction motivates (OLAP / decision support over
+// uncertain data), on a loss-portfolio scenario:
+//
+// Each row of `incidents` is a potential loss event with a probability of
+// materialising and a loss amount (fixed-point, thousands). We ask for the
+// exact distribution of the total loss per business unit, the probability
+// that it exceeds a risk budget, and compare the exact d-tree answer
+// against a Monte-Carlo estimate (the MCDB-style baseline).
+
+#include <iostream>
+
+#include "src/engine/database.h"
+#include "src/naive/monte_carlo.h"
+#include "src/util/timer.h"
+
+using namespace pvcdb;
+
+int main() {
+  Database db;
+  // incidents(unit, loss): tuple-independent potential losses.
+  std::vector<std::vector<Cell>> rows;
+  std::vector<double> probs;
+  struct Incident {
+    const char* unit;
+    int64_t loss;  // In thousands.
+    double p;
+  };
+  const Incident incidents[] = {
+      {"trading", 120, 0.05}, {"trading", 45, 0.20},  {"trading", 80, 0.10},
+      {"trading", 30, 0.35},  {"retail", 25, 0.30},   {"retail", 60, 0.15},
+      {"retail", 15, 0.40},   {"retail", 90, 0.05},   {"ops", 10, 0.50},
+      {"ops", 35, 0.25},      {"ops", 55, 0.10},      {"ops", 20, 0.30},
+  };
+  for (const Incident& i : incidents) {
+    rows.push_back({Cell(i.unit), Cell(i.loss)});
+    probs.push_back(i.p);
+  }
+  db.AddTupleIndependentTable(
+      "incidents",
+      Schema({{"unit", CellType::kString}, {"loss", CellType::kInt}}),
+      std::move(rows), std::move(probs));
+
+  // Total loss per unit: $_{unit; total <- SUM(loss)}(incidents).
+  QueryPtr q = Query::GroupAgg(Query::Scan("incidents"), {"unit"},
+                               {{AggKind::kSum, "loss", "total"}});
+  PvcTable result = db.Run(*q);
+
+  const int64_t budget = 100;
+  std::cout << "Exact total-loss distributions (thousands):\n";
+  for (size_t i = 0; i < result.NumRows(); ++i) {
+    const std::string& unit = result.CellAt(i, "unit").AsString();
+    Distribution d = db.AggregateDistribution(result, i, "total");
+    double tail = 0.0;
+    for (const auto& [v, p] : d.entries()) {
+      if (v > budget) tail += p;
+    }
+    std::cout << "\n" << unit << ": " << d.size()
+              << " distinct outcomes, E[loss] = " << d.Mean()
+              << ", P[loss > " << budget << "] = " << tail << "\n";
+  }
+
+  // The budget question as a query: which units stay within budget with
+  // certainty-threshold semantics is an annotation probability:
+  //   sigma_{total <= budget}($...)
+  QueryPtr within = Query::Select(
+      q, Predicate::ColCmpInt("total", CmpOp::kLe, budget));
+  PvcTable w = db.Run(*within);
+  std::cout << "\nP[unit stays within budget " << budget << "]:\n";
+  for (size_t i = 0; i < w.NumRows(); ++i) {
+    std::cout << "  " << w.CellAt(i, "unit").AsString() << ": "
+              << db.TupleProbability(w.row(i)) << "\n";
+  }
+
+  // Exact vs Monte-Carlo (the sampling family of related work).
+  std::cout << "\nExact vs Monte-Carlo for the trading unit:\n";
+  ExprId total = result.CellAt(0, "total").AsAgg();
+  WallTimer exact_timer;
+  Distribution exact = db.AggregateDistribution(result, 0, "total");
+  double exact_s = exact_timer.ElapsedSeconds();
+  for (size_t samples : {1000, 10000, 100000}) {
+    WallTimer mc_timer;
+    Distribution mc = MonteCarloDistribution(db.pool(), db.variables(),
+                                             total, samples, 7);
+    double err = 0.0;
+    for (const auto& [v, p] : exact.entries()) {
+      err = std::max(err, std::abs(p - mc.ProbOf(v)));
+    }
+    std::cout << "  " << samples << " samples: max abs error " << err
+              << " (" << mc_timer.ElapsedSeconds() << "s vs exact "
+              << exact_s << "s)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// The paper's running example (Figure 1): suppliers, products, and the
+// shops that sell them -- reproduced end to end.
+//
+// Prints the input pvc-tables, the result of the positive query
+//   Q1 = pi_{shop, price}[S |x| PS |x| (P1 U P2)]
+// with its semiring annotations (Figure 1d), the result of the aggregate
+// query
+//   Q2 = pi_shop sigma_{P <= 50} $_{shop; P <- MAX(price)}[Q1]
+// with its conditional annotations (Figure 1e), and exact probabilities
+// for every answer.
+
+#include <iostream>
+
+#include "src/engine/database.h"
+#include "src/expr/print.h"
+
+using namespace pvcdb;
+
+namespace {
+
+void AddFigure1Tables(Database* db) {
+  auto var = [db](const std::string& name, double p) {
+    return db->pool().Var(db->variables().AddBernoulli(p, name));
+  };
+  PvcTable s{Schema({{"sid", CellType::kInt}, {"shop", CellType::kString}})};
+  s.AddRow({Cell(int64_t{1}), Cell("M&S")}, var("x1", 0.8));
+  s.AddRow({Cell(int64_t{2}), Cell("M&S")}, var("x2", 0.7));
+  s.AddRow({Cell(int64_t{3}), Cell("M&S")}, var("x3", 0.6));
+  s.AddRow({Cell(int64_t{4}), Cell("Gap")}, var("x4", 0.9));
+  s.AddRow({Cell(int64_t{5}), Cell("Gap")}, var("x5", 0.5));
+  db->AddTable("S", std::move(s));
+
+  PvcTable ps{Schema({{"ps_sid", CellType::kInt},
+                      {"pid", CellType::kInt},
+                      {"price", CellType::kInt}})};
+  struct E {
+    int64_t sid, pid, price;
+    const char* v;
+  };
+  for (const E& e : std::initializer_list<E>{{1, 1, 10, "y11"},
+                                             {1, 2, 50, "y12"},
+                                             {2, 1, 11, "y21"},
+                                             {2, 2, 60, "y22"},
+                                             {3, 3, 15, "y33"},
+                                             {3, 4, 40, "y34"},
+                                             {4, 1, 15, "y41"},
+                                             {4, 3, 60, "y43"},
+                                             {5, 1, 10, "y51"}}) {
+    ps.AddRow({Cell(e.sid), Cell(e.pid), Cell(e.price)}, var(e.v, 0.75));
+  }
+  db->AddTable("PS", std::move(ps));
+
+  PvcTable p1{Schema({{"p_pid", CellType::kInt}, {"weight", CellType::kInt}})};
+  p1.AddRow({Cell(int64_t{1}), Cell(int64_t{4})}, var("z1", 0.6));
+  p1.AddRow({Cell(int64_t{2}), Cell(int64_t{8})}, var("z2", 0.6));
+  p1.AddRow({Cell(int64_t{3}), Cell(int64_t{7})}, var("z3", 0.6));
+  p1.AddRow({Cell(int64_t{4}), Cell(int64_t{6})}, var("z4", 0.6));
+  db->AddTable("P1", std::move(p1));
+
+  PvcTable p2{Schema({{"p_pid", CellType::kInt}, {"weight", CellType::kInt}})};
+  p2.AddRow({Cell(int64_t{1}), Cell(int64_t{5})}, var("z5", 0.6));
+  db->AddTable("P2", std::move(p2));
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  AddFigure1Tables(&db);
+
+  std::cout << "=== Input pvc-tables (Figure 1 a-c) ===\n\n";
+  for (const char* name : {"S", "PS", "P1", "P2"}) {
+    std::cout << name << ":\n"
+              << db.table(name).ToString(&db.pool()) << "\n";
+  }
+
+  // Q1 = pi_{shop, price}[S |x| PS |x| (P1 U P2)].
+  QueryPtr products = Query::Union(Query::Scan("P1"), Query::Scan("P2"));
+  QueryPtr q1 = Query::Project(
+      Query::Join(Query::Join(Query::Scan("S"), Query::Scan("PS"),
+                              Predicate::ColEqCol("sid", "ps_sid")),
+                  products, Predicate::ColEqCol("pid", "p_pid")),
+      {"shop", "price"});
+  PvcTable r1 = db.Run(*q1);
+  std::cout << "=== Q1 (Figure 1d) ===\n" << q1->ToString() << "\n\n"
+            << r1.ToString(&db.pool()) << "\n";
+  for (size_t i = 0; i < r1.NumRows(); ++i) {
+    std::cout << "P[<" << r1.CellAt(i, "shop").AsString() << ", "
+              << r1.CellAt(i, "price").AsInt()
+              << "> in answer] = " << db.TupleProbability(r1.row(i)) << "\n";
+  }
+
+  // Q2 = pi_shop sigma_{P <= 50} $_{shop; P <- MAX(price)}[Q1].
+  QueryPtr q2 = Query::Project(
+      Query::Select(Query::GroupAgg(q1, {"shop"},
+                                    {{AggKind::kMax, "price", "P"}}),
+                    Predicate::ColCmpInt("P", CmpOp::kLe, 50)),
+      {"shop"});
+  PvcTable r2 = db.Run(*q2);
+  std::cout << "\n=== Q2 (Figure 1e) ===\n" << q2->ToString() << "\n\n"
+            << r2.ToString(&db.pool()) << "\n";
+  std::cout << "Probabilities that the maximal price in a shop is <= 50 "
+               "(and the shop sells anything at all):\n";
+  for (size_t i = 0; i < r2.NumRows(); ++i) {
+    std::cout << "P[" << r2.CellAt(i, "shop").AsString()
+              << "] = " << db.TupleProbability(r2.row(i)) << "\n";
+  }
+
+  // Bonus: the MAX price distribution per shop, conditioned on presence.
+  QueryPtr agg = Query::GroupAgg(q1, {"shop"},
+                                 {{AggKind::kMax, "price", "P"}});
+  PvcTable ra = db.Run(*agg);
+  std::cout << "\nConditional MAX(price) distributions:\n";
+  for (size_t i = 0; i < ra.NumRows(); ++i) {
+    std::cout << ra.CellAt(i, "shop").AsString() << ": "
+              << db.ConditionalAggregateDistribution(ra, i, "P").ToString()
+              << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+#include "src/algebra/monoid.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+int64_t Monoid::Neutral() const {
+  switch (kind_) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return 0;
+    case AggKind::kMin:
+      return kPosInf;
+    case AggKind::kMax:
+      return kNegInf;
+    case AggKind::kProd:
+      return 1;
+  }
+  PVC_FAIL("unknown monoid kind");
+}
+
+int64_t Monoid::Plus(int64_t m1, int64_t m2) const {
+  switch (kind_) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return m1 + m2;
+    case AggKind::kMin:
+      return std::min(m1, m2);
+    case AggKind::kMax:
+      return std::max(m1, m2);
+    case AggKind::kProd:
+      return m1 * m2;
+  }
+  PVC_FAIL("unknown monoid kind");
+}
+
+int64_t Monoid::Tensor(const Semiring& semiring, int64_t s, int64_t m) const {
+  // s (x) m = m +_M ... +_M m, s times (Example 6). A value s outside
+  // {0, 1} can only arise under the natural-number semiring.
+  PVC_CHECK_MSG(semiring.Contains(s) || semiring.kind() == SemiringKind::kBool,
+                "tensor with value outside semiring carrier: " << s);
+  int64_t times = semiring.kind() == SemiringKind::kBool ? (s != 0 ? 1 : 0) : s;
+  PVC_CHECK_MSG(times >= 0, "tensor requires a non-negative multiplier");
+  switch (kind_) {
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return times * m;
+    case AggKind::kMin:
+      return times > 0 ? m : kPosInf;
+    case AggKind::kMax:
+      return times > 0 ? m : kNegInf;
+    case AggKind::kProd: {
+      int64_t result = 1;
+      for (int64_t i = 0; i < times; ++i) result *= m;
+      return result;
+    }
+  }
+  PVC_FAIL("unknown monoid kind");
+}
+
+std::string Monoid::Name() const { return AggKindName(kind_); }
+
+bool EvalCmp(CmpOp op, int64_t a, int64_t b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kGt:
+      return a > b;
+  }
+  PVC_FAIL("unknown comparison operator");
+}
+
+std::string CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kGt:
+      return ">";
+  }
+  PVC_FAIL("unknown comparison operator");
+}
+
+std::string AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kProd:
+      return "PROD";
+  }
+  PVC_FAIL("unknown aggregation kind");
+}
+
+std::string MonoidValueToString(int64_t v) {
+  if (v == kPosInf) return "inf";
+  if (v == kNegInf) return "-inf";
+  return std::to_string(v);
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,57 @@
+#include "src/algebra/semiring.h"
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+int64_t Semiring::Plus(int64_t a, int64_t b) const {
+  switch (kind_) {
+    case SemiringKind::kBool:
+      return (a != 0 || b != 0) ? 1 : 0;
+    case SemiringKind::kNatural:
+      return a + b;
+  }
+  PVC_FAIL("unknown semiring kind");
+}
+
+int64_t Semiring::Times(int64_t a, int64_t b) const {
+  switch (kind_) {
+    case SemiringKind::kBool:
+      return (a != 0 && b != 0) ? 1 : 0;
+    case SemiringKind::kNatural:
+      return a * b;
+  }
+  PVC_FAIL("unknown semiring kind");
+}
+
+bool Semiring::Contains(int64_t v) const {
+  switch (kind_) {
+    case SemiringKind::kBool:
+      return v == 0 || v == 1;
+    case SemiringKind::kNatural:
+      return v >= 0;
+  }
+  PVC_FAIL("unknown semiring kind");
+}
+
+int64_t Semiring::Canonical(int64_t v) const {
+  switch (kind_) {
+    case SemiringKind::kBool:
+      return v != 0 ? 1 : 0;
+    case SemiringKind::kNatural:
+      return v;
+  }
+  PVC_FAIL("unknown semiring kind");
+}
+
+std::string Semiring::Name() const {
+  switch (kind_) {
+    case SemiringKind::kBool:
+      return "B";
+    case SemiringKind::kNatural:
+      return "N";
+  }
+  PVC_FAIL("unknown semiring kind");
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,180 @@
+#include "src/dtree/approximate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/dtree/prune.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+ProbabilityBounds Exact(double p) { return {p, p}; }
+
+class Approximator {
+ public:
+  Approximator(ExprPool* pool, const VariableTable& variables, size_t budget)
+      : pool_(pool), variables_(variables), budget_(budget) {}
+
+  ProbabilityBounds Bounds(ExprId e) {
+    auto it = memo_.find(e);
+    if (it != memo_.end()) return it->second;
+    ProbabilityBounds result = ComputeBounds(e);
+    memo_.emplace(e, result);
+    return result;
+  }
+
+ private:
+  bool ConsumeBudget() {
+    if (budget_ == 0) return false;
+    --budget_;
+    return true;
+  }
+
+  // Probability that a variable evaluates to a non-zero semiring value.
+  double VarProbability(VarId x) {
+    const Distribution& d = variables_.DistributionOf(x);
+    return std::max(0.0, d.TotalMass() - d.ProbOf(0));
+  }
+
+  ProbabilityBounds ShannonBounds(ExprId e) {
+    // Mutex decomposition (Eq. 10) on the first variable: interval-weighted
+    // mixture over the branches.
+    const ExprNode& n = pool_->node(e);
+    VarId x = n.vars.front();
+    ProbabilityBounds acc{0.0, 0.0};
+    for (const auto& [s, p] : variables_.DistributionOf(x).entries()) {
+      ExprId branch = pool_->Substitute(e, x, s);
+      ProbabilityBounds b = Bounds(branch);
+      acc.low += p * b.low;
+      acc.high += p * b.high;
+    }
+    return acc;
+  }
+
+  ProbabilityBounds ComputeBounds(ExprId e) {
+    const ExprNode n = pool_->node(e);  // Copy: pool may grow below.
+    if (n.kind == ExprKind::kConstS) {
+      return Exact(n.value != 0 ? 1.0 : 0.0);
+    }
+    if (!ConsumeBudget()) return {0.0, 1.0};
+    switch (n.kind) {
+      case ExprKind::kVar:
+        return Exact(VarProbability(n.var()));
+      case ExprKind::kAddS: {
+        // Group children into independent components; OR-combine bounds of
+        // components (monotone), Shannon within a shared component.
+        std::vector<std::vector<ExprId>> groups = Components(n.children);
+        if (groups.size() == 1) return ShannonBounds(e);
+        ProbabilityBounds acc = Exact(0.0);
+        for (std::vector<ExprId>& group : groups) {
+          ExprId sub = pool_->AddS(std::move(group));
+          ProbabilityBounds b = Bounds(sub);
+          // OR: 1 - (1-a)(1-b), monotone increasing in both.
+          acc.low = 1.0 - (1.0 - acc.low) * (1.0 - b.low);
+          acc.high = 1.0 - (1.0 - acc.high) * (1.0 - b.high);
+        }
+        return acc;
+      }
+      case ExprKind::kMulS: {
+        std::vector<std::vector<ExprId>> groups = Components(n.children);
+        if (groups.size() == 1) return ShannonBounds(e);
+        ProbabilityBounds acc = Exact(1.0);
+        for (std::vector<ExprId>& group : groups) {
+          ExprId sub = pool_->MulS(std::move(group));
+          ProbabilityBounds b = Bounds(sub);
+          acc.low *= b.low;
+          acc.high *= b.high;
+        }
+        return acc;
+      }
+      case ExprKind::kCmp: {
+        ExprId pruned = PruneComparison(*pool_, e);
+        if (pruned != e) return Bounds(pruned);
+        return ShannonBounds(e);
+      }
+      case ExprKind::kTensor:
+      case ExprKind::kAddM:
+      case ExprKind::kConstM:
+        PVC_FAIL("ApproximateProbability expects a semiring-sorted "
+                 "(Boolean) expression");
+      case ExprKind::kConstS:
+        break;  // Handled above.
+    }
+    PVC_FAIL("unreachable");
+  }
+
+  // Connected components by shared variables (same notion as the compiler).
+  std::vector<std::vector<ExprId>> Components(
+      const std::vector<ExprId>& items) {
+    std::unordered_map<VarId, size_t> owner;
+    std::vector<size_t> parent(items.size());
+    for (size_t i = 0; i < items.size(); ++i) parent[i] = i;
+    auto find = [&](size_t i) {
+      while (parent[i] != i) {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+      }
+      return i;
+    };
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (VarId v : pool_->VarsOf(items[i])) {
+        auto [it, inserted] = owner.emplace(v, i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::unordered_map<size_t, size_t> index;
+    std::vector<std::vector<ExprId>> groups;
+    for (size_t i = 0; i < items.size(); ++i) {
+      size_t root = find(i);
+      auto [it, inserted] = index.emplace(root, groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(items[i]);
+    }
+    return groups;
+  }
+
+  ExprPool* pool_;
+  const VariableTable& variables_;
+  size_t budget_;
+  std::unordered_map<ExprId, ProbabilityBounds> memo_;
+};
+
+}  // namespace
+
+ProbabilityBounds ApproximateProbability(ExprPool* pool,
+                                         const VariableTable& variables,
+                                         ExprId e,
+                                         ApproximateOptions options) {
+  PVC_CHECK(pool != nullptr);
+  PVC_CHECK_MSG(pool->node(e).sort == ExprSort::kSemiring,
+                "bounds are defined for semiring-sorted expressions");
+  PVC_CHECK_MSG(pool->semiring().kind() == SemiringKind::kBool,
+                "approximate confidence computation targets the Boolean "
+                "semiring");
+  Approximator approximator(pool, variables, options.node_budget);
+  ProbabilityBounds b = approximator.Bounds(e);
+  b.low = std::clamp(b.low, 0.0, 1.0);
+  b.high = std::clamp(b.high, 0.0, 1.0);
+  return b;
+}
+
+ProbabilityBounds ApproximateToWidth(ExprPool* pool,
+                                     const VariableTable& variables, ExprId e,
+                                     double epsilon, size_t max_budget) {
+  size_t budget = 64;
+  ProbabilityBounds best{0.0, 1.0};
+  while (true) {
+    ApproximateOptions options;
+    options.node_budget = budget;
+    ProbabilityBounds b = ApproximateProbability(pool, variables, e, options);
+    // Intervals from independent runs can be intersected.
+    best.low = std::max(best.low, b.low);
+    best.high = std::min(best.high, b.high);
+    if (best.Width() <= epsilon || budget >= max_budget) return best;
+    budget *= 2;
+  }
+}
+
+}  // namespace pvcdb

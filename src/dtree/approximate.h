@@ -1,0 +1,67 @@
+// Approximate probability computation on partially compiled d-trees.
+//
+// The paper notes (Section 1) that decomposition trees also support
+// *approximate* probability computation in the style of Olteanu, Huang and
+// Koch [18]: compile only part of the expression and propagate probability
+// *intervals* instead of exact values. An uncompiled subexpression of the
+// Boolean semiring contributes the trivial bounds [0, 1]; the decomposition
+// rules combine bounds monotonically:
+//   - independent OR:   1 - (1-l)(1-r)   (monotone in both arguments)
+//   - independent AND:  l * r
+//   - mutex (Eq. 10):   Sum_s P_x[s] * bounds(Phi|x<-s)
+// so the interval around P[Phi = 1] narrows as the compilation budget
+// grows and collapses to the exact value when the budget suffices for full
+// compilation.
+//
+// Only Boolean-semiring expressions are supported (the classic confidence
+// computation setting); aggregate comparisons enter as kCmp nodes whose
+// sides are compiled exactly when they are ground or cheap, and bounded
+// otherwise.
+
+#ifndef PVCDB_DTREE_APPROXIMATE_H_
+#define PVCDB_DTREE_APPROXIMATE_H_
+
+#include <cstdint>
+
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// An interval [low, high] bounding P[Phi = 1].
+struct ProbabilityBounds {
+  double low = 0.0;
+  double high = 1.0;
+
+  double Width() const { return high - low; }
+  double Midpoint() const { return (low + high) / 2.0; }
+};
+
+/// Knobs of the approximation.
+struct ApproximateOptions {
+  /// Budget on the number of expression nodes visited (decomposition steps
+  /// plus Shannon branches); exceeding it yields [0, 1] for the remaining
+  /// subexpressions.
+  size_t node_budget = 10000;
+};
+
+/// Bounds on P[e = 1] for a Boolean-semiring expression `e` under the given
+/// budget. Guarantees: low <= P <= high; a large enough budget returns the
+/// exact value (width 0, up to floating point).
+ProbabilityBounds ApproximateProbability(ExprPool* pool,
+                                         const VariableTable& variables,
+                                         ExprId e,
+                                         ApproximateOptions options =
+                                             ApproximateOptions());
+
+/// Iteratively doubles the budget until the interval width drops below
+/// `epsilon` (absolute-error approximation as in [18]) or the budget
+/// reaches `max_budget`. Returns the final bounds.
+ProbabilityBounds ApproximateToWidth(ExprPool* pool,
+                                     const VariableTable& variables, ExprId e,
+                                     double epsilon,
+                                     size_t max_budget = 1 << 22);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_APPROXIMATE_H_

@@ -1,0 +1,371 @@
+#include "src/dtree/compile.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "src/dtree/prune.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Union-find over item indices, used for connected-component grouping.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+// The multiset of semiring factors of a child of a sum: the factor list of
+// a product node, or the node itself.
+std::vector<ExprId> FactorsOf(const ExprPool& pool, ExprId e) {
+  const ExprNode& n = pool.node(e);
+  if (n.kind == ExprKind::kMulS) return n.children;  // Already sorted.
+  return {e};
+}
+
+// Multiset difference a \ b over sorted ranges.
+std::vector<ExprId> MultisetMinus(const std::vector<ExprId>& a,
+                                  const std::vector<ExprId>& b) {
+  std::vector<ExprId> out;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+DTreeCompiler::DTreeCompiler(ExprPool* pool, const VariableTable* variables,
+                             CompileOptions options)
+    : pool_(pool),
+      variables_(variables),
+      options_(options),
+      rng_(options.random_seed) {
+  PVC_CHECK(pool != nullptr && variables != nullptr);
+}
+
+DTree CompileToDTree(ExprPool* pool, const VariableTable* variables, ExprId e,
+                     CompileOptions options) {
+  DTreeCompiler compiler(pool, variables, options);
+  return compiler.Compile(e);
+}
+
+DTree DTreeCompiler::Compile(ExprId e) {
+  memo_.clear();
+  DTree out;
+  DTree::NodeId root = CompileRec(e, &out);
+  out.set_root(root);
+  return out;
+}
+
+std::vector<std::vector<size_t>> DTreeCompiler::Components(
+    const std::vector<ExprId>& items) {
+  UnionFind uf(items.size());
+  std::unordered_map<VarId, size_t> first_owner;
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (VarId v : pool_->VarsOf(items[i])) {
+      auto [it, inserted] = first_owner.emplace(v, i);
+      if (!inserted) uf.Union(i, it->second);
+    }
+  }
+  std::unordered_map<size_t, size_t> root_to_component;
+  std::vector<std::vector<size_t>> components;
+  for (size_t i = 0; i < items.size(); ++i) {
+    size_t root = uf.Find(i);
+    auto [it, inserted] = root_to_component.emplace(root, components.size());
+    if (inserted) components.emplace_back();
+    components[it->second].push_back(i);
+  }
+  return components;
+}
+
+VarId DTreeCompiler::ChooseVariable(ExprId e) {
+  const std::vector<VarId>& vars = pool_->VarsOf(e);
+  PVC_CHECK(!vars.empty());
+  switch (options_.heuristic) {
+    case VarChoiceHeuristic::kFirst:
+      return vars.front();
+    case VarChoiceHeuristic::kRandom:
+      return vars[static_cast<size_t>(
+          rng_.UniformInt(0, static_cast<int64_t>(vars.size()) - 1))];
+    case VarChoiceHeuristic::kMostOccurrences: {
+      std::unordered_map<VarId, double> counts;
+      pool_->CountVarOccurrences(e, &counts);
+      VarId best = vars.front();
+      double best_count = -1.0;
+      // Deterministic tie-break on the smaller id: iterate the sorted list.
+      for (VarId v : vars) {
+        double c = counts[v];
+        if (c > best_count) {
+          best = v;
+          best_count = c;
+        }
+      }
+      return best;
+    }
+  }
+  PVC_FAIL("unknown variable-choice heuristic");
+}
+
+DTree::NodeId DTreeCompiler::CompileShannon(ExprId e, DTree* out) {
+  VarId x = ChooseVariable(e);
+  ++stats_.mutex_expansions;
+  const Distribution& px = variables_->DistributionOf(x);
+  DTreeNode node;
+  node.kind = DTreeNodeKind::kMutex;
+  node.var = x;
+  const ExprNode& en = pool_->node(e);
+  node.sort = en.sort;
+  node.agg = en.agg;
+  for (const auto& [s, p] : px.entries()) {
+    ExprId branch = pool_->Substitute(e, x, s);
+    node.children.push_back(CompileRec(branch, out));
+    node.branch_values.push_back(s);
+  }
+  return out->AddNode(std::move(node));
+}
+
+DTree::NodeId DTreeCompiler::CompileRec(ExprId e, DTree* out) {
+  PVC_CHECK_MSG(out->size() < options_.max_nodes,
+                "d-tree node budget exceeded (" << options_.max_nodes << ")");
+  auto it = memo_.find(e);
+  if (it != memo_.end()) return it->second;
+
+  // Pruning (rule 4 preamble): simplify conditional expressions first.
+  if (options_.enable_pruning &&
+      pool_->node(e).kind == ExprKind::kCmp) {
+    ExprId pruned = PruneComparison(*pool_, e);
+    if (pruned != e) {
+      ++stats_.prunings;
+      DTree::NodeId id = CompileRec(pruned, out);
+      memo_.emplace(e, id);
+      return id;
+    }
+  }
+
+  const ExprNode n = pool_->node(e);  // Copy: the pool grows below.
+  DTree::NodeId result = 0;
+  switch (n.kind) {
+    case ExprKind::kVar: {
+      DTreeNode leaf;
+      leaf.kind = DTreeNodeKind::kLeafVar;
+      leaf.sort = ExprSort::kSemiring;
+      leaf.var = n.var();
+      result = out->AddNode(std::move(leaf));
+      break;
+    }
+    case ExprKind::kConstS:
+    case ExprKind::kConstM: {
+      DTreeNode leaf;
+      leaf.kind = DTreeNodeKind::kLeafConst;
+      leaf.sort = n.sort;
+      leaf.agg = n.agg;
+      leaf.value = n.value;
+      result = out->AddNode(std::move(leaf));
+      break;
+    }
+    case ExprKind::kAddS:
+    case ExprKind::kAddM: {
+      if (!options_.enable_independence) {
+        result = CompileShannon(e, out);
+        break;
+      }
+      std::vector<std::vector<size_t>> components = Components(n.children);
+      if (components.size() > 1) {
+        // Rule 1: independent sum.
+        ++stats_.independence_splits;
+        DTreeNode sum;
+        sum.kind = DTreeNodeKind::kOplus;
+        sum.sort = n.sort;
+        sum.agg = n.agg;
+        for (const std::vector<size_t>& comp : components) {
+          std::vector<ExprId> members;
+          members.reserve(comp.size());
+          for (size_t idx : comp) members.push_back(n.children[idx]);
+          ExprId sub = n.kind == ExprKind::kAddS
+                           ? pool_->AddS(std::move(members))
+                           : pool_->AddM(n.agg, std::move(members));
+          sum.children.push_back(CompileRec(sub, out));
+        }
+        result = out->AddNode(std::move(sum));
+        break;
+      }
+      // Single component: attempt read-once common-factor extraction.
+      if (options_.enable_factorization) {
+        std::optional<ExprId> factored =
+            n.kind == ExprKind::kAddS
+                ? [&]() -> std::optional<ExprId> {
+                    // Common semiring factor: x*a + x*b = x*(a + b).
+                    std::vector<ExprId> common =
+                        FactorsOf(*pool_, n.children.front());
+                    for (size_t i = 1; i < n.children.size() && !common.empty();
+                         ++i) {
+                      std::vector<ExprId> fi =
+                          FactorsOf(*pool_, n.children[i]);
+                      std::vector<ExprId> inter;
+                      std::set_intersection(common.begin(), common.end(),
+                                            fi.begin(), fi.end(),
+                                            std::back_inserter(inter));
+                      common = std::move(inter);
+                    }
+                    // Never factor out ground factors; constants are already
+                    // canonicalised by the smart constructors.
+                    common.erase(
+                        std::remove_if(common.begin(), common.end(),
+                                       [&](ExprId f) {
+                                         return pool_->node(f).IsGround();
+                                       }),
+                        common.end());
+                    if (common.empty()) return std::nullopt;
+                    std::vector<ExprId> residuals;
+                    residuals.reserve(n.children.size());
+                    for (ExprId c : n.children) {
+                      std::vector<ExprId> rest =
+                          MultisetMinus(FactorsOf(*pool_, c), common);
+                      residuals.push_back(pool_->MulS(std::move(rest)));
+                    }
+                    return pool_->MulS(pool_->MulS(std::move(common)),
+                                       pool_->AddS(std::move(residuals)));
+                  }()
+                : [&]() -> std::optional<ExprId> {
+                    // Common semiring factor across tensor terms:
+                    // (x*a) (x) m1 +op (x*b) (x) m2
+                    //   = x (x) (a (x) m1 +op b (x) m2).
+                    std::vector<ExprId> common;
+                    bool first = true;
+                    for (ExprId c : n.children) {
+                      const ExprNode& cn = pool_->node(c);
+                      if (cn.kind != ExprKind::kTensor) return std::nullopt;
+                      std::vector<ExprId> fi =
+                          FactorsOf(*pool_, cn.children[0]);
+                      if (first) {
+                        common = std::move(fi);
+                        first = false;
+                      } else {
+                        std::vector<ExprId> inter;
+                        std::set_intersection(common.begin(), common.end(),
+                                              fi.begin(), fi.end(),
+                                              std::back_inserter(inter));
+                        common = std::move(inter);
+                      }
+                      if (common.empty()) return std::nullopt;
+                    }
+                    common.erase(
+                        std::remove_if(common.begin(), common.end(),
+                                       [&](ExprId f) {
+                                         return pool_->node(f).IsGround();
+                                       }),
+                        common.end());
+                    if (common.empty()) return std::nullopt;
+                    std::vector<ExprId> residuals;
+                    residuals.reserve(n.children.size());
+                    for (ExprId c : n.children) {
+                      const ExprNode& cn = pool_->node(c);
+                      std::vector<ExprId> rest =
+                          MultisetMinus(FactorsOf(*pool_, cn.children[0]),
+                                        common);
+                      residuals.push_back(pool_->Tensor(
+                          pool_->MulS(std::move(rest)), cn.children[1]));
+                    }
+                    return pool_->Tensor(
+                        pool_->MulS(std::move(common)),
+                        pool_->AddM(n.agg, std::move(residuals)));
+                  }();
+        if (factored.has_value() && *factored != e) {
+          ++stats_.factorizations;
+          result = CompileRec(*factored, out);
+          break;
+        }
+      }
+      result = CompileShannon(e, out);
+      break;
+    }
+    case ExprKind::kMulS: {
+      if (!options_.enable_independence) {
+        result = CompileShannon(e, out);
+        break;
+      }
+      std::vector<std::vector<size_t>> components = Components(n.children);
+      if (components.size() > 1) {
+        // Rule 2: independent product.
+        ++stats_.independence_splits;
+        DTreeNode prod;
+        prod.kind = DTreeNodeKind::kOdot;
+        prod.sort = ExprSort::kSemiring;
+        for (const std::vector<size_t>& comp : components) {
+          std::vector<ExprId> members;
+          members.reserve(comp.size());
+          for (size_t idx : comp) members.push_back(n.children[idx]);
+          prod.children.push_back(
+              CompileRec(pool_->MulS(std::move(members)), out));
+        }
+        result = out->AddNode(std::move(prod));
+        break;
+      }
+      result = CompileShannon(e, out);
+      break;
+    }
+    case ExprKind::kTensor: {
+      const std::vector<VarId>& sv = pool_->VarsOf(n.children[0]);
+      const std::vector<VarId>& mv = pool_->VarsOf(n.children[1]);
+      std::vector<VarId> shared;
+      std::set_intersection(sv.begin(), sv.end(), mv.begin(), mv.end(),
+                            std::back_inserter(shared));
+      if (options_.enable_independence && shared.empty()) {
+        // Rule 3: independent tensor.
+        ++stats_.independence_splits;
+        DTreeNode tensor;
+        tensor.kind = DTreeNodeKind::kOtimes;
+        tensor.sort = ExprSort::kMonoid;
+        tensor.agg = n.agg;
+        tensor.children = {CompileRec(n.children[0], out),
+                           CompileRec(n.children[1], out)};
+        result = out->AddNode(std::move(tensor));
+        break;
+      }
+      result = CompileShannon(e, out);
+      break;
+    }
+    case ExprKind::kCmp: {
+      const std::vector<VarId>& lv = pool_->VarsOf(n.children[0]);
+      const std::vector<VarId>& rv = pool_->VarsOf(n.children[1]);
+      std::vector<VarId> shared;
+      std::set_intersection(lv.begin(), lv.end(), rv.begin(), rv.end(),
+                            std::back_inserter(shared));
+      if (options_.enable_independence && shared.empty()) {
+        // Rule 4: independent comparison.
+        ++stats_.independence_splits;
+        DTreeNode cmp;
+        cmp.kind = DTreeNodeKind::kCmp;
+        cmp.sort = ExprSort::kSemiring;
+        cmp.cmp = n.cmp;
+        cmp.children = {CompileRec(n.children[0], out),
+                        CompileRec(n.children[1], out)};
+        result = out->AddNode(std::move(cmp));
+        break;
+      }
+      result = CompileShannon(e, out);
+      break;
+    }
+  }
+  memo_.emplace(e, result);
+  return result;
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,105 @@
+// Compilation of semiring / semimodule expressions into d-trees
+// (Algorithm 1).
+//
+// The compiler repeatedly applies six decomposition rules, in order:
+//   0. ground expressions become constant leaves;
+//   1. a sum whose summands split into variable-disjoint groups becomes an
+//      independent-sum node (+) -- groups are the connected components of
+//      the summands' variable co-occurrence graph;
+//   2. a product whose factors split into variable-disjoint groups becomes
+//      an independent-product node (.); for single-component sums, read-once
+//      common factors are extracted first (e.g. x*y1 + x*y2 = x*(y1 + y2)),
+//      which factorises the read-once expressions arising from hierarchical
+//      queries (cf. Example 14);
+//   3. a tensor with independent sides becomes an (x) node;
+//   4. a comparison with independent sides becomes a [theta] node (pruning
+//      rules are applied first);
+//   5. otherwise the expression is Shannon-expanded on one variable
+//      (a |_|_x mutex node, Eq. 10); the default heuristic picks the
+//      variable with the most occurrences, as in the paper.
+
+#ifndef PVCDB_DTREE_COMPILE_H_
+#define PVCDB_DTREE_COMPILE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/dtree/dtree.h"
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+
+/// How the Shannon-expansion variable is chosen (rule 5). The paper uses
+/// most-occurrences; the alternatives exist for the ablation benchmarks.
+enum class VarChoiceHeuristic : uint8_t {
+  kMostOccurrences,
+  kFirst,
+  kRandom,
+};
+
+/// Knobs of the compiler; the defaults reproduce the paper's configuration.
+struct CompileOptions {
+  /// Enables decomposition rules 1-4 (disabling leaves only Shannon
+  /// expansion; exponential, for ablation only).
+  bool enable_independence = true;
+  /// Enables read-once common-factor extraction inside single-component
+  /// sums (rule 2's factorisation step).
+  bool enable_factorization = true;
+  /// Enables the conditional-expression pruning rules.
+  bool enable_pruning = true;
+  VarChoiceHeuristic heuristic = VarChoiceHeuristic::kMostOccurrences;
+  /// Hard cap on the number of emitted d-tree nodes; exceeding it throws
+  /// CheckError (compilation can be exponential in the worst case).
+  size_t max_nodes = 10'000'000;
+  uint64_t random_seed = 42;  ///< For VarChoiceHeuristic::kRandom.
+};
+
+/// Statistics of one compilation.
+struct CompileStats {
+  size_t mutex_expansions = 0;    ///< Number of Shannon expansions.
+  size_t independence_splits = 0; ///< Rules 1-3 applications.
+  size_t factorizations = 0;      ///< Common-factor extractions.
+  size_t prunings = 0;            ///< Comparisons simplified by pruning.
+};
+
+/// Compiles expressions of one pool into d-trees (Algorithm 1).
+class DTreeCompiler {
+ public:
+  /// Both `pool` and `variables` must outlive the compiler. The pool is
+  /// mutated: decomposition materialises subexpressions.
+  DTreeCompiler(ExprPool* pool, const VariableTable* variables,
+                CompileOptions options = CompileOptions());
+
+  /// Compiles `e`; Proposition 4 guarantees the result represents the same
+  /// probability distribution. Throws CheckError when the node budget is
+  /// exceeded.
+  DTree Compile(ExprId e);
+
+  const CompileStats& stats() const { return stats_; }
+
+ private:
+  DTree::NodeId CompileRec(ExprId e, DTree* out);
+  DTree::NodeId CompileShannon(ExprId e, DTree* out);
+  VarId ChooseVariable(ExprId e);
+
+  /// Groups `items` into connected components of shared variables; returns
+  /// one vector of item indices per component.
+  std::vector<std::vector<size_t>> Components(const std::vector<ExprId>& items);
+
+  ExprPool* pool_;
+  const VariableTable* variables_;
+  CompileOptions options_;
+  CompileStats stats_;
+  Rng rng_;
+  std::unordered_map<ExprId, DTree::NodeId> memo_;
+};
+
+/// Convenience one-shot compilation.
+DTree CompileToDTree(ExprPool* pool, const VariableTable* variables, ExprId e,
+                     CompileOptions options = CompileOptions());
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_COMPILE_H_

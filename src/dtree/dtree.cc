@@ -1,0 +1,95 @@
+#include "src/dtree/dtree.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+DTree::NodeId DTree::AddNode(DTreeNode node) {
+  for (NodeId c : node.children) {
+    PVC_CHECK_MSG(c < nodes_.size(), "d-tree child " << c << " out of range");
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+const DTreeNode& DTree::node(NodeId id) const {
+  PVC_CHECK_MSG(id < nodes_.size(), "invalid d-tree node id " << id);
+  return nodes_[id];
+}
+
+size_t DTree::MutexCount() const {
+  size_t count = 0;
+  for (const DTreeNode& n : nodes_) {
+    if (n.kind == DTreeNodeKind::kMutex) ++count;
+  }
+  return count;
+}
+
+namespace {
+
+const char* KindLabel(DTreeNodeKind kind) {
+  switch (kind) {
+    case DTreeNodeKind::kLeafVar:
+      return "var";
+    case DTreeNodeKind::kLeafConst:
+      return "const";
+    case DTreeNodeKind::kOplus:
+      return "(+)";
+    case DTreeNodeKind::kOdot:
+      return "(.)";
+    case DTreeNodeKind::kOtimes:
+      return "(x)";
+    case DTreeNodeKind::kCmp:
+      return "[cmp]";
+    case DTreeNodeKind::kMutex:
+      return "mutex";
+  }
+  return "?";
+}
+
+void Render(const DTree& tree, DTree::NodeId id, int depth,
+            std::ostream& out) {
+  const DTreeNode& n = tree.node(id);
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << KindLabel(n.kind);
+  switch (n.kind) {
+    case DTreeNodeKind::kLeafVar:
+      out << " x" << n.var;
+      break;
+    case DTreeNodeKind::kLeafConst:
+      out << " " << MonoidValueToString(n.value);
+      break;
+    case DTreeNodeKind::kCmp:
+      out << " " << CmpOpName(n.cmp);
+      break;
+    case DTreeNodeKind::kMutex:
+      out << " on x" << n.var;
+      break;
+    default:
+      break;
+  }
+  if (n.sort == ExprSort::kMonoid) out << " :" << AggKindName(n.agg);
+  out << "\n";
+  for (size_t i = 0; i < n.children.size(); ++i) {
+    if (n.kind == DTreeNodeKind::kMutex) {
+      for (int j = 0; j < depth + 1; ++j) out << "  ";
+      out << "<- x" << n.var << " = " << n.branch_values[i] << "\n";
+      Render(tree, n.children[i], depth + 2, out);
+    } else {
+      Render(tree, n.children[i], depth + 1, out);
+    }
+  }
+}
+
+}  // namespace
+
+std::string DTree::ToString() const {
+  std::ostringstream out;
+  if (!nodes_.empty()) Render(*this, root_, 0, out);
+  return out.str();
+}
+
+}  // namespace pvcdb

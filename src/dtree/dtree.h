@@ -1,0 +1,85 @@
+// Decomposition trees (d-trees), Definition 7.
+//
+// A d-tree is a normal form for semiring / semimodule expressions with five
+// inner node types:
+//   (+)  independent sum        -- children are variable-disjoint
+//   (.)  independent product    -- children are variable-disjoint
+//   (x)  independent tensor     -- semiring child independent of monoid one
+//   [th] independent comparison -- the two compared sides are independent
+//   |_|x mutually exclusive expansion on variable x (Shannon / Eq. 10)
+// and leaves that are single variables or constants. Because children of
+// the first four node types are independent random variables, probability
+// distributions propagate bottom-up by convolution (Eqs. 4-9); mutex nodes
+// combine children by a mixture weighted with P_x (Eq. 10), which yields
+// Theorem 2's O(prod |p_i|) probability computation.
+//
+// Shared subexpressions compile to shared d-tree nodes, so a DTree is
+// physically a DAG; each node's distribution is computed once.
+
+#ifndef PVCDB_DTREE_DTREE_H_
+#define PVCDB_DTREE_DTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+
+namespace pvcdb {
+
+/// D-tree node kinds (Definition 7).
+enum class DTreeNodeKind : uint8_t {
+  kLeafVar,    ///< A random variable leaf.
+  kLeafConst,  ///< A constant leaf (semiring or monoid value, per `sort`).
+  kOplus,      ///< (+): sum of independent children (semiring or monoid).
+  kOdot,       ///< (.): product of independent semiring children.
+  kOtimes,     ///< (x): tensor of independent semiring and monoid children.
+  kCmp,        ///< [theta]: comparison of two independent children.
+  kMutex,      ///< |_|_x: mutually exclusive expansion on variable x.
+};
+
+/// One d-tree node. The `sort` is the sort of the *value* this node
+/// produces (kCmp nodes produce semiring values even over monoid children).
+struct DTreeNode {
+  DTreeNodeKind kind;
+  ExprSort sort = ExprSort::kSemiring;
+  AggKind agg = AggKind::kSum;  ///< Monoid of monoid-sorted nodes.
+  CmpOp cmp = CmpOp::kEq;       ///< Operator of kCmp nodes.
+  VarId var = 0;                ///< Variable of kLeafVar / kMutex nodes.
+  int64_t value = 0;            ///< Value of kLeafConst nodes.
+  std::vector<uint32_t> children;
+  /// For kMutex: the substituted semiring value s of each child branch
+  /// (parallel to `children`); the branch weight is P_x[s].
+  std::vector<int64_t> branch_values;
+};
+
+/// A compiled decomposition tree (physically a DAG over shared nodes).
+class DTree {
+ public:
+  using NodeId = uint32_t;
+
+  /// Appends a node; children must already exist.
+  NodeId AddNode(DTreeNode node);
+
+  const DTreeNode& node(NodeId id) const;
+
+  size_t size() const { return nodes_.size(); }
+
+  NodeId root() const { return root_; }
+  void set_root(NodeId id) { root_ = id; }
+
+  /// Number of kMutex nodes (how often Algorithm 1 fell back to Shannon
+  /// expansion; 0 for expressions compiled with rules 1-4 only).
+  size_t MutexCount() const;
+
+  /// Multi-line indented rendering for debugging.
+  std::string ToString() const;
+
+ private:
+  std::vector<DTreeNode> nodes_;
+  NodeId root_ = 0;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_DTREE_H_

@@ -1,0 +1,122 @@
+#include "src/dtree/joint.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/dtree/probability.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+class JointComputer {
+ public:
+  JointComputer(ExprPool* pool, const VariableTable& variables,
+                const CompileOptions& options)
+      : pool_(pool), variables_(variables), options_(options) {}
+
+  JointDistribution Compute(const std::vector<ExprId>& exprs) {
+    // Find a variable shared by at least two expressions.
+    std::unordered_map<VarId, int> seen_in;
+    VarId shared = 0;
+    double best_count = -1.0;
+    bool found = false;
+    for (ExprId e : exprs) {
+      for (VarId v : pool_->VarsOf(e)) {
+        if (++seen_in[v] == 2) {
+          found = true;
+        }
+      }
+    }
+    if (found) {
+      // Among shared variables, pick the one with most occurrences overall
+      // (the paper's mutex heuristic applied to the joint expression).
+      std::unordered_map<VarId, double> counts;
+      for (ExprId e : exprs) pool_->CountVarOccurrences(e, &counts);
+      for (const auto& [v, k] : seen_in) {
+        if (k >= 2 && counts[v] > best_count) {
+          best_count = counts[v];
+          shared = v;
+        }
+      }
+      // Mutex decomposition on the shared variable (Eq. 10 lifted to
+      // tuples of expressions).
+      JointDistribution result;
+      for (const auto& [s, p] : variables_.DistributionOf(shared).entries()) {
+        std::vector<ExprId> branch;
+        branch.reserve(exprs.size());
+        for (ExprId e : exprs) branch.push_back(pool_->Substitute(e, shared, s));
+        JointDistribution sub = Compute(branch);
+        for (const auto& [tuple, q] : sub) {
+          result[tuple] += p * q;
+        }
+      }
+      return result;
+    }
+    // Pairwise independent: the joint is the product of marginals.
+    std::vector<Distribution> marginals;
+    marginals.reserve(exprs.size());
+    for (ExprId e : exprs) {
+      DTree tree = CompileToDTree(pool_, &variables_, e, options_);
+      marginals.push_back(
+          ComputeDistribution(tree, variables_, pool_->semiring()));
+    }
+    JointDistribution result;
+    std::vector<int64_t> tuple(exprs.size());
+    CrossProduct(marginals, 0, 1.0, &tuple, &result);
+    return result;
+  }
+
+ private:
+  void CrossProduct(const std::vector<Distribution>& marginals, size_t index,
+                    double prob, std::vector<int64_t>* tuple,
+                    JointDistribution* out) {
+    if (index == marginals.size()) {
+      (*out)[*tuple] += prob;
+      return;
+    }
+    for (const auto& [v, p] : marginals[index].entries()) {
+      (*tuple)[index] = v;
+      CrossProduct(marginals, index + 1, prob * p, tuple, out);
+    }
+  }
+
+  ExprPool* pool_;
+  const VariableTable& variables_;
+  CompileOptions options_;
+};
+
+}  // namespace
+
+JointDistribution ComputeJointDistribution(ExprPool* pool,
+                                           const VariableTable& variables,
+                                           const std::vector<ExprId>& exprs,
+                                           CompileOptions options) {
+  PVC_CHECK(pool != nullptr);
+  PVC_CHECK_MSG(!exprs.empty(), "joint distribution needs >= 1 expression");
+  JointComputer computer(pool, variables, options);
+  return computer.Compute(exprs);
+}
+
+Distribution ConditionalAggregateDistribution(ExprPool* pool,
+                                              const VariableTable& variables,
+                                              ExprId agg_expr,
+                                              ExprId annotation,
+                                              CompileOptions options) {
+  JointDistribution joint = ComputeJointDistribution(
+      pool, variables, {agg_expr, annotation}, options);
+  double present_mass = 0.0;
+  std::vector<Distribution::Entry> entries;
+  for (const auto& [tuple, p] : joint) {
+    if (tuple[1] != 0) {  // Annotation != 0_S: the tuple is present.
+      present_mass += p;
+      entries.push_back({tuple[0], p});
+    }
+  }
+  if (present_mass <= 0.0) return Distribution();
+  for (auto& e : entries) e.second /= present_mass;
+  return Distribution::FromPairs(std::move(entries));
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,47 @@
+// Joint probability distributions of several expressions (Section 5,
+// "Compiling Joint Probability Distributions").
+//
+// A result tuple of an aggregate query may carry several semimodule
+// expressions plus a conditional annotation; their joint distribution is
+// obtained by mutex (Shannon) decomposition on shared variables until the
+// expressions become pairwise independent, at which point the joint is the
+// product of the marginals (each computed through its own d-tree).
+
+#ifndef PVCDB_DTREE_JOINT_H_
+#define PVCDB_DTREE_JOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/dtree/compile.h"
+#include "src/expr/expr.h"
+#include "src/prob/distribution.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// A joint distribution over k expressions: value tuple -> probability.
+using JointDistribution = std::map<std::vector<int64_t>, double>;
+
+/// Computes the joint distribution of `exprs` (pairwise correlations
+/// allowed). Worst-case exponential in the number of shared variables.
+JointDistribution ComputeJointDistribution(ExprPool* pool,
+                                           const VariableTable& variables,
+                                           const std::vector<ExprId>& exprs,
+                                           CompileOptions options =
+                                               CompileOptions());
+
+/// Distribution of the aggregate `agg_expr` conditioned on the tuple being
+/// present, i.e. P[alpha = v | Phi != 0_S]. Returns an empty distribution
+/// when P[Phi != 0_S] = 0.
+Distribution ConditionalAggregateDistribution(ExprPool* pool,
+                                              const VariableTable& variables,
+                                              ExprId agg_expr,
+                                              ExprId annotation,
+                                              CompileOptions options =
+                                                  CompileOptions());
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_JOINT_H_

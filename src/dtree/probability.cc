@@ -1,0 +1,211 @@
+#include "src/dtree/probability.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+// No-clamp sentinel for memo keys.
+constexpr int64_t kNoClamp = std::numeric_limits<int64_t>::min();
+
+class ProbabilityComputer {
+ public:
+  ProbabilityComputer(const DTree& tree, const VariableTable& variables,
+                      const Semiring& semiring, ProbabilityOptions options)
+      : tree_(tree),
+        variables_(variables),
+        semiring_(semiring),
+        options_(options) {}
+
+  Distribution Compute(DTree::NodeId id, int64_t clamp) {
+    auto key = std::make_pair(id, clamp);
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+    Distribution result = ComputeUncached(id, clamp);
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  // Clamps SUM/COUNT values at bound+1 so values beyond the comparison
+  // constant share one overflow bucket.
+  Distribution ApplyClamp(Distribution d, int64_t clamp) {
+    if (clamp == kNoClamp) return d;
+    return d.Map([clamp](int64_t v) { return std::min(v, clamp + 1); });
+  }
+
+  // Whether clamping may be propagated into this subtree: it requires a
+  // SUM/COUNT-sorted monoid subtree whose constants are all non-negative
+  // (a negative addend could move an overflowed partial sum back below the
+  // bound, which the single overflow bucket cannot represent).
+  bool ClampSafe(DTree::NodeId id) {
+    auto it = clamp_safe_.find(id);
+    if (it != clamp_safe_.end()) return it->second;
+    const DTreeNode& n = tree_.node(id);
+    bool safe = true;
+    if (n.sort == ExprSort::kMonoid &&
+        !(n.agg == AggKind::kSum || n.agg == AggKind::kCount)) {
+      safe = false;
+    }
+    if (n.kind == DTreeNodeKind::kLeafConst &&
+        n.sort == ExprSort::kMonoid && n.value < 0) {
+      safe = false;
+    }
+    if (safe) {
+      for (DTree::NodeId c : n.children) {
+        // Semiring-sorted children (e.g. the left side of a tensor) do not
+        // contribute monoid values; still check constants transitively only
+        // through monoid-sorted nodes.
+        const DTreeNode& cn = tree_.node(c);
+        if (cn.sort == ExprSort::kMonoid && !ClampSafe(c)) {
+          safe = false;
+          break;
+        }
+      }
+    }
+    clamp_safe_[id] = safe;
+    return safe;
+  }
+
+  Distribution ComputeUncached(DTree::NodeId id, int64_t clamp) {
+    const DTreeNode& n = tree_.node(id);
+    switch (n.kind) {
+      case DTreeNodeKind::kLeafVar:
+        return variables_.DistributionOf(n.var);
+      case DTreeNodeKind::kLeafConst:
+        return ApplyClamp(Distribution::Point(n.value), ClampBoundFor(n, clamp));
+      case DTreeNodeKind::kOplus: {
+        PVC_CHECK(!n.children.empty());
+        int64_t child_clamp = ClampBoundFor(n, clamp);
+        Distribution acc = Compute(n.children[0], child_clamp);
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          Distribution next = Compute(n.children[i], child_clamp);
+          if (n.sort == ExprSort::kSemiring) {
+            acc = acc.Convolve(next, [this](int64_t a, int64_t b) {
+              return semiring_.Plus(a, b);
+            });
+          } else {
+            Monoid monoid(n.agg);
+            acc = acc.Convolve(next, [&monoid](int64_t a, int64_t b) {
+              return monoid.Plus(a, b);
+            });
+          }
+          acc = ApplyClamp(std::move(acc), child_clamp);
+        }
+        return acc;
+      }
+      case DTreeNodeKind::kOdot: {
+        PVC_CHECK(!n.children.empty());
+        Distribution acc = Compute(n.children[0], kNoClamp);
+        for (size_t i = 1; i < n.children.size(); ++i) {
+          Distribution next = Compute(n.children[i], kNoClamp);
+          acc = acc.Convolve(next, [this](int64_t a, int64_t b) {
+            return semiring_.Times(a, b);
+          });
+        }
+        return acc;
+      }
+      case DTreeNodeKind::kOtimes: {
+        int64_t child_clamp = ClampBoundFor(n, clamp);
+        Distribution s = Compute(n.children[0], kNoClamp);
+        Distribution m = Compute(n.children[1], child_clamp);
+        Monoid monoid(n.agg);
+        Distribution result =
+            s.Convolve(m, [this, &monoid](int64_t a, int64_t b) {
+              return monoid.Tensor(semiring_, a, b);
+            });
+        return ApplyClamp(std::move(result), child_clamp);
+      }
+      case DTreeNodeKind::kCmp: {
+        DTree::NodeId lhs = n.children[0];
+        DTree::NodeId rhs = n.children[1];
+        int64_t lhs_clamp = kNoClamp;
+        int64_t rhs_clamp = kNoClamp;
+        if (options_.enable_sum_clamping) {
+          // When one side is a constant c and the other a non-negative
+          // SUM/COUNT subtree, that side's values can be clamped at c+1.
+          const DTreeNode& ln = tree_.node(lhs);
+          const DTreeNode& rn = tree_.node(rhs);
+          if (rn.kind == DTreeNodeKind::kLeafConst && rn.value >= 0 &&
+              ln.sort == ExprSort::kMonoid &&
+              (ln.agg == AggKind::kSum || ln.agg == AggKind::kCount) &&
+              ClampSafe(lhs)) {
+            lhs_clamp = rn.value;
+          }
+          if (ln.kind == DTreeNodeKind::kLeafConst && ln.value >= 0 &&
+              rn.sort == ExprSort::kMonoid &&
+              (rn.agg == AggKind::kSum || rn.agg == AggKind::kCount) &&
+              ClampSafe(rhs)) {
+            rhs_clamp = ln.value;
+          }
+        }
+        Distribution l = Compute(lhs, lhs_clamp);
+        Distribution r = Compute(rhs, rhs_clamp);
+        CmpOp op = n.cmp;
+        const Semiring& semiring = semiring_;
+        return l.Convolve(r, [op, &semiring](int64_t a, int64_t b) {
+          return EvalCmp(op, a, b) ? semiring.One() : semiring.Zero();
+        });
+      }
+      case DTreeNodeKind::kMutex: {
+        const Distribution& px = variables_.DistributionOf(n.var);
+        std::vector<std::pair<double, Distribution>> parts;
+        parts.reserve(n.children.size());
+        int64_t child_clamp = ClampBoundFor(n, clamp);
+        for (size_t i = 0; i < n.children.size(); ++i) {
+          double weight = px.ProbOf(n.branch_values[i]);
+          parts.emplace_back(weight, Compute(n.children[i], child_clamp));
+        }
+        return Distribution::Mix(parts);
+      }
+    }
+    PVC_FAIL("unknown d-tree node kind");
+  }
+
+  // Propagates a clamp bound into a node: only monoid-sorted SUM/COUNT
+  // nodes carry the clamp further down.
+  int64_t ClampBoundFor(const DTreeNode& n, int64_t clamp) {
+    if (clamp == kNoClamp) return kNoClamp;
+    if (n.kind == DTreeNodeKind::kMutex || n.kind == DTreeNodeKind::kCmp) {
+      // Mutex nodes keep the ambient clamp for their (same-sort) branches;
+      // comparisons reset it (they decide their own clamps).
+      return n.kind == DTreeNodeKind::kMutex ? clamp : kNoClamp;
+    }
+    if (n.sort == ExprSort::kMonoid &&
+        (n.agg == AggKind::kSum || n.agg == AggKind::kCount)) {
+      return clamp;
+    }
+    return kNoClamp;
+  }
+
+  const DTree& tree_;
+  const VariableTable& variables_;
+  const Semiring& semiring_;
+  ProbabilityOptions options_;
+  std::map<std::pair<DTree::NodeId, int64_t>, Distribution> memo_;
+  std::unordered_map<DTree::NodeId, bool> clamp_safe_;
+};
+
+}  // namespace
+
+Distribution ComputeDistribution(const DTree& tree,
+                                 const VariableTable& variables,
+                                 const Semiring& semiring,
+                                 ProbabilityOptions options) {
+  PVC_CHECK_MSG(tree.size() > 0, "cannot compute distribution of empty tree");
+  ProbabilityComputer computer(tree, variables, semiring, options);
+  return computer.Compute(tree.root(), kNoClamp);
+}
+
+double ProbabilityNonZero(const DTree& tree, const VariableTable& variables,
+                          const Semiring& semiring,
+                          ProbabilityOptions options) {
+  Distribution d = ComputeDistribution(tree, variables, semiring, options);
+  double zero = d.ProbOf(0);
+  return std::max(0.0, d.TotalMass() - zero);
+}
+
+}  // namespace pvcdb

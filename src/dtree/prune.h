@@ -1,0 +1,31 @@
+// Pruning rules for conditional expressions (Section 5, "Pruning
+// Conditional Expressions").
+//
+// Comparisons of a semimodule sum against a constant can often be
+// simplified before compilation:
+//  - MIN:  [Sum_i Phi_i (x) m_i  <=  c]  ==  [Sum_{i: m_i <= c} ... <= c]
+//    (terms whose value cannot influence the verdict are dropped; the
+//    mirrored rules apply to MAX),
+//  - SUM:  [Sum_i Phi_i (x) m_i  <=  c]  ==  1_S when Sum_i m_i <= c
+//    (tautology / contradiction bounds; valid under the Boolean semiring
+//    where each Phi_i contributes its m_i at most once).
+//
+// Pruning preserves the probability distribution of the comparison and can
+// shrink exponential-size SUM distributions before they materialise.
+
+#ifndef PVCDB_DTREE_PRUNE_H_
+#define PVCDB_DTREE_PRUNE_H_
+
+#include "src/expr/expr.h"
+
+namespace pvcdb {
+
+/// Rewrites a kCmp expression using the pruning rules. Returns the
+/// (possibly unchanged) expression id; the result always has the same
+/// probability distribution as the input. Non-kCmp inputs are returned
+/// unchanged.
+ExprId PruneComparison(ExprPool& pool, ExprId e);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_PRUNE_H_

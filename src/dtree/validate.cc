@@ -1,0 +1,184 @@
+#include "src/dtree/validate.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace pvcdb {
+
+namespace {
+
+class Validator {
+ public:
+  Validator(const DTree& tree, const VariableTable& variables)
+      : tree_(tree), variables_(variables) {}
+
+  ValidationResult Run() {
+    if (tree_.size() == 0) {
+      return Error("empty d-tree");
+    }
+    Visit(tree_.root());
+    return result_;
+  }
+
+ private:
+  ValidationResult Error(const std::string& message) {
+    result_.valid = false;
+    if (result_.error.empty()) result_.error = message;
+    return result_;
+  }
+
+  // Sorted distinct variables below a node (memoised).
+  const std::vector<VarId>& VarsBelow(DTree::NodeId id) {
+    auto it = vars_.find(id);
+    if (it != vars_.end()) return it->second;
+    const DTreeNode& n = tree_.node(id);
+    std::vector<VarId> vars;
+    switch (n.kind) {
+      case DTreeNodeKind::kLeafVar:
+        vars = {n.var};
+        break;
+      case DTreeNodeKind::kLeafConst:
+        break;
+      case DTreeNodeKind::kMutex: {
+        vars = {n.var};
+        for (DTree::NodeId c : n.children) {
+          const std::vector<VarId>& cv = VarsBelow(c);
+          std::vector<VarId> merged;
+          std::set_union(vars.begin(), vars.end(), cv.begin(), cv.end(),
+                         std::back_inserter(merged));
+          vars = std::move(merged);
+        }
+        break;
+      }
+      default: {
+        for (DTree::NodeId c : n.children) {
+          const std::vector<VarId>& cv = VarsBelow(c);
+          std::vector<VarId> merged;
+          std::set_union(vars.begin(), vars.end(), cv.begin(), cv.end(),
+                         std::back_inserter(merged));
+          vars = std::move(merged);
+        }
+        break;
+      }
+    }
+    return vars_.emplace(id, std::move(vars)).first->second;
+  }
+
+  void Visit(DTree::NodeId id) {
+    if (!result_.valid) return;
+    if (visited_.count(id) > 0) return;
+    visited_.insert(id);
+    const DTreeNode& n = tree_.node(id);
+    switch (n.kind) {
+      case DTreeNodeKind::kLeafVar:
+      case DTreeNodeKind::kLeafConst:
+        if (!n.children.empty()) {
+          Error("leaf node with children");
+        }
+        return;
+      case DTreeNodeKind::kOplus:
+      case DTreeNodeKind::kOdot:
+      case DTreeNodeKind::kOtimes:
+      case DTreeNodeKind::kCmp: {
+        if (n.children.size() < 2 && n.kind != DTreeNodeKind::kOplus) {
+          // (+) may legitimately have >= 1 child after component grouping;
+          // the binary node kinds need both sides.
+          if (n.children.size() < 2) {
+            Error("decomposition node with fewer than two children");
+            return;
+          }
+        }
+        // Independence: pairwise variable-disjoint children.
+        std::vector<VarId> seen;
+        for (DTree::NodeId c : n.children) {
+          const std::vector<VarId>& cv = VarsBelow(c);
+          std::vector<VarId> overlap;
+          std::set_intersection(seen.begin(), seen.end(), cv.begin(),
+                                cv.end(), std::back_inserter(overlap));
+          if (!overlap.empty()) {
+            std::ostringstream out;
+            out << "children of decomposition node " << id
+                << " share variable x" << overlap.front();
+            Error(out.str());
+            return;
+          }
+          std::vector<VarId> merged;
+          std::set_union(seen.begin(), seen.end(), cv.begin(), cv.end(),
+                         std::back_inserter(merged));
+          seen = std::move(merged);
+        }
+        // Monoid consistency for monoid-sorted (+) nodes.
+        if (n.kind == DTreeNodeKind::kOplus &&
+            n.sort == ExprSort::kMonoid) {
+          for (DTree::NodeId c : n.children) {
+            const DTreeNode& cn = tree_.node(c);
+            if (cn.sort == ExprSort::kMonoid && cn.agg != n.agg) {
+              Error("monoid mismatch under (+) node");
+              return;
+            }
+          }
+        }
+        if (n.kind == DTreeNodeKind::kOtimes) {
+          if (tree_.node(n.children[0]).sort != ExprSort::kSemiring ||
+              tree_.node(n.children[1]).sort != ExprSort::kMonoid) {
+            Error("(x) node requires a semiring left child and a monoid "
+                  "right child");
+            return;
+          }
+        }
+        if (n.kind == DTreeNodeKind::kCmp) {
+          if (tree_.node(n.children[0]).sort !=
+              tree_.node(n.children[1]).sort) {
+            Error("[theta] node children have different sorts");
+            return;
+          }
+        }
+        break;
+      }
+      case DTreeNodeKind::kMutex: {
+        if (n.children.size() != n.branch_values.size()) {
+          Error("mutex node branch/value count mismatch");
+          return;
+        }
+        const Distribution& px = variables_.DistributionOf(n.var);
+        if (n.children.size() != px.size()) {
+          Error("mutex node does not cover the variable's support");
+          return;
+        }
+        for (size_t i = 0; i < n.branch_values.size(); ++i) {
+          if (px.ProbOf(n.branch_values[i]) <= 0.0) {
+            Error("mutex branch for zero-probability value");
+            return;
+          }
+          // The substituted variable must not occur below the branch.
+          const std::vector<VarId>& cv = VarsBelow(n.children[i]);
+          if (std::binary_search(cv.begin(), cv.end(), n.var)) {
+            Error("mutex variable still occurs in a branch");
+            return;
+          }
+        }
+        break;
+      }
+    }
+    for (DTree::NodeId c : n.children) Visit(c);
+  }
+
+  const DTree& tree_;
+  const VariableTable& variables_;
+  ValidationResult result_;
+  std::unordered_map<DTree::NodeId, std::vector<VarId>> vars_;
+  std::set<DTree::NodeId> visited_;
+};
+
+}  // namespace
+
+ValidationResult ValidateDTree(const DTree& tree,
+                               const VariableTable& variables) {
+  Validator validator(tree, variables);
+  return validator.Run();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,39 @@
+// Structural validation of compiled d-trees.
+//
+// Definition 7 imposes structural invariants that Algorithm 1 must
+// establish: children of (+), (.), (x) and [theta] nodes represent
+// *independent* (variable-disjoint) expressions, mutex nodes carry one
+// branch per non-zero-probability value of their variable, and sorts/
+// monoids are consistent. This validator re-checks those invariants on a
+// compiled tree; it is used by the property tests and available to users
+// debugging custom compilation pipelines.
+
+#ifndef PVCDB_DTREE_VALIDATE_H_
+#define PVCDB_DTREE_VALIDATE_H_
+
+#include <string>
+
+#include "src/dtree/dtree.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Outcome of validation.
+struct ValidationResult {
+  bool valid = true;
+  std::string error;  ///< First violated invariant, for diagnostics.
+};
+
+/// Checks Definition 7's structural invariants on `tree`:
+///  - decomposition nodes have variable-disjoint children,
+///  - mutex nodes enumerate exactly the support of their variable,
+///  - monoid-sorted inner nodes agree with their children's monoids,
+///  - comparison nodes have same-sorted children,
+///  - children indices are acyclic (enforced by construction) and reachable
+///    sorts match the node kinds.
+ValidationResult ValidateDTree(const DTree& tree,
+                               const VariableTable& variables);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_DTREE_VALIDATE_H_

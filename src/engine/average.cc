@@ -1,0 +1,42 @@
+#include "src/engine/average.h"
+
+#include "src/dtree/joint.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+AverageDistribution ComputeAverageDistribution(
+    ExprPool* pool, const VariableTable& variables, ExprId sum_expr,
+    ExprId count_expr, CompileOptions options) {
+  PVC_CHECK(pool != nullptr);
+  PVC_CHECK_MSG(pool->node(sum_expr).sort == ExprSort::kMonoid,
+                "sum_expr must be a semimodule expression");
+  PVC_CHECK_MSG(pool->node(count_expr).sort == ExprSort::kMonoid,
+                "count_expr must be a semimodule expression");
+  JointDistribution joint = ComputeJointDistribution(
+      pool, variables, {sum_expr, count_expr}, options);
+  double present_mass = 0.0;
+  AverageDistribution averages;
+  for (const auto& [tuple, p] : joint) {
+    int64_t sum = tuple[0];
+    int64_t count = tuple[1];
+    if (count <= 0) continue;
+    present_mass += p;
+    averages[static_cast<double>(sum) / static_cast<double>(count)] += p;
+  }
+  if (present_mass <= 0.0) return {};
+  for (auto& [avg, p] : averages) p /= present_mass;
+  return averages;
+}
+
+double ExpectedAverage(ExprPool* pool, const VariableTable& variables,
+                       ExprId sum_expr, ExprId count_expr,
+                       CompileOptions options) {
+  AverageDistribution d = ComputeAverageDistribution(
+      pool, variables, sum_expr, count_expr, options);
+  double mean = 0.0;
+  for (const auto& [avg, p] : d) mean += avg * p;
+  return mean;
+}
+
+}  // namespace pvcdb

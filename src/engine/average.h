@@ -1,0 +1,41 @@
+// AVG aggregation by composition of SUM and COUNT.
+//
+// The paper (Section 2.2) notes that more complicated aggregations such as
+// AVG "can conceptually be composed from simpler ones (e.g., SUM and
+// COUNT)" while leaving the treatment out of scope. This module provides
+// that composition: the exact distribution of SUM/COUNT is derived from
+// the *joint* distribution of the two semimodule expressions (they share
+// variables, so marginals do not suffice), conditioned on a non-empty
+// group (COUNT > 0).
+
+#ifndef PVCDB_ENGINE_AVERAGE_H_
+#define PVCDB_ENGINE_AVERAGE_H_
+
+#include <map>
+
+#include "src/dtree/compile.h"
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Distribution over average values (rationals, represented as doubles),
+/// conditioned on the group being non-empty; the map is empty when
+/// P[count > 0] = 0.
+using AverageDistribution = std::map<double, double>;
+
+/// Exact P[SUM/COUNT = a | COUNT > 0] from the joint distribution of the
+/// `sum_expr` (a SUM semimodule expression) and `count_expr` (a COUNT
+/// semimodule expression over the same tuples).
+AverageDistribution ComputeAverageDistribution(
+    ExprPool* pool, const VariableTable& variables, ExprId sum_expr,
+    ExprId count_expr, CompileOptions options = CompileOptions());
+
+/// Expected average E[SUM/COUNT | COUNT > 0]; 0 when always empty.
+double ExpectedAverage(ExprPool* pool, const VariableTable& variables,
+                       ExprId sum_expr, ExprId count_expr,
+                       CompileOptions options = CompileOptions());
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_AVERAGE_H_

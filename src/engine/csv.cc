@@ -1,0 +1,219 @@
+#include "src/engine/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Splits one CSV line honouring double-quoted fields.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF input.
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+bool ParseColumnSpec(const std::string& spec, Column* out,
+                     std::string* error) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    *error = "column '" + spec + "' is missing its ':type' suffix";
+    return false;
+  }
+  out->name = spec.substr(0, colon);
+  std::string type = spec.substr(colon + 1);
+  if (type == "int") {
+    out->type = CellType::kInt;
+  } else if (type == "double") {
+    out->type = CellType::kDouble;
+  } else if (type == "string") {
+    out->type = CellType::kString;
+  } else {
+    *error = "unknown column type '" + type + "'";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+CsvResult LoadCsvTable(Database* db, const std::string& table_name,
+                       std::istream& input) {
+  CsvResult result;
+  std::string line;
+  if (!std::getline(input, line)) {
+    result.error = "empty input";
+    return result;
+  }
+  std::vector<std::string> header = SplitCsvLine(line);
+  bool has_prob = !header.empty() && header.back() == "_prob";
+  size_t num_columns = header.size() - (has_prob ? 1 : 0);
+  if (num_columns == 0) {
+    result.error = "header declares no data columns";
+    return result;
+  }
+  std::vector<Column> columns;
+  for (size_t i = 0; i < num_columns; ++i) {
+    Column col;
+    if (!ParseColumnSpec(header[i], &col, &result.error)) return result;
+    columns.push_back(col);
+  }
+
+  std::vector<std::vector<Cell>> rows;
+  std::vector<double> probs;
+  size_t line_number = 1;
+  while (std::getline(input, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      std::ostringstream out;
+      out << "line " << line_number << ": expected " << header.size()
+          << " fields, got " << fields.size();
+      result.error = out.str();
+      return result;
+    }
+    std::vector<Cell> cells;
+    for (size_t i = 0; i < num_columns; ++i) {
+      try {
+        switch (columns[i].type) {
+          case CellType::kInt:
+            cells.push_back(Cell(static_cast<int64_t>(std::stoll(fields[i]))));
+            break;
+          case CellType::kDouble:
+            cells.push_back(Cell(std::stod(fields[i])));
+            break;
+          case CellType::kString:
+            cells.push_back(Cell(fields[i]));
+            break;
+          default:
+            result.error = "unsupported column type";
+            return result;
+        }
+      } catch (const std::exception&) {
+        std::ostringstream out;
+        out << "line " << line_number << ": cannot parse '" << fields[i]
+            << "' for column " << columns[i].name;
+        result.error = out.str();
+        return result;
+      }
+    }
+    double p = 1.0;
+    if (has_prob) {
+      try {
+        p = std::stod(fields.back());
+      } catch (const std::exception&) {
+        std::ostringstream out;
+        out << "line " << line_number << ": bad probability '"
+            << fields.back() << "'";
+        result.error = out.str();
+        return result;
+      }
+      if (p < 0.0 || p > 1.0) {
+        std::ostringstream out;
+        out << "line " << line_number << ": probability " << p
+            << " out of [0, 1]";
+        result.error = out.str();
+        return result;
+      }
+    }
+    rows.push_back(std::move(cells));
+    probs.push_back(p);
+  }
+  result.rows = rows.size();
+  db->AddTupleIndependentTable(table_name, Schema(std::move(columns)),
+                               std::move(rows), std::move(probs));
+  result.ok = true;
+  return result;
+}
+
+CsvResult LoadCsvTableFromFile(Database* db, const std::string& table_name,
+                               const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    CsvResult result;
+    result.error = "cannot open file '" + path + "'";
+    return result;
+  }
+  return LoadCsvTable(db, table_name, file);
+}
+
+bool WriteCsvTable(const Database& db, const PvcTable& table,
+                   std::ostream& output) {
+  for (const Column& c : table.schema().columns()) {
+    if (c.type == CellType::kAggExpr) return false;
+  }
+  bool first = true;
+  for (const Column& c : table.schema().columns()) {
+    if (!first) output << ",";
+    first = false;
+    output << c.name << ":";
+    switch (c.type) {
+      case CellType::kInt:
+        output << "int";
+        break;
+      case CellType::kDouble:
+        output << "double";
+        break;
+      case CellType::kString:
+        output << "string";
+        break;
+      default:
+        output << "string";
+        break;
+    }
+  }
+  output << ",_prob\n";
+  for (const Row& r : table.rows()) {
+    // Exact per-tuple probability via the d-tree pipeline. The const_cast
+    // is confined to the expression pool, which grows monotonically.
+    Database& mutable_db = const_cast<Database&>(db);
+    for (size_t i = 0; i < r.cells.size(); ++i) {
+      if (i > 0) output << ",";
+      const Cell& c = r.cells[i];
+      if (c.type() == CellType::kString &&
+          c.AsString().find(',') != std::string::npos) {
+        output << '"' << c.AsString() << '"';
+      } else {
+        output << c.ToString();
+      }
+    }
+    output << "," << mutable_db.TupleProbability(r) << "\n";
+  }
+  return true;
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,111 @@
+#include "src/engine/database.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+Database::Database(SemiringKind semiring) : pool_(semiring) {}
+
+void Database::AddTable(const std::string& name, PvcTable table) {
+  tables_[name] = std::move(table);
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+const PvcTable& Database::table(const std::string& name) const {
+  auto it = tables_.find(name);
+  PVC_CHECK_MSG(it != tables_.end(), "no table named '" << name << "'");
+  return it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+void Database::AddTupleIndependentTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, std::vector<double> probabilities) {
+  PVC_CHECK_MSG(rows.size() == probabilities.size(),
+                "one probability per row required");
+  PvcTable table{std::move(schema)};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    VarId x = variables_.AddBernoulli(probabilities[i],
+                                      name + "#" + std::to_string(i));
+    table.AddRow(std::move(rows[i]), pool_.Var(x));
+  }
+  AddTable(name, std::move(table));
+}
+
+PvcTable Database::Run(const Query& q) {
+  QueryEvaluator evaluator(
+      &pool_, [this](const std::string& name) -> const PvcTable& {
+        return table(name);
+      },
+      EvalMode::kProbabilistic);
+  return evaluator.Eval(q);
+}
+
+PvcTable Database::RunDeterministic(const Query& q) {
+  QueryEvaluator evaluator(
+      &pool_, [this](const std::string& name) -> const PvcTable& {
+        return table(name);
+      },
+      EvalMode::kDeterministic);
+  return evaluator.Eval(q);
+}
+
+Distribution Database::DistributionOfExpr(ExprId e) {
+  DTree tree = CompileToDTree(&pool_, &variables_, e, compile_options_);
+  return ComputeDistribution(tree, variables_, pool_.semiring());
+}
+
+double Database::TupleProbability(const Row& row) {
+  Distribution d = DistributionOfExpr(row.annotation);
+  return std::max(0.0, d.TotalMass() - d.ProbOf(0));
+}
+
+Distribution Database::AnnotationDistribution(const Row& row) {
+  return DistributionOfExpr(row.annotation);
+}
+
+Distribution Database::AggregateDistribution(const PvcTable& table,
+                                             size_t row_index,
+                                             const std::string& column) {
+  const Cell& cell = table.CellAt(row_index, column);
+  PVC_CHECK_MSG(cell.type() == CellType::kAggExpr,
+                "'" << column << "' is not an aggregation column");
+  return DistributionOfExpr(cell.AsAgg());
+}
+
+Distribution Database::ConditionalAggregateDistribution(
+    const PvcTable& table, size_t row_index, const std::string& column) {
+  const Cell& cell = table.CellAt(row_index, column);
+  PVC_CHECK_MSG(cell.type() == CellType::kAggExpr,
+                "'" << column << "' is not an aggregation column");
+  return pvcdb::ConditionalAggregateDistribution(
+      &pool_, variables_, cell.AsAgg(), table.row(row_index).annotation,
+      compile_options_);
+}
+
+JointDistribution Database::RowJointDistribution(const PvcTable& table,
+                                                 size_t row_index) {
+  const Row& row = table.row(row_index);
+  std::vector<ExprId> exprs;
+  for (size_t i = 0; i < table.schema().NumColumns(); ++i) {
+    if (table.schema().column(i).type == CellType::kAggExpr) {
+      exprs.push_back(row.cells[i].AsAgg());
+    }
+  }
+  exprs.push_back(row.annotation);
+  return ComputeJointDistribution(&pool_, variables_, exprs,
+                                  compile_options_);
+}
+
+}  // namespace pvcdb

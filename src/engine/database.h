@@ -1,0 +1,106 @@
+// The pvcdb engine facade: a database of named pvc-tables over one shared
+// probability space, evaluating Q queries in the paper's two logical steps:
+//   step I  (Section 4): [[.]] computes result tuples with semiring
+//                        annotations and semimodule values;
+//   step II (Section 5): probabilities via d-tree compilation.
+// The Q0 / [[.]] / P(.) split of Experiment F maps to RunDeterministic(),
+// Run(), and the probability methods respectively.
+
+#ifndef PVCDB_ENGINE_DATABASE_H_
+#define PVCDB_ENGINE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/joint.h"
+#include "src/dtree/probability.h"
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+#include "src/query/ast.h"
+#include "src/query/eval.h"
+#include "src/table/pvc_table.h"
+
+namespace pvcdb {
+
+/// A probabilistic database: named pvc-tables + the variable table X + the
+/// expression pool, plus query evaluation and probability computation.
+class Database {
+ public:
+  explicit Database(SemiringKind semiring = SemiringKind::kBool);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  ExprPool& pool() { return pool_; }
+  const ExprPool& pool() const { return pool_; }
+  VariableTable& variables() { return variables_; }
+  const VariableTable& variables() const { return variables_; }
+  const Semiring& semiring() const { return pool_.semiring(); }
+
+  /// D-tree compilation knobs used by the probability methods.
+  CompileOptions& compile_options() { return compile_options_; }
+
+  // -- Catalog ------------------------------------------------------------
+
+  /// Registers `table` under `name` (replacing any previous table).
+  void AddTable(const std::string& name, PvcTable table);
+
+  bool HasTable(const std::string& name) const;
+  const PvcTable& table(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Builds and registers a tuple-independent table: one fresh Bernoulli
+  /// variable per row. `rows[i]` are the data cells, `probabilities[i]` is
+  /// P[tuple i present].
+  void AddTupleIndependentTable(const std::string& name, Schema schema,
+                                std::vector<std::vector<Cell>> rows,
+                                std::vector<double> probabilities);
+
+  // -- Step I: computing result tuples ------------------------------------
+
+  /// Evaluates `q` with the [[.]] rewriting (Figure 4).
+  PvcTable Run(const Query& q);
+
+  /// Evaluates `q` on the deterministic database (the Q0 baseline): every
+  /// tuple present, aggregates folded to constants.
+  PvcTable RunDeterministic(const Query& q);
+
+  // -- Step II: probability computation ------------------------------------
+
+  /// P[Phi != 0_S] for the row's annotation: the probability that the tuple
+  /// appears in a randomly drawn world.
+  double TupleProbability(const Row& row);
+
+  /// Distribution of the row's annotation (multiplicities under bag
+  /// semantics; {0,1} under the Boolean semiring).
+  Distribution AnnotationDistribution(const Row& row);
+
+  /// Distribution of the semimodule value in `column` (unconditioned).
+  Distribution AggregateDistribution(const PvcTable& table, size_t row_index,
+                                     const std::string& column);
+
+  /// Distribution of the aggregate conditioned on the tuple being present:
+  /// P[alpha = v | Phi != 0_S].
+  Distribution ConditionalAggregateDistribution(const PvcTable& table,
+                                                size_t row_index,
+                                                const std::string& column);
+
+  /// Joint distribution of all aggregation columns and the annotation of
+  /// one result row (annotation last).
+  JointDistribution RowJointDistribution(const PvcTable& table,
+                                         size_t row_index);
+
+ private:
+  Distribution DistributionOfExpr(ExprId e);
+
+  ExprPool pool_;
+  VariableTable variables_;
+  std::map<std::string, PvcTable> tables_;
+  CompileOptions compile_options_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_DATABASE_H_

@@ -1,0 +1,65 @@
+#include "src/engine/sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dtree/joint.h"
+#include "src/dtree/probability.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+double NonZeroProbability(ExprPool* pool, const VariableTable& variables,
+                          ExprId e, const CompileOptions& options) {
+  DTree tree = CompileToDTree(pool, &variables, e, options);
+  return ProbabilityNonZero(tree, variables, pool->semiring());
+}
+
+}  // namespace
+
+std::vector<VariableInfluence> SensitivityAnalysis(
+    ExprPool* pool, const VariableTable& variables, ExprId e,
+    CompileOptions options) {
+  PVC_CHECK(pool != nullptr);
+  PVC_CHECK_MSG(pool->node(e).sort == ExprSort::kSemiring,
+                "sensitivity analysis applies to annotations (semiring "
+                "expressions)");
+  std::vector<VariableInfluence> result;
+  for (VarId x : pool->VarsOf(e)) {
+    ExprId with = pool->Substitute(e, x, pool->semiring().One());
+    ExprId without = pool->Substitute(e, x, pool->semiring().Zero());
+    double p_with = NonZeroProbability(pool, variables, with, options);
+    double p_without = NonZeroProbability(pool, variables, without, options);
+    result.push_back({x, p_with - p_without});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const VariableInfluence& a, const VariableInfluence& b) {
+              if (std::abs(a.influence) != std::abs(b.influence)) {
+                return std::abs(a.influence) > std::abs(b.influence);
+              }
+              return a.variable < b.variable;
+            });
+  return result;
+}
+
+double ConditionalTupleProbability(ExprPool* pool,
+                                   const VariableTable& variables, ExprId phi,
+                                   ExprId gamma, CompileOptions options) {
+  PVC_CHECK(pool != nullptr);
+  JointDistribution joint =
+      ComputeJointDistribution(pool, variables, {phi, gamma}, options);
+  double p_gamma = 0.0;
+  double p_both = 0.0;
+  for (const auto& [tuple, p] : joint) {
+    if (tuple[1] != 0) {
+      p_gamma += p;
+      if (tuple[0] != 0) p_both += p;
+    }
+  }
+  if (p_gamma <= 0.0) return 0.0;
+  return p_both / p_gamma;
+}
+
+}  // namespace pvcdb

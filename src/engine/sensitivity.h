@@ -1,0 +1,54 @@
+// Sensitivity analysis and conditioning on d-tree-compiled expressions.
+//
+// The paper points out (Section 1) that decomposition trees benefit more
+// complex tasks beyond confidence computation: conditioning probabilistic
+// databases on constraints (Koch & Olteanu [14]) and sensitivity analysis /
+// explanation of query results (Kanagal, Li & Deshpande [11]). Both follow
+// directly from the mutex decomposition (Eq. 10):
+//
+//   P[Phi != 0] = Sum_s P_x[s] * P[Phi|x<-s != 0]
+//
+// so the partial derivative of a tuple's probability with respect to one
+// input-tuple probability p_x (Boolean x) is
+//
+//   d P / d p_x = P[Phi|x<-1 != 0] - P[Phi|x<-0 != 0],
+//
+// the classic influence / Banzhaf value of x on Phi; and conditioning on a
+// constraint Gamma is P[Phi != 0 | Gamma != 0] via the joint distribution.
+
+#ifndef PVCDB_ENGINE_SENSITIVITY_H_
+#define PVCDB_ENGINE_SENSITIVITY_H_
+
+#include <vector>
+
+#include "src/dtree/compile.h"
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Influence of one variable on P[e != 0].
+struct VariableInfluence {
+  VarId variable;
+  /// dP/dp_x = P[e|x<-1 != 0] - P[e|x<-0 != 0] (for Boolean x).
+  double influence;
+};
+
+/// Computes the influence of every variable occurring in `e` (which must be
+/// semiring-sorted over Boolean variables), sorted by decreasing absolute
+/// influence -- the "explanation" ranking of [11].
+std::vector<VariableInfluence> SensitivityAnalysis(
+    ExprPool* pool, const VariableTable& variables, ExprId e,
+    CompileOptions options = CompileOptions());
+
+/// P[phi != 0 | gamma != 0]: the probability of a tuple (annotation `phi`)
+/// conditioned on a constraint `gamma` holding, as in conditioning
+/// probabilistic databases [14]. Returns 0 when P[gamma != 0] = 0.
+double ConditionalTupleProbability(ExprPool* pool,
+                                   const VariableTable& variables, ExprId phi,
+                                   ExprId gamma,
+                                   CompileOptions options = CompileOptions());
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_SENSITIVITY_H_

@@ -1,0 +1,82 @@
+#include "src/expr/eval.h"
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+class Evaluator {
+ public:
+  Evaluator(const ExprPool& pool, const Valuation& nu)
+      : pool_(pool), nu_(nu) {}
+
+  int64_t Eval(ExprId e) {
+    auto it = memo_.find(e);
+    if (it != memo_.end()) return it->second;
+    const ExprNode& n = pool_.node(e);
+    const Semiring& semiring = pool_.semiring();
+    int64_t result = 0;
+    switch (n.kind) {
+      case ExprKind::kVar:
+        result = semiring.Canonical(nu_(n.var()));
+        break;
+      case ExprKind::kConstS:
+      case ExprKind::kConstM:
+        result = n.value;
+        break;
+      case ExprKind::kAddS: {
+        result = semiring.Zero();
+        for (ExprId c : n.children) result = semiring.Plus(result, Eval(c));
+        break;
+      }
+      case ExprKind::kMulS: {
+        result = semiring.One();
+        for (ExprId c : n.children) result = semiring.Times(result, Eval(c));
+        break;
+      }
+      case ExprKind::kAddM: {
+        Monoid monoid(n.agg);
+        result = monoid.Neutral();
+        for (ExprId c : n.children) result = monoid.Plus(result, Eval(c));
+        break;
+      }
+      case ExprKind::kTensor: {
+        Monoid monoid(n.agg);
+        result = monoid.Tensor(semiring, Eval(n.children[0]),
+                               Eval(n.children[1]));
+        break;
+      }
+      case ExprKind::kCmp: {
+        bool holds = EvalCmp(n.cmp, Eval(n.children[0]), Eval(n.children[1]));
+        result = holds ? semiring.One() : semiring.Zero();
+        break;
+      }
+    }
+    memo_.emplace(e, result);
+    return result;
+  }
+
+ private:
+  const ExprPool& pool_;
+  const Valuation& nu_;
+  std::unordered_map<ExprId, int64_t> memo_;
+};
+
+}  // namespace
+
+int64_t EvalExpr(const ExprPool& pool, ExprId e, const Valuation& nu) {
+  Evaluator evaluator(pool, nu);
+  return evaluator.Eval(e);
+}
+
+int64_t EvalExpr(const ExprPool& pool, ExprId e,
+                 const std::unordered_map<VarId, int64_t>& nu) {
+  return EvalExpr(pool, e, [&nu](VarId x) {
+    auto it = nu.find(x);
+    PVC_CHECK_MSG(it != nu.end(), "valuation missing variable " << x);
+    return it->second;
+  });
+}
+
+}  // namespace pvcdb

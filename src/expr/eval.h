@@ -1,0 +1,33 @@
+// Evaluation of expressions under a valuation nu : X -> S.
+//
+// This implements the semiring / monoid homomorphisms of Section 3: a
+// mapping of the variables extends uniquely to a homomorphism evaluating
+// semiring expressions into S and semimodule expressions into M, with
+// conditional expressions evaluating to 0_S / 1_S (Eq. 2).
+
+#ifndef PVCDB_EXPR_EVAL_H_
+#define PVCDB_EXPR_EVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/expr/expr.h"
+
+namespace pvcdb {
+
+/// A total valuation of variables into semiring values.
+using Valuation = std::function<int64_t(VarId)>;
+
+/// Evaluates `e` under `nu`. Semiring-sorted expressions evaluate to S
+/// values, monoid-sorted expressions to M values.
+int64_t EvalExpr(const ExprPool& pool, ExprId e, const Valuation& nu);
+
+/// Convenience overload for map-backed valuations; missing variables are an
+/// error (checked).
+int64_t EvalExpr(const ExprPool& pool, ExprId e,
+                 const std::unordered_map<VarId, int64_t>& nu);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_EXPR_EVAL_H_

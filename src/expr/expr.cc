@@ -1,0 +1,394 @@
+#include "src/expr/expr.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Distinct salts per node kind keep hashes of different kinds apart.
+uint64_t KindSalt(ExprKind kind) {
+  return 0x517cc1b727220a95ULL * (static_cast<uint64_t>(kind) + 1);
+}
+
+}  // namespace
+
+ExprPool::ExprPool(SemiringKind kind) : semiring_(kind) {}
+
+const ExprNode& ExprPool::node(ExprId id) const {
+  PVC_CHECK_MSG(id < nodes_.size(), "invalid expression id " << id);
+  return nodes_[id];
+}
+
+bool ExprPool::IsConst(ExprId id) const {
+  ExprKind k = node(id).kind;
+  return k == ExprKind::kConstS || k == ExprKind::kConstM;
+}
+
+uint64_t ExprPool::NodeHash(const ExprNode& n) const {
+  uint64_t h = KindSalt(n.kind);
+  h = HashCombine(h, static_cast<uint64_t>(n.sort));
+  h = HashCombine(h, static_cast<uint64_t>(n.agg));
+  h = HashCombine(h, static_cast<uint64_t>(n.cmp));
+  h = HashCombine(h, std::hash<int64_t>()(n.value));
+  for (ExprId c : n.children) h = HashCombine(h, c);
+  return h;
+}
+
+bool ExprPool::NodeEquals(const ExprNode& a, const ExprNode& b) const {
+  return a.kind == b.kind && a.sort == b.sort && a.agg == b.agg &&
+         a.cmp == b.cmp && a.value == b.value && a.children == b.children;
+}
+
+ExprId ExprPool::Intern(ExprNode n) {
+  n.hash = NodeHash(n);
+  auto& bucket = intern_table_[n.hash];
+  for (ExprId id : bucket) {
+    if (NodeEquals(nodes_[id], n)) return id;
+  }
+  // Compute the variable set once, on interning.
+  switch (n.kind) {
+    case ExprKind::kVar:
+      n.vars = {n.var()};
+      break;
+    case ExprKind::kConstS:
+    case ExprKind::kConstM:
+      break;
+    default: {
+      n.vars = MergeVars(n.children, nodes_);
+      break;
+    }
+  }
+  ExprId id = static_cast<ExprId>(nodes_.size());
+  nodes_.push_back(std::move(n));
+  bucket.push_back(id);
+  return id;
+}
+
+std::vector<VarId> ExprPool::MergeVars(const std::vector<ExprId>& children,
+                                       const std::vector<ExprNode>& nodes) {
+  std::vector<VarId> merged;
+  for (ExprId c : children) {
+    const std::vector<VarId>& cv = nodes[c].vars;
+    std::vector<VarId> tmp;
+    tmp.reserve(merged.size() + cv.size());
+    std::set_union(merged.begin(), merged.end(), cv.begin(), cv.end(),
+                   std::back_inserter(tmp));
+    merged = std::move(tmp);
+  }
+  return merged;
+}
+
+ExprId ExprPool::Var(VarId x) {
+  ExprNode n;
+  n.kind = ExprKind::kVar;
+  n.sort = ExprSort::kSemiring;
+  n.value = static_cast<int64_t>(x);
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::ConstS(int64_t s) {
+  ExprNode n;
+  n.kind = ExprKind::kConstS;
+  n.sort = ExprSort::kSemiring;
+  n.value = semiring_.Canonical(s);
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::AddS(std::vector<ExprId> terms) {
+  // Flatten nested sums.
+  std::vector<ExprId> flat;
+  flat.reserve(terms.size());
+  for (ExprId t : terms) {
+    const ExprNode& tn = node(t);
+    PVC_CHECK_MSG(tn.sort == ExprSort::kSemiring,
+                  "AddS requires semiring-sorted terms");
+    if (tn.kind == ExprKind::kAddS) {
+      flat.insert(flat.end(), tn.children.begin(), tn.children.end());
+    } else {
+      flat.push_back(t);
+    }
+  }
+  // Fold constants; keep non-constants.
+  int64_t const_sum = semiring_.Zero();
+  std::vector<ExprId> rest;
+  rest.reserve(flat.size());
+  for (ExprId t : flat) {
+    const ExprNode& tn = node(t);
+    if (tn.kind == ExprKind::kConstS) {
+      const_sum = semiring_.Plus(const_sum, tn.value);
+    } else {
+      rest.push_back(t);
+    }
+  }
+  // Boolean absorption: 1 + Phi = 1.
+  if (semiring_.kind() == SemiringKind::kBool && const_sum != 0) {
+    return ConstS(1);
+  }
+  std::sort(rest.begin(), rest.end());
+  if (semiring_.kind() == SemiringKind::kBool) {
+    // Idempotence of OR in PosBool(X): x + x = x.
+    rest.erase(std::unique(rest.begin(), rest.end()), rest.end());
+  }
+  if (const_sum != semiring_.Zero()) {
+    rest.push_back(ConstS(const_sum));
+    std::sort(rest.begin(), rest.end());
+  }
+  if (rest.empty()) return ConstS(semiring_.Zero());
+  if (rest.size() == 1) return rest.front();
+  ExprNode n;
+  n.kind = ExprKind::kAddS;
+  n.sort = ExprSort::kSemiring;
+  n.children = std::move(rest);
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::MulS(std::vector<ExprId> factors) {
+  std::vector<ExprId> flat;
+  flat.reserve(factors.size());
+  for (ExprId f : factors) {
+    const ExprNode& fn = node(f);
+    PVC_CHECK_MSG(fn.sort == ExprSort::kSemiring,
+                  "MulS requires semiring-sorted factors");
+    if (fn.kind == ExprKind::kMulS) {
+      flat.insert(flat.end(), fn.children.begin(), fn.children.end());
+    } else {
+      flat.push_back(f);
+    }
+  }
+  int64_t const_prod = semiring_.One();
+  std::vector<ExprId> rest;
+  rest.reserve(flat.size());
+  for (ExprId f : flat) {
+    const ExprNode& fn = node(f);
+    if (fn.kind == ExprKind::kConstS) {
+      const_prod = semiring_.Times(const_prod, fn.value);
+    } else {
+      rest.push_back(f);
+    }
+  }
+  if (const_prod == semiring_.Zero()) return ConstS(semiring_.Zero());
+  std::sort(rest.begin(), rest.end());
+  if (semiring_.kind() == SemiringKind::kBool) {
+    // Idempotence of AND in PosBool(X): x * x = x.
+    rest.erase(std::unique(rest.begin(), rest.end()), rest.end());
+  }
+  if (const_prod != semiring_.One()) {
+    rest.push_back(ConstS(const_prod));
+    std::sort(rest.begin(), rest.end());
+  }
+  if (rest.empty()) return ConstS(semiring_.One());
+  if (rest.size() == 1) return rest.front();
+  ExprNode n;
+  n.kind = ExprKind::kMulS;
+  n.sort = ExprSort::kSemiring;
+  n.children = std::move(rest);
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::ConstM(AggKind agg, int64_t m) {
+  ExprNode n;
+  n.kind = ExprKind::kConstM;
+  n.sort = ExprSort::kMonoid;
+  n.agg = agg;
+  n.value = m;
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::Tensor(ExprId s_expr, ExprId m_expr) {
+  const ExprNode& sn = node(s_expr);
+  const ExprNode& mn = node(m_expr);
+  PVC_CHECK_MSG(sn.sort == ExprSort::kSemiring,
+                "Tensor left operand must be semiring-sorted");
+  PVC_CHECK_MSG(mn.sort == ExprSort::kMonoid,
+                "Tensor right operand must be monoid-sorted");
+  AggKind agg = mn.agg;
+  Monoid monoid(agg);
+  // s (x) 0_M = 0_M.
+  if (mn.kind == ExprKind::kConstM && mn.value == monoid.Neutral()) {
+    return m_expr;
+  }
+  if (sn.kind == ExprKind::kConstS) {
+    // 0_S (x) m = 0_M; 1_S (x) m = m.
+    if (sn.value == semiring_.Zero()) return ConstM(agg, monoid.Neutral());
+    if (sn.value == semiring_.One()) return m_expr;
+    if (mn.kind == ExprKind::kConstM) {
+      return ConstM(agg, monoid.Tensor(semiring_, sn.value, mn.value));
+    }
+  }
+  // (s1 (x) (s2 (x) m)) = (s1 * s2) (x) m.
+  if (mn.kind == ExprKind::kTensor) {
+    return Tensor(MulS(s_expr, mn.children[0]), mn.children[1]);
+  }
+  ExprNode n;
+  n.kind = ExprKind::kTensor;
+  n.sort = ExprSort::kMonoid;
+  n.agg = agg;
+  n.children = {s_expr, m_expr};
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::AddM(AggKind agg, std::vector<ExprId> terms) {
+  Monoid monoid(agg);
+  std::vector<ExprId> flat;
+  flat.reserve(terms.size());
+  for (ExprId t : terms) {
+    const ExprNode& tn = node(t);
+    PVC_CHECK_MSG(tn.sort == ExprSort::kMonoid,
+                  "AddM requires monoid-sorted terms");
+    PVC_CHECK_MSG(tn.agg == agg, "AddM requires terms of the same monoid, got "
+                                     << AggKindName(tn.agg) << " vs "
+                                     << AggKindName(agg));
+    if (tn.kind == ExprKind::kAddM) {
+      flat.insert(flat.end(), tn.children.begin(), tn.children.end());
+    } else {
+      flat.push_back(t);
+    }
+  }
+  int64_t const_sum = monoid.Neutral();
+  std::vector<ExprId> rest;
+  rest.reserve(flat.size());
+  for (ExprId t : flat) {
+    const ExprNode& tn = node(t);
+    if (tn.kind == ExprKind::kConstM) {
+      const_sum = monoid.Plus(const_sum, tn.value);
+    } else {
+      rest.push_back(t);
+    }
+  }
+  std::sort(rest.begin(), rest.end());
+  if (agg == AggKind::kMin || agg == AggKind::kMax) {
+    // Idempotence of min/max: alpha +_M alpha = alpha.
+    rest.erase(std::unique(rest.begin(), rest.end()), rest.end());
+  }
+  if (const_sum != monoid.Neutral()) {
+    rest.push_back(ConstM(agg, const_sum));
+    std::sort(rest.begin(), rest.end());
+  }
+  if (rest.empty()) return ConstM(agg, monoid.Neutral());
+  if (rest.size() == 1) return rest.front();
+  ExprNode n;
+  n.kind = ExprKind::kAddM;
+  n.sort = ExprSort::kMonoid;
+  n.agg = agg;
+  n.children = std::move(rest);
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::Cmp(CmpOp op, ExprId lhs, ExprId rhs) {
+  const ExprNode& ln = node(lhs);
+  const ExprNode& rn = node(rhs);
+  PVC_CHECK_MSG(ln.sort == rn.sort,
+                "Cmp requires operands of the same sort (both semiring or "
+                "both monoid)");
+  if ((ln.kind == ExprKind::kConstS && rn.kind == ExprKind::kConstS) ||
+      (ln.kind == ExprKind::kConstM && rn.kind == ExprKind::kConstM)) {
+    return ConstS(EvalCmp(op, ln.value, rn.value) ? semiring_.One()
+                                                  : semiring_.Zero());
+  }
+  ExprNode n;
+  n.kind = ExprKind::kCmp;
+  n.sort = ExprSort::kSemiring;
+  n.cmp = op;
+  n.children = {lhs, rhs};
+  return Intern(std::move(n));
+}
+
+ExprId ExprPool::Substitute(ExprId e, VarId x, int64_t s) {
+  const ExprNode& en = node(e);
+  if (!std::binary_search(en.vars.begin(), en.vars.end(), x)) return e;
+  // Local memo: within one call, (x, s) are fixed, so keying on the node id
+  // suffices. The pool grows during rewriting, so we capture ids up front.
+  std::unordered_map<ExprId, ExprId> memo;
+  // Recursive lambda via explicit stack-free recursion helper.
+  auto rec = [&](auto&& self, ExprId id) -> ExprId {
+    const ExprNode n = node(id);  // Copy: pool may reallocate on Intern.
+    if (!std::binary_search(n.vars.begin(), n.vars.end(), x)) return id;
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    ExprId result = kInvalidExpr;
+    switch (n.kind) {
+      case ExprKind::kVar:
+        result = ConstS(s);
+        break;
+      case ExprKind::kConstS:
+      case ExprKind::kConstM:
+        PVC_FAIL("constants contain no variables");
+      case ExprKind::kAddS:
+      case ExprKind::kMulS:
+      case ExprKind::kAddM: {
+        std::vector<ExprId> children;
+        children.reserve(n.children.size());
+        for (ExprId c : n.children) children.push_back(self(self, c));
+        if (n.kind == ExprKind::kAddS) {
+          result = AddS(std::move(children));
+        } else if (n.kind == ExprKind::kMulS) {
+          result = MulS(std::move(children));
+        } else {
+          result = AddM(n.agg, std::move(children));
+        }
+        break;
+      }
+      case ExprKind::kTensor:
+        result = Tensor(self(self, n.children[0]), self(self, n.children[1]));
+        break;
+      case ExprKind::kCmp:
+        result = Cmp(n.cmp, self(self, n.children[0]), self(self, n.children[1]));
+        break;
+    }
+    memo.emplace(id, result);
+    return result;
+  };
+  return rec(rec, e);
+}
+
+void ExprPool::CountVarOccurrences(
+    ExprId e, std::unordered_map<VarId, double>* counts) const {
+  // Topological pass with path counting: a node reached over k distinct
+  // paths contributes k occurrences per variable leaf, matching occurrence
+  // counts in the expanded expression tree.
+  std::vector<ExprId> order;  // Postorder: children precede parents.
+  std::unordered_map<ExprId, bool> visited;
+  auto dfs = [&](auto&& self, ExprId id) -> void {
+    bool& flag = visited[id];
+    if (flag) return;
+    flag = true;
+    for (ExprId c : node(id).children) self(self, c);
+    order.push_back(id);
+  };
+  dfs(dfs, e);
+  // Process in reverse (parents first) so parents distribute their path
+  // counts to children.
+  std::unordered_map<ExprId, double> paths;
+  paths[e] = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    ExprId id = *it;
+    double p = paths[id];
+    const ExprNode& n = node(id);
+    if (n.kind == ExprKind::kVar) {
+      (*counts)[n.var()] += p;
+    }
+    for (ExprId c : n.children) paths[c] += p;
+  }
+}
+
+size_t ExprPool::ReachableSize(ExprId e) const {
+  std::unordered_map<ExprId, bool> visited;
+  std::vector<ExprId> stack = {e};
+  size_t count = 0;
+  while (!stack.empty()) {
+    ExprId id = stack.back();
+    stack.pop_back();
+    if (visited[id]) continue;
+    visited[id] = true;
+    ++count;
+    for (ExprId c : node(id).children) stack.push_back(c);
+  }
+  return count;
+}
+
+}  // namespace pvcdb

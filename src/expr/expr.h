@@ -1,0 +1,179 @@
+// Semiring and semimodule expressions (the grammar of Figure 2).
+//
+// Expressions annotate tuples of pvc-tables and encode aggregation values:
+//
+//   Phi ::= x | Phi + Phi | Phi * Phi | [alpha theta alpha] |
+//           [Phi theta Phi] | s                     (semiring expressions K)
+//   alpha ::= Phi (x) m {+op Phi (x) m} | m         (semimodule expressions)
+//
+// Expressions are immutable nodes interned in an ExprPool (hash-consing):
+// structurally equal subexpressions share one id, which makes syntactic
+// independence tests, substitution (Eq. 10) and memoised compilation cheap.
+//
+// Smart constructors apply the semiring/semimodule laws of Definitions 3/4:
+// sums and products are flattened and canonically sorted (commutativity +
+// associativity, cf. Remark 2), neutral elements are dropped, annihilators
+// short-circuit, constants fold, and nested tensors merge via
+// (s1 * s2) (x) m = s1 (x) (s2 (x) m). Under the Boolean semiring the
+// idempotent laws x + x = x and x * x = x of PosBool(X) are applied too.
+
+#ifndef PVCDB_EXPR_EXPR_H_
+#define PVCDB_EXPR_EXPR_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/algebra/monoid.h"
+#include "src/algebra/semiring.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Identifier of an expression node within an ExprPool.
+using ExprId = uint32_t;
+
+/// Sentinel for "no expression".
+inline constexpr ExprId kInvalidExpr = static_cast<ExprId>(-1);
+
+/// Node kinds of the expression grammar (Figure 2).
+enum class ExprKind : uint8_t {
+  kVar,     ///< A random variable x in X (semiring-valued).
+  kConstS,  ///< A semiring constant s in S.
+  kAddS,    ///< n-ary semiring sum Phi_1 + ... + Phi_n.
+  kMulS,    ///< n-ary semiring product Phi_1 * ... * Phi_n.
+  kConstM,  ///< A monoid constant m in M (tagged with its AggKind).
+  kTensor,  ///< Phi (x) alpha -- semiring expression acting on a monoid one.
+  kAddM,    ///< n-ary monoid sum alpha_1 +op ... +op alpha_n.
+  kCmp,     ///< Conditional expression [lhs theta rhs]; evaluates into S.
+};
+
+/// Whether a node denotes a semiring value (K) or a monoid value (K (x) M).
+enum class ExprSort : uint8_t { kSemiring, kMonoid };
+
+/// One immutable expression node. Nodes are owned by an ExprPool and
+/// referred to by ExprId; `children` refer to nodes in the same pool.
+struct ExprNode {
+  ExprKind kind;
+  ExprSort sort;
+  AggKind agg = AggKind::kSum;  ///< Monoid of monoid-sorted nodes.
+  CmpOp cmp = CmpOp::kEq;       ///< Operator of kCmp nodes.
+  int64_t value = 0;            ///< Constant value, or VarId for kVar.
+  std::vector<ExprId> children;
+  std::vector<VarId> vars;  ///< Sorted distinct variables below this node.
+  uint64_t hash = 0;
+
+  /// The variable of a kVar node.
+  VarId var() const { return static_cast<VarId>(value); }
+
+  /// True when no random variable occurs below this node.
+  bool IsGround() const { return vars.empty(); }
+};
+
+/// Arena + hash-consing factory for expression DAGs.
+///
+/// The pool is parameterised by the target semiring S (SemiringKind),
+/// because constant folding must use S's operations: e.g. 1 + x folds to 1
+/// under B (absorption of OR by true) but not under N.
+class ExprPool {
+ public:
+  explicit ExprPool(SemiringKind kind = SemiringKind::kBool);
+
+  ExprPool(const ExprPool&) = delete;
+  ExprPool& operator=(const ExprPool&) = delete;
+
+  const Semiring& semiring() const { return semiring_; }
+
+  // -- Smart constructors -------------------------------------------------
+
+  /// The variable x as a semiring expression.
+  ExprId Var(VarId x);
+
+  /// Semiring constant s (canonicalised into the carrier).
+  ExprId ConstS(int64_t s);
+
+  /// Semiring sum of `terms` (flattens, sorts, folds constants; the empty
+  /// sum is 0_S). All terms must be semiring-sorted.
+  ExprId AddS(std::vector<ExprId> terms);
+
+  /// Binary convenience overload.
+  ExprId AddS(ExprId a, ExprId b) { return AddS(std::vector<ExprId>{a, b}); }
+
+  /// Semiring product of `factors` (flattens, sorts, folds; the empty
+  /// product is 1_S; 0_S annihilates).
+  ExprId MulS(std::vector<ExprId> factors);
+
+  /// Binary convenience overload.
+  ExprId MulS(ExprId a, ExprId b) { return MulS(std::vector<ExprId>{a, b}); }
+
+  /// Monoid constant m of aggregation monoid `agg`.
+  ExprId ConstM(AggKind agg, int64_t m);
+
+  /// Tensor term `s_expr (x) m_expr`. `s_expr` must be semiring-sorted and
+  /// `m_expr` monoid-sorted. Applies 0_S (x) m = 0_M, 1_S (x) m = m,
+  /// s (x) 0_M = 0_M, and merges nested tensors.
+  ExprId Tensor(ExprId s_expr, ExprId m_expr);
+
+  /// Monoid sum over monoid `agg` (flattens same-monoid sums, folds
+  /// constants, drops neutral elements; the empty sum is 0_M).
+  ExprId AddM(AggKind agg, std::vector<ExprId> terms);
+
+  /// Binary convenience overload.
+  ExprId AddM(AggKind agg, ExprId a, ExprId b) {
+    return AddM(agg, std::vector<ExprId>{a, b});
+  }
+
+  /// Conditional expression [lhs theta rhs]; lhs and rhs must have the same
+  /// sort (their monoids may differ, cf. Experiment E). Folds when both
+  /// sides are constants. The result is semiring-sorted (Eq. 2).
+  ExprId Cmp(CmpOp op, ExprId lhs, ExprId rhs);
+
+  // -- Node access --------------------------------------------------------
+
+  const ExprNode& node(ExprId id) const;
+
+  /// Total number of distinct nodes interned so far.
+  size_t NumNodes() const { return nodes_.size(); }
+
+  /// Sorted distinct variables occurring in `id`.
+  const std::vector<VarId>& VarsOf(ExprId id) const { return node(id).vars; }
+
+  /// True when the node is a constant (kConstS or kConstM).
+  bool IsConst(ExprId id) const;
+
+  // -- Transformations ----------------------------------------------------
+
+  /// The expression Phi|x<-s of Eq. (10): every occurrence of variable `x`
+  /// replaced by the semiring constant `s`, with eager simplification.
+  /// Returns `e` unchanged when x does not occur in it.
+  ExprId Substitute(ExprId e, VarId x, int64_t s);
+
+  /// Counts syntactic occurrences of each variable in `e`, weighting shared
+  /// subexpressions by the number of DAG paths that reach them (this equals
+  /// the occurrence count in the fully expanded expression tree). Counts
+  /// are doubles to tolerate path-count blowup.
+  void CountVarOccurrences(ExprId e,
+                           std::unordered_map<VarId, double>* counts) const;
+
+  /// Number of nodes reachable from `e` (distinct DAG nodes).
+  size_t ReachableSize(ExprId e) const;
+
+ private:
+  ExprId Intern(ExprNode node);
+  static std::vector<VarId> MergeVars(const std::vector<ExprId>& children,
+                                      const std::vector<ExprNode>& nodes);
+  uint64_t NodeHash(const ExprNode& node) const;
+  bool NodeEquals(const ExprNode& a, const ExprNode& b) const;
+
+  Semiring semiring_;
+  std::vector<ExprNode> nodes_;
+  std::unordered_map<uint64_t, std::vector<ExprId>> intern_table_;
+};
+
+/// Sort of the expression (`kSemiring` for annotations and conditions,
+/// `kMonoid` for aggregation values).
+inline ExprSort SortOf(const ExprNode& node) { return node.sort; }
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_EXPR_EXPR_H_

@@ -1,0 +1,104 @@
+#include "src/expr/print.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Precedence levels for parenthesisation: sum < product < atom.
+enum Precedence { kSumPrec = 0, kProdPrec = 1, kAtomPrec = 2 };
+
+class Printer {
+ public:
+  Printer(const ExprPool& pool, const VariableTable* variables)
+      : pool_(pool), variables_(variables) {}
+
+  void Print(ExprId e, int parent_prec, std::ostream& out) {
+    const ExprNode& n = pool_.node(e);
+    switch (n.kind) {
+      case ExprKind::kVar:
+        out << (variables_ != nullptr ? variables_->NameOf(n.var())
+                                      : "x" + std::to_string(n.var()));
+        return;
+      case ExprKind::kConstS:
+        out << n.value;
+        return;
+      case ExprKind::kConstM:
+        out << MonoidValueToString(n.value);
+        return;
+      case ExprKind::kAddS: {
+        bool paren = parent_prec > kSumPrec;
+        if (paren) out << "(";
+        bool first = true;
+        for (ExprId c : n.children) {
+          if (!first) out << " + ";
+          first = false;
+          Print(c, kSumPrec + 1, out);
+        }
+        if (paren) out << ")";
+        return;
+      }
+      case ExprKind::kMulS: {
+        bool paren = parent_prec > kProdPrec;
+        if (paren) out << "(";
+        bool first = true;
+        for (ExprId c : n.children) {
+          if (!first) out << "*";
+          first = false;
+          Print(c, kProdPrec + 1, out);
+        }
+        if (paren) out << ")";
+        return;
+      }
+      case ExprKind::kTensor: {
+        bool paren = parent_prec > kProdPrec;
+        if (paren) out << "(";
+        Print(n.children[0], kProdPrec + 1, out);
+        out << " (x) ";
+        Print(n.children[1], kProdPrec + 1, out);
+        if (paren) out << ")";
+        return;
+      }
+      case ExprKind::kAddM: {
+        bool paren = parent_prec > kSumPrec;
+        if (paren) out << "(";
+        bool first = true;
+        for (ExprId c : n.children) {
+          if (!first) out << " +" << AggKindName(n.agg) << " ";
+          first = false;
+          Print(c, kSumPrec + 1, out);
+        }
+        if (paren) out << ")";
+        return;
+      }
+      case ExprKind::kCmp: {
+        out << "[";
+        Print(n.children[0], kSumPrec, out);
+        out << " " << CmpOpName(n.cmp) << " ";
+        Print(n.children[1], kSumPrec, out);
+        out << "]";
+        return;
+      }
+    }
+    PVC_FAIL("unknown expression kind");
+  }
+
+ private:
+  const ExprPool& pool_;
+  const VariableTable* variables_;
+};
+
+}  // namespace
+
+std::string ExprToString(const ExprPool& pool, ExprId e,
+                         const VariableTable* variables) {
+  std::ostringstream out;
+  Printer printer(pool, variables);
+  printer.Print(e, kSumPrec, out);
+  return out.str();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,22 @@
+// Human-readable rendering of semiring / semimodule expressions, in the
+// notation of the paper: sums "a + b", products "a*b", tensors "a (x) m",
+// monoid sums "a +MIN b", conditions "[alpha <= 50]".
+
+#ifndef PVCDB_EXPR_PRINT_H_
+#define PVCDB_EXPR_PRINT_H_
+
+#include <string>
+
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Renders `e`; variable names come from `variables` when provided,
+/// otherwise variables print as "x<id>".
+std::string ExprToString(const ExprPool& pool, ExprId e,
+                         const VariableTable* variables = nullptr);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_EXPR_PRINT_H_

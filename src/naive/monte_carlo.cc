@@ -1,0 +1,41 @@
+#include "src/naive/monte_carlo.h"
+
+#include <unordered_map>
+
+#include "src/expr/eval.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+
+Distribution MonteCarloDistribution(const ExprPool& pool,
+                                    const VariableTable& variables, ExprId e,
+                                    size_t num_samples, uint64_t seed) {
+  PVC_CHECK_MSG(num_samples > 0, "need at least one sample");
+  Rng rng(seed);
+  const std::vector<VarId>& vars = pool.VarsOf(e);
+  std::unordered_map<VarId, int64_t> nu;
+  std::unordered_map<int64_t, double> histogram;
+  const double weight = 1.0 / static_cast<double>(num_samples);
+  for (size_t i = 0; i < num_samples; ++i) {
+    for (VarId v : vars) {
+      const Distribution& d = variables.DistributionOf(v);
+      double u = rng.UniformDouble(0.0, 1.0);
+      double cum = 0.0;
+      int64_t drawn = d.entries().back().first;
+      for (const auto& [s, p] : d.entries()) {
+        cum += p;
+        if (u <= cum) {
+          drawn = s;
+          break;
+        }
+      }
+      nu[v] = drawn;
+    }
+    histogram[EvalExpr(pool, e, nu)] += weight;
+  }
+  std::vector<Distribution::Entry> entries(histogram.begin(), histogram.end());
+  return Distribution::FromPairs(std::move(entries));
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,26 @@
+// Monte-Carlo estimation of expression distributions.
+//
+// The sampling baseline representing the MCDB / PIP family of systems
+// ([10, 12, 22] in the paper): draw worlds nu ~ Pr, evaluate, and report
+// the empirical distribution. Converges at the usual O(1/sqrt(n)) rate and
+// is the comparator for the exact d-tree technique.
+
+#ifndef PVCDB_NAIVE_MONTE_CARLO_H_
+#define PVCDB_NAIVE_MONTE_CARLO_H_
+
+#include <cstdint>
+
+#include "src/expr/expr.h"
+#include "src/prob/distribution.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Empirical distribution of `e` from `num_samples` sampled worlds.
+Distribution MonteCarloDistribution(const ExprPool& pool,
+                                    const VariableTable& variables, ExprId e,
+                                    size_t num_samples, uint64_t seed);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_NAIVE_MONTE_CARLO_H_

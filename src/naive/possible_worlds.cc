@@ -1,0 +1,81 @@
+#include "src/naive/possible_worlds.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/expr/eval.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Collects the sorted union of the variables of `exprs`.
+std::vector<VarId> UnionVars(const ExprPool& pool,
+                             const std::vector<ExprId>& exprs) {
+  std::vector<VarId> vars;
+  for (ExprId e : exprs) {
+    const std::vector<VarId>& ev = pool.VarsOf(e);
+    std::vector<VarId> merged;
+    std::set_union(vars.begin(), vars.end(), ev.begin(), ev.end(),
+                   std::back_inserter(merged));
+    vars = std::move(merged);
+  }
+  return vars;
+}
+
+// Calls `visit(nu, prob)` for every world over `vars`.
+template <typename Visitor>
+void ForEachWorld(const VariableTable& variables,
+                  const std::vector<VarId>& vars, uint64_t max_worlds,
+                  Visitor&& visit) {
+  uint64_t world_count = 1;
+  for (VarId v : vars) {
+    uint64_t support = variables.DistributionOf(v).size();
+    PVC_CHECK_MSG(world_count <= max_worlds / std::max<uint64_t>(support, 1),
+                  "world enumeration exceeds budget of " << max_worlds);
+    world_count *= support;
+  }
+  std::unordered_map<VarId, int64_t> nu;
+  auto rec = [&](auto&& self, size_t index, double prob) -> void {
+    if (index == vars.size()) {
+      visit(nu, prob);
+      return;
+    }
+    VarId v = vars[index];
+    for (const auto& [s, p] : variables.DistributionOf(v).entries()) {
+      nu[v] = s;
+      self(self, index + 1, prob * p);
+    }
+  };
+  rec(rec, 0, 1.0);
+}
+
+}  // namespace
+
+Distribution EnumerateDistribution(const ExprPool& pool,
+                                   const VariableTable& variables, ExprId e,
+                                   uint64_t max_worlds) {
+  std::vector<Distribution::Entry> entries;
+  ForEachWorld(variables, pool.VarsOf(e), max_worlds,
+               [&](const std::unordered_map<VarId, int64_t>& nu, double p) {
+                 entries.push_back({EvalExpr(pool, e, nu), p});
+               });
+  return Distribution::FromPairs(std::move(entries));
+}
+
+JointDistribution EnumerateJointDistribution(
+    const ExprPool& pool, const VariableTable& variables,
+    const std::vector<ExprId>& exprs, uint64_t max_worlds) {
+  JointDistribution joint;
+  ForEachWorld(variables, UnionVars(pool, exprs), max_worlds,
+               [&](const std::unordered_map<VarId, int64_t>& nu, double p) {
+                 std::vector<int64_t> tuple;
+                 tuple.reserve(exprs.size());
+                 for (ExprId e : exprs) tuple.push_back(EvalExpr(pool, e, nu));
+                 joint[tuple] += p;
+               });
+  return joint;
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,36 @@
+// Exact probability computation by possible-world enumeration.
+//
+// Enumerates every valuation nu in Omega (the product of the supports of
+// the variables occurring in the expression, Definition 1), evaluates the
+// expression in each world, and accumulates Pr(nu) per outcome. Runs in
+// time exponential in the number of variables; it is the ground truth the
+// d-tree engine is property-tested against, and the "no knowledge
+// compilation" baseline.
+
+#ifndef PVCDB_NAIVE_POSSIBLE_WORLDS_H_
+#define PVCDB_NAIVE_POSSIBLE_WORLDS_H_
+
+#include <vector>
+
+#include "src/dtree/joint.h"
+#include "src/expr/expr.h"
+#include "src/prob/distribution.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Exact distribution of `e` by world enumeration. Checks that the number
+/// of worlds does not exceed `max_worlds`.
+Distribution EnumerateDistribution(const ExprPool& pool,
+                                   const VariableTable& variables, ExprId e,
+                                   uint64_t max_worlds = (1ULL << 22));
+
+/// Exact joint distribution of several expressions by world enumeration
+/// over the union of their variables.
+JointDistribution EnumerateJointDistribution(
+    const ExprPool& pool, const VariableTable& variables,
+    const std::vector<ExprId>& exprs, uint64_t max_worlds = (1ULL << 22));
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_NAIVE_POSSIBLE_WORLDS_H_

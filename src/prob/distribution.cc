@@ -1,0 +1,163 @@
+#include "src/prob/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+constexpr double kDropBelow = 0.0;  // Entries with probability <= this drop.
+
+}  // namespace
+
+Distribution Distribution::Point(int64_t v) {
+  return Distribution({{v, 1.0}});
+}
+
+Distribution Distribution::Bernoulli(double p) {
+  PVC_CHECK_MSG(p >= 0.0 && p <= 1.0, "Bernoulli parameter out of range: " << p);
+  std::vector<Entry> entries;
+  if (1.0 - p > kDropBelow) entries.push_back({0, 1.0 - p});
+  if (p > kDropBelow) entries.push_back({1, p});
+  return Distribution(std::move(entries));
+}
+
+Distribution Distribution::FromPairs(std::vector<Entry> pairs) {
+  return FromUnsorted(std::move(pairs));
+}
+
+Distribution Distribution::FromUnsorted(std::vector<Entry> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Entry& a, const Entry& b) { return a.first < b.first; });
+  std::vector<Entry> merged;
+  merged.reserve(pairs.size());
+  for (const Entry& e : pairs) {
+    PVC_CHECK_MSG(e.second >= 0.0, "negative probability " << e.second);
+    if (!merged.empty() && merged.back().first == e.first) {
+      merged.back().second += e.second;
+    } else {
+      merged.push_back(e);
+    }
+  }
+  merged.erase(std::remove_if(merged.begin(), merged.end(),
+                              [](const Entry& e) {
+                                return e.second <= kDropBelow;
+                              }),
+               merged.end());
+  return Distribution(std::move(merged));
+}
+
+double Distribution::ProbOf(int64_t v) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), v,
+      [](const Entry& e, int64_t value) { return e.first < value; });
+  if (it != entries_.end() && it->first == v) return it->second;
+  return 0.0;
+}
+
+double Distribution::TotalMass() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.second;
+  return total;
+}
+
+bool Distribution::IsNormalized(double epsilon) const {
+  return std::abs(TotalMass() - 1.0) <= epsilon;
+}
+
+Distribution Distribution::Convolve(const Distribution& other,
+                                    const BinaryOp& op) const {
+  // Proposition 1 restricted to non-zero-probability support (Remark 1).
+  std::vector<Entry> result;
+  result.reserve(entries_.size() * other.entries_.size());
+  for (const Entry& a : entries_) {
+    for (const Entry& b : other.entries_) {
+      result.push_back({op(a.first, b.first), a.second * b.second});
+    }
+  }
+  return FromUnsorted(std::move(result));
+}
+
+Distribution Distribution::Map(const UnaryOp& f) const {
+  std::vector<Entry> result;
+  result.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    result.push_back({f(e.first), e.second});
+  }
+  return FromUnsorted(std::move(result));
+}
+
+Distribution Distribution::Mix(
+    const std::vector<std::pair<double, Distribution>>& parts) {
+  std::vector<Entry> result;
+  for (const auto& [weight, dist] : parts) {
+    PVC_CHECK_MSG(weight >= 0.0, "negative mixture weight " << weight);
+    for (const Entry& e : dist.entries_) {
+      result.push_back({e.first, weight * e.second});
+    }
+  }
+  return FromUnsorted(std::move(result));
+}
+
+int64_t Distribution::MinValue() const {
+  PVC_CHECK(!entries_.empty());
+  return entries_.front().first;
+}
+
+int64_t Distribution::MaxValue() const {
+  PVC_CHECK(!entries_.empty());
+  return entries_.back().first;
+}
+
+double Distribution::Mean() const {
+  double mean = 0.0;
+  for (const Entry& e : entries_) {
+    mean += static_cast<double>(e.first) * e.second;
+  }
+  return mean;
+}
+
+bool Distribution::ApproxEquals(const Distribution& other,
+                                double epsilon) const {
+  // Supports may differ by entries whose probability is below epsilon.
+  size_t i = 0;
+  size_t j = 0;
+  while (i < entries_.size() || j < other.entries_.size()) {
+    if (i < entries_.size() && j < other.entries_.size() &&
+        entries_[i].first == other.entries_[j].first) {
+      if (std::abs(entries_[i].second - other.entries_[j].second) > epsilon) {
+        return false;
+      }
+      ++i;
+      ++j;
+    } else if (j >= other.entries_.size() ||
+               (i < entries_.size() &&
+                entries_[i].first < other.entries_[j].first)) {
+      if (entries_[i].second > epsilon) return false;
+      ++i;
+    } else {
+      if (other.entries_[j].second > epsilon) return false;
+      ++j;
+    }
+  }
+  return true;
+}
+
+std::string Distribution::ToString() const {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "(" << e.first << ", " << e.second << ")";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,42 @@
+#include "src/prob/variable.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+VarId VariableTable::Add(Distribution distribution, std::string name) {
+  PVC_CHECK_MSG(!distribution.empty(), "variable needs non-empty support");
+  PVC_CHECK_MSG(distribution.IsNormalized(1e-6),
+                "variable distribution must sum to 1, got "
+                    << distribution.TotalMass());
+  VarId id = static_cast<VarId>(distributions_.size());
+  distributions_.push_back(std::move(distribution));
+  names_.push_back(std::move(name));
+  return id;
+}
+
+VarId VariableTable::AddBernoulli(double p, std::string name) {
+  return Add(Distribution::Bernoulli(p), std::move(name));
+}
+
+const Distribution& VariableTable::DistributionOf(VarId id) const {
+  PVC_CHECK_MSG(id < distributions_.size(), "unknown variable id " << id);
+  return distributions_[id];
+}
+
+std::string VariableTable::NameOf(VarId id) const {
+  PVC_CHECK_MSG(id < names_.size(), "unknown variable id " << id);
+  if (!names_[id].empty()) return names_[id];
+  return "x" + std::to_string(id);
+}
+
+void VariableTable::SetDistribution(VarId id, Distribution distribution) {
+  PVC_CHECK_MSG(id < distributions_.size(), "unknown variable id " << id);
+  PVC_CHECK_MSG(distribution.IsNormalized(1e-6),
+                "variable distribution must sum to 1");
+  distributions_[id] = std::move(distribution);
+}
+
+}  // namespace pvcdb

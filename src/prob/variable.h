@@ -1,0 +1,51 @@
+// The set X of independent random variables and their distributions.
+//
+// A VariableTable registers S-valued independent random variables and
+// induces the probability space of Definition 1: a sample is a valuation
+// nu : X -> S, and Pr(nu) is the product of the per-variable probabilities.
+
+#ifndef PVCDB_PROB_VARIABLE_H_
+#define PVCDB_PROB_VARIABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/prob/distribution.h"
+
+namespace pvcdb {
+
+/// Identifier of a random variable within a VariableTable.
+using VarId = uint32_t;
+
+/// Registry of the independent random variables X underlying a
+/// pvc-database, with one finite distribution per variable.
+class VariableTable {
+ public:
+  /// Registers a variable with the given distribution; returns its id.
+  VarId Add(Distribution distribution, std::string name = "");
+
+  /// Registers a Boolean variable with P[x=1] = p.
+  VarId AddBernoulli(double p, std::string name = "");
+
+  /// Number of registered variables.
+  size_t size() const { return distributions_.size(); }
+
+  /// Distribution of variable `id`.
+  const Distribution& DistributionOf(VarId id) const;
+
+  /// Name of variable `id` ("x<id>" when unnamed).
+  std::string NameOf(VarId id) const;
+
+  /// Replaces the distribution of an existing variable (used by sensitivity
+  /// analyses and by tests).
+  void SetDistribution(VarId id, Distribution distribution);
+
+ private:
+  std::vector<Distribution> distributions_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_PROB_VARIABLE_H_

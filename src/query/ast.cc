@@ -1,0 +1,132 @@
+#include "src/query/ast.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+const QueryPtr& Query::child(size_t i) const {
+  PVC_CHECK_MSG(i < children_.size(), "query child " << i << " out of range");
+  return children_[i];
+}
+
+QueryPtr Query::Scan(std::string name) {
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kScan;
+  q->table_name_ = std::move(name);
+  return q;
+}
+
+QueryPtr Query::Select(QueryPtr input, Predicate pred) {
+  PVC_CHECK(input != nullptr);
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kSelect;
+  q->children_ = {std::move(input)};
+  q->predicate_ = std::move(pred);
+  return q;
+}
+
+QueryPtr Query::Project(QueryPtr input, std::vector<std::string> columns) {
+  PVC_CHECK(input != nullptr);
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kProject;
+  q->children_ = {std::move(input)};
+  q->columns_ = std::move(columns);
+  return q;
+}
+
+QueryPtr Query::Rename(QueryPtr input, std::string from, std::string to) {
+  PVC_CHECK(input != nullptr);
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kRename;
+  q->children_ = {std::move(input)};
+  q->rename_from_ = std::move(from);
+  q->rename_to_ = std::move(to);
+  return q;
+}
+
+QueryPtr Query::Product(QueryPtr left, QueryPtr right) {
+  PVC_CHECK(left != nullptr && right != nullptr);
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kProduct;
+  q->children_ = {std::move(left), std::move(right)};
+  return q;
+}
+
+QueryPtr Query::Join(QueryPtr left, QueryPtr right, Predicate pred) {
+  return Select(Product(std::move(left), std::move(right)), std::move(pred));
+}
+
+QueryPtr Query::Union(QueryPtr left, QueryPtr right) {
+  PVC_CHECK(left != nullptr && right != nullptr);
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kUnion;
+  q->children_ = {std::move(left), std::move(right)};
+  return q;
+}
+
+QueryPtr Query::GroupAgg(QueryPtr input,
+                         std::vector<std::string> group_columns,
+                         std::vector<AggSpec> aggs) {
+  PVC_CHECK(input != nullptr);
+  PVC_CHECK_MSG(!aggs.empty(), "$ operator needs at least one aggregation");
+  auto q = std::shared_ptr<Query>(new Query());
+  q->op_ = QueryOp::kGroupAgg;
+  q->children_ = {std::move(input)};
+  q->columns_ = std::move(group_columns);
+  q->aggs_ = std::move(aggs);
+  return q;
+}
+
+std::string Query::ToString() const {
+  std::ostringstream out;
+  switch (op_) {
+    case QueryOp::kScan:
+      out << table_name_;
+      break;
+    case QueryOp::kSelect:
+      out << "sigma_{" << predicate_.ToString() << "}("
+          << children_[0]->ToString() << ")";
+      break;
+    case QueryOp::kProject: {
+      out << "pi_{";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << columns_[i];
+      }
+      out << "}(" << children_[0]->ToString() << ")";
+      break;
+    }
+    case QueryOp::kRename:
+      out << "delta_{" << rename_to_ << "<-" << rename_from_ << "}("
+          << children_[0]->ToString() << ")";
+      break;
+    case QueryOp::kProduct:
+      out << "(" << children_[0]->ToString() << " x "
+          << children_[1]->ToString() << ")";
+      break;
+    case QueryOp::kUnion:
+      out << "(" << children_[0]->ToString() << " U "
+          << children_[1]->ToString() << ")";
+      break;
+    case QueryOp::kGroupAgg: {
+      out << "$_{";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << columns_[i];
+      }
+      out << "; ";
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        if (i > 0) out << ",";
+        out << aggs_[i].output_column << "<-" << AggKindName(aggs_[i].agg)
+            << "(" << aggs_[i].input_column << ")";
+      }
+      out << "}(" << children_[0]->ToString() << ")";
+      break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pvcdb

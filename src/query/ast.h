@@ -1,0 +1,106 @@
+// The query language Q (Definition 5): positive relational algebra
+// (rename delta, selection sigma, projection pi, product x, union U)
+// extended with the aggregation-and-grouping operator $.
+//
+// Queries are immutable shared trees built with the factory functions
+// below; Join(l, r, pred) is sugar for Select(Product(l, r), pred).
+// Definition 5's constraints -- projection, union and grouping never apply
+// to aggregation attributes -- are enforced by the evaluator against the
+// actual schemas.
+
+#ifndef PVCDB_QUERY_AST_H_
+#define PVCDB_QUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algebra/monoid.h"
+#include "src/query/predicate.h"
+
+namespace pvcdb {
+
+/// One aggregation of the $ operator: output_column <- AGG(input_column).
+/// For kCount, input_column may be empty (count rows).
+struct AggSpec {
+  AggKind agg = AggKind::kCount;
+  std::string input_column;
+  std::string output_column;
+};
+
+/// Relational operators of Q.
+enum class QueryOp : uint8_t {
+  kScan,      ///< Base pvc-table by name.
+  kSelect,    ///< sigma_phi.
+  kProject,   ///< pi_A (duplicate-eliminating; annotations sum up).
+  kRename,    ///< delta_{B<-A}: adds column B as a copy of A (Figure 4).
+  kProduct,   ///< Cartesian product.
+  kUnion,     ///< Union (schemas must match; annotations sum up).
+  kGroupAgg,  ///< $_{A; alpha_i <- AGG_i(B_i)}.
+};
+
+class Query;
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// A node of a Q query tree.
+class Query {
+ public:
+  QueryOp op() const { return op_; }
+  const std::vector<QueryPtr>& children() const { return children_; }
+  const QueryPtr& child(size_t i) const;
+
+  const std::string& table_name() const { return table_name_; }
+  const Predicate& predicate() const { return predicate_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::string& rename_from() const { return rename_from_; }
+  const std::string& rename_to() const { return rename_to_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+
+  /// Algebra rendering, e.g. "pi_{shop}(sigma_{...}(S x PS))".
+  std::string ToString() const;
+
+  // -- Factories ----------------------------------------------------------
+
+  /// Scan of the base table `name`.
+  static QueryPtr Scan(std::string name);
+
+  /// sigma_pred(input).
+  static QueryPtr Select(QueryPtr input, Predicate pred);
+
+  /// pi_columns(input); duplicate rows merge, annotations sum.
+  static QueryPtr Project(QueryPtr input, std::vector<std::string> columns);
+
+  /// delta_{to<-from}(input): adds a copy of column `from` named `to`.
+  static QueryPtr Rename(QueryPtr input, std::string from, std::string to);
+
+  /// Cartesian product (column names must be disjoint).
+  static QueryPtr Product(QueryPtr left, QueryPtr right);
+
+  /// Join = Select(Product(left, right), pred).
+  static QueryPtr Join(QueryPtr left, QueryPtr right, Predicate pred);
+
+  /// Union (schemas must agree).
+  static QueryPtr Union(QueryPtr left, QueryPtr right);
+
+  /// $_{group_columns; aggs}(input). With empty `group_columns`, the result
+  /// is a single tuple annotated 1_K (Figure 4, last rule).
+  static QueryPtr GroupAgg(QueryPtr input,
+                           std::vector<std::string> group_columns,
+                           std::vector<AggSpec> aggs);
+
+ private:
+  Query() = default;
+
+  QueryOp op_ = QueryOp::kScan;
+  std::vector<QueryPtr> children_;
+  std::string table_name_;
+  Predicate predicate_;
+  std::vector<std::string> columns_;
+  std::string rename_from_;
+  std::string rename_to_;
+  std::vector<AggSpec> aggs_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_AST_H_

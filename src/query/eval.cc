@@ -1,0 +1,476 @@
+#include "src/query/eval.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Hash of a subset of cells, for grouping.
+struct RowKey {
+  std::vector<Cell> cells;
+
+  bool operator==(const RowKey& other) const { return cells == other.cells; }
+};
+
+struct RowKeyHash {
+  size_t operator()(const RowKey& key) const {
+    size_t seed = 0;
+    for (const Cell& c : key.cells) seed = HashCombine(seed, c.Hash());
+    return seed;
+  }
+};
+
+// Compares two data cells; the comparison's type rules are strict (matching
+// types only; kEq/kNe additionally allowed between any equal types).
+bool CompareDataCells(CmpOp op, const Cell& a, const Cell& b) {
+  PVC_CHECK_MSG(a.type() == b.type(),
+                "type mismatch in comparison: " << a.ToString() << " vs "
+                                                << b.ToString());
+  switch (a.type()) {
+    case CellType::kInt:
+      return EvalCmp(op, a.AsInt(), b.AsInt());
+    case CellType::kDouble: {
+      double x = a.AsDouble();
+      double y = b.AsDouble();
+      switch (op) {
+        case CmpOp::kEq:
+          return x == y;
+        case CmpOp::kNe:
+          return x != y;
+        case CmpOp::kLe:
+          return x <= y;
+        case CmpOp::kGe:
+          return x >= y;
+        case CmpOp::kLt:
+          return x < y;
+        case CmpOp::kGt:
+          return x > y;
+      }
+      PVC_FAIL("unknown comparison operator");
+    }
+    case CellType::kString: {
+      int cmp = a.AsString().compare(b.AsString());
+      switch (op) {
+        case CmpOp::kEq:
+          return cmp == 0;
+        case CmpOp::kNe:
+          return cmp != 0;
+        case CmpOp::kLe:
+          return cmp <= 0;
+        case CmpOp::kGe:
+          return cmp >= 0;
+        case CmpOp::kLt:
+          return cmp < 0;
+        case CmpOp::kGt:
+          return cmp > 0;
+      }
+      PVC_FAIL("unknown comparison operator");
+    }
+    default:
+      PVC_FAIL("cannot compare cells of this type");
+  }
+}
+
+}  // namespace
+
+QueryEvaluator::QueryEvaluator(ExprPool* pool, TableResolver resolver,
+                               EvalMode mode)
+    : pool_(pool), resolver_(std::move(resolver)), mode_(mode) {
+  PVC_CHECK(pool != nullptr);
+}
+
+PvcTable QueryEvaluator::Eval(const Query& q) {
+  switch (q.op()) {
+    case QueryOp::kScan:
+      return EvalScan(q);
+    case QueryOp::kSelect:
+      return EvalSelect(q);
+    case QueryOp::kProject:
+      return EvalProject(q);
+    case QueryOp::kRename:
+      return EvalRename(q);
+    case QueryOp::kProduct:
+      return EvalProduct(q);
+    case QueryOp::kUnion:
+      return EvalUnion(q);
+    case QueryOp::kGroupAgg:
+      return EvalGroupAgg(q);
+  }
+  PVC_FAIL("unknown query operator");
+}
+
+PvcTable QueryEvaluator::EvalScan(const Query& q) {
+  const PvcTable& base = resolver_(q.table_name());
+  if (mode_ == EvalMode::kProbabilistic) return base;
+  // Q0: evaluate on the deterministic database -- every tuple is present.
+  PvcTable out{base.schema()};
+  ExprId one = pool_->ConstS(pool_->semiring().One());
+  for (const Row& r : base.rows()) {
+    out.AddRow(r.cells, one);
+  }
+  return out;
+}
+
+bool QueryEvaluator::ApplyAtom(const Schema& schema, const Atom& atom,
+                               Row* row) {
+  auto resolve = [&](const Operand& o) -> const Cell& {
+    if (o.kind() == Operand::Kind::kColumn) {
+      return row->cells[schema.IndexOf(o.column())];
+    }
+    return o.constant();
+  };
+  const Cell& lhs = resolve(atom.lhs);
+  const Cell& rhs = resolve(atom.rhs);
+  bool lhs_agg = lhs.type() == CellType::kAggExpr;
+  bool rhs_agg = rhs.type() == CellType::kAggExpr;
+  if (!lhs_agg && !rhs_agg) {
+    // Plain data comparison: filter.
+    return CompareDataCells(atom.op, lhs, rhs);
+  }
+  // Theta-comparison involving an aggregation attribute: extend the
+  // annotation with the conditional expression [lhs theta rhs] (Figure 4's
+  // sigma rule).
+  auto as_expr = [&](const Cell& c, const Cell& other_agg) -> ExprId {
+    if (c.type() == CellType::kAggExpr) return c.AsAgg();
+    PVC_CHECK_MSG(c.type() == CellType::kInt,
+                  "aggregation attributes compare against integers "
+                  "(fixed-point encode decimals); got "
+                      << c.ToString());
+    // The constant joins the comparison as a monoid constant of the other
+    // side's monoid.
+    AggKind agg = pool_->node(other_agg.AsAgg()).agg;
+    return pool_->ConstM(agg, c.AsInt());
+  };
+  ExprId lhs_expr = lhs_agg ? lhs.AsAgg() : as_expr(lhs, rhs);
+  ExprId rhs_expr = rhs_agg ? rhs.AsAgg() : as_expr(rhs, lhs);
+  ExprId cond = pool_->Cmp(atom.op, lhs_expr, rhs_expr);
+  row->annotation = pool_->MulS(row->annotation, cond);
+  return true;
+}
+
+PvcTable QueryEvaluator::EvalSelect(const Query& q) {
+  // Hash-join fast path: Select directly over a Product with at least one
+  // cross-side data equality executes as an equi-join, avoiding the
+  // materialised cross product (same result, including annotations).
+  if (q.child(0)->op() == QueryOp::kProduct) {
+    return EvalHashJoin(*q.child(0), q.predicate());
+  }
+  PvcTable input = Eval(*q.child(0));
+  PvcTable out{input.schema()};
+  ExprId zero = pool_->ConstS(pool_->semiring().Zero());
+  for (const Row& r : input.rows()) {
+    Row candidate = r;
+    bool keep = true;
+    for (const Atom& atom : q.predicate().atoms()) {
+      if (!ApplyAtom(input.schema(), atom, &candidate)) {
+        keep = false;
+        break;
+      }
+    }
+    // Rows whose annotation folded to 0_K are absent from every world.
+    if (keep && candidate.annotation != zero) {
+      out.AddRow(std::move(candidate));
+    }
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalHashJoin(const Query& product,
+                                      const Predicate& pred) {
+  PvcTable left = Eval(*product.child(0));
+  PvcTable right = Eval(*product.child(1));
+
+  // Split the conjunction into hashable cross-side data equalities and
+  // residual atoms (applied per joined row, exactly as EvalSelect would).
+  struct EquiKey {
+    size_t left_index;
+    size_t right_index;
+  };
+  std::vector<EquiKey> keys;
+  std::vector<Atom> residual;
+  for (const Atom& atom : pred.atoms()) {
+    bool hashable = false;
+    if (atom.op == CmpOp::kEq &&
+        atom.lhs.kind() == Operand::Kind::kColumn &&
+        atom.rhs.kind() == Operand::Kind::kColumn) {
+      std::optional<size_t> ll = left.schema().Find(atom.lhs.column());
+      std::optional<size_t> lr = left.schema().Find(atom.rhs.column());
+      std::optional<size_t> rl = right.schema().Find(atom.lhs.column());
+      std::optional<size_t> rr = right.schema().Find(atom.rhs.column());
+      // Only same-typed data columns are hashable; mismatches fall back to
+      // the residual path so they fail with the same diagnostics as a
+      // plain selection.
+      auto hashable_pair = [&](size_t li, size_t ri) {
+        return left.schema().column(li).type != CellType::kAggExpr &&
+               left.schema().column(li).type ==
+                   right.schema().column(ri).type;
+      };
+      if (ll.has_value() && rr.has_value() && hashable_pair(*ll, *rr)) {
+        keys.push_back({*ll, *rr});
+        hashable = true;
+      } else if (lr.has_value() && rl.has_value() &&
+                 hashable_pair(*lr, *rl)) {
+        keys.push_back({*lr, *rl});
+        hashable = true;
+      }
+    }
+    if (!hashable) residual.push_back(atom);
+  }
+
+  std::vector<Column> columns = left.schema().columns();
+  for (const Column& c : right.schema().columns()) {
+    PVC_CHECK_MSG(!left.schema().Find(c.name).has_value(),
+                  "product requires disjoint column names; '"
+                      << c.name << "' occurs on both sides (use Rename)");
+    columns.push_back(c);
+  }
+  Schema out_schema{std::move(columns)};
+  PvcTable out{out_schema};
+  ExprId zero = pool_->ConstS(pool_->semiring().Zero());
+
+  auto emit = [&](const Row& l, const Row& r) {
+    Row candidate;
+    candidate.cells = l.cells;
+    candidate.cells.insert(candidate.cells.end(), r.cells.begin(),
+                           r.cells.end());
+    candidate.annotation = pool_->MulS(l.annotation, r.annotation);
+    for (const Atom& atom : residual) {
+      if (!ApplyAtom(out_schema, atom, &candidate)) return;
+    }
+    if (candidate.annotation != zero) out.AddRow(std::move(candidate));
+  };
+
+  if (keys.empty()) {
+    // Pure theta-join: fall back to nested loops.
+    for (const Row& l : left.rows()) {
+      for (const Row& r : right.rows()) emit(l, r);
+    }
+    return out;
+  }
+
+  // Build on the right side, probe with the left.
+  std::unordered_map<RowKey, std::vector<size_t>, RowKeyHash> build;
+  for (size_t j = 0; j < right.NumRows(); ++j) {
+    RowKey key;
+    key.cells.reserve(keys.size());
+    for (const EquiKey& k : keys) {
+      key.cells.push_back(right.row(j).cells[k.right_index]);
+    }
+    build[std::move(key)].push_back(j);
+  }
+  for (const Row& l : left.rows()) {
+    RowKey key;
+    key.cells.reserve(keys.size());
+    for (const EquiKey& k : keys) key.cells.push_back(l.cells[k.left_index]);
+    auto it = build.find(key);
+    if (it == build.end()) continue;
+    for (size_t j : it->second) emit(l, right.row(j));
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalProject(const Query& q) {
+  PvcTable input = Eval(*q.child(0));
+  const Schema& in_schema = input.schema();
+  std::vector<Column> columns;
+  std::vector<size_t> indices;
+  for (const std::string& name : q.columns()) {
+    size_t idx = in_schema.IndexOf(name);
+    PVC_CHECK_MSG(in_schema.column(idx).type != CellType::kAggExpr,
+                  "Definition 5: projection on aggregation attribute '"
+                      << name << "'");
+    columns.push_back(in_schema.column(idx));
+    indices.push_back(idx);
+  }
+  PvcTable out{Schema(std::move(columns))};
+  // Merge duplicate projected tuples; annotations sum (Figure 4's pi rule).
+  std::unordered_map<RowKey, size_t, RowKeyHash> groups;
+  std::vector<std::pair<RowKey, std::vector<ExprId>>> ordered;
+  for (const Row& r : input.rows()) {
+    RowKey key;
+    key.cells.reserve(indices.size());
+    for (size_t idx : indices) key.cells.push_back(r.cells[idx]);
+    auto [it, inserted] = groups.emplace(key, ordered.size());
+    if (inserted) {
+      ordered.push_back({std::move(key), {}});
+    }
+    ordered[it->second].second.push_back(r.annotation);
+  }
+  for (auto& [key, annotations] : ordered) {
+    out.AddRow(std::move(key.cells), pool_->AddS(std::move(annotations)));
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalRename(const Query& q) {
+  PvcTable input = Eval(*q.child(0));
+  const Schema& in_schema = input.schema();
+  size_t idx = in_schema.IndexOf(q.rename_from());
+  std::vector<Column> columns = in_schema.columns();
+  columns.push_back({q.rename_to(), in_schema.column(idx).type});
+  PvcTable out{Schema(std::move(columns))};
+  for (const Row& r : input.rows()) {
+    std::vector<Cell> cells = r.cells;
+    cells.push_back(r.cells[idx]);
+    out.AddRow(std::move(cells), r.annotation);
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalProduct(const Query& q) {
+  PvcTable left = Eval(*q.child(0));
+  PvcTable right = Eval(*q.child(1));
+  std::vector<Column> columns = left.schema().columns();
+  for (const Column& c : right.schema().columns()) {
+    PVC_CHECK_MSG(!left.schema().Find(c.name).has_value(),
+                  "product requires disjoint column names; '"
+                      << c.name << "' occurs on both sides (use Rename)");
+    columns.push_back(c);
+  }
+  PvcTable out{Schema(std::move(columns))};
+  for (const Row& l : left.rows()) {
+    for (const Row& r : right.rows()) {
+      std::vector<Cell> cells = l.cells;
+      cells.insert(cells.end(), r.cells.begin(), r.cells.end());
+      out.AddRow(std::move(cells), pool_->MulS(l.annotation, r.annotation));
+    }
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalUnion(const Query& q) {
+  PvcTable left = Eval(*q.child(0));
+  PvcTable right = Eval(*q.child(1));
+  PVC_CHECK_MSG(left.schema() == right.schema(),
+                "union requires identical schemas: "
+                    << left.schema().ToString() << " vs "
+                    << right.schema().ToString());
+  for (const Column& c : left.schema().columns()) {
+    PVC_CHECK_MSG(c.type != CellType::kAggExpr,
+                  "Definition 5: union over aggregation attribute '"
+                      << c.name << "'");
+  }
+  PvcTable out{left.schema()};
+  // Duplicate tuples across both sides merge; annotations sum (Figure 4).
+  std::unordered_map<RowKey, size_t, RowKeyHash> groups;
+  std::vector<std::pair<RowKey, std::vector<ExprId>>> ordered;
+  auto add_rows = [&](const PvcTable& t) {
+    for (const Row& r : t.rows()) {
+      RowKey key{r.cells};
+      auto [it, inserted] = groups.emplace(key, ordered.size());
+      if (inserted) {
+        ordered.push_back({std::move(key), {}});
+      }
+      ordered[it->second].second.push_back(r.annotation);
+    }
+  };
+  add_rows(left);
+  add_rows(right);
+  for (auto& [key, annotations] : ordered) {
+    out.AddRow(std::move(key.cells), pool_->AddS(std::move(annotations)));
+  }
+  return out;
+}
+
+PvcTable QueryEvaluator::EvalGroupAgg(const Query& q) {
+  PvcTable input = Eval(*q.child(0));
+  const Schema& in_schema = input.schema();
+
+  std::vector<Column> columns;
+  std::vector<size_t> group_indices;
+  for (const std::string& name : q.columns()) {
+    size_t idx = in_schema.IndexOf(name);
+    PVC_CHECK_MSG(in_schema.column(idx).type != CellType::kAggExpr,
+                  "Definition 5: grouping on aggregation attribute '" << name
+                                                                      << "'");
+    columns.push_back(in_schema.column(idx));
+    group_indices.push_back(idx);
+  }
+  struct AggInput {
+    AggKind agg;
+    std::optional<size_t> index;  // nullopt: COUNT(*) aggregates 1.
+  };
+  std::vector<AggInput> agg_inputs;
+  for (const AggSpec& spec : q.aggs()) {
+    columns.push_back({spec.output_column, CellType::kAggExpr});
+    AggInput in;
+    in.agg = spec.agg;
+    if (spec.agg == AggKind::kCount && spec.input_column.empty()) {
+      in.index = std::nullopt;
+    } else {
+      size_t idx = in_schema.IndexOf(spec.input_column);
+      PVC_CHECK_MSG(in_schema.column(idx).type == CellType::kInt,
+                    "aggregation input '"
+                        << spec.input_column
+                        << "' must be an integer column (fixed-point encode "
+                           "decimals)");
+      in.index = idx;
+    }
+    agg_inputs.push_back(in);
+  }
+  PvcTable out{Schema(std::move(columns))};
+
+  struct GroupAcc {
+    RowKey key;
+    std::vector<ExprId> annotations;
+    std::vector<std::vector<ExprId>> agg_terms;  // One list per AggSpec.
+  };
+  std::unordered_map<RowKey, size_t, RowKeyHash> groups;
+  std::vector<GroupAcc> ordered;
+  const bool grouped = !group_indices.empty();
+  if (!grouped) {
+    // The $-without-grouping rule always produces exactly one tuple.
+    GroupAcc acc;
+    acc.agg_terms.resize(agg_inputs.size());
+    ordered.push_back(std::move(acc));
+  }
+  for (const Row& r : input.rows()) {
+    size_t slot = 0;
+    if (grouped) {
+      RowKey key;
+      key.cells.reserve(group_indices.size());
+      for (size_t idx : group_indices) key.cells.push_back(r.cells[idx]);
+      auto [it, inserted] = groups.emplace(key, ordered.size());
+      if (inserted) {
+        GroupAcc acc;
+        acc.key = std::move(key);
+        acc.agg_terms.resize(agg_inputs.size());
+        ordered.push_back(std::move(acc));
+      }
+      slot = it->second;
+    }
+    GroupAcc& acc = ordered[slot];
+    acc.annotations.push_back(r.annotation);
+    for (size_t a = 0; a < agg_inputs.size(); ++a) {
+      const AggInput& in = agg_inputs[a];
+      int64_t value = in.index.has_value() ? r.cells[*in.index].AsInt() : 1;
+      if (in.agg == AggKind::kCount) value = 1;
+      acc.agg_terms[a].push_back(
+          pool_->Tensor(r.annotation, pool_->ConstM(in.agg, value)));
+    }
+  }
+  ExprId one = pool_->ConstS(pool_->semiring().One());
+  ExprId zero_s = pool_->ConstS(pool_->semiring().Zero());
+  for (GroupAcc& acc : ordered) {
+    std::vector<Cell> cells = std::move(acc.key.cells);
+    for (size_t a = 0; a < agg_inputs.size(); ++a) {
+      ExprId value = pool_->AddM(agg_inputs[a].agg, std::move(acc.agg_terms[a]));
+      cells.push_back(Cell::Agg(value));
+    }
+    // With grouping, the tuple exists iff its group is non-empty:
+    // [Sum_K Phi != 0_K] (Figure 4). Without grouping the annotation is 1_K.
+    ExprId annotation =
+        grouped ? pool_->Cmp(CmpOp::kNe, pool_->AddS(std::move(acc.annotations)),
+                             zero_s)
+                : one;
+    out.AddRow(std::move(cells), annotation);
+  }
+  return out;
+}
+
+}  // namespace pvcdb

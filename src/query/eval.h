@@ -1,0 +1,73 @@
+// Query evaluation step I (Section 4): computing the tuples of the query
+// result together with their semiring annotations and semimodule values,
+// following the rewriting [[.]] of Figure 4:
+//
+//   - selection multiplies annotations with conditional expressions,
+//   - projection and union sum the annotations of merged tuples,
+//   - product multiplies the annotations of paired tuples,
+//   - $ with grouping builds Sum_AGG(Phi (x) B) semimodule values per group
+//     and annotates each group with [Sum_K Phi != 0_K],
+//   - $ without grouping builds the same values over the whole input and
+//     annotates the single result tuple with 1_K.
+//
+// Deterministic evaluation (the Q0 baseline of Experiment F) runs the same
+// rewriting with every scanned tuple annotated 1_K: all constructed
+// expressions then fold to constants, so no expression manipulation
+// remains -- exactly the "no expression or probability computation" mode.
+
+#ifndef PVCDB_QUERY_EVAL_H_
+#define PVCDB_QUERY_EVAL_H_
+
+#include <functional>
+#include <string>
+
+#include "src/expr/expr.h"
+#include "src/query/ast.h"
+#include "src/table/pvc_table.h"
+
+namespace pvcdb {
+
+/// Resolves a base-table name to the table (owned elsewhere).
+using TableResolver = std::function<const PvcTable&(const std::string&)>;
+
+/// Evaluation mode: probabilistic ([[.]]) or deterministic (Q0).
+enum class EvalMode : uint8_t { kProbabilistic, kDeterministic };
+
+/// Evaluates Q queries over pvc-tables, producing result pvc-tables.
+class QueryEvaluator {
+ public:
+  QueryEvaluator(ExprPool* pool, TableResolver resolver,
+                 EvalMode mode = EvalMode::kProbabilistic);
+
+  /// Evaluates `q`; checks Definition 5's constraints (projection, union
+  /// and grouping over aggregation attributes are rejected).
+  PvcTable Eval(const Query& q);
+
+ private:
+  PvcTable EvalScan(const Query& q);
+  PvcTable EvalSelect(const Query& q);
+  PvcTable EvalProject(const Query& q);
+  PvcTable EvalRename(const Query& q);
+  PvcTable EvalProduct(const Query& q);
+  PvcTable EvalUnion(const Query& q);
+  PvcTable EvalGroupAgg(const Query& q);
+
+  /// Applies one predicate atom to a row: either filters on data values or
+  /// extends the annotation with a conditional expression. Returns false
+  /// when the row is statically excluded.
+  bool ApplyAtom(const Schema& schema, const Atom& atom, Row* row);
+
+  /// Fast path for Select(Product(l, r), pred): executes data-column
+  /// equality atoms as a hash join instead of materialising the cross
+  /// product, then applies the remaining atoms per joined row. Semantics
+  /// are identical to the naive pipeline.
+  PvcTable EvalHashJoin(const Query& product, const Predicate& pred);
+
+  ExprPool* pool_;
+  TableResolver resolver_;
+  EvalMode mode_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_EVAL_H_

@@ -1,0 +1,421 @@
+#include "src/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace pvcdb {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Tokeniser.
+// ---------------------------------------------------------------------
+
+enum class TokenKind : uint8_t {
+  kIdent,
+  kInt,
+  kString,
+  kSymbol,  // ( ) , * and comparison operators.
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;  // Upper-cased for idents' keyword checks; raw in raw.
+  std::string raw;
+  int64_t int_value = 0;
+  size_t position = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  bool Tokenize(std::vector<Token>* out, std::string* error) {
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token token;
+      token.position = i;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < input_.size() &&
+               (std::isalnum(static_cast<unsigned char>(input_[i])) ||
+                input_[i] == '_' || input_[i] == '.')) {
+          ++i;
+        }
+        token.kind = TokenKind::kIdent;
+        token.raw = input_.substr(start, i - start);
+        token.text = Upper(token.raw);
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        size_t start = i;
+        if (c == '-') ++i;
+        while (i < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[i]))) {
+          ++i;
+        }
+        token.kind = TokenKind::kInt;
+        token.raw = input_.substr(start, i - start);
+        token.int_value = std::stoll(token.raw);
+      } else if (c == '\'') {
+        size_t start = ++i;
+        while (i < input_.size() && input_[i] != '\'') ++i;
+        if (i >= input_.size()) {
+          *error = "unterminated string literal";
+          return false;
+        }
+        token.kind = TokenKind::kString;
+        token.raw = input_.substr(start, i - start);
+        ++i;  // Closing quote.
+      } else {
+        // Symbols; multi-character comparison operators first.
+        static const char* kTwoChar[] = {"<=", ">=", "!=", "<>"};
+        std::string sym(1, c);
+        for (const char* two : kTwoChar) {
+          if (input_.compare(i, 2, two) == 0) {
+            sym = two;
+            break;
+          }
+        }
+        token.kind = TokenKind::kSymbol;
+        token.raw = sym;
+        token.text = sym;
+        i += sym.size();
+      }
+      out->push_back(std::move(token));
+    }
+    Token end;
+    end.kind = TokenKind::kEnd;
+    end.position = input_.size();
+    out->push_back(end);
+    return true;
+  }
+
+ private:
+  static std::string Upper(const std::string& s) {
+    std::string out = s;
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+      return static_cast<char>(std::toupper(c));
+    });
+    return out;
+  }
+
+  const std::string& input_;
+};
+
+// ---------------------------------------------------------------------
+// Recursive-descent parser.
+// ---------------------------------------------------------------------
+
+struct SelectItem {
+  bool is_aggregate = false;
+  AggKind agg = AggKind::kCount;
+  std::string column;  // Empty for COUNT(*).
+  std::string alias;   // Output name.
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult Parse() {
+    ParseResult result;
+    if (!Expect(TokenKind::kIdent, "SELECT")) {
+      return Fail("expected SELECT");
+    }
+    std::vector<SelectItem> items;
+    bool select_star = false;
+    if (PeekSymbol("*")) {
+      Advance();
+      select_star = true;
+    } else {
+      do {
+        std::optional<SelectItem> item = ParseSelectItem();
+        if (!item.has_value()) return Fail(error_);
+        items.push_back(*item);
+      } while (ConsumeSymbol(","));
+    }
+    if (!Expect(TokenKind::kIdent, "FROM")) return Fail("expected FROM");
+    std::vector<std::string> tables;
+    do {
+      if (Peek().kind != TokenKind::kIdent) return Fail("expected table name");
+      tables.push_back(Peek().raw);
+      Advance();
+    } while (ConsumeSymbol(","));
+
+    Predicate where;
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      if (!ParseConjunction(&where)) return Fail(error_);
+    }
+    std::vector<std::string> group_by;
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      if (!Expect(TokenKind::kIdent, "BY")) return Fail("expected BY");
+      do {
+        if (Peek().kind != TokenKind::kIdent) {
+          return Fail("expected column name in GROUP BY");
+        }
+        group_by.push_back(Peek().raw);
+        Advance();
+      } while (ConsumeSymbol(","));
+    }
+    Predicate having;
+    if (PeekKeyword("HAVING")) {
+      Advance();
+      if (!ParseConjunction(&having)) return Fail(error_);
+    }
+    if (Peek().kind != TokenKind::kEnd && !PeekSymbol(";")) {
+      return Fail("unexpected trailing input near '" + Peek().raw + "'");
+    }
+
+    // ---- Build the algebra tree. ----
+    QueryPtr q = Query::Scan(tables[0]);
+    for (size_t i = 1; i < tables.size(); ++i) {
+      q = Query::Product(q, Query::Scan(tables[i]));
+    }
+    if (!where.empty()) q = Query::Select(q, where);
+
+    std::vector<AggSpec> aggs;
+    std::vector<std::string> plain_columns;
+    for (const SelectItem& item : items) {
+      if (item.is_aggregate) {
+        AggSpec spec;
+        spec.agg = item.agg;
+        spec.input_column = item.column;
+        spec.output_column =
+            item.alias.empty() ? DefaultAggName(item) : item.alias;
+        aggs.push_back(spec);
+      } else {
+        plain_columns.push_back(item.column);
+      }
+    }
+
+    if (!aggs.empty() || !group_by.empty()) {
+      if (aggs.empty()) {
+        return Fail("GROUP BY without an aggregate in the select list");
+      }
+      std::vector<std::string> groups =
+          group_by.empty() ? plain_columns : group_by;
+      // Plain select-list columns must be grouping columns.
+      for (const std::string& col : plain_columns) {
+        if (std::find(groups.begin(), groups.end(), col) == groups.end()) {
+          return Fail("column '" + col +
+                      "' appears in SELECT but not in GROUP BY");
+        }
+      }
+      q = Query::GroupAgg(q, groups, aggs);
+      if (!having.empty()) q = Query::Select(q, having);
+      // The $ result schema is exactly groups + aggregate outputs; an
+      // explicit projection is only needed to drop aggregate columns,
+      // which Definition 5 forbids projecting anyway -- emit a projection
+      // only when the user listed a strict subset of the group columns.
+      if (!group_by.empty() && plain_columns.size() < group_by.size() &&
+          !select_star && !plain_columns.empty()) {
+        return Fail(
+            "SELECT must list all GROUP BY columns (aggregation attributes "
+            "cannot be projected away, Definition 5)");
+      }
+    } else if (!select_star) {
+      q = Query::Project(q, plain_columns);
+    }
+
+    result.query = q;
+    return result;
+  }
+
+ private:
+  static std::string DefaultAggName(const SelectItem& item) {
+    std::string base = AggKindName(item.agg);
+    std::transform(base.begin(), base.end(), base.begin(),
+                   [](unsigned char c) {
+                     return static_cast<char>(std::tolower(c));
+                   });
+    return item.column.empty() ? base : base + "_" + item.column;
+  }
+
+  std::optional<SelectItem> ParseSelectItem() {
+    if (Peek().kind != TokenKind::kIdent) {
+      error_ = "expected column or aggregate in select list";
+      return std::nullopt;
+    }
+    SelectItem item;
+    std::string head_upper = Peek().text;
+    std::string head_raw = Peek().raw;
+    Advance();
+    std::optional<AggKind> agg = AggFromName(head_upper);
+    if (agg.has_value() && PeekSymbol("(")) {
+      Advance();
+      item.is_aggregate = true;
+      item.agg = *agg;
+      if (PeekSymbol("*")) {
+        Advance();
+        if (item.agg != AggKind::kCount) {
+          error_ = "only COUNT accepts '*'";
+          return std::nullopt;
+        }
+      } else {
+        if (Peek().kind != TokenKind::kIdent) {
+          error_ = "expected column inside aggregate";
+          return std::nullopt;
+        }
+        item.column = Peek().raw;
+        Advance();
+      }
+      if (!ConsumeSymbol(")")) {
+        error_ = "expected ')' after aggregate";
+        return std::nullopt;
+      }
+    } else {
+      item.column = head_raw;
+    }
+    if (PeekKeyword("AS")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdent) {
+        error_ = "expected alias after AS";
+        return std::nullopt;
+      }
+      item.alias = Peek().raw;
+      Advance();
+    }
+    if (!item.is_aggregate && !item.alias.empty()) {
+      error_ = "aliases are supported on aggregates only";
+      return std::nullopt;
+    }
+    return item;
+  }
+
+  bool ParseConjunction(Predicate* pred) {
+    do {
+      std::optional<Operand> lhs = ParseOperand();
+      if (!lhs.has_value()) return false;
+      std::optional<CmpOp> op = ParseCmpOp();
+      if (!op.has_value()) return false;
+      std::optional<Operand> rhs = ParseOperand();
+      if (!rhs.has_value()) return false;
+      pred->And({*op, *lhs, *rhs});
+    } while (ConsumeKeyword("AND"));
+    return true;
+  }
+
+  std::optional<Operand> ParseOperand() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kIdent: {
+        Operand o = Operand::Col(t.raw);
+        Advance();
+        return o;
+      }
+      case TokenKind::kInt: {
+        Operand o = Operand::Int(t.int_value);
+        Advance();
+        return o;
+      }
+      case TokenKind::kString: {
+        Operand o = Operand::Str(t.raw);
+        Advance();
+        return o;
+      }
+      default:
+        error_ = "expected column, integer, or string operand";
+        return std::nullopt;
+    }
+  }
+
+  std::optional<CmpOp> ParseCmpOp() {
+    if (Peek().kind != TokenKind::kSymbol) {
+      error_ = "expected comparison operator";
+      return std::nullopt;
+    }
+    std::string sym = Peek().raw;
+    Advance();
+    if (sym == "=") return CmpOp::kEq;
+    if (sym == "!=" || sym == "<>") return CmpOp::kNe;
+    if (sym == "<=") return CmpOp::kLe;
+    if (sym == ">=") return CmpOp::kGe;
+    if (sym == "<") return CmpOp::kLt;
+    if (sym == ">") return CmpOp::kGt;
+    error_ = "unknown comparison operator '" + sym + "'";
+    return std::nullopt;
+  }
+
+  static std::optional<AggKind> AggFromName(const std::string& upper) {
+    if (upper == "SUM") return AggKind::kSum;
+    if (upper == "COUNT") return AggKind::kCount;
+    if (upper == "MIN") return AggKind::kMin;
+    if (upper == "MAX") return AggKind::kMax;
+    if (upper == "PROD") return AggKind::kProd;
+    return std::nullopt;
+  }
+
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() {
+    if (index_ + 1 < tokens_.size()) ++index_;
+  }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == kw;
+  }
+
+  bool PeekSymbol(const std::string& sym) const {
+    return Peek().kind == TokenKind::kSymbol && Peek().raw == sym;
+  }
+
+  bool ConsumeKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  bool ConsumeSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+
+  bool Expect(TokenKind kind, const std::string& keyword) {
+    if (Peek().kind != kind) return false;
+    if (kind == TokenKind::kIdent && Peek().text != keyword) return false;
+    Advance();
+    return true;
+  }
+
+  ParseResult Fail(const std::string& message) {
+    ParseResult r;
+    std::ostringstream out;
+    out << "parse error at position " << Peek().position << ": "
+        << (message.empty() ? error_ : message);
+    r.error = out.str();
+    return r;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& sql) {
+  std::vector<Token> tokens;
+  std::string lex_error;
+  Lexer lexer(sql);
+  if (!lexer.Tokenize(&tokens, &lex_error)) {
+    ParseResult r;
+    r.error = "lex error: " + lex_error;
+    return r;
+  }
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,48 @@
+// A small SQL-style surface syntax for Q queries.
+//
+// The paper expresses aggregate queries in SQL (Example 3: "SELECT A,
+// SUM(B) FROM R GROUP BY A" is $_{A; beta<-SUM(B)}(R)"). This parser covers
+// the fragment needed for the paper's queries:
+//
+//   SELECT <list> FROM <tables> [WHERE <conj>] [GROUP BY <cols>]
+//                 [HAVING <conj>]
+//
+//   <list>   ::= '*' | item (',' item)*
+//   item     ::= column | AGG '(' column | '*' ')' [AS name]
+//                (AGG in SUM, COUNT, MIN, MAX, PROD)
+//   <tables> ::= name (',' name)*          (joins via WHERE equalities)
+//   <conj>   ::= atom (AND atom)*
+//   atom     ::= operand (= | != | <> | <= | >= | < | >) operand
+//   operand  ::= column | integer | 'string literal'
+//
+// Translation into the Q algebra: FROM builds a product, WHERE a selection
+// (the evaluator executes cross-table equalities as hash joins), GROUP BY
+// + aggregates build the $ operator, HAVING a selection over the
+// aggregation attributes (which becomes a conditional expression), and the
+// select list a projection. Definition 5's restrictions are inherited from
+// the algebra; e.g. projecting an aggregation attribute that is not in
+// GROUP BY is rejected at evaluation time.
+
+#ifndef PVCDB_QUERY_PARSER_H_
+#define PVCDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "src/query/ast.h"
+
+namespace pvcdb {
+
+/// Outcome of parsing: either a query or a diagnostic.
+struct ParseResult {
+  QueryPtr query;     ///< Null on failure.
+  std::string error;  ///< Empty on success; human-readable otherwise.
+
+  bool ok() const { return query != nullptr; }
+};
+
+/// Parses one SELECT statement into a Q query tree.
+ParseResult ParseQuery(const std::string& sql);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_PARSER_H_

@@ -1,0 +1,101 @@
+#include "src/query/predicate.h"
+
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+Operand Operand::Col(std::string name) {
+  Operand o;
+  o.kind_ = Kind::kColumn;
+  o.column_ = std::move(name);
+  return o;
+}
+
+Operand Operand::Int(int64_t v) {
+  Operand o;
+  o.kind_ = Kind::kConst;
+  o.constant_ = Cell(v);
+  return o;
+}
+
+Operand Operand::Double(double v) {
+  Operand o;
+  o.kind_ = Kind::kConst;
+  o.constant_ = Cell(v);
+  return o;
+}
+
+Operand Operand::Str(std::string v) {
+  Operand o;
+  o.kind_ = Kind::kConst;
+  o.constant_ = Cell(std::move(v));
+  return o;
+}
+
+const std::string& Operand::column() const {
+  PVC_CHECK_MSG(kind_ == Kind::kColumn, "operand is not a column");
+  return column_;
+}
+
+const Cell& Operand::constant() const {
+  PVC_CHECK_MSG(kind_ == Kind::kConst, "operand is not a constant");
+  return constant_;
+}
+
+std::string Operand::ToString() const {
+  if (kind_ == Kind::kColumn) return column_;
+  return constant_.ToString();
+}
+
+std::string Atom::ToString() const {
+  return lhs.ToString() + " " + CmpOpName(op) + " " + rhs.ToString();
+}
+
+Predicate& Predicate::And(Atom atom) {
+  atoms_.push_back(std::move(atom));
+  return *this;
+}
+
+Predicate Predicate::ColEqCol(const std::string& a, const std::string& b) {
+  Predicate p;
+  p.And({CmpOp::kEq, Operand::Col(a), Operand::Col(b)});
+  return p;
+}
+
+Predicate Predicate::ColEqInt(const std::string& a, int64_t v) {
+  Predicate p;
+  p.And({CmpOp::kEq, Operand::Col(a), Operand::Int(v)});
+  return p;
+}
+
+Predicate Predicate::ColEqStr(const std::string& a, const std::string& v) {
+  Predicate p;
+  p.And({CmpOp::kEq, Operand::Col(a), Operand::Str(v)});
+  return p;
+}
+
+Predicate Predicate::ColCmpInt(const std::string& a, CmpOp op, int64_t v) {
+  Predicate p;
+  p.And({op, Operand::Col(a), Operand::Int(v)});
+  return p;
+}
+
+Predicate Predicate::ColCmpCol(const std::string& a, CmpOp op,
+                               const std::string& b) {
+  Predicate p;
+  p.And({op, Operand::Col(a), Operand::Col(b)});
+  return p;
+}
+
+std::string Predicate::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out << " AND ";
+    out << atoms_[i].ToString();
+  }
+  return out.str();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,78 @@
+// Selection predicates of Q queries (Section 6's assumptions on sigma_phi):
+// conjunctions of (1) equality atoms between non-aggregation attributes or
+// against constants, and (2) theta-comparisons involving aggregation
+// attributes, which rewrite into conditional expressions [alpha theta beta].
+
+#ifndef PVCDB_QUERY_PREDICATE_H_
+#define PVCDB_QUERY_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/algebra/monoid.h"
+#include "src/table/cell.h"
+
+namespace pvcdb {
+
+/// One side of a comparison atom: a column reference or a constant.
+class Operand {
+ public:
+  enum class Kind : uint8_t { kColumn, kConst };
+
+  /// Column reference.
+  static Operand Col(std::string name);
+
+  /// Constant operands.
+  static Operand Int(int64_t v);
+  static Operand Double(double v);
+  static Operand Str(std::string v);
+
+  Kind kind() const { return kind_; }
+  const std::string& column() const;
+  const Cell& constant() const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kConst;
+  std::string column_;
+  Cell constant_;
+};
+
+/// One comparison atom `lhs theta rhs`.
+struct Atom {
+  CmpOp op = CmpOp::kEq;
+  Operand lhs;
+  Operand rhs;
+
+  std::string ToString() const;
+};
+
+/// A conjunction of atoms.
+class Predicate {
+ public:
+  Predicate() = default;
+
+  Predicate& And(Atom atom);
+
+  /// Convenience factories for the common shapes.
+  static Predicate ColEqCol(const std::string& a, const std::string& b);
+  static Predicate ColEqInt(const std::string& a, int64_t v);
+  static Predicate ColEqStr(const std::string& a, const std::string& v);
+  static Predicate ColCmpInt(const std::string& a, CmpOp op, int64_t v);
+  static Predicate ColCmpCol(const std::string& a, CmpOp op,
+                             const std::string& b);
+
+  const std::vector<Atom>& atoms() const { return atoms_; }
+  bool empty() const { return atoms_.empty(); }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_PREDICATE_H_

@@ -1,0 +1,124 @@
+#include "src/query/sql_rewrite.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+namespace {
+
+std::string LowerAggName(AggKind agg) {
+  std::string name = AggKindName(agg);
+  std::transform(name.begin(), name.end(), name.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return name;
+}
+
+std::string OperandSql(const Operand& o, const std::string& alias) {
+  if (o.kind() == Operand::Kind::kColumn) return alias + "." + o.column();
+  const Cell& c = o.constant();
+  if (c.type() == CellType::kString) return "'" + c.AsString() + "'";
+  return c.ToString();
+}
+
+std::string PredicateSql(const Predicate& pred, const std::string& alias) {
+  // Conditional-expression product: Phi *_K [A theta B] *_K ...
+  std::ostringstream out;
+  for (const Atom& a : pred.atoms()) {
+    out << ", cond(" << OperandSql(a.lhs, alias) << ", '" << CmpOpName(a.op)
+        << "', " << OperandSql(a.rhs, alias) << ")";
+  }
+  return out.str();
+}
+
+// Renders [[q]] recursively; `R` is the derived-table alias convention of
+// Figure 4.
+std::string Rewrite(const Query& q) {
+  std::ostringstream out;
+  switch (q.op()) {
+    case QueryOp::kScan:
+      // [[R]] = select R.*, R.phi from R.
+      out << "select R.*, R.phi from " << q.table_name() << " R";
+      return out.str();
+    case QueryOp::kRename:
+      // [[delta_{B<-A}(Q)]] = select R.*, R.A as B, R.phi from ([[Q]]) R.
+      out << "select R.*, R." << q.rename_from() << " as " << q.rename_to()
+          << ", R.phi as phi from (" << Rewrite(*q.child(0)) << ") R";
+      return out.str();
+    case QueryOp::kSelect: {
+      // [[sigma(Q)]] = select R.*, times_k(R.phi, cond(...)) as phi.
+      out << "select R.*, times_k(R.phi" << PredicateSql(q.predicate(), "R")
+          << ") as phi from (" << Rewrite(*q.child(0)) << ") R";
+      return out.str();
+    }
+    case QueryOp::kProject: {
+      // [[pi(Q)]] = select A..., sum_k(R.phi) as phi ... group by A...
+      out << "select ";
+      for (size_t i = 0; i < q.columns().size(); ++i) {
+        if (i > 0) out << ", ";
+        out << "R." << q.columns()[i];
+      }
+      if (!q.columns().empty()) out << ", ";
+      out << "sum_k(R.phi) as phi from (" << Rewrite(*q.child(0)) << ") R";
+      if (!q.columns().empty()) {
+        out << " group by ";
+        for (size_t i = 0; i < q.columns().size(); ++i) {
+          if (i > 0) out << ", ";
+          out << "R." << q.columns()[i];
+        }
+      }
+      return out.str();
+    }
+    case QueryOp::kProduct:
+      // [[Q1 x Q2]] = select R.*, S.*, times_k(R.phi, S.phi) as phi.
+      out << "select R.*, S.*, times_k(R.phi, S.phi) as phi from ("
+          << Rewrite(*q.child(0)) << ") R, (" << Rewrite(*q.child(1))
+          << ") S";
+      return out.str();
+    case QueryOp::kUnion:
+      // [[Q1 U Q2]] = select R.*, sum_k(R.phi) ... from union all ...
+      out << "select R.*, sum_k(R.phi) as phi from (select * from ("
+          << Rewrite(*q.child(0)) << ") union all select * from ("
+          << Rewrite(*q.child(1)) << ")) R group by R.*";
+      return out.str();
+    case QueryOp::kGroupAgg: {
+      // [[$...]]: Gamma_i = sum_<agg>(tensor(R.phi, R.B_i)); with grouping
+      // the annotation is cond(sum_k(R.phi), '!=', 0), without it 1.
+      out << "select ";
+      for (const std::string& col : q.columns()) {
+        out << "R." << col << ", ";
+      }
+      for (const AggSpec& spec : q.aggs()) {
+        out << "sum_" << LowerAggName(spec.agg) << "(tensor(R.phi, "
+            << (spec.agg == AggKind::kCount || spec.input_column.empty()
+                    ? "1"
+                    : "R." + spec.input_column)
+            << ")) as " << spec.output_column << ", ";
+      }
+      if (q.columns().empty()) {
+        out << "1 as phi";
+      } else {
+        out << "cond(sum_k(R.phi), '!=', 0) as phi";
+      }
+      out << " from (" << Rewrite(*q.child(0)) << ") R";
+      if (!q.columns().empty()) {
+        out << " group by ";
+        for (size_t i = 0; i < q.columns().size(); ++i) {
+          if (i > 0) out << ", ";
+          out << "R." << q.columns()[i];
+        }
+      }
+      return out.str();
+    }
+  }
+  PVC_FAIL("unknown query operator");
+}
+
+}  // namespace
+
+std::string RewriteToSql(const Query& q) { return Rewrite(q); }
+
+}  // namespace pvcdb

@@ -1,0 +1,29 @@
+// The [[.]] rewriting of Figure 4, rendered as SQL text.
+//
+// The paper presents [[.]] as a translation from Q queries into SQL
+// queries over the custom operators Sum_K (annotation sum), *_K
+// (annotation product), Sum_AGG ((x)-aggregation) and [theta]
+// (conditional expressions). Our engine *executes* that translation
+// directly (src/query/eval.cc); this module renders the same translation
+// as SQL text -- the artifact Figure 4 shows -- which is useful for
+// documentation, debugging, and for porting pvcdb's rewriting onto a SQL
+// engine with custom aggregates (the paper's SPROUT-on-PostgreSQL
+// deployment).
+
+#ifndef PVCDB_QUERY_SQL_REWRITE_H_
+#define PVCDB_QUERY_SQL_REWRITE_H_
+
+#include <string>
+
+#include "src/query/ast.h"
+
+namespace pvcdb {
+
+/// Renders [[q]] as SQL text in the notation of Figure 4. The result uses
+/// the pseudo-operators sum_k(), times_k(), sum_<agg>(), tensor() and
+/// cond(l, 'theta', r) for the semiring/semimodule constructions.
+std::string RewriteToSql(const Query& q);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_SQL_REWRITE_H_

@@ -1,0 +1,442 @@
+#include "src/query/tractability.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+bool IsTupleIndependent(const PvcTable& table, const ExprPool& pool) {
+  std::set<VarId> seen;
+  for (const Column& c : table.schema().columns()) {
+    if (c.type == CellType::kAggExpr) return false;
+  }
+  for (const Row& r : table.rows()) {
+    const ExprNode& n = pool.node(r.annotation);
+    if (n.kind != ExprKind::kVar) return false;
+    if (!seen.insert(n.var()).second) return false;  // Repeated variable.
+  }
+  return true;
+}
+
+namespace {
+
+// The normalised shape pi_A sigma_phi (Q1 x ... x Qn): an optional
+// projection over a chain of selections over a product tree whose leaves
+// are arbitrary subqueries.
+struct FlatQuery {
+  bool has_projection = false;
+  std::vector<std::string> head;       // A-bar (empty when no projection).
+  std::vector<Atom> atoms;             // Conjunction of all selections.
+  std::vector<const Query*> relations; // The product leaves.
+};
+
+void FlattenProduct(const Query* q, std::vector<const Query*>* out) {
+  if (q->op() == QueryOp::kProduct) {
+    FlattenProduct(q->child(0).get(), out);
+    FlattenProduct(q->child(1).get(), out);
+  } else {
+    out->push_back(q);
+  }
+}
+
+// Decomposes q into the pi-sigma-product normal form. Returns false when q
+// has a different shape.
+bool Flatten(const Query* q, FlatQuery* flat) {
+  if (q->op() == QueryOp::kProject) {
+    flat->has_projection = true;
+    flat->head = q->columns();
+    q = q->child(0).get();
+  }
+  while (q->op() == QueryOp::kSelect) {
+    for (const Atom& a : q->predicate().atoms()) flat->atoms.push_back(a);
+    q = q->child(0).get();
+  }
+  FlattenProduct(q, &flat->relations);
+  return true;
+}
+
+// Collects every base-table name in the query.
+void CollectTables(const Query* q, std::vector<std::string>* names) {
+  if (q->op() == QueryOp::kScan) {
+    names->push_back(q->table_name());
+    return;
+  }
+  for (const QueryPtr& c : q->children()) CollectTables(c.get(), names);
+}
+
+// A query is non-repeating when no base relation occurs twice.
+bool IsNonRepeating(const Query& q) {
+  std::vector<std::string> names;
+  CollectTables(&q, &names);
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+// Output columns of a subquery, resolved syntactically. Aggregation output
+// columns are flagged.
+struct ColumnInfo {
+  std::string name;
+  bool is_aggregate = false;
+};
+
+std::vector<ColumnInfo> OutputColumns(const Query& q) {
+  switch (q.op()) {
+    case QueryOp::kScan:
+      // Unknown without the catalog; callers that need scan columns use
+      // attribute occurrence instead (see AttributeOwner below).
+      return {};
+    case QueryOp::kSelect:
+      return OutputColumns(*q.child(0));
+    case QueryOp::kProject: {
+      std::vector<ColumnInfo> cols;
+      std::vector<ColumnInfo> inner = OutputColumns(*q.child(0));
+      for (const std::string& name : q.columns()) {
+        bool agg = false;
+        for (const ColumnInfo& c : inner) {
+          if (c.name == name) agg = c.is_aggregate;
+        }
+        cols.push_back({name, agg});
+      }
+      return cols;
+    }
+    case QueryOp::kRename: {
+      std::vector<ColumnInfo> cols = OutputColumns(*q.child(0));
+      bool agg = false;
+      for (const ColumnInfo& c : cols) {
+        if (c.name == q.rename_from()) agg = c.is_aggregate;
+      }
+      cols.push_back({q.rename_to(), agg});
+      return cols;
+    }
+    case QueryOp::kProduct: {
+      std::vector<ColumnInfo> cols = OutputColumns(*q.child(0));
+      std::vector<ColumnInfo> right = OutputColumns(*q.child(1));
+      cols.insert(cols.end(), right.begin(), right.end());
+      return cols;
+    }
+    case QueryOp::kUnion:
+      return OutputColumns(*q.child(0));
+    case QueryOp::kGroupAgg: {
+      std::vector<ColumnInfo> cols;
+      for (const std::string& name : q.columns()) cols.push_back({name, false});
+      for (const AggSpec& spec : q.aggs()) {
+        cols.push_back({spec.output_column, true});
+      }
+      return cols;
+    }
+  }
+  PVC_FAIL("unknown query operator");
+}
+
+// Union-find over attribute names for the equivalence classes A*.
+class AttrClasses {
+ public:
+  std::string Find(const std::string& a) {
+    auto it = parent_.find(a);
+    if (it == parent_.end()) {
+      parent_[a] = a;
+      return a;
+    }
+    if (it->second == a) return a;
+    std::string root = Find(it->second);
+    parent_[a] = root;
+    return root;
+  }
+
+  void Union(const std::string& a, const std::string& b) {
+    parent_[Find(a)] = Find(b);
+  }
+
+ private:
+  std::map<std::string, std::string> parent_;
+};
+
+// Which relation (index into flat.relations) an attribute belongs to.
+// Uses the OutputColumns of each relation; attributes that cannot be
+// resolved (bare scans without catalog) are looked up through `columns_of`.
+class HierarchyChecker {
+ public:
+  HierarchyChecker(const FlatQuery& flat,
+                   const std::function<std::vector<std::string>(
+                       const Query&)>& columns_of)
+      : flat_(flat) {
+    for (size_t i = 0; i < flat.relations.size(); ++i) {
+      for (const std::string& col : columns_of(*flat.relations[i])) {
+        owner_[col] = i;
+      }
+    }
+  }
+
+  // Checks the hierarchical property; fills root_classes with the
+  // representative of every class whose at(A*) covers all relations.
+  bool IsHierarchical(std::set<std::string>* root_attrs,
+                      std::string* why_not) {
+    AttrClasses classes;
+    std::set<std::string> const_equated;
+    for (const Atom& a : flat_.atoms) {
+      bool lhs_col = a.lhs.kind() == Operand::Kind::kColumn;
+      bool rhs_col = a.rhs.kind() == Operand::Kind::kColumn;
+      if (a.op != CmpOp::kEq) continue;  // Theta atoms join via aggregates.
+      if (lhs_col && rhs_col) {
+        classes.Union(a.lhs.column(), a.rhs.column());
+      } else if (lhs_col) {
+        const_equated.insert(a.lhs.column());
+      } else if (rhs_col) {
+        const_equated.insert(a.rhs.column());
+      }
+    }
+    // Propagate constants through equivalence classes.
+    std::set<std::string> const_classes;
+    for (const std::string& c : const_equated) {
+      const_classes.insert(classes.Find(c));
+    }
+    // at(A*): relations containing an attribute of the class.
+    std::map<std::string, std::set<size_t>> at;
+    for (const auto& [attr, rel] : owner_) {
+      at[classes.Find(attr)].insert(rel);
+    }
+    std::set<std::string> head_classes;
+    for (const std::string& h : flat_.head) {
+      head_classes.insert(classes.Find(h));
+    }
+    // Pairwise check over non-head, non-constant classes.
+    std::vector<std::pair<std::string, const std::set<size_t>*>> checked;
+    for (const auto& [cls, rels] : at) {
+      if (head_classes.count(cls) > 0 || const_classes.count(cls) > 0) {
+        continue;
+      }
+      checked.push_back({cls, &rels});
+    }
+    for (size_t i = 0; i < checked.size(); ++i) {
+      for (size_t j = i + 1; j < checked.size(); ++j) {
+        const std::set<size_t>& a = *checked[i].second;
+        const std::set<size_t>& b = *checked[j].second;
+        bool disjoint = std::none_of(a.begin(), a.end(), [&](size_t r) {
+          return b.count(r) > 0;
+        });
+        bool a_in_b = std::includes(b.begin(), b.end(), a.begin(), a.end());
+        bool b_in_a = std::includes(a.begin(), a.end(), b.begin(), b.end());
+        if (!disjoint && !a_in_b && !b_in_a) {
+          if (why_not != nullptr) {
+            *why_not = "attribute classes of '" + checked[i].first +
+                       "' and '" + checked[j].first +
+                       "' overlap without containment";
+          }
+          return false;
+        }
+      }
+    }
+    // Root attributes: classes covering every relation.
+    for (const auto& [cls, rels] : at) {
+      if (rels.size() == flat_.relations.size()) root_attrs->insert(cls);
+    }
+    // Head attributes must be recorded under their class representative.
+    return true;
+  }
+
+  bool Owns(const std::string& attr) const { return owner_.count(attr) > 0; }
+
+ private:
+  const FlatQuery& flat_;
+  std::map<std::string, size_t> owner_;
+};
+
+class Analyzer {
+ public:
+  Analyzer(const std::function<bool(const std::string&)>& independent_base,
+           const std::function<std::vector<std::string>(const Query&)>&
+               columns_of)
+      : independent_base_(independent_base), columns_of_(columns_of) {}
+
+  bool InQind(const Query& q, std::string* why) {
+    // Base case: a tuple-independent relation.
+    if (q.op() == QueryOp::kScan) {
+      if (independent_base_(q.table_name())) return true;
+      *why = "base table '" + q.table_name() + "' is not tuple-independent";
+      return false;
+    }
+    // 8.2(a): pi_A sigma_phi($_{A1;gamma<-AGG}(Q1)) with gamma not in A.
+    if (MatchFilteredAggregate(q)) return true;
+    // 8.2(c): pi_empty sigma_{g1 theta g2}($(Q1) x $(Q2)) without grouping.
+    if (MatchAggregateComparison(q)) return true;
+    // 8.2(b): hierarchical pi_A sigma_phi(Q1 x ... x Qn) over Q_ind inputs
+    // with all projected attributes root attributes.
+    if (MatchHierarchicalRoots(q, why)) return true;
+    if (why->empty()) *why = "query matches no Q_ind production";
+    return false;
+  }
+
+  bool InQhie(const Query& q, std::string* why) {
+    std::string ind_why;
+    if (InQind(q, &ind_why)) return true;  // Q_ind subset of Q_hie.
+    // 9.1: pi_A $_{A;gamma<-AGG(C)}(sigma_psi(Q1 x ... x Qn)).
+    const Query* body = &q;
+    if (body->op() == QueryOp::kProject) body = body->child(0).get();
+    if (body->op() == QueryOp::kGroupAgg) {
+      const Query* inner = body->child(0).get();
+      FlatQuery flat;
+      Flatten(inner, &flat);
+      flat.head = body->columns();  // Group-by attributes act as the head.
+      flat.has_projection = true;
+      if (AllQind(flat, why) && Hierarchical(flat, nullptr, why)) return true;
+      return false;
+    }
+    // 9.2: hierarchical pi sigma product over Q_ind inputs.
+    FlatQuery flat;
+    Flatten(&q, &flat);
+    if (flat.relations.size() >= 1 && AllQind(flat, why) &&
+        Hierarchical(flat, nullptr, why)) {
+      return true;
+    }
+    if (why->empty()) *why = "query matches no Q_hie production";
+    return false;
+  }
+
+  bool Hierarchical(const FlatQuery& flat, std::set<std::string>* roots,
+                    std::string* why) {
+    HierarchyChecker checker(flat, columns_of_);
+    std::set<std::string> local_roots;
+    std::string why_not;
+    bool ok = checker.IsHierarchical(&local_roots, &why_not);
+    if (!ok && why != nullptr) *why = why_not;
+    if (roots != nullptr) *roots = local_roots;
+    return ok;
+  }
+
+ private:
+  bool AllQind(const FlatQuery& flat, std::string* why) {
+    for (const Query* rel : flat.relations) {
+      std::string sub_why;
+      if (!InQind(*rel, &sub_why)) {
+        *why = "product input not in Q_ind: " + sub_why;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Definition 8.2(a).
+  bool MatchFilteredAggregate(const Query& q) {
+    const Query* body = &q;
+    std::vector<std::string> head;
+    if (body->op() == QueryOp::kProject) {
+      head = body->columns();
+      body = body->child(0).get();
+    }
+    while (body->op() == QueryOp::kSelect) body = body->child(0).get();
+    if (body->op() != QueryOp::kGroupAgg) return false;
+    // gamma must not be projected.
+    for (const AggSpec& spec : body->aggs()) {
+      for (const std::string& h : head) {
+        if (h == spec.output_column) return false;
+      }
+    }
+    std::string why;
+    return InQind(*body->child(0), &why);
+  }
+
+  // Definition 8.2(c).
+  bool MatchAggregateComparison(const Query& q) {
+    const Query* body = &q;
+    if (body->op() == QueryOp::kProject && body->columns().empty()) {
+      body = body->child(0).get();
+    }
+    if (body->op() != QueryOp::kSelect) return false;
+    const Query* prod = body->child(0).get();
+    if (prod->op() != QueryOp::kProduct) return false;
+    const Query* l = prod->child(0).get();
+    const Query* r = prod->child(1).get();
+    auto is_groupless_agg = [&](const Query* sub) {
+      return sub->op() == QueryOp::kGroupAgg && sub->columns().empty();
+    };
+    if (!is_groupless_agg(l) || !is_groupless_agg(r)) return false;
+    std::string why;
+    return InQind(*l->child(0), &why) && InQind(*r->child(0), &why);
+  }
+
+  // Definition 8.2(b).
+  bool MatchHierarchicalRoots(const Query& q, std::string* why) {
+    if (q.op() != QueryOp::kProject) return false;
+    FlatQuery flat;
+    Flatten(&q, &flat);
+    if (!AllQind(flat, why)) return false;
+    std::set<std::string> roots;
+    if (!Hierarchical(flat, &roots, why)) return false;
+    // Every projected attribute must be a root attribute. Note: root sets
+    // use class representatives; re-resolve through a fresh checker is
+    // avoided by requiring direct membership, which suffices for the
+    // classifier's soundness.
+    for (const std::string& h : flat.head) {
+      if (roots.count(h) == 0) {
+        *why = "projected attribute '" + h + "' is not a root attribute";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  const std::function<bool(const std::string&)>& independent_base_;
+  const std::function<std::vector<std::string>(const Query&)>& columns_of_;
+};
+
+}  // namespace
+
+TractabilityResult AnalyzeTractability(
+    const Query& q,
+    const std::function<bool(const std::string&)>& is_independent_base,
+    const std::function<std::vector<std::string>(const std::string&)>&
+        table_columns) {
+  TractabilityResult result;
+  if (!IsNonRepeating(q)) {
+    result.explanation = "query repeats a base relation";
+    return result;
+  }
+  // Column resolution: exact for algebra operators, catalog-backed for
+  // scans (when a catalog is available).
+  std::function<std::vector<std::string>(const Query&)> columns_of =
+      [&](const Query& sub) -> std::vector<std::string> {
+    if (sub.op() == QueryOp::kScan && table_columns != nullptr) {
+      return table_columns(sub.table_name());
+    }
+    if (sub.op() == QueryOp::kSelect || sub.op() == QueryOp::kRename) {
+      // Recurse through shape-preserving operators so scans resolve.
+      std::vector<std::string> cols = columns_of(*sub.child(0));
+      if (sub.op() == QueryOp::kRename) cols.push_back(sub.rename_to());
+      return cols;
+    }
+    std::vector<std::string> names;
+    for (const ColumnInfo& c : OutputColumns(sub)) names.push_back(c.name);
+    if (names.empty() && !sub.children().empty()) {
+      // Fall back to child columns for operators OutputColumns cannot
+      // resolve without a catalog.
+      for (const QueryPtr& child : sub.children()) {
+        std::vector<std::string> cc = columns_of(*child);
+        names.insert(names.end(), cc.begin(), cc.end());
+      }
+    }
+    return names;
+  };
+  Analyzer analyzer(is_independent_base, columns_of);
+  FlatQuery flat;
+  Flatten(&q, &flat);
+  std::string why;
+  result.hierarchical = analyzer.Hierarchical(flat, nullptr, &why);
+  std::string why_ind;
+  result.in_qind = analyzer.InQind(q, &why_ind);
+  std::string why_hie;
+  result.in_qhie = analyzer.InQhie(q, &why_hie);
+  if (result.in_qind) {
+    result.explanation = "in Q_ind";
+  } else if (result.in_qhie) {
+    result.explanation = "in Q_hie: " + why_ind;
+  } else {
+    result.explanation = why_hie.empty() ? why_ind : why_hie;
+  }
+  return result;
+}
+
+}  // namespace pvcdb

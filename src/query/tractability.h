@@ -1,0 +1,59 @@
+// Tractability analysis: the query classes Q_ind and Q_hie (Section 6).
+//
+// The analyser is a syntactic classifier over Q query trees:
+//  - a non-repeating query pi_A sigma_phi (Q1 x ... x Qn) is *hierarchical*
+//    when for any two non-head attribute classes A*, B* (not equated to
+//    constants), at(A*) and at(B*) are disjoint or one contains the other;
+//  - Q_ind (Definition 8) contains queries whose result tuples are pairwise
+//    independent: tuple-independent relations, aggregates of Q_ind queries
+//    filtered on the aggregation attribute, hierarchical queries projecting
+//    on root attributes, and comparisons of two grouping-free aggregates;
+//  - Q_hie (Definition 9) additionally allows one aggregation-and-grouping
+//    on top of a hierarchical join of Q_ind queries.
+// Every Q_hie query has polynomial-time data complexity (Theorem 3): its
+// expressions compile with rules 1-4 only (no Shannon expansion).
+//
+// The classifier is sound (a query it accepts is in the class) but, like
+// any syntactic test, not complete for semantically equivalent rewritings.
+
+#ifndef PVCDB_QUERY_TRACTABILITY_H_
+#define PVCDB_QUERY_TRACTABILITY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/query/ast.h"
+#include "src/table/pvc_table.h"
+
+namespace pvcdb {
+
+/// Classification of one query.
+struct TractabilityResult {
+  bool hierarchical = false;  ///< For pi-sigma-product shapes.
+  bool in_qind = false;
+  bool in_qhie = false;
+  std::string explanation;
+};
+
+/// True when every tuple of `table` is annotated with its own distinct
+/// variable (and carries no semimodule values) -- the tuple-independent
+/// relations used as the base case of Definition 8.
+bool IsTupleIndependent(const PvcTable& table, const ExprPool& pool);
+
+/// Classifies `q`. `is_independent_base(name)` reports whether the base
+/// table `name` is tuple-independent (use IsTupleIndependent on the stored
+/// tables, or domain knowledge). `table_columns(name)`, when provided,
+/// resolves the column names of base tables so the hierarchical check can
+/// compute the at(A*) relation sets; without it, scan columns are unknown
+/// and the hierarchical test is vacuous for bare scans.
+TractabilityResult AnalyzeTractability(
+    const Query& q,
+    const std::function<bool(const std::string&)>& is_independent_base,
+    const std::function<std::vector<std::string>(const std::string&)>&
+        table_columns = nullptr);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_TRACTABILITY_H_

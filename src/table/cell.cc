@@ -1,0 +1,89 @@
+#include "src/table/cell.h"
+
+#include "src/expr/print.h"
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace pvcdb {
+
+Cell Cell::Agg(ExprId e) {
+  Cell c;
+  c.value_ = AggRef{e};
+  return c;
+}
+
+CellType Cell::type() const {
+  switch (value_.index()) {
+    case 0:
+      return CellType::kNull;
+    case 1:
+      return CellType::kInt;
+    case 2:
+      return CellType::kDouble;
+    case 3:
+      return CellType::kString;
+    case 4:
+      return CellType::kAggExpr;
+  }
+  PVC_FAIL("corrupt cell variant");
+}
+
+int64_t Cell::AsInt() const {
+  PVC_CHECK_MSG(type() == CellType::kInt, "cell is not an integer");
+  return std::get<int64_t>(value_);
+}
+
+double Cell::AsDouble() const {
+  PVC_CHECK_MSG(type() == CellType::kDouble, "cell is not a double");
+  return std::get<double>(value_);
+}
+
+const std::string& Cell::AsString() const {
+  PVC_CHECK_MSG(type() == CellType::kString, "cell is not a string");
+  return std::get<std::string>(value_);
+}
+
+ExprId Cell::AsAgg() const {
+  PVC_CHECK_MSG(type() == CellType::kAggExpr,
+                "cell is not an aggregation expression");
+  return std::get<AggRef>(value_).expr;
+}
+
+size_t Cell::Hash() const {
+  size_t seed = HashCombine(0, value_.index());
+  switch (type()) {
+    case CellType::kNull:
+      return seed;
+    case CellType::kInt:
+      return HashCombine(seed, std::hash<int64_t>()(std::get<int64_t>(value_)));
+    case CellType::kDouble:
+      return HashCombine(seed, std::hash<double>()(std::get<double>(value_)));
+    case CellType::kString:
+      return HashCombine(seed,
+                         std::hash<std::string>()(std::get<std::string>(value_)));
+    case CellType::kAggExpr:
+      return HashCombine(seed, std::get<AggRef>(value_).expr);
+  }
+  PVC_FAIL("corrupt cell variant");
+}
+
+std::string Cell::ToString(const ExprPool* pool) const {
+  switch (type()) {
+    case CellType::kNull:
+      return "NULL";
+    case CellType::kInt:
+      return std::to_string(std::get<int64_t>(value_));
+    case CellType::kDouble:
+      return std::to_string(std::get<double>(value_));
+    case CellType::kString:
+      return std::get<std::string>(value_);
+    case CellType::kAggExpr:
+      if (pool != nullptr) {
+        return ExprToString(*pool, std::get<AggRef>(value_).expr);
+      }
+      return "<agg#" + std::to_string(std::get<AggRef>(value_).expr) + ">";
+  }
+  PVC_FAIL("corrupt cell variant");
+}
+
+}  // namespace pvcdb

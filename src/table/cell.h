@@ -1,0 +1,71 @@
+// Cells of pvc-tables: constants or semimodule expressions (Definition 6).
+//
+// Tuple values in a pvc-table are either ordinary constants (integers,
+// fixed-point decimals, strings) or semimodule expressions representing
+// aggregated values; the latter are references into the database's
+// ExprPool.
+
+#ifndef PVCDB_TABLE_CELL_H_
+#define PVCDB_TABLE_CELL_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/expr/expr.h"
+
+namespace pvcdb {
+
+/// Runtime type of a cell / column.
+enum class CellType : uint8_t {
+  kNull,
+  kInt,
+  kDouble,
+  kString,
+  kAggExpr,  ///< A semimodule expression (aggregation column).
+};
+
+/// One tuple value.
+class Cell {
+ public:
+  Cell() : value_(std::monostate{}) {}
+  explicit Cell(int64_t v) : value_(v) {}
+  explicit Cell(double v) : value_(v) {}
+  explicit Cell(std::string v) : value_(std::move(v)) {}
+  explicit Cell(const char* v) : value_(std::string(v)) {}
+
+  /// A semimodule-expression cell (aggregation value).
+  static Cell Agg(ExprId e);
+
+  CellType type() const;
+
+  bool is_null() const { return type() == CellType::kNull; }
+
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+  ExprId AsAgg() const;
+
+  /// Structural equality (used for grouping; exact double equality).
+  bool operator==(const Cell& other) const { return value_ == other.value_; }
+  bool operator!=(const Cell& other) const { return !(*this == other); }
+
+  /// Hash for grouping hash tables.
+  size_t Hash() const;
+
+  /// Rendering; aggregation cells print their expression when `pool` is
+  /// provided, otherwise a placeholder.
+  std::string ToString(const ExprPool* pool = nullptr) const;
+
+ private:
+  struct AggRef {
+    ExprId expr;
+    bool operator==(const AggRef& other) const { return expr == other.expr; }
+  };
+
+  std::variant<std::monostate, int64_t, double, std::string, AggRef> value_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_TABLE_CELL_H_

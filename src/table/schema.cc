@@ -1,0 +1,47 @@
+#include "src/table/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  std::unordered_set<std::string> seen;
+  for (const Column& c : columns_) {
+    PVC_CHECK_MSG(seen.insert(c.name).second,
+                  "duplicate column name '" << c.name << "'");
+  }
+}
+
+const Column& Schema::column(size_t i) const {
+  PVC_CHECK_MSG(i < columns_.size(), "column index " << i << " out of range");
+  return columns_[i];
+}
+
+std::optional<size_t> Schema::Find(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+size_t Schema::IndexOf(const std::string& name) const {
+  std::optional<size_t> idx = Find(name);
+  PVC_CHECK_MSG(idx.has_value(), "no column named '" << name << "'");
+  return *idx;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << columns_[i].name;
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,54 @@
+// Schemas of pvc-tables.
+
+#ifndef PVCDB_TABLE_SCHEMA_H_
+#define PVCDB_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/table/cell.h"
+
+namespace pvcdb {
+
+/// One column: a name plus its runtime type. Columns of type kAggExpr are
+/// the "aggregation attributes" restricted by Definition 5.
+struct Column {
+  std::string name;
+  CellType type = CellType::kInt;
+
+  bool operator==(const Column& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  size_t NumColumns() const { return columns_.size(); }
+  const Column& column(size_t i) const;
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, if present. Column names must be
+  /// unique within a schema (checked on construction).
+  std::optional<size_t> Find(const std::string& name) const;
+
+  /// Index of `name`; checks that the column exists.
+  size_t IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_TABLE_SCHEMA_H_

@@ -1,0 +1,237 @@
+#include "src/tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Base cardinalities at SF 1.0 (1/60 of real TPC-H, keeping ratios).
+constexpr size_t kBaseSupplier = 200;
+constexpr size_t kBasePart = 3000;
+constexpr size_t kBasePartsupp = 12000;  // 4 suppliers per part.
+constexpr size_t kBaseCustomer = 2500;
+constexpr size_t kBaseOrders = 25000;
+constexpr size_t kBaseLineitem = 100000;  // ~4 lineitems per order.
+
+constexpr int64_t kMaxDate = 2557;  // Seven years of day numbers.
+
+size_t Scaled(size_t base, double sf) {
+  return std::max<size_t>(1, static_cast<size_t>(base * sf));
+}
+
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kReturnFlags[] = {"A", "N", "R"};
+const char* kLineStatuses[] = {"F", "O"};
+
+}  // namespace
+
+TpchCardinalities TpchCardinalitiesFor(double scale_factor) {
+  TpchCardinalities c;
+  c.region = 5;
+  c.nation = 25;
+  c.supplier = Scaled(kBaseSupplier, scale_factor);
+  c.part = Scaled(kBasePart, scale_factor);
+  c.partsupp = Scaled(kBasePartsupp, scale_factor);
+  c.customer = Scaled(kBaseCustomer, scale_factor);
+  c.orders = Scaled(kBaseOrders, scale_factor);
+  c.lineitem = Scaled(kBaseLineitem, scale_factor);
+  return c;
+}
+
+void GenerateTpch(Database* db, const TpchConfig& config) {
+  PVC_CHECK(db != nullptr);
+  PVC_CHECK_MSG(config.scale_factor > 0, "scale factor must be positive");
+  Rng rng(config.seed);
+  TpchCardinalities n = TpchCardinalitiesFor(config.scale_factor);
+
+  auto probability = [&]() {
+    return rng.UniformDouble(config.prob_low, config.prob_high);
+  };
+
+  // region(r_regionkey, r_name)
+  {
+    Schema schema({{"r_regionkey", CellType::kInt},
+                   {"r_name", CellType::kString}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.region; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)), Cell(kRegionNames[i % 5])});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("region", std::move(schema), std::move(rows),
+                                 std::move(probs));
+  }
+
+  // nation(n_nationkey, n_name, n_regionkey)
+  {
+    Schema schema({{"n_nationkey", CellType::kInt},
+                   {"n_name", CellType::kString},
+                   {"n_regionkey", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.nation; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)),
+                      Cell("NATION_" + std::to_string(i)),
+                      Cell(static_cast<int64_t>(i % n.region))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("nation", std::move(schema), std::move(rows),
+                                 std::move(probs));
+  }
+
+  // supplier(s_suppkey, s_name, s_nationkey, s_acctbal)
+  {
+    Schema schema({{"s_suppkey", CellType::kInt},
+                   {"s_name", CellType::kString},
+                   {"s_nationkey", CellType::kInt},
+                   {"s_acctbal", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.supplier; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)),
+                      Cell("Supplier#" + std::to_string(i)),
+                      Cell(rng.UniformInt(0, static_cast<int64_t>(n.nation) - 1)),
+                      Cell(rng.UniformInt(-99999, 999999))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("supplier", std::move(schema),
+                                 std::move(rows), std::move(probs));
+  }
+
+  // part(p_partkey, p_name, p_size, p_retailprice)
+  {
+    Schema schema({{"p_partkey", CellType::kInt},
+                   {"p_name", CellType::kString},
+                   {"p_size", CellType::kInt},
+                   {"p_retailprice", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.part; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)),
+                      Cell("Part#" + std::to_string(i)),
+                      Cell(rng.UniformInt(1, 50)),
+                      Cell(rng.UniformInt(90000, 200000))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("part", std::move(schema), std::move(rows),
+                                 std::move(probs));
+  }
+
+  // partsupp(ps_partkey, ps_suppkey, ps_supplycost, ps_availqty):
+  // four suppliers per part, TPC-H style.
+  {
+    Schema schema({{"ps_partkey", CellType::kInt},
+                   {"ps_suppkey", CellType::kInt},
+                   {"ps_supplycost", CellType::kInt},
+                   {"ps_availqty", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.partsupp; ++i) {
+      int64_t partkey = static_cast<int64_t>(i / 4 % n.part);
+      int64_t suppkey = rng.UniformInt(0, static_cast<int64_t>(n.supplier) - 1);
+      rows.push_back({Cell(partkey), Cell(suppkey),
+                      Cell(rng.UniformInt(100, 100000)),
+                      Cell(rng.UniformInt(1, 9999))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("partsupp", std::move(schema),
+                                 std::move(rows), std::move(probs));
+  }
+
+  // customer(c_custkey, c_name, c_nationkey, c_acctbal)
+  {
+    Schema schema({{"c_custkey", CellType::kInt},
+                   {"c_name", CellType::kString},
+                   {"c_nationkey", CellType::kInt},
+                   {"c_acctbal", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.customer; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)),
+                      Cell("Customer#" + std::to_string(i)),
+                      Cell(rng.UniformInt(0, static_cast<int64_t>(n.nation) - 1)),
+                      Cell(rng.UniformInt(-99999, 999999))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("customer", std::move(schema),
+                                 std::move(rows), std::move(probs));
+  }
+
+  // orders(o_orderkey, o_custkey, o_orderdate, o_totalprice)
+  {
+    Schema schema({{"o_orderkey", CellType::kInt},
+                   {"o_custkey", CellType::kInt},
+                   {"o_orderdate", CellType::kInt},
+                   {"o_totalprice", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.orders; ++i) {
+      rows.push_back({Cell(static_cast<int64_t>(i)),
+                      Cell(rng.UniformInt(0, static_cast<int64_t>(n.customer) - 1)),
+                      Cell(rng.UniformInt(0, kMaxDate - 1)),
+                      Cell(rng.UniformInt(100000, 50000000))});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("orders", std::move(schema), std::move(rows),
+                                 std::move(probs));
+  }
+
+  // lineitem(l_orderkey, l_partkey, l_suppkey, l_quantity, l_extendedprice,
+  //          l_discount, l_returnflag, l_linestatus, l_shipdate)
+  {
+    Schema schema({{"l_orderkey", CellType::kInt},
+                   {"l_partkey", CellType::kInt},
+                   {"l_suppkey", CellType::kInt},
+                   {"l_quantity", CellType::kInt},
+                   {"l_extendedprice", CellType::kInt},
+                   {"l_discount", CellType::kInt},
+                   {"l_returnflag", CellType::kString},
+                   {"l_linestatus", CellType::kString},
+                   {"l_shipdate", CellType::kInt}});
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    for (size_t i = 0; i < n.lineitem; ++i) {
+      int64_t orderkey = static_cast<int64_t>(i) %
+                         static_cast<int64_t>(n.orders);
+      int64_t shipdate = rng.UniformInt(0, kMaxDate - 1);
+      rows.push_back({Cell(orderkey),
+                      Cell(rng.UniformInt(0, static_cast<int64_t>(n.part) - 1)),
+                      Cell(rng.UniformInt(0, static_cast<int64_t>(n.supplier) - 1)),
+                      Cell(rng.UniformInt(1, 50)),
+                      Cell(rng.UniformInt(100, 9000000)),
+                      Cell(rng.UniformInt(0, 10)),  // Discount in percent.
+                      Cell(kReturnFlags[rng.UniformInt(0, 2)]),
+                      Cell(kLineStatuses[rng.UniformInt(0, 1)]),
+                      Cell(shipdate)});
+      probs.push_back(probability());
+    }
+    db->AddTupleIndependentTable("lineitem", std::move(schema),
+                                 std::move(rows), std::move(probs));
+  }
+}
+
+void AddTableAlias(Database* db, const std::string& source,
+                   const std::string& alias,
+                   const std::string& column_prefix) {
+  PVC_CHECK(db != nullptr);
+  const PvcTable& base = db->table(source);
+  std::vector<Column> columns;
+  columns.reserve(base.schema().NumColumns());
+  for (const Column& c : base.schema().columns()) {
+    columns.push_back({column_prefix + c.name, c.type});
+  }
+  PvcTable aliased{Schema(std::move(columns))};
+  for (const Row& r : base.rows()) {
+    aliased.AddRow(r.cells, r.annotation);
+  }
+  db->AddTable(alias, std::move(aliased));
+}
+
+}  // namespace pvcdb

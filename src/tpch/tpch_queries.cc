@@ -1,0 +1,69 @@
+#include "src/tpch/tpch_queries.h"
+
+#include "src/tpch/tpch_gen.h"
+
+namespace pvcdb {
+
+QueryPtr BuildTpchQ1(int64_t shipdate_cutoff) {
+  QueryPtr filtered = Query::Select(
+      Query::Scan("lineitem"),
+      Predicate::ColCmpInt("l_shipdate", CmpOp::kLe, shipdate_cutoff));
+  return Query::GroupAgg(filtered, {"l_returnflag", "l_linestatus"},
+                         {{AggKind::kCount, "", "cnt"}});
+}
+
+QueryPtr BuildTpchQ2(Database* db, int64_t partkey,
+                     const std::string& region_name) {
+  // Aliased inner relations share the outer relations' random variables.
+  if (!db->HasTable("partsupp_i")) {
+    AddTableAlias(db, "partsupp", "partsupp_i", "i_");
+    AddTableAlias(db, "supplier", "supplier_i", "i_");
+    AddTableAlias(db, "nation", "nation_i", "i_");
+    AddTableAlias(db, "region", "region_i", "i_");
+  }
+
+  // Outer join: part |x| partsupp |x| supplier |x| nation |x| region for
+  // the fixed part and region; part/partsupp selections are pushed below
+  // the joins (standard selection pushdown, same semantics).
+  QueryPtr outer = Query::Select(Query::Scan("part"),
+                                 Predicate::ColEqInt("p_partkey", partkey));
+  outer = Query::Join(
+      outer,
+      Query::Select(Query::Scan("partsupp"),
+                    Predicate::ColEqInt("ps_partkey", partkey)),
+      Predicate::ColEqCol("p_partkey", "ps_partkey"));
+  outer = Query::Join(outer, Query::Scan("supplier"),
+                      Predicate::ColEqCol("ps_suppkey", "s_suppkey"));
+  outer = Query::Join(outer, Query::Scan("nation"),
+                      Predicate::ColEqCol("s_nationkey", "n_nationkey"));
+  outer = Query::Join(
+      outer,
+      Query::Select(Query::Scan("region"),
+                    Predicate::ColEqStr("r_name", region_name)),
+      Predicate::ColEqCol("n_regionkey", "r_regionkey"));
+
+  // Inner scalar subquery: minimum supply cost for that part within the
+  // region, over the aliased relations.
+  QueryPtr inner = Query::Select(
+      Query::Scan("partsupp_i"),
+      Predicate::ColEqInt("i_ps_partkey", partkey));
+  inner = Query::Join(inner, Query::Scan("supplier_i"),
+                      Predicate::ColEqCol("i_ps_suppkey", "i_s_suppkey"));
+  inner = Query::Join(inner, Query::Scan("nation_i"),
+                      Predicate::ColEqCol("i_s_nationkey", "i_n_nationkey"));
+  inner = Query::Join(
+      inner,
+      Query::Select(Query::Scan("region_i"),
+                    Predicate::ColEqStr("i_r_name", region_name)),
+      Predicate::ColEqCol("i_n_regionkey", "i_r_regionkey"));
+  inner = Query::GroupAgg(inner, {},
+                          {{AggKind::kMin, "i_ps_supplycost", "min_cost"}});
+
+  // Correlate: the outer supply cost equals the regional minimum.
+  QueryPtr joined = Query::Product(outer, inner);
+  joined = Query::Select(
+      joined, Predicate::ColCmpCol("ps_supplycost", CmpOp::kEq, "min_cost"));
+  return Query::Project(joined, {"s_name"});
+}
+
+}  // namespace pvcdb

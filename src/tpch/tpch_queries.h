@@ -1,0 +1,39 @@
+// The two TPC-H queries of Experiment F (Section 7.2), expressed in Q.
+//
+// Q1 ("amount of business billed / shipped / returned", COUNT only):
+//   $_{l_returnflag, l_linestatus; cnt <- COUNT(*)}
+//       (sigma_{l_shipdate <= cutoff}(lineitem))
+//
+// Q2 ("supplier with minimum cost for a given part in a given region"):
+//   pi_{s_name} sigma_{ps_supplycost = min_cost}(
+//       part |x| partsupp |x| supplier |x| nation |x| region
+//     x $_{0; min_cost <- MIN(i_ps_supplycost)}(
+//           aliased partsupp |x| supplier |x| nation |x| region))
+// with the part key and region name fixed, matching the paper's "for a
+// given part in a given region". The nested aggregate references the same
+// base relations through aliases sharing the outer relations' random
+// variables, so correlations between the subquery and the outer join are
+// preserved across possible worlds.
+
+#ifndef PVCDB_TPCH_TPCH_QUERIES_H_
+#define PVCDB_TPCH_TPCH_QUERIES_H_
+
+#include <cstdint>
+
+#include "src/engine/database.h"
+#include "src/query/ast.h"
+
+namespace pvcdb {
+
+/// Builds TPC-H Q1 (COUNT-only variant, as in the paper).
+QueryPtr BuildTpchQ1(int64_t shipdate_cutoff);
+
+/// Builds TPC-H Q2 for one part and one region. Registers the aliased
+/// inner relations ("partsupp_i", "supplier_i", "nation_i", "region_i",
+/// column prefix "i_") in `db` if not present.
+QueryPtr BuildTpchQ2(Database* db, int64_t partkey,
+                     const std::string& region_name);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_TPCH_TPCH_QUERIES_H_

@@ -1,0 +1,19 @@
+#include "src/util/check.h"
+
+#include <sstream>
+
+namespace pvcdb {
+namespace internal {
+
+void CheckFail(const char* condition, const char* file, int line,
+               const std::string& message) {
+  std::ostringstream out;
+  out << "PVC_CHECK failed: " << condition << " at " << file << ":" << line;
+  if (!message.empty()) {
+    out << " -- " << message;
+  }
+  throw CheckError(out.str());
+}
+
+}  // namespace internal
+}  // namespace pvcdb

@@ -1,0 +1,81 @@
+// Invariant-checking macros for pvcdb.
+//
+// PVC_CHECK(cond) aborts the current operation by throwing pvcdb::CheckError
+// when `cond` is false. These macros guard programmer errors (violated
+// preconditions and internal invariants), not data-dependent failures;
+// fallible user-facing operations return std::optional or a status boolean
+// instead.
+
+#ifndef PVCDB_UTIL_CHECK_H_
+#define PVCDB_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pvcdb {
+
+/// Error thrown when a PVC_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& message)
+      : std::logic_error(message) {}
+};
+
+namespace internal {
+
+/// Throws CheckError with a formatted source location. Out-of-line so the
+/// macro expansion stays small.
+[[noreturn]] void CheckFail(const char* condition, const char* file, int line,
+                            const std::string& message);
+
+/// Stream-style message builder used by the PVC_CHECK macros.
+class CheckMessageBuilder {
+ public:
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace pvcdb
+
+/// Checks that `condition` holds; throws pvcdb::CheckError otherwise.
+/// Additional context can be streamed: PVC_CHECK(x > 0) << "x=" << x;
+/// is not supported -- use PVC_CHECK_MSG for messages.
+#define PVC_CHECK(condition)                                             \
+  do {                                                                   \
+    if (!(condition)) {                                                  \
+      ::pvcdb::internal::CheckFail(#condition, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+/// PVC_CHECK with an explanatory message built with stream syntax, e.g.
+/// PVC_CHECK_MSG(i < n, "index " << i << " out of range " << n).
+#define PVC_CHECK_MSG(condition, message_expr)                       \
+  do {                                                               \
+    if (!(condition)) {                                              \
+      ::pvcdb::internal::CheckMessageBuilder pvc_check_builder;      \
+      pvc_check_builder << message_expr;                             \
+      ::pvcdb::internal::CheckFail(#condition, __FILE__, __LINE__,   \
+                                   pvc_check_builder.str());         \
+    }                                                                \
+  } while (false)
+
+/// Unconditional failure with a message; use for unreachable code paths.
+#define PVC_FAIL(message_expr)                                     \
+  do {                                                             \
+    ::pvcdb::internal::CheckMessageBuilder pvc_check_builder;      \
+    pvc_check_builder << message_expr;                             \
+    ::pvcdb::internal::CheckFail("PVC_FAIL", __FILE__, __LINE__,   \
+                                 pvc_check_builder.str());         \
+  } while (false)
+
+#endif  // PVCDB_UTIL_CHECK_H_

@@ -1,0 +1,33 @@
+// Hash helpers used by the expression pool's hash-consing and by the query
+// evaluator's grouping hash tables.
+
+#ifndef PVCDB_UTIL_HASH_H_
+#define PVCDB_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pvcdb {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Hashes a range of hashable elements into one value.
+template <typename Iterator>
+size_t HashRange(Iterator begin, Iterator end, size_t seed = 0) {
+  using Value = typename std::iterator_traits<Iterator>::value_type;
+  std::hash<Value> hasher;
+  for (Iterator it = begin; it != end; ++it) {
+    seed = HashCombine(seed, hasher(*it));
+  }
+  return seed;
+}
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_HASH_H_

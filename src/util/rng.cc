@@ -1,0 +1,40 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  PVC_CHECK(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  PVC_CHECK(lo <= hi);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::SampleDistinct(int n, int k) {
+  PVC_CHECK(k >= 0 && k <= n);
+  // Partial Fisher-Yates: only the first k slots are materialised.
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace pvcdb

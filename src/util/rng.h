@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator used by the workload
+// generators and the Monte-Carlo baseline. All randomized components of
+// pvcdb are seeded explicitly so experiments are reproducible.
+
+#ifndef PVCDB_UTIL_RNG_H_
+#define PVCDB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace pvcdb {
+
+/// Thin wrapper over std::mt19937_64 with convenience sampling methods.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in the half-open interval [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples `k` distinct values from {0, 1, ..., n-1} (k <= n).
+  std::vector<int> SampleDistinct(int n, int k);
+
+  /// Underlying engine, for use with standard distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_RNG_H_

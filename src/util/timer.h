@@ -1,0 +1,35 @@
+// Wall-clock timer used by the benchmark harnesses to reproduce the paper's
+// per-phase timing breakdowns (Experiment F measures Q0, [[.]], and P(.)
+// separately).
+
+#ifndef PVCDB_UTIL_TIMER_H_
+#define PVCDB_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace pvcdb {
+
+/// Simple monotonic stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_TIMER_H_

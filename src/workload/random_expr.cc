@@ -1,0 +1,79 @@
+#include "src/workload/random_expr.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+
+namespace {
+
+// One Phi_i: a disjunction of `clauses` conjunctions of `literals` distinct
+// variables from `vars`.
+ExprId GenerateTermFormula(ExprPool* pool, const std::vector<VarId>& vars,
+                           int clauses, int literals, Rng* rng) {
+  std::vector<ExprId> clause_exprs;
+  clause_exprs.reserve(clauses);
+  for (int c = 0; c < clauses; ++c) {
+    std::vector<int> picks =
+        rng->SampleDistinct(static_cast<int>(vars.size()),
+                            std::min<int>(literals, vars.size()));
+    std::vector<ExprId> literal_exprs;
+    literal_exprs.reserve(picks.size());
+    for (int idx : picks) literal_exprs.push_back(pool->Var(vars[idx]));
+    clause_exprs.push_back(pool->MulS(std::move(literal_exprs)));
+  }
+  return pool->AddS(std::move(clause_exprs));
+}
+
+// One side of the comparison: Sum_AGG_i Phi_i (x) v_i over `terms` terms.
+ExprId GenerateSide(ExprPool* pool, const std::vector<VarId>& vars,
+                    AggKind agg, int terms, int clauses, int literals,
+                    int64_t max_value, Rng* rng) {
+  std::vector<ExprId> summands;
+  summands.reserve(terms);
+  for (int i = 0; i < terms; ++i) {
+    ExprId phi = GenerateTermFormula(pool, vars, clauses, literals, rng);
+    // COUNT aggregates the constant 1 per term (Proposition 3 discussion).
+    int64_t value =
+        agg == AggKind::kCount ? 1 : rng->UniformInt(0, max_value);
+    summands.push_back(pool->Tensor(phi, pool->ConstM(agg, value)));
+  }
+  return pool->AddM(agg, std::move(summands));
+}
+
+}  // namespace
+
+GeneratedExpr GenerateComparisonExpr(ExprPool* pool, VariableTable* variables,
+                                     const ExprGenParams& params,
+                                     uint64_t seed) {
+  PVC_CHECK(pool != nullptr && variables != nullptr);
+  PVC_CHECK_MSG(params.num_vars > 0, "need at least one variable");
+  PVC_CHECK_MSG(params.terms_left > 0, "need at least one left term");
+  Rng rng(seed);
+
+  GeneratedExpr result;
+  result.vars.reserve(params.num_vars);
+  for (int i = 0; i < params.num_vars; ++i) {
+    double p = rng.UniformDouble(params.prob_low, params.prob_high);
+    result.vars.push_back(variables->AddBernoulli(p));
+  }
+
+  result.lhs = GenerateSide(pool, result.vars, params.agg_left,
+                            params.terms_left, params.clauses_per_term,
+                            params.literals_per_clause, params.max_value,
+                            &rng);
+  if (params.terms_right > 0) {
+    result.rhs = GenerateSide(pool, result.vars, params.agg_right,
+                              params.terms_right, params.clauses_per_term,
+                              params.literals_per_clause, params.max_value,
+                              &rng);
+  } else {
+    result.rhs = pool->ConstM(params.agg_left, params.constant);
+  }
+  result.comparison = pool->Cmp(params.theta, result.lhs, result.rhs);
+  return result;
+}
+
+}  // namespace pvcdb

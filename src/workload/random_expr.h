@@ -1,0 +1,59 @@
+// Random expression workloads of Section 7.1.
+//
+// Generates conditional expressions of the two forms of Eq. (11):
+//
+//   [ Sum_AGGL_{i<=L} Phi_i (x) v_i   theta   Sum_AGGR_{j<=R} Psi_j (x) w_j ]
+//   [ Sum_AGGL_{i<=L} Phi_i (x) v_i   theta   c ]                   (R = 0)
+//
+// where each Phi_i / Psi_j is a sum (disjunction) of #cl clauses, each
+// clause a product (conjunction) of #l positive literals drawn from a pool
+// of #v distinct Boolean random variables, and the values v_i, w_j are
+// uniform in [0, maxv].
+
+#ifndef PVCDB_WORKLOAD_RANDOM_EXPR_H_
+#define PVCDB_WORKLOAD_RANDOM_EXPR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+
+namespace pvcdb {
+
+/// Parameters of Experiment A-E workloads (names follow the paper).
+struct ExprGenParams {
+  int num_vars = 25;             ///< #v: distinct Boolean variables.
+  int terms_left = 200;          ///< L: semimodule terms left of theta.
+  int terms_right = 0;           ///< R: semimodule terms right of theta
+                                 ///< (0 selects the "theta c" form).
+  int clauses_per_term = 3;      ///< #cl.
+  int literals_per_clause = 3;   ///< #l.
+  int64_t max_value = 200;       ///< maxv: values drawn from [0, maxv].
+  int64_t constant = 100;        ///< c: the comparison constant (R = 0).
+  CmpOp theta = CmpOp::kEq;      ///< Comparison operator.
+  AggKind agg_left = AggKind::kMin;
+  AggKind agg_right = AggKind::kMin;
+  /// Bernoulli parameters of the generated variables are drawn uniformly
+  /// from [prob_low, prob_high].
+  double prob_low = 0.1;
+  double prob_high = 0.9;
+};
+
+/// One generated workload instance.
+struct GeneratedExpr {
+  ExprId comparison;          ///< The full conditional expression.
+  ExprId lhs;                 ///< The left semimodule sum.
+  ExprId rhs;                 ///< Right sum, or the constant (R = 0).
+  std::vector<VarId> vars;    ///< The #v freshly registered variables.
+};
+
+/// Generates one expression of form Eq. (11); registers #v fresh Boolean
+/// variables in `variables`.
+GeneratedExpr GenerateComparisonExpr(ExprPool* pool, VariableTable* variables,
+                                     const ExprGenParams& params,
+                                     uint64_t seed);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_WORKLOAD_RANDOM_EXPR_H_

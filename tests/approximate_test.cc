@@ -1,0 +1,159 @@
+#include "src/dtree/approximate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/naive/possible_worlds.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/workload/random_expr.h"
+
+namespace pvcdb {
+namespace {
+
+double ExactNonZero(ExprPool* pool, const VariableTable& vars, ExprId e) {
+  DTree t = CompileToDTree(pool, &vars, e);
+  return ProbabilityNonZero(t, vars, pool->semiring());
+}
+
+TEST(ApproximateTest, ExactOnTrivialExpressions) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  ProbabilityBounds b = ApproximateProbability(&pool, vars, pool.Var(x));
+  EXPECT_DOUBLE_EQ(b.low, 0.3);
+  EXPECT_DOUBLE_EQ(b.high, 0.3);
+  ProbabilityBounds c = ApproximateProbability(&pool, vars, pool.ConstS(1));
+  EXPECT_DOUBLE_EQ(c.low, 1.0);
+  EXPECT_DOUBLE_EQ(c.high, 1.0);
+}
+
+TEST(ApproximateTest, ZeroBudgetGivesTrivialBounds) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  ApproximateOptions options;
+  options.node_budget = 0;
+  ProbabilityBounds b =
+      ApproximateProbability(&pool, vars, pool.Var(x), options);
+  EXPECT_DOUBLE_EQ(b.low, 0.0);
+  EXPECT_DOUBLE_EQ(b.high, 1.0);
+}
+
+TEST(ApproximateTest, LargeBudgetMatchesExact) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  VarId y = vars.AddBernoulli(0.6);
+  VarId z = vars.AddBernoulli(0.5);
+  ExprId e = pool.AddS(pool.MulS(pool.Var(x), pool.Var(y)), pool.Var(z));
+  ProbabilityBounds b = ApproximateProbability(&pool, vars, e);
+  double exact = ExactNonZero(&pool, vars, e);
+  EXPECT_NEAR(b.low, exact, 1e-12);
+  EXPECT_NEAR(b.high, exact, 1e-12);
+}
+
+TEST(ApproximateTest, BoundsAlwaysContainExactValue) {
+  Rng rng(5);
+  for (int trial = 0; trial < 15; ++trial) {
+    ExprPool pool(SemiringKind::kBool);
+    VariableTable vars;
+    std::vector<VarId> ids;
+    for (int i = 0; i < 7; ++i) {
+      ids.push_back(vars.AddBernoulli(rng.UniformDouble(0.1, 0.9)));
+    }
+    // Random DNF, possibly hard (shared variables).
+    std::vector<ExprId> clauses;
+    for (int c = 0; c < 5; ++c) {
+      std::vector<int> picks = rng.SampleDistinct(7, 2);
+      clauses.push_back(
+          pool.MulS(pool.Var(ids[picks[0]]), pool.Var(ids[picks[1]])));
+    }
+    ExprId e = pool.AddS(clauses);
+    double exact = ExactNonZero(&pool, vars, e);
+    for (size_t budget : {0u, 1u, 2u, 4u, 8u, 16u, 64u, 4096u}) {
+      ApproximateOptions options;
+      options.node_budget = budget;
+      ProbabilityBounds b = ApproximateProbability(&pool, vars, e, options);
+      EXPECT_LE(b.low, exact + 1e-9) << "budget " << budget;
+      EXPECT_GE(b.high, exact - 1e-9) << "budget " << budget;
+      EXPECT_LE(b.low, b.high + 1e-12);
+    }
+  }
+}
+
+TEST(ApproximateTest, WidthShrinksWithBudget) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(vars.AddBernoulli(0.5));
+  // Ring expression: genuinely needs Shannon expansion.
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 10; ++i) {
+    terms.push_back(pool.MulS(pool.Var(ids[i]), pool.Var(ids[(i + 1) % 10])));
+  }
+  ExprId e = pool.AddS(terms);
+  double prev_width = 1.1;
+  for (size_t budget : {1u, 8u, 64u, 512u, 65536u}) {
+    ApproximateOptions options;
+    options.node_budget = budget;
+    ProbabilityBounds b = ApproximateProbability(&pool, vars, e, options);
+    EXPECT_LE(b.Width(), prev_width + 1e-9);
+    prev_width = b.Width();
+  }
+  EXPECT_NEAR(prev_width, 0.0, 1e-9) << "full budget converges exactly";
+}
+
+TEST(ApproximateTest, ApproximateToWidthReachesEpsilon) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(vars.AddBernoulli(0.5));
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 8; ++i) {
+    terms.push_back(pool.MulS(pool.Var(ids[i]), pool.Var(ids[(i + 1) % 8])));
+  }
+  ExprId e = pool.AddS(terms);
+  ProbabilityBounds b = ApproximateToWidth(&pool, vars, e, 0.01);
+  EXPECT_LE(b.Width(), 0.01);
+  double exact = ExactNonZero(&pool, vars, e);
+  EXPECT_LE(b.low, exact + 1e-9);
+  EXPECT_GE(b.high, exact - 1e-9);
+}
+
+TEST(ApproximateTest, HandlesAggregateComparisons) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 5;
+  params.terms_left = 4;
+  params.clauses_per_term = 2;
+  params.literals_per_clause = 2;
+  params.max_value = 10;
+  params.constant = 5;
+  params.theta = CmpOp::kLe;
+  params.agg_left = AggKind::kMin;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, 9);
+  double exact = EnumerateDistribution(pool, vars, gen.comparison).ProbOf(1);
+  ProbabilityBounds b = ApproximateToWidth(&pool, vars, gen.comparison, 1e-9);
+  EXPECT_NEAR(b.Midpoint(), exact, 1e-6);
+}
+
+TEST(ApproximateTest, RejectsMonoidSortedExpressions) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  ExprId alpha = pool.Tensor(pool.Var(x), pool.ConstM(AggKind::kMin, 3));
+  EXPECT_THROW(ApproximateProbability(&pool, vars, alpha), CheckError);
+}
+
+TEST(ApproximateTest, RejectsNaturalSemiring) {
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{0, 0.5}, {2, 0.5}}));
+  EXPECT_THROW(ApproximateProbability(&pool, vars, pool.Var(x)), CheckError);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,72 @@
+#include "src/query/ast.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(QueryAstTest, ScanAndSelect) {
+  QueryPtr q = Query::Select(Query::Scan("S"),
+                             Predicate::ColEqStr("shop", "M&S"));
+  EXPECT_EQ(q->op(), QueryOp::kSelect);
+  EXPECT_EQ(q->child(0)->op(), QueryOp::kScan);
+  EXPECT_EQ(q->child(0)->table_name(), "S");
+  EXPECT_THROW(q->child(1), CheckError);
+}
+
+TEST(QueryAstTest, JoinIsSelectOverProduct) {
+  QueryPtr q = Query::Join(Query::Scan("S"), Query::Scan("PS"),
+                           Predicate::ColEqCol("sid", "ps_sid"));
+  EXPECT_EQ(q->op(), QueryOp::kSelect);
+  EXPECT_EQ(q->child(0)->op(), QueryOp::kProduct);
+}
+
+TEST(QueryAstTest, GroupAggStructure) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("Q1"), {"shop"},
+                               {{AggKind::kMax, "price", "P"}});
+  EXPECT_EQ(q->op(), QueryOp::kGroupAgg);
+  EXPECT_EQ(q->columns(), std::vector<std::string>{"shop"});
+  ASSERT_EQ(q->aggs().size(), 1u);
+  EXPECT_EQ(q->aggs()[0].output_column, "P");
+}
+
+TEST(QueryAstTest, GroupAggRequiresAggregations) {
+  EXPECT_THROW(Query::GroupAgg(Query::Scan("R"), {"a"}, {}), CheckError);
+}
+
+TEST(QueryAstTest, ToStringRendersAlgebra) {
+  QueryPtr q = Query::Project(
+      Query::Select(Query::Product(Query::Scan("S"), Query::Scan("PS")),
+                    Predicate::ColEqCol("sid", "ps_sid")),
+      {"shop", "price"});
+  std::string s = q->ToString();
+  EXPECT_NE(s.find("pi_{shop,price}"), std::string::npos);
+  EXPECT_NE(s.find("sigma_{sid = ps_sid}"), std::string::npos);
+  EXPECT_NE(s.find("(S x PS)"), std::string::npos);
+}
+
+TEST(QueryAstTest, ToStringRendersAggregation) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("R"), {"a"},
+                               {{AggKind::kSum, "b", "beta"}});
+  EXPECT_NE(q->ToString().find("$_{a; beta<-SUM(b)}"), std::string::npos);
+}
+
+TEST(QueryAstTest, RenameAndUnion) {
+  QueryPtr q = Query::Union(Query::Rename(Query::Scan("P1"), "w", "weight"),
+                            Query::Scan("P2"));
+  EXPECT_EQ(q->op(), QueryOp::kUnion);
+  EXPECT_EQ(q->child(0)->rename_from(), "w");
+  EXPECT_EQ(q->child(0)->rename_to(), "weight");
+}
+
+TEST(QueryAstTest, SharedSubqueriesAllowed) {
+  QueryPtr base = Query::Scan("R");
+  QueryPtr q1 = Query::Project(base, {"a"});
+  QueryPtr q2 = Query::Project(base, {"b"});
+  EXPECT_EQ(q1->child(0).get(), q2->child(0).get());
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,103 @@
+#include "src/engine/average.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+class AverageTest : public ::testing::Test {
+ protected:
+  AverageTest() {
+    db_.AddTupleIndependentTable(
+        "R", Schema({{"g", CellType::kInt}, {"v", CellType::kInt}}),
+        {{Cell(int64_t{1}), Cell(int64_t{10})},
+         {Cell(int64_t{1}), Cell(int64_t{20})}},
+        {0.5, 0.5});
+    QueryPtr q = Query::GroupAgg(
+        Query::Scan("R"), {"g"},
+        {{AggKind::kSum, "v", "s"}, {AggKind::kCount, "", "c"}});
+    result_ = db_.Run(*q);
+  }
+
+  Database db_;
+  PvcTable result_;
+};
+
+TEST_F(AverageTest, ExactAverageDistribution) {
+  ExprId sum = result_.CellAt(0, "s").AsAgg();
+  ExprId cnt = result_.CellAt(0, "c").AsAgg();
+  AverageDistribution avg =
+      ComputeAverageDistribution(&db_.pool(), db_.variables(), sum, cnt);
+  // Worlds (given non-empty, mass 3/4): {10}: avg 10 (1/4); {20}: avg 20
+  // (1/4); {10,20}: avg 15 (1/4). Conditioned: each 1/3.
+  ASSERT_EQ(avg.size(), 3u);
+  EXPECT_NEAR(avg[10.0], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(avg[15.0], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(avg[20.0], 1.0 / 3, 1e-12);
+}
+
+TEST_F(AverageTest, ExpectedAverage) {
+  ExprId sum = result_.CellAt(0, "s").AsAgg();
+  ExprId cnt = result_.CellAt(0, "c").AsAgg();
+  double mean = ExpectedAverage(&db_.pool(), db_.variables(), sum, cnt);
+  EXPECT_NEAR(mean, (10.0 + 15.0 + 20.0) / 3, 1e-12);
+}
+
+TEST_F(AverageTest, CorrelationBetweenSumAndCountMatters) {
+  // A naive E[SUM]/E[COUNT] would give (15)/(1) = 15 exactly; the true
+  // E[AVG | non-empty] is also 15 here by symmetry, but the *distribution*
+  // is what distinguishes the joint computation: a marginal-only product
+  // would put mass on impossible pairs like (sum=30, count=1) -> avg 30.
+  ExprId sum = result_.CellAt(0, "s").AsAgg();
+  ExprId cnt = result_.CellAt(0, "c").AsAgg();
+  AverageDistribution avg =
+      ComputeAverageDistribution(&db_.pool(), db_.variables(), sum, cnt);
+  EXPECT_EQ(avg.count(30.0), 0u) << "avg 30 is impossible";
+  double mass = 0;
+  for (const auto& [a, p] : avg) mass += p;
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST_F(AverageTest, EmptyGroupImpossibleGivesEmptyDistribution) {
+  Database db;
+  db.AddTupleIndependentTable("R", Schema({{"v", CellType::kInt}}),
+                              {{Cell(int64_t{7})}}, {0.0});
+  QueryPtr q = Query::GroupAgg(
+      Query::Scan("R"), {},
+      {{AggKind::kSum, "v", "s"}, {AggKind::kCount, "", "c"}});
+  PvcTable r = db.Run(*q);
+  AverageDistribution avg = ComputeAverageDistribution(
+      &db.pool(), db.variables(), r.CellAt(0, "s").AsAgg(),
+      r.CellAt(0, "c").AsAgg());
+  EXPECT_TRUE(avg.empty());
+}
+
+TEST_F(AverageTest, RejectsSemiringExpressions) {
+  EXPECT_THROW(ComputeAverageDistribution(&db_.pool(), db_.variables(),
+                                          result_.row(0).annotation,
+                                          result_.CellAt(0, "c").AsAgg()),
+               CheckError);
+}
+
+TEST(AverageScenarioTest, SkewedProbabilitiesShiftTheAverage) {
+  Database db;
+  db.AddTupleIndependentTable(
+      "R", Schema({{"v", CellType::kInt}}),
+      {{Cell(int64_t{100})}, {Cell(int64_t{0})}}, {0.9, 0.1});
+  QueryPtr q = Query::GroupAgg(
+      Query::Scan("R"), {},
+      {{AggKind::kSum, "v", "s"}, {AggKind::kCount, "", "c"}});
+  PvcTable r = db.Run(*q);
+  double mean = ExpectedAverage(&db.pool(), db.variables(),
+                                r.CellAt(0, "s").AsAgg(),
+                                r.CellAt(0, "c").AsAgg());
+  // Worlds: {100} p=.81 avg 100; {0} p=.01 avg 0; {100,0} p=.09 avg 50;
+  // given non-empty mass .91: E = (.81*100 + .09*50)/.91.
+  EXPECT_NEAR(mean, (0.81 * 100 + 0.09 * 50) / 0.91, 1e-9);
+}
+
+}  // namespace
+}  // namespace pvcdb

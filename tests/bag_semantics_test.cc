@@ -1,0 +1,131 @@
+// End-to-end tests under the natural-number semiring (probabilistic bag
+// semantics, Table 1's fourth row): annotations are random multiplicities,
+// joins multiply them, projections/unions add them, and SUM aggregation
+// weights values by multiplicity through the tensor action.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/naive/possible_worlds.h"
+
+namespace pvcdb {
+namespace {
+
+class BagSemanticsTest : public ::testing::Test {
+ protected:
+  BagSemanticsTest() : db_(SemiringKind::kNatural) {
+    // R(k, v) with multiplicity variables over {0, 1, 2}.
+    PvcTable r{Schema({{"k", CellType::kInt}, {"v", CellType::kInt}})};
+    m0_ = db_.variables().Add(
+        Distribution::FromPairs({{0, 0.2}, {1, 0.5}, {2, 0.3}}), "m0");
+    m1_ = db_.variables().Add(
+        Distribution::FromPairs({{0, 0.4}, {1, 0.6}}), "m1");
+    r.AddRow({Cell(int64_t{1}), Cell(int64_t{10})}, db_.pool().Var(m0_));
+    r.AddRow({Cell(int64_t{1}), Cell(int64_t{20})}, db_.pool().Var(m1_));
+    db_.AddTable("R", std::move(r));
+
+    PvcTable s{Schema({{"sk", CellType::kInt}})};
+    m2_ = db_.variables().Add(
+        Distribution::FromPairs({{0, 0.5}, {3, 0.5}}), "m2");
+    s.AddRow({Cell(int64_t{1})}, db_.pool().Var(m2_));
+    db_.AddTable("S", std::move(s));
+  }
+
+  Database db_;
+  VarId m0_, m1_, m2_;
+};
+
+TEST_F(BagSemanticsTest, AnnotationDistributionIsMultiplicity) {
+  Distribution d = db_.AnnotationDistribution(db_.table("R").row(0));
+  EXPECT_NEAR(d.ProbOf(0), 0.2, 1e-12);
+  EXPECT_NEAR(d.ProbOf(1), 0.5, 1e-12);
+  EXPECT_NEAR(d.ProbOf(2), 0.3, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, JoinMultipliesMultiplicities) {
+  QueryPtr q = Query::Join(Query::Scan("R"), Query::Scan("S"),
+                           Predicate::ColEqCol("k", "sk"));
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  // Multiplicity of (10-row join S-row) = m0 * m2 in {0, 3, 6}.
+  Distribution d = db_.AnnotationDistribution(result.row(0));
+  // P[m0 * m2 = 0] = P[m0 = 0] + P[m2 = 0] - P[both] = .2 + .5 - .1.
+  EXPECT_NEAR(d.ProbOf(0), 0.6, 1e-12);
+  EXPECT_NEAR(d.ProbOf(3), 0.5 * 0.5, 1e-12);
+  EXPECT_NEAR(d.ProbOf(6), 0.3 * 0.5, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, ProjectionAddsMultiplicities) {
+  QueryPtr q = Query::Project(Query::Scan("R"), {"k"});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  // Multiplicity of k=1 is m0 + m1 over {0..3}.
+  Distribution d = db_.AnnotationDistribution(result.row(0));
+  Distribution expected = EnumerateDistribution(
+      db_.pool(), db_.variables(), result.row(0).annotation);
+  EXPECT_TRUE(d.ApproxEquals(expected, 1e-9));
+  EXPECT_NEAR(d.ProbOf(0), 0.2 * 0.4, 1e-12);
+  EXPECT_NEAR(d.ProbOf(3), 0.3 * 0.6, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, SumAggregationWeightsByMultiplicity) {
+  // SUM(v) = m0 (x) 10 + m1 (x) 20 = 10 m0 + 20 m1.
+  QueryPtr q = Query::GroupAgg(Query::Scan("R"), {},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db_.Run(*q);
+  Distribution d = db_.AggregateDistribution(result, 0, "s");
+  Distribution expected = EnumerateDistribution(
+      db_.pool(), db_.variables(), result.CellAt(0, "s").AsAgg());
+  EXPECT_TRUE(d.ApproxEquals(expected, 1e-9));
+  // Spot values: m0=2, m1=1 -> 40; P = .3 * .6.
+  EXPECT_NEAR(d.ProbOf(40), 0.3 * 0.6, 1e-12);
+  EXPECT_NEAR(d.ProbOf(0), 0.2 * 0.4, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, MinAggregationIgnoresMultiplicityBeyondPresence) {
+  // MIN only cares whether the multiplicity is non-zero (Proposition 2's
+  // reduction to Boolean variables).
+  QueryPtr q = Query::GroupAgg(Query::Scan("R"), {},
+                               {{AggKind::kMin, "v", "m"}});
+  PvcTable result = db_.Run(*q);
+  Distribution d = db_.AggregateDistribution(result, 0, "m");
+  EXPECT_NEAR(d.ProbOf(10), 0.8, 1e-12);          // m0 > 0.
+  EXPECT_NEAR(d.ProbOf(20), 0.2 * 0.6, 1e-12);    // m0 = 0, m1 > 0.
+  EXPECT_NEAR(d.ProbOf(kPosInf), 0.2 * 0.4, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, TupleProbabilityIsNonZeroMultiplicity) {
+  EXPECT_NEAR(db_.TupleProbability(db_.table("R").row(0)), 0.8, 1e-12);
+  EXPECT_NEAR(db_.TupleProbability(db_.table("S").row(0)), 0.5, 1e-12);
+}
+
+TEST_F(BagSemanticsTest, CountCountsDistinctTuplesTimesMultiplicity) {
+  // Under bag semantics COUNT aggregates multiplicity-weighted 1s:
+  // count = m0 * 1 + m1 * 1.
+  QueryPtr q = Query::GroupAgg(Query::Scan("R"), {},
+                               {{AggKind::kCount, "", "c"}});
+  PvcTable result = db_.Run(*q);
+  Distribution d = db_.AggregateDistribution(result, 0, "c");
+  EXPECT_NEAR(d.ProbOf(3), 0.3 * 0.6, 1e-12);  // m0=2, m1=1.
+  Distribution expected = EnumerateDistribution(
+      db_.pool(), db_.variables(), result.CellAt(0, "c").AsAgg());
+  EXPECT_TRUE(d.ApproxEquals(expected, 1e-9));
+}
+
+TEST_F(BagSemanticsTest, DeterministicBagSemantics) {
+  // Table 1 row 2: degenerate multiplicity distributions.
+  Database db(SemiringKind::kNatural);
+  VarId m = db.variables().Add(Distribution::Point(3));
+  PvcTable t{Schema({{"v", CellType::kInt}})};
+  t.AddRow({Cell(int64_t{7})}, db.pool().Var(m));
+  db.AddTable("T", std::move(t));
+  QueryPtr q = Query::GroupAgg(Query::Scan("T"), {},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db.Run(*q);
+  Distribution d = db.AggregateDistribution(result, 0, "s");
+  EXPECT_TRUE(d.ApproxEquals(Distribution::Point(21), 1e-12))
+      << "three copies of value 7 sum to 21";
+}
+
+}  // namespace
+}  // namespace pvcdb

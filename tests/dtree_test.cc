@@ -1,0 +1,81 @@
+#include "src/dtree/dtree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(DTreeTest, AddAndAccessNodes) {
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafVar;
+  leaf.var = 3;
+  DTree::NodeId a = tree.AddNode(leaf);
+  DTreeNode konst;
+  konst.kind = DTreeNodeKind::kLeafConst;
+  konst.value = 10;
+  konst.sort = ExprSort::kMonoid;
+  konst.agg = AggKind::kMin;
+  DTree::NodeId b = tree.AddNode(konst);
+  DTreeNode tensor;
+  tensor.kind = DTreeNodeKind::kOtimes;
+  tensor.sort = ExprSort::kMonoid;
+  tensor.agg = AggKind::kMin;
+  tensor.children = {a, b};
+  DTree::NodeId root = tree.AddNode(tensor);
+  tree.set_root(root);
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.node(root).children.size(), 2u);
+  EXPECT_EQ(tree.node(a).var, 3u);
+}
+
+TEST(DTreeTest, ChildrenMustExist) {
+  DTree tree;
+  DTreeNode bad;
+  bad.kind = DTreeNodeKind::kOplus;
+  bad.children = {5};
+  EXPECT_THROW(tree.AddNode(bad), CheckError);
+}
+
+TEST(DTreeTest, MutexCountCountsShannonNodes) {
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafConst;
+  DTree::NodeId a = tree.AddNode(leaf);
+  DTree::NodeId b = tree.AddNode(leaf);
+  DTreeNode mutex;
+  mutex.kind = DTreeNodeKind::kMutex;
+  mutex.var = 0;
+  mutex.children = {a, b};
+  mutex.branch_values = {0, 1};
+  tree.set_root(tree.AddNode(mutex));
+  EXPECT_EQ(tree.MutexCount(), 1u);
+}
+
+TEST(DTreeTest, ToStringRendersStructure) {
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafVar;
+  leaf.var = 1;
+  DTree::NodeId a = tree.AddNode(leaf);
+  leaf.var = 2;
+  DTree::NodeId b = tree.AddNode(leaf);
+  DTreeNode sum;
+  sum.kind = DTreeNodeKind::kOplus;
+  sum.children = {a, b};
+  tree.set_root(tree.AddNode(sum));
+  std::string rendered = tree.ToString();
+  EXPECT_NE(rendered.find("(+)"), std::string::npos);
+  EXPECT_NE(rendered.find("var x1"), std::string::npos);
+  EXPECT_NE(rendered.find("var x2"), std::string::npos);
+}
+
+TEST(DTreeTest, InvalidNodeAccessThrows) {
+  DTree tree;
+  EXPECT_THROW(tree.node(0), CheckError);
+}
+
+}  // namespace
+}  // namespace pvcdb

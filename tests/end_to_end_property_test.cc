@@ -1,0 +1,231 @@
+// End-to-end property tests: for randomly generated small databases and
+// randomly generated Q queries, the engine's two-step evaluation
+// ([[.]] rewriting + d-tree probabilities) must agree with brute-force
+// possible-world semantics: enumerate every world nu, run the query
+// deterministically on the materialised world, and compare
+//  - P[tuple in answer] against the d-tree probability of its annotation,
+//  - the aggregate's world-wise value distribution against the d-tree
+//    distribution of its semimodule expression.
+// This exercises the *entire* pipeline (Definition 6 semantics, Figure 4
+// rewriting, Algorithm 1, Theorem 2, pruning, clamping) in one oracle.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/dtree/validate.h"
+#include "src/engine/database.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+namespace {
+
+struct WorldOracle {
+  // For each distinct data-tuple rendering: probability mass of worlds
+  // where it appears, and per aggregate column the value histogram.
+  std::map<std::string, double> tuple_probability;
+  std::map<std::string, std::map<int64_t, double>> agg_histogram;
+};
+
+std::string RenderDataCells(const PvcTable& t, const Row& r) {
+  std::string key;
+  for (size_t c = 0; c < t.schema().NumColumns(); ++c) {
+    if (t.schema().column(c).type == CellType::kAggExpr) continue;
+    key += r.cells[c].ToString() + "|";
+  }
+  return key;
+}
+
+// Enumerates all worlds of `db` (over its registered variables) and runs
+// `q` deterministically in each.
+WorldOracle EnumerateQueryWorlds(Database* db, const Query& q,
+                                 const std::string& agg_column) {
+  WorldOracle oracle;
+  size_t n = db->variables().size();
+  PVC_CHECK_MSG(n <= 16, "world enumeration too large for the oracle");
+  // Supports are Bernoulli {0,1} in these tests.
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double prob = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      const Distribution& d = db->variables().DistributionOf(
+          static_cast<VarId>(i));
+      prob *= (mask >> i) & 1 ? d.ProbOf(1) : d.ProbOf(0);
+    }
+    if (prob <= 0.0) continue;
+    auto nu = [mask](VarId x) -> int64_t { return (mask >> x) & 1; };
+    // Materialise the world into a scratch database.
+    Database world;
+    for (const std::string& name : db->TableNames()) {
+      PvcTable w = db->table(name).MaterializeWorld(db->pool(), nu);
+      PvcTable copy{w.schema()};
+      for (const Row& r : w.rows()) {
+        copy.AddRow(r.cells, world.pool().ConstS(1));
+      }
+      world.AddTable(name, std::move(copy));
+    }
+    PvcTable answer = world.RunDeterministic(q);
+    for (size_t i = 0; i < answer.NumRows(); ++i) {
+      const Row& r = answer.row(i);
+      std::string key = RenderDataCells(answer, r);
+      oracle.tuple_probability[key] += prob;
+      if (!agg_column.empty()) {
+        std::optional<size_t> idx = answer.schema().Find(agg_column);
+        if (idx.has_value()) {
+          int64_t value = world.pool().node(r.cells[*idx].AsAgg()).value;
+          oracle.agg_histogram[key][value] += prob;
+        }
+      }
+    }
+  }
+  return oracle;
+}
+
+void CheckQueryAgainstOracle(Database* db, const Query& q,
+                             const std::string& agg_column) {
+  PvcTable result = db->Run(q);
+  WorldOracle oracle = EnumerateQueryWorlds(db, q, agg_column);
+  for (size_t i = 0; i < result.NumRows(); ++i) {
+    const Row& r = result.row(i);
+    std::string key = RenderDataCells(result, r);
+    double expected = 0.0;
+    auto it = oracle.tuple_probability.find(key);
+    if (it != oracle.tuple_probability.end()) expected = it->second;
+    EXPECT_NEAR(db->TupleProbability(r), expected, 1e-9)
+        << "tuple " << key << " of " << q.ToString();
+    if (!agg_column.empty() &&
+        result.schema().Find(agg_column).has_value()) {
+      // Conditional (on presence) aggregate distribution vs oracle.
+      Distribution d = db->ConditionalAggregateDistribution(result, i,
+                                                            agg_column);
+      const std::map<int64_t, double>& hist = oracle.agg_histogram[key];
+      double mass = 0.0;
+      for (const auto& [v, p] : hist) mass += p;
+      for (const auto& [v, p] : hist) {
+        EXPECT_NEAR(d.ProbOf(v), p / mass, 1e-9)
+            << "agg value " << v << " of tuple " << key;
+      }
+    }
+  }
+  // Every oracle tuple with positive probability must appear in the
+  // result (completeness of the representation).
+  std::map<std::string, bool> present;
+  for (size_t i = 0; i < result.NumRows(); ++i) {
+    present[RenderDataCells(result, result.row(i))] = true;
+  }
+  for (const auto& [key, p] : oracle.tuple_probability) {
+    if (p > 1e-12) {
+      EXPECT_TRUE(present.count(key) > 0)
+          << "missing tuple " << key << " with probability " << p;
+    }
+  }
+}
+
+class EndToEndPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  // Builds a random two-table database with <= 16 total tuples.
+  void BuildRandomDatabase(Database* db, Rng* rng) {
+    int r_rows = static_cast<int>(rng->UniformInt(2, 5));
+    std::vector<std::vector<Cell>> r;
+    std::vector<double> rp;
+    for (int i = 0; i < r_rows; ++i) {
+      r.push_back({Cell(rng->UniformInt(0, 2)), Cell(rng->UniformInt(1, 9))});
+      rp.push_back(rng->UniformDouble(0.2, 0.9));
+    }
+    db->AddTupleIndependentTable(
+        "R", Schema({{"rk", CellType::kInt}, {"rv", CellType::kInt}}),
+        std::move(r), std::move(rp));
+    int s_rows = static_cast<int>(rng->UniformInt(2, 5));
+    std::vector<std::vector<Cell>> s;
+    std::vector<double> sp;
+    for (int i = 0; i < s_rows; ++i) {
+      s.push_back({Cell(rng->UniformInt(0, 2)), Cell(rng->UniformInt(1, 9))});
+      sp.push_back(rng->UniformDouble(0.2, 0.9));
+    }
+    db->AddTupleIndependentTable(
+        "S", Schema({{"sk", CellType::kInt}, {"sv", CellType::kInt}}),
+        std::move(s), std::move(sp));
+  }
+};
+
+TEST_P(EndToEndPropertyTest, ProjectionOfJoin) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Database db;
+  BuildRandomDatabase(&db, &rng);
+  QueryPtr q = Query::Project(
+      Query::Join(Query::Scan("R"), Query::Scan("S"),
+                  Predicate::ColEqCol("rk", "sk")),
+      {"rk"});
+  CheckQueryAgainstOracle(&db, *q, "");
+}
+
+TEST_P(EndToEndPropertyTest, GroupedAggregateOverJoin) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  Database db;
+  BuildRandomDatabase(&db, &rng);
+  AggKind agg = static_cast<AggKind>(rng.UniformInt(0, 3));  // SUM..MAX.
+  QueryPtr q = Query::GroupAgg(
+      Query::Join(Query::Scan("R"), Query::Scan("S"),
+                  Predicate::ColEqCol("rk", "sk")),
+      {"rk"}, {{agg, agg == AggKind::kCount ? "" : "sv", "a"}});
+  CheckQueryAgainstOracle(&db, *q, "a");
+}
+
+TEST_P(EndToEndPropertyTest, SelectionOnAggregate) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 200);
+  Database db;
+  BuildRandomDatabase(&db, &rng);
+  int64_t threshold = rng.UniformInt(2, 15);
+  CmpOp op = static_cast<CmpOp>(rng.UniformInt(0, 5));
+  QueryPtr q = Query::Select(
+      Query::GroupAgg(Query::Scan("R"), {"rk"},
+                      {{AggKind::kSum, "rv", "a"}}),
+      Predicate::ColCmpInt("a", op, threshold));
+  CheckQueryAgainstOracle(&db, *q, "a");
+}
+
+TEST_P(EndToEndPropertyTest, UnionThenProject) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 300);
+  Database db;
+  // Two tables with identical schemas for the union.
+  for (const char* name : {"A", "B"}) {
+    std::vector<std::vector<Cell>> rows;
+    std::vector<double> probs;
+    int n = static_cast<int>(rng.UniformInt(2, 4));
+    for (int i = 0; i < n; ++i) {
+      rows.push_back({Cell(rng.UniformInt(0, 2)),
+                      Cell(rng.UniformInt(1, 4))});
+      probs.push_back(rng.UniformDouble(0.2, 0.9));
+    }
+    db.AddTupleIndependentTable(
+        name, Schema({{"k", CellType::kInt}, {"v", CellType::kInt}}),
+        std::move(rows), std::move(probs));
+  }
+  QueryPtr q = Query::Project(Query::Union(Query::Scan("A"),
+                                           Query::Scan("B")),
+                              {"k"});
+  CheckQueryAgainstOracle(&db, *q, "");
+}
+
+TEST_P(EndToEndPropertyTest, CompiledDTreesAreStructurallyValid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 400);
+  Database db;
+  BuildRandomDatabase(&db, &rng);
+  QueryPtr q = Query::Select(
+      Query::GroupAgg(Query::Join(Query::Scan("R"), Query::Scan("S"),
+                                  Predicate::ColEqCol("rk", "sk")),
+                      {"rk"}, {{AggKind::kMax, "sv", "a"}}),
+      Predicate::ColCmpInt("a", CmpOp::kLe, 5));
+  PvcTable result = db.Run(*q);
+  for (const Row& r : result.rows()) {
+    DTree tree = CompileToDTree(&db.pool(), &db.variables(), r.annotation);
+    ValidationResult v = ValidateDTree(tree, db.variables());
+    EXPECT_TRUE(v.valid) << v.error;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndPropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace pvcdb

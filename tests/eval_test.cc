@@ -1,0 +1,125 @@
+#include "src/expr/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(EvalTest, VariablesAndConstants) {
+  ExprPool pool(SemiringKind::kBool);
+  std::unordered_map<VarId, int64_t> nu = {{0, 1}, {1, 0}};
+  EXPECT_EQ(EvalExpr(pool, pool.Var(0), nu), 1);
+  EXPECT_EQ(EvalExpr(pool, pool.Var(1), nu), 0);
+  EXPECT_EQ(EvalExpr(pool, pool.ConstS(1), nu), 1);
+  EXPECT_EQ(EvalExpr(pool, pool.ConstM(AggKind::kMin, 42), nu), 42);
+}
+
+TEST(EvalTest, MissingVariableThrows) {
+  ExprPool pool(SemiringKind::kBool);
+  std::unordered_map<VarId, int64_t> nu;
+  EXPECT_THROW(EvalExpr(pool, pool.Var(0), nu), CheckError);
+}
+
+TEST(EvalTest, BooleanSumAndProduct) {
+  ExprPool pool(SemiringKind::kBool);
+  ExprId e = pool.MulS(pool.Var(0), pool.AddS(pool.Var(1), pool.Var(2)));
+  EXPECT_EQ(EvalExpr(pool, e, {{0u, int64_t{1}}, {1u, int64_t{0}}, {2u, int64_t{1}}}), 1);
+  EXPECT_EQ(EvalExpr(pool, e, {{0u, int64_t{1}}, {1u, int64_t{0}}, {2u, int64_t{0}}}), 0);
+  EXPECT_EQ(EvalExpr(pool, e, {{0u, int64_t{0}}, {1u, int64_t{1}}, {2u, int64_t{1}}}), 0);
+}
+
+TEST(EvalTest, ExampleSixMinSemimodule) {
+  // alpha = xy (x) 5 +min (x + z) (x) 10 with x=2, y=3, z=0 evaluates to 5.
+  ExprPool pool(SemiringKind::kNatural);
+  ExprId x = pool.Var(0);
+  ExprId y = pool.Var(1);
+  ExprId z = pool.Var(2);
+  ExprId alpha = pool.AddM(
+      AggKind::kMin,
+      pool.Tensor(pool.MulS(x, y), pool.ConstM(AggKind::kMin, 5)),
+      pool.Tensor(pool.AddS(x, z), pool.ConstM(AggKind::kMin, 10)));
+  EXPECT_EQ(EvalExpr(pool, alpha, {{0u, int64_t{2}}, {1u, int64_t{3}}, {2u, int64_t{0}}}), 5);
+  // All variables to 0: the answer is 0_M = +inf for MIN.
+  EXPECT_EQ(EvalExpr(pool, alpha, {{0u, int64_t{0}}, {1u, int64_t{0}}, {2u, int64_t{0}}}),
+            kPosInf);
+}
+
+TEST(EvalTest, ExampleFiveSumAggregation) {
+  // alpha = z1 (x) 4 + z2 (x) 8 + z3 (x) 7 + z4 (x) 6 -> 24 for SUM over N
+  // with z1, z2 = 2 and z3, z4 = 0.
+  ExprPool pool(SemiringKind::kNatural);
+  std::vector<int64_t> weights = {4, 8, 7, 6};
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 4; ++i) {
+    terms.push_back(pool.Tensor(pool.Var(i),
+                                pool.ConstM(AggKind::kSum, weights[i])));
+  }
+  ExprId alpha = pool.AddM(AggKind::kSum, terms);
+  EXPECT_EQ(
+      EvalExpr(pool, alpha,
+               {{0u, int64_t{2}}, {1u, int64_t{2}}, {2u, int64_t{0}}, {3u, int64_t{0}}}),
+      24);
+}
+
+TEST(EvalTest, ExampleFiveMinWithBooleanSemiring) {
+  // Same alpha under B with z1 = false, rest true: MIN = 6.
+  ExprPool pool(SemiringKind::kBool);
+  std::vector<int64_t> weights = {4, 8, 7, 6};
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 4; ++i) {
+    terms.push_back(pool.Tensor(pool.Var(i),
+                                pool.ConstM(AggKind::kMin, weights[i])));
+  }
+  ExprId alpha = pool.AddM(AggKind::kMin, terms);
+  EXPECT_EQ(
+      EvalExpr(pool, alpha,
+               {{0u, int64_t{0}}, {1u, int64_t{1}}, {2u, int64_t{1}}, {3u, int64_t{1}}}),
+      6);
+}
+
+TEST(EvalTest, ConditionalExpressionEvaluatesToSemiring) {
+  // Example 1's valuation nu1: [10 +max 11 <= 50] = true.
+  ExprPool pool(SemiringKind::kBool);
+  ExprId alpha = pool.AddM(
+      AggKind::kMax,
+      pool.Tensor(pool.Var(0), pool.ConstM(AggKind::kMax, 10)),
+      pool.Tensor(pool.Var(1), pool.ConstM(AggKind::kMax, 11)));
+  ExprId cond = pool.Cmp(CmpOp::kLe, alpha, pool.ConstM(AggKind::kMax, 50));
+  EXPECT_EQ(EvalExpr(pool, cond, {{0u, int64_t{1}}, {1u, int64_t{1}}}), 1);
+  // With a 60-valued term present the condition fails.
+  ExprId alpha2 = pool.AddM(
+      AggKind::kMax, alpha,
+      pool.Tensor(pool.Var(2), pool.ConstM(AggKind::kMax, 60)));
+  ExprId cond2 = pool.Cmp(CmpOp::kLe, alpha2, pool.ConstM(AggKind::kMax, 50));
+  EXPECT_EQ(EvalExpr(pool, cond2, {{0u, int64_t{1}}, {1u, int64_t{1}}, {2u, int64_t{1}}}),
+            0);
+}
+
+TEST(EvalTest, ComparisonOfSemiringExpressions) {
+  ExprPool pool(SemiringKind::kNatural);
+  ExprId cmp = pool.Cmp(CmpOp::kNe, pool.AddS(pool.Var(0), pool.Var(1)),
+                        pool.ConstS(0));
+  EXPECT_EQ(EvalExpr(pool, cmp, {{0u, int64_t{0}}, {1u, int64_t{0}}}), 0);
+  EXPECT_EQ(EvalExpr(pool, cmp, {{0u, int64_t{0}}, {1u, int64_t{3}}}), 1);
+}
+
+TEST(EvalTest, ValuationIsCanonicalisedIntoCarrier) {
+  // Under B, a raw valuation value 7 acts as true.
+  ExprPool pool(SemiringKind::kBool);
+  EXPECT_EQ(EvalExpr(pool, pool.Var(0), {{0u, int64_t{7}}}), 1);
+}
+
+TEST(EvalTest, HomomorphismProperty) {
+  // nu(a + b) = nu(a) + nu(b) and nu(a * b) = nu(a) * nu(b) over N.
+  ExprPool pool(SemiringKind::kNatural);
+  ExprId a = pool.Var(0);
+  ExprId b = pool.Var(1);
+  std::unordered_map<VarId, int64_t> nu = {{0, 6}, {1, 7}};
+  EXPECT_EQ(EvalExpr(pool, pool.AddS(a, b), nu), 13);
+  EXPECT_EQ(EvalExpr(pool, pool.MulS(a, b), nu), 42);
+}
+
+}  // namespace
+}  // namespace pvcdb

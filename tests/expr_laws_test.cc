@@ -1,0 +1,181 @@
+// Randomised algebraic-law tests for the expression pool: the smart
+// constructors may rewrite expressions (flattening, folding, idempotence,
+// absorption, tensor merging), but every rewrite must preserve the
+// valuation semantics -- nu(op(a, b)) == op(nu(a), nu(b)) for all
+// valuations -- and hash-consing must keep structural equality consistent
+// with semantic identity of the canonical forms.
+
+#include <gtest/gtest.h>
+
+#include "src/expr/eval.h"
+#include "src/expr/expr.h"
+#include "src/util/rng.h"
+
+namespace pvcdb {
+namespace {
+
+class RandomExprFactory {
+ public:
+  RandomExprFactory(ExprPool* pool, int num_vars, Rng* rng)
+      : pool_(pool), num_vars_(num_vars), rng_(rng) {}
+
+  // A random semiring expression of bounded depth.
+  ExprId Semiring(int depth) {
+    if (depth == 0 || rng_->Bernoulli(0.3)) {
+      if (rng_->Bernoulli(0.2)) {
+        return pool_->ConstS(rng_->UniformInt(0, 2));
+      }
+      return pool_->Var(
+          static_cast<VarId>(rng_->UniformInt(0, num_vars_ - 1)));
+    }
+    ExprId a = Semiring(depth - 1);
+    ExprId b = Semiring(depth - 1);
+    return rng_->Bernoulli(0.5) ? pool_->AddS(a, b) : pool_->MulS(a, b);
+  }
+
+  // A random semimodule expression over `agg`.
+  ExprId Monoid(AggKind agg, int depth) {
+    if (depth == 0 || rng_->Bernoulli(0.4)) {
+      if (rng_->Bernoulli(0.3)) {
+        return pool_->ConstM(agg, rng_->UniformInt(0, 20));
+      }
+      return pool_->Tensor(Semiring(1),
+                           pool_->ConstM(agg, rng_->UniformInt(0, 20)));
+    }
+    return pool_->AddM(agg, Monoid(agg, depth - 1), Monoid(agg, depth - 1));
+  }
+
+ private:
+  ExprPool* pool_;
+  int num_vars_;
+  Rng* rng_;
+};
+
+class ExprLawsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExprLawsTest, ConstructorsPreserveSemanticsUnderBool) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  ExprPool pool(SemiringKind::kBool);
+  RandomExprFactory factory(&pool, 4, &rng);
+  Semiring semiring(SemiringKind::kBool);
+  for (int trial = 0; trial < 20; ++trial) {
+    ExprId a = factory.Semiring(3);
+    ExprId b = factory.Semiring(3);
+    ExprId sum = pool.AddS(a, b);
+    ExprId prod = pool.MulS(a, b);
+    // Check over all 16 valuations of the 4 variables.
+    for (int mask = 0; mask < 16; ++mask) {
+      auto nu = [mask](VarId x) -> int64_t { return (mask >> x) & 1; };
+      EXPECT_EQ(EvalExpr(pool, sum, nu),
+                semiring.Plus(EvalExpr(pool, a, nu), EvalExpr(pool, b, nu)));
+      EXPECT_EQ(EvalExpr(pool, prod, nu),
+                semiring.Times(EvalExpr(pool, a, nu), EvalExpr(pool, b, nu)));
+    }
+  }
+}
+
+TEST_P(ExprLawsTest, ConstructorsPreserveSemanticsUnderNatural) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 500);
+  ExprPool pool(SemiringKind::kNatural);
+  RandomExprFactory factory(&pool, 3, &rng);
+  Semiring semiring(SemiringKind::kNatural);
+  for (int trial = 0; trial < 20; ++trial) {
+    ExprId a = factory.Semiring(3);
+    ExprId b = factory.Semiring(3);
+    ExprId sum = pool.AddS(a, b);
+    ExprId prod = pool.MulS(a, b);
+    // Valuations into {0, 1, 2} per variable.
+    for (int v0 = 0; v0 < 3; ++v0) {
+      for (int v1 = 0; v1 < 3; ++v1) {
+        for (int v2 = 0; v2 < 3; ++v2) {
+          int values[] = {v0, v1, v2};
+          auto nu = [&values](VarId x) -> int64_t { return values[x]; };
+          EXPECT_EQ(
+              EvalExpr(pool, sum, nu),
+              semiring.Plus(EvalExpr(pool, a, nu), EvalExpr(pool, b, nu)));
+          EXPECT_EQ(
+              EvalExpr(pool, prod, nu),
+              semiring.Times(EvalExpr(pool, a, nu), EvalExpr(pool, b, nu)));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ExprLawsTest, MonoidSumsPreserveSemantics) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 900);
+  ExprPool pool(SemiringKind::kBool);
+  RandomExprFactory factory(&pool, 4, &rng);
+  for (AggKind agg : {AggKind::kSum, AggKind::kMin, AggKind::kMax}) {
+    Monoid monoid(agg);
+    for (int trial = 0; trial < 10; ++trial) {
+      ExprId a = factory.Monoid(agg, 2);
+      ExprId b = factory.Monoid(agg, 2);
+      ExprId sum = pool.AddM(agg, a, b);
+      for (int mask = 0; mask < 16; ++mask) {
+        auto nu = [mask](VarId x) -> int64_t { return (mask >> x) & 1; };
+        EXPECT_EQ(EvalExpr(pool, sum, nu),
+                  monoid.Plus(EvalExpr(pool, a, nu), EvalExpr(pool, b, nu)))
+            << AggKindName(agg);
+      }
+    }
+  }
+}
+
+TEST_P(ExprLawsTest, SubstitutionCommutesWithEvaluation) {
+  // nu(Phi|x<-s) == nu'(Phi) where nu' maps x to s and agrees elsewhere.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1300);
+  ExprPool pool(SemiringKind::kBool);
+  RandomExprFactory factory(&pool, 4, &rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    ExprId e = factory.Semiring(4);
+    VarId x = static_cast<VarId>(rng.UniformInt(0, 3));
+    int64_t s = rng.UniformInt(0, 1);
+    ExprId substituted = pool.Substitute(e, x, s);
+    for (int mask = 0; mask < 16; ++mask) {
+      auto nu = [mask](VarId v) -> int64_t { return (mask >> v) & 1; };
+      auto nu_prime = [mask, x, s](VarId v) -> int64_t {
+        return v == x ? s : (mask >> v) & 1;
+      };
+      EXPECT_EQ(EvalExpr(pool, substituted, nu), EvalExpr(pool, e, nu_prime));
+    }
+  }
+}
+
+TEST_P(ExprLawsTest, TensorMergePreservesSemantics) {
+  // (s1 (x) (s2 (x) m)) and ((s1*s2) (x) m) must agree in every world,
+  // both under B and N.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 1700);
+  for (SemiringKind kind : {SemiringKind::kBool, SemiringKind::kNatural}) {
+    ExprPool pool(kind);
+    RandomExprFactory factory(&pool, 3, &rng);
+    for (AggKind agg : {AggKind::kSum, AggKind::kMin, AggKind::kMax}) {
+      if (kind == SemiringKind::kBool && agg == AggKind::kSum) {
+        // B (x) N over SUM is not a semimodule (Section 2.2); the merge
+        // law does not apply.
+        continue;
+      }
+      ExprId s1 = factory.Semiring(2);
+      ExprId s2 = factory.Semiring(2);
+      ExprId m = pool.ConstM(agg, rng.UniformInt(1, 9));
+      ExprId nested = pool.Tensor(s1, pool.Tensor(s2, m));
+      ExprId merged = pool.Tensor(pool.MulS(s1, s2), m);
+      EXPECT_EQ(nested, merged) << "hash-consing canonicalises both forms";
+      for (int v0 = 0; v0 < 2; ++v0) {
+        for (int v1 = 0; v1 < 2; ++v1) {
+          for (int v2 = 0; v2 < 2; ++v2) {
+            int values[] = {v0, v1, v2};
+            auto nu = [&values](VarId x) -> int64_t { return values[x]; };
+            EXPECT_EQ(EvalExpr(pool, nested, nu),
+                      EvalExpr(pool, merged, nu));
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprLawsTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,99 @@
+// Shared test fixture: the running-example database of Figure 1 --
+// suppliers S, product-supplier pairs PS, and product tables P1 / P2 --
+// with one Bernoulli variable per tuple.
+
+#ifndef PVCDB_TESTS_FIGURE1_DB_H_
+#define PVCDB_TESTS_FIGURE1_DB_H_
+
+#include <map>
+#include <string>
+
+#include "src/engine/database.h"
+
+namespace pvcdb {
+namespace testing_fixtures {
+
+struct Figure1Handles {
+  // Variable ids keyed by the paper's names: x1..x5, y11..y51, z1..z5.
+  std::map<std::string, VarId> vars;
+};
+
+/// Populates `db` with S(sid, shop), PS(sid, pid, price), P1(pid, weight),
+/// P2(pid, weight) from Figure 1. `p` is the Bernoulli parameter used for
+/// every tuple variable (the paper leaves distributions unspecified).
+inline Figure1Handles BuildFigure1Database(Database* db, double p = 0.5) {
+  Figure1Handles h;
+  auto var = [&](const std::string& name) {
+    VarId id = db->variables().AddBernoulli(p, name);
+    h.vars[name] = id;
+    return db->pool().Var(id);
+  };
+
+  {
+    PvcTable s{Schema({{"sid", CellType::kInt}, {"shop", CellType::kString}})};
+    s.AddRow({Cell(int64_t{1}), Cell("M&S")}, var("x1"));
+    s.AddRow({Cell(int64_t{2}), Cell("M&S")}, var("x2"));
+    s.AddRow({Cell(int64_t{3}), Cell("M&S")}, var("x3"));
+    s.AddRow({Cell(int64_t{4}), Cell("Gap")}, var("x4"));
+    s.AddRow({Cell(int64_t{5}), Cell("Gap")}, var("x5"));
+    db->AddTable("S", std::move(s));
+  }
+  {
+    PvcTable ps{Schema({{"ps_sid", CellType::kInt},
+                        {"pid", CellType::kInt},
+                        {"price", CellType::kInt}})};
+    struct Entry {
+      int64_t sid, pid, price;
+      const char* name;
+    };
+    const Entry entries[] = {
+        {1, 1, 10, "y11"}, {1, 2, 50, "y12"}, {2, 1, 11, "y21"},
+        {2, 2, 60, "y22"}, {3, 3, 15, "y33"}, {3, 4, 40, "y34"},
+        {4, 1, 15, "y41"}, {4, 3, 60, "y43"}, {5, 1, 10, "y51"},
+    };
+    for (const Entry& e : entries) {
+      ps.AddRow({Cell(e.sid), Cell(e.pid), Cell(e.price)}, var(e.name));
+    }
+    db->AddTable("PS", std::move(ps));
+  }
+  {
+    PvcTable p1{Schema({{"p_pid", CellType::kInt},
+                        {"weight", CellType::kInt}})};
+    p1.AddRow({Cell(int64_t{1}), Cell(int64_t{4})}, var("z1"));
+    p1.AddRow({Cell(int64_t{2}), Cell(int64_t{8})}, var("z2"));
+    p1.AddRow({Cell(int64_t{3}), Cell(int64_t{7})}, var("z3"));
+    p1.AddRow({Cell(int64_t{4}), Cell(int64_t{6})}, var("z4"));
+    db->AddTable("P1", std::move(p1));
+  }
+  {
+    PvcTable p2{Schema({{"p_pid", CellType::kInt},
+                        {"weight", CellType::kInt}})};
+    p2.AddRow({Cell(int64_t{1}), Cell(int64_t{5})}, var("z5"));
+    db->AddTable("P2", std::move(p2));
+  }
+  return h;
+}
+
+/// Q1 = pi_{shop, price}[S |x| PS |x| (P1 U P2)] (Figure 1d).
+inline QueryPtr BuildFigure1Q1() {
+  QueryPtr products = Query::Union(Query::Scan("P1"), Query::Scan("P2"));
+  QueryPtr joined =
+      Query::Join(Query::Scan("S"), Query::Scan("PS"),
+                  Predicate::ColEqCol("sid", "ps_sid"));
+  joined = Query::Join(joined, products, Predicate::ColEqCol("pid", "p_pid"));
+  return Query::Project(joined, {"shop", "price"});
+}
+
+/// Q2 = pi_shop sigma_{P <= 50} $_{shop; P <- MAX(price)}[Q1] (Figure 1e).
+inline QueryPtr BuildFigure1Q2() {
+  QueryPtr agg = Query::GroupAgg(BuildFigure1Q1(), {"shop"},
+                                 {{AggKind::kMax, "price", "P"}});
+  QueryPtr filtered =
+      Query::Select(agg, Predicate::ColCmpInt("P", CmpOp::kLe, 50));
+  return Query::Project(filtered, {"shop"});
+}
+
+}  // namespace testing_fixtures
+}  // namespace pvcdb
+
+#endif  // PVCDB_TESTS_FIGURE1_DB_H_

@@ -1,0 +1,157 @@
+#include "src/algebra/monoid.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+namespace pvcdb {
+namespace {
+
+TEST(MonoidTest, Neutrals) {
+  EXPECT_EQ(Monoid(AggKind::kSum).Neutral(), 0);
+  EXPECT_EQ(Monoid(AggKind::kCount).Neutral(), 0);
+  EXPECT_EQ(Monoid(AggKind::kMin).Neutral(), kPosInf);
+  EXPECT_EQ(Monoid(AggKind::kMax).Neutral(), kNegInf);
+  EXPECT_EQ(Monoid(AggKind::kProd).Neutral(), 1);
+}
+
+TEST(MonoidTest, PlusSemantics) {
+  EXPECT_EQ(Monoid(AggKind::kSum).Plus(3, 4), 7);
+  EXPECT_EQ(Monoid(AggKind::kMin).Plus(3, 4), 3);
+  EXPECT_EQ(Monoid(AggKind::kMax).Plus(3, 4), 4);
+  EXPECT_EQ(Monoid(AggKind::kProd).Plus(3, 4), 12);
+}
+
+TEST(MonoidTest, InfinitySentinelsOrderCorrectly) {
+  Monoid min_monoid(AggKind::kMin);
+  Monoid max_monoid(AggKind::kMax);
+  EXPECT_EQ(min_monoid.Plus(kPosInf, 5), 5);
+  EXPECT_EQ(max_monoid.Plus(kNegInf, 5), 5);
+  EXPECT_LT(kNegInf, -1000000);
+  EXPECT_GT(kPosInf, 1000000);
+}
+
+// Monoid axioms (Definition 2) over small value grids; MIN/MAX include
+// their infinities.
+class MonoidAxiomTest : public ::testing::TestWithParam<AggKind> {};
+
+TEST_P(MonoidAxiomTest, AssociativityCommutativityNeutral) {
+  Monoid m(GetParam());
+  std::vector<int64_t> values = {0, 1, 2, 5, m.Neutral()};
+  for (int64_t a : values) {
+    for (int64_t b : values) {
+      EXPECT_EQ(m.Plus(a, b), m.Plus(b, a));
+      EXPECT_EQ(m.Plus(m.Neutral(), a), a);
+      EXPECT_EQ(m.Plus(a, m.Neutral()), a);
+      for (int64_t c : values) {
+        EXPECT_EQ(m.Plus(m.Plus(a, b), c), m.Plus(a, m.Plus(b, c)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMonoids, MonoidAxiomTest,
+                         ::testing::Values(AggKind::kSum, AggKind::kCount,
+                                           AggKind::kMin, AggKind::kMax,
+                                           AggKind::kProd));
+
+TEST(TensorTest, BooleanSemiringAction) {
+  Semiring b(SemiringKind::kBool);
+  EXPECT_EQ(Monoid(AggKind::kSum).Tensor(b, 1, 7), 7);
+  EXPECT_EQ(Monoid(AggKind::kSum).Tensor(b, 0, 7), 0);
+  EXPECT_EQ(Monoid(AggKind::kMin).Tensor(b, 1, 7), 7);
+  EXPECT_EQ(Monoid(AggKind::kMin).Tensor(b, 0, 7), kPosInf);
+  EXPECT_EQ(Monoid(AggKind::kMax).Tensor(b, 0, 7), kNegInf);
+  EXPECT_EQ(Monoid(AggKind::kProd).Tensor(b, 0, 7), 1);
+  EXPECT_EQ(Monoid(AggKind::kProd).Tensor(b, 1, 7), 7);
+}
+
+TEST(TensorTest, NaturalSemiringActionIsIteratedAddition) {
+  // Example 6: 6 (x)_MIN 5 = 5; s (x)_SUM m = s*m.
+  Semiring n(SemiringKind::kNatural);
+  EXPECT_EQ(Monoid(AggKind::kMin).Tensor(n, 6, 5), 5);
+  EXPECT_EQ(Monoid(AggKind::kSum).Tensor(n, 6, 5), 30);
+  EXPECT_EQ(Monoid(AggKind::kSum).Tensor(n, 0, 5), 0);
+  EXPECT_EQ(Monoid(AggKind::kProd).Tensor(n, 3, 2), 8);  // 2^3.
+  EXPECT_EQ(Monoid(AggKind::kMax).Tensor(n, 0, 5), kNegInf);
+}
+
+// Semimodule axioms (Definition 4) for the tensor action, over small grids.
+class SemimoduleAxiomTest
+    : public ::testing::TestWithParam<std::tuple<SemiringKind, AggKind>> {};
+
+TEST_P(SemimoduleAxiomTest, TensorLaws) {
+  Semiring s(std::get<0>(GetParam()));
+  Monoid m(std::get<1>(GetParam()));
+  std::vector<int64_t> svals =
+      s.kind() == SemiringKind::kBool ? std::vector<int64_t>{0, 1}
+                                      : std::vector<int64_t>{0, 1, 2, 3};
+  std::vector<int64_t> mvals = {1, 2, 5};
+  for (int64_t s1 : svals) {
+    for (int64_t s2 : svals) {
+      for (int64_t m1 : mvals) {
+        // (s1 +_S s2) (x) m = s1 (x) m +_M s2 (x) m.
+        EXPECT_EQ(m.Tensor(s, s.Plus(s1, s2), m1),
+                  m.Plus(m.Tensor(s, s1, m1), m.Tensor(s, s2, m1)))
+            << "s1=" << s1 << " s2=" << s2 << " m=" << m1;
+        // (s1 *_S s2) (x) m = s1 (x) (s2 (x) m).
+        EXPECT_EQ(m.Tensor(s, s.Times(s1, s2), m1),
+                  m.Tensor(s, s1, m.Tensor(s, s2, m1)));
+        for (int64_t m2 : mvals) {
+          // s (x) (m1 +_M m2) = s (x) m1 +_M s (x) m2.
+          EXPECT_EQ(m.Tensor(s, s1, m.Plus(m1, m2)),
+                    m.Plus(m.Tensor(s, s1, m1), m.Tensor(s, s1, m2)));
+        }
+      }
+    }
+  }
+  // 1_S (x) m = m; s (x) 0_M = 0_M.
+  for (int64_t m1 : mvals) EXPECT_EQ(m.Tensor(s, s.One(), m1), m1);
+  for (int64_t s1 : svals) {
+    EXPECT_EQ(m.Tensor(s, s1, m.Neutral()), m.Neutral());
+  }
+}
+
+// B (x) N over SUM is excluded: as the paper notes (Section 2.2), that
+// combination is not a semimodule -- (1 OR 1) (x) m = m but m +_SUM m = 2m,
+// reflecting the incompatibility of SUM aggregation with set semantics.
+INSTANTIATE_TEST_SUITE_P(
+    ValidPairs, SemimoduleAxiomTest,
+    ::testing::Values(std::make_tuple(SemiringKind::kBool, AggKind::kMin),
+                      std::make_tuple(SemiringKind::kBool, AggKind::kMax),
+                      std::make_tuple(SemiringKind::kNatural, AggKind::kSum),
+                      std::make_tuple(SemiringKind::kNatural, AggKind::kMin),
+                      std::make_tuple(SemiringKind::kNatural,
+                                      AggKind::kMax)));
+
+TEST(CmpTest, AllOperators) {
+  EXPECT_TRUE(EvalCmp(CmpOp::kEq, 3, 3));
+  EXPECT_FALSE(EvalCmp(CmpOp::kEq, 3, 4));
+  EXPECT_TRUE(EvalCmp(CmpOp::kNe, 3, 4));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLe, 3, 3));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, 3, 4));
+  EXPECT_FALSE(EvalCmp(CmpOp::kLt, 3, 3));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGe, 4, 4));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, 5, 4));
+}
+
+TEST(CmpTest, InfinityComparesCorrectly) {
+  // [inf <= 50] is false: an empty MIN group has value +inf (Example 9).
+  EXPECT_FALSE(EvalCmp(CmpOp::kLe, kPosInf, 50));
+  EXPECT_TRUE(EvalCmp(CmpOp::kGt, kPosInf, 50));
+  EXPECT_TRUE(EvalCmp(CmpOp::kLt, kNegInf, -50));
+}
+
+TEST(NamesTest, Renderings) {
+  EXPECT_EQ(AggKindName(AggKind::kSum), "SUM");
+  EXPECT_EQ(AggKindName(AggKind::kMin), "MIN");
+  EXPECT_EQ(CmpOpName(CmpOp::kLe), "<=");
+  EXPECT_EQ(CmpOpName(CmpOp::kNe), "!=");
+  EXPECT_EQ(MonoidValueToString(kPosInf), "inf");
+  EXPECT_EQ(MonoidValueToString(kNegInf), "-inf");
+  EXPECT_EQ(MonoidValueToString(42), "42");
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,105 @@
+#include "src/naive/possible_worlds.h"
+
+#include <gtest/gtest.h>
+
+#include "src/naive/monte_carlo.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(PossibleWorldsTest, SingleVariable) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  Distribution d = EnumerateDistribution(pool, vars, pool.Var(x));
+  EXPECT_DOUBLE_EQ(d.ProbOf(1), 0.3);
+  EXPECT_DOUBLE_EQ(d.ProbOf(0), 0.7);
+}
+
+TEST(PossibleWorldsTest, GroundExpression) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  Distribution d = EnumerateDistribution(pool, vars, pool.ConstS(1));
+  EXPECT_TRUE(d.ApproxEquals(Distribution::Point(1), 1e-12));
+}
+
+TEST(PossibleWorldsTest, ConjunctionAndDisjunction) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  VarId y = vars.AddBernoulli(0.5);
+  Distribution conj =
+      EnumerateDistribution(pool, vars, pool.MulS(pool.Var(x), pool.Var(y)));
+  EXPECT_DOUBLE_EQ(conj.ProbOf(1), 0.25);
+  Distribution disj =
+      EnumerateDistribution(pool, vars, pool.AddS(pool.Var(x), pool.Var(y)));
+  EXPECT_DOUBLE_EQ(disj.ProbOf(1), 0.75);
+}
+
+TEST(PossibleWorldsTest, WorldBudgetEnforced) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 30; ++i) {
+    terms.push_back(pool.Var(vars.AddBernoulli(0.5)));
+  }
+  ExprId big = pool.AddS(terms);
+  EXPECT_THROW(EnumerateDistribution(pool, vars, big, /*max_worlds=*/1024),
+               CheckError);
+}
+
+TEST(PossibleWorldsTest, JointDistributionOfCorrelatedExprs) {
+  // Phi = x, Psi = x*y: P[(1,1)] = p q, P[(1,0)] = p(1-q), P[(0,0)] = 1-p.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.6);
+  VarId y = vars.AddBernoulli(0.5);
+  JointDistribution joint = EnumerateJointDistribution(
+      pool, vars, {pool.Var(x), pool.MulS(pool.Var(x), pool.Var(y))});
+  EXPECT_NEAR((joint[{1, 1}]), 0.3, 1e-12);
+  EXPECT_NEAR((joint[{1, 0}]), 0.3, 1e-12);
+  EXPECT_NEAR((joint[{0, 0}]), 0.4, 1e-12);
+  EXPECT_EQ(joint.count({0, 1}), 0u) << "x=0 forces x*y=0";
+}
+
+TEST(MonteCarloTest, ConvergesToExactForSimpleExpression) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  VarId y = vars.AddBernoulli(0.6);
+  ExprId e = pool.AddS(pool.Var(x), pool.Var(y));
+  Distribution exact = EnumerateDistribution(pool, vars, e);
+  Distribution estimate = MonteCarloDistribution(pool, vars, e, 200000, 42);
+  EXPECT_NEAR(estimate.ProbOf(1), exact.ProbOf(1), 5e-3);
+}
+
+TEST(MonteCarloTest, DeterministicUnderFixedSeed) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  ExprId e = pool.Var(x);
+  Distribution a = MonteCarloDistribution(pool, vars, e, 1000, 7);
+  Distribution b = MonteCarloDistribution(pool, vars, e, 1000, 7);
+  EXPECT_TRUE(a.ApproxEquals(b, 0.0));
+}
+
+TEST(MonteCarloTest, HandlesIntegerValuedVariables) {
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{1, 0.5}, {3, 0.5}}));
+  ExprId e = pool.AddS(pool.Var(x), pool.ConstS(1));
+  Distribution estimate = MonteCarloDistribution(pool, vars, e, 100000, 3);
+  EXPECT_NEAR(estimate.ProbOf(2), 0.5, 1e-2);
+  EXPECT_NEAR(estimate.ProbOf(4), 0.5, 1e-2);
+}
+
+TEST(MonteCarloTest, RejectsZeroSamples) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  EXPECT_THROW(MonteCarloDistribution(pool, vars, pool.ConstS(1), 0, 1),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pvcdb

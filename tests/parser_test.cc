@@ -1,0 +1,152 @@
+#include "src/query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(ParserTest, SelectStarFromTable) {
+  ParseResult r = ParseQuery("SELECT * FROM R");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.query->op(), QueryOp::kScan);
+  EXPECT_EQ(r.query->table_name(), "R");
+}
+
+TEST(ParserTest, ProjectionList) {
+  ParseResult r = ParseQuery("SELECT a, b FROM R");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.query->op(), QueryOp::kProject);
+  EXPECT_EQ(r.query->columns(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, WhereConjunction) {
+  ParseResult r = ParseQuery(
+      "SELECT a FROM R WHERE a = 3 AND b != 'x' AND c <= d");
+  ASSERT_TRUE(r.ok()) << r.error;
+  const Query* select = r.query->child(0).get();
+  ASSERT_EQ(select->op(), QueryOp::kSelect);
+  ASSERT_EQ(select->predicate().atoms().size(), 3u);
+  EXPECT_EQ(select->predicate().atoms()[0].op, CmpOp::kEq);
+  EXPECT_EQ(select->predicate().atoms()[1].op, CmpOp::kNe);
+  EXPECT_EQ(select->predicate().atoms()[1].rhs.constant().AsString(), "x");
+  EXPECT_EQ(select->predicate().atoms()[2].rhs.column(), "d");
+}
+
+TEST(ParserTest, JoinViaFromList) {
+  ParseResult r = ParseQuery("SELECT shop FROM S, PS WHERE sid = ps_sid");
+  ASSERT_TRUE(r.ok()) << r.error;
+  // pi(select(product(S, PS))).
+  EXPECT_EQ(r.query->op(), QueryOp::kProject);
+  EXPECT_EQ(r.query->child(0)->op(), QueryOp::kSelect);
+  EXPECT_EQ(r.query->child(0)->child(0)->op(), QueryOp::kProduct);
+}
+
+TEST(ParserTest, GroupByWithAggregates) {
+  // Example 3: TPC-H Q1's structure.
+  ParseResult r = ParseQuery("SELECT A, SUM(B) AS beta FROM R GROUP BY A");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.query->op(), QueryOp::kGroupAgg);
+  EXPECT_EQ(r.query->columns(), std::vector<std::string>{"A"});
+  ASSERT_EQ(r.query->aggs().size(), 1u);
+  EXPECT_EQ(r.query->aggs()[0].agg, AggKind::kSum);
+  EXPECT_EQ(r.query->aggs()[0].input_column, "B");
+  EXPECT_EQ(r.query->aggs()[0].output_column, "beta");
+}
+
+TEST(ParserTest, CountStar) {
+  ParseResult r = ParseQuery("SELECT g, COUNT(*) FROM R GROUP BY g");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.query->aggs().size(), 1u);
+  EXPECT_EQ(r.query->aggs()[0].agg, AggKind::kCount);
+  EXPECT_TRUE(r.query->aggs()[0].input_column.empty());
+  EXPECT_EQ(r.query->aggs()[0].output_column, "count");
+}
+
+TEST(ParserTest, AggregateWithoutGroupBy) {
+  ParseResult r = ParseQuery("SELECT MIN(weight) AS m FROM P1");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.query->op(), QueryOp::kGroupAgg);
+  EXPECT_TRUE(r.query->columns().empty());
+}
+
+TEST(ParserTest, HavingBecomesSelectionOverAggregates) {
+  ParseResult r = ParseQuery(
+      "SELECT g, MAX(v) AS m FROM R GROUP BY g HAVING m <= 50");
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.query->op(), QueryOp::kSelect);
+  EXPECT_EQ(r.query->predicate().atoms()[0].lhs.column(), "m");
+  EXPECT_EQ(r.query->child(0)->op(), QueryOp::kGroupAgg);
+}
+
+TEST(ParserTest, MultipleAggregates) {
+  ParseResult r = ParseQuery(
+      "SELECT g, MIN(v) AS lo, MAX(v) AS hi, COUNT(*) AS n "
+      "FROM R GROUP BY g");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.query->aggs().size(), 3u);
+}
+
+TEST(ParserTest, CaseInsensitiveKeywords) {
+  ParseResult r = ParseQuery("select a from R where a >= -5");
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_EQ(r.query->op(), QueryOp::kProject);
+  const Query* sel = r.query->child(0).get();
+  EXPECT_EQ(sel->predicate().atoms()[0].rhs.constant().AsInt(), -5);
+}
+
+TEST(ParserTest, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(ParseQuery("FROM R").ok());
+  EXPECT_FALSE(ParseQuery("SELECT FROM R").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM R WHERE a").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM R WHERE a = 'oops").ok());
+  EXPECT_FALSE(ParseQuery("SELECT MIN(*) FROM R").ok());
+  EXPECT_FALSE(ParseQuery("SELECT a FROM R GROUP BY a").ok())
+      << "GROUP BY requires an aggregate";
+  EXPECT_FALSE(ParseQuery("SELECT b, SUM(v) FROM R GROUP BY a").ok())
+      << "plain columns must be grouping columns";
+  EXPECT_FALSE(ParseQuery("SELECT a FROM R extra").ok());
+}
+
+TEST(ParserTest, EndToEndAgainstDatabase) {
+  Database db;
+  db.AddTupleIndependentTable(
+      "orders", Schema({{"cust", CellType::kString},
+                        {"amount", CellType::kInt}}),
+      {{Cell("ann"), Cell(int64_t{10})},
+       {Cell("ann"), Cell(int64_t{25})},
+       {Cell("bob"), Cell(int64_t{40})}},
+      {0.5, 0.5, 0.5});
+  ParseResult r = ParseQuery(
+      "SELECT cust, SUM(amount) AS total FROM orders GROUP BY cust "
+      "HAVING total >= 30");
+  ASSERT_TRUE(r.ok()) << r.error;
+  PvcTable result = db.Run(*r.query);
+  ASSERT_EQ(result.NumRows(), 2u);
+  // ann: total >= 30 iff both orders present: 1/4. bob: 1/2.
+  EXPECT_NEAR(db.TupleProbability(result.row(0)), 0.25, 1e-12);
+  EXPECT_NEAR(db.TupleProbability(result.row(1)), 0.5, 1e-12);
+}
+
+TEST(ParserTest, ParsedJoinMatchesHandBuiltQuery) {
+  Database db;
+  db.AddTupleIndependentTable("L", Schema({{"lk", CellType::kInt}}),
+                              {{Cell(int64_t{1})}, {Cell(int64_t{2})}},
+                              {0.5, 0.5});
+  db.AddTupleIndependentTable("R", Schema({{"rk", CellType::kInt}}),
+                              {{Cell(int64_t{1})}}, {0.5});
+  ParseResult r = ParseQuery("SELECT lk FROM L, R WHERE lk = rk");
+  ASSERT_TRUE(r.ok()) << r.error;
+  PvcTable parsed = db.Run(*r.query);
+  PvcTable manual = db.Run(*Query::Project(
+      Query::Join(Query::Scan("L"), Query::Scan("R"),
+                  Predicate::ColEqCol("lk", "rk")),
+      {"lk"}));
+  ASSERT_EQ(parsed.NumRows(), manual.NumRows());
+  EXPECT_EQ(parsed.row(0).annotation, manual.row(0).annotation);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,53 @@
+#include "src/query/predicate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(OperandTest, ColumnAndConstants) {
+  Operand col = Operand::Col("price");
+  EXPECT_EQ(col.kind(), Operand::Kind::kColumn);
+  EXPECT_EQ(col.column(), "price");
+  EXPECT_THROW(col.constant(), CheckError);
+
+  Operand i = Operand::Int(50);
+  EXPECT_EQ(i.kind(), Operand::Kind::kConst);
+  EXPECT_EQ(i.constant().AsInt(), 50);
+  EXPECT_THROW(i.column(), CheckError);
+
+  EXPECT_EQ(Operand::Str("M&S").constant().AsString(), "M&S");
+  EXPECT_DOUBLE_EQ(Operand::Double(1.5).constant().AsDouble(), 1.5);
+}
+
+TEST(PredicateTest, FactoriesBuildExpectedAtoms) {
+  Predicate p = Predicate::ColEqCol("a", "b");
+  ASSERT_EQ(p.atoms().size(), 1u);
+  EXPECT_EQ(p.atoms()[0].op, CmpOp::kEq);
+  EXPECT_EQ(p.atoms()[0].lhs.column(), "a");
+  EXPECT_EQ(p.atoms()[0].rhs.column(), "b");
+
+  Predicate q = Predicate::ColCmpInt("price", CmpOp::kLe, 50);
+  EXPECT_EQ(q.atoms()[0].op, CmpOp::kLe);
+  EXPECT_EQ(q.atoms()[0].rhs.constant().AsInt(), 50);
+}
+
+TEST(PredicateTest, ConjunctionAccumulates) {
+  Predicate p;
+  p.And({CmpOp::kEq, Operand::Col("a"), Operand::Int(1)})
+      .And({CmpOp::kGt, Operand::Col("b"), Operand::Int(2)});
+  EXPECT_EQ(p.atoms().size(), 2u);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(Predicate().empty());
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  Predicate p = Predicate::ColEqStr("shop", "M&S");
+  p.And({CmpOp::kLe, Operand::Col("price"), Operand::Int(50)});
+  EXPECT_EQ(p.ToString(), "shop = M&S AND price <= 50");
+}
+
+}  // namespace
+}  // namespace pvcdb

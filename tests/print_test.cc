@@ -1,0 +1,57 @@
+#include "src/expr/print.h"
+
+#include <gtest/gtest.h>
+
+namespace pvcdb {
+namespace {
+
+TEST(PrintTest, VariablesAndConstants) {
+  ExprPool pool(SemiringKind::kBool);
+  EXPECT_EQ(ExprToString(pool, pool.Var(3)), "x3");
+  EXPECT_EQ(ExprToString(pool, pool.ConstS(1)), "1");
+  EXPECT_EQ(ExprToString(pool, pool.ConstM(AggKind::kMin, kPosInf)), "inf");
+}
+
+TEST(PrintTest, NamedVariables) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5, "x1");
+  EXPECT_EQ(ExprToString(pool, pool.Var(x), &vars), "x1");
+}
+
+TEST(PrintTest, SumsAndProductsWithPrecedence) {
+  ExprPool pool(SemiringKind::kBool);
+  ExprId x = pool.Var(0);
+  ExprId y = pool.Var(1);
+  ExprId z = pool.Var(2);
+  ExprId e = pool.MulS(x, pool.AddS(y, z));
+  EXPECT_EQ(ExprToString(pool, e), "x0*(x1 + x2)");
+}
+
+TEST(PrintTest, TensorAndMonoidSum) {
+  ExprPool pool(SemiringKind::kBool);
+  ExprId t1 = pool.Tensor(pool.Var(0), pool.ConstM(AggKind::kMax, 10));
+  ExprId t2 = pool.Tensor(pool.Var(1), pool.ConstM(AggKind::kMax, 50));
+  ExprId sum = pool.AddM(AggKind::kMax, t1, t2);
+  std::string rendered = ExprToString(pool, sum);
+  EXPECT_NE(rendered.find("(x)"), std::string::npos);
+  EXPECT_NE(rendered.find("+MAX"), std::string::npos);
+}
+
+TEST(PrintTest, ConditionalExpression) {
+  ExprPool pool(SemiringKind::kBool);
+  ExprId alpha = pool.Tensor(pool.Var(0), pool.ConstM(AggKind::kMin, 10));
+  ExprId cond = pool.Cmp(CmpOp::kLe, alpha, pool.ConstM(AggKind::kMin, 50));
+  EXPECT_EQ(ExprToString(pool, cond), "[x0 (x) 10 <= 50]");
+}
+
+TEST(PrintTest, RoundTripStability) {
+  // Printing the same node twice gives the same string (no hidden state).
+  ExprPool pool(SemiringKind::kNatural);
+  ExprId e = pool.AddS({pool.MulS(pool.Var(0), pool.Var(1)), pool.Var(2),
+                        pool.ConstS(5)});
+  EXPECT_EQ(ExprToString(pool, e), ExprToString(pool, e));
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,243 @@
+// Property tests: for randomly generated expressions across semirings,
+// monoids, and shapes, the d-tree pipeline (Algorithm 1 + Theorem 2
+// bottom-up convolution) must produce exactly the distribution obtained by
+// naive possible-world enumeration (Proposition 4).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/naive/possible_worlds.h"
+#include "src/util/rng.h"
+#include "src/workload/random_expr.h"
+
+namespace pvcdb {
+namespace {
+
+// Generates a random semiring expression over `num_vars` Boolean variables:
+// a random DNF with `clauses` clauses of up to `width` literals.
+ExprId RandomSemiringExpr(ExprPool* pool, const std::vector<VarId>& vars,
+                          int clauses, int width, Rng* rng) {
+  std::vector<ExprId> clause_exprs;
+  for (int c = 0; c < clauses; ++c) {
+    int k = static_cast<int>(rng->UniformInt(1, width));
+    std::vector<int> picks =
+        rng->SampleDistinct(static_cast<int>(vars.size()),
+                            std::min<int>(k, vars.size()));
+    std::vector<ExprId> lits;
+    for (int idx : picks) lits.push_back(pool->Var(vars[idx]));
+    clause_exprs.push_back(pool->MulS(std::move(lits)));
+  }
+  return pool->AddS(std::move(clause_exprs));
+}
+
+void ExpectMatchesEnumeration(ExprPool* pool, const VariableTable& vars,
+                              ExprId e, const CompileOptions& options) {
+  DTree tree = CompileToDTree(pool, &vars, e, options);
+  Distribution compiled =
+      ComputeDistribution(tree, vars, pool->semiring());
+  Distribution expected = EnumerateDistribution(*pool, vars, e);
+  EXPECT_TRUE(compiled.ApproxEquals(expected, 1e-9))
+      << "seed mismatch: d-tree " << compiled.ToString() << " vs naive "
+      << expected.ToString();
+}
+
+class SemiringPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiringPropertyTest, BooleanDnfMatchesEnumeration) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  int num_vars = static_cast<int>(rng.UniformInt(2, 8));
+  for (int i = 0; i < num_vars; ++i) {
+    ids.push_back(vars.AddBernoulli(rng.UniformDouble(0.05, 0.95)));
+  }
+  ExprId e = RandomSemiringExpr(&pool, ids, 4, 3, &rng);
+  ExpectMatchesEnumeration(&pool, vars, e, CompileOptions());
+}
+
+TEST_P(SemiringPropertyTest, NaturalSemiringMatchesEnumeration) {
+  uint64_t seed = static_cast<uint64_t>(GetParam()) + 1000;
+  Rng rng(seed);
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  int num_vars = static_cast<int>(rng.UniformInt(2, 6));
+  for (int i = 0; i < num_vars; ++i) {
+    // Integer-valued variables with small supports (bag semantics).
+    std::vector<Distribution::Entry> entries;
+    int support = static_cast<int>(rng.UniformInt(2, 3));
+    double mass = 1.0;
+    for (int s = 0; s < support; ++s) {
+      double p = s + 1 == support ? mass : mass * rng.UniformDouble(0.2, 0.8);
+      entries.push_back({rng.UniformInt(0, 3), p});
+      mass -= p;
+    }
+    ids.push_back(vars.Add(Distribution::FromPairs(entries)));
+  }
+  ExprId e = RandomSemiringExpr(&pool, ids, 3, 2, &rng);
+  ExpectMatchesEnumeration(&pool, vars, e, CompileOptions());
+}
+
+TEST_P(SemiringPropertyTest, ShannonOnlyAblationAgrees) {
+  uint64_t seed = static_cast<uint64_t>(GetParam()) + 2000;
+  Rng rng(seed);
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<VarId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(vars.AddBernoulli(rng.UniformDouble(0.1, 0.9)));
+  }
+  ExprId e = RandomSemiringExpr(&pool, ids, 3, 3, &rng);
+  CompileOptions shannon_only;
+  shannon_only.enable_independence = false;
+  shannon_only.enable_factorization = false;
+  ExpectMatchesEnumeration(&pool, vars, e, shannon_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiringPropertyTest, ::testing::Range(0, 20));
+
+class SemimodulePropertyTest
+    : public ::testing::TestWithParam<std::tuple<AggKind, int>> {};
+
+TEST_P(SemimodulePropertyTest, AggregateComparisonMatchesEnumeration) {
+  auto [agg, seed] = GetParam();
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 6;
+  params.terms_left = 5;
+  params.clauses_per_term = 2;
+  params.literals_per_clause = 2;
+  params.max_value = 20;
+  params.constant = 10;
+  params.theta = CmpOp::kLe;
+  params.agg_left = agg;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params,
+                                             static_cast<uint64_t>(seed));
+  ExpectMatchesEnumeration(&pool, vars, gen.comparison, CompileOptions());
+}
+
+TEST_P(SemimodulePropertyTest, AggregateValueDistributionMatches) {
+  auto [agg, seed] = GetParam();
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 5;
+  params.terms_left = 4;
+  params.clauses_per_term = 2;
+  params.literals_per_clause = 2;
+  params.max_value = 8;
+  params.agg_left = agg;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params,
+                                             static_cast<uint64_t>(seed) + 77);
+  // Distribution of the raw semimodule sum (not just the comparison).
+  ExpectMatchesEnumeration(&pool, vars, gen.lhs, CompileOptions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AggsAndSeeds, SemimodulePropertyTest,
+    ::testing::Combine(::testing::Values(AggKind::kMin, AggKind::kMax,
+                                         AggKind::kSum, AggKind::kCount),
+                       ::testing::Range(0, 8)));
+
+class TwoSidedPropertyTest
+    : public ::testing::TestWithParam<std::tuple<AggKind, AggKind, int>> {};
+
+TEST_P(TwoSidedPropertyTest, MixedMonoidComparisonMatchesEnumeration) {
+  auto [agg_l, agg_r, seed] = GetParam();
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 6;
+  params.terms_left = 3;
+  params.terms_right = 3;
+  params.clauses_per_term = 2;
+  params.literals_per_clause = 2;
+  params.max_value = 15;
+  params.theta = CmpOp::kLe;
+  params.agg_left = agg_l;
+  params.agg_right = agg_r;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params,
+                                             static_cast<uint64_t>(seed));
+  ExpectMatchesEnumeration(&pool, vars, gen.comparison, CompileOptions());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, TwoSidedPropertyTest,
+    ::testing::Combine(::testing::Values(AggKind::kMin, AggKind::kMax),
+                       ::testing::Values(AggKind::kMax, AggKind::kSum),
+                       ::testing::Range(0, 5)));
+
+// All comparison operators against all monoids, fixed seed batch.
+class OperatorSweepTest
+    : public ::testing::TestWithParam<std::tuple<AggKind, CmpOp>> {};
+
+TEST_P(OperatorSweepTest, ComparisonOperatorsMatchEnumeration) {
+  auto [agg, op] = GetParam();
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    ExprPool pool(SemiringKind::kBool);
+    VariableTable vars;
+    ExprGenParams params;
+    params.num_vars = 5;
+    params.terms_left = 4;
+    params.clauses_per_term = 2;
+    params.literals_per_clause = 2;
+    params.max_value = 12;
+    params.constant = 6;
+    params.theta = op;
+    params.agg_left = agg;
+    GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, seed);
+    ExpectMatchesEnumeration(&pool, vars, gen.comparison, CompileOptions());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsTimesAggs, OperatorSweepTest,
+    ::testing::Combine(::testing::Values(AggKind::kMin, AggKind::kMax,
+                                         AggKind::kSum, AggKind::kCount),
+                       ::testing::Values(CmpOp::kEq, CmpOp::kNe, CmpOp::kLe,
+                                         CmpOp::kGe, CmpOp::kLt,
+                                         CmpOp::kGt)));
+
+// Pruning and clamping off/on must agree with enumeration too.
+class KnobSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnobSweepTest, AllKnobCombinationsAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 6;
+  params.terms_left = 5;
+  params.clauses_per_term = 2;
+  params.literals_per_clause = 2;
+  params.max_value = 10;
+  params.constant = 5;
+  params.theta = CmpOp::kLe;
+  params.agg_left = AggKind::kSum;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, seed);
+  Distribution expected = EnumerateDistribution(pool, vars, gen.comparison);
+  for (bool pruning : {false, true}) {
+    for (bool clamping : {false, true}) {
+      CompileOptions copts;
+      copts.enable_pruning = pruning;
+      DTree tree = CompileToDTree(&pool, &vars, gen.comparison, copts);
+      ProbabilityOptions popts;
+      popts.enable_sum_clamping = clamping;
+      Distribution d =
+          ComputeDistribution(tree, vars, pool.semiring(), popts);
+      EXPECT_TRUE(d.ApproxEquals(expected, 1e-9))
+          << "pruning=" << pruning << " clamping=" << clamping;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnobSweepTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace pvcdb

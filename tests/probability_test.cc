@@ -1,0 +1,262 @@
+#include "src/dtree/probability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/compile.h"
+
+namespace pvcdb {
+namespace {
+
+// Golden tests against the worked examples of the paper.
+
+TEST(ProbabilityTest, SingleVariableLeaf) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  DTree t = CompileToDTree(&pool, &vars, pool.Var(x));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_DOUBLE_EQ(d.ProbOf(1), 0.3);
+  EXPECT_DOUBLE_EQ(d.ProbOf(0), 0.7);
+}
+
+TEST(ProbabilityTest, DisjunctionClosedForm) {
+  // P[x + y = 1] = 1 - (1-p)(1-q) under B (Example 2).
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  VarId y = vars.AddBernoulli(0.6);
+  DTree t = CompileToDTree(&pool, &vars, pool.AddS(pool.Var(x), pool.Var(y)));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_NEAR(d.ProbOf(1), 1.0 - 0.7 * 0.4, 1e-12);
+}
+
+TEST(ProbabilityTest, ConjunctionProduct) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.3);
+  VarId y = vars.AddBernoulli(0.6);
+  DTree t = CompileToDTree(&pool, &vars, pool.MulS(pool.Var(x), pool.Var(y)));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_NEAR(d.ProbOf(1), 0.18, 1e-12);
+  EXPECT_NEAR(ProbabilityNonZero(t, vars, pool.semiring()), 0.18, 1e-12);
+}
+
+TEST(ProbabilityTest, ExampleElevenTensorConvolution) {
+  // Phi = x with P = {(0,.3),(1,.3),(2,.4)}; alpha = y (x) 5 with
+  // P_y = {(1,.4),(2,.4),(3,.2)}; over N with SUM:
+  // P[alpha] = {(5,.4),(10,.4),(15,.2)}, and
+  // P[Phi (x) alpha][10] = P_x[1] P_alpha[10] + P_x[2] P_alpha[5].
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{0, 0.3}, {1, 0.3}, {2, 0.4}}));
+  VarId y = vars.Add(Distribution::FromPairs({{1, 0.4}, {2, 0.4}, {3, 0.2}}));
+  ExprId alpha = pool.Tensor(pool.Var(y), pool.ConstM(AggKind::kSum, 5));
+  {
+    DTree t = CompileToDTree(&pool, &vars, alpha);
+    Distribution d = ComputeDistribution(t, vars, pool.semiring());
+    EXPECT_TRUE(d.ApproxEquals(
+        Distribution::FromPairs({{5, 0.4}, {10, 0.4}, {15, 0.2}}), 1e-12));
+  }
+  ExprId full = pool.Tensor(pool.Var(x), alpha);
+  DTree t = CompileToDTree(&pool, &vars, full);
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_NEAR(d.ProbOf(10), 0.3 * 0.4 + 0.4 * 0.4, 1e-12);
+  // Other outcomes listed in the example: 0, 5, 15, 20, 30.
+  for (int64_t v : {0, 5, 15, 20, 30}) {
+    EXPECT_GT(d.ProbOf(v), 0.0) << "missing outcome " << v;
+  }
+  EXPECT_TRUE(d.IsNormalized(1e-9));
+}
+
+TEST(ProbabilityTest, ExampleElevenBooleanCase) {
+  // Under B the outcomes are 0 and 5 with P[5] = P_x[1] P_y[1].
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.7);
+  VarId y = vars.AddBernoulli(0.4);
+  ExprId e = pool.Tensor(pool.MulS(pool.Var(x), pool.Var(y)),
+                         pool.ConstM(AggKind::kSum, 5));
+  DTree t = CompileToDTree(&pool, &vars, e);
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_NEAR(d.ProbOf(5), 0.28, 1e-12);
+  EXPECT_NEAR(d.ProbOf(0), 0.72, 1e-12);
+}
+
+class Example12Test : public ::testing::Test {
+ protected:
+  // Figure 5 / Example 12: each variable in {a, b, c} takes value 1 with
+  // probability p and value 2 with probability 1-p.
+  Example12Test() {
+    pa_ = 0.6;
+    pb_ = 0.7;
+    pc_ = 0.5;
+  }
+
+  // Builds alpha = a(b + c) (x) 10 + c (x) 20 over the given pool.
+  ExprId BuildAlpha(ExprPool* pool, AggKind agg) {
+    ExprId a = pool->Var(a_);
+    ExprId b = pool->Var(b_);
+    ExprId c = pool->Var(c_);
+    return pool->AddM(
+        agg,
+        pool->Tensor(pool->MulS(a, pool->AddS(b, c)), pool->ConstM(agg, 10)),
+        pool->Tensor(c, pool->ConstM(agg, 20)));
+  }
+
+  void SetupIntegerVars(VariableTable* vars) {
+    a_ = vars->Add(Distribution::FromPairs({{1, pa_}, {2, 1 - pa_}}), "a");
+    b_ = vars->Add(Distribution::FromPairs({{1, pb_}, {2, 1 - pb_}}), "b");
+    c_ = vars->Add(Distribution::FromPairs({{1, pc_}, {2, 1 - pc_}}), "c");
+  }
+
+  double pa_, pb_, pc_;
+  VarId a_, b_, c_;
+};
+
+TEST_F(Example12Test, SumMonoidFullDistribution) {
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  SetupIntegerVars(&vars);
+  DTree t = CompileToDTree(&pool, &vars, BuildAlpha(&pool, AggKind::kSum));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  const double pa = pa_, pb = pb_, pc = pc_;
+  const double qa = 1 - pa, qb = 1 - pb, qc = 1 - pc;
+  // The paper's final distribution:
+  // {(40, pa pb pc), (50, pa qb pc), (60, qa pb pc), (70, pa pb qc),
+  //  (80, qa qb pc + pa qb qc), (100, qa pb qc), (120, qa qb qc)}.
+  EXPECT_NEAR(d.ProbOf(40), pa * pb * pc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(50), pa * qb * pc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(60), qa * pb * pc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(70), pa * pb * qc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(80), qa * qb * pc + pa * qb * qc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(100), qa * pb * qc, 1e-12);
+  EXPECT_NEAR(d.ProbOf(120), qa * qb * qc, 1e-12);
+  EXPECT_EQ(d.size(), 7u);
+  EXPECT_TRUE(d.IsNormalized(1e-9));
+}
+
+TEST_F(Example12Test, MinMonoidIsDegenerate) {
+  // "In case of MIN aggregation, the distribution ... is {(10, 1)}":
+  // with values in {1, 2} every world realises min = 10.
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  SetupIntegerVars(&vars);
+  DTree t = CompileToDTree(&pool, &vars, BuildAlpha(&pool, AggKind::kMin));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_TRUE(d.ApproxEquals(Distribution::Point(10), 1e-12));
+}
+
+TEST_F(Example12Test, BooleanMinCase) {
+  // Boolean semiring with MIN: the example's third case; P[10], P[20],
+  // P[inf] have the stated products.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  a_ = vars.AddBernoulli(pa_, "a");
+  b_ = vars.AddBernoulli(pb_, "b");
+  c_ = vars.AddBernoulli(pc_, "c");
+  // Note: under B, "c <- bottom / top" maps to the two branches. In the
+  // example's notation p_x is the probability of value 1 (= top here... the
+  // example uses 1,2; under B we use the Bernoulli probabilities directly).
+  DTree t = CompileToDTree(&pool, &vars, BuildAlpha(&pool, AggKind::kMin));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  const double pa = pa_, pb = pb_, pc = pc_;
+  // P[10] = P[a(b+c) = 1]; P[20] = P[a(b+c) = 0 and c = 1];
+  // P[inf] = remaining mass.
+  double p10 = pa * (1 - (1 - pb) * (1 - pc));
+  double p20 = (1 - pa * (1 - (1 - pb) * (1 - pc))) * pc;
+  // Careful: events overlap; compute exactly: 10 wins whenever a(b+c)=1.
+  // 20 occurs when c=1 and not(a(b+c)=1) -> a=0, c=1.
+  p20 = (1 - pa) * pc;
+  EXPECT_NEAR(d.ProbOf(10), p10, 1e-12);
+  EXPECT_NEAR(d.ProbOf(20), p20, 1e-12);
+  EXPECT_NEAR(d.ProbOf(kPosInf), 1.0 - p10 - p20, 1e-12);
+}
+
+TEST(ProbabilityTest, MutexMixesBranchDistributions) {
+  // Non-Boolean variable: x in {1, 2, 3} each 1/3; e = [x + x >= 4].
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs(
+      {{1, 1.0 / 3}, {2, 1.0 / 3}, {3, 1.0 / 3}}));
+  ExprId e = pool.Cmp(CmpOp::kGe, pool.AddS(pool.Var(x), pool.Var(x)),
+                      pool.ConstS(4));
+  DTree t = CompileToDTree(&pool, &vars, e);
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  EXPECT_NEAR(d.ProbOf(1), 2.0 / 3, 1e-12);  // x = 2 or 3.
+  EXPECT_NEAR(d.ProbOf(0), 1.0 / 3, 1e-12);
+}
+
+TEST(ProbabilityTest, SumClampingPreservesComparisons) {
+  // COUNT comparison against a small constant: with and without clamping,
+  // identical results.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 12; ++i) {
+    VarId x = vars.AddBernoulli(0.4);
+    terms.push_back(
+        pool.Tensor(pool.Var(x), pool.ConstM(AggKind::kCount, 1)));
+  }
+  ExprId e = pool.Cmp(CmpOp::kLe, pool.AddM(AggKind::kCount, terms),
+                      pool.ConstM(AggKind::kCount, 3));
+  DTree t = CompileToDTree(&pool, &vars, e);
+  ProbabilityOptions with;
+  ProbabilityOptions without;
+  without.enable_sum_clamping = false;
+  Distribution d1 = ComputeDistribution(t, vars, pool.semiring(), with);
+  Distribution d2 = ComputeDistribution(t, vars, pool.semiring(), without);
+  EXPECT_TRUE(d1.ApproxEquals(d2, 1e-9));
+}
+
+TEST(ProbabilityTest, CountDistributionIsBinomial) {
+  // n independent presence variables with COUNT: Binomial(n, p).
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  const int n = 6;
+  const double p = 0.3;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < n; ++i) {
+    VarId x = vars.AddBernoulli(p);
+    terms.push_back(
+        pool.Tensor(pool.Var(x), pool.ConstM(AggKind::kCount, 1)));
+  }
+  DTree t = CompileToDTree(&pool, &vars, pool.AddM(AggKind::kCount, terms));
+  Distribution d = ComputeDistribution(t, vars, pool.semiring());
+  auto binomial = [&](int k) {
+    double coeff = 1.0;
+    for (int i = 0; i < k; ++i) coeff = coeff * (n - i) / (i + 1);
+    return coeff * std::pow(p, k) * std::pow(1 - p, n - k);
+  };
+  for (int k = 0; k <= n; ++k) {
+    EXPECT_NEAR(d.ProbOf(k), binomial(k), 1e-12) << "k=" << k;
+  }
+}
+
+TEST(ProbabilityTest, EmptyGroupAnnotationFromFigure1) {
+  // Example 9: with x1, x2, x3 -> 0, the M&S MIN-group annotation
+  // evaluates to [inf <= 50] * 0 = 0; overall P reflects the group
+  // emptiness condition Psi1.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x1 = vars.AddBernoulli(0.5);
+  ExprId alpha =
+      pool.Tensor(pool.Var(x1), pool.ConstM(AggKind::kMin, 60));
+  ExprId cond = pool.Cmp(CmpOp::kLe, alpha, pool.ConstM(AggKind::kMin, 50));
+  ExprId ann = pool.MulS(
+      cond, pool.Cmp(CmpOp::kNe, pool.Var(x1), pool.ConstS(0)));
+  DTree t = CompileToDTree(&pool, &vars, ann);
+  EXPECT_NEAR(ProbabilityNonZero(t, vars, pool.semiring()), 0.0, 1e-12);
+}
+
+TEST(ProbabilityTest, NonZeroProbabilityOfBagAnnotation) {
+  // Under N, annotations are multiplicities; P[Phi != 0] counts worlds
+  // with at least one copy.
+  ExprPool pool(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{0, 0.25}, {2, 0.75}}));
+  DTree t = CompileToDTree(&pool, &vars, pool.Var(x));
+  EXPECT_NEAR(ProbabilityNonZero(t, vars, pool.semiring()), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,300 @@
+#include "src/dtree/prune.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/naive/possible_worlds.h"
+
+namespace pvcdb {
+namespace {
+
+class PruneTest : public ::testing::Test {
+ protected:
+  PruneTest() : pool_(SemiringKind::kBool) {
+    for (int i = 0; i < 6; ++i) ids_.push_back(vars_.AddBernoulli(0.5));
+  }
+
+  ExprId Term(AggKind agg, int var, int64_t value) {
+    return pool_.Tensor(pool_.Var(ids_[var]), pool_.ConstM(agg, value));
+  }
+
+  // Checks that pruning preserves the probability distribution, against
+  // naive world enumeration.
+  void ExpectDistributionPreserved(ExprId original) {
+    ExprId pruned = PruneComparison(pool_, original);
+    Distribution expected = EnumerateDistribution(pool_, vars_, original);
+    Distribution actual = EnumerateDistribution(pool_, vars_, pruned);
+    EXPECT_TRUE(expected.ApproxEquals(actual, 1e-9))
+        << "expected " << expected.ToString() << " got " << actual.ToString();
+  }
+
+  ExprPool pool_;
+  VariableTable vars_;
+  std::vector<VarId> ids_;
+};
+
+TEST_F(PruneTest, MinLeDropsLargeTerms) {
+  // [min{10, 60, 200} <= 50]: the 60- and 200-valued terms are irrelevant.
+  ExprId e = pool_.Cmp(
+      CmpOp::kLe,
+      pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 10),
+                                 Term(AggKind::kMin, 1, 60),
+                                 Term(AggKind::kMin, 2, 200)}),
+      pool_.ConstM(AggKind::kMin, 50));
+  ExprId pruned = PruneComparison(pool_, e);
+  EXPECT_NE(pruned, e);
+  // The pruned comparison mentions only the variable of the 10-term.
+  EXPECT_EQ(pool_.VarsOf(pruned).size(), 1u);
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, MinGeKeepsOnlySmallTerms) {
+  // [min >= 50] holds iff no present term is < 50.
+  ExprId e = pool_.Cmp(
+      CmpOp::kGe,
+      pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 10),
+                                 Term(AggKind::kMin, 1, 60)}),
+      pool_.ConstM(AggKind::kMin, 50));
+  ExprId pruned = PruneComparison(pool_, e);
+  EXPECT_EQ(pool_.VarsOf(pruned).size(), 1u);
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, MinAllTermsPrunedFoldsToConstant) {
+  // [min{60, 200} <= 50]: no term can satisfy it; [inf <= 50] = 0.
+  ExprId e = pool_.Cmp(
+      CmpOp::kLe,
+      pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 60),
+                                 Term(AggKind::kMin, 1, 200)}),
+      pool_.ConstM(AggKind::kMin, 50));
+  ExprId pruned = PruneComparison(pool_, e);
+  EXPECT_EQ(pruned, pool_.ConstS(0));
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, MaxMirrorRules) {
+  // [max{10, 60} >= 50]: the 10-term is irrelevant.
+  ExprId e = pool_.Cmp(
+      CmpOp::kGe,
+      pool_.AddM(AggKind::kMax, {Term(AggKind::kMax, 0, 10),
+                                 Term(AggKind::kMax, 1, 60)}),
+      pool_.ConstM(AggKind::kMax, 50));
+  ExprId pruned = PruneComparison(pool_, e);
+  EXPECT_EQ(pool_.VarsOf(pruned).size(), 1u);
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, AllMinOperatorsPreserveDistributions) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLe, CmpOp::kGe,
+                   CmpOp::kLt, CmpOp::kGt}) {
+    for (int64_t c : {5, 10, 35, 60, 250}) {
+      ExprId e = pool_.Cmp(
+          op,
+          pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 10),
+                                     Term(AggKind::kMin, 1, 35),
+                                     Term(AggKind::kMin, 2, 60),
+                                     Term(AggKind::kMin, 3, 200)}),
+          pool_.ConstM(AggKind::kMin, c));
+      ExpectDistributionPreserved(e);
+    }
+  }
+}
+
+TEST_F(PruneTest, AllMaxOperatorsPreserveDistributions) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLe, CmpOp::kGe,
+                   CmpOp::kLt, CmpOp::kGt}) {
+    for (int64_t c : {5, 10, 35, 60, 250}) {
+      ExprId e = pool_.Cmp(
+          op,
+          pool_.AddM(AggKind::kMax, {Term(AggKind::kMax, 0, 10),
+                                     Term(AggKind::kMax, 1, 35),
+                                     Term(AggKind::kMax, 2, 60),
+                                     Term(AggKind::kMax, 3, 200)}),
+          pool_.ConstM(AggKind::kMax, c));
+      ExpectDistributionPreserved(e);
+    }
+  }
+}
+
+TEST_F(PruneTest, SumTautology) {
+  // [sum{3, 4} <= 10] is always true: total = 7 <= 10 (the paper's SUM
+  // rule).
+  ExprId e = pool_.Cmp(
+      CmpOp::kLe,
+      pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 0, 3),
+                                 Term(AggKind::kSum, 1, 4)}),
+      pool_.ConstM(AggKind::kSum, 10));
+  EXPECT_EQ(PruneComparison(pool_, e), pool_.ConstS(1));
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, SumContradiction) {
+  // [sum{3, 4} >= 10] is always false.
+  ExprId e = pool_.Cmp(
+      CmpOp::kGe,
+      pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 0, 3),
+                                 Term(AggKind::kSum, 1, 4)}),
+      pool_.ConstM(AggKind::kSum, 10));
+  EXPECT_EQ(PruneComparison(pool_, e), pool_.ConstS(0));
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, SumEqOutOfRange) {
+  ExprId e = pool_.Cmp(
+      CmpOp::kEq,
+      pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 0, 3),
+                                 Term(AggKind::kSum, 1, 4)}),
+      pool_.ConstM(AggKind::kSum, 100));
+  EXPECT_EQ(PruneComparison(pool_, e), pool_.ConstS(0));
+  ExprId ne = pool_.Cmp(
+      CmpOp::kNe,
+      pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 0, 3),
+                                 Term(AggKind::kSum, 1, 4)}),
+      pool_.ConstM(AggKind::kSum, 100));
+  EXPECT_EQ(PruneComparison(pool_, ne), pool_.ConstS(1));
+}
+
+TEST_F(PruneTest, SumUndecidedUnchanged) {
+  // [sum{3, 4} <= 5] depends on the variables; pruning keeps it.
+  ExprId e = pool_.Cmp(
+      CmpOp::kLe,
+      pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 0, 3),
+                                 Term(AggKind::kSum, 1, 4)}),
+      pool_.ConstM(AggKind::kSum, 5));
+  EXPECT_EQ(PruneComparison(pool_, e), e);
+}
+
+TEST_F(PruneTest, ConstantOnLeftSideIsMirrored) {
+  // [50 >= min{10, 60}] behaves like [min{10, 60} <= 50].
+  ExprId e = pool_.Cmp(
+      CmpOp::kGe, pool_.ConstM(AggKind::kMin, 50),
+      pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 10),
+                                 Term(AggKind::kMin, 1, 60)}));
+  ExprId pruned = PruneComparison(pool_, e);
+  EXPECT_NE(pruned, e);
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, NonConstantComparisonUntouched) {
+  ExprId lhs = pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 0, 10)});
+  ExprId rhs = pool_.AddM(AggKind::kMin, {Term(AggKind::kMin, 1, 20)});
+  ExprId e = pool_.Cmp(CmpOp::kLe, lhs, rhs);
+  EXPECT_EQ(PruneComparison(pool_, e), e);
+}
+
+TEST_F(PruneTest, NonCmpInputReturnedUnchanged) {
+  ExprId e = pool_.Var(ids_[0]);
+  EXPECT_EQ(PruneComparison(pool_, e), e);
+}
+
+TEST_F(PruneTest, SumRulesRequireBooleanSemiring) {
+  // Under N a variable may contribute its value many times, so the bounds
+  // logic must not fire.
+  ExprPool nat(SemiringKind::kNatural);
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{0, 0.5}, {3, 0.5}}));
+  ExprId e = nat.Cmp(
+      CmpOp::kLe,
+      nat.Tensor(nat.Var(x), nat.ConstM(AggKind::kSum, 3)),
+      nat.ConstM(AggKind::kSum, 5));
+  EXPECT_EQ(PruneComparison(nat, e), e);
+}
+
+TEST_F(PruneTest, TwoSidedIntervalTautology) {
+  // [MAX{10, 20} <= SUM-side with always-present total 30]: the SUM side's
+  // lower bound (its constant part) dominates the MAX side's upper bound,
+  // so the comparison is a tautology. Constant tensor parts fold into a
+  // ConstM child, which is "always present".
+  ExprId lhs = pool_.AddM(AggKind::kMax, {Term(AggKind::kMax, 0, 10),
+                                          Term(AggKind::kMax, 1, 20)});
+  ExprId rhs = pool_.AddM(
+      AggKind::kSum,
+      {pool_.ConstM(AggKind::kSum, 30), Term(AggKind::kSum, 2, 5)});
+  ExprId e = pool_.Cmp(CmpOp::kLe, lhs, rhs);
+  EXPECT_EQ(PruneComparison(pool_, e), pool_.ConstS(1));
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, TwoSidedIntervalContradiction) {
+  // [MIN-side >= SUM-side] where min's largest possible value (its
+  // always-present term 5) is below the SUM side's guaranteed 30.
+  ExprId lhs = pool_.AddM(
+      AggKind::kMin,
+      {pool_.ConstM(AggKind::kMin, 5), Term(AggKind::kMin, 0, 2)});
+  ExprId rhs = pool_.AddM(
+      AggKind::kSum,
+      {pool_.ConstM(AggKind::kSum, 30), Term(AggKind::kSum, 1, 4)});
+  ExprId e = pool_.Cmp(CmpOp::kGe, lhs, rhs);
+  EXPECT_EQ(PruneComparison(pool_, e), pool_.ConstS(0));
+  ExpectDistributionPreserved(e);
+}
+
+TEST_F(PruneTest, TwoSidedUndecidedLeftIntact) {
+  // Overlapping intervals: no verdict, expression unchanged.
+  ExprId lhs = pool_.AddM(AggKind::kMax, {Term(AggKind::kMax, 0, 10),
+                                          Term(AggKind::kMax, 1, 40)});
+  ExprId rhs = pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 2, 15),
+                                          Term(AggKind::kSum, 3, 20)});
+  ExprId e = pool_.Cmp(CmpOp::kLe, lhs, rhs);
+  EXPECT_EQ(PruneComparison(pool_, e), e);
+}
+
+TEST_F(PruneTest, TwoSidedPreservesDistributionsAcrossOperators) {
+  for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLe, CmpOp::kGe,
+                   CmpOp::kLt, CmpOp::kGt}) {
+    ExprId lhs = pool_.AddM(AggKind::kMax, {Term(AggKind::kMax, 0, 10),
+                                            Term(AggKind::kMax, 1, 25)});
+    ExprId rhs = pool_.AddM(AggKind::kSum, {Term(AggKind::kSum, 2, 12),
+                                            Term(AggKind::kSum, 3, 20)});
+    ExpectDistributionPreserved(pool_.Cmp(op, lhs, rhs));
+  }
+}
+
+TEST_F(PruneTest, TwoSidedMinMaxPair) {
+  // MIN vs MAX (Experiment E's first pair): [MIN{3,4} <= MAX-side] where
+  // the MAX side contains an always-present 100: min's upper bound (inf or
+  // some value) vs max lower bound 100. With no always-present MIN term,
+  // the MIN can be +inf, so no tautology -- verify it stays undecided
+  // unless the MIN side has a guaranteed term.
+  ExprId lhs_no_anchor = pool_.AddM(
+      AggKind::kMin, {Term(AggKind::kMin, 0, 3), Term(AggKind::kMin, 1, 4)});
+  ExprId rhs = pool_.AddM(
+      AggKind::kMax,
+      {pool_.ConstM(AggKind::kMax, 100), Term(AggKind::kMax, 2, 7)});
+  ExprId undecided = pool_.Cmp(CmpOp::kLe, lhs_no_anchor, rhs);
+  EXPECT_EQ(PruneComparison(pool_, undecided), undecided)
+      << "an empty MIN group is +inf > 100";
+  // With an always-present 3-term, MIN <= 3 < 100 <= MAX: tautology.
+  ExprId lhs_anchored = pool_.AddM(
+      AggKind::kMin,
+      {pool_.ConstM(AggKind::kMin, 3), Term(AggKind::kMin, 1, 4)});
+  ExprId decided = pool_.Cmp(CmpOp::kLe, lhs_anchored, rhs);
+  EXPECT_EQ(PruneComparison(pool_, decided), pool_.ConstS(1));
+}
+
+TEST_F(PruneTest, PruningInsideCompilerReducesWork) {
+  // With pruning enabled, compiling [min <= c] with mostly-large terms
+  // performs fewer mutex expansions than without.
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 5; ++i) {
+    terms.push_back(Term(AggKind::kMin, i, i == 0 ? 10 : 100 + i));
+  }
+  ExprId e = pool_.Cmp(CmpOp::kLe, pool_.AddM(AggKind::kMin, terms),
+                       pool_.ConstM(AggKind::kMin, 50));
+  CompileOptions with;
+  CompileOptions without;
+  without.enable_pruning = false;
+  DTreeCompiler c1(&pool_, &vars_, with);
+  DTree t1 = c1.Compile(e);
+  DTreeCompiler c2(&pool_, &vars_, without);
+  DTree t2 = c2.Compile(e);
+  EXPECT_LE(t1.size(), t2.size());
+  // Both still yield the same distribution.
+  Distribution d1 = ComputeDistribution(t1, vars_, pool_.semiring());
+  Distribution d2 = ComputeDistribution(t2, vars_, pool_.semiring());
+  EXPECT_TRUE(d1.ApproxEquals(d2, 1e-9));
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,87 @@
+#include "src/table/pvc_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+class PvcTableTest : public ::testing::Test {
+ protected:
+  PvcTableTest()
+      : pool_(SemiringKind::kBool),
+        table_(Schema({{"sid", CellType::kInt},
+                       {"shop", CellType::kString}})) {}
+
+  ExprPool pool_;
+  PvcTable table_;
+};
+
+TEST_F(PvcTableTest, AddRowsAndAccess) {
+  table_.AddRow({Cell(int64_t{1}), Cell("M&S")}, pool_.Var(0));
+  table_.AddRow({Cell(int64_t{2}), Cell("Gap")}, pool_.Var(1));
+  EXPECT_EQ(table_.NumRows(), 2u);
+  EXPECT_EQ(table_.CellAt(0, "shop").AsString(), "M&S");
+  EXPECT_EQ(table_.row(1).annotation, pool_.Var(1));
+  EXPECT_THROW(table_.row(2), CheckError);
+}
+
+TEST_F(PvcTableTest, ArityChecked) {
+  EXPECT_THROW(table_.AddRow({Cell(int64_t{1})}, pool_.Var(0)), CheckError);
+}
+
+TEST_F(PvcTableTest, AnnotationRequired) {
+  Row r;
+  r.cells = {Cell(int64_t{1}), Cell("M&S")};
+  EXPECT_THROW(table_.AddRow(std::move(r)), CheckError);
+}
+
+TEST_F(PvcTableTest, MaterializeWorldFiltersByAnnotation) {
+  table_.AddRow({Cell(int64_t{1}), Cell("M&S")}, pool_.Var(0));
+  table_.AddRow({Cell(int64_t{2}), Cell("Gap")}, pool_.Var(1));
+  // World where only variable 1 is true.
+  PvcTable world = table_.MaterializeWorld(
+      pool_, [](VarId x) { return x == 1 ? 1 : 0; });
+  ASSERT_EQ(world.NumRows(), 1u);
+  EXPECT_EQ(world.CellAt(0, "shop").AsString(), "Gap");
+}
+
+TEST_F(PvcTableTest, MaterializeWorldEvaluatesAggCells) {
+  PvcTable t{Schema({{"total", CellType::kAggExpr}})};
+  ExprId alpha = pool_.AddM(
+      AggKind::kSum,
+      pool_.Tensor(pool_.Var(0), pool_.ConstM(AggKind::kSum, 10)),
+      pool_.Tensor(pool_.Var(1), pool_.ConstM(AggKind::kSum, 5)));
+  t.AddRow({Cell::Agg(alpha)}, pool_.ConstS(1));
+  PvcTable world = t.MaterializeWorld(pool_, [](VarId) { return 1; });
+  ASSERT_EQ(world.NumRows(), 1u);
+  EXPECT_EQ(world.CellAt(0, "total").AsInt(), 15);
+  EXPECT_EQ(world.schema().column(0).type, CellType::kInt)
+      << "agg columns become plain integers in a world";
+}
+
+TEST_F(PvcTableTest, PossibleWorldSemanticsOfFigure3) {
+  // Figure 3a: S under B with x2, x5 true has exactly suppliers 2 and 5.
+  table_.AddRow({Cell(int64_t{1}), Cell("M&S")}, pool_.Var(0));
+  table_.AddRow({Cell(int64_t{2}), Cell("M&S")}, pool_.Var(1));
+  table_.AddRow({Cell(int64_t{3}), Cell("M&S")}, pool_.Var(2));
+  table_.AddRow({Cell(int64_t{4}), Cell("Gap")}, pool_.Var(3));
+  table_.AddRow({Cell(int64_t{5}), Cell("Gap")}, pool_.Var(4));
+  PvcTable world = table_.MaterializeWorld(
+      pool_, [](VarId x) { return (x == 1 || x == 4) ? 1 : 0; });
+  ASSERT_EQ(world.NumRows(), 2u);
+  EXPECT_EQ(world.CellAt(0, "sid").AsInt(), 2);
+  EXPECT_EQ(world.CellAt(1, "sid").AsInt(), 5);
+}
+
+TEST_F(PvcTableTest, ToStringIncludesAnnotations) {
+  table_.AddRow({Cell(int64_t{1}), Cell("M&S")}, pool_.Var(0));
+  std::string rendered = table_.ToString(&pool_);
+  EXPECT_NE(rendered.find("Phi"), std::string::npos);
+  EXPECT_NE(rendered.find("x0"), std::string::npos);
+  EXPECT_NE(rendered.find("M&S"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,270 @@
+// Tests of the $ (aggregation and grouping) rules of Figure 4, including
+// Example 8's rewriting results and Definition 5's constraints.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/expr/print.h"
+#include "src/naive/possible_worlds.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+class QueryAggTest : public ::testing::Test {
+ protected:
+  QueryAggTest() {
+    // P1(pid, weight) from Figure 1c with variables z1..z4.
+    PvcTable p1{Schema({{"pid", CellType::kInt}, {"weight", CellType::kInt}})};
+    const int64_t weights[] = {4, 8, 7, 6};
+    for (int i = 0; i < 4; ++i) {
+      z_[i] = db_.variables().AddBernoulli(0.5, "z" + std::to_string(i + 1));
+      p1.AddRow({Cell(int64_t{i + 1}), Cell(weights[i])},
+                db_.pool().Var(z_[i]));
+    }
+    db_.AddTable("P1", std::move(p1));
+
+    // G(g, v): two groups for group-by tests.
+    PvcTable g{Schema({{"g", CellType::kString}, {"v", CellType::kInt}})};
+    for (int i = 0; i < 4; ++i) {
+      w_[i] = db_.variables().AddBernoulli(0.5, "w" + std::to_string(i));
+    }
+    g.AddRow({Cell("a"), Cell(int64_t{10})}, db_.pool().Var(w_[0]));
+    g.AddRow({Cell("a"), Cell(int64_t{20})}, db_.pool().Var(w_[1]));
+    g.AddRow({Cell("b"), Cell(int64_t{30})}, db_.pool().Var(w_[2]));
+    g.AddRow({Cell("b"), Cell(int64_t{40})}, db_.pool().Var(w_[3]));
+    db_.AddTable("G", std::move(g));
+  }
+
+  ExprPool& pool() { return db_.pool(); }
+
+  Database db_;
+  VarId z_[4];
+  VarId w_[4];
+};
+
+TEST_F(QueryAggTest, ExampleEightGrouplessAggregation) {
+  // $_{0; alpha <- AGG(weight)}(P1) yields one tuple with value
+  // z1 (x) 4 +AGG z2 (x) 8 +AGG z3 (x) 7 +AGG z4 (x) 6 annotated 1_K.
+  QueryPtr q = Query::GroupAgg(Query::Scan("P1"), {},
+                               {{AggKind::kMin, "weight", "alpha"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  EXPECT_EQ(result.row(0).annotation, pool().ConstS(1));
+  ExprId alpha = result.CellAt(0, "alpha").AsAgg();
+  ExprId expected = pool().AddM(
+      AggKind::kMin,
+      {pool().Tensor(pool().Var(z_[0]), pool().ConstM(AggKind::kMin, 4)),
+       pool().Tensor(pool().Var(z_[1]), pool().ConstM(AggKind::kMin, 8)),
+       pool().Tensor(pool().Var(z_[2]), pool().ConstM(AggKind::kMin, 7)),
+       pool().Tensor(pool().Var(z_[3]), pool().ConstM(AggKind::kMin, 6))});
+  EXPECT_EQ(alpha, expected);
+}
+
+TEST_F(QueryAggTest, ExampleEightBooleanMinQuery) {
+  // pi_0 sigma_{5 <= alpha}($_{0; alpha <- MIN(weight)}(P1)): one empty
+  // tuple annotated 1_K * [5 <= z1 (x) 4 +min ... +min z4 (x) 6].
+  QueryPtr agg = Query::GroupAgg(Query::Scan("P1"), {},
+                                 {{AggKind::kMin, "weight", "alpha"}});
+  QueryPtr q = Query::Project(
+      Query::Select(agg, Predicate::ColCmpInt("alpha", CmpOp::kGe, 5)), {});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  const ExprNode& ann = pool().node(result.row(0).annotation);
+  EXPECT_EQ(ann.kind, ExprKind::kCmp);
+  // Probability check: MIN >= 5 iff z1 (weight 4) is absent; P = 0.5.
+  EXPECT_NEAR(db_.TupleProbability(result.row(0)), 0.5, 1e-12);
+}
+
+TEST_F(QueryAggTest, GroupedAggregationBuildsGroupAnnotations) {
+  // $_{g; s <- SUM(v)}(G): two groups, each annotated [sum of w's != 0].
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {"g"},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  for (const Row& row : result.rows()) {
+    const ExprNode& ann = pool().node(row.annotation);
+    ASSERT_EQ(ann.kind, ExprKind::kCmp);
+    EXPECT_EQ(ann.cmp, CmpOp::kNe);
+  }
+  // Group "a" annotation is [w0 + w1 != 0]: P = 3/4.
+  EXPECT_NEAR(db_.TupleProbability(result.row(0)), 0.75, 1e-12);
+  // SUM distribution of group "a": 0, 10, 20, 30 each 1/4 (unconditioned).
+  Distribution d = db_.AggregateDistribution(result, 0, "s");
+  EXPECT_NEAR(d.ProbOf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.ProbOf(10), 0.25, 1e-12);
+  EXPECT_NEAR(d.ProbOf(20), 0.25, 1e-12);
+  EXPECT_NEAR(d.ProbOf(30), 0.25, 1e-12);
+}
+
+TEST_F(QueryAggTest, ConditionalAggregateExcludesEmptyGroup) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {"g"},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db_.Run(*q);
+  Distribution d = db_.ConditionalAggregateDistribution(result, 0, "s");
+  // Conditioned on the group being non-empty, sum = 0 is impossible.
+  EXPECT_DOUBLE_EQ(d.ProbOf(0), 0.0);
+  EXPECT_NEAR(d.ProbOf(10), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(d.ProbOf(30), 1.0 / 3, 1e-12);
+}
+
+TEST_F(QueryAggTest, CountAggregatesOnePerTuple) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {"g"},
+                               {{AggKind::kCount, "", "cnt"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  Distribution d = db_.AggregateDistribution(result, 0, "cnt");
+  EXPECT_NEAR(d.ProbOf(0), 0.25, 1e-12);
+  EXPECT_NEAR(d.ProbOf(1), 0.5, 1e-12);
+  EXPECT_NEAR(d.ProbOf(2), 0.25, 1e-12);
+}
+
+TEST_F(QueryAggTest, CountWithNamedColumnStillCountsRows) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {"g"},
+                               {{AggKind::kCount, "v", "cnt"}});
+  PvcTable result = db_.Run(*q);
+  Distribution d = db_.AggregateDistribution(result, 0, "cnt");
+  EXPECT_NEAR(d.ProbOf(2), 0.25, 1e-12);
+}
+
+TEST_F(QueryAggTest, MultipleAggregatesInOneGrouping) {
+  QueryPtr q = Query::GroupAgg(
+      Query::Scan("G"), {"g"},
+      {{AggKind::kMin, "v", "lo"}, {AggKind::kMax, "v", "hi"},
+       {AggKind::kCount, "", "cnt"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_EQ(result.schema().NumColumns(), 4u);
+  Distribution lo = db_.AggregateDistribution(result, 1, "lo");
+  Distribution hi = db_.AggregateDistribution(result, 1, "hi");
+  // Group "b": values 30, 40 each present w.p. 1/2.
+  EXPECT_NEAR(lo.ProbOf(30), 0.5, 1e-12);
+  EXPECT_NEAR(hi.ProbOf(40), 0.5, 1e-12);
+}
+
+TEST_F(QueryAggTest, EmptyInputGrouplessAggregateIsNeutral) {
+  QueryPtr filtered = Query::Select(Query::Scan("P1"),
+                                    Predicate::ColEqInt("pid", 999));
+  QueryPtr q =
+      Query::GroupAgg(filtered, {}, {{AggKind::kMin, "weight", "alpha"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  ExprId alpha = result.CellAt(0, "alpha").AsAgg();
+  EXPECT_EQ(alpha, pool().ConstM(AggKind::kMin, kPosInf))
+      << "empty MIN aggregate is the neutral element +inf";
+}
+
+TEST_F(QueryAggTest, EmptyInputGroupedAggregateHasNoRows) {
+  QueryPtr filtered = Query::Select(Query::Scan("G"),
+                                    Predicate::ColEqStr("g", "zzz"));
+  QueryPtr q = Query::GroupAgg(filtered, {"g"}, {{AggKind::kCount, "", "c"}});
+  PvcTable result = db_.Run(*q);
+  EXPECT_EQ(result.NumRows(), 0u);
+}
+
+TEST_F(QueryAggTest, Definition5ProjectionOnAggregateRejected) {
+  QueryPtr agg = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                 {{AggKind::kSum, "v", "s"}});
+  EXPECT_THROW(db_.Run(*Query::Project(agg, {"s"})), CheckError);
+}
+
+TEST_F(QueryAggTest, Definition5GroupingOnAggregateRejected) {
+  QueryPtr agg = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                 {{AggKind::kSum, "v", "s"}});
+  EXPECT_THROW(
+      db_.Run(*Query::GroupAgg(agg, {"s"}, {{AggKind::kCount, "", "c"}})),
+      CheckError);
+}
+
+TEST_F(QueryAggTest, Definition5UnionOnAggregateRejected) {
+  QueryPtr agg1 = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                  {{AggKind::kSum, "v", "s"}});
+  QueryPtr agg2 = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                  {{AggKind::kMax, "v", "s"}});
+  EXPECT_THROW(db_.Run(*Query::Union(agg1, agg2)), CheckError);
+}
+
+TEST_F(QueryAggTest, AggregationOverAggregateColumnRejected) {
+  QueryPtr agg = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                 {{AggKind::kSum, "v", "s"}});
+  EXPECT_THROW(
+      db_.Run(*Query::GroupAgg(agg, {}, {{AggKind::kSum, "s", "ss"}})),
+      CheckError);
+}
+
+TEST_F(QueryAggTest, DeterministicAggregationFoldsToConstants) {
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {"g"},
+                               {{AggKind::kSum, "v", "s"}});
+  PvcTable result = db_.RunDeterministic(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  ExprId s_a = result.CellAt(0, "s").AsAgg();
+  EXPECT_EQ(s_a, pool().ConstM(AggKind::kSum, 30));
+  EXPECT_EQ(result.row(0).annotation, pool().ConstS(1));
+}
+
+TEST_F(QueryAggTest, SelectionOnAggregateBuildsConditional) {
+  // sigma_{s >= 25}($...): annotation gains [s >= 25].
+  QueryPtr agg = Query::GroupAgg(Query::Scan("G"), {"g"},
+                                 {{AggKind::kSum, "v", "s"}});
+  QueryPtr q = Query::Select(agg, Predicate::ColCmpInt("s", CmpOp::kGe, 25));
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 2u);
+  // Group "a": sum in {0,10,20,30}; P[sum >= 25 and non-empty] = 1/4.
+  EXPECT_NEAR(db_.TupleProbability(result.row(0)), 0.25, 1e-12);
+  // Group "b": sum in {0,30,40,70}; P[>= 25 and non-empty] = 3/4.
+  EXPECT_NEAR(db_.TupleProbability(result.row(1)), 0.75, 1e-12);
+}
+
+TEST_F(QueryAggTest, AggregateComparedAgainstDataColumn) {
+  // sigma_{v = m}(G x $_{0; m <- MAX(v)}(G2-alias)): compare agg vs column.
+  // Build a tiny second table to avoid repeated names.
+  PvcTable h{Schema({{"hv", CellType::kInt}})};
+  VarId hv = db_.variables().AddBernoulli(1.0, "hv");
+  h.AddRow({Cell(int64_t{30})}, db_.pool().Var(hv));
+  db_.AddTable("H", std::move(h));
+  QueryPtr agg = Query::GroupAgg(Query::Scan("H"), {},
+                                 {{AggKind::kMax, "hv", "m"}});
+  QueryPtr q = Query::Select(Query::Product(Query::Scan("G"), agg),
+                             Predicate::ColCmpCol("v", CmpOp::kEq, "m"));
+  PvcTable result = db_.Run(*q);
+  // Rows of G with v = 30 (present with its variable) match when hv
+  // present (always): annotation w2 * [30 = m].
+  ASSERT_EQ(result.NumRows(), 4u);
+  size_t idx = 0;
+  double total = 0;
+  for (const Row& row : result.rows()) {
+    total += db_.TupleProbability(row);
+    ++idx;
+  }
+  // Only the v=30 row can satisfy [v = m]; P = P[w2] * P[m = 30] = 0.5.
+  EXPECT_NEAR(total, 0.5, 1e-12);
+}
+
+TEST_F(QueryAggTest, AggregationRequiresIntegerInput) {
+  PvcTable d{Schema({{"x", CellType::kDouble}})};
+  VarId v = db_.variables().AddBernoulli(0.5);
+  d.AddRow({Cell(1.5)}, db_.pool().Var(v));
+  db_.AddTable("D", std::move(d));
+  EXPECT_THROW(
+      db_.Run(*Query::GroupAgg(Query::Scan("D"), {},
+                               {{AggKind::kSum, "x", "s"}})),
+      CheckError);
+}
+
+TEST_F(QueryAggTest, GroupAggMatchesWorldSemantics) {
+  // Cross-check against naive enumeration: for every world, the aggregate
+  // in the result's semimodule expression equals the aggregate computed on
+  // the materialised world.
+  QueryPtr q = Query::GroupAgg(Query::Scan("G"), {},
+                               {{AggKind::kMax, "v", "m"}});
+  PvcTable result = db_.Run(*q);
+  ASSERT_EQ(result.NumRows(), 1u);
+  ExprId m = result.CellAt(0, "m").AsAgg();
+  Distribution expected = EnumerateDistribution(db_.pool(),
+                                                db_.variables(), m);
+  Distribution actual = db_.AggregateDistribution(result, 0, "m");
+  EXPECT_TRUE(actual.ApproxEquals(expected, 1e-9));
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,167 @@
+// Tests of the [[.]] rewriting (Figure 4) for the non-aggregate operators:
+// scan, select, project, rename, product, union.
+
+#include "src/query/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+class QueryEvalTest : public ::testing::Test {
+ protected:
+  QueryEvalTest() {
+    // R(a, b) with three tuples annotated r0, r1, r2.
+    PvcTable r{Schema({{"a", CellType::kInt}, {"b", CellType::kString}})};
+    r0_ = db_.variables().AddBernoulli(0.5, "r0");
+    r1_ = db_.variables().AddBernoulli(0.5, "r1");
+    r2_ = db_.variables().AddBernoulli(0.5, "r2");
+    r.AddRow({Cell(int64_t{1}), Cell("u")}, db_.pool().Var(r0_));
+    r.AddRow({Cell(int64_t{1}), Cell("v")}, db_.pool().Var(r1_));
+    r.AddRow({Cell(int64_t{2}), Cell("u")}, db_.pool().Var(r2_));
+    db_.AddTable("R", std::move(r));
+
+    // T(c) with two tuples annotated t0, t1.
+    PvcTable t{Schema({{"c", CellType::kInt}})};
+    t0_ = db_.variables().AddBernoulli(0.5, "t0");
+    t1_ = db_.variables().AddBernoulli(0.5, "t1");
+    t.AddRow({Cell(int64_t{7})}, db_.pool().Var(t0_));
+    t.AddRow({Cell(int64_t{9})}, db_.pool().Var(t1_));
+    db_.AddTable("T", std::move(t));
+  }
+
+  ExprPool& pool() { return db_.pool(); }
+
+  Database db_;
+  VarId r0_, r1_, r2_, t0_, t1_;
+};
+
+TEST_F(QueryEvalTest, ScanReturnsBaseTable) {
+  PvcTable result = db_.Run(*Query::Scan("R"));
+  EXPECT_EQ(result.NumRows(), 3u);
+  EXPECT_EQ(result.row(0).annotation, pool().Var(r0_));
+}
+
+TEST_F(QueryEvalTest, SelectOnDataFilters) {
+  PvcTable result = db_.Run(
+      *Query::Select(Query::Scan("R"), Predicate::ColEqInt("a", 1)));
+  EXPECT_EQ(result.NumRows(), 2u);
+  // Annotations are untouched by data-only predicates.
+  EXPECT_EQ(result.row(0).annotation, pool().Var(r0_));
+}
+
+TEST_F(QueryEvalTest, SelectStringPredicate) {
+  PvcTable result = db_.Run(
+      *Query::Select(Query::Scan("R"), Predicate::ColEqStr("b", "u")));
+  EXPECT_EQ(result.NumRows(), 2u);
+}
+
+TEST_F(QueryEvalTest, SelectColumnEqualsColumn) {
+  QueryPtr q = Query::Join(Query::Scan("R"), Query::Scan("T"),
+                           Predicate());  // Plain product first.
+  PvcTable prod = db_.Run(*q);
+  EXPECT_EQ(prod.NumRows(), 6u);
+}
+
+TEST_F(QueryEvalTest, ProductMultipliesAnnotations) {
+  PvcTable result =
+      db_.Run(*Query::Product(Query::Scan("R"), Query::Scan("T")));
+  ASSERT_EQ(result.NumRows(), 6u);
+  EXPECT_EQ(result.row(0).annotation,
+            pool().MulS(pool().Var(r0_), pool().Var(t0_)));
+  EXPECT_EQ(result.schema().NumColumns(), 3u);
+}
+
+TEST_F(QueryEvalTest, ProductRejectsClashingColumnNames) {
+  EXPECT_THROW(db_.Run(*Query::Product(Query::Scan("R"), Query::Scan("R"))),
+               CheckError);
+}
+
+TEST_F(QueryEvalTest, ProjectSumsAnnotationsOfMergedTuples) {
+  // pi_a(R): tuples (1,u) and (1,v) merge; annotation r0 + r1.
+  PvcTable result = db_.Run(*Query::Project(Query::Scan("R"), {"a"}));
+  ASSERT_EQ(result.NumRows(), 2u);
+  EXPECT_EQ(result.row(0).annotation,
+            pool().AddS(pool().Var(r0_), pool().Var(r1_)));
+  EXPECT_EQ(result.row(1).annotation, pool().Var(r2_));
+}
+
+TEST_F(QueryEvalTest, ProjectReordersColumns) {
+  PvcTable result = db_.Run(*Query::Project(Query::Scan("R"), {"b", "a"}));
+  EXPECT_EQ(result.schema().column(0).name, "b");
+  EXPECT_EQ(result.schema().column(1).name, "a");
+}
+
+TEST_F(QueryEvalTest, RenameAddsCopyColumn) {
+  // Figure 4's delta rule: select R.*, R.A as B.
+  PvcTable result = db_.Run(*Query::Rename(Query::Scan("T"), "c", "d"));
+  EXPECT_EQ(result.schema().NumColumns(), 2u);
+  EXPECT_EQ(result.CellAt(0, "d").AsInt(), 7);
+  EXPECT_EQ(result.CellAt(0, "c").AsInt(), 7);
+}
+
+TEST_F(QueryEvalTest, UnionMergesDuplicatesAcrossSides) {
+  // R union R is rejected (same column names fine, same table allowed for
+  // union); annotations of equal tuples sum. Build two one-column tables.
+  PvcTable u{Schema({{"c", CellType::kInt}})};
+  VarId u0 = db_.variables().AddBernoulli(0.5, "u0");
+  u.AddRow({Cell(int64_t{7})}, db_.pool().Var(u0));
+  db_.AddTable("U", std::move(u));
+  PvcTable result = db_.Run(*Query::Union(Query::Scan("T"), Query::Scan("U")));
+  ASSERT_EQ(result.NumRows(), 2u);
+  // Tuple 7 appears in both inputs: annotation t0 + u0.
+  EXPECT_EQ(result.row(0).annotation,
+            pool().AddS(pool().Var(t0_), pool().Var(u0)));
+  EXPECT_EQ(result.row(1).annotation, pool().Var(t1_));
+}
+
+TEST_F(QueryEvalTest, UnionRequiresMatchingSchemas) {
+  EXPECT_THROW(db_.Run(*Query::Union(Query::Scan("R"), Query::Scan("T"))),
+               CheckError);
+}
+
+TEST_F(QueryEvalTest, JoinBuildsProductAnnotations) {
+  QueryPtr q = Query::Join(Query::Scan("R"), Query::Scan("T"),
+                           Predicate::ColCmpCol("a", CmpOp::kLt, "c"));
+  PvcTable result = db_.Run(*q);
+  EXPECT_EQ(result.NumRows(), 6u);  // All a-values < all c-values.
+  EXPECT_EQ(result.row(0).annotation,
+            pool().MulS(pool().Var(r0_), pool().Var(t0_)));
+}
+
+TEST_F(QueryEvalTest, DeterministicModeAnnotatesWithOne) {
+  PvcTable result = db_.RunDeterministic(*Query::Project(Query::Scan("R"),
+                                                         {"a"}));
+  ASSERT_EQ(result.NumRows(), 2u);
+  for (const Row& r : result.rows()) {
+    EXPECT_EQ(r.annotation, pool().ConstS(1));
+  }
+}
+
+TEST_F(QueryEvalTest, TypeMismatchInPredicateThrows) {
+  EXPECT_THROW(db_.Run(*Query::Select(Query::Scan("R"),
+                                      Predicate::ColEqInt("b", 1))),
+               CheckError);
+}
+
+TEST_F(QueryEvalTest, UnknownTableThrows) {
+  EXPECT_THROW(db_.Run(*Query::Scan("missing")), CheckError);
+}
+
+TEST_F(QueryEvalTest, UnknownColumnThrows) {
+  EXPECT_THROW(db_.Run(*Query::Project(Query::Scan("R"), {"zzz"})),
+               CheckError);
+}
+
+TEST_F(QueryEvalTest, EmptySelectionYieldsEmptyTable) {
+  PvcTable result = db_.Run(
+      *Query::Select(Query::Scan("R"), Predicate::ColEqInt("a", 99)));
+  EXPECT_EQ(result.NumRows(), 0u);
+  EXPECT_EQ(result.schema().NumColumns(), 2u);
+}
+
+}  // namespace
+}  // namespace pvcdb

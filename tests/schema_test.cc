@@ -1,0 +1,46 @@
+#include "src/table/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(SchemaTest, ConstructionAndLookup) {
+  Schema s({{"sid", CellType::kInt},
+            {"shop", CellType::kString},
+            {"total", CellType::kAggExpr}});
+  EXPECT_EQ(s.NumColumns(), 3u);
+  EXPECT_EQ(s.IndexOf("shop"), 1u);
+  EXPECT_EQ(s.Find("total"), std::optional<size_t>(2));
+  EXPECT_EQ(s.Find("missing"), std::nullopt);
+  EXPECT_THROW(s.IndexOf("missing"), CheckError);
+}
+
+TEST(SchemaTest, DuplicateColumnNamesRejected) {
+  EXPECT_THROW(Schema({{"a", CellType::kInt}, {"a", CellType::kInt}}),
+               CheckError);
+}
+
+TEST(SchemaTest, EqualityIncludesTypes) {
+  Schema a({{"x", CellType::kInt}});
+  Schema b({{"x", CellType::kInt}});
+  Schema c({{"x", CellType::kString}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SchemaTest, ColumnIndexBounds) {
+  Schema s({{"x", CellType::kInt}});
+  EXPECT_EQ(s.column(0).name, "x");
+  EXPECT_THROW(s.column(1), CheckError);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  Schema s({{"sid", CellType::kInt}, {"shop", CellType::kString}});
+  EXPECT_EQ(s.ToString(), "(sid, shop)");
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,102 @@
+#include "src/algebra/semiring.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pvcdb {
+namespace {
+
+TEST(SemiringTest, BooleanOperations) {
+  Semiring b(SemiringKind::kBool);
+  EXPECT_EQ(b.Zero(), 0);
+  EXPECT_EQ(b.One(), 1);
+  EXPECT_EQ(b.Plus(0, 0), 0);
+  EXPECT_EQ(b.Plus(0, 1), 1);
+  EXPECT_EQ(b.Plus(1, 1), 1);  // OR, not integer addition.
+  EXPECT_EQ(b.Times(1, 1), 1);
+  EXPECT_EQ(b.Times(1, 0), 0);
+  EXPECT_EQ(b.Times(0, 0), 0);
+}
+
+TEST(SemiringTest, NaturalOperations) {
+  Semiring n(SemiringKind::kNatural);
+  EXPECT_EQ(n.Plus(3, 4), 7);
+  EXPECT_EQ(n.Times(3, 4), 12);
+  EXPECT_EQ(n.Plus(n.Zero(), 9), 9);
+  EXPECT_EQ(n.Times(n.One(), 9), 9);
+  EXPECT_EQ(n.Times(n.Zero(), 9), 0);
+}
+
+TEST(SemiringTest, BooleanCarrier) {
+  Semiring b(SemiringKind::kBool);
+  EXPECT_TRUE(b.Contains(0));
+  EXPECT_TRUE(b.Contains(1));
+  EXPECT_FALSE(b.Contains(2));
+  EXPECT_EQ(b.Canonical(7), 1);
+  EXPECT_EQ(b.Canonical(0), 0);
+}
+
+TEST(SemiringTest, NaturalCarrier) {
+  Semiring n(SemiringKind::kNatural);
+  EXPECT_TRUE(n.Contains(0));
+  EXPECT_TRUE(n.Contains(1000));
+  EXPECT_FALSE(n.Contains(-1));
+  EXPECT_EQ(n.Canonical(7), 7);
+}
+
+// Semiring axioms (Definition 3), checked over (a subset of) the carrier.
+class SemiringAxiomTest : public ::testing::TestWithParam<SemiringKind> {
+ protected:
+  std::vector<int64_t> CarrierSample() const {
+    if (GetParam() == SemiringKind::kBool) return {0, 1};
+    return {0, 1, 2, 3};
+  }
+};
+
+TEST_P(SemiringAxiomTest, CommutativityAndAssociativity) {
+  Semiring s(GetParam());
+  for (int64_t a : CarrierSample()) {
+    for (int64_t b : CarrierSample()) {
+      EXPECT_EQ(s.Plus(a, b), s.Plus(b, a));
+      EXPECT_EQ(s.Times(a, b), s.Times(b, a));
+      for (int64_t c : CarrierSample()) {
+        EXPECT_EQ(s.Plus(s.Plus(a, b), c), s.Plus(a, s.Plus(b, c)));
+        EXPECT_EQ(s.Times(s.Times(a, b), c), s.Times(a, s.Times(b, c)));
+      }
+    }
+  }
+}
+
+TEST_P(SemiringAxiomTest, Distributivity) {
+  Semiring s(GetParam());
+  for (int64_t a : CarrierSample()) {
+    for (int64_t b : CarrierSample()) {
+      for (int64_t c : CarrierSample()) {
+        EXPECT_EQ(s.Times(a, s.Plus(b, c)),
+                  s.Plus(s.Times(a, b), s.Times(a, c)));
+      }
+    }
+  }
+}
+
+TEST_P(SemiringAxiomTest, NeutralAndAnnihilator) {
+  Semiring s(GetParam());
+  for (int64_t a : CarrierSample()) {
+    EXPECT_EQ(s.Plus(s.Zero(), a), a);
+    EXPECT_EQ(s.Times(s.One(), a), a);
+    EXPECT_EQ(s.Times(s.Zero(), a), s.Zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSemirings, SemiringAxiomTest,
+                         ::testing::Values(SemiringKind::kBool,
+                                           SemiringKind::kNatural));
+
+TEST(SemiringTest, Names) {
+  EXPECT_EQ(Semiring(SemiringKind::kBool).Name(), "B");
+  EXPECT_EQ(Semiring(SemiringKind::kNatural).Name(), "N");
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,211 @@
+#include "src/tpch/tpch_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/query/tractability.h"
+#include "src/tpch/tpch_queries.h"
+
+namespace pvcdb {
+namespace {
+
+class TpchTest : public ::testing::Test {
+ protected:
+  TpchTest() {
+    TpchConfig config;
+    config.scale_factor = 0.002;  // Tiny: ~200 lineitems.
+    config.seed = 11;
+    GenerateTpch(&db_, config);
+  }
+
+  Database db_;
+};
+
+TEST_F(TpchTest, AllTablesGenerated) {
+  for (const char* name : {"region", "nation", "supplier", "part",
+                           "partsupp", "customer", "orders", "lineitem"}) {
+    EXPECT_TRUE(db_.HasTable(name)) << name;
+    EXPECT_GT(db_.table(name).NumRows(), 0u) << name;
+  }
+}
+
+TEST_F(TpchTest, CardinalitiesScale) {
+  TpchCardinalities small = TpchCardinalitiesFor(0.01);
+  TpchCardinalities large = TpchCardinalitiesFor(0.1);
+  EXPECT_EQ(small.region, 5u);
+  EXPECT_EQ(large.nation, 25u);
+  EXPECT_GT(large.lineitem, small.lineitem);
+  EXPECT_NEAR(static_cast<double>(large.lineitem) / small.lineitem, 10.0,
+              1.0);
+}
+
+TEST_F(TpchTest, TablesAreTupleIndependent) {
+  for (const char* name : {"supplier", "part", "lineitem"}) {
+    EXPECT_TRUE(IsTupleIndependent(db_.table(name), db_.pool())) << name;
+  }
+}
+
+TEST_F(TpchTest, ForeignKeysResolve) {
+  const PvcTable& nation = db_.table("nation");
+  size_t region_count = db_.table("region").NumRows();
+  for (const Row& r : nation.rows()) {
+    int64_t rk = r.cells[nation.schema().IndexOf("n_regionkey")].AsInt();
+    EXPECT_GE(rk, 0);
+    EXPECT_LT(rk, static_cast<int64_t>(region_count));
+  }
+  const PvcTable& ps = db_.table("partsupp");
+  size_t parts = db_.table("part").NumRows();
+  for (const Row& r : ps.rows()) {
+    int64_t pk = r.cells[ps.schema().IndexOf("ps_partkey")].AsInt();
+    EXPECT_LT(pk, static_cast<int64_t>(parts));
+  }
+}
+
+TEST_F(TpchTest, GenerationIsDeterministic) {
+  Database db2;
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  config.seed = 11;
+  GenerateTpch(&db2, config);
+  const PvcTable& a = db_.table("lineitem");
+  const PvcTable& b = db2.table("lineitem");
+  ASSERT_EQ(a.NumRows(), b.NumRows());
+  for (size_t i = 0; i < a.NumRows(); ++i) {
+    EXPECT_TRUE(a.row(i).cells == b.row(i).cells) << "row " << i;
+  }
+}
+
+TEST_F(TpchTest, Q1RunsAndGroups) {
+  QueryPtr q1 = BuildTpchQ1(/*shipdate_cutoff=*/1800);
+  PvcTable result = db_.Run(*q1);
+  EXPECT_GT(result.NumRows(), 0u);
+  EXPECT_LE(result.NumRows(), 6u);  // 3 returnflags x 2 linestatuses.
+  for (size_t i = 0; i < result.NumRows(); ++i) {
+    double p = db_.TupleProbability(result.row(i));
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    Distribution cnt = db_.AggregateDistribution(result, i, "cnt");
+    EXPECT_TRUE(cnt.IsNormalized(1e-6));
+    EXPECT_GE(cnt.Mean(), 0.0);
+  }
+}
+
+TEST_F(TpchTest, Q1DeterministicCountsMatchFilter) {
+  int64_t cutoff = 1800;
+  QueryPtr q1 = BuildTpchQ1(cutoff);
+  PvcTable det = db_.RunDeterministic(*q1);
+  // Sum of per-group deterministic counts equals the number of lineitems
+  // passing the filter.
+  int64_t total = 0;
+  for (size_t i = 0; i < det.NumRows(); ++i) {
+    total += db_.pool().node(det.CellAt(i, "cnt").AsAgg()).value;
+  }
+  int64_t expected = 0;
+  const PvcTable& li = db_.table("lineitem");
+  size_t date_idx = li.schema().IndexOf("l_shipdate");
+  for (const Row& r : li.rows()) {
+    if (r.cells[date_idx].AsInt() <= cutoff) ++expected;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST_F(TpchTest, Q2RunsAndFindsMinCostSupplier) {
+  // Pick a part that actually has partsupp rows in a region.
+  const PvcTable& ps = db_.table("partsupp");
+  int64_t partkey = ps.row(0).cells[0].AsInt();
+  QueryPtr q2 = BuildTpchQ2(&db_, partkey, "EUROPE");
+  PvcTable result = db_.Run(*q2);
+  // The query may be empty (region mismatch); probabilities must be valid.
+  for (size_t i = 0; i < result.NumRows(); ++i) {
+    double p = db_.TupleProbability(result.row(i));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+  }
+}
+
+TEST_F(TpchTest, Q2DeterministicMatchesManualMinimum) {
+  // Deterministic evaluation: the reported suppliers are exactly those
+  // with the minimal supply cost for the part within the region.
+  const PvcTable& ps = db_.table("partsupp");
+  int64_t partkey = ps.row(0).cells[0].AsInt();
+  const std::string region = "ASIA";
+  QueryPtr q2 = BuildTpchQ2(&db_, partkey, region);
+  PvcTable det = db_.RunDeterministic(*q2);
+
+  // Manual computation over the deterministic database.
+  auto cell = [&](const PvcTable& t, const Row& r, const std::string& c) {
+    return r.cells[t.schema().IndexOf(c)];
+  };
+  const PvcTable& supplier = db_.table("supplier");
+  const PvcTable& nation = db_.table("nation");
+  const PvcTable& regions = db_.table("region");
+  auto region_of_supplier = [&](int64_t suppkey) -> std::string {
+    for (const Row& s : supplier.rows()) {
+      if (cell(supplier, s, "s_suppkey").AsInt() != suppkey) continue;
+      int64_t nk = cell(supplier, s, "s_nationkey").AsInt();
+      for (const Row& n : nation.rows()) {
+        if (cell(nation, n, "n_nationkey").AsInt() != nk) continue;
+        int64_t rk = cell(nation, n, "n_regionkey").AsInt();
+        for (const Row& r : regions.rows()) {
+          if (cell(regions, r, "r_regionkey").AsInt() == rk) {
+            return cell(regions, r, "r_name").AsString();
+          }
+        }
+      }
+    }
+    return "";
+  };
+  int64_t min_cost = std::numeric_limits<int64_t>::max();
+  std::set<std::string> min_suppliers;
+  for (const Row& r : ps.rows()) {
+    if (cell(ps, r, "ps_partkey").AsInt() != partkey) continue;
+    int64_t suppkey = cell(ps, r, "ps_suppkey").AsInt();
+    if (region_of_supplier(suppkey) != region) continue;
+    int64_t cost = cell(ps, r, "ps_supplycost").AsInt();
+    if (cost < min_cost) {
+      min_cost = cost;
+      min_suppliers.clear();
+    }
+    if (cost == min_cost) {
+      for (const Row& s : supplier.rows()) {
+        if (cell(supplier, s, "s_suppkey").AsInt() == suppkey) {
+          min_suppliers.insert(cell(supplier, s, "s_name").AsString());
+        }
+      }
+    }
+  }
+  std::set<std::string> reported;
+  for (size_t i = 0; i < det.NumRows(); ++i) {
+    reported.insert(det.CellAt(i, "s_name").AsString());
+  }
+  EXPECT_EQ(reported, min_suppliers);
+}
+
+TEST_F(TpchTest, AliasSharesVariables) {
+  AddTableAlias(&db_, "region", "region2", "x_");
+  const PvcTable& orig = db_.table("region");
+  const PvcTable& alias = db_.table("region2");
+  ASSERT_EQ(orig.NumRows(), alias.NumRows());
+  for (size_t i = 0; i < orig.NumRows(); ++i) {
+    EXPECT_EQ(orig.row(i).annotation, alias.row(i).annotation)
+        << "aliases must share the same random variables";
+  }
+  EXPECT_EQ(alias.schema().column(0).name, "x_r_regionkey");
+}
+
+TEST_F(TpchTest, ProbabilityRangeRespected) {
+  TpchConfig config;
+  config.scale_factor = 0.002;
+  config.prob_low = 0.25;
+  config.prob_high = 0.75;
+  Database db2;
+  GenerateTpch(&db2, config);
+  const PvcTable& li = db2.table("lineitem");
+  for (const Row& r : li.rows()) {
+    double p = db2.TupleProbability(r);
+    EXPECT_GE(p, 0.25);
+    EXPECT_LE(p, 0.75);
+  }
+}
+
+}  // namespace
+}  // namespace pvcdb

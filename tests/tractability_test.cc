@@ -1,0 +1,167 @@
+// Tests of the Q_ind / Q_hie classifier (Definitions 8 and 9) and the
+// hierarchical-query property, plus the empirical side of Theorem 3: the
+// expressions produced by classified-tractable queries compile without
+// Shannon expansion.
+
+#include "src/query/tractability.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/compile.h"
+#include "src/engine/database.h"
+#include "tests/figure1_db.h"
+
+namespace pvcdb {
+namespace {
+
+using testing_fixtures::BuildFigure1Database;
+
+class TractabilityTest : public ::testing::Test {
+ protected:
+  TractabilityTest() { BuildFigure1Database(&db_); }
+
+  TractabilityResult Analyze(const QueryPtr& q) {
+    auto independent = [this](const std::string& name) {
+      return IsTupleIndependent(db_.table(name), db_.pool());
+    };
+    auto columns = [this](const std::string& name) {
+      std::vector<std::string> cols;
+      for (const Column& c : db_.table(name).schema().columns()) {
+        cols.push_back(c.name);
+      }
+      return cols;
+    };
+    return AnalyzeTractability(*q, independent, columns);
+  }
+
+  Database db_;
+};
+
+TEST_F(TractabilityTest, BaseTablesAreTupleIndependent) {
+  EXPECT_TRUE(IsTupleIndependent(db_.table("S"), db_.pool()));
+  EXPECT_TRUE(IsTupleIndependent(db_.table("PS"), db_.pool()));
+}
+
+TEST_F(TractabilityTest, NonIndependentTableDetected) {
+  // Repeated variable -> correlated tuples.
+  PvcTable t{Schema({{"a", CellType::kInt}})};
+  VarId x = db_.variables().AddBernoulli(0.5);
+  t.AddRow({Cell(int64_t{1})}, db_.pool().Var(x));
+  t.AddRow({Cell(int64_t{2})}, db_.pool().Var(x));
+  db_.AddTable("Corr", std::move(t));
+  EXPECT_FALSE(IsTupleIndependent(db_.table("Corr"), db_.pool()));
+  TractabilityResult r = Analyze(Query::Scan("Corr"));
+  EXPECT_FALSE(r.in_qind);
+}
+
+TEST_F(TractabilityTest, ScanOfIndependentTableInQind) {
+  TractabilityResult r = Analyze(Query::Scan("S"));
+  EXPECT_TRUE(r.in_qind);
+  EXPECT_TRUE(r.in_qhie);
+}
+
+TEST_F(TractabilityTest, HierarchicalJoinDetected) {
+  // pi_shop(S |x| PS): the join variable sid* occurs in both relations,
+  // price/pid only in PS -> at(sid*) contains both, nested containment ok.
+  QueryPtr q = Query::Project(
+      Query::Join(Query::Scan("S"), Query::Scan("PS"),
+                  Predicate::ColEqCol("sid", "ps_sid")),
+      {"shop"});
+  TractabilityResult r = Analyze(q);
+  EXPECT_TRUE(r.hierarchical);
+  EXPECT_TRUE(r.in_qhie);
+}
+
+TEST_F(TractabilityTest, NonHierarchicalTriangleRejected) {
+  // R(a, b), T(b, c), U(c, a) triangle: classic non-hierarchical shape.
+  auto add = [&](const std::string& name, const std::string& c1,
+                 const std::string& c2) {
+    PvcTable t{Schema({{c1, CellType::kInt}, {c2, CellType::kInt}})};
+    VarId x = db_.variables().AddBernoulli(0.5);
+    t.AddRow({Cell(int64_t{1}), Cell(int64_t{1})}, db_.pool().Var(x));
+    db_.AddTable(name, std::move(t));
+  };
+  add("R", "ra", "rb");
+  add("T", "tb", "tc");
+  add("U", "uc", "ua");
+  Predicate joins;
+  joins.And({CmpOp::kEq, Operand::Col("ra"), Operand::Col("ua")})
+      .And({CmpOp::kEq, Operand::Col("rb"), Operand::Col("tb")})
+      .And({CmpOp::kEq, Operand::Col("tc"), Operand::Col("uc")});
+  QueryPtr q = Query::Project(
+      Query::Select(
+          Query::Product(Query::Product(Query::Scan("R"), Query::Scan("T")),
+                         Query::Scan("U")),
+          joins),
+      {});
+  TractabilityResult r = Analyze(q);
+  EXPECT_FALSE(r.hierarchical);
+  EXPECT_FALSE(r.in_qhie);
+}
+
+TEST_F(TractabilityTest, RepeatedRelationRejected) {
+  QueryPtr q = Query::Product(
+      Query::Scan("S"),
+      Query::Project(Query::Scan("S"), {"shop"}));  // S twice.
+  TractabilityResult r = Analyze(q);
+  EXPECT_FALSE(r.in_qind);
+  EXPECT_FALSE(r.in_qhie);
+  EXPECT_NE(r.explanation.find("repeats"), std::string::npos);
+}
+
+TEST_F(TractabilityTest, Definition8aFilteredAggregate) {
+  // pi_shop sigma_{P<=50}($_{shop; P <- MIN(price)}(PS)): Q_ind 8.2(a).
+  QueryPtr agg = Query::GroupAgg(Query::Scan("PS"), {"ps_sid"},
+                                 {{AggKind::kMin, "price", "P"}});
+  QueryPtr q = Query::Project(
+      Query::Select(agg, Predicate::ColCmpInt("P", CmpOp::kLe, 50)),
+      {"ps_sid"});
+  TractabilityResult r = Analyze(q);
+  EXPECT_TRUE(r.in_qind);
+}
+
+TEST_F(TractabilityTest, Definition8cAggregateComparison) {
+  // pi_0 sigma_{g1 <= g2}($(P1) x $(P2)).
+  QueryPtr a1 = Query::GroupAgg(Query::Scan("P1"), {},
+                                {{AggKind::kMin, "weight", "g1"}});
+  QueryPtr a2 = Query::GroupAgg(Query::Scan("P2"), {},
+                                {{AggKind::kMax, "weight", "g2"}});
+  QueryPtr q = Query::Project(
+      Query::Select(Query::Product(a1, a2),
+                    Predicate::ColCmpCol("g1", CmpOp::kLe, "g2")),
+      {});
+  TractabilityResult r = Analyze(q);
+  EXPECT_TRUE(r.in_qind);
+}
+
+TEST_F(TractabilityTest, Definition9GroupedAggregateOverHierarchicalJoin) {
+  // $_{shop; c <- COUNT}(sigma(S |x| PS)): Q_hie 9.1 (Example 14's shape).
+  QueryPtr joined = Query::Join(Query::Scan("S"), Query::Scan("PS"),
+                                Predicate::ColEqCol("sid", "ps_sid"));
+  QueryPtr q = Query::Project(
+      Query::GroupAgg(joined, {"shop"}, {{AggKind::kCount, "", "c"}}),
+      {"shop"});
+  TractabilityResult r = Analyze(q);
+  EXPECT_TRUE(r.in_qhie);
+}
+
+TEST_F(TractabilityTest, TheoremThreeEmpirically) {
+  // The aggregate of a Q_hie query compiles with rules 1-4 only.
+  QueryPtr joined = Query::Join(
+      Query::Select(Query::Scan("S"), Predicate::ColEqStr("shop", "M&S")),
+      Query::Scan("PS"), Predicate::ColEqCol("sid", "ps_sid"));
+  QueryPtr q =
+      Query::GroupAgg(joined, {}, {{AggKind::kSum, "price", "alpha"}});
+  PvcTable result = db_.Run(*q);
+  ExprId alpha = result.CellAt(0, "alpha").AsAgg();
+  DTree t = CompileToDTree(&db_.pool(), &db_.variables(), alpha);
+  EXPECT_EQ(t.MutexCount(), 0u);
+}
+
+TEST_F(TractabilityTest, ExplanationsArePopulated) {
+  TractabilityResult r = Analyze(Query::Scan("S"));
+  EXPECT_FALSE(r.explanation.empty());
+}
+
+}  // namespace
+}  // namespace pvcdb

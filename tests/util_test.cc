@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/timer.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(PVC_CHECK(1 + 1 == 2));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    PVC_CHECK(false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    PVC_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, FailMacroAlwaysThrows) {
+  EXPECT_THROW(PVC_FAIL("unreachable " << 1), CheckError);
+}
+
+TEST(RngTest, DeterministicUnderSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+  EXPECT_EQ(rng.UniformInt(5, 5), 5);
+  EXPECT_THROW(rng.UniformInt(2, 1), CheckError);
+}
+
+TEST(RngTest, UniformDoubleRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(RngTest, SampleDistinctProperties) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int> sample = rng.SampleDistinct(10, 4);
+    EXPECT_EQ(sample.size(), 4u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u) << "samples must be distinct";
+    for (int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+  EXPECT_TRUE(rng.SampleDistinct(5, 0).empty());
+  EXPECT_EQ(rng.SampleDistinct(5, 5).size(), 5u);
+  EXPECT_THROW(rng.SampleDistinct(3, 4), CheckError);
+}
+
+TEST(RngTest, SampleDistinctCoversAllElements) {
+  // Over many draws of 1-of-4, every element appears.
+  Rng rng(4);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.SampleDistinct(4, 1)[0]);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(HashTest, CombineIsOrderSensitive) {
+  size_t a = HashCombine(HashCombine(0, 1), 2);
+  size_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, RangeHashingMatchesManualFold) {
+  std::vector<int64_t> values = {5, 9, 13};
+  size_t manual = 0;
+  for (int64_t v : values) {
+    manual = HashCombine(manual, std::hash<int64_t>()(v));
+  }
+  EXPECT_EQ(HashRange(values.begin(), values.end()), manual);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  double elapsed = timer.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 10);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace pvcdb

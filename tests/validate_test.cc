@@ -1,0 +1,133 @@
+#include "src/dtree/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "src/dtree/compile.h"
+#include "src/util/rng.h"
+#include "src/workload/random_expr.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(ValidateTest, AcceptsCompiledTrees) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  VarId y = vars.AddBernoulli(0.5);
+  DTree tree = CompileToDTree(&pool, &vars,
+                              pool.AddS(pool.Var(x), pool.Var(y)));
+  ValidationResult r = ValidateDTree(tree, vars);
+  EXPECT_TRUE(r.valid) << r.error;
+}
+
+TEST(ValidateTest, AcceptsCompiledWorkloadTrees) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    ExprPool pool(SemiringKind::kBool);
+    VariableTable vars;
+    ExprGenParams params;
+    params.num_vars = 8;
+    params.terms_left = 6;
+    params.clauses_per_term = 2;
+    params.literals_per_clause = 2;
+    params.max_value = 10;
+    params.constant = 5;
+    params.theta = CmpOp::kLe;
+    params.agg_left = AggKind::kSum;
+    GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, seed);
+    DTree tree = CompileToDTree(&pool, &vars, gen.comparison);
+    ValidationResult r = ValidateDTree(tree, vars);
+    EXPECT_TRUE(r.valid) << "seed " << seed << ": " << r.error;
+  }
+}
+
+TEST(ValidateTest, RejectsEmptyTree) {
+  DTree tree;
+  VariableTable vars;
+  EXPECT_FALSE(ValidateDTree(tree, vars).valid);
+}
+
+TEST(ValidateTest, RejectsDependentChildrenUnderOplus) {
+  // (+) over two leaves of the same variable: not independent.
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafVar;
+  leaf.var = x;
+  DTree::NodeId a = tree.AddNode(leaf);
+  DTree::NodeId b = tree.AddNode(leaf);
+  DTreeNode sum;
+  sum.kind = DTreeNodeKind::kOplus;
+  sum.children = {a, b};
+  tree.set_root(tree.AddNode(sum));
+  ValidationResult r = ValidateDTree(tree, vars);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("share variable"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsIncompleteMutexSupport) {
+  // Mutex over a three-valued variable with only two branches.
+  VariableTable vars;
+  VarId x = vars.Add(Distribution::FromPairs({{0, 0.3}, {1, 0.3}, {2, 0.4}}));
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafConst;
+  leaf.value = 1;
+  DTree::NodeId a = tree.AddNode(leaf);
+  DTree::NodeId b = tree.AddNode(leaf);
+  DTreeNode mutex;
+  mutex.kind = DTreeNodeKind::kMutex;
+  mutex.var = x;
+  mutex.children = {a, b};
+  mutex.branch_values = {0, 1};
+  tree.set_root(tree.AddNode(mutex));
+  ValidationResult r = ValidateDTree(tree, vars);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("support"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsMutexVariableInBranch) {
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafVar;
+  leaf.var = x;
+  DTree::NodeId a = tree.AddNode(leaf);
+  DTreeNode konst;
+  konst.kind = DTreeNodeKind::kLeafConst;
+  DTree::NodeId b = tree.AddNode(konst);
+  DTreeNode mutex;
+  mutex.kind = DTreeNodeKind::kMutex;
+  mutex.var = x;
+  mutex.children = {a, b};  // Branch a still mentions x.
+  mutex.branch_values = {0, 1};
+  tree.set_root(tree.AddNode(mutex));
+  ValidationResult r = ValidateDTree(tree, vars);
+  EXPECT_FALSE(r.valid);
+  EXPECT_NE(r.error.find("still occurs"), std::string::npos);
+}
+
+TEST(ValidateTest, RejectsMalformedTensor) {
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  VarId y = vars.AddBernoulli(0.5);
+  DTree tree;
+  DTreeNode leaf;
+  leaf.kind = DTreeNodeKind::kLeafVar;
+  leaf.var = x;
+  DTree::NodeId a = tree.AddNode(leaf);
+  leaf.var = y;
+  DTree::NodeId b = tree.AddNode(leaf);
+  DTreeNode tensor;
+  tensor.kind = DTreeNodeKind::kOtimes;
+  tensor.sort = ExprSort::kMonoid;
+  tensor.agg = AggKind::kMin;
+  tensor.children = {a, b};  // Right child must be monoid-sorted.
+  tree.set_root(tree.AddNode(tensor));
+  ValidationResult r = ValidateDTree(tree, vars);
+  EXPECT_FALSE(r.valid);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,65 @@
+#include "src/prob/variable.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(VariableTableTest, AddAndLookup) {
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.4, "x");
+  VarId y = vars.AddBernoulli(0.9);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_NE(x, y);
+  EXPECT_DOUBLE_EQ(vars.DistributionOf(x).ProbOf(1), 0.4);
+  EXPECT_DOUBLE_EQ(vars.DistributionOf(y).ProbOf(1), 0.9);
+}
+
+TEST(VariableTableTest, NamesDefaultToIndexed) {
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5, "alpha");
+  VarId y = vars.AddBernoulli(0.5);
+  EXPECT_EQ(vars.NameOf(x), "alpha");
+  EXPECT_EQ(vars.NameOf(y), "x" + std::to_string(y));
+}
+
+TEST(VariableTableTest, SupportsIntegerValuedVariables) {
+  // Variables need not be Boolean (Figure 3's integer-annotated worlds).
+  VariableTable vars;
+  VarId x = vars.Add(
+      Distribution::FromPairs({{0, 0.3}, {1, 0.3}, {2, 0.4}}), "n");
+  EXPECT_EQ(vars.DistributionOf(x).size(), 3u);
+  EXPECT_DOUBLE_EQ(vars.DistributionOf(x).ProbOf(2), 0.4);
+}
+
+TEST(VariableTableTest, RejectsUnnormalizedDistribution) {
+  VariableTable vars;
+  EXPECT_THROW(vars.Add(Distribution::FromPairs({{0, 0.4}, {1, 0.4}})),
+               CheckError);
+}
+
+TEST(VariableTableTest, RejectsEmptyDistribution) {
+  VariableTable vars;
+  EXPECT_THROW(vars.Add(Distribution()), CheckError);
+}
+
+TEST(VariableTableTest, UnknownIdThrows) {
+  VariableTable vars;
+  EXPECT_THROW(vars.DistributionOf(3), CheckError);
+  EXPECT_THROW(vars.NameOf(0), CheckError);
+}
+
+TEST(VariableTableTest, SetDistributionReplaces) {
+  VariableTable vars;
+  VarId x = vars.AddBernoulli(0.5);
+  vars.SetDistribution(x, Distribution::Bernoulli(0.25));
+  EXPECT_DOUBLE_EQ(vars.DistributionOf(x).ProbOf(1), 0.25);
+  EXPECT_THROW(vars.SetDistribution(
+                   x, Distribution::FromPairs({{0, 0.5}, {1, 0.1}})),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace pvcdb

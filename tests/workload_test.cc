@@ -1,0 +1,123 @@
+#include "src/workload/random_expr.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/check.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedShape) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 10;
+  params.terms_left = 7;
+  params.clauses_per_term = 3;
+  params.literals_per_clause = 2;
+  params.max_value = 100;
+  params.constant = 50;
+  params.theta = CmpOp::kLe;
+  params.agg_left = AggKind::kMin;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, 1);
+  EXPECT_EQ(gen.vars.size(), 10u);
+  EXPECT_EQ(vars.size(), 10u);
+  const ExprNode& cmp = pool.node(gen.comparison);
+  ASSERT_EQ(cmp.kind, ExprKind::kCmp);
+  EXPECT_EQ(cmp.cmp, CmpOp::kLe);
+  // lhs is a MIN-monoid sum with (up to) L terms; duplicates may merge.
+  const ExprNode& lhs = pool.node(gen.lhs);
+  EXPECT_EQ(lhs.sort, ExprSort::kMonoid);
+  EXPECT_EQ(lhs.agg, AggKind::kMin);
+  // rhs is the constant c.
+  const ExprNode& rhs = pool.node(gen.rhs);
+  EXPECT_EQ(rhs.kind, ExprKind::kConstM);
+  EXPECT_EQ(rhs.value, 50);
+}
+
+TEST(WorkloadTest, TwoSidedFormUsesBothMonoids) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 8;
+  params.terms_left = 4;
+  params.terms_right = 5;
+  params.agg_left = AggKind::kMax;
+  params.agg_right = AggKind::kSum;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, 2);
+  EXPECT_EQ(pool.node(gen.lhs).agg, AggKind::kMax);
+  EXPECT_EQ(pool.node(gen.rhs).agg, AggKind::kSum);
+}
+
+TEST(WorkloadTest, CountTermsHaveValueOne) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 6;
+  params.terms_left = 5;
+  params.agg_left = AggKind::kCount;
+  params.max_value = 100;
+  GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, 3);
+  const ExprNode& lhs = pool.node(gen.lhs);
+  for (ExprId child : lhs.children) {
+    const ExprNode& t = pool.node(child);
+    if (t.kind == ExprKind::kTensor) {
+      EXPECT_EQ(pool.node(t.children[1]).value, 1);
+    }
+  }
+}
+
+TEST(WorkloadTest, DeterministicUnderSeed) {
+  ExprPool pool_a(SemiringKind::kBool);
+  VariableTable vars_a;
+  ExprPool pool_b(SemiringKind::kBool);
+  VariableTable vars_b;
+  ExprGenParams params;
+  GeneratedExpr a = GenerateComparisonExpr(&pool_a, &vars_a, params, 42);
+  GeneratedExpr b = GenerateComparisonExpr(&pool_b, &vars_b, params, 42);
+  // Same seed -> identical structure (compare rendered sizes).
+  EXPECT_EQ(pool_a.ReachableSize(a.comparison),
+            pool_b.ReachableSize(b.comparison));
+  for (size_t i = 0; i < vars_a.size(); ++i) {
+    EXPECT_EQ(vars_a.DistributionOf(i).ProbOf(1),
+              vars_b.DistributionOf(i).ProbOf(1));
+  }
+}
+
+TEST(WorkloadTest, DifferentSeedsDiffer) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  GeneratedExpr a = GenerateComparisonExpr(&pool, &vars, params, 1);
+  GeneratedExpr b = GenerateComparisonExpr(&pool, &vars, params, 2);
+  EXPECT_NE(a.comparison, b.comparison);
+}
+
+TEST(WorkloadTest, VariableProbabilitiesWithinRange) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.prob_low = 0.2;
+  params.prob_high = 0.4;
+  params.num_vars = 20;
+  GenerateComparisonExpr(&pool, &vars, params, 5);
+  for (size_t i = 0; i < vars.size(); ++i) {
+    double p = vars.DistributionOf(i).ProbOf(1);
+    EXPECT_GE(p, 0.2);
+    EXPECT_LE(p, 0.4);
+  }
+}
+
+TEST(WorkloadTest, InvalidParamsRejected) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprGenParams params;
+  params.num_vars = 0;
+  EXPECT_THROW(GenerateComparisonExpr(&pool, &vars, params, 1), CheckError);
+  params.num_vars = 5;
+  params.terms_left = 0;
+  EXPECT_THROW(GenerateComparisonExpr(&pool, &vars, params, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace pvcdb

@@ -1,0 +1,157 @@
+// pvcdb_shell -- an interactive / batch shell for the pvcdb engine.
+//
+// Commands (one per line; lines starting with SELECT run as SQL):
+//   load <table> <file.csv>   import a tuple-independent table (see
+//                             src/engine/csv.h for the format)
+//   tables                    list loaded tables with row counts
+//   show <table>              print a table with its annotations
+//   tractable <sql...>        classify a query (Q_ind / Q_hie / neither)
+//   SELECT ...                run a Q query; prints tuples, P[tuple], and
+//                             conditional aggregate distributions
+//   help                      this text
+//   quit                      exit
+//
+// Example session:
+//   load items data/items.csv
+//   SELECT kind, COUNT(*) AS n FROM items GROUP BY kind HAVING n >= 2
+//
+// Batch use: pipe commands through stdin (the shell detects non-tty input
+// and suppresses prompts).
+
+#include <unistd.h>
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/engine/csv.h"
+#include "src/util/check.h"
+#include "src/engine/database.h"
+#include "src/query/parser.h"
+#include "src/query/tractability.h"
+
+namespace {
+
+using namespace pvcdb;
+
+void PrintHelp() {
+  std::cout << "commands:\n"
+            << "  load <table> <file.csv>  import a tuple-independent table\n"
+            << "  tables                   list tables\n"
+            << "  show <table>             print a pvc-table\n"
+            << "  tractable <sql>          classify a query\n"
+            << "  SELECT ...               run a query\n"
+            << "  help | quit\n";
+}
+
+void RunSql(Database* db, const std::string& sql) {
+  ParseResult parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::cout << parsed.error << "\n";
+    return;
+  }
+  try {
+    PvcTable result = db->Run(*parsed.query);
+    std::cout << result.ToString(&db->pool());
+    for (size_t i = 0; i < result.NumRows(); ++i) {
+      std::cout << "P[row " << i << "] = "
+                << db->TupleProbability(result.row(i));
+      for (size_t c = 0; c < result.schema().NumColumns(); ++c) {
+        if (result.schema().column(c).type == CellType::kAggExpr) {
+          const std::string& name = result.schema().column(c).name;
+          std::cout << "  " << name << " | present ~ "
+                    << db->ConditionalAggregateDistribution(result, i, name)
+                           .ToString();
+        }
+      }
+      std::cout << "\n";
+    }
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+  }
+}
+
+void Classify(Database* db, const std::string& sql) {
+  ParseResult parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::cout << parsed.error << "\n";
+    return;
+  }
+  TractabilityResult r = AnalyzeTractability(
+      *parsed.query,
+      [db](const std::string& name) {
+        return db->HasTable(name) &&
+               IsTupleIndependent(db->table(name), db->pool());
+      },
+      [db](const std::string& name) {
+        std::vector<std::string> cols;
+        if (db->HasTable(name)) {
+          for (const Column& c : db->table(name).schema().columns()) {
+            cols.push_back(c.name);
+          }
+        }
+        return cols;
+      });
+  std::cout << "hierarchical: " << (r.hierarchical ? "yes" : "no")
+            << "; Q_ind: " << (r.in_qind ? "yes" : "no")
+            << "; Q_hie: " << (r.in_qhie ? "yes" : "no") << " ("
+            << r.explanation << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::cout << "pvcdb shell -- 'help' for commands\n";
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "pvcdb> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream stream(line);
+    std::string command;
+    stream >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      PrintHelp();
+    } else if (command == "load") {
+      std::string table;
+      std::string path;
+      stream >> table >> path;
+      if (table.empty() || path.empty()) {
+        std::cout << "usage: load <table> <file.csv>\n";
+        continue;
+      }
+      CsvResult r = LoadCsvTableFromFile(&db, table, path);
+      if (r.ok) {
+        std::cout << "loaded " << r.rows << " rows into " << table << "\n";
+      } else {
+        std::cout << "error: " << r.error << "\n";
+      }
+    } else if (command == "tables") {
+      for (const std::string& name : db.TableNames()) {
+        std::cout << name << " (" << db.table(name).NumRows() << " rows)\n";
+      }
+    } else if (command == "show") {
+      std::string table;
+      stream >> table;
+      if (!db.HasTable(table)) {
+        std::cout << "no table '" << table << "'\n";
+        continue;
+      }
+      std::cout << db.table(table).ToString(&db.pool());
+    } else if (command == "tractable") {
+      std::string rest;
+      std::getline(stream, rest);
+      Classify(&db, rest);
+    } else if (command == "SELECT" || command == "select") {
+      RunSql(&db, line);
+    } else {
+      std::cout << "unknown command '" << command << "' -- try 'help'\n";
+    }
+  }
+  return 0;
+}
