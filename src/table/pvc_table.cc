@@ -47,7 +47,7 @@ PvcTable PvcTable::MaterializeWorld(const ExprPool& pool,
     out.cells.reserve(r.cells.size());
     for (const Cell& c : r.cells) {
       if (c.type() == CellType::kAggExpr) {
-        out.cells.push_back(Cell(EvalExpr(pool, c.AsAgg(), nu)));
+        out.cells.emplace_back(EvalExpr(pool, c.AsAgg(), nu));
       } else {
         out.cells.push_back(c);
       }

@@ -145,7 +145,7 @@ TEST_F(Figure1Test, Q2SemanticsMatchWorldByWorldEvaluation) {
     auto nu_fn = [&](VarId x) { return nu.at(x); };
     // Materialise the world and run Q2 deterministically on it.
     Database world_db;
-    for (const std::string& name : {"S", "PS", "P1", "P2"}) {
+    for (const char* name : {"S", "PS", "P1", "P2"}) {
       PvcTable world = db_.table(name).MaterializeWorld(db_.pool(), nu_fn);
       // Rebuild with the world database's pool (constant annotations).
       PvcTable copy{world.schema()};
