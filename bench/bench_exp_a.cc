@@ -4,18 +4,27 @@
 //
 // Paper grid: #v=25, L=200, R=0, #cl=3, #l=3, maxv=200, c in [0, 300]
 // (SUM: c in [0, 30000]), 30/10 runs. Default grid below is scaled down
-// (see EXPERIMENTS.md); --full restores the paper's sizes.
+// (see EXPERIMENTS.md); --full restores the paper's sizes and --smoke
+// shrinks further to seconds (for ctest and the CI bench-smoke step).
 //
 // Expected shape: MIN/MAX run time grows with c until c reaches maxv and
 // then saturates (pruning keeps only terms <= c); COUNT/SUM are
 // bell-shaped in c (binomial-coefficient hardness peaks mid-range), with
 // SUM's axis scaled by ~maxv/2 relative to COUNT.
+//
+// Flags: --json emits JSON Lines records instead of markdown;
+// --threads=N additionally times a batch of independent expressions
+// (compile + probability per item, the engine's tuple fan-out) serially
+// vs. with N threads and reports the speedup -- CI captures this as
+// BENCH_parallel.json.
 
 #include <iostream>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "src/dtree/compile.h"
 #include "src/dtree/probability.h"
+#include "src/util/parallel.h"
 #include "src/workload/random_expr.h"
 
 namespace {
@@ -30,12 +39,16 @@ struct Config {
 };
 
 void RunSeries(AggKind agg, const Config& config,
-               const std::vector<int64_t>& constants) {
-  std::cout << "\n### Figure 7: Experiment A, " << AggKindName(agg)
-            << " (#v=" << config.num_vars << ", L=" << config.terms
-            << ", #cl=3, #l=3, maxv=200, runs=" << config.runs << ")\n\n";
-  TablePrinter table({"c", "theta==: time [s]", "theta<=: time [s]",
-                      "theta>=: time [s]"});
+               const std::vector<int64_t>& constants, bool json) {
+  std::unique_ptr<TablePrinter> table;
+  if (!json) {
+    std::cout << "\n### Figure 7: Experiment A, " << AggKindName(agg)
+              << " (#v=" << config.num_vars << ", L=" << config.terms
+              << ", #cl=3, #l=3, maxv=200, runs=" << config.runs << ")\n\n";
+    table = std::make_unique<TablePrinter>(
+        std::vector<std::string>{"c", "theta==: time [s]",
+                                 "theta<=: time [s]", "theta>=: time [s]"});
+  }
   for (int64_t c : constants) {
     std::vector<std::string> row = {std::to_string(c)};
     for (CmpOp theta : {CmpOp::kEq, CmpOp::kLe, CmpOp::kGe}) {
@@ -60,10 +73,111 @@ void RunSeries(AggKind agg, const Config& config,
         DTree tree = CompileToDTree(&pool, &vars, gen.comparison, options);
         ComputeDistribution(tree, vars, pool.semiring());
       });
-      row.push_back(FormatSeconds(stats.mean_seconds) + " +- " +
-                    FormatSeconds(stats.stddev_seconds));
+      if (json) {
+        JsonParams params;
+        params.Set("agg", AggKindName(agg))
+            .Set("theta", theta == CmpOp::kEq   ? "eq"
+                          : theta == CmpOp::kLe ? "le"
+                                                : "ge")
+            .Set("c", c)
+            .Set("num_vars", config.num_vars)
+            .Set("terms", config.terms);
+        PrintJsonRecord("exp_a", params, stats);
+      } else {
+        row.push_back(FormatSeconds(stats.mean_seconds) + " +- " +
+                      FormatSeconds(stats.stddev_seconds));
+      }
     }
-    table.PrintRow(row);
+    if (!json) table->PrintRow(row);
+  }
+}
+
+// Times the per-tuple fan-out the engine uses for batches of independent
+// result tuples: each item clones into a private pool, compiles, and runs
+// the probability pass. Returns the per-item probabilities so serial and
+// threaded passes can be compared bit-for-bit.
+std::vector<double> ProcessBatch(const ExprPool& pool,
+                                 const VariableTable& vars,
+                                 const std::vector<ExprId>& exprs,
+                                 int num_threads) {
+  std::vector<double> probs(exprs.size());
+  ParallelFor(num_threads, exprs.size(), [&](size_t i) {
+    ExprPool local(SemiringKind::kBool);
+    ExprId e = pool.CloneInto(&local, exprs[i]);
+    CompileOptions options;
+    options.max_nodes = 20'000'000;
+    DTree tree = CompileToDTree(&local, &vars, e, options);
+    probs[i] = ProbabilityNonZero(tree, vars, local.semiring());
+  });
+  return probs;
+}
+
+// Serial vs. N-thread batch evaluation at the largest grid point; the
+// speedup record lands in BENCH_parallel.json on CI.
+void RunParallelSection(int num_threads, const Config& config, int64_t c,
+                        int batch, int runs, bool json) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> exprs;
+  exprs.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    ExprGenParams params;
+    params.num_vars = config.num_vars;
+    params.terms_left = config.terms;
+    params.clauses_per_term = 3;
+    params.literals_per_clause = 3;
+    params.max_value = 200;
+    params.constant = c;
+    params.theta = CmpOp::kGe;
+    params.agg_left = AggKind::kCount;
+    GeneratedExpr gen = GenerateComparisonExpr(
+        &pool, &vars, params, static_cast<uint64_t>(i) * 104729 + 17);
+    exprs.push_back(gen.comparison);
+  }
+
+  std::vector<double> serial_probs, parallel_probs;
+  RunStats serial = TimeRuns(
+      runs, [&](int) { serial_probs = ProcessBatch(pool, vars, exprs, 0); });
+  RunStats parallel = TimeRuns(runs, [&](int) {
+    parallel_probs = ProcessBatch(pool, vars, exprs, num_threads);
+  });
+  bool identical = serial_probs == parallel_probs;
+  double speedup = parallel.mean_seconds > 0.0
+                       ? serial.mean_seconds / parallel.mean_seconds
+                       : 0.0;
+
+  JsonParams base;
+  base.Set("batch", batch)
+      .Set("c", c)
+      .Set("num_vars", config.num_vars)
+      .Set("terms", config.terms);
+  if (json) {
+    JsonParams s = base;
+    PrintJsonRecord("exp_a_parallel", s.Set("num_threads", 0), serial);
+    JsonParams p = base;
+    PrintJsonRecord("exp_a_parallel", p.Set("num_threads", num_threads),
+                    parallel);
+    JsonParams summary = base;
+    summary.Set("num_threads", num_threads)
+        .Set("speedup", speedup)
+        .Set("bit_identical", identical ? "true" : "false")
+        .Set("hardware_threads",
+             static_cast<int64_t>(DefaultThreadCount()));
+    PrintJsonRecord("exp_a_parallel_speedup", summary, parallel);
+  } else {
+    std::cout << "\n### Parallel batch (" << batch << " expressions, COUNT >= "
+              << c << ")\n\n";
+    TablePrinter table({"num_threads", "time [s]", "speedup",
+                        "bit-identical"});
+    table.PrintRow({"serial", FormatSeconds(serial.mean_seconds), "1.00",
+                    "-"});
+    table.PrintRow({std::to_string(num_threads),
+                    FormatSeconds(parallel.mean_seconds),
+                    FormatDouble(speedup, 2), identical ? "yes" : "NO"});
+  }
+  if (!identical) {
+    std::cerr << "ERROR: parallel batch diverged from serial results\n";
+    std::exit(1);
   }
 }
 
@@ -71,24 +185,41 @@ void RunSeries(AggKind agg, const Config& config,
 
 int main(int argc, char** argv) {
   bool full = FullMode(argc, argv);
-  std::cout << "# Experiment A (Figure 7): varying the constant c\n";
+  bool smoke = SmokeMode(argc, argv);
+  bool json = JsonMode(argc, argv);
+  int threads = ThreadsArg(argc, argv);
+  if (!json) std::cout << "# Experiment A (Figure 7): varying the constant c\n";
 
   // MIN / MAX (Figure 7 a, b).
-  Config cheap = full ? Config{25, 200, 30} : Config{16, 60, 3};
-  std::vector<int64_t> c_grid = {0, 25, 50, 75, 100, 125, 150, 175, 200,
-                                 250, 300};
-  RunSeries(AggKind::kMin, cheap, c_grid);
-  RunSeries(AggKind::kMax, cheap, c_grid);
+  Config cheap = full    ? Config{25, 200, 30}
+                 : smoke ? Config{10, 20, 2}
+                         : Config{16, 60, 3};
+  std::vector<int64_t> c_grid =
+      smoke ? std::vector<int64_t>{0, 100, 200}
+            : std::vector<int64_t>{0, 25, 50, 75, 100, 125, 150, 175, 200,
+                                   250, 300};
+  RunSeries(AggKind::kMin, cheap, c_grid, json);
+  RunSeries(AggKind::kMax, cheap, c_grid, json);
 
   // COUNT / SUM (Figure 7 c, d) -- heavier: scaled-down default grid.
-  Config heavy = full ? Config{25, 200, 10} : Config{14, 40, 3};
+  Config heavy = full    ? Config{25, 200, 10}
+                 : smoke ? Config{10, 16, 2}
+                         : Config{14, 40, 3};
   std::vector<int64_t> count_grid =
       full ? std::vector<int64_t>{0, 25, 50, 75, 100, 125, 150, 175, 200,
                                   250, 300}
-           : std::vector<int64_t>{0, 5, 10, 15, 20, 25, 30, 40};
-  RunSeries(AggKind::kCount, heavy, count_grid);
+      : smoke ? std::vector<int64_t>{0, 5, 10}
+              : std::vector<int64_t>{0, 5, 10, 15, 20, 25, 30, 40};
+  RunSeries(AggKind::kCount, heavy, count_grid, json);
   std::vector<int64_t> sum_grid;
   for (int64_t c : count_grid) sum_grid.push_back(c * 100);  // ~maxv/2 scale.
-  RunSeries(AggKind::kSum, heavy, sum_grid);
+  RunSeries(AggKind::kSum, heavy, sum_grid, json);
+
+  // Serial vs. threaded tuple fan-out at the largest COUNT grid point.
+  if (threads != 0) {
+    RunParallelSection(threads, heavy, count_grid.back(),
+                       /*batch=*/smoke ? 8 : 16, /*runs=*/smoke ? 3 : 5,
+                       json);
+  }
   return 0;
 }

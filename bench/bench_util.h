@@ -12,21 +12,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/util/timer.h"
 
 namespace pvcdb_bench {
 
-/// True when --full was passed (paper-scale parameter grids).
-inline bool FullMode(int argc, char** argv) {
+/// True when `flag` (e.g. "--full") was passed.
+inline bool HasFlag(int argc, char** argv, const char* flag) {
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--full") == 0) return true;
+    if (std::strcmp(argv[i], flag) == 0) return true;
   }
   return false;
+}
+
+/// True when --full was passed (paper-scale parameter grids).
+inline bool FullMode(int argc, char** argv) {
+  return HasFlag(argc, argv, "--full");
+}
+
+/// True when --json was passed: emit one JSON record per measurement
+/// (JSON Lines) instead of markdown tables, for CI trajectory files
+/// (BENCH_*.json).
+inline bool JsonMode(int argc, char** argv) {
+  return HasFlag(argc, argv, "--json");
+}
+
+/// True when --smoke was passed: tiny grids that finish in seconds, for
+/// ctest (`ctest -L bench`) and the CI bench-smoke step.
+inline bool SmokeMode(int argc, char** argv) {
+  return HasFlag(argc, argv, "--smoke");
+}
+
+/// Value of --threads=N (the EvalOptions::num_threads convention:
+/// 0 = serial); `fallback` when absent.
+inline int ThreadsArg(int argc, char** argv, int fallback = 0) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      return std::atoi(argv[i] + 10);
+    }
+  }
+  return fallback;
 }
 
 /// Mean and standard deviation of a sample, mirroring the paper's
@@ -105,6 +137,67 @@ inline std::string FormatDouble(double v, int digits = 4) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
   return buf;
+}
+
+/// Ordered key -> value parameter list for JSON records. Values are
+/// rendered as JSON numbers or strings at Set() time.
+class JsonParams {
+ public:
+  JsonParams& Set(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, Quote(value));
+    return *this;
+  }
+  JsonParams& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonParams& Set(const std::string& key, double value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    entries_.emplace_back(key, buf);
+    return *this;
+  }
+  JsonParams& Set(const std::string& key, int64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  JsonParams& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+
+  std::string ToJson() const {
+    std::string out = "{";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += Quote(entries_[i].first) + ": " + entries_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;  // key, literal
+};
+
+/// Emits one {"bench", "params", "mean_seconds", "stddev_seconds"} record
+/// as a single line (JSON Lines) and flushes, so partial sweeps still
+/// leave a parseable trajectory file.
+inline void PrintJsonRecord(const std::string& bench, const JsonParams& params,
+                            const RunStats& stats) {
+  char mean[32];
+  char stddev[32];
+  std::snprintf(mean, sizeof(mean), "%.6f", stats.mean_seconds);
+  std::snprintf(stddev, sizeof(stddev), "%.6f", stats.stddev_seconds);
+  std::cout << "{\"bench\": \"" << bench << "\", \"params\": "
+            << params.ToJson() << ", \"mean_seconds\": " << mean
+            << ", \"stddev_seconds\": " << stddev << "}" << std::endl;
 }
 
 }  // namespace pvcdb_bench

@@ -5,6 +5,7 @@
 
 #include "src/dtree/prune.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -158,6 +159,20 @@ ProbabilityBounds ApproximateProbability(ExprPool* pool,
   b.low = std::clamp(b.low, 0.0, 1.0);
   b.high = std::clamp(b.high, 0.0, 1.0);
   return b;
+}
+
+std::vector<ProbabilityBounds> ApproximateBatch(const ExprPool& pool,
+                                                const VariableTable& variables,
+                                                const std::vector<ExprId>& exprs,
+                                                ApproximateOptions options,
+                                                int num_threads) {
+  std::vector<ProbabilityBounds> out(exprs.size());
+  ParallelFor(num_threads, exprs.size(), [&](size_t i) {
+    ExprPool local(pool.semiring().kind());
+    ExprId e = pool.CloneInto(&local, exprs[i]);
+    out[i] = ApproximateProbability(&local, variables, e, options);
+  });
+  return out;
 }
 
 ProbabilityBounds ApproximateToWidth(ExprPool* pool,

@@ -22,6 +22,7 @@
 #define PVCDB_DTREE_APPROXIMATE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/expr/expr.h"
 #include "src/prob/variable.h"
@@ -53,6 +54,15 @@ ProbabilityBounds ApproximateProbability(ExprPool* pool,
                                          ExprId e,
                                          ApproximateOptions options =
                                              ApproximateOptions());
+
+/// Bounds for each of `exprs`, fanning items across up to `num_threads`
+/// threads (0 = serial). Every item -- on the serial path too -- is first
+/// cloned into a task-private pool, so `pool` is only read and the bounds
+/// are bit-identical for every thread count.
+std::vector<ProbabilityBounds> ApproximateBatch(
+    const ExprPool& pool, const VariableTable& variables,
+    const std::vector<ExprId>& exprs,
+    ApproximateOptions options = ApproximateOptions(), int num_threads = 0);
 
 /// Iteratively doubles the budget until the interval width drops below
 /// `epsilon` (absolute-error approximation as in [18]) or the budget

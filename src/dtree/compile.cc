@@ -6,6 +6,7 @@
 
 #include "src/dtree/prune.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -64,6 +65,19 @@ DTree CompileToDTree(ExprPool* pool, const VariableTable* variables, ExprId e,
                      CompileOptions options) {
   DTreeCompiler compiler(pool, variables, options);
   return compiler.Compile(e);
+}
+
+std::vector<DTree> CompileBatch(const ExprPool& pool,
+                                const VariableTable* variables,
+                                const std::vector<ExprId>& exprs,
+                                CompileOptions options, int num_threads) {
+  std::vector<DTree> out(exprs.size());
+  ParallelFor(num_threads, exprs.size(), [&](size_t i) {
+    ExprPool local(pool.semiring().kind());
+    ExprId e = pool.CloneInto(&local, exprs[i]);
+    out[i] = CompileToDTree(&local, variables, e, options);
+  });
+  return out;
 }
 
 DTree DTreeCompiler::Compile(ExprId e) {

@@ -100,6 +100,20 @@ class DTreeCompiler {
 DTree CompileToDTree(ExprPool* pool, const VariableTable* variables, ExprId e,
                      CompileOptions options = CompileOptions());
 
+/// Compiles each of `exprs` (annotations of independent result tuples, or
+/// any other independent subproblems) into its own d-tree, fanning items
+/// across up to `num_threads` threads (0 = serial, the ParallelFor
+/// convention). Every item -- on the serial path too -- is first cloned
+/// into a task-private pool, so `pool` is only read and the produced
+/// d-trees and downstream probabilities are bit-identical for every thread
+/// count. D-trees reference only VarIds, so they remain valid against
+/// `variables` after their private pools are gone.
+std::vector<DTree> CompileBatch(const ExprPool& pool,
+                                const VariableTable* variables,
+                                const std::vector<ExprId>& exprs,
+                                CompileOptions options = CompileOptions(),
+                                int num_threads = 0);
+
 }  // namespace pvcdb
 
 #endif  // PVCDB_DTREE_COMPILE_H_

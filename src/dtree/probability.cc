@@ -1,8 +1,13 @@
 #include "src/dtree/probability.h"
 
 #include <algorithm>
+#include <mutex>
+#include <set>
+#include <utility>
+#include <vector>
 
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -10,6 +15,22 @@ namespace {
 
 // No-clamp sentinel for memo keys.
 constexpr int64_t kNoClamp = std::numeric_limits<int64_t>::min();
+
+// How deep below the root the parallel pass looks for independent subtree
+// tasks. Deeper frontiers expose more parallelism but shrink per-task work.
+constexpr int kMaxFrontierDepth = 4;
+
+// A (node, clamp bound) subproblem; its distribution is a pure function of
+// the d-tree, the variable table, and the semiring.
+using SubtreeKey = std::pair<DTree::NodeId, int64_t>;
+
+// Memo shared by the worker threads of one parallel computation. Every
+// value stored is the exact distribution of its key, so concurrent lookups
+// and duplicate inserts cannot change results, only save or waste work.
+struct SharedMemo {
+  std::mutex mutex;
+  std::map<SubtreeKey, Distribution> memo;
+};
 
 class ProbabilityComputer {
  public:
@@ -20,16 +41,127 @@ class ProbabilityComputer {
         semiring_(semiring),
         options_(options) {}
 
+  /// Consults (and fills) `shared` in addition to the private memo; used by
+  /// the parallel priming pass. May be null.
+  void AttachSharedMemo(SharedMemo* shared) { shared_ = shared; }
+
+  /// Moves the primed entries of `shared` into the private memo, so the
+  /// final serial pass runs lock-free on warm entries.
+  void AdoptSharedMemo(SharedMemo* shared) {
+    std::unique_lock<std::mutex> lock(shared->mutex);
+    for (auto& [key, dist] : shared->memo) {
+      memo_.emplace(key, std::move(dist));
+    }
+    shared->memo.clear();
+  }
+
   Distribution Compute(DTree::NodeId id, int64_t clamp) {
-    auto key = std::make_pair(id, clamp);
+    SubtreeKey key = std::make_pair(id, clamp);
     auto it = memo_.find(key);
     if (it != memo_.end()) return it->second;
+    if (shared_ != nullptr) {
+      std::unique_lock<std::mutex> lock(shared_->mutex);
+      auto shared_it = shared_->memo.find(key);
+      if (shared_it != shared_->memo.end()) {
+        Distribution result = shared_it->second;
+        lock.unlock();
+        memo_.emplace(key, result);
+        return result;
+      }
+    }
     Distribution result = ComputeUncached(id, clamp);
     memo_.emplace(key, result);
+    if (shared_ != nullptr) {
+      std::unique_lock<std::mutex> lock(shared_->mutex);
+      shared_->memo.emplace(key, result);
+    }
     return result;
   }
 
+  /// The deepest frontier of independent (node, clamp) subproblems within
+  /// kMaxFrontierDepth levels of `root` that still has at least two tasks
+  /// and at most `max_tasks`; empty when no such level exists. Clamp bounds
+  /// are propagated exactly as ComputeUncached does, so primed memo entries
+  /// land under the keys the serial pass will look up. (A mismatch would
+  /// only waste the primed work, never change results.)
+  std::vector<SubtreeKey> CollectFrontier(DTree::NodeId root,
+                                          size_t max_tasks) {
+    std::vector<SubtreeKey> level = {{root, kNoClamp}};
+    std::vector<SubtreeKey> best;
+    for (int depth = 0; depth < kMaxFrontierDepth; ++depth) {
+      std::vector<SubtreeKey> next;
+      std::set<SubtreeKey> seen;
+      for (const SubtreeKey& task : level) {
+        for (const SubtreeKey& child : ChildTasks(task)) {
+          if (seen.insert(child).second) next.push_back(child);
+        }
+      }
+      if (next.size() < 2 || next.size() > max_tasks) break;
+      best = next;
+      level = std::move(next);
+    }
+    return best;
+  }
+
  private:
+  // The (child, clamp) subproblems whose distributions ComputeUncached
+  // would request for `task`; empty for leaves.
+  std::vector<SubtreeKey> ChildTasks(const SubtreeKey& task) {
+    const DTreeNode& n = tree_.node(task.first);
+    std::vector<SubtreeKey> out;
+    switch (n.kind) {
+      case DTreeNodeKind::kLeafVar:
+      case DTreeNodeKind::kLeafConst:
+        break;
+      case DTreeNodeKind::kOplus:
+      case DTreeNodeKind::kMutex: {
+        int64_t child_clamp = ClampBoundFor(n, task.second);
+        for (DTree::NodeId c : n.children) out.push_back({c, child_clamp});
+        break;
+      }
+      case DTreeNodeKind::kOdot:
+        for (DTree::NodeId c : n.children) out.push_back({c, kNoClamp});
+        break;
+      case DTreeNodeKind::kOtimes:
+        out.push_back({n.children[0], kNoClamp});
+        out.push_back({n.children[1], ClampBoundFor(n, task.second)});
+        break;
+      case DTreeNodeKind::kCmp: {
+        auto [lhs_clamp, rhs_clamp] = CmpClampBounds(n);
+        out.push_back({n.children[0], lhs_clamp});
+        out.push_back({n.children[1], rhs_clamp});
+        break;
+      }
+    }
+    return out;
+  }
+
+  // The clamp bounds ComputeUncached applies to the two sides of a kCmp
+  // node (the c+1 overflow-bucket optimisation of Proposition 3).
+  std::pair<int64_t, int64_t> CmpClampBounds(const DTreeNode& n) {
+    int64_t lhs_clamp = kNoClamp;
+    int64_t rhs_clamp = kNoClamp;
+    if (options_.enable_sum_clamping) {
+      DTree::NodeId lhs = n.children[0];
+      DTree::NodeId rhs = n.children[1];
+      const DTreeNode& ln = tree_.node(lhs);
+      const DTreeNode& rn = tree_.node(rhs);
+      if (rn.kind == DTreeNodeKind::kLeafConst && rn.value >= 0 &&
+          ln.sort == ExprSort::kMonoid &&
+          (ln.agg == AggKind::kSum || ln.agg == AggKind::kCount) &&
+          ClampSafe(lhs)) {
+        lhs_clamp = rn.value;
+      }
+      if (ln.kind == DTreeNodeKind::kLeafConst && ln.value >= 0 &&
+          rn.sort == ExprSort::kMonoid &&
+          (rn.agg == AggKind::kSum || rn.agg == AggKind::kCount) &&
+          ClampSafe(rhs)) {
+        rhs_clamp = ln.value;
+      }
+    }
+    return {lhs_clamp, rhs_clamp};
+  }
+
   // Clamps SUM/COUNT values at bound+1 so values beyond the comparison
   // constant share one overflow bucket.
   Distribution ApplyClamp(Distribution d, int64_t clamp) {
@@ -120,30 +252,11 @@ class ProbabilityComputer {
         return ApplyClamp(std::move(result), child_clamp);
       }
       case DTreeNodeKind::kCmp: {
-        DTree::NodeId lhs = n.children[0];
-        DTree::NodeId rhs = n.children[1];
-        int64_t lhs_clamp = kNoClamp;
-        int64_t rhs_clamp = kNoClamp;
-        if (options_.enable_sum_clamping) {
-          // When one side is a constant c and the other a non-negative
-          // SUM/COUNT subtree, that side's values can be clamped at c+1.
-          const DTreeNode& ln = tree_.node(lhs);
-          const DTreeNode& rn = tree_.node(rhs);
-          if (rn.kind == DTreeNodeKind::kLeafConst && rn.value >= 0 &&
-              ln.sort == ExprSort::kMonoid &&
-              (ln.agg == AggKind::kSum || ln.agg == AggKind::kCount) &&
-              ClampSafe(lhs)) {
-            lhs_clamp = rn.value;
-          }
-          if (ln.kind == DTreeNodeKind::kLeafConst && ln.value >= 0 &&
-              rn.sort == ExprSort::kMonoid &&
-              (rn.agg == AggKind::kSum || rn.agg == AggKind::kCount) &&
-              ClampSafe(rhs)) {
-            rhs_clamp = ln.value;
-          }
-        }
-        Distribution l = Compute(lhs, lhs_clamp);
-        Distribution r = Compute(rhs, rhs_clamp);
+        // When one side is a constant c and the other a non-negative
+        // SUM/COUNT subtree, that side's values can be clamped at c+1.
+        auto [lhs_clamp, rhs_clamp] = CmpClampBounds(n);
+        Distribution l = Compute(n.children[0], lhs_clamp);
+        Distribution r = Compute(n.children[1], rhs_clamp);
         CmpOp op = n.cmp;
         const Semiring& semiring = semiring_;
         return l.Convolve(r, [op, &semiring](int64_t a, int64_t b) {
@@ -185,7 +298,8 @@ class ProbabilityComputer {
   const VariableTable& variables_;
   const Semiring& semiring_;
   ProbabilityOptions options_;
-  std::map<std::pair<DTree::NodeId, int64_t>, Distribution> memo_;
+  SharedMemo* shared_ = nullptr;
+  std::map<SubtreeKey, Distribution> memo_;
   std::unordered_map<DTree::NodeId, bool> clamp_safe_;
 };
 
@@ -197,6 +311,25 @@ Distribution ComputeDistribution(const DTree& tree,
                                  ProbabilityOptions options) {
   PVC_CHECK_MSG(tree.size() > 0, "cannot compute distribution of empty tree");
   ProbabilityComputer computer(tree, variables, semiring, options);
+  size_t threads = ResolveThreadCount(options.num_threads);
+  if (threads > 1 && !InParallelWorker()) {
+    // Parallel priming pass: compute a frontier of independent subtree
+    // distributions concurrently into a shared memo, then let the ordinary
+    // serial bottom-up pass below reduce over the primed values. Every
+    // memo entry is the exact distribution of its subproblem, so the final
+    // result is bit-identical to a fully serial run.
+    std::vector<SubtreeKey> tasks =
+        computer.CollectFrontier(tree.root(), threads * 32);
+    if (tasks.size() >= 2) {
+      SharedMemo shared;
+      ParallelFor(options.num_threads, tasks.size(), [&](size_t i) {
+        ProbabilityComputer sub(tree, variables, semiring, options);
+        sub.AttachSharedMemo(&shared);
+        sub.Compute(tasks[i].first, tasks[i].second);
+      });
+      computer.AdoptSharedMemo(&shared);
+    }
+  }
   return computer.Compute(tree.root(), kNoClamp);
 }
 

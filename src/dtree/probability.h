@@ -31,6 +31,13 @@ namespace pvcdb {
 struct ProbabilityOptions {
   /// Enables the c+1 overflow clamp for SUM/COUNT comparisons.
   bool enable_sum_clamping = true;
+  /// Fans independent d-tree branches ((+), (.), (x), [theta] children and
+  /// mutex branches are independent subproblems) across up to this many
+  /// threads; 0 (default) and 1 mean serial. Per-node distributions are
+  /// pure functions of the tree, and the bottom-up reduction stays with
+  /// the calling thread in the serial order, so the result is bit-identical
+  /// for every thread count.
+  int num_threads = 0;
 };
 
 /// Computes the probability distribution of a compiled d-tree.

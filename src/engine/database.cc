@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -48,7 +49,7 @@ PvcTable Database::Run(const Query& q) {
       &pool_, [this](const std::string& name) -> const PvcTable& {
         return table(name);
       },
-      EvalMode::kProbabilistic);
+      EvalMode::kProbabilistic, eval_options_);
   return evaluator.Eval(q);
 }
 
@@ -57,7 +58,7 @@ PvcTable Database::RunDeterministic(const Query& q) {
       &pool_, [this](const std::string& name) -> const PvcTable& {
         return table(name);
       },
-      EvalMode::kDeterministic);
+      EvalMode::kDeterministic, eval_options_);
   return evaluator.Eval(q);
 }
 
@@ -73,6 +74,40 @@ double Database::TupleProbability(const Row& row) {
 
 Distribution Database::AnnotationDistribution(const Row& row) {
   return DistributionOfExpr(row.annotation);
+}
+
+std::vector<Distribution> Database::AnnotationDistributions(
+    const PvcTable& table) {
+  std::vector<Distribution> out(table.NumRows());
+  // Each row clones its annotation into a task-private pool, so the shared
+  // pool is only read and the per-row pipeline is identical on the serial
+  // and the threaded path.
+  ParallelFor(eval_options_.num_threads, table.NumRows(), [&](size_t i) {
+    ExprPool local(pool_.semiring().kind());
+    ExprId e = pool_.CloneInto(&local, table.row(i).annotation);
+    DTree tree = CompileToDTree(&local, &variables_, e, compile_options_);
+    out[i] = ComputeDistribution(tree, variables_, local.semiring());
+  });
+  return out;
+}
+
+std::vector<double> Database::TupleProbabilities(const PvcTable& table) {
+  std::vector<Distribution> distributions = AnnotationDistributions(table);
+  std::vector<double> out;
+  out.reserve(distributions.size());
+  for (const Distribution& d : distributions) {
+    out.push_back(std::max(0.0, d.TotalMass() - d.ProbOf(0)));
+  }
+  return out;
+}
+
+std::vector<ProbabilityBounds> Database::ApproximateTupleProbabilities(
+    const PvcTable& table, ApproximateOptions options) {
+  std::vector<ExprId> annotations;
+  annotations.reserve(table.NumRows());
+  for (const Row& row : table.rows()) annotations.push_back(row.annotation);
+  return ApproximateBatch(pool_, variables_, annotations, options,
+                          eval_options_.num_threads);
 }
 
 Distribution Database::AggregateDistribution(const PvcTable& table,

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/dtree/approximate.h"
 #include "src/dtree/compile.h"
 #include "src/dtree/joint.h"
 #include "src/dtree/probability.h"
@@ -41,6 +42,14 @@ class Database {
 
   /// D-tree compilation knobs used by the probability methods.
   CompileOptions& compile_options() { return compile_options_; }
+
+  /// Engine-wide evaluation knobs. Set `eval_options().num_threads` to fan
+  /// query evaluation and the batch probability methods across threads;
+  /// 0 (the default) keeps every path serial, so existing callers are
+  /// unchanged. All parallel paths produce bit-identical results to the
+  /// serial ones (see EvalOptions).
+  EvalOptions& eval_options() { return eval_options_; }
+  const EvalOptions& eval_options() const { return eval_options_; }
 
   // -- Catalog ------------------------------------------------------------
 
@@ -77,6 +86,25 @@ class Database {
   /// semantics; {0,1} under the Boolean semiring).
   Distribution AnnotationDistribution(const Row& row);
 
+  // -- Batch step II: one result per row, fanned across threads -----------
+  //
+  // The batch methods process every row of `table`, compiling each row's
+  // d-tree in a task-private expression pool and fanning rows across
+  // eval_options().num_threads threads. Because the serial path (the
+  // default) runs the identical per-row pipeline, results are bit-identical
+  // for every thread count. The database must not be mutated concurrently.
+
+  /// P[Phi != 0_S] for every row of `table`.
+  std::vector<double> TupleProbabilities(const PvcTable& table);
+
+  /// Annotation distribution of every row of `table`.
+  std::vector<Distribution> AnnotationDistributions(const PvcTable& table);
+
+  /// Interval bounds on P[Phi != 0_S] for every row of `table` under the
+  /// given approximation budget (Boolean semiring only).
+  std::vector<ProbabilityBounds> ApproximateTupleProbabilities(
+      const PvcTable& table, ApproximateOptions options = ApproximateOptions());
+
   /// Distribution of the semimodule value in `column` (unconditioned).
   Distribution AggregateDistribution(const PvcTable& table, size_t row_index,
                                      const std::string& column);
@@ -99,6 +127,7 @@ class Database {
   VariableTable variables_;
   std::map<std::string, PvcTable> tables_;
   CompileOptions compile_options_;
+  EvalOptions eval_options_;
 };
 
 }  // namespace pvcdb

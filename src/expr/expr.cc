@@ -346,6 +346,57 @@ ExprId ExprPool::Substitute(ExprId e, VarId x, int64_t s) {
   return rec(rec, e);
 }
 
+ExprId ExprPool::CloneInto(ExprPool* dst, ExprId e) const {
+  PVC_CHECK(dst != nullptr);
+  PVC_CHECK_MSG(dst->semiring_.kind() == semiring_.kind(),
+                "CloneInto requires pools over the same semiring");
+  if (dst == this) return e;
+  std::unordered_map<ExprId, ExprId> memo;  // Source id -> destination id.
+  auto rec = [&](auto&& self, ExprId id) -> ExprId {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    const ExprNode& n = node(id);  // Only `dst` grows; `this` is stable.
+    ExprId result = kInvalidExpr;
+    switch (n.kind) {
+      case ExprKind::kVar:
+        result = dst->Var(n.var());
+        break;
+      case ExprKind::kConstS:
+        result = dst->ConstS(n.value);
+        break;
+      case ExprKind::kConstM:
+        result = dst->ConstM(n.agg, n.value);
+        break;
+      case ExprKind::kAddS:
+      case ExprKind::kMulS:
+      case ExprKind::kAddM: {
+        std::vector<ExprId> children;
+        children.reserve(n.children.size());
+        for (ExprId c : n.children) children.push_back(self(self, c));
+        if (n.kind == ExprKind::kAddS) {
+          result = dst->AddS(std::move(children));
+        } else if (n.kind == ExprKind::kMulS) {
+          result = dst->MulS(std::move(children));
+        } else {
+          result = dst->AddM(n.agg, std::move(children));
+        }
+        break;
+      }
+      case ExprKind::kTensor:
+        result =
+            dst->Tensor(self(self, n.children[0]), self(self, n.children[1]));
+        break;
+      case ExprKind::kCmp:
+        result =
+            dst->Cmp(n.cmp, self(self, n.children[0]), self(self, n.children[1]));
+        break;
+    }
+    memo.emplace(id, result);
+    return result;
+  };
+  return rec(rec, e);
+}
+
 void ExprPool::CountVarOccurrences(
     ExprId e, std::unordered_map<VarId, double>* counts) const {
   // Topological pass with path counting: a node reached over k distinct

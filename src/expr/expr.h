@@ -148,6 +148,16 @@ class ExprPool {
   /// Returns `e` unchanged when x does not occur in it.
   ExprId Substitute(ExprId e, VarId x, int64_t s);
 
+  /// Re-interns the expression DAG rooted at `e` into `dst` (which must use
+  /// the same semiring kind) and returns the clone's id there. Shared
+  /// subexpressions stay shared. `this` is only read, so one source pool
+  /// may be cloned from concurrently into *distinct* destination pools --
+  /// this is what lets independent tuples compile in parallel against
+  /// task-private pools. Note that `dst`'s ids (and hence the canonical
+  /// child order of re-built sums/products) generally differ from the
+  /// source pool's.
+  ExprId CloneInto(ExprPool* dst, ExprId e) const;
+
   /// Counts syntactic occurrences of each variable in `e`, weighting shared
   /// subexpressions by the number of DAG paths that reach them (this equals
   /// the occurrence count in the fully expanded expression tree). Counts

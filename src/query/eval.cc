@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/hash.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -79,8 +80,11 @@ bool CompareDataCells(CmpOp op, const Cell& a, const Cell& b) {
 }  // namespace
 
 QueryEvaluator::QueryEvaluator(ExprPool* pool, TableResolver resolver,
-                               EvalMode mode)
-    : pool_(pool), resolver_(std::move(resolver)), mode_(mode) {
+                               EvalMode mode, EvalOptions options)
+    : pool_(pool),
+      resolver_(std::move(resolver)),
+      mode_(mode),
+      options_(options) {
   PVC_CHECK(pool != nullptr);
 }
 
@@ -163,14 +167,70 @@ PvcTable QueryEvaluator::EvalSelect(const Query& q) {
   PvcTable input = Eval(*q.child(0));
   PvcTable out{input.schema()};
   ExprId zero = pool_->ConstS(pool_->semiring().Zero());
-  for (const Row& r : input.rows()) {
-    Row candidate = r;
+  const Schema& schema = input.schema();
+  const std::vector<Atom>& atoms = q.predicate().atoms();
+
+  // Classify the atoms once: an atom over data cells only is a pure filter;
+  // an atom touching an aggregation attribute extends the annotation
+  // (Figure 4's sigma rule) and must stay on the interning thread.
+  struct ResolvedOperand {
+    const Cell* constant = nullptr;  // Set for constant operands...
+    size_t index = 0;                // ...column index otherwise.
+  };
+  auto resolve_operand = [&](const Operand& o) {
+    ResolvedOperand r;
+    if (o.kind() == Operand::Kind::kColumn) {
+      r.index = schema.IndexOf(o.column());
+    } else {
+      r.constant = &o.constant();
+    }
+    return r;
+  };
+  auto operand_type = [&](const ResolvedOperand& r) {
+    return r.constant != nullptr ? r.constant->type()
+                                 : schema.column(r.index).type;
+  };
+  std::vector<ResolvedOperand> lhs_ops, rhs_ops;
+  std::vector<bool> is_data_atom;
+  for (const Atom& atom : atoms) {
+    lhs_ops.push_back(resolve_operand(atom.lhs));
+    rhs_ops.push_back(resolve_operand(atom.rhs));
+    is_data_atom.push_back(operand_type(lhs_ops.back()) != CellType::kAggExpr &&
+                           operand_type(rhs_ops.back()) != CellType::kAggExpr);
+  }
+
+  // Phase 1 (parallel, pure): per row, the first failing data atom in
+  // predicate order (atoms.size() when all pass). Atoms after the first
+  // failure are not evaluated, matching the serial short-circuit.
+  size_t n = input.NumRows();
+  std::vector<size_t> first_fail(n, atoms.size());
+  ParallelFor(options_.num_threads, n, [&](size_t i) {
+    const Row& r = input.row(i);
+    auto cell = [&](const ResolvedOperand& op) -> const Cell& {
+      return op.constant != nullptr ? *op.constant : r.cells[op.index];
+    };
+    for (size_t j = 0; j < atoms.size(); ++j) {
+      if (!is_data_atom[j]) continue;
+      if (!CompareDataCells(atoms[j].op, cell(lhs_ops[j]), cell(rhs_ops[j]))) {
+        first_fail[i] = j;
+        break;
+      }
+    }
+  });
+
+  // Phase 2 (serial): replay the annotation-extending atoms in the original
+  // atom order up to the first failure -- the exact ExprPool interning
+  // sequence of a serial run -- and emit surviving rows in input order.
+  for (size_t i = 0; i < n; ++i) {
+    Row candidate = input.row(i);
     bool keep = true;
-    for (const Atom& atom : q.predicate().atoms()) {
-      if (!ApplyAtom(input.schema(), atom, &candidate)) {
+    for (size_t j = 0; j < atoms.size(); ++j) {
+      if (j == first_fail[i]) {
         keep = false;
         break;
       }
+      if (is_data_atom[j]) continue;  // Passed in phase 1.
+      ApplyAtom(schema, atoms[j], &candidate);
     }
     // Rows whose annotation folded to 0_K are absent from every world.
     if (keep && candidate.annotation != zero) {
@@ -263,13 +323,23 @@ PvcTable QueryEvaluator::EvalHashJoin(const Query& product,
     }
     build[std::move(key)].push_back(j);
   }
-  for (const Row& l : left.rows()) {
+  // Phase 1 (parallel, pure): hash every probe-side key and look it up in
+  // the build table, which is read-only from here on.
+  size_t n = left.NumRows();
+  std::vector<const std::vector<size_t>*> matches(n, nullptr);
+  ParallelFor(options_.num_threads, n, [&](size_t i) {
+    const Row& l = left.row(i);
     RowKey key;
     key.cells.reserve(keys.size());
     for (const EquiKey& k : keys) key.cells.push_back(l.cells[k.left_index]);
     auto it = build.find(key);
-    if (it == build.end()) continue;
-    for (size_t j : it->second) emit(l, right.row(j));
+    if (it != build.end()) matches[i] = &it->second;
+  });
+  // Phase 2 (serial): emit joined rows in probe order, so annotation
+  // interning and row order are identical to a serial run.
+  for (size_t i = 0; i < n; ++i) {
+    if (matches[i] == nullptr) continue;
+    for (size_t j : *matches[i]) emit(left.row(i), right.row(j));
   }
   return out;
 }

@@ -33,11 +33,24 @@ using TableResolver = std::function<const PvcTable&(const std::string&)>;
 /// Evaluation mode: probabilistic ([[.]]) or deterministic (Q0).
 enum class EvalMode : uint8_t { kProbabilistic, kDeterministic };
 
+/// Engine-wide evaluation knobs, threaded from the Database facade through
+/// step I (this evaluator) and step II (the batch probability methods).
+struct EvalOptions {
+  /// Thread count for the parallel paths; 0 (default) and 1 mean serial,
+  /// negative means all hardware threads. Every parallel path is
+  /// bit-identical to the serial one: pure per-tuple work (data-atom
+  /// filtering, hash-join probing, per-tuple d-tree compilation and
+  /// probability passes) fans out, while all ExprPool interning and every
+  /// floating-point reduction stay on the calling thread in serial order.
+  int num_threads = 0;
+};
+
 /// Evaluates Q queries over pvc-tables, producing result pvc-tables.
 class QueryEvaluator {
  public:
   QueryEvaluator(ExprPool* pool, TableResolver resolver,
-                 EvalMode mode = EvalMode::kProbabilistic);
+                 EvalMode mode = EvalMode::kProbabilistic,
+                 EvalOptions options = EvalOptions());
 
   /// Evaluates `q`; checks Definition 5's constraints (projection, union
   /// and grouping over aggregation attributes are rejected).
@@ -66,6 +79,7 @@ class QueryEvaluator {
   ExprPool* pool_;
   TableResolver resolver_;
   EvalMode mode_;
+  EvalOptions options_;
 };
 
 }  // namespace pvcdb

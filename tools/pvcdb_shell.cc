@@ -23,12 +23,14 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/engine/csv.h"
 #include "src/util/check.h"
 #include "src/engine/database.h"
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
+#include "src/util/parallel.h"
 
 namespace {
 
@@ -41,6 +43,8 @@ void PrintHelp() {
             << "  show <table>             print a pvc-table\n"
             << "  tractable <sql>          classify a query\n"
             << "  SELECT ...               run a query\n"
+            << "  threads [n]              show or set the thread count\n"
+            << "                           (0 = serial, -1 = all cores)\n"
             << "  help | quit\n";
 }
 
@@ -53,9 +57,10 @@ void RunSql(Database* db, const std::string& sql) {
   try {
     PvcTable result = db->Run(*parsed.query);
     std::cout << result.ToString(&db->pool());
+    // Batch step II: fans across db->eval_options().num_threads threads.
+    std::vector<double> probabilities = db->TupleProbabilities(result);
     for (size_t i = 0; i < result.NumRows(); ++i) {
-      std::cout << "P[row " << i << "] = "
-                << db->TupleProbability(result.row(i));
+      std::cout << "P[row " << i << "] = " << probabilities[i];
       for (size_t c = 0; c < result.schema().NumColumns(); ++c) {
         if (result.schema().column(c).type == CellType::kAggExpr) {
           const std::string& name = result.schema().column(c).name;
@@ -147,6 +152,14 @@ int main() {
       std::string rest;
       std::getline(stream, rest);
       Classify(&db, rest);
+    } else if (command == "threads") {
+      int n = 0;
+      if (stream >> n) {
+        db.eval_options().num_threads = n;
+      }
+      std::cout << "num_threads = " << db.eval_options().num_threads
+                << " (0 = serial; " << DefaultThreadCount()
+                << " hardware threads)\n";
     } else if (command == "SELECT" || command == "select") {
       RunSql(&db, line);
     } else {
