@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate the sharded scatter-gather benchmark against a committed baseline.
+
+Reads two JSON-lines files produced by `bench_shard --json` (see
+bench/bench_shard.cc) and compares the *normalized* 4-way sharded
+throughput
+
+    normalized = T(shards=4, threads=4) / T(shards=1, threads=1)
+
+where T is rows per second of the "shard_query" series within one run.
+Normalizing by the same run's serial single-shard point cancels the
+absolute speed of the machine, so a baseline committed from one host
+remains meaningful on CI runners. The check fails when the current
+normalized throughput drops more than --threshold (default 20%) below the
+baseline's.
+
+Exit codes: 0 ok, 1 regression, 2 missing/invalid data.
+
+Usage:
+    check_bench_trajectory.py CURRENT.json --baseline BASELINE.json \
+        [--threshold 0.20] [--shards 4] [--threads 4]
+
+Refreshing the baseline: download BENCH_shard.json from a bench-trajectory
+run on the target runner class and commit it as BENCH_shard.json at the
+repository root (see docs/CI.md).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            records.append(json.loads(line))
+    return records
+
+
+def throughput(records, bench, shards, threads):
+    for r in records:
+        p = r.get("params", {})
+        if (r.get("bench") == bench and p.get("shards") == shards
+                and p.get("threads") == threads):
+            if p.get("bit_identical") not in (None, "true"):
+                print(f"FAIL: {bench} shards={shards} threads={threads} "
+                      "was not bit-identical to the serial reference")
+                sys.exit(1)
+            return float(p["rows_per_second"])
+    print(f"ERROR: no '{bench}' record with shards={shards} "
+          f"threads={threads}")
+    sys.exit(2)
+
+
+def normalized(records, shards, threads):
+    fast = throughput(records, "shard_query", shards, threads)
+    base = throughput(records, "shard_query", 1, 1)
+    if base <= 0:
+        print("ERROR: non-positive serial throughput")
+        sys.exit(2)
+    return fast / base
+
+
+def warn_if_weak_baseline(records):
+    if any(r.get("params", {}).get("hardware_threads") == 1
+           for r in records):
+        print("WARNING: baseline was captured on a 1-CPU host, so the "
+              "regression floor is far below healthy multi-core "
+              "throughput; refresh it from a bench-trajectory artifact "
+              "to make the gate meaningful (docs/CI.md)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional drop (0.20 = 20%%)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=4)
+    args = parser.parse_args()
+
+    current = normalized(load_records(args.current), args.shards,
+                         args.threads)
+    baseline_records = load_records(args.baseline)
+    warn_if_weak_baseline(baseline_records)
+    baseline = normalized(baseline_records, args.shards, args.threads)
+    floor = (1.0 - args.threshold) * baseline
+    print(f"normalized {args.shards}-way throughput: current {current:.3f}, "
+          f"baseline {baseline:.3f}, floor {floor:.3f}")
+    if current < floor:
+        print(f"FAIL: sharded {args.shards}-way throughput regressed more "
+              f"than {args.threshold:.0%} below the committed baseline")
+        sys.exit(1)
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

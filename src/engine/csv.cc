@@ -8,6 +8,7 @@
 
 #include "src/dtree/compile.h"
 #include "src/dtree/probability.h"
+#include "src/engine/shard.h"
 
 namespace pvcdb {
 
@@ -68,32 +69,39 @@ bool ParseColumnSpec(const std::string& spec, Column* out,
   return true;
 }
 
-}  // namespace
+// Parsed-but-unregistered CSV content; shared by the Database and
+// ShardedDatabase front-ends so both register byte-identical tables.
+struct ParsedCsv {
+  CsvResult status;
+  std::vector<Column> columns;
+  std::vector<std::vector<Cell>> rows;
+  std::vector<double> probs;
+};
 
-CsvResult LoadCsvTable(Database* db, const std::string& table_name,
-                       std::istream& input) {
-  CsvResult result;
+ParsedCsv ParseCsv(std::istream& input) {
+  ParsedCsv parsed;
+  CsvResult& result = parsed.status;
   std::string line;
   if (!std::getline(input, line)) {
     result.error = "empty input";
-    return result;
+    return parsed;
   }
   std::vector<std::string> header = SplitCsvLine(line);
   bool has_prob = !header.empty() && header.back() == "_prob";
   size_t num_columns = header.size() - (has_prob ? 1 : 0);
   if (num_columns == 0) {
     result.error = "header declares no data columns";
-    return result;
+    return parsed;
   }
-  std::vector<Column> columns;
+  std::vector<Column>& columns = parsed.columns;
   for (size_t i = 0; i < num_columns; ++i) {
     Column col;
-    if (!ParseColumnSpec(header[i], &col, &result.error)) return result;
+    if (!ParseColumnSpec(header[i], &col, &result.error)) return parsed;
     columns.push_back(col);
   }
 
-  std::vector<std::vector<Cell>> rows;
-  std::vector<double> probs;
+  std::vector<std::vector<Cell>>& rows = parsed.rows;
+  std::vector<double>& probs = parsed.probs;
   size_t line_number = 1;
   while (std::getline(input, line)) {
     ++line_number;
@@ -104,7 +112,7 @@ CsvResult LoadCsvTable(Database* db, const std::string& table_name,
       out << "line " << line_number << ": expected " << header.size()
           << " fields, got " << fields.size();
       result.error = out.str();
-      return result;
+      return parsed;
     }
     std::vector<Cell> cells;
     for (size_t i = 0; i < num_columns; ++i) {
@@ -121,14 +129,14 @@ CsvResult LoadCsvTable(Database* db, const std::string& table_name,
             break;
           default:
             result.error = "unsupported column type";
-            return result;
+            return parsed;
         }
       } catch (const std::exception&) {
         std::ostringstream out;
         out << "line " << line_number << ": cannot parse '" << fields[i]
             << "' for column " << columns[i].name;
         result.error = out.str();
-        return result;
+        return parsed;
       }
     }
     double p = 1.0;
@@ -140,27 +148,59 @@ CsvResult LoadCsvTable(Database* db, const std::string& table_name,
         out << "line " << line_number << ": bad probability '"
             << fields.back() << "'";
         result.error = out.str();
-        return result;
+        return parsed;
       }
       if (p < 0.0 || p > 1.0) {
         std::ostringstream out;
         out << "line " << line_number << ": probability " << p
             << " out of [0, 1]";
         result.error = out.str();
-        return result;
+        return parsed;
       }
     }
     rows.push_back(std::move(cells));
     probs.push_back(p);
   }
   result.rows = rows.size();
-  db->AddTupleIndependentTable(table_name, Schema(std::move(columns)),
-                               std::move(rows), std::move(probs));
   result.ok = true;
-  return result;
+  return parsed;
+}
+
+}  // namespace
+
+CsvResult LoadCsvTable(Database* db, const std::string& table_name,
+                       std::istream& input) {
+  ParsedCsv parsed = ParseCsv(input);
+  if (!parsed.status.ok) return parsed.status;
+  db->AddTupleIndependentTable(table_name, Schema(std::move(parsed.columns)),
+                               std::move(parsed.rows),
+                               std::move(parsed.probs));
+  return parsed.status;
+}
+
+CsvResult LoadCsvTable(ShardedDatabase* db, const std::string& table_name,
+                       std::istream& input) {
+  ParsedCsv parsed = ParseCsv(input);
+  if (!parsed.status.ok) return parsed.status;
+  db->AddTupleIndependentTable(table_name, Schema(std::move(parsed.columns)),
+                               std::move(parsed.rows),
+                               std::move(parsed.probs));
+  return parsed.status;
 }
 
 CsvResult LoadCsvTableFromFile(Database* db, const std::string& table_name,
+                               const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    CsvResult result;
+    result.error = "cannot open file '" + path + "'";
+    return result;
+  }
+  return LoadCsvTable(db, table_name, file);
+}
+
+CsvResult LoadCsvTableFromFile(ShardedDatabase* db,
+                               const std::string& table_name,
                                const std::string& path) {
   std::ifstream file(path);
   if (!file) {

@@ -20,6 +20,8 @@
 
 namespace pvcdb {
 
+class ShardedDatabase;
+
 /// Outcome of a CSV import.
 struct CsvResult {
   bool ok = false;
@@ -34,6 +36,15 @@ CsvResult LoadCsvTable(Database* db, const std::string& table_name,
 
 /// Convenience overload reading from a file path.
 CsvResult LoadCsvTableFromFile(Database* db, const std::string& table_name,
+                               const std::string& path);
+
+/// Sharded-catalog overloads: the same format, registered through
+/// ShardedDatabase::AddTupleIndependentTable (hash-partitioned on the
+/// first column; variable creation order matches the unsharded load).
+CsvResult LoadCsvTable(ShardedDatabase* db, const std::string& table_name,
+                       std::istream& input);
+CsvResult LoadCsvTableFromFile(ShardedDatabase* db,
+                               const std::string& table_name,
                                const std::string& path);
 
 /// Writes `table` (data columns only; aggregation columns are rejected)

@@ -7,7 +7,24 @@
 
 namespace pvcdb {
 
-Database::Database(SemiringKind semiring) : pool_(semiring) {}
+Distribution IsolatedAnnotationDistribution(const ExprPool& source,
+                                            const VariableTable& variables,
+                                            ExprId annotation,
+                                            const CompileOptions& options) {
+  ExprPool local(source.semiring().kind());
+  ExprId e = source.CloneInto(&local, annotation);
+  DTree tree = CompileToDTree(&local, &variables, e, options);
+  return ComputeDistribution(tree, variables, local.semiring());
+}
+
+Database::Database(SemiringKind semiring)
+    : pool_(semiring), variables_(std::make_shared<VariableTable>()) {}
+
+Database::Database(std::shared_ptr<VariableTable> variables,
+                   SemiringKind semiring)
+    : pool_(semiring), variables_(std::move(variables)) {
+  PVC_CHECK(variables_ != nullptr);
+}
 
 void Database::AddTable(const std::string& name, PvcTable table) {
   tables_[name] = std::move(table);
@@ -37,8 +54,8 @@ void Database::AddTupleIndependentTable(
                 "one probability per row required");
   PvcTable table{std::move(schema)};
   for (size_t i = 0; i < rows.size(); ++i) {
-    VarId x = variables_.AddBernoulli(probabilities[i],
-                                      name + "#" + std::to_string(i));
+    VarId x = variables_->AddBernoulli(probabilities[i],
+                                       name + "#" + std::to_string(i));
     table.AddRow(std::move(rows[i]), pool_.Var(x));
   }
   AddTable(name, std::move(table));
@@ -63,13 +80,12 @@ PvcTable Database::RunDeterministic(const Query& q) {
 }
 
 Distribution Database::DistributionOfExpr(ExprId e) {
-  DTree tree = CompileToDTree(&pool_, &variables_, e, compile_options_);
-  return ComputeDistribution(tree, variables_, pool_.semiring());
+  DTree tree = CompileToDTree(&pool_, variables_.get(), e, compile_options_);
+  return ComputeDistribution(tree, *variables_, pool_.semiring());
 }
 
 double Database::TupleProbability(const Row& row) {
-  Distribution d = DistributionOfExpr(row.annotation);
-  return std::max(0.0, d.TotalMass() - d.ProbOf(0));
+  return NonZeroMass(DistributionOfExpr(row.annotation));
 }
 
 Distribution Database::AnnotationDistribution(const Row& row) {
@@ -83,10 +99,9 @@ std::vector<Distribution> Database::AnnotationDistributions(
   // pool is only read and the per-row pipeline is identical on the serial
   // and the threaded path.
   ParallelFor(eval_options_.num_threads, table.NumRows(), [&](size_t i) {
-    ExprPool local(pool_.semiring().kind());
-    ExprId e = pool_.CloneInto(&local, table.row(i).annotation);
-    DTree tree = CompileToDTree(&local, &variables_, e, compile_options_);
-    out[i] = ComputeDistribution(tree, variables_, local.semiring());
+    out[i] = IsolatedAnnotationDistribution(pool_, *variables_,
+                                            table.row(i).annotation,
+                                            compile_options_);
   });
   return out;
 }
@@ -96,7 +111,7 @@ std::vector<double> Database::TupleProbabilities(const PvcTable& table) {
   std::vector<double> out;
   out.reserve(distributions.size());
   for (const Distribution& d : distributions) {
-    out.push_back(std::max(0.0, d.TotalMass() - d.ProbOf(0)));
+    out.push_back(NonZeroMass(d));
   }
   return out;
 }
@@ -106,7 +121,7 @@ std::vector<ProbabilityBounds> Database::ApproximateTupleProbabilities(
   std::vector<ExprId> annotations;
   annotations.reserve(table.NumRows());
   for (const Row& row : table.rows()) annotations.push_back(row.annotation);
-  return ApproximateBatch(pool_, variables_, annotations, options,
+  return ApproximateBatch(pool_, *variables_, annotations, options,
                           eval_options_.num_threads);
 }
 
@@ -125,7 +140,7 @@ Distribution Database::ConditionalAggregateDistribution(
   PVC_CHECK_MSG(cell.type() == CellType::kAggExpr,
                 "'" << column << "' is not an aggregation column");
   return pvcdb::ConditionalAggregateDistribution(
-      &pool_, variables_, cell.AsAgg(), table.row(row_index).annotation,
+      &pool_, *variables_, cell.AsAgg(), table.row(row_index).annotation,
       compile_options_);
 }
 
@@ -139,7 +154,7 @@ JointDistribution Database::RowJointDistribution(const PvcTable& table,
     }
   }
   exprs.push_back(row.annotation);
-  return ComputeJointDistribution(&pool_, variables_, exprs,
+  return ComputeJointDistribution(&pool_, *variables_, exprs,
                                   compile_options_);
 }
 

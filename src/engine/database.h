@@ -10,6 +10,7 @@
 #define PVCDB_ENGINE_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,19 +26,42 @@
 
 namespace pvcdb {
 
+/// The per-row step II pipeline used by every batch probability pass, in
+/// Database and ShardedDatabase alike: clone the annotation from `source`
+/// into a task-private pool, compile it, run the bottom-up probability
+/// pass. Both facades must call this one function -- the sharded engine's
+/// bit-identity contract depends on the pipelines not drifting apart.
+/// `source` is only read, so concurrent calls against one pool are safe.
+Distribution IsolatedAnnotationDistribution(const ExprPool& source,
+                                            const VariableTable& variables,
+                                            ExprId annotation,
+                                            const CompileOptions& options);
+
 /// A probabilistic database: named pvc-tables + the variable table X + the
 /// expression pool, plus query evaluation and probability computation.
 class Database {
  public:
   explicit Database(SemiringKind semiring = SemiringKind::kBool);
 
+  /// Load hook for multi-instance topologies (see src/engine/shard.h): a
+  /// database whose variable registry is shared with other engine
+  /// instances, so VarIds -- and hence correlations between annotations
+  /// held by different instances -- stay globally scoped. The shared table
+  /// must only be mutated while no instance is evaluating.
+  Database(std::shared_ptr<VariableTable> variables, SemiringKind semiring);
+
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
   ExprPool& pool() { return pool_; }
   const ExprPool& pool() const { return pool_; }
-  VariableTable& variables() { return variables_; }
-  const VariableTable& variables() const { return variables_; }
+  VariableTable& variables() { return *variables_; }
+  const VariableTable& variables() const { return *variables_; }
+  /// The variable registry as a shareable handle (export hook for sharded
+  /// catalogs that wire several databases over one probability space).
+  const std::shared_ptr<VariableTable>& shared_variables() const {
+    return variables_;
+  }
   const Semiring& semiring() const { return pool_.semiring(); }
 
   /// D-tree compilation knobs used by the probability methods.
@@ -124,7 +148,7 @@ class Database {
   Distribution DistributionOfExpr(ExprId e);
 
   ExprPool pool_;
-  VariableTable variables_;
+  std::shared_ptr<VariableTable> variables_;
   std::map<std::string, PvcTable> tables_;
   CompileOptions compile_options_;
   EvalOptions eval_options_;

@@ -1,0 +1,399 @@
+#include "src/engine/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/parallel.h"
+
+namespace pvcdb {
+
+namespace {
+
+/// Hidden provenance column carried through distributed step I plans so the
+/// gather can merge per-shard results back into global row order. Queries
+/// mentioning this name fall back to the coordinator.
+constexpr const char* kRowIdColumn = "__pvcdb_rowid";
+
+}  // namespace
+
+size_t FnvShardRouter::Route(const Cell& key, size_t num_shards) const {
+  return static_cast<size_t>(key.StableHash() % num_shards);
+}
+
+size_t ModuloShardRouter::Route(const Cell& key, size_t num_shards) const {
+  int64_t k = key.AsInt() % static_cast<int64_t>(num_shards);
+  if (k < 0) k += static_cast<int64_t>(num_shards);
+  return static_cast<size_t>(k);
+}
+
+const std::vector<Cell>& ShardedResult::cells(size_t i) const {
+  PVC_CHECK_MSG(i < order_.size(), "result row " << i << " out of range");
+  const auto& [part, row] = order_[i];
+  return parts_[part].row(row).cells;
+}
+
+ShardedDatabase::ShardedDatabase(size_t num_shards, SemiringKind semiring,
+                                 std::unique_ptr<ShardRouter> router)
+    : router_(router != nullptr ? std::move(router)
+                                : std::make_unique<FnvShardRouter>()),
+      coordinator_(semiring) {
+  PVC_CHECK_MSG(num_shards >= 1, "a sharded database needs >= 1 shard");
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Database>(
+        coordinator_.shared_variables(), semiring));
+  }
+}
+
+const Database& ShardedDatabase::shard(size_t s) const {
+  PVC_CHECK_MSG(s < shards_.size(), "shard index " << s << " out of range");
+  return *shards_[s];
+}
+
+void ShardedDatabase::AddTupleIndependentTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, std::vector<double> probabilities,
+    const std::string& key_column) {
+  PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
+  size_t key_index = key_column.empty() ? 0 : schema.IndexOf(key_column);
+
+  // The coordinator performs the exact load an unsharded Database would:
+  // Bernoulli variables are created in global row order, so VarIds match
+  // the unsharded engine's.
+  VarId var_base = static_cast<VarId>(variables().size());
+  coordinator_.AddTupleIndependentTable(name, std::move(schema),
+                                        std::move(rows),
+                                        std::move(probabilities));
+
+  const PvcTable& logical = coordinator_.table(name);
+  std::vector<size_t> assignment =
+      AssignShards(logical, key_index, [&](const Cell& key) {
+        size_t s = router_->Route(key, shards_.size());
+        PVC_CHECK_MSG(s < shards_.size(),
+                      "router '" << router_->name() << "' returned shard "
+                                 << s << " for " << shards_.size()
+                                 << " shards");
+        return s;
+      });
+
+  std::vector<PvcTable> partitions;
+  partitions.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    partitions.emplace_back(logical.schema());
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> placement;
+  placement.reserve(logical.NumRows());
+  for (size_t i = 0; i < logical.NumRows(); ++i) {
+    size_t s = assignment[i];
+    placement.emplace_back(static_cast<uint32_t>(s),
+                           static_cast<uint32_t>(partitions[s].NumRows()));
+    // The shard re-interns the row's variable in its own pool; the VarId --
+    // and hence every probability downstream -- is the global one.
+    partitions[s].AddRow(logical.row(i).cells,
+                         shards_[s]->pool().Var(var_base +
+                                                static_cast<VarId>(i)));
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->AddTable(name, std::move(partitions[s]));
+  }
+  placements_[name] = std::move(placement);
+  augmented_cache_.erase(name);
+}
+
+bool ShardedDatabase::HasTable(const std::string& name) const {
+  return coordinator_.HasTable(name);
+}
+
+std::vector<std::string> ShardedDatabase::TableNames() const {
+  return coordinator_.TableNames();
+}
+
+size_t ShardedDatabase::NumRows(const std::string& name) const {
+  return coordinator_.table(name).NumRows();
+}
+
+std::vector<size_t> ShardedDatabase::ShardRowCounts(
+    const std::string& name) const {
+  std::vector<size_t> counts(shards_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    counts[s] = shards_[s]->table(name).NumRows();
+  }
+  return counts;
+}
+
+const std::vector<std::pair<uint32_t, uint32_t>>&
+ShardedDatabase::PlacementOf(const std::string& name) const {
+  auto it = placements_.find(name);
+  PVC_CHECK_MSG(it != placements_.end(),
+                "no sharded table named '" << name << "'");
+  return it->second;
+}
+
+void ShardedDatabase::SyncShardOptions() {
+  for (auto& shard : shards_) {
+    shard->eval_options() = coordinator_.eval_options();
+    shard->compile_options() = coordinator_.compile_options();
+  }
+}
+
+ShardedResult ShardedDatabase::CoordinatorResult(PvcTable table) const {
+  ShardedResult result;
+  result.schema_ = table.schema();
+  result.order_.reserve(table.NumRows());
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    result.order_.emplace_back(0, static_cast<uint32_t>(i));
+  }
+  result.parts_.push_back(std::move(table));
+  result.distributed_ = false;
+  return result;
+}
+
+ShardedResult ShardedDatabase::Run(const Query& q) {
+  SyncShardOptions();
+  std::optional<std::string> driving = ShardDrivingTable(q);
+  if (driving.has_value() && placements_.count(*driving) > 0 &&
+      !coordinator_.table(*driving).schema().Find(kRowIdColumn).has_value() &&
+      !QueryMentionsColumn(q, kRowIdColumn)) {
+    return RunDistributed(q, *driving);
+  }
+  // Gather: joins, projections, unions and aggregates merge rows across
+  // partitions; the coordinator replays the unsharded engine bit for bit.
+  return CoordinatorResult(coordinator_.Run(q));
+}
+
+ShardedResult ShardedDatabase::RunDeterministic(const Query& q) {
+  return CoordinatorResult(coordinator_.RunDeterministic(q));
+}
+
+const std::vector<PvcTable>& ShardedDatabase::AugmentedPartitionsOf(
+    const std::string& table) {
+  auto it = augmented_cache_.find(table);
+  if (it != augmented_cache_.end()) return it->second;
+  // Placement is fixed at load time, so the partitions extended with the
+  // provenance column are built once per table and reused by every
+  // distributed query (invalidated when the table is replaced).
+  const std::vector<std::pair<uint32_t, uint32_t>>& placement =
+      PlacementOf(table);
+  std::vector<std::vector<int64_t>> global_ids(shards_.size());
+  for (size_t i = 0; i < placement.size(); ++i) {
+    global_ids[placement[i].first].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<PvcTable> augmented;
+  augmented.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const PvcTable& partition = shards_[s]->table(table);
+    std::vector<Column> columns = partition.schema().columns();
+    columns.push_back({kRowIdColumn, CellType::kInt});
+    PvcTable part{Schema(std::move(columns))};
+    for (size_t j = 0; j < partition.NumRows(); ++j) {
+      std::vector<Cell> cells = partition.row(j).cells;
+      cells.emplace_back(global_ids[s][j]);
+      part.AddRow(std::move(cells), partition.row(j).annotation);
+    }
+    augmented.push_back(std::move(part));
+  }
+  return augmented_cache_.emplace(table, std::move(augmented)).first->second;
+}
+
+ShardedResult ShardedDatabase::RunDistributed(const Query& q,
+                                              const std::string& table) {
+  // Scatter: each shard evaluates the chain against its partition extended
+  // with the hidden provenance column, interning only into its own pool.
+  const std::vector<PvcTable>& augmented = AugmentedPartitionsOf(table);
+  std::vector<PvcTable> results(shards_.size());
+  const EvalOptions& options = coordinator_.eval_options();
+  ParallelFor(options.num_threads, shards_.size(), [&](size_t s) {
+    QueryEvaluator evaluator(
+        &shards_[s]->pool(),
+        [&](const std::string& name) -> const PvcTable& {
+          if (name == table) return augmented[s];
+          return shards_[s]->table(name);
+        },
+        EvalMode::kProbabilistic, options);
+    results[s] = evaluator.Eval(q);
+  });
+
+  // Gather: strip the provenance column and merge on driving-row order,
+  // which is exactly the row order of the unsharded evaluation (Select and
+  // Rename emit surviving rows in input order).
+  size_t rowid_index = results[0].schema().IndexOf(kRowIdColumn);
+  std::vector<Column> out_columns = results[0].schema().columns();
+  out_columns.erase(out_columns.begin() + rowid_index);
+  Schema out_schema{std::move(out_columns)};
+
+  ShardedResult result;
+  result.schema_ = out_schema;
+  result.distributed_ = true;
+  result.parts_.reserve(shards_.size());
+  struct Survivor {
+    int64_t global_row;
+    uint32_t part;
+    uint32_t row;
+  };
+  std::vector<Survivor> survivors;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    PvcTable stripped{out_schema};
+    for (size_t j = 0; j < results[s].NumRows(); ++j) {
+      const Row& r = results[s].row(j);
+      survivors.push_back({r.cells[rowid_index].AsInt(),
+                           static_cast<uint32_t>(s),
+                           static_cast<uint32_t>(j)});
+      std::vector<Cell> cells = r.cells;
+      cells.erase(cells.begin() + rowid_index);
+      stripped.AddRow(std::move(cells), r.annotation);
+    }
+    result.parts_.push_back(std::move(stripped));
+  }
+  std::sort(survivors.begin(), survivors.end(),
+            [](const Survivor& a, const Survivor& b) {
+              return a.global_row < b.global_row;
+            });
+  result.order_.reserve(survivors.size());
+  for (const Survivor& s : survivors) {
+    result.order_.emplace_back(s.part, s.row);
+  }
+  return result;
+}
+
+std::vector<ShardedDatabase::PartRef> ShardedDatabase::PartsOf(
+    const ShardedResult& result) const {
+  std::vector<PartRef> parts;
+  parts.reserve(result.parts_.size());
+  for (size_t p = 0; p < result.parts_.size(); ++p) {
+    const ExprPool& pool = result.distributed_ ? shards_[p]->pool()
+                                               : coordinator_.pool();
+    parts.push_back({&result.parts_[p], &pool});
+  }
+  return parts;
+}
+
+std::vector<ShardedDatabase::PartRef> ShardedDatabase::PartsOfTable(
+    const std::string& name) const {
+  std::vector<PartRef> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    parts.push_back({&shard->table(name), &shard->pool()});
+  }
+  return parts;
+}
+
+std::vector<Distribution> ShardedDatabase::DistributionsImpl(
+    const std::vector<PartRef>& parts,
+    const std::vector<std::pair<uint32_t, uint32_t>>& order) {
+  // Database's per-row pipeline, with the clone source being the pool of
+  // the part that owns the row. The gather is positional (out[i]), i.e.
+  // global row order.
+  std::vector<Distribution> out(order.size());
+  const VariableTable& vars = variables();
+  CompileOptions compile_options = coordinator_.compile_options();
+  ParallelFor(coordinator_.eval_options().num_threads, order.size(),
+              [&](size_t i) {
+                const auto& [part, row] = order[i];
+                const PartRef& ref = parts[part];
+                out[i] = IsolatedAnnotationDistribution(
+                    *ref.pool, vars, ref.table->row(row).annotation,
+                    compile_options);
+              });
+  return out;
+}
+
+std::vector<ProbabilityBounds> ShardedDatabase::ApproximateImpl(
+    const std::vector<PartRef>& parts,
+    const std::vector<std::pair<uint32_t, uint32_t>>& order,
+    ApproximateOptions options) {
+  std::vector<ProbabilityBounds> out(order.size());
+  const VariableTable* vars = &variables();
+  ParallelFor(coordinator_.eval_options().num_threads, order.size(),
+              [&](size_t i) {
+                const auto& [part, row] = order[i];
+                const PartRef& ref = parts[part];
+                ExprPool local(ref.pool->semiring().kind());
+                ExprId e = ref.pool->CloneInto(&local,
+                                               ref.table->row(row).annotation);
+                out[i] = ApproximateProbability(&local, *vars, e, options);
+              });
+  return out;
+}
+
+std::vector<double> ShardedDatabase::TupleProbabilities(
+    const ShardedResult& result) {
+  SyncShardOptions();
+  std::vector<Distribution> distributions =
+      DistributionsImpl(PartsOf(result), result.order_);
+  std::vector<double> out;
+  out.reserve(distributions.size());
+  for (const Distribution& d : distributions) {
+    out.push_back(NonZeroMass(d));
+  }
+  return out;
+}
+
+std::vector<Distribution> ShardedDatabase::AnnotationDistributions(
+    const ShardedResult& result) {
+  SyncShardOptions();
+  return DistributionsImpl(PartsOf(result), result.order_);
+}
+
+std::vector<ProbabilityBounds> ShardedDatabase::ApproximateTupleProbabilities(
+    const ShardedResult& result, ApproximateOptions options) {
+  SyncShardOptions();
+  return ApproximateImpl(PartsOf(result), result.order_, options);
+}
+
+std::vector<double> ShardedDatabase::TupleProbabilities(
+    const std::string& name) {
+  SyncShardOptions();
+  std::vector<Distribution> distributions =
+      DistributionsImpl(PartsOfTable(name), PlacementOf(name));
+  std::vector<double> out;
+  out.reserve(distributions.size());
+  for (const Distribution& d : distributions) {
+    out.push_back(NonZeroMass(d));
+  }
+  return out;
+}
+
+std::vector<Distribution> ShardedDatabase::AnnotationDistributions(
+    const std::string& name) {
+  SyncShardOptions();
+  return DistributionsImpl(PartsOfTable(name), PlacementOf(name));
+}
+
+std::vector<ProbabilityBounds> ShardedDatabase::ApproximateTupleProbabilities(
+    const std::string& name, ApproximateOptions options) {
+  SyncShardOptions();
+  return ApproximateImpl(PartsOfTable(name), PlacementOf(name), options);
+}
+
+Distribution ShardedDatabase::ConditionalAggregateDistribution(
+    const ShardedResult& result, size_t row_index, const std::string& column) {
+  PVC_CHECK_MSG(!result.distributed_,
+                "aggregation columns only occur on coordinator-evaluated "
+                "results (aggregates always gather)");
+  PVC_CHECK_MSG(row_index < result.NumRows(),
+                "result row " << row_index << " out of range");
+  return coordinator_.ConditionalAggregateDistribution(
+      result.parts_[0], result.order_[row_index].second, column);
+}
+
+std::string ShardedDatabase::ResultToString(
+    const ShardedResult& result) const {
+  if (!result.distributed_) {
+    // Coordinator results render exactly like the unsharded engine's.
+    return result.parts_[0].ToString(&coordinator_.pool());
+  }
+  // Distributed results gather into a scratch pool for rendering only
+  // (annotations of the distributable fragment are single variables, so
+  // the rendering matches the unsharded one as well).
+  ExprPool scratch(coordinator_.pool().semiring().kind());
+  PvcTable gathered{result.schema_};
+  for (const auto& [part, row] : result.order_) {
+    const Row& r = result.parts_[part].row(row);
+    gathered.AddRow(r.cells,
+                    shards_[part]->pool().CloneInto(&scratch, r.annotation));
+  }
+  return gathered.ToString(&scratch);
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,255 @@
+// Sharded databases: tables hash-partitioned by key across N inner
+// Database shards, with scatter-gather evaluation (engineering extension;
+// the paper's tuple-independent model makes per-tuple step II work
+// embarrassingly parallel across partitions, and partitioning decides
+// *where* each tuple's work runs).
+//
+// Topology and contracts:
+//
+//  - One shared VariableTable (Database's shared-variables load hook):
+//    random-variable ids are globally scoped, so annotations that mention
+//    variables owned by different shards -- join results, cross-shard
+//    aggregates -- keep their correlations intact.
+//  - Tables are hash-partitioned on a key column through a pluggable
+//    ShardRouter (default: FNV-1a on the primary key, the table's first
+//    column). Partitions preserve global row order within each shard.
+//  - A coordinator Database holds the gathered logical tables and replays
+//    exactly the load/interning sequence of an unsharded engine. This is a
+//    deliberate trade-off: keeping a full coordinator copy (2x memory;
+//    up to 3x for tables serving distributed plans, whose
+//    provenance-extended partitions are cached) is what makes cross-shard
+//    operators bit-identical to the unsharded engine. Out-of-process shards and a copy-free coordinator require
+//    relaxing bitwise identity to epsilon agreement for cross-shard
+//    merges -- the ROADMAP names that as the follow-up.
+//
+// Every public result is *bit-identical* to the single-database engine at
+// any shard count and any thread count:
+//
+//  - Step I scatter: Select/Rename chains over one sharded table (the
+//    fragment of ShardDrivingTable) evaluate per shard against that
+//    shard's partition -- annotations pass through these operators
+//    untouched, so shard-local evaluation plus a deterministic merge on
+//    driving-row order reproduces the unsharded result exactly. All other
+//    queries (joins, projections, unions, aggregates merge rows across
+//    partitions) gather to the coordinator, whose pool state matches the
+//    unsharded engine's bit for bit.
+//  - Step II scatter: the batch probability passes fan result rows across
+//    PR 2's ThreadPool; each row clones its annotation from the pool of
+//    the engine that produced it into a task-private ExprPool and runs the
+//    identical compile + probability pipeline, and the gather writes
+//    results in global row order (shard-index order within each table).
+
+#ifndef PVCDB_ENGINE_SHARD_H_
+#define PVCDB_ENGINE_SHARD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace pvcdb {
+
+/// Routing policy: which shard owns a row, given its key cell. Routes must
+/// be pure functions of (key, num_shards) -- placement is recomputed on
+/// reload and must agree across processes.
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  /// Shard index in [0, num_shards) for a row with key cell `key`.
+  virtual size_t Route(const Cell& key, size_t num_shards) const = 0;
+
+  /// Human-readable policy name (diagnostics / shell output).
+  virtual std::string name() const = 0;
+};
+
+/// Default router: platform-independent FNV-1a over the key cell's
+/// canonical bytes (Cell::StableHash), modulo the shard count.
+class FnvShardRouter : public ShardRouter {
+ public:
+  size_t Route(const Cell& key, size_t num_shards) const override;
+  std::string name() const override { return "fnv1a"; }
+};
+
+/// Integer-key router: key % num_shards. Placement is obvious from the
+/// data, which makes tests and skew experiments easy to set up.
+class ModuloShardRouter : public ShardRouter {
+ public:
+  size_t Route(const Cell& key, size_t num_shards) const override;
+  std::string name() const override { return "modulo"; }
+};
+
+/// A query result over a sharded database: row partitions that live in the
+/// pools of the engines that produced them (the N shards for distributed
+/// plans, the coordinator otherwise), plus the global row order. Pass it
+/// back to the ShardedDatabase batch methods for probabilities; the cells
+/// are readable directly.
+class ShardedResult {
+ public:
+  const Schema& schema() const { return schema_; }
+  size_t NumRows() const { return order_.size(); }
+
+  /// Data cells of global row `i`.
+  const std::vector<Cell>& cells(size_t i) const;
+
+  /// True when the rows live on the shards (distributed step I plan);
+  /// false when they live on the coordinator.
+  bool distributed() const { return distributed_; }
+
+ private:
+  friend class ShardedDatabase;
+
+  Schema schema_;
+  std::vector<PvcTable> parts_;  ///< Per shard, or a single coordinator part.
+  bool distributed_ = false;
+  /// Global row order: (part index, row index within the part).
+  std::vector<std::pair<uint32_t, uint32_t>> order_;
+};
+
+/// A database hash-partitioned across `num_shards` inner Databases over one
+/// shared probability space. See the file comment for the semantics; the
+/// API mirrors the Database facade.
+class ShardedDatabase {
+ public:
+  /// `router` defaults to FnvShardRouter.
+  explicit ShardedDatabase(size_t num_shards,
+                           SemiringKind semiring = SemiringKind::kBool,
+                           std::unique_ptr<ShardRouter> router = nullptr);
+
+  ShardedDatabase(const ShardedDatabase&) = delete;
+  ShardedDatabase& operator=(const ShardedDatabase&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  const ShardRouter& router() const { return *router_; }
+
+  /// The shared variable registry (one probability space for all shards).
+  VariableTable& variables() { return coordinator_.variables(); }
+  const VariableTable& variables() const { return coordinator_.variables(); }
+
+  /// Engine-wide knobs, mirrored to every shard before each scatter.
+  EvalOptions& eval_options() { return coordinator_.eval_options(); }
+  const EvalOptions& eval_options() const {
+    return coordinator_.eval_options();
+  }
+  CompileOptions& compile_options() { return coordinator_.compile_options(); }
+
+  /// The coordinator: gathered logical tables, bit-identical to an
+  /// unsharded Database loaded with the same sequence.
+  Database& coordinator() { return coordinator_; }
+  const Database& coordinator() const { return coordinator_; }
+
+  /// Shard `s`'s engine (partition tables + shard-local pool).
+  const Database& shard(size_t s) const;
+
+  // -- Catalog ------------------------------------------------------------
+
+  /// Registers a tuple-independent table: one fresh Bernoulli variable per
+  /// row, created in global row order (ids identical to an unsharded
+  /// load), rows routed to shards by the cell in `key_column` (default:
+  /// the first column, the conventional primary key).
+  void AddTupleIndependentTable(const std::string& name, Schema schema,
+                                std::vector<std::vector<Cell>> rows,
+                                std::vector<double> probabilities,
+                                const std::string& key_column = "");
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t NumRows(const std::string& name) const;
+
+  /// Rows per shard for `name` (skew diagnostics; sums to NumRows).
+  std::vector<size_t> ShardRowCounts(const std::string& name) const;
+
+  // -- Step I: computing result tuples ------------------------------------
+
+  /// Evaluates `q`: per shard for the distributable fragment
+  /// (ShardDrivingTable over a sharded table), on the coordinator
+  /// otherwise. Identical rows in identical order either way.
+  ShardedResult Run(const Query& q);
+
+  /// The Q0 deterministic baseline (always coordinator-evaluated:
+  /// annotations fold to constants, there is nothing to distribute).
+  ShardedResult RunDeterministic(const Query& q);
+
+  // -- Step II: scatter-gather probability passes --------------------------
+
+  /// P[Phi != 0_S] per row of `result`, in global row order.
+  std::vector<double> TupleProbabilities(const ShardedResult& result);
+
+  /// Annotation distribution per row of `result`, in global row order.
+  std::vector<Distribution> AnnotationDistributions(
+      const ShardedResult& result);
+
+  /// Interval bounds per row of `result` (Boolean semiring only).
+  std::vector<ProbabilityBounds> ApproximateTupleProbabilities(
+      const ShardedResult& result,
+      ApproximateOptions options = ApproximateOptions());
+
+  /// Base-table overloads: the same passes over the partitions of the
+  /// sharded table `name`, each shard's rows computed from its own pool.
+  std::vector<double> TupleProbabilities(const std::string& name);
+  std::vector<Distribution> AnnotationDistributions(const std::string& name);
+  std::vector<ProbabilityBounds> ApproximateTupleProbabilities(
+      const std::string& name,
+      ApproximateOptions options = ApproximateOptions());
+
+  /// P[alpha = v | Phi != 0_S] for an aggregation column of a
+  /// coordinator-evaluated result (aggregates always gather, so
+  /// distributed results have no aggregation columns).
+  Distribution ConditionalAggregateDistribution(const ShardedResult& result,
+                                                size_t row_index,
+                                                const std::string& column);
+
+  /// Tabular rendering of a result in global row order (annotations are
+  /// rendered through a scratch pool; probabilities are unaffected).
+  std::string ResultToString(const ShardedResult& result) const;
+
+ private:
+  /// One row partition and the pool its annotations live in.
+  struct PartRef {
+    const PvcTable* table;
+    const ExprPool* pool;
+  };
+
+  std::vector<PartRef> PartsOf(const ShardedResult& result) const;
+  std::vector<PartRef> PartsOfTable(const std::string& name) const;
+  const std::vector<std::pair<uint32_t, uint32_t>>& PlacementOf(
+      const std::string& name) const;
+
+  ShardedResult CoordinatorResult(PvcTable table) const;
+  ShardedResult RunDistributed(const Query& q, const std::string& table);
+
+  /// The table's partitions extended with the hidden provenance column,
+  /// built on first use and cached until the table is replaced.
+  const std::vector<PvcTable>& AugmentedPartitionsOf(
+      const std::string& table);
+
+  /// Copies the engine-wide knobs onto every shard (serial; called before
+  /// each scatter so option mutations through eval_options() take effect
+  /// everywhere).
+  void SyncShardOptions();
+
+  std::vector<Distribution> DistributionsImpl(
+      const std::vector<PartRef>& parts,
+      const std::vector<std::pair<uint32_t, uint32_t>>& order);
+  std::vector<ProbabilityBounds> ApproximateImpl(
+      const std::vector<PartRef>& parts,
+      const std::vector<std::pair<uint32_t, uint32_t>>& order,
+      ApproximateOptions options);
+
+  std::unique_ptr<ShardRouter> router_;
+  Database coordinator_;
+  std::vector<std::unique_ptr<Database>> shards_;
+  /// Per table: global row -> (shard, row within the shard's partition).
+  std::map<std::string, std::vector<std::pair<uint32_t, uint32_t>>>
+      placements_;
+  /// Per table: partitions + provenance column for distributed plans.
+  std::map<std::string, std::vector<PvcTable>> augmented_cache_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_SHARD_H_

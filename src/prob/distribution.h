@@ -10,6 +10,7 @@
 #ifndef PVCDB_PROB_DISTRIBUTION_H_
 #define PVCDB_PROB_DISTRIBUTION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -94,6 +95,14 @@ class Distribution {
 
   std::vector<Entry> entries_;
 };
+
+/// P[x != 0] for x ~ d, clamped against negative floating-point dust --
+/// the tuple-presence probability derived from an annotation distribution.
+/// Both engine facades (Database, ShardedDatabase) must use this exact
+/// expression so their results stay bit-identical.
+inline double NonZeroMass(const Distribution& d) {
+  return std::max(0.0, d.TotalMass() - d.ProbOf(0));
+}
 
 }  // namespace pvcdb
 

@@ -447,6 +447,46 @@ PvcTable QueryEvaluator::EvalUnion(const Query& q) {
   return out;
 }
 
+std::optional<std::string> ShardDrivingTable(const Query& q) {
+  const Query* cur = &q;
+  while (true) {
+    switch (cur->op()) {
+      case QueryOp::kScan:
+        return cur->table_name();
+      case QueryOp::kSelect:
+        // The hash-join fast path only triggers on Select-over-Product,
+        // which is not part of this fragment.
+        cur = cur->child(0).get();
+        break;
+      case QueryOp::kRename:
+        cur = cur->child(0).get();
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+}
+
+bool QueryMentionsColumn(const Query& q, const std::string& column) {
+  if (q.op() == QueryOp::kSelect) {
+    for (const Atom& atom : q.predicate().atoms()) {
+      for (const Operand* o : {&atom.lhs, &atom.rhs}) {
+        if (o->kind() == Operand::Kind::kColumn && o->column() == column) {
+          return true;
+        }
+      }
+    }
+  }
+  if (q.op() == QueryOp::kRename &&
+      (q.rename_from() == column || q.rename_to() == column)) {
+    return true;
+  }
+  for (const QueryPtr& child : q.children()) {
+    if (QueryMentionsColumn(*child, column)) return true;
+  }
+  return false;
+}
+
 PvcTable QueryEvaluator::EvalGroupAgg(const Query& q) {
   PvcTable input = Eval(*q.child(0));
   const Schema& in_schema = input.schema();

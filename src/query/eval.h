@@ -19,6 +19,7 @@
 #define PVCDB_QUERY_EVAL_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 
 #include "src/expr/expr.h"
@@ -81,6 +82,23 @@ class QueryEvaluator {
   EvalMode mode_;
   EvalOptions options_;
 };
+
+// -- Shard-distributable fragment (scatter entry point, src/engine/shard.h)
+
+/// The base table driving `q` when `q` is a Select/Rename chain over a
+/// single Scan -- the fragment a sharded catalog evaluates per shard
+/// against that table's partitions: both operators map each input row to
+/// at most one output row, preserve order, and leave annotations of data
+/// predicates untouched, so per-partition evaluation followed by a merge
+/// on driving-row order reproduces the unsharded result bit for bit.
+/// Returns nullopt for every other shape (joins, projections, unions and
+/// aggregates merge rows across partitions and must gather first).
+std::optional<std::string> ShardDrivingTable(const Query& q);
+
+/// True when any selection predicate or rename endpoint in `q` mentions
+/// `column` -- used to keep reserved provenance columns out of
+/// distributed plans.
+bool QueryMentionsColumn(const Query& q, const std::string& column);
 
 }  // namespace pvcdb
 

@@ -1,10 +1,27 @@
 #include "src/table/cell.h"
 
+#include <cstring>
+
 #include "src/expr/print.h"
 #include "src/util/check.h"
 #include "src/util/hash.h"
 
 namespace pvcdb {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvByte(uint64_t h, uint8_t byte) { return (h ^ byte) * kFnvPrime; }
+
+// Feeds `v` little-endian, byte by byte, independent of host endianness.
+uint64_t FnvUint64(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) h = FnvByte(h, static_cast<uint8_t>(v >> (8 * i)));
+  return h;
+}
+
+}  // namespace
 
 Cell Cell::Agg(ExprId e) {
   Cell c;
@@ -63,6 +80,33 @@ size_t Cell::Hash() const {
                          std::hash<std::string>()(std::get<std::string>(value_)));
     case CellType::kAggExpr:
       return HashCombine(seed, std::get<AggRef>(value_).expr);
+  }
+  PVC_FAIL("corrupt cell variant");
+}
+
+uint64_t Cell::StableHash() const {
+  uint64_t h = FnvByte(kFnvOffset, static_cast<uint8_t>(type()));
+  switch (type()) {
+    case CellType::kNull:
+      return h;
+    case CellType::kInt:
+      return FnvUint64(h, static_cast<uint64_t>(std::get<int64_t>(value_)));
+    case CellType::kDouble: {
+      uint64_t bits = 0;
+      double v = std::get<double>(value_);
+      std::memcpy(&bits, &v, sizeof(bits));
+      return FnvUint64(h, bits);
+    }
+    case CellType::kString: {
+      for (char c : std::get<std::string>(value_)) {
+        h = FnvByte(h, static_cast<uint8_t>(c));
+      }
+      return h;
+    }
+    case CellType::kAggExpr:
+      // Aggregation cells reference a pool-local id; there is no canonical
+      // byte representation, and shard keys are data columns anyway.
+      PVC_FAIL("aggregation expressions have no stable hash");
   }
   PVC_FAIL("corrupt cell variant");
 }

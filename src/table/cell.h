@@ -53,6 +53,13 @@ class Cell {
   /// Hash for grouping hash tables.
   size_t Hash() const;
 
+  /// Platform-independent FNV-1a hash of the cell's canonical byte
+  /// representation (type tag + little-endian value bytes). Unlike Hash(),
+  /// which delegates to std::hash, this value is stable across processes
+  /// and platforms -- shard routing (src/engine/shard.h) depends on that,
+  /// so partitions computed on different machines agree.
+  uint64_t StableHash() const;
+
   /// Rendering; aggregation cells print their expression when `pool` is
   /// provided, otherwise a placeholder.
   std::string ToString(const ExprPool* pool = nullptr) const;

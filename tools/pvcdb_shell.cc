@@ -8,6 +8,12 @@
 //   tractable <sql...>        classify a query (Q_ind / Q_hie / neither)
 //   SELECT ...                run a Q query; prints tuples, P[tuple], and
 //                             conditional aggregate distributions
+//   threads [n]               show or set the thread count
+//   shards [n]                show or set the shard count: n >= 1 rebuilds
+//                             the session as a ShardedDatabase with n
+//                             hash-partitioned shards (re-importing every
+//                             loaded CSV), 0 returns to a single database.
+//                             Results are bit-identical either way.
 //   help                      this text
 //   quit                      exit
 //
@@ -20,21 +26,38 @@
 
 #include <unistd.h>
 
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/engine/csv.h"
-#include "src/util/check.h"
 #include "src/engine/database.h"
+#include "src/engine/shard.h"
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
+#include "src/util/check.h"
 #include "src/util/parallel.h"
 
 namespace {
 
 using namespace pvcdb;
+
+// The session: a single Database, or a ShardedDatabase when `shards n` is
+// active. Loaded CSVs are remembered so resharding can replay them.
+struct Session {
+  std::unique_ptr<Database> db = std::make_unique<Database>();
+  std::unique_ptr<ShardedDatabase> sharded;
+  std::vector<std::pair<std::string, std::string>> loads;  // table, path.
+  int num_threads = 0;
+
+  const Database& catalog() const {
+    return sharded != nullptr ? sharded->coordinator() : *db;
+  }
+};
 
 void PrintHelp() {
   std::cout << "commands:\n"
@@ -45,38 +68,64 @@ void PrintHelp() {
             << "  SELECT ...               run a query\n"
             << "  threads [n]              show or set the thread count\n"
             << "                           (0 = serial, -1 = all cores)\n"
+            << "  shards [n]               show or set the shard count\n"
+            << "                           (0 = single database)\n"
             << "  help | quit\n";
 }
 
-void RunSql(Database* db, const std::string& sql) {
+// Prints the per-row probability lines shared by both engine modes.
+void PrintRowProbabilities(
+    const Schema& schema, const std::vector<double>& probabilities,
+    const std::function<Distribution(size_t, const std::string&)>&
+        conditional_agg) {
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    std::cout << "P[row " << i << "] = " << probabilities[i];
+    for (size_t c = 0; c < schema.NumColumns(); ++c) {
+      if (schema.column(c).type == CellType::kAggExpr) {
+        const std::string& name = schema.column(c).name;
+        std::cout << "  " << name << " | present ~ "
+                  << conditional_agg(i, name).ToString();
+      }
+    }
+    std::cout << "\n";
+  }
+}
+
+void RunSql(Session* session, const std::string& sql) {
   ParseResult parsed = ParseQuery(sql);
   if (!parsed.ok()) {
     std::cout << parsed.error << "\n";
     return;
   }
   try {
-    PvcTable result = db->Run(*parsed.query);
-    std::cout << result.ToString(&db->pool());
-    // Batch step II: fans across db->eval_options().num_threads threads.
-    std::vector<double> probabilities = db->TupleProbabilities(result);
-    for (size_t i = 0; i < result.NumRows(); ++i) {
-      std::cout << "P[row " << i << "] = " << probabilities[i];
-      for (size_t c = 0; c < result.schema().NumColumns(); ++c) {
-        if (result.schema().column(c).type == CellType::kAggExpr) {
-          const std::string& name = result.schema().column(c).name;
-          std::cout << "  " << name << " | present ~ "
-                    << db->ConditionalAggregateDistribution(result, i, name)
-                           .ToString();
-        }
-      }
-      std::cout << "\n";
+    if (session->sharded != nullptr) {
+      ShardedDatabase& db = *session->sharded;
+      ShardedResult result = db.Run(*parsed.query);
+      std::cout << db.ResultToString(result);
+      std::vector<double> probabilities = db.TupleProbabilities(result);
+      PrintRowProbabilities(
+          result.schema(), probabilities,
+          [&](size_t i, const std::string& name) {
+            return db.ConditionalAggregateDistribution(result, i, name);
+          });
+    } else {
+      Database& db = *session->db;
+      PvcTable result = db.Run(*parsed.query);
+      std::cout << result.ToString(&db.pool());
+      // Batch step II: fans across db.eval_options().num_threads threads.
+      std::vector<double> probabilities = db.TupleProbabilities(result);
+      PrintRowProbabilities(
+          result.schema(), probabilities,
+          [&](size_t i, const std::string& name) {
+            return db.ConditionalAggregateDistribution(result, i, name);
+          });
     }
   } catch (const CheckError& e) {
     std::cout << "error: " << e.what() << "\n";
   }
 }
 
-void Classify(Database* db, const std::string& sql) {
+void Classify(const Database& db, const std::string& sql) {
   ParseResult parsed = ParseQuery(sql);
   if (!parsed.ok()) {
     std::cout << parsed.error << "\n";
@@ -84,14 +133,14 @@ void Classify(Database* db, const std::string& sql) {
   }
   TractabilityResult r = AnalyzeTractability(
       *parsed.query,
-      [db](const std::string& name) {
-        return db->HasTable(name) &&
-               IsTupleIndependent(db->table(name), db->pool());
+      [&db](const std::string& name) {
+        return db.HasTable(name) &&
+               IsTupleIndependent(db.table(name), db.pool());
       },
-      [db](const std::string& name) {
+      [&db](const std::string& name) {
         std::vector<std::string> cols;
-        if (db->HasTable(name)) {
-          for (const Column& c : db->table(name).schema().columns()) {
+        if (db.HasTable(name)) {
+          for (const Column& c : db.table(name).schema().columns()) {
             cols.push_back(c.name);
           }
         }
@@ -103,10 +152,62 @@ void Classify(Database* db, const std::string& sql) {
             << r.explanation << ")\n";
 }
 
+bool LoadInto(Session* session, const std::string& table,
+              const std::string& path) {
+  CsvResult r = session->sharded != nullptr
+                    ? LoadCsvTableFromFile(session->sharded.get(), table, path)
+                    : LoadCsvTableFromFile(session->db.get(), table, path);
+  if (r.ok) {
+    std::cout << "loaded " << r.rows << " rows into " << table << "\n";
+  } else {
+    std::cout << "error: " << r.error << "\n";
+  }
+  return r.ok;
+}
+
+void ApplyThreads(Session* session) {
+  if (session->sharded != nullptr) {
+    session->sharded->eval_options().num_threads = session->num_threads;
+  } else {
+    session->db->eval_options().num_threads = session->num_threads;
+  }
+}
+
+void Reshard(Session* session, int n) {
+  // The new engine is built and loaded before the old one is torn down,
+  // and the load history survives failed re-imports, so a missing CSV
+  // only skips that table for this topology instead of dropping it from
+  // the session for good.
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ShardedDatabase> sharded;
+  if (n >= 1) {
+    sharded = std::make_unique<ShardedDatabase>(static_cast<size_t>(n));
+  } else {
+    db = std::make_unique<Database>();
+  }
+  size_t reloaded = 0;
+  for (const auto& [table, path] : session->loads) {
+    CsvResult r = sharded != nullptr
+                      ? LoadCsvTableFromFile(sharded.get(), table, path)
+                      : LoadCsvTableFromFile(db.get(), table, path);
+    if (r.ok) {
+      std::cout << "loaded " << r.rows << " rows into " << table << "\n";
+      ++reloaded;
+    } else {
+      std::cout << "error: " << r.error << "\n";
+    }
+  }
+  session->db = std::move(db);
+  session->sharded = std::move(sharded);
+  ApplyThreads(session);
+  std::cout << "shards = " << n << " (" << reloaded
+            << " tables re-imported)\n";
+}
+
 }  // namespace
 
 int main() {
-  Database db;
+  Session session;
   const bool interactive = isatty(fileno(stdin)) != 0;
   if (interactive) {
     std::cout << "pvcdb shell -- 'help' for commands\n";
@@ -130,38 +231,64 @@ int main() {
         std::cout << "usage: load <table> <file.csv>\n";
         continue;
       }
-      CsvResult r = LoadCsvTableFromFile(&db, table, path);
-      if (r.ok) {
-        std::cout << "loaded " << r.rows << " rows into " << table << "\n";
-      } else {
-        std::cout << "error: " << r.error << "\n";
+      if (LoadInto(&session, table, path)) {
+        session.loads.emplace_back(table, path);
       }
     } else if (command == "tables") {
-      for (const std::string& name : db.TableNames()) {
-        std::cout << name << " (" << db.table(name).NumRows() << " rows)\n";
+      const Database& catalog = session.catalog();
+      for (const std::string& name : catalog.TableNames()) {
+        std::cout << name << " (" << catalog.table(name).NumRows() << " rows";
+        if (session.sharded != nullptr) {
+          std::cout << "; per shard:";
+          for (size_t count : session.sharded->ShardRowCounts(name)) {
+            std::cout << " " << count;
+          }
+        }
+        std::cout << ")\n";
       }
     } else if (command == "show") {
       std::string table;
       stream >> table;
-      if (!db.HasTable(table)) {
+      const Database& catalog = session.catalog();
+      if (!catalog.HasTable(table)) {
         std::cout << "no table '" << table << "'\n";
         continue;
       }
-      std::cout << db.table(table).ToString(&db.pool());
+      std::cout << catalog.table(table).ToString(&catalog.pool());
     } else if (command == "tractable") {
       std::string rest;
       std::getline(stream, rest);
-      Classify(&db, rest);
+      Classify(session.catalog(), rest);
     } else if (command == "threads") {
       int n = 0;
       if (stream >> n) {
-        db.eval_options().num_threads = n;
+        session.num_threads = n;
+        ApplyThreads(&session);
       }
-      std::cout << "num_threads = " << db.eval_options().num_threads
+      std::cout << "num_threads = " << session.num_threads
                 << " (0 = serial; " << DefaultThreadCount()
                 << " hardware threads)\n";
+    } else if (command == "shards") {
+      int n = 0;
+      if (stream >> n) {
+        if (n < 0) {
+          std::cout << "usage: shards <n >= 0>\n";
+          continue;
+        }
+        Reshard(&session, n);
+      } else {
+        std::cout << "shards = "
+                  << (session.sharded != nullptr
+                          ? static_cast<int>(session.sharded->num_shards())
+                          : 0)
+                  << " (0 = single database; router "
+                  << (session.sharded != nullptr
+                          ? session.sharded->router().name()
+                          : "fnv1a")
+                  << ")\n";
+      }
     } else if (command == "SELECT" || command == "select") {
-      RunSql(&db, line);
+      RunSql(&session, line);
     } else {
       std::cout << "unknown command '" << command << "' -- try 'help'\n";
     }
