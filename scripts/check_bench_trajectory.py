@@ -1,27 +1,35 @@
 #!/usr/bin/env python3
-"""Gate the sharded scatter-gather benchmark against a committed baseline.
+"""Gate benchmark trajectories against committed baselines.
 
-Reads two JSON-lines files produced by `bench_shard --json` (see
-bench/bench_shard.cc) and compares the *normalized* 4-way sharded
-throughput
+Two metrics over JSON-lines bench output:
+
+--metric throughput (default; `bench_shard --json`): compares the
+*normalized* 4-way sharded throughput
 
     normalized = T(shards=4, threads=4) / T(shards=1, threads=1)
 
 where T is rows per second of the "shard_query" series within one run.
 Normalizing by the same run's serial single-shard point cancels the
 absolute speed of the machine, so a baseline committed from one host
-remains meaningful on CI runners. The check fails when the current
-normalized throughput drops more than --threshold (default 20%) below the
-baseline's.
+remains meaningful on CI runners.
+
+--metric speedup (`bench_ivm --json`): compares the recorded
+`speedup_incremental_vs_recompute` of the summary record selected by
+--series/--shards/--threads. The speedup is already a within-run ratio,
+so no further normalization is applied.
+
+Either way the check fails when the current value drops more than
+--threshold below the baseline's.
 
 Exit codes: 0 ok, 1 regression, 2 missing/invalid data.
 
 Usage:
     check_bench_trajectory.py CURRENT.json --baseline BASELINE.json \
+        [--metric throughput|speedup] [--series ivm_select] \
         [--threshold 0.20] [--shards 4] [--threads 4]
 
-Refreshing the baseline: download BENCH_shard.json from a bench-trajectory
-run on the target runner class and commit it as BENCH_shard.json at the
+Refreshing a baseline: download the matching BENCH_*.json from a
+bench-trajectory run on the target runner class and commit it at the
 repository root (see docs/CI.md).
 """
 
@@ -41,19 +49,29 @@ def load_records(path):
     return records
 
 
-def throughput(records, bench, shards, threads):
+def find_record(records, bench, shards, threads):
     for r in records:
         p = r.get("params", {})
         if (r.get("bench") == bench and p.get("shards") == shards
                 and p.get("threads") == threads):
             if p.get("bit_identical") not in (None, "true"):
                 print(f"FAIL: {bench} shards={shards} threads={threads} "
-                      "was not bit-identical to the serial reference")
+                      "was not bit-identical to the reference")
                 sys.exit(1)
-            return float(p["rows_per_second"])
+            return p
     print(f"ERROR: no '{bench}' record with shards={shards} "
           f"threads={threads}")
     sys.exit(2)
+
+
+def throughput(records, bench, shards, threads):
+    return float(find_record(records, bench, shards, threads)
+                 ["rows_per_second"])
+
+
+def speedup(records, bench, shards, threads):
+    return float(find_record(records, bench, shards, threads)
+                 ["speedup_incremental_vs_recompute"])
 
 
 def normalized(records, shards, threads):
@@ -78,22 +96,38 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
     parser.add_argument("--baseline", required=True)
+    parser.add_argument("--metric", choices=["throughput", "speedup"],
+                        default="throughput")
+    parser.add_argument("--series", default="shard_query",
+                        help="bench name of the record to gate on "
+                             "(speedup metric)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional drop (0.20 = 20%%)")
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--threads", type=int, default=4)
     args = parser.parse_args()
 
-    current = normalized(load_records(args.current), args.shards,
-                         args.threads)
-    baseline_records = load_records(args.baseline)
-    warn_if_weak_baseline(baseline_records)
-    baseline = normalized(baseline_records, args.shards, args.threads)
+    if args.metric == "throughput":
+        current = normalized(load_records(args.current), args.shards,
+                             args.threads)
+        baseline_records = load_records(args.baseline)
+        # Only throughput baselines degrade on a 1-CPU host; speedups are
+        # within-run ratios and stay meaningful there.
+        warn_if_weak_baseline(baseline_records)
+        baseline = normalized(baseline_records, args.shards, args.threads)
+        label = f"normalized {args.shards}-way throughput"
+    else:
+        current = speedup(load_records(args.current), args.series,
+                          args.shards, args.threads)
+        baseline = speedup(load_records(args.baseline), args.series,
+                           args.shards, args.threads)
+        label = f"{args.series} incremental-vs-recompute speedup"
+
     floor = (1.0 - args.threshold) * baseline
-    print(f"normalized {args.shards}-way throughput: current {current:.3f}, "
+    print(f"{label}: current {current:.3f}, "
           f"baseline {baseline:.3f}, floor {floor:.3f}")
     if current < floor:
-        print(f"FAIL: sharded {args.shards}-way throughput regressed more "
+        print(f"FAIL: {label} regressed more "
               f"than {args.threshold:.0%} below the committed baseline")
         sys.exit(1)
     print("OK")

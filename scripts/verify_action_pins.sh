@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Verifies that every third-party GitHub Action pinned by commit SHA in
+# .github/workflows/ matches the release tag recorded in its trailing
+# "# vX.Y.Z" comment, by resolving the tag with `git ls-remote` (needs
+# network access). Annotated tags match through their peeled ^{} object.
+#
+# Exit codes: 0 = every pin matches, 1 = a pin/tag mismatch, 2 = a tag
+# could not be resolved (network failure or deleted tag).
+#
+# Run from the repository root:  bash scripts/verify_action_pins.sh
+set -u
+
+specs="$(grep -rhoE '[A-Za-z0-9_.-]+/[A-Za-z0-9_.-]+@[0-9a-f]{40} # v[0-9A-Za-z.]+' \
+  .github/workflows/*.yml | sort -u)"
+if [ -z "$specs" ]; then
+  echo "ERROR: no SHA-pinned actions found under .github/workflows/"
+  exit 2
+fi
+
+status=0
+while IFS= read -r line; do
+  spec="${line%% \#*}"   # owner/action@sha
+  tag="${line##*\# }"    # vX.Y.Z
+  action="${spec%@*}"
+  sha="${spec#*@}"
+  refs="$(git ls-remote "https://github.com/$action" \
+            "refs/tags/$tag" "refs/tags/$tag^{}" 2>/dev/null | cut -f1)"
+  if [ -z "$refs" ]; then
+    echo "ERROR: cannot resolve $action tag $tag (network? deleted tag?)"
+    status=2
+    continue
+  fi
+  if printf '%s\n' "$refs" | grep -qx "$sha"; then
+    echo "OK: $action@$sha is $tag"
+  else
+    echo "FAIL: $action@$sha does not match $tag (remote:" \
+         "$(printf '%s' "$refs" | tr '\n' ' '))"
+    status=1
+  fi
+done <<< "$specs"
+exit $status

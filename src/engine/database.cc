@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/engine/delta.h"
 #include "src/util/check.h"
 #include "src/util/parallel.h"
 
@@ -11,10 +12,10 @@ Distribution IsolatedAnnotationDistribution(const ExprPool& source,
                                             const VariableTable& variables,
                                             ExprId annotation,
                                             const CompileOptions& options) {
-  ExprPool local(source.semiring().kind());
-  ExprId e = source.CloneInto(&local, annotation);
-  DTree tree = CompileToDTree(&local, &variables, e, options);
-  return ComputeDistribution(tree, variables, local.semiring());
+  // One pipeline for every facade and the step II cache alike (delta.h).
+  return IsolatedCompileAndDistribution(source, variables, annotation,
+                                        options)
+      .distribution;
 }
 
 Database::Database(SemiringKind semiring)
@@ -28,6 +29,22 @@ Database::Database(std::shared_ptr<VariableTable> variables,
 
 void Database::AddTable(const std::string& name, PvcTable table) {
   tables_[name] = std::move(table);
+  views_.OnTableReplaced(name);
+}
+
+PvcTable& Database::MutableTable(const std::string& name) {
+  auto it = tables_.find(name);
+  PVC_CHECK_MSG(it != tables_.end(), "no table named '" << name << "'");
+  return it->second;
+}
+
+ViewContext Database::Context() {
+  return ViewContext{
+      &pool_,
+      [this](const std::string& name) -> const PvcTable& {
+        return table(name);
+      },
+      eval_options_};
 }
 
 bool Database::HasTable(const std::string& name) const {
@@ -61,6 +78,109 @@ void Database::AddTupleIndependentTable(
   AddTable(name, std::move(table));
 }
 
+void Database::AddVariableAnnotatedTable(const std::string& name,
+                                         Schema schema,
+                                         std::vector<std::vector<Cell>> rows,
+                                         const std::vector<VarId>& vars) {
+  PVC_CHECK_MSG(rows.size() == vars.size(), "one variable per row required");
+  PvcTable table{std::move(schema)};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    PVC_CHECK_MSG(vars[i] < variables_->size(),
+                  "unknown variable id " << vars[i]);
+    table.AddRow(std::move(rows[i]), pool_.Var(vars[i]));
+  }
+  AddTable(name, std::move(table));
+}
+
+namespace {
+
+void CheckRowShape(const Schema& schema, const std::vector<Cell>& cells) {
+  PVC_CHECK_MSG(cells.size() == schema.NumColumns(),
+                "row arity " << cells.size() << " does not match schema "
+                             << schema.NumColumns());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    PVC_CHECK_MSG(cells[i].type() == schema.column(i).type,
+                  "cell " << i << " (" << cells[i].ToString()
+                          << ") does not match column '"
+                          << schema.column(i).name << "'");
+  }
+}
+
+}  // namespace
+
+size_t Database::AppendRowToTable(const std::string& table,
+                                  std::vector<Cell> cells,
+                                  ExprId annotation) {
+  PvcTable& t = MutableTable(table);
+  CheckRowShape(t.schema(), cells);
+  size_t index = t.NumRows();
+  TableDelta delta;
+  delta.kind = DeltaKind::kInsert;
+  delta.table = table;
+  delta.row_index = index;
+  delta.cells = cells;
+  delta.annotation = annotation;
+  t.AddRow(std::move(cells), annotation);
+  views_.Apply(delta, Context());
+  return index;
+}
+
+size_t Database::InsertTuple(const std::string& table,
+                             std::vector<Cell> cells, double p) {
+  // Validate the row before touching the (possibly shared) variable
+  // registry: a failed insert must not leave an orphaned variable behind,
+  // or the registry would diverge from a from-scratch rebuild of the
+  // final state.
+  PvcTable& t = MutableTable(table);
+  CheckRowShape(t.schema(), cells);
+  VarId x = variables_->AddBernoulli(
+      p, table + "#" + std::to_string(t.NumRows()));
+  return AppendRowToTable(table, std::move(cells), pool_.Var(x));
+}
+
+void Database::DeleteRowAt(const std::string& table, size_t row_index) {
+  PvcTable& t = MutableTable(table);
+  PVC_CHECK_MSG(row_index < t.NumRows(),
+                "row index " << row_index << " out of range");
+  TableDelta delta;
+  delta.kind = DeltaKind::kDelete;
+  delta.table = table;
+  delta.row_index = row_index;
+  delta.cells = t.row(row_index).cells;
+  t.DeleteRow(row_index);
+  views_.Apply(delta, Context());
+}
+
+size_t Database::DeleteTuple(const std::string& table, const Cell& key) {
+  return DeleteRowsMatchingKey(
+      MutableTable(table), key,
+      [&](size_t index) { DeleteRowAt(table, index); });
+}
+
+void Database::UpdateProbability(VarId var, double p) {
+  Distribution next = Distribution::Bernoulli(p);
+  bool same_support = SameSupport(variables_->DistributionOf(var), next);
+  variables_->SetDistribution(var, std::move(next));
+  views_.OnVariableUpdate(var, *variables_, pool_.semiring(), same_support);
+}
+
+const PvcTable& Database::RegisterView(const std::string& name,
+                                       QueryPtr query) {
+  return views_.Register(name, std::move(query), Context());
+}
+
+const PvcTable& Database::ViewTable(const std::string& name) {
+  return views_.Table(name, Context());
+}
+
+std::vector<double> Database::ViewProbabilities(const std::string& name) {
+  // Refresh a stale view before opening the evaluation scope -- the
+  // recompute itself only reads tables, never the variable registry.
+  views_.Table(name, Context());
+  VariableTable::EvalScope scope(*variables_);
+  return views_.Probabilities(name, *variables_, compile_options_, Context());
+}
+
 PvcTable Database::Run(const Query& q) {
   QueryEvaluator evaluator(
       &pool_, [this](const std::string& name) -> const PvcTable& {
@@ -80,6 +200,7 @@ PvcTable Database::RunDeterministic(const Query& q) {
 }
 
 Distribution Database::DistributionOfExpr(ExprId e) {
+  VariableTable::EvalScope scope(*variables_);
   DTree tree = CompileToDTree(&pool_, variables_.get(), e, compile_options_);
   return ComputeDistribution(tree, *variables_, pool_.semiring());
 }
@@ -94,6 +215,7 @@ Distribution Database::AnnotationDistribution(const Row& row) {
 
 std::vector<Distribution> Database::AnnotationDistributions(
     const PvcTable& table) {
+  VariableTable::EvalScope scope(*variables_);
   std::vector<Distribution> out(table.NumRows());
   // Each row clones its annotation into a task-private pool, so the shared
   // pool is only read and the per-row pipeline is identical on the serial
@@ -118,6 +240,7 @@ std::vector<double> Database::TupleProbabilities(const PvcTable& table) {
 
 std::vector<ProbabilityBounds> Database::ApproximateTupleProbabilities(
     const PvcTable& table, ApproximateOptions options) {
+  VariableTable::EvalScope scope(*variables_);
   std::vector<ExprId> annotations;
   annotations.reserve(table.NumRows());
   for (const Row& row : table.rows()) annotations.push_back(row.annotation);
@@ -139,6 +262,7 @@ Distribution Database::ConditionalAggregateDistribution(
   const Cell& cell = table.CellAt(row_index, column);
   PVC_CHECK_MSG(cell.type() == CellType::kAggExpr,
                 "'" << column << "' is not an aggregation column");
+  VariableTable::EvalScope scope(*variables_);
   return pvcdb::ConditionalAggregateDistribution(
       &pool_, *variables_, cell.AsAgg(), table.row(row_index).annotation,
       compile_options_);
@@ -146,6 +270,7 @@ Distribution Database::ConditionalAggregateDistribution(
 
 JointDistribution Database::RowJointDistribution(const PvcTable& table,
                                                  size_t row_index) {
+  VariableTable::EvalScope scope(*variables_);
   const Row& row = table.row(row_index);
   std::vector<ExprId> exprs;
   for (size_t i = 0; i < table.schema().NumColumns(); ++i) {

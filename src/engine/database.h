@@ -18,6 +18,7 @@
 #include "src/dtree/compile.h"
 #include "src/dtree/joint.h"
 #include "src/dtree/probability.h"
+#include "src/engine/view.h"
 #include "src/expr/expr.h"
 #include "src/prob/variable.h"
 #include "src/query/ast.h"
@@ -47,7 +48,9 @@ class Database {
   /// database whose variable registry is shared with other engine
   /// instances, so VarIds -- and hence correlations between annotations
   /// held by different instances -- stay globally scoped. The shared table
-  /// must only be mutated while no instance is evaluating.
+  /// must only be mutated while no instance is evaluating; the probability
+  /// methods mark in-flight evaluations with VariableTable::EvalScope, and
+  /// debug builds assert the contract on every mutation.
   Database(std::shared_ptr<VariableTable> variables, SemiringKind semiring);
 
   Database(const Database&) = delete;
@@ -90,6 +93,66 @@ class Database {
   void AddTupleIndependentTable(const std::string& name, Schema schema,
                                 std::vector<std::vector<Cell>> rows,
                                 std::vector<double> probabilities);
+
+  /// Rebuild / replication hook: registers a table whose row annotations
+  /// are *existing* variables of the registry (`vars[i]` annotates row i).
+  /// Together with replaying the variable registry in creation order, this
+  /// reconstructs a mutated database's logical state from scratch with
+  /// bit-identical downstream results (the IVM bit-identity contract of
+  /// src/engine/view.h is verified against exactly this rebuild).
+  void AddVariableAnnotatedTable(const std::string& name, Schema schema,
+                                 std::vector<std::vector<Cell>> rows,
+                                 const std::vector<VarId>& vars);
+
+  // -- Mutations (the IVM delta engine, src/engine/view.h) ------------------
+  //
+  // Each mutation routes a TableDelta through the registered views, which
+  // maintain their cached results incrementally (or mark themselves stale
+  // when their plan cannot absorb the delta). Results stay bit-identical to
+  // a from-scratch rebuild and re-evaluation on the final state.
+
+  /// Appends a tuple with a fresh Bernoulli variable (P[present] = `p`).
+  /// Cell types must match the schema. Returns the new row's index.
+  size_t InsertTuple(const std::string& table, std::vector<Cell> cells,
+                     double p);
+
+  /// Low-level catalog hook: appends a row annotated with an existing
+  /// expression (sharded catalogs re-intern a shared variable; see
+  /// src/engine/shard.h). Routes the delta through the views.
+  size_t AppendRowToTable(const std::string& table, std::vector<Cell> cells,
+                          ExprId annotation);
+
+  /// Removes the row at `row_index`; later rows shift down by one.
+  void DeleteRowAt(const std::string& table, size_t row_index);
+
+  /// Removes every row whose first-column cell equals `key`; returns the
+  /// number of rows removed.
+  size_t DeleteTuple(const std::string& table, const Cell& key);
+
+  /// Replaces variable `var`'s distribution with Bernoulli(p). Step I
+  /// results are unaffected (annotations are symbolic); cached step II
+  /// results mentioning `var` are re-evaluated (same support) or dropped.
+  void UpdateProbability(VarId var, double p);
+
+  // -- Materialized views (src/engine/view.h) -------------------------------
+
+  /// Registers (or replaces) a materialized view over `query`; evaluates
+  /// it eagerly and returns the cached result.
+  const PvcTable& RegisterView(const std::string& name, QueryPtr query);
+
+  bool HasView(const std::string& name) const { return views_.Has(name); }
+  void DropView(const std::string& name) { views_.Drop(name); }
+  std::vector<std::string> ViewNames() const { return views_.Names(); }
+
+  /// The view's cached step I result (recomputed first when stale).
+  const PvcTable& ViewTable(const std::string& name);
+
+  /// Cached per-row P[Phi != 0_S] of the view, bit-identical to
+  /// TupleProbabilities(ViewTable(name)).
+  std::vector<double> ViewProbabilities(const std::string& name);
+
+  /// Registry access for diagnostics (plan kinds, cache stats).
+  const ViewRegistry& views() const { return views_; }
 
   // -- Step I: computing result tuples ------------------------------------
 
@@ -146,12 +209,15 @@ class Database {
 
  private:
   Distribution DistributionOfExpr(ExprId e);
+  PvcTable& MutableTable(const std::string& name);
+  ViewContext Context();
 
   ExprPool pool_;
   std::shared_ptr<VariableTable> variables_;
   std::map<std::string, PvcTable> tables_;
   CompileOptions compile_options_;
   EvalOptions eval_options_;
+  ViewRegistry views_;
 };
 
 }  // namespace pvcdb

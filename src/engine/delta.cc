@@ -1,0 +1,153 @@
+#include "src/engine/delta.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/parallel.h"
+
+namespace pvcdb {
+
+CompiledDistribution IsolatedCompileAndDistribution(
+    const ExprPool& source, const VariableTable& variables, ExprId annotation,
+    const CompileOptions& options) {
+  ExprPool local(source.semiring().kind());
+  ExprId e = source.CloneInto(&local, annotation);
+  CompiledDistribution out;
+  out.tree = CompileToDTree(&local, &variables, e, options);
+  out.distribution =
+      ComputeDistribution(out.tree, variables, local.semiring());
+  return out;
+}
+
+size_t DeleteRowsMatchingKey(const PvcTable& table, const Cell& key,
+                             const std::function<void(size_t)>& delete_at) {
+  PVC_CHECK_MSG(table.schema().NumColumns() > 0, "zero-column table");
+  std::vector<size_t> hits;
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    if (table.row(i).cells[0] == key) hits.push_back(i);
+  }
+  for (size_t i = hits.size(); i-- > 0;) {
+    delete_at(hits[i]);
+  }
+  return hits.size();
+}
+
+bool SameSupport(const Distribution& a, const Distribution& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.entries()[i].first != b.entries()[i].first) return false;
+  }
+  return true;
+}
+
+std::vector<double> StepTwoCache::Probabilities(
+    const ExprPool& pool, const VariableTable& variables,
+    const PvcTable& table, const CompileOptions& options, int num_threads) {
+  size_t n = table.NumRows();
+
+  // Eviction: deleted rows leave dead entries behind (every insert mints
+  // a fresh variable, so annotations of removed rows never come back).
+  // Once those dominate the cache, drop everything the current rows do
+  // not reference -- churn then cannot grow the cache beyond O(n).
+  if (entries_.size() > 2 * n + 16) {
+    std::unordered_map<ExprId, char> live;
+    live.reserve(n);
+    for (size_t i = 0; i < n; ++i) live.emplace(table.row(i).annotation, 0);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (live.count(it->first) == 0) {
+        it = entries_.erase(it);
+        ++stats_.pruned;
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = var_index_.begin(); it != var_index_.end();) {
+      std::vector<ExprId>& list = it->second;
+      list.erase(std::remove_if(list.begin(), list.end(),
+                                [&](ExprId a) { return live.count(a) == 0; }),
+                 list.end());
+      it = list.empty() ? var_index_.erase(it) : std::next(it);
+    }
+  }
+
+  // Distinct missing annotations, in first-occurrence row order (duplicate
+  // tuples share one annotation id thanks to hash-consing).
+  std::vector<ExprId> missing;
+  {
+    std::unordered_map<ExprId, size_t> seen;
+    for (size_t i = 0; i < n; ++i) {
+      ExprId a = table.row(i).annotation;
+      if (entries_.count(a) > 0 || seen.count(a) > 0) continue;
+      seen.emplace(a, missing.size());
+      missing.push_back(a);
+    }
+  }
+
+  // Pure phase: the per-row pipeline per missing annotation, fanned across
+  // threads exactly like an uncached batch pass.
+  std::vector<CompiledDistribution> compiled(missing.size());
+  ParallelFor(num_threads, missing.size(), [&](size_t i) {
+    compiled[i] =
+        IsolatedCompileAndDistribution(pool, variables, missing[i], options);
+  });
+
+  // Serial phase: memoize and index the new entries. An annotation that
+  // was dropped (support change) and recompiled may already sit in some
+  // lists -- de-duplicate so drop/recompile cycles cannot grow the index
+  // or refresh an entry twice.
+  for (size_t i = 0; i < missing.size(); ++i) {
+    Entry entry;
+    entry.probability = NonZeroMass(compiled[i].distribution);
+    entry.compiled = std::move(compiled[i]);
+    for (VarId v : pool.VarsOf(missing[i])) {
+      std::vector<ExprId>& list = var_index_[v];
+      if (std::find(list.begin(), list.end(), missing[i]) == list.end()) {
+        list.push_back(missing[i]);
+      }
+    }
+    entries_.emplace(missing[i], std::move(entry));
+  }
+  stats_.misses += missing.size();
+  stats_.hits += n - missing.size();
+
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(entries_.at(table.row(i).annotation).probability);
+  }
+  return out;
+}
+
+void StepTwoCache::OnVariableUpdate(VarId var, const VariableTable& variables,
+                                    const Semiring& semiring,
+                                    bool same_support) {
+  auto it = var_index_.find(var);
+  if (it == var_index_.end()) return;
+  if (!same_support) {
+    // The d-tree's mutex branches enumerate the old support; drop the
+    // entries and recompile lazily. The inverted-index lists of the other
+    // variables keep stale ids -- harmless, they miss on lookup.
+    for (ExprId a : it->second) {
+      stats_.dropped += entries_.erase(a);
+    }
+    var_index_.erase(it);
+    return;
+  }
+  for (ExprId a : it->second) {
+    auto entry = entries_.find(a);
+    if (entry == entries_.end()) continue;  // Dropped earlier.
+    entry->second.compiled.distribution = ComputeDistribution(
+        entry->second.compiled.tree, variables, semiring);
+    entry->second.probability =
+        NonZeroMass(entry->second.compiled.distribution);
+    ++stats_.refreshed;
+  }
+}
+
+void StepTwoCache::Clear() {
+  entries_.clear();
+  var_index_.clear();
+}
+
+}  // namespace pvcdb

@@ -62,10 +62,32 @@ void ShardedDatabase::AddTupleIndependentTable(
   // Bernoulli variables are created in global row order, so VarIds match
   // the unsharded engine's.
   VarId var_base = static_cast<VarId>(variables().size());
+  size_t num_rows = rows.size();
   coordinator_.AddTupleIndependentTable(name, std::move(schema),
                                         std::move(rows),
                                         std::move(probabilities));
+  std::vector<VarId> vars;
+  vars.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    vars.push_back(var_base + static_cast<VarId>(i));
+  }
+  PartitionLoadedTable(name, key_index, vars);
+}
 
+void ShardedDatabase::AddVariableAnnotatedTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, const std::vector<VarId>& vars,
+    const std::string& key_column) {
+  PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
+  size_t key_index = key_column.empty() ? 0 : schema.IndexOf(key_column);
+  coordinator_.AddVariableAnnotatedTable(name, std::move(schema),
+                                         std::move(rows), vars);
+  PartitionLoadedTable(name, key_index, vars);
+}
+
+void ShardedDatabase::PartitionLoadedTable(const std::string& name,
+                                           size_t key_index,
+                                           const std::vector<VarId>& vars) {
   const PvcTable& logical = coordinator_.table(name);
   std::vector<size_t> assignment =
       AssignShards(logical, key_index, [&](const Cell& key) {
@@ -91,14 +113,19 @@ void ShardedDatabase::AddTupleIndependentTable(
     // The shard re-interns the row's variable in its own pool; the VarId --
     // and hence every probability downstream -- is the global one.
     partitions[s].AddRow(logical.row(i).cells,
-                         shards_[s]->pool().Var(var_base +
-                                                static_cast<VarId>(i)));
+                         shards_[s]->pool().Var(vars[i]));
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->AddTable(name, std::move(partitions[s]));
   }
   placements_[name] = std::move(placement);
+  key_columns_[name] = key_index;
   augmented_cache_.erase(name);
+  // Re-seed per-shard views of the replaced table (the coordinator's
+  // registry invalidates its own views through AddTable).
+  for (auto& view : sharded_views_) {
+    if (view->driving == name) SeedShardedView(view.get());
+  }
 }
 
 bool ShardedDatabase::HasTable(const std::string& name) const {
@@ -196,8 +223,8 @@ const std::vector<PvcTable>& ShardedDatabase::AugmentedPartitionsOf(
   return augmented_cache_.emplace(table, std::move(augmented)).first->second;
 }
 
-ShardedResult ShardedDatabase::RunDistributed(const Query& q,
-                                              const std::string& table) {
+ShardedDatabase::DistributedParts ShardedDatabase::EvalDistributed(
+    const Query& q, const std::string& table) {
   // Scatter: each shard evaluates the chain against its partition extended
   // with the hidden provenance column, interning only into its own pool.
   const std::vector<PvcTable>& augmented = AugmentedPartitionsOf(table);
@@ -220,12 +247,11 @@ ShardedResult ShardedDatabase::RunDistributed(const Query& q,
   size_t rowid_index = results[0].schema().IndexOf(kRowIdColumn);
   std::vector<Column> out_columns = results[0].schema().columns();
   out_columns.erase(out_columns.begin() + rowid_index);
-  Schema out_schema{std::move(out_columns)};
 
-  ShardedResult result;
-  result.schema_ = out_schema;
-  result.distributed_ = true;
-  result.parts_.reserve(shards_.size());
+  DistributedParts out;
+  out.schema = Schema{std::move(out_columns)};
+  out.parts.reserve(shards_.size());
+  out.global.resize(shards_.size());
   struct Survivor {
     int64_t global_row;
     uint32_t part;
@@ -233,26 +259,38 @@ ShardedResult ShardedDatabase::RunDistributed(const Query& q,
   };
   std::vector<Survivor> survivors;
   for (size_t s = 0; s < shards_.size(); ++s) {
-    PvcTable stripped{out_schema};
+    PvcTable stripped{out.schema};
     for (size_t j = 0; j < results[s].NumRows(); ++j) {
       const Row& r = results[s].row(j);
-      survivors.push_back({r.cells[rowid_index].AsInt(),
-                           static_cast<uint32_t>(s),
+      int64_t global_row = r.cells[rowid_index].AsInt();
+      survivors.push_back({global_row, static_cast<uint32_t>(s),
                            static_cast<uint32_t>(j)});
+      out.global[s].push_back(global_row);
       std::vector<Cell> cells = r.cells;
       cells.erase(cells.begin() + rowid_index);
       stripped.AddRow(std::move(cells), r.annotation);
     }
-    result.parts_.push_back(std::move(stripped));
+    out.parts.push_back(std::move(stripped));
   }
   std::sort(survivors.begin(), survivors.end(),
             [](const Survivor& a, const Survivor& b) {
               return a.global_row < b.global_row;
             });
-  result.order_.reserve(survivors.size());
+  out.order.reserve(survivors.size());
   for (const Survivor& s : survivors) {
-    result.order_.emplace_back(s.part, s.row);
+    out.order.emplace_back(s.part, s.row);
   }
+  return out;
+}
+
+ShardedResult ShardedDatabase::RunDistributed(const Query& q,
+                                              const std::string& table) {
+  DistributedParts parts = EvalDistributed(q, table);
+  ShardedResult result;
+  result.schema_ = std::move(parts.schema);
+  result.distributed_ = true;
+  result.parts_ = std::move(parts.parts);
+  result.order_ = std::move(parts.order);
   return result;
 }
 
@@ -284,6 +322,7 @@ std::vector<Distribution> ShardedDatabase::DistributionsImpl(
   // Database's per-row pipeline, with the clone source being the pool of
   // the part that owns the row. The gather is positional (out[i]), i.e.
   // global row order.
+  VariableTable::EvalScope scope(variables());
   std::vector<Distribution> out(order.size());
   const VariableTable& vars = variables();
   CompileOptions compile_options = coordinator_.compile_options();
@@ -302,6 +341,7 @@ std::vector<ProbabilityBounds> ShardedDatabase::ApproximateImpl(
     const std::vector<PartRef>& parts,
     const std::vector<std::pair<uint32_t, uint32_t>>& order,
     ApproximateOptions options) {
+  VariableTable::EvalScope scope(variables());
   std::vector<ProbabilityBounds> out(order.size());
   const VariableTable* vars = &variables();
   ParallelFor(coordinator_.eval_options().num_threads, order.size(),
@@ -375,6 +415,295 @@ Distribution ShardedDatabase::ConditionalAggregateDistribution(
                 "result row " << row_index << " out of range");
   return coordinator_.ConditionalAggregateDistribution(
       result.parts_[0], result.order_[row_index].second, column);
+}
+
+// -- Mutations --------------------------------------------------------------
+
+size_t ShardedDatabase::InsertTuple(const std::string& table,
+                                    std::vector<Cell> cells, double p) {
+  auto key_it = key_columns_.find(table);
+  PVC_CHECK_MSG(key_it != key_columns_.end(),
+                "no sharded table named '" << table << "'");
+  PVC_CHECK_MSG(key_it->second < cells.size(),
+                "row is missing its key cell");
+
+  // The coordinator replays the unsharded mutation: the fresh Bernoulli
+  // variable gets the next global id, and coordinator-registered views
+  // absorb the delta.
+  VarId x = static_cast<VarId>(variables().size());
+  size_t global_row = coordinator_.InsertTuple(table, cells, p);
+
+  // Route the row to its shard, exactly as the load would.
+  size_t s = router_->Route(cells[key_it->second], shards_.size());
+  size_t shard_row = shards_[s]->table(table).NumRows();
+  ExprId shard_annotation = shards_[s]->pool().Var(x);
+  shards_[s]->AppendRowToTable(table, cells, shard_annotation);
+  placements_[table].emplace_back(static_cast<uint32_t>(s),
+                                  static_cast<uint32_t>(shard_row));
+
+  // Keep the cached provenance-extended partition consistent (appends
+  // carry the maximal global id, so in-place extension preserves order).
+  auto aug = augmented_cache_.find(table);
+  if (aug != augmented_cache_.end()) {
+    std::vector<Cell> extended = cells;
+    extended.emplace_back(static_cast<int64_t>(global_row));
+    aug->second[s].AddRow(std::move(extended), shard_annotation);
+  }
+
+  for (auto& view : sharded_views_) {
+    if (view->driving == table) {
+      ApplyShardedViewInsert(view.get(), s, global_row, cells,
+                             shard_annotation);
+    }
+  }
+  return global_row;
+}
+
+void ShardedDatabase::DeleteRowAt(const std::string& table,
+                                  size_t row_index) {
+  auto it = placements_.find(table);
+  PVC_CHECK_MSG(it != placements_.end(),
+                "no sharded table named '" << table << "'");
+  std::vector<std::pair<uint32_t, uint32_t>>& placement = it->second;
+  PVC_CHECK_MSG(row_index < placement.size(),
+                "row index " << row_index << " out of range");
+  auto [s, shard_row] = placement[row_index];
+
+  coordinator_.DeleteRowAt(table, row_index);
+  // Shard engines have no views of their own; this only drops the row.
+  shards_[s]->DeleteRowAt(table, shard_row);
+  placement.erase(placement.begin() + row_index);
+  for (auto& [ps, pr] : placement) {
+    if (ps == s && pr > shard_row) --pr;
+  }
+  // Global row ids above the deleted row shift; the provenance-extended
+  // partitions are rebuilt from the placement on next use.
+  augmented_cache_.erase(table);
+
+  for (auto& view : sharded_views_) {
+    if (view->driving == table) {
+      ApplyShardedViewDelete(view.get(), row_index);
+    }
+  }
+}
+
+size_t ShardedDatabase::DeleteTuple(const std::string& table,
+                                    const Cell& key) {
+  return DeleteRowsMatchingKey(
+      coordinator_.table(table), key,
+      [&](size_t index) { DeleteRowAt(table, index); });
+}
+
+void ShardedDatabase::UpdateProbability(VarId var, double p) {
+  bool same_support =
+      SameSupport(variables().DistributionOf(var), Distribution::Bernoulli(p));
+  // Updates the shared registry and the coordinator-registered views.
+  coordinator_.UpdateProbability(var, p);
+  const Semiring& semiring = coordinator_.pool().semiring();
+  for (auto& view : sharded_views_) {
+    for (StepTwoCache& cache : view->caches) {
+      cache.OnVariableUpdate(var, variables(), semiring, same_support);
+    }
+  }
+}
+
+// -- Materialized views -----------------------------------------------------
+
+ShardedDatabase::ShardedView* ShardedDatabase::FindShardedView(
+    const std::string& name) {
+  for (auto& view : sharded_views_) {
+    if (view->name == name) return view.get();
+  }
+  return nullptr;
+}
+
+void ShardedDatabase::SeedShardedView(ShardedView* view) {
+  SyncShardOptions();
+  DistributedParts parts = EvalDistributed(*view->query, view->driving);
+  view->schema = std::move(parts.schema);
+  view->parts = std::move(parts.parts);
+  view->global = std::move(parts.global);
+  view->order = std::move(parts.order);
+  view->caches.clear();
+  view->caches.resize(shards_.size());
+}
+
+void ShardedDatabase::RegisterView(const std::string& name, QueryPtr query) {
+  // Like ViewRegistry::Register, build the replacement before dropping
+  // any existing view of the name: a failing registration leaves the old
+  // view (sharded or coordinator) untouched.
+  std::optional<std::string> driving = ShardDrivingTable(*query);
+  if (driving.has_value() && placements_.count(*driving) > 0 &&
+      !coordinator_.table(*driving).schema().Find(kRowIdColumn).has_value() &&
+      !QueryMentionsColumn(*query, kRowIdColumn)) {
+    auto view = std::make_unique<ShardedView>();
+    view->name = name;
+    view->query = std::move(query);
+    view->driving = *driving;
+    SeedShardedView(view.get());
+    DropView(name);
+    sharded_views_.push_back(std::move(view));
+    return;
+  }
+  SyncShardOptions();
+  coordinator_.RegisterView(name, std::move(query));
+  // The name may previously have named a per-shard view; retire it only
+  // now that the replacement exists.
+  for (auto it = sharded_views_.begin(); it != sharded_views_.end(); ++it) {
+    if ((*it)->name == name) {
+      sharded_views_.erase(it);
+      break;
+    }
+  }
+}
+
+bool ShardedDatabase::HasView(const std::string& name) const {
+  for (const auto& view : sharded_views_) {
+    if (view->name == name) return true;
+  }
+  return coordinator_.HasView(name);
+}
+
+void ShardedDatabase::DropView(const std::string& name) {
+  for (auto it = sharded_views_.begin(); it != sharded_views_.end(); ++it) {
+    if ((*it)->name == name) {
+      sharded_views_.erase(it);
+      return;
+    }
+  }
+  coordinator_.DropView(name);
+}
+
+std::vector<std::string> ShardedDatabase::ViewNames() const {
+  std::vector<std::string> names;
+  for (const auto& view : sharded_views_) names.push_back(view->name);
+  for (const std::string& name : coordinator_.ViewNames()) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void ShardedDatabase::ApplyShardedViewInsert(
+    ShardedView* view, size_t shard, size_t global_row,
+    const std::vector<Cell>& cells, ExprId shard_annotation) {
+  // Evaluate the chain on the delta row alone, against its
+  // provenance-extended schema in the owning shard's pool -- the same
+  // per-row pipeline as unsharded chain views (EvalChainOnSingleRow) and
+  // the distributed scatter (chains over base partitions intern nothing,
+  // so the shard pool is undisturbed when the row is filtered out).
+  const PvcTable& partition = shards_[shard]->table(view->driving);
+  std::vector<Column> columns = partition.schema().columns();
+  columns.push_back({kRowIdColumn, CellType::kInt});
+  Schema augmented{std::move(columns)};
+  Row delta_row;
+  delta_row.cells = cells;
+  delta_row.cells.emplace_back(static_cast<int64_t>(global_row));
+  delta_row.annotation = shard_annotation;
+  std::optional<Row> out = EvalChainOnSingleRow(
+      &shards_[shard]->pool(), *view->query, view->driving, augmented,
+      delta_row, coordinator_.eval_options());
+  if (!out.has_value()) return;
+
+  // Strip the provenance cell like the distributed gather does: the
+  // rowid column sits right after the base columns (selects preserve
+  // column order, renames only append), i.e. at the base arity.
+  size_t rowid_index = partition.schema().NumColumns();
+  PVC_CHECK_MSG(out->cells.size() == view->schema.NumColumns() + 1,
+                "chain output arity does not match the view schema");
+  out->cells.erase(out->cells.begin() + rowid_index);
+  // The delta row has the maximal global id: append everywhere.
+  view->order.emplace_back(
+      static_cast<uint32_t>(shard),
+      static_cast<uint32_t>(view->parts[shard].NumRows()));
+  view->parts[shard].AddRow(std::move(*out));
+  view->global[shard].push_back(static_cast<int64_t>(global_row));
+}
+
+void ShardedDatabase::ApplyShardedViewDelete(ShardedView* view,
+                                             size_t global_row) {
+  int64_t g = static_cast<int64_t>(global_row);
+  // The order is ascending in global id; find the derived row, if any.
+  auto pos = std::lower_bound(
+      view->order.begin(), view->order.end(), g,
+      [&](const std::pair<uint32_t, uint32_t>& entry, int64_t value) {
+        return view->global[entry.first][entry.second] < value;
+      });
+  if (pos != view->order.end() &&
+      view->global[pos->first][pos->second] == g) {
+    auto [s, r] = *pos;
+    view->parts[s].DeleteRow(r);
+    view->global[s].erase(view->global[s].begin() + r);
+    view->order.erase(pos);
+    for (auto& [os, orow] : view->order) {
+      if (os == s && orow > r) --orow;
+    }
+  }
+  // Later driving rows shifted down by one.
+  for (std::vector<int64_t>& ids : view->global) {
+    for (int64_t& id : ids) {
+      if (id > g) --id;
+    }
+  }
+}
+
+ShardedResult ShardedDatabase::ViewResult(const std::string& name) {
+  if (ShardedView* view = FindShardedView(name)) {
+    ShardedResult result;
+    result.schema_ = view->schema;
+    result.parts_ = view->parts;
+    result.order_ = view->order;
+    result.distributed_ = true;
+    return result;
+  }
+  return CoordinatorResult(coordinator_.ViewTable(name));
+}
+
+std::vector<double> ShardedDatabase::ViewProbabilities(
+    const std::string& name) {
+  ShardedView* view = FindShardedView(name);
+  if (view == nullptr) return coordinator_.ViewProbabilities(name);
+  SyncShardOptions();
+  VariableTable::EvalScope scope(variables());
+  int num_threads = coordinator_.eval_options().num_threads;
+  const CompileOptions& options = coordinator_.compile_options();
+  // Per-shard cached passes (the identical per-row pipeline), gathered in
+  // global row order.
+  std::vector<std::vector<double>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    per_shard[s] = view->caches[s].Probabilities(
+        shards_[s]->pool(), variables(), view->parts[s], options,
+        num_threads);
+  }
+  std::vector<double> out;
+  out.reserve(view->order.size());
+  for (const auto& [s, r] : view->order) {
+    out.push_back(per_shard[s][r]);
+  }
+  return out;
+}
+
+std::vector<ShardedDatabase::ViewInfo> ShardedDatabase::ViewInfos() {
+  std::vector<ViewInfo> infos;
+  for (const auto& view : sharded_views_) {
+    ViewInfo info;
+    info.name = view->name;
+    info.plan = "chain (per shard)";
+    info.rows = view->order.size();
+    for (const StepTwoCache& cache : view->caches) {
+      info.cache_entries += cache.size();
+    }
+    infos.push_back(std::move(info));
+  }
+  for (const std::string& name : coordinator_.ViewNames()) {
+    const MaterializedView& view = coordinator_.views().view(name);
+    ViewInfo info;
+    info.name = name;
+    info.plan = MaterializedView::PlanName(view.plan());
+    info.rows = coordinator_.ViewTable(name).NumRows();
+    info.cache_entries = view.step_two().size();
+    infos.push_back(std::move(info));
+  }
+  return infos;
 }
 
 std::string ShardedDatabase::ResultToString(

@@ -156,12 +156,74 @@ class ShardedDatabase {
                                 std::vector<double> probabilities,
                                 const std::string& key_column = "");
 
+  /// Rebuild / replication hook mirroring
+  /// Database::AddVariableAnnotatedTable: rows annotated by *existing*
+  /// variables of the shared registry, routed by `key_column`.
+  void AddVariableAnnotatedTable(const std::string& name, Schema schema,
+                                 std::vector<std::vector<Cell>> rows,
+                                 const std::vector<VarId>& vars,
+                                 const std::string& key_column = "");
+
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
   size_t NumRows(const std::string& name) const;
 
   /// Rows per shard for `name` (skew diagnostics; sums to NumRows).
   std::vector<size_t> ShardRowCounts(const std::string& name) const;
+
+  // -- Mutations (the IVM delta engine; see src/engine/view.h) --------------
+  //
+  // Deltas route through the ShardRouter exactly like the initial load:
+  // the coordinator replays the unsharded mutation (shared variable
+  // creation in global row order, coordinator view maintenance), the
+  // owning shard's partition and the placement map stay consistent, and
+  // per-shard views absorb the delta locally. All results remain
+  // bit-identical to a from-scratch sharded rebuild of the final state.
+
+  /// Appends a tuple with a fresh Bernoulli variable; the row is routed by
+  /// its key-column cell. Returns the new global row index.
+  size_t InsertTuple(const std::string& table, std::vector<Cell> cells,
+                     double p);
+
+  /// Removes the row at global index `row_index`.
+  void DeleteRowAt(const std::string& table, size_t row_index);
+
+  /// Removes every row whose first-column cell equals `key`; returns the
+  /// number of rows removed.
+  size_t DeleteTuple(const std::string& table, const Cell& key);
+
+  /// Replaces variable `var`'s distribution with Bernoulli(p) and
+  /// refreshes / drops the affected cached step II results everywhere.
+  void UpdateProbability(VarId var, double p);
+
+  // -- Materialized views (src/engine/view.h) -------------------------------
+  //
+  // The distributable Select/Rename fragment is cached *per shard*: each
+  // shard keeps its partition of the view plus its own step II cache, and
+  // deltas touch only the owning shard. Every other query shape registers
+  // on the coordinator's ViewRegistry (which replays the unsharded engine
+  // bit for bit).
+
+  void RegisterView(const std::string& name, QueryPtr query);
+  bool HasView(const std::string& name) const;
+  void DropView(const std::string& name);
+  std::vector<std::string> ViewNames() const;
+
+  /// Snapshot of the view's cached step I result in global row order.
+  ShardedResult ViewResult(const std::string& name);
+
+  /// Cached per-row P[Phi != 0_S] of the view in global row order,
+  /// bit-identical to TupleProbabilities(ViewResult(name)).
+  std::vector<double> ViewProbabilities(const std::string& name);
+
+  /// One diagnostics line per registered view (shell `views` command).
+  struct ViewInfo {
+    std::string name;
+    std::string plan;  ///< "chain (per shard)" or the coordinator plan.
+    size_t rows = 0;
+    size_t cache_entries = 0;  ///< Step II cache entries (all shards).
+  };
+  std::vector<ViewInfo> ViewInfos();
 
   // -- Step I: computing result tuples ------------------------------------
 
@@ -214,6 +276,48 @@ class ShardedDatabase {
     const ExprPool* pool;
   };
 
+  /// A per-shard materialized view of the distributable fragment: the
+  /// shard partitions of the result, their global row provenance, and one
+  /// step II cache per shard (annotation ids are pool-local).
+  struct ShardedView {
+    std::string name;
+    QueryPtr query;
+    std::string driving;  ///< The sharded base table the chain scans.
+    Schema schema;        ///< Output schema (provenance column stripped).
+    std::vector<PvcTable> parts;
+    /// Per shard: the global driving-row index of each part row
+    /// (ascending).
+    std::vector<std::vector<int64_t>> global;
+    /// Global row order: (shard, row within the shard's part), ascending
+    /// by global driving-row index.
+    std::vector<std::pair<uint32_t, uint32_t>> order;
+    std::vector<StepTwoCache> caches;  ///< One per shard.
+  };
+
+  /// The distributed step I evaluation shared by Run() and the per-shard
+  /// view seed: per-shard results of the chain with global provenance.
+  struct DistributedParts {
+    Schema schema;
+    std::vector<PvcTable> parts;
+    std::vector<std::vector<int64_t>> global;
+    std::vector<std::pair<uint32_t, uint32_t>> order;
+  };
+  DistributedParts EvalDistributed(const Query& q, const std::string& table);
+
+  /// Partitions the coordinator's freshly (re)loaded `name` across the
+  /// shards (each row annotated by `vars[i]` re-interned into its shard's
+  /// pool) and refreshes placement, key column and dependent caches.
+  void PartitionLoadedTable(const std::string& name, size_t key_index,
+                            const std::vector<VarId>& vars);
+
+  ShardedView* FindShardedView(const std::string& name);
+  /// Builds / rebuilds `view`'s cached parts from the current partitions.
+  void SeedShardedView(ShardedView* view);
+  void ApplyShardedViewInsert(ShardedView* view, size_t shard,
+                              size_t global_row, const std::vector<Cell>& cells,
+                              ExprId shard_annotation);
+  void ApplyShardedViewDelete(ShardedView* view, size_t global_row);
+
   std::vector<PartRef> PartsOf(const ShardedResult& result) const;
   std::vector<PartRef> PartsOfTable(const std::string& name) const;
   const std::vector<std::pair<uint32_t, uint32_t>>& PlacementOf(
@@ -246,8 +350,13 @@ class ShardedDatabase {
   /// Per table: global row -> (shard, row within the shard's partition).
   std::map<std::string, std::vector<std::pair<uint32_t, uint32_t>>>
       placements_;
+  /// Per table: the key column rows are routed by (insert deltas must use
+  /// the load-time routing).
+  std::map<std::string, size_t> key_columns_;
   /// Per table: partitions + provenance column for distributed plans.
   std::map<std::string, std::vector<PvcTable>> augmented_cache_;
+  /// Per-shard views of the distributable fragment, registration order.
+  std::vector<std::unique_ptr<ShardedView>> sharded_views_;
 };
 
 }  // namespace pvcdb

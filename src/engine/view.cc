@@ -1,0 +1,640 @@
+#include "src/engine/view.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace pvcdb {
+
+namespace {
+
+// Hash of a subset of cells (join keys, projection groups).
+struct CellsKey {
+  std::vector<Cell> cells;
+
+  bool operator==(const CellsKey& other) const {
+    return cells == other.cells;
+  }
+};
+
+struct CellsKeyHash {
+  size_t operator()(const CellsKey& key) const {
+    size_t seed = 0;
+    for (const Cell& c : key.cells) seed = HashCombine(seed, c.Hash());
+    return seed;
+  }
+};
+
+// Collects the Scan targets of a query.
+void CollectBaseTables(const Query& q, std::vector<std::string>* out) {
+  if (q.op() == QueryOp::kScan) out->push_back(q.table_name());
+  for (const QueryPtr& child : q.children()) CollectBaseTables(*child, out);
+}
+
+}  // namespace
+
+/// Persistent hash side of a join view: key cells -> row indices of the
+/// side's base table, ascending (buckets are appended in row order; deletes
+/// preserve the order).
+struct MaterializedView::SideIndex {
+  std::vector<size_t> key_columns;
+  std::unordered_map<CellsKey, std::vector<size_t>, CellsKeyHash> buckets;
+
+  CellsKey KeyOf(const std::vector<Cell>& cells) const {
+    CellsKey key;
+    key.cells.reserve(key_columns.size());
+    for (size_t c : key_columns) key.cells.push_back(cells[c]);
+    return key;
+  }
+
+  void Add(const std::vector<Cell>& cells, size_t row) {
+    buckets[KeyOf(cells)].push_back(row);
+  }
+
+  /// Matching rows for `key` (null when unseen). The caller builds `key`
+  /// with the *probing* side's KeyOf -- the two sides' key columns sit at
+  /// different schema positions in general.
+  const std::vector<size_t>* Probe(const CellsKey& key) const {
+    auto it = buckets.find(key);
+    return it == buckets.end() ? nullptr : &it->second;
+  }
+
+  /// Removes `row` and shifts every index above it down by one.
+  void Erase(size_t row) {
+    for (auto it = buckets.begin(); it != buckets.end();) {
+      std::vector<size_t>& rows = it->second;
+      rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+      for (size_t& r : rows) {
+        if (r > row) --r;
+      }
+      it = rows.empty() ? buckets.erase(it) : std::next(it);
+    }
+  }
+};
+
+MaterializedView::~MaterializedView() = default;
+
+/// Key cells -> position in groups_ of a project-chain view.
+struct MaterializedView::GroupIndex {
+  std::unordered_map<CellsKey, size_t, CellsKeyHash> map;
+};
+
+void MaterializedView::ReindexGroups() {
+  group_index_ = std::make_unique<GroupIndex>();
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    group_index_->map.emplace(CellsKey{groups_[g].key}, g);
+  }
+}
+
+const char* MaterializedView::PlanName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kChain:
+      return "chain";
+    case PlanKind::kProjectChain:
+      return "project-chain";
+    case PlanKind::kJoin:
+      return "join";
+    case PlanKind::kRecompute:
+      return "recompute";
+  }
+  return "?";
+}
+
+MaterializedView::MaterializedView(std::string name, QueryPtr query,
+                                   const ViewContext& ctx)
+    : name_(std::move(name)), query_(std::move(query)) {
+  PVC_CHECK(query_ != nullptr);
+  CollectBaseTables(*query_, &base_tables_);
+  Rebuild(ctx);  // Analyzes the plan, then evaluates.
+}
+
+bool MaterializedView::References(const std::string& table) const {
+  return std::find(base_tables_.begin(), base_tables_.end(), table) !=
+         base_tables_.end();
+}
+
+void MaterializedView::AnalyzePlan(const ViewContext& ctx) {
+  if (std::optional<std::string> driving = ShardDrivingTable(*query_)) {
+    plan_ = PlanKind::kChain;
+    driving_ = *driving;
+    return;
+  }
+  if (query_->op() == QueryOp::kProject) {
+    if (std::optional<std::string> driving =
+            ShardDrivingTable(*query_->child(0))) {
+      plan_ = PlanKind::kProjectChain;
+      driving_ = *driving;
+      return;
+    }
+  }
+  if (query_->op() == QueryOp::kSelect &&
+      query_->child(0)->op() == QueryOp::kProduct &&
+      query_->child(0)->child(0)->op() == QueryOp::kScan &&
+      query_->child(0)->child(1)->op() == QueryOp::kScan) {
+    left_name_ = query_->child(0)->child(0)->table_name();
+    right_name_ = query_->child(0)->child(1)->table_name();
+    join_plan_ = SplitEquiJoinAtoms(query_->predicate(),
+                                    ctx.resolve(left_name_).schema(),
+                                    ctx.resolve(right_name_).schema());
+    if (!join_plan_.keys.empty()) {
+      plan_ = PlanKind::kJoin;
+      return;
+    }
+  }
+  plan_ = PlanKind::kRecompute;
+}
+
+std::optional<Row> EvalChainOnSingleRow(ExprPool* pool, const Query& q,
+                                        const std::string& driving,
+                                        const Schema& schema, const Row& row,
+                                        const EvalOptions& options) {
+  PvcTable one{schema};
+  one.AddRow(row.cells, row.annotation);
+  QueryEvaluator evaluator(
+      pool,
+      [&](const std::string& name) -> const PvcTable& {
+        PVC_CHECK_MSG(name == driving,
+                      "chain plan scans only '" << driving << "'");
+        return one;
+      },
+      EvalMode::kProbabilistic, options);
+  PvcTable out = evaluator.Eval(q);
+  if (out.NumRows() == 0) return std::nullopt;
+  PVC_CHECK_MSG(out.NumRows() == 1, "chain produced more than one row");
+  return out.row(0);
+}
+
+std::optional<Row> MaterializedView::EvalChainOnRow(
+    const Query& q, const Row& row, const ViewContext& ctx) const {
+  // The chain maps each input row to at most one output row; evaluating it
+  // on a one-row table runs the delta row through exactly the per-row
+  // pipeline a full evaluation applies.
+  return EvalChainOnSingleRow(ctx.pool, q, driving_,
+                              ctx.resolve(driving_).schema(), row,
+                              ctx.eval_options);
+}
+
+std::optional<Row> MaterializedView::EmitJoinRow(
+    const Row& left, const Row& right, const ViewContext& ctx) const {
+  Row candidate;
+  candidate.cells = left.cells;
+  candidate.cells.insert(candidate.cells.end(), right.cells.begin(),
+                         right.cells.end());
+  candidate.annotation = ctx.pool->MulS(left.annotation, right.annotation);
+  for (const Atom& atom : join_plan_.residual) {
+    if (!ApplyPredicateAtom(ctx.pool, join_schema_, atom, &candidate)) {
+      return std::nullopt;
+    }
+  }
+  ExprId zero = ctx.pool->ConstS(ctx.pool->semiring().Zero());
+  if (candidate.annotation == zero) return std::nullopt;
+  return candidate;
+}
+
+// The group's annotation: the sum of its member annotations in base-row
+// order (AddS canonicalizes, matching a full evaluation's EvalProject).
+static ExprId ProjectGroupAnnotation(
+    const std::vector<std::pair<size_t, ExprId>>& terms, ExprPool* pool) {
+  std::vector<ExprId> exprs;
+  exprs.reserve(terms.size());
+  for (const auto& [row, term] : terms) exprs.push_back(term);
+  return pool->AddS(std::move(exprs));
+}
+
+void MaterializedView::EmitProjected(const ViewContext& ctx) {
+  // Output order is the first-occurrence order of group keys in the chain
+  // output, i.e. ascending minimal member row. groups_ is kept in exactly
+  // that order, so output row i is groups_[i] -- the invariant the
+  // touched-group delta path in ApplyProjectChain relies on.
+  std::sort(groups_.begin(), groups_.end(),
+            [](const ProjectGroup& a, const ProjectGroup& b) {
+              return a.terms.front().first < b.terms.front().first;
+            });
+  PvcTable out{result_.schema()};
+  for (const ProjectGroup& g : groups_) {
+    out.AddRow(g.key, ProjectGroupAnnotation(g.terms, ctx.pool));
+  }
+  result_ = std::move(out);
+}
+
+void MaterializedView::Rebuild(const ViewContext& ctx) {
+  // Re-analyze: a referenced table may have been replaced with a
+  // different schema, which can change join key indices or the plan kind.
+  AnalyzePlan(ctx);
+  chain_prov_.clear();
+  groups_.clear();
+  group_index_.reset();
+  join_prov_.clear();
+  left_index_.reset();
+  right_index_.reset();
+
+  switch (plan_) {
+    case PlanKind::kChain: {
+      const PvcTable& base = ctx.resolve(driving_);
+      // The output schema comes from evaluating the chain on an empty
+      // input; one per-row pass then builds result and provenance together
+      // (the per-row pipeline is the full evaluation's, row by row).
+      PvcTable empty{base.schema()};
+      QueryEvaluator evaluator(
+          ctx.pool,
+          [&](const std::string&) -> const PvcTable& { return empty; },
+          EvalMode::kProbabilistic, ctx.eval_options);
+      result_ = evaluator.Eval(*query_);
+      for (size_t i = 0; i < base.NumRows(); ++i) {
+        std::optional<Row> out = EvalChainOnRow(*query_, base.row(i), ctx);
+        if (!out.has_value()) continue;
+        result_.AddRow(std::move(*out));
+        chain_prov_.push_back(i);
+      }
+      break;
+    }
+    case PlanKind::kProjectChain: {
+      const PvcTable& base = ctx.resolve(driving_);
+      const Query& chain = *query_->child(0);
+      // Resolve the projected columns against the chain output's schema,
+      // obtained from an empty-input evaluation (renames only append
+      // columns; the rows come from the per-row pass below).
+      PvcTable empty{base.schema()};
+      QueryEvaluator evaluator(
+          ctx.pool,
+          [&](const std::string&) -> const PvcTable& { return empty; },
+          EvalMode::kProbabilistic, ctx.eval_options);
+      PvcTable chain_out = evaluator.Eval(chain);
+      const Schema& chain_schema = chain_out.schema();
+      std::vector<Column> columns;
+      project_indices_.clear();
+      for (const std::string& name : query_->columns()) {
+        size_t idx = chain_schema.IndexOf(name);
+        PVC_CHECK_MSG(chain_schema.column(idx).type != CellType::kAggExpr,
+                      "Definition 5: projection on aggregation attribute '"
+                          << name << "'");
+        columns.push_back(chain_schema.column(idx));
+        project_indices_.push_back(idx);
+      }
+      result_ = PvcTable{Schema(std::move(columns))};
+
+      group_index_ = std::make_unique<GroupIndex>();
+      for (size_t i = 0; i < base.NumRows(); ++i) {
+        std::optional<Row> out = EvalChainOnRow(chain, base.row(i), ctx);
+        if (!out.has_value()) continue;
+        CellsKey key;
+        key.cells.reserve(project_indices_.size());
+        for (size_t idx : project_indices_) {
+          key.cells.push_back(out->cells[idx]);
+        }
+        auto [it, inserted] = group_index_->map.emplace(key, groups_.size());
+        if (inserted) {
+          ProjectGroup group;
+          group.key = std::move(key.cells);
+          groups_.push_back(std::move(group));
+        }
+        groups_[it->second].terms.emplace_back(i, out->annotation);
+      }
+      EmitProjected(ctx);  // Groups are already in first-occurrence order.
+      break;
+    }
+    case PlanKind::kJoin: {
+      const PvcTable& left = ctx.resolve(left_name_);
+      const PvcTable& right = ctx.resolve(right_name_);
+      std::vector<Column> columns = left.schema().columns();
+      for (const Column& c : right.schema().columns()) {
+        PVC_CHECK_MSG(!left.schema().Find(c.name).has_value(),
+                      "product requires disjoint column names; '"
+                          << c.name << "' occurs on both sides (use Rename)");
+        columns.push_back(c);
+      }
+      join_schema_ = Schema(std::move(columns));
+      result_ = PvcTable{join_schema_};
+
+      left_index_ = std::make_unique<SideIndex>();
+      right_index_ = std::make_unique<SideIndex>();
+      for (const EquiJoinPlan::Key& k : join_plan_.keys) {
+        left_index_->key_columns.push_back(k.left_index);
+        right_index_->key_columns.push_back(k.right_index);
+      }
+      for (size_t j = 0; j < right.NumRows(); ++j) {
+        right_index_->Add(right.row(j).cells, j);
+      }
+      for (size_t i = 0; i < left.NumRows(); ++i) {
+        left_index_->Add(left.row(i).cells, i);
+        const std::vector<size_t>* matches =
+            right_index_->Probe(left_index_->KeyOf(left.row(i).cells));
+        if (matches == nullptr) continue;
+        for (size_t j : *matches) {
+          std::optional<Row> row =
+              EmitJoinRow(left.row(i), right.row(j), ctx);
+          if (!row.has_value()) continue;
+          result_.AddRow(std::move(*row));
+          join_prov_.emplace_back(static_cast<uint32_t>(i),
+                                  static_cast<uint32_t>(j));
+        }
+      }
+      break;
+    }
+    case PlanKind::kRecompute: {
+      QueryEvaluator evaluator(ctx.pool, ctx.resolve,
+                               EvalMode::kProbabilistic, ctx.eval_options);
+      result_ = evaluator.Eval(*query_);
+      break;
+    }
+  }
+  stale_ = false;
+}
+
+const PvcTable& MaterializedView::Table(const ViewContext& ctx) {
+  if (stale_) Rebuild(ctx);
+  return result_;
+}
+
+std::vector<double> MaterializedView::Probabilities(
+    const VariableTable& variables, const CompileOptions& options,
+    const ViewContext& ctx) {
+  const PvcTable& table = Table(ctx);
+  return step_two_.Probabilities(*ctx.pool, variables, table, options,
+                                 ctx.eval_options.num_threads);
+}
+
+void MaterializedView::Apply(const TableDelta& delta, const ViewContext& ctx) {
+  if (!References(delta.table)) return;
+  if (stale_) return;  // Already pending a recompute.
+  switch (plan_) {
+    case PlanKind::kChain:
+      ApplyChain(delta, ctx);
+      return;
+    case PlanKind::kProjectChain:
+      ApplyProjectChain(delta, ctx);
+      return;
+    case PlanKind::kJoin:
+      ApplyJoin(delta, ctx);
+      return;
+    case PlanKind::kRecompute:
+      stale_ = true;
+      return;
+  }
+}
+
+void MaterializedView::ApplyChain(const TableDelta& delta,
+                                  const ViewContext& ctx) {
+  if (delta.kind == DeltaKind::kInsert) {
+    Row row;
+    row.cells = delta.cells;
+    row.annotation = delta.annotation;
+    std::optional<Row> out = EvalChainOnRow(*query_, row, ctx);
+    if (out.has_value()) {
+      result_.AddRow(std::move(*out));
+      chain_prov_.push_back(delta.row_index);
+    }
+    return;
+  }
+  // Delete: drop the derived row (if the base row survived the chain) and
+  // shift the provenance of later rows.
+  auto it = std::lower_bound(chain_prov_.begin(), chain_prov_.end(),
+                             delta.row_index);
+  if (it != chain_prov_.end() && *it == delta.row_index) {
+    result_.DeleteRow(static_cast<size_t>(it - chain_prov_.begin()));
+    it = chain_prov_.erase(it);
+  }
+  for (; it != chain_prov_.end(); ++it) --*it;
+}
+
+void MaterializedView::ApplyProjectChain(const TableDelta& delta,
+                                         const ViewContext& ctx) {
+  // Each base row contributes at most one member term to at most one
+  // group (the chain maps rows 1:1), so a delta touches one group: its
+  // annotation sum is re-formed in place, and only an appearing /
+  // vanishing / min-changing group moves an output row.
+  const Query& chain = *query_->child(0);
+  if (delta.kind == DeltaKind::kInsert) {
+    Row row;
+    row.cells = delta.cells;
+    row.annotation = delta.annotation;
+    std::optional<Row> out = EvalChainOnRow(chain, row, ctx);
+    if (!out.has_value()) return;
+    CellsKey key;
+    key.cells.reserve(project_indices_.size());
+    for (size_t idx : project_indices_) key.cells.push_back(out->cells[idx]);
+    auto it = group_index_->map.find(key);
+    if (it != group_index_->map.end()) {
+      // Existing group: the new member has the maximal row, so the
+      // group's minimal member -- and hence its output position -- is
+      // unchanged.
+      size_t g = it->second;
+      groups_[g].terms.emplace_back(delta.row_index, out->annotation);
+      result_.SetAnnotation(
+          g, ProjectGroupAnnotation(groups_[g].terms, ctx.pool));
+      return;
+    }
+    // New group: its minimal member row is the maximal base row, so it
+    // appends at the end of the first-occurrence order.
+    ProjectGroup group;
+    group.key = key.cells;
+    group.terms.emplace_back(delta.row_index, out->annotation);
+    result_.AddRow(std::move(key.cells),
+                   ProjectGroupAnnotation(group.terms, ctx.pool));
+    group_index_->map.emplace(CellsKey{group.key}, groups_.size());
+    groups_.push_back(std::move(group));
+    return;
+  }
+
+  // Delete: find the (single) group holding the removed row's term.
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    auto& terms = groups_[g].terms;
+    auto it = std::lower_bound(
+        terms.begin(), terms.end(), delta.row_index,
+        [](const std::pair<size_t, ExprId>& t, size_t row) {
+          return t.first < row;
+        });
+    if (it == terms.end() || it->first != delta.row_index) continue;
+    bool was_min = it == terms.begin();
+    terms.erase(it);
+    if (terms.empty()) {
+      groups_.erase(groups_.begin() + g);
+      result_.DeleteRow(g);
+      ReindexGroups();
+    } else if (was_min && g + 1 < groups_.size() &&
+               groups_[g + 1].terms.front().first < terms.front().first) {
+      // The group's minimal member grew past a later group's: re-insert
+      // at its new position in the first-occurrence order.
+      ProjectGroup moved = std::move(groups_[g]);
+      groups_.erase(groups_.begin() + g);
+      result_.DeleteRow(g);
+      size_t at = g;
+      while (at < groups_.size() &&
+             groups_[at].terms.front().first < moved.terms.front().first) {
+        ++at;
+      }
+      Row out_row;
+      out_row.cells = moved.key;
+      out_row.annotation = ProjectGroupAnnotation(moved.terms, ctx.pool);
+      result_.InsertRowAt(at, std::move(out_row));
+      groups_.insert(groups_.begin() + at, std::move(moved));
+      ReindexGroups();
+    } else {
+      result_.SetAnnotation(
+          g, ProjectGroupAnnotation(terms, ctx.pool));
+    }
+    break;
+  }
+  // Later base rows shifted down by one (relative member order -- and so
+  // every group's position -- is unchanged).
+  for (ProjectGroup& group : groups_) {
+    for (auto& [row, term] : group.terms) {
+      if (row > delta.row_index) --row;
+    }
+  }
+}
+
+void MaterializedView::ApplyJoin(const TableDelta& delta,
+                                 const ViewContext& ctx) {
+  const PvcTable& left = ctx.resolve(left_name_);
+  const PvcTable& right = ctx.resolve(right_name_);
+  // The two scans are distinct tables (Product requires disjoint columns).
+  bool is_left = delta.table == left_name_;
+  if (delta.kind == DeltaKind::kInsert) {
+    Row row;
+    row.cells = delta.cells;
+    row.annotation = delta.annotation;
+    if (is_left) {
+      // New probe row: matches append at the end (its left index is the
+      // maximum), in right-row order -- exactly where a recompute emits
+      // them.
+      size_t li = delta.row_index;
+      left_index_->Add(row.cells, li);
+      const std::vector<size_t>* matches =
+          right_index_->Probe(left_index_->KeyOf(row.cells));
+      if (matches == nullptr) return;
+      for (size_t j : *matches) {
+        std::optional<Row> out = EmitJoinRow(row, right.row(j), ctx);
+        if (!out.has_value()) continue;
+        result_.AddRow(std::move(*out));
+        join_prov_.emplace_back(static_cast<uint32_t>(li),
+                                static_cast<uint32_t>(j));
+      }
+    } else {
+      // New build row: it has the maximum right index, so within each
+      // matching left row's output block it comes last -- splice after the
+      // block, before the next left row's rows.
+      size_t ri = delta.row_index;
+      right_index_->Add(row.cells, ri);
+      const std::vector<size_t>* matches =
+          left_index_->Probe(right_index_->KeyOf(row.cells));
+      if (matches == nullptr) return;
+      for (size_t li : *matches) {
+        std::optional<Row> out = EmitJoinRow(left.row(li), row, ctx);
+        if (!out.has_value()) continue;
+        auto pos = std::lower_bound(
+            join_prov_.begin(), join_prov_.end(),
+            std::make_pair(static_cast<uint32_t>(li + 1), uint32_t{0}));
+        size_t at = static_cast<size_t>(pos - join_prov_.begin());
+        result_.InsertRowAt(at, std::move(*out));
+        join_prov_.insert(pos, {static_cast<uint32_t>(li),
+                                static_cast<uint32_t>(ri)});
+      }
+    }
+    return;
+  }
+  // Delete: drop every output row derived from the removed base row and
+  // shift the indices above it, in the provenance and the hash index alike.
+  uint32_t removed = static_cast<uint32_t>(delta.row_index);
+  for (size_t i = join_prov_.size(); i-- > 0;) {
+    uint32_t& side = is_left ? join_prov_[i].first : join_prov_[i].second;
+    if (side == removed) {
+      result_.DeleteRow(i);
+      join_prov_.erase(join_prov_.begin() + i);
+    } else if (side > removed) {
+      --side;
+    }
+  }
+  (is_left ? left_index_ : right_index_)->Erase(delta.row_index);
+}
+
+void MaterializedView::OnVariableUpdate(VarId var,
+                                        const VariableTable& variables,
+                                        const Semiring& semiring,
+                                        bool same_support) {
+  step_two_.OnVariableUpdate(var, variables, semiring, same_support);
+}
+
+// -- ViewRegistry -----------------------------------------------------------
+
+const PvcTable& ViewRegistry::Register(const std::string& name,
+                                       QueryPtr query,
+                                       const ViewContext& ctx) {
+  // Construct (and evaluate) the replacement first: a query that fails to
+  // evaluate must leave any existing view of the same name untouched.
+  auto view = std::make_unique<MaterializedView>(name, std::move(query), ctx);
+  Drop(name);
+  views_.push_back(std::move(view));
+  return views_.back()->Table(ctx);
+}
+
+bool ViewRegistry::Has(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->name() == name) return true;
+  }
+  return false;
+}
+
+void ViewRegistry::Drop(const std::string& name) {
+  for (auto it = views_.begin(); it != views_.end(); ++it) {
+    if ((*it)->name() == name) {
+      views_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<std::string> ViewRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& v : views_) names.push_back(v->name());
+  return names;
+}
+
+MaterializedView& ViewRegistry::view(const std::string& name) {
+  for (auto& v : views_) {
+    if (v->name() == name) return *v;
+  }
+  PVC_FAIL("no view named '" << name << "'");
+}
+
+const MaterializedView& ViewRegistry::view(const std::string& name) const {
+  for (const auto& v : views_) {
+    if (v->name() == name) return *v;
+  }
+  PVC_FAIL("no view named '" << name << "'");
+}
+
+const PvcTable& ViewRegistry::Table(const std::string& name,
+                                    const ViewContext& ctx) {
+  return view(name).Table(ctx);
+}
+
+std::vector<double> ViewRegistry::Probabilities(const std::string& name,
+                                                const VariableTable& variables,
+                                                const CompileOptions& options,
+                                                const ViewContext& ctx) {
+  return view(name).Probabilities(variables, options, ctx);
+}
+
+void ViewRegistry::Apply(const TableDelta& delta, const ViewContext& ctx) {
+  for (auto& v : views_) v->Apply(delta, ctx);
+}
+
+void ViewRegistry::OnVariableUpdate(VarId var, const VariableTable& variables,
+                                    const Semiring& semiring,
+                                    bool same_support) {
+  for (auto& v : views_) {
+    v->OnVariableUpdate(var, variables, semiring, same_support);
+  }
+}
+
+void ViewRegistry::OnTableReplaced(const std::string& table) {
+  for (auto& v : views_) {
+    if (v->References(table)) v->Invalidate();
+  }
+}
+
+}  // namespace pvcdb

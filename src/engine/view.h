@@ -1,0 +1,222 @@
+// Materialized probabilistic views with incremental (DBToaster-style)
+// maintenance over pvc-tables.
+//
+// A MaterializedView caches a query's step I output (the result pvc-table)
+// and maintains it under base-table deltas. The maintenance plan is chosen
+// from the query's shape at registration:
+//
+//   kChain        Select/Rename chains over one base table (the same
+//                 fragment the sharded engine distributes, cf.
+//                 ShardDrivingTable): each base row maps to at most one
+//                 output row in input order, so an insert evaluates the
+//                 chain on the delta row alone and appends, and a delete
+//                 drops the derived row.
+//   kProjectChain Project over a kChain input: groups of duplicate
+//                 projected tuples keep their member annotations (with
+//                 base-row provenance); a delta touches exactly one group,
+//                 whose annotation sum is re-formed from the member list.
+//   kJoin         Select(Product(Scan, Scan), pred) with at least one
+//                 hashable equi-key (the evaluator's hash-join fast path):
+//                 both sides keep persistent hash indices, and a delta
+//                 probes only the *other* side's cached index, splicing the
+//                 new output rows into (left, right) provenance order.
+//   kRecompute    everything else: the delta marks the view stale and the
+//                 next access re-evaluates the query (the step II cache
+//                 below still memoizes unchanged tuples across the
+//                 recompute).
+//
+// Bit-identity: every maintained result equals a from-scratch
+// re-evaluation of the query on the current base tables -- same tuples,
+// same order, same annotation structure -- so the step II probabilities
+// are bit-identical to an uncached engine as well. tests/ivm_test.cc
+// asserts this after every mutation of random interleavings.
+//
+// Step II: each view owns a StepTwoCache (src/engine/delta.h) memoizing
+// compiled d-trees and probabilities per result tuple, keyed by annotation
+// expression, with targeted refresh on variable-probability updates.
+
+#ifndef PVCDB_ENGINE_VIEW_H_
+#define PVCDB_ENGINE_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/engine/delta.h"
+#include "src/query/ast.h"
+#include "src/query/eval.h"
+#include "src/table/pvc_table.h"
+
+namespace pvcdb {
+
+/// What a maintenance step needs from the owning engine.
+struct ViewContext {
+  ExprPool* pool;
+  TableResolver resolve;
+  EvalOptions eval_options;
+};
+
+/// Evaluates the per-row fragment `q` (a Select/Rename chain whose only
+/// scan is `driving`) on the single row `row` of `schema`: the delta-row
+/// pipeline shared by unsharded chain views and the sharded per-shard
+/// views (which pass the provenance-extended schema). Returns nullopt
+/// when the row is filtered out. Chains over base tables carry no
+/// aggregation attributes, so this interns nothing and produces the same
+/// output row a full evaluation would.
+std::optional<Row> EvalChainOnSingleRow(ExprPool* pool, const Query& q,
+                                        const std::string& driving,
+                                        const Schema& schema, const Row& row,
+                                        const EvalOptions& options);
+
+/// One registered view: the query, its cached step I result, the
+/// maintenance plan state, and the step II cache.
+class MaterializedView {
+ public:
+  enum class PlanKind : uint8_t {
+    kChain,
+    kProjectChain,
+    kJoin,
+    kRecompute,
+  };
+  static const char* PlanName(PlanKind kind);
+
+  /// Analyzes the plan and performs the initial full evaluation.
+  MaterializedView(std::string name, QueryPtr query, const ViewContext& ctx);
+  ~MaterializedView();  // Out of line: SideIndex is defined in view.cc.
+
+  const std::string& name() const { return name_; }
+  const QueryPtr& query() const { return query_; }
+  PlanKind plan() const { return plan_; }
+  bool stale() const { return stale_; }
+
+  /// True when `table` is scanned anywhere in the query.
+  bool References(const std::string& table) const;
+
+  /// The cached result; re-evaluates first when the view is stale.
+  const PvcTable& Table(const ViewContext& ctx);
+
+  /// Cached per-row P[Phi != 0_S] of the result, in row order
+  /// (bit-identical to Database::TupleProbabilities over Table()).
+  std::vector<double> Probabilities(const VariableTable& variables,
+                                    const CompileOptions& options,
+                                    const ViewContext& ctx);
+
+  /// Routes one base-table delta through the maintenance plan (or marks
+  /// the view stale when the plan cannot absorb it incrementally).
+  void Apply(const TableDelta& delta, const ViewContext& ctx);
+
+  /// Variable-probability update: refreshes / drops affected step II
+  /// entries. Step I state is unaffected (annotations are symbolic).
+  void OnVariableUpdate(VarId var, const VariableTable& variables,
+                        const Semiring& semiring, bool same_support);
+
+  /// Drops the cached result (base table replaced wholesale).
+  void Invalidate() { stale_ = true; }
+
+  const StepTwoCache& step_two() const { return step_two_; }
+
+ private:
+  struct ProjectGroup {
+    std::vector<Cell> key;
+    /// (base row index, member annotation), ascending by row index.
+    std::vector<std::pair<size_t, ExprId>> terms;
+  };
+
+  void AnalyzePlan(const ViewContext& ctx);
+  void Rebuild(const ViewContext& ctx);
+
+  /// Evaluates the per-row fragment `q` (the chain, or the projection's
+  /// child) on a single base row; nullopt when the row is filtered out.
+  std::optional<Row> EvalChainOnRow(const Query& q, const Row& row,
+                                    const ViewContext& ctx) const;
+
+  /// Builds the joined row for (left row, right row); nullopt when a
+  /// residual atom filters it or the annotation folds to zero.
+  std::optional<Row> EmitJoinRow(const Row& left, const Row& right,
+                                 const ViewContext& ctx) const;
+
+  void ApplyChain(const TableDelta& delta, const ViewContext& ctx);
+  void ApplyProjectChain(const TableDelta& delta, const ViewContext& ctx);
+  void ApplyJoin(const TableDelta& delta, const ViewContext& ctx);
+  /// Re-forms result_ from groups_ (kProjectChain).
+  void EmitProjected(const ViewContext& ctx);
+
+  std::string name_;
+  QueryPtr query_;
+  PlanKind plan_ = PlanKind::kRecompute;
+  bool stale_ = true;
+  std::vector<std::string> base_tables_;
+  PvcTable result_;
+
+  // kChain / kProjectChain: the driving base table.
+  std::string driving_;
+  /// kChain: per output row, the driving-table row it derives from
+  /// (strictly ascending).
+  std::vector<size_t> chain_prov_;
+
+  // kProjectChain.
+  std::vector<size_t> project_indices_;  ///< Projected columns in the chain output.
+  std::vector<ProjectGroup> groups_;  ///< Live groups, first-occurrence order.
+  /// Key cells -> position in groups_ (O(1) insert-path lookup; rebuilt
+  /// by ReindexGroups after structural delete-path changes).
+  struct GroupIndex;
+  std::unique_ptr<GroupIndex> group_index_;
+  void ReindexGroups();
+
+  // kJoin.
+  std::string left_name_, right_name_;
+  Schema join_schema_;
+  EquiJoinPlan join_plan_;
+  /// Per output row: (left row, right row), lexicographically ascending.
+  std::vector<std::pair<uint32_t, uint32_t>> join_prov_;
+
+  StepTwoCache step_two_;
+
+  // Hash indices for the join sides (defined in view.cc to keep the cell
+  // key hasher private).
+  struct SideIndex;
+  std::unique_ptr<SideIndex> left_index_;
+  std::unique_ptr<SideIndex> right_index_;
+};
+
+/// The per-database registry: named views in registration order, fanning
+/// deltas and variable updates to each.
+class ViewRegistry {
+ public:
+  /// Registers (or replaces) `name`; evaluates the query eagerly and
+  /// returns the result.
+  const PvcTable& Register(const std::string& name, QueryPtr query,
+                           const ViewContext& ctx);
+
+  bool Has(const std::string& name) const;
+  void Drop(const std::string& name);
+  bool empty() const { return views_.empty(); }
+  std::vector<std::string> Names() const;
+
+  MaterializedView& view(const std::string& name);
+  const MaterializedView& view(const std::string& name) const;
+
+  const PvcTable& Table(const std::string& name, const ViewContext& ctx);
+  std::vector<double> Probabilities(const std::string& name,
+                                    const VariableTable& variables,
+                                    const CompileOptions& options,
+                                    const ViewContext& ctx);
+
+  void Apply(const TableDelta& delta, const ViewContext& ctx);
+  void OnVariableUpdate(VarId var, const VariableTable& variables,
+                        const Semiring& semiring, bool same_support);
+  /// `table` was replaced wholesale (AddTable): invalidate referencing
+  /// views.
+  void OnTableReplaced(const std::string& table);
+
+ private:
+  std::vector<std::unique_ptr<MaterializedView>> views_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_VIEW_H_

@@ -6,7 +6,17 @@
 
 namespace pvcdb {
 
+void VariableTable::AssertMutable() const {
+#ifndef NDEBUG
+  PVC_CHECK_MSG(eval_depth_.load(std::memory_order_relaxed) == 0,
+                "VariableTable mutated while an evaluation is in flight "
+                "(the shared table must only be mutated while no engine "
+                "instance is evaluating)");
+#endif
+}
+
 VarId VariableTable::Add(Distribution distribution, std::string name) {
+  AssertMutable();
   PVC_CHECK_MSG(!distribution.empty(), "variable needs non-empty support");
   PVC_CHECK_MSG(distribution.IsNormalized(1e-6),
                 "variable distribution must sum to 1, got "
@@ -33,6 +43,7 @@ std::string VariableTable::NameOf(VarId id) const {
 }
 
 void VariableTable::SetDistribution(VarId id, Distribution distribution) {
+  AssertMutable();
   PVC_CHECK_MSG(id < distributions_.size(), "unknown variable id " << id);
   PVC_CHECK_MSG(distribution.IsNormalized(1e-6),
                 "variable distribution must sum to 1");

@@ -7,6 +7,7 @@
 #ifndef PVCDB_PROB_VARIABLE_H_
 #define PVCDB_PROB_VARIABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,8 +21,34 @@ using VarId = uint32_t;
 
 /// Registry of the independent random variables X underlying a
 /// pvc-database, with one finite distribution per variable.
+///
+/// Mutation contract: a table shared between engine instances (the sharded
+/// topology of src/engine/shard.h) must only be mutated while no instance
+/// is evaluating. Engine facades mark in-flight evaluations with EvalScope;
+/// in debug builds (!NDEBUG) every mutator asserts that no scope is open,
+/// turning a violated contract into an immediate CheckError instead of a
+/// silent race.
 class VariableTable {
  public:
+  /// RAII marker for an evaluation that reads this table (probability
+  /// passes, d-tree compilation). Held by the Database / ShardedDatabase
+  /// probability methods; nesting and concurrent scopes from several
+  /// threads are fine.
+  class EvalScope {
+   public:
+    explicit EvalScope(const VariableTable& table) : table_(&table) {
+      table_->eval_depth_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~EvalScope() {
+      table_->eval_depth_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    EvalScope(const EvalScope&) = delete;
+    EvalScope& operator=(const EvalScope&) = delete;
+
+   private:
+    const VariableTable* table_;
+  };
+
   /// Registers a variable with the given distribution; returns its id.
   VarId Add(Distribution distribution, std::string name = "");
 
@@ -38,12 +65,17 @@ class VariableTable {
   std::string NameOf(VarId id) const;
 
   /// Replaces the distribution of an existing variable (used by sensitivity
-  /// analyses and by tests).
+  /// analyses, probability updates and tests).
   void SetDistribution(VarId id, Distribution distribution);
 
  private:
+  /// Debug-mode half of the mutation contract (see the class comment).
+  void AssertMutable() const;
+
   std::vector<Distribution> distributions_;
   std::vector<std::string> names_;
+  /// Number of open EvalScopes across all threads.
+  mutable std::atomic<int> eval_depth_{0};
 };
 
 }  // namespace pvcdb

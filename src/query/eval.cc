@@ -79,6 +79,76 @@ bool CompareDataCells(CmpOp op, const Cell& a, const Cell& b) {
 
 }  // namespace
 
+bool ApplyPredicateAtom(ExprPool* pool, const Schema& schema, const Atom& atom,
+                        Row* row) {
+  auto resolve = [&](const Operand& o) -> const Cell& {
+    if (o.kind() == Operand::Kind::kColumn) {
+      return row->cells[schema.IndexOf(o.column())];
+    }
+    return o.constant();
+  };
+  const Cell& lhs = resolve(atom.lhs);
+  const Cell& rhs = resolve(atom.rhs);
+  bool lhs_agg = lhs.type() == CellType::kAggExpr;
+  bool rhs_agg = rhs.type() == CellType::kAggExpr;
+  if (!lhs_agg && !rhs_agg) {
+    // Plain data comparison: filter.
+    return CompareDataCells(atom.op, lhs, rhs);
+  }
+  // Theta-comparison involving an aggregation attribute: extend the
+  // annotation with the conditional expression [lhs theta rhs] (Figure 4's
+  // sigma rule).
+  auto as_expr = [&](const Cell& c, const Cell& other_agg) -> ExprId {
+    if (c.type() == CellType::kAggExpr) return c.AsAgg();
+    PVC_CHECK_MSG(c.type() == CellType::kInt,
+                  "aggregation attributes compare against integers "
+                  "(fixed-point encode decimals); got "
+                      << c.ToString());
+    // The constant joins the comparison as a monoid constant of the other
+    // side's monoid.
+    AggKind agg = pool->node(other_agg.AsAgg()).agg;
+    return pool->ConstM(agg, c.AsInt());
+  };
+  ExprId lhs_expr = lhs_agg ? lhs.AsAgg() : as_expr(lhs, rhs);
+  ExprId rhs_expr = rhs_agg ? rhs.AsAgg() : as_expr(rhs, lhs);
+  ExprId cond = pool->Cmp(atom.op, lhs_expr, rhs_expr);
+  row->annotation = pool->MulS(row->annotation, cond);
+  return true;
+}
+
+EquiJoinPlan SplitEquiJoinAtoms(const Predicate& pred, const Schema& left,
+                                const Schema& right) {
+  EquiJoinPlan plan;
+  for (const Atom& atom : pred.atoms()) {
+    bool hashable = false;
+    if (atom.op == CmpOp::kEq &&
+        atom.lhs.kind() == Operand::Kind::kColumn &&
+        atom.rhs.kind() == Operand::Kind::kColumn) {
+      std::optional<size_t> ll = left.Find(atom.lhs.column());
+      std::optional<size_t> lr = left.Find(atom.rhs.column());
+      std::optional<size_t> rl = right.Find(atom.lhs.column());
+      std::optional<size_t> rr = right.Find(atom.rhs.column());
+      // Only same-typed data columns are hashable; mismatches fall back to
+      // the residual path so they fail with the same diagnostics as a
+      // plain selection.
+      auto hashable_pair = [&](size_t li, size_t ri) {
+        return left.column(li).type != CellType::kAggExpr &&
+               left.column(li).type == right.column(ri).type;
+      };
+      if (ll.has_value() && rr.has_value() && hashable_pair(*ll, *rr)) {
+        plan.keys.push_back({*ll, *rr});
+        hashable = true;
+      } else if (lr.has_value() && rl.has_value() &&
+                 hashable_pair(*lr, *rl)) {
+        plan.keys.push_back({*lr, *rl});
+        hashable = true;
+      }
+    }
+    if (!hashable) plan.residual.push_back(atom);
+  }
+  return plan;
+}
+
 QueryEvaluator::QueryEvaluator(ExprPool* pool, TableResolver resolver,
                                EvalMode mode, EvalOptions options)
     : pool_(pool),
@@ -122,39 +192,7 @@ PvcTable QueryEvaluator::EvalScan(const Query& q) {
 
 bool QueryEvaluator::ApplyAtom(const Schema& schema, const Atom& atom,
                                Row* row) {
-  auto resolve = [&](const Operand& o) -> const Cell& {
-    if (o.kind() == Operand::Kind::kColumn) {
-      return row->cells[schema.IndexOf(o.column())];
-    }
-    return o.constant();
-  };
-  const Cell& lhs = resolve(atom.lhs);
-  const Cell& rhs = resolve(atom.rhs);
-  bool lhs_agg = lhs.type() == CellType::kAggExpr;
-  bool rhs_agg = rhs.type() == CellType::kAggExpr;
-  if (!lhs_agg && !rhs_agg) {
-    // Plain data comparison: filter.
-    return CompareDataCells(atom.op, lhs, rhs);
-  }
-  // Theta-comparison involving an aggregation attribute: extend the
-  // annotation with the conditional expression [lhs theta rhs] (Figure 4's
-  // sigma rule).
-  auto as_expr = [&](const Cell& c, const Cell& other_agg) -> ExprId {
-    if (c.type() == CellType::kAggExpr) return c.AsAgg();
-    PVC_CHECK_MSG(c.type() == CellType::kInt,
-                  "aggregation attributes compare against integers "
-                  "(fixed-point encode decimals); got "
-                      << c.ToString());
-    // The constant joins the comparison as a monoid constant of the other
-    // side's monoid.
-    AggKind agg = pool_->node(other_agg.AsAgg()).agg;
-    return pool_->ConstM(agg, c.AsInt());
-  };
-  ExprId lhs_expr = lhs_agg ? lhs.AsAgg() : as_expr(lhs, rhs);
-  ExprId rhs_expr = rhs_agg ? rhs.AsAgg() : as_expr(rhs, lhs);
-  ExprId cond = pool_->Cmp(atom.op, lhs_expr, rhs_expr);
-  row->annotation = pool_->MulS(row->annotation, cond);
-  return true;
+  return ApplyPredicateAtom(pool_, schema, atom, row);
 }
 
 PvcTable QueryEvaluator::EvalSelect(const Query& q) {
@@ -247,40 +285,10 @@ PvcTable QueryEvaluator::EvalHashJoin(const Query& product,
 
   // Split the conjunction into hashable cross-side data equalities and
   // residual atoms (applied per joined row, exactly as EvalSelect would).
-  struct EquiKey {
-    size_t left_index;
-    size_t right_index;
-  };
-  std::vector<EquiKey> keys;
-  std::vector<Atom> residual;
-  for (const Atom& atom : pred.atoms()) {
-    bool hashable = false;
-    if (atom.op == CmpOp::kEq &&
-        atom.lhs.kind() == Operand::Kind::kColumn &&
-        atom.rhs.kind() == Operand::Kind::kColumn) {
-      std::optional<size_t> ll = left.schema().Find(atom.lhs.column());
-      std::optional<size_t> lr = left.schema().Find(atom.rhs.column());
-      std::optional<size_t> rl = right.schema().Find(atom.lhs.column());
-      std::optional<size_t> rr = right.schema().Find(atom.rhs.column());
-      // Only same-typed data columns are hashable; mismatches fall back to
-      // the residual path so they fail with the same diagnostics as a
-      // plain selection.
-      auto hashable_pair = [&](size_t li, size_t ri) {
-        return left.schema().column(li).type != CellType::kAggExpr &&
-               left.schema().column(li).type ==
-                   right.schema().column(ri).type;
-      };
-      if (ll.has_value() && rr.has_value() && hashable_pair(*ll, *rr)) {
-        keys.push_back({*ll, *rr});
-        hashable = true;
-      } else if (lr.has_value() && rl.has_value() &&
-                 hashable_pair(*lr, *rl)) {
-        keys.push_back({*lr, *rl});
-        hashable = true;
-      }
-    }
-    if (!hashable) residual.push_back(atom);
-  }
+  EquiJoinPlan plan =
+      SplitEquiJoinAtoms(pred, left.schema(), right.schema());
+  const std::vector<EquiJoinPlan::Key>& keys = plan.keys;
+  const std::vector<Atom>& residual = plan.residual;
 
   std::vector<Column> columns = left.schema().columns();
   for (const Column& c : right.schema().columns()) {
@@ -318,7 +326,7 @@ PvcTable QueryEvaluator::EvalHashJoin(const Query& product,
   for (size_t j = 0; j < right.NumRows(); ++j) {
     RowKey key;
     key.cells.reserve(keys.size());
-    for (const EquiKey& k : keys) {
+    for (const EquiJoinPlan::Key& k : keys) {
       key.cells.push_back(right.row(j).cells[k.right_index]);
     }
     build[std::move(key)].push_back(j);
@@ -331,7 +339,7 @@ PvcTable QueryEvaluator::EvalHashJoin(const Query& product,
     const Row& l = left.row(i);
     RowKey key;
     key.cells.reserve(keys.size());
-    for (const EquiKey& k : keys) key.cells.push_back(l.cells[k.left_index]);
+    for (const EquiJoinPlan::Key& k : keys) key.cells.push_back(l.cells[k.left_index]);
     auto it = build.find(key);
     if (it != build.end()) matches[i] = &it->second;
   });

@@ -83,6 +83,35 @@ class QueryEvaluator {
   EvalOptions options_;
 };
 
+// -- Delta-aware entry points (incremental view maintenance,
+//    src/engine/view.h): the per-row pieces of the evaluator, exposed so a
+//    maintenance step can process a delta row through the exact pipeline a
+//    full evaluation would, keeping incremental results bit-identical.
+
+/// Applies one predicate atom to a row: data atoms filter (return value),
+/// atoms touching an aggregation attribute extend the annotation with the
+/// conditional expression [lhs theta rhs] (Figure 4's sigma rule). This is
+/// the single implementation behind selection, the hash-join residual pass
+/// and delta maintenance.
+bool ApplyPredicateAtom(ExprPool* pool, const Schema& schema, const Atom& atom,
+                        Row* row);
+
+/// The hash-join execution split of Select(Product(l, r), pred): which
+/// conjunction atoms run as cross-side data equi-keys and which remain
+/// residual per-row atoms. Both the evaluator's hash join and the join-view
+/// delta path derive their plans from this one function, so re-probing a
+/// delta uses exactly the keys a full evaluation would.
+struct EquiJoinPlan {
+  struct Key {
+    size_t left_index;
+    size_t right_index;
+  };
+  std::vector<Key> keys;      ///< Hashable cross-side data equalities.
+  std::vector<Atom> residual; ///< Everything else, applied per joined row.
+};
+EquiJoinPlan SplitEquiJoinAtoms(const Predicate& pred, const Schema& left,
+                                const Schema& right);
+
 // -- Shard-distributable fragment (scatter entry point, src/engine/shard.h)
 
 /// The base table driving `q` when `q` is a Select/Rename chain over a

@@ -28,6 +28,29 @@ void PvcTable::AddRow(std::vector<Cell> cells, ExprId annotation) {
   AddRow(std::move(r));
 }
 
+void PvcTable::DeleteRow(size_t index) {
+  PVC_CHECK_MSG(index < rows_.size(),
+                "row index " << index << " out of range");
+  rows_.erase(rows_.begin() + index);
+}
+
+void PvcTable::InsertRowAt(size_t index, Row row) {
+  PVC_CHECK_MSG(index <= rows_.size(),
+                "insert position " << index << " out of range");
+  PVC_CHECK_MSG(row.cells.size() == schema_.NumColumns(),
+                "row arity " << row.cells.size() << " does not match schema "
+                             << schema_.NumColumns());
+  PVC_CHECK_MSG(row.annotation != kInvalidExpr, "row needs an annotation");
+  rows_.insert(rows_.begin() + index, std::move(row));
+}
+
+void PvcTable::SetAnnotation(size_t index, ExprId annotation) {
+  PVC_CHECK_MSG(index < rows_.size(),
+                "row index " << index << " out of range");
+  PVC_CHECK_MSG(annotation != kInvalidExpr, "row needs an annotation");
+  rows_[index].annotation = annotation;
+}
+
 const Cell& PvcTable::CellAt(size_t row_index, const std::string& column) const {
   return row(row_index).cells[schema_.IndexOf(column)];
 }

@@ -44,6 +44,19 @@ class PvcTable {
   /// Convenience: appends a row of cells with annotation `annotation`.
   void AddRow(std::vector<Cell> cells, ExprId annotation);
 
+  // -- Row mutation (incremental view maintenance, src/engine/view.h) ------
+
+  /// Removes row `index`; later rows shift down by one. O(rows).
+  void DeleteRow(size_t index);
+
+  /// Inserts `row` so that it becomes row `index` (existing rows from
+  /// `index` on shift up). `index` may equal NumRows() (append). O(rows).
+  void InsertRowAt(size_t index, Row row);
+
+  /// Replaces the annotation of row `index` (projection-style views merge
+  /// annotations in place when a delta touches an existing group).
+  void SetAnnotation(size_t index, ExprId annotation);
+
   /// The cell of row `row_index` in the column named `column`.
   const Cell& CellAt(size_t row_index, const std::string& column) const;
 

@@ -8,24 +8,40 @@
 //   tractable <sql...>        classify a query (Q_ind / Q_hie / neither)
 //   SELECT ...                run a Q query; prints tuples, P[tuple], and
 //                             conditional aggregate distributions
+//   insert <table> <cells...> <prob>
+//                             append a tuple (one token per column; no
+//                             spaces in strings) with P[present] = prob;
+//                             registered views update incrementally
+//   delete <table> <key>      delete every row whose first-column cell
+//                             equals <key>
+//   setprob <var> <p>         update a variable's marginal (accepts "x3"
+//                             or a numeric id); cached d-trees mentioning
+//                             the variable are re-evaluated in place
+//   view <name> SELECT ...    register a materialized view
+//   view <name>               print a view's tuples and cached P[tuple]
+//   views                     list views (maintenance plan, rows, cache)
 //   threads [n]               show or set the thread count
 //   shards [n]                show or set the shard count: n >= 1 rebuilds
 //                             the session as a ShardedDatabase with n
 //                             hash-partitioned shards (re-importing every
-//                             loaded CSV), 0 returns to a single database.
-//                             Results are bit-identical either way.
+//                             loaded CSV and replaying mutations + views),
+//                             0 returns to a single database. Results are
+//                             bit-identical either way.
 //   help                      this text
 //   quit                      exit
 //
 // Example session:
 //   load items data/items.csv
-//   SELECT kind, COUNT(*) AS n FROM items GROUP BY kind HAVING n >= 2
+//   view pricey SELECT * FROM items WHERE price >= 1000
+//   insert items tool drill 1450 0.7
+//   view pricey
 //
 // Batch use: pipe commands through stdin (the shell detects non-tty input
 // and suppresses prompts).
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -47,11 +63,16 @@ namespace {
 using namespace pvcdb;
 
 // The session: a single Database, or a ShardedDatabase when `shards n` is
-// active. Loaded CSVs are remembered so resharding can replay them.
+// active. Every successful state-changing command (load / insert /
+// delete / setprob / view) is logged verbatim, in order, so resharding
+// replays the exact session history onto the new topology -- preserving
+// the interleaving (a reload between mutations, a view redefined after
+// inserts) is what makes the rebuilt state, and hence every printed
+// result, bit-identical across shard counts.
 struct Session {
   std::unique_ptr<Database> db = std::make_unique<Database>();
   std::unique_ptr<ShardedDatabase> sharded;
-  std::vector<std::pair<std::string, std::string>> loads;  // table, path.
+  std::vector<std::string> history;  ///< State-changing lines, in order.
   int num_threads = 0;
 
   const Database& catalog() const {
@@ -66,6 +87,11 @@ void PrintHelp() {
             << "  show <table>             print a pvc-table\n"
             << "  tractable <sql>          classify a query\n"
             << "  SELECT ...               run a query\n"
+            << "  insert <table> <cells...> <prob>  append a tuple\n"
+            << "  delete <table> <key>     delete rows matching the key\n"
+            << "  setprob <var> <p>        update a variable's marginal\n"
+            << "  view <name> [SELECT ...] register / print a view\n"
+            << "  views                    list materialized views\n"
             << "  threads [n]              show or set the thread count\n"
             << "                           (0 = serial, -1 = all cores)\n"
             << "  shards [n]               show or set the shard count\n"
@@ -173,11 +199,267 @@ void ApplyThreads(Session* session) {
   }
 }
 
+// Parses the whole of `token` as a double; rejects trailing garbage.
+bool ParseFullDouble(const std::string& token, double* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stod(token, &pos);
+    return pos == token.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// Parses the whole of `token` as a cell of column type `type` (partial
+// parses like "14.99" for an int column are rejected, not truncated).
+bool ParseCellToken(const std::string& token, CellType type, Cell* out) {
+  try {
+    size_t pos = 0;
+    switch (type) {
+      case CellType::kInt: {
+        int64_t v = std::stoll(token, &pos);
+        if (pos != token.size()) return false;
+        *out = Cell(v);
+        return true;
+      }
+      case CellType::kDouble: {
+        double v = std::stod(token, &pos);
+        if (pos != token.size()) return false;
+        *out = Cell(v);
+        return true;
+      }
+      case CellType::kString:
+        *out = Cell(token);
+        return true;
+      default:
+        return false;
+    }
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool RunInsert(Session* session, std::istream& stream, bool quiet) {
+  std::string table;
+  stream >> table;
+  std::vector<std::string> tokens;
+  std::string token;
+  while (stream >> token) tokens.push_back(token);
+  const Database& catalog = session->catalog();
+  if (table.empty() || !catalog.HasTable(table)) {
+    std::cout << "no table '" << table << "'\n";
+    return false;
+  }
+  const Schema& schema = catalog.table(table).schema();
+  if (tokens.size() != schema.NumColumns() + 1) {
+    std::cout << "usage: insert <table> <" << schema.NumColumns()
+              << " cells> <prob>\n";
+    return false;
+  }
+  std::vector<Cell> cells(schema.NumColumns());
+  for (size_t i = 0; i < schema.NumColumns(); ++i) {
+    if (!ParseCellToken(tokens[i], schema.column(i).type, &cells[i])) {
+      std::cout << "cannot parse '" << tokens[i] << "' for column '"
+                << schema.column(i).name << "'\n";
+      return false;
+    }
+  }
+  double p = 0.0;
+  // The negated >= form also rejects NaN (every NaN comparison is false).
+  if (!ParseFullDouble(tokens.back(), &p) || !(p >= 0.0 && p <= 1.0)) {
+    std::cout << "bad probability '" << tokens.back() << "'\n";
+    return false;
+  }
+  try {
+    if (session->sharded != nullptr) {
+      session->sharded->InsertTuple(table, std::move(cells), p);
+    } else {
+      session->db->InsertTuple(table, std::move(cells), p);
+    }
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+    return false;
+  }
+  if (!quiet) {
+    std::cout << "inserted into " << table << " ("
+              << session->catalog().table(table).NumRows() << " rows)\n";
+  }
+  return true;
+}
+
+bool RunDelete(Session* session, std::istream& stream, bool quiet) {
+  std::string table;
+  std::string key_token;
+  stream >> table >> key_token;
+  const Database& catalog = session->catalog();
+  if (table.empty() || key_token.empty() || !catalog.HasTable(table)) {
+    std::cout << (catalog.HasTable(table) ? "usage: delete <table> <key>\n"
+                                          : "no table '" + table + "'\n");
+    return false;
+  }
+  Cell key;
+  CellType key_type = catalog.table(table).schema().column(0).type;
+  if (!ParseCellToken(key_token, key_type, &key)) {
+    std::cout << "cannot parse key '" << key_token << "'\n";
+    return false;
+  }
+  size_t removed = 0;
+  try {
+    removed = session->sharded != nullptr
+                  ? session->sharded->DeleteTuple(table, key)
+                  : session->db->DeleteTuple(table, key);
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+    return false;
+  }
+  if (!quiet) {
+    std::cout << "deleted " << removed << " rows from " << table << "\n";
+  }
+  return true;
+}
+
+bool RunSetProb(Session* session, std::istream& stream, bool quiet) {
+  std::string var_token;
+  std::string p_token;
+  stream >> var_token >> p_token;
+  if (!var_token.empty() && var_token[0] == 'x') {
+    var_token = var_token.substr(1);
+  }
+  // Both arguments must parse in full -- a typo like "0..5" must not
+  // silently become a destructive p = 0 update.
+  VarId var = 0;
+  double p = -1.0;
+  try {
+    size_t pos = 0;
+    var = static_cast<VarId>(std::stoul(var_token, &pos));
+    if (pos != var_token.size()) throw std::invalid_argument(var_token);
+  } catch (const std::exception&) {
+    std::cout << "usage: setprob <var> <p in [0,1]>\n";
+    return false;
+  }
+  // The negated >= form also rejects NaN (every NaN comparison is false).
+  if (!ParseFullDouble(p_token, &p) || !(p >= 0.0 && p <= 1.0)) {
+    std::cout << "usage: setprob <var> <p in [0,1]>\n";
+    return false;
+  }
+  const VariableTable& variables = session->catalog().variables();
+  if (var >= variables.size()) {
+    std::cout << "unknown variable x" << var << "\n";
+    return false;
+  }
+  try {
+    if (session->sharded != nullptr) {
+      session->sharded->UpdateProbability(var, p);
+    } else {
+      session->db->UpdateProbability(var, p);
+    }
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+    return false;
+  }
+  if (!quiet) {
+    std::cout << "P[" << variables.NameOf(var) << " = 1] = " << p << "\n";
+  }
+  return true;
+}
+
+// Re-applies a logged mutation line ("insert ...", "delete ...",
+// "setprob ...") -- the reshard replay path.
+bool ApplyMutationLine(Session* session, const std::string& line,
+                       bool quiet) {
+  std::istringstream stream(line);
+  std::string command;
+  stream >> command;
+  if (command == "insert") return RunInsert(session, stream, quiet);
+  if (command == "delete") return RunDelete(session, stream, quiet);
+  if (command == "setprob") return RunSetProb(session, stream, quiet);
+  return false;
+}
+
+bool RegisterViewCommand(Session* session, const std::string& name,
+                         const std::string& sql, bool quiet) {
+  ParseResult parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::cout << parsed.error << "\n";
+    return false;
+  }
+  try {
+    size_t rows = 0;
+    if (session->sharded != nullptr) {
+      session->sharded->RegisterView(name, parsed.query);
+      rows = session->sharded->ViewResult(name).NumRows();
+    } else {
+      rows = session->db->RegisterView(name, parsed.query).NumRows();
+    }
+    if (!quiet) {
+      std::cout << "view " << name << " registered (" << rows << " rows)\n";
+    }
+    return true;
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+    return false;
+  }
+}
+
+void PrintView(Session* session, const std::string& name) {
+  try {
+    if (session->sharded != nullptr) {
+      ShardedDatabase& db = *session->sharded;
+      if (!db.HasView(name)) {
+        std::cout << "no view '" << name << "'\n";
+        return;
+      }
+      ShardedResult result = db.ViewResult(name);
+      std::cout << db.ResultToString(result);
+      PrintRowProbabilities(
+          result.schema(), db.ViewProbabilities(name),
+          [&](size_t i, const std::string& column) {
+            return db.ConditionalAggregateDistribution(result, i, column);
+          });
+    } else {
+      Database& db = *session->db;
+      if (!db.HasView(name)) {
+        std::cout << "no view '" << name << "'\n";
+        return;
+      }
+      const PvcTable& result = db.ViewTable(name);
+      std::cout << result.ToString(&db.pool());
+      PrintRowProbabilities(
+          result.schema(), db.ViewProbabilities(name),
+          [&](size_t i, const std::string& column) {
+            return db.ConditionalAggregateDistribution(result, i, column);
+          });
+    }
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+  }
+}
+
+void ListViews(Session* session) {
+  if (session->sharded != nullptr) {
+    for (const ShardedDatabase::ViewInfo& info :
+         session->sharded->ViewInfos()) {
+      std::cout << info.name << " (" << info.plan << ", " << info.rows
+                << " rows, " << info.cache_entries << " cached d-trees)\n";
+    }
+    return;
+  }
+  Database& db = *session->db;
+  for (const std::string& name : db.ViewNames()) {
+    const MaterializedView& view = db.views().view(name);
+    std::cout << name << " ("
+              << MaterializedView::PlanName(view.plan()) << ", "
+              << db.ViewTable(name).NumRows() << " rows, "
+              << view.step_two().size() << " cached d-trees)\n";
+  }
+}
+
 void Reshard(Session* session, int n) {
-  // The new engine is built and loaded before the old one is torn down,
-  // and the load history survives failed re-imports, so a missing CSV
-  // only skips that table for this topology instead of dropping it from
-  // the session for good.
+  // The new engine is built and the session history replayed onto it, in
+  // the original command order, before the old engine is torn down. The
+  // history survives failed replays (e.g. a CSV that has vanished), so a
+  // broken line only skips its effect for this topology instead of
+  // dropping it from the session for good.
   std::unique_ptr<Database> db;
   std::unique_ptr<ShardedDatabase> sharded;
   if (n >= 1) {
@@ -185,23 +467,39 @@ void Reshard(Session* session, int n) {
   } else {
     db = std::make_unique<Database>();
   }
+  std::swap(session->db, db);
+  std::swap(session->sharded, sharded);
+  ApplyThreads(session);
   size_t reloaded = 0;
-  for (const auto& [table, path] : session->loads) {
-    CsvResult r = sharded != nullptr
-                      ? LoadCsvTableFromFile(sharded.get(), table, path)
-                      : LoadCsvTableFromFile(db.get(), table, path);
-    if (r.ok) {
-      std::cout << "loaded " << r.rows << " rows into " << table << "\n";
-      ++reloaded;
-    } else {
-      std::cout << "error: " << r.error << "\n";
+  size_t replayed = 0;
+  size_t views = 0;
+  for (const std::string& line : session->history) {
+    std::istringstream stream(line);
+    std::string command;
+    stream >> command;
+    if (command == "load") {
+      std::string table;
+      std::string path;
+      stream >> table >> path;
+      if (LoadInto(session, table, path)) ++reloaded;
+    } else if (command == "view") {
+      std::string name;
+      std::string rest;
+      stream >> name;
+      std::getline(stream, rest);
+      size_t sql_start = rest.find_first_not_of(" \t");
+      if (sql_start != std::string::npos &&
+          RegisterViewCommand(session, name, rest.substr(sql_start),
+                              /*quiet=*/true)) {
+        ++views;
+      }
+    } else if (ApplyMutationLine(session, line, /*quiet=*/true)) {
+      ++replayed;
     }
   }
-  session->db = std::move(db);
-  session->sharded = std::move(sharded);
-  ApplyThreads(session);
   std::cout << "shards = " << n << " (" << reloaded
-            << " tables re-imported)\n";
+            << " tables re-imported, " << replayed
+            << " mutations replayed, " << views << " views)\n";
 }
 
 }  // namespace
@@ -232,7 +530,7 @@ int main() {
         continue;
       }
       if (LoadInto(&session, table, path)) {
-        session.loads.emplace_back(table, path);
+        session.history.push_back(line);
       }
     } else if (command == "tables") {
       const Database& catalog = session.catalog();
@@ -259,6 +557,29 @@ int main() {
       std::string rest;
       std::getline(stream, rest);
       Classify(session.catalog(), rest);
+    } else if (command == "insert" || command == "delete" ||
+               command == "setprob") {
+      if (ApplyMutationLine(&session, line, /*quiet=*/false)) {
+        session.history.push_back(line);
+      }
+    } else if (command == "view") {
+      std::string name;
+      stream >> name;
+      std::string rest;
+      std::getline(stream, rest);
+      size_t sql_start = rest.find_first_not_of(" \t");
+      if (name.empty()) {
+        std::cout << "usage: view <name> [SELECT ...]\n";
+      } else if (sql_start == std::string::npos) {
+        PrintView(&session, name);
+      } else {
+        std::string sql = rest.substr(sql_start);
+        if (RegisterViewCommand(&session, name, sql, /*quiet=*/false)) {
+          session.history.push_back(line);
+        }
+      }
+    } else if (command == "views") {
+      ListViews(&session);
     } else if (command == "threads") {
       int n = 0;
       if (stream >> n) {
