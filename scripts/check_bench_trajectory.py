@@ -13,13 +13,21 @@ Normalizing by the same run's serial single-shard point cancels the
 absolute speed of the machine, so a baseline committed from one host
 remains meaningful on CI runners.
 
---metric speedup (`bench_ivm --json`): compares the recorded
-`speedup_incremental_vs_recompute` of the summary record selected by
---series/--shards/--threads. The speedup is already a within-run ratio,
-so no further normalization is applied.
+--metric speedup (`bench_ivm --json`, `bench_hotpath --json`): compares
+the recorded speedup field of the summary record selected by
+--series/--shards/--threads. The field defaults to
+`speedup_incremental_vs_recompute` (bench_ivm); pass
+--field speedup_vs_serial for the bench_hotpath intra-tree curve. The
+speedup is already a within-run ratio, so no further normalization is
+applied.
 
-Either way the check fails when the current value drops more than
---threshold below the baseline's.
+--metric ns-per-node (`bench_hotpath --json`): compares the compile +
+probability cost per d-tree node of the selected record. Lower is
+better, so the check fails when the current value rises more than
+--threshold above the baseline (the inverse of the other metrics).
+
+Unless stated otherwise the check fails when the current value drops
+more than --threshold below the baseline's.
 
 Exit codes: 0 ok, 1 regression, 2 missing/invalid data.
 
@@ -69,9 +77,12 @@ def throughput(records, bench, shards, threads):
                  ["rows_per_second"])
 
 
-def speedup(records, bench, shards, threads):
-    return float(find_record(records, bench, shards, threads)
-                 ["speedup_incremental_vs_recompute"])
+def field_value(records, bench, shards, threads, field):
+    record = find_record(records, bench, shards, threads)
+    if field not in record:
+        print(f"ERROR: record '{bench}' has no field '{field}'")
+        sys.exit(2)
+    return float(record[field])
 
 
 def normalized(records, shards, threads):
@@ -96,10 +107,14 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
     parser.add_argument("--baseline", required=True)
-    parser.add_argument("--metric", choices=["throughput", "speedup"],
+    parser.add_argument("--metric",
+                        choices=["throughput", "speedup", "ns-per-node"],
                         default="throughput")
     parser.add_argument("--series", default="shard_query",
                         help="bench name of the record to gate on "
+                             "(speedup / ns-per-node metrics)")
+    parser.add_argument("--field", default="speedup_incremental_vs_recompute",
+                        help="record field holding the speedup "
                              "(speedup metric)")
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed fractional drop (0.20 = 20%%)")
@@ -107,6 +122,7 @@ def main():
     parser.add_argument("--threads", type=int, default=4)
     args = parser.parse_args()
 
+    lower_is_better = False
     if args.metric == "throughput":
         current = normalized(load_records(args.current), args.shards,
                              args.threads)
@@ -116,20 +132,38 @@ def main():
         warn_if_weak_baseline(baseline_records)
         baseline = normalized(baseline_records, args.shards, args.threads)
         label = f"normalized {args.shards}-way throughput"
+    elif args.metric == "ns-per-node":
+        current = field_value(load_records(args.current), args.series,
+                              args.shards, args.threads, "ns_per_node")
+        baseline_records = load_records(args.baseline)
+        warn_if_weak_baseline(baseline_records)
+        baseline = field_value(baseline_records, args.series, args.shards,
+                               args.threads, "ns_per_node")
+        label = f"{args.series} ns per d-tree node"
+        lower_is_better = True
     else:
-        current = speedup(load_records(args.current), args.series,
-                          args.shards, args.threads)
-        baseline = speedup(load_records(args.baseline), args.series,
-                           args.shards, args.threads)
-        label = f"{args.series} incremental-vs-recompute speedup"
+        current = field_value(load_records(args.current), args.series,
+                              args.shards, args.threads, args.field)
+        baseline = field_value(load_records(args.baseline), args.series,
+                               args.shards, args.threads, args.field)
+        label = f"{args.series} {args.field}"
 
-    floor = (1.0 - args.threshold) * baseline
-    print(f"{label}: current {current:.3f}, "
-          f"baseline {baseline:.3f}, floor {floor:.3f}")
-    if current < floor:
-        print(f"FAIL: {label} regressed more "
-              f"than {args.threshold:.0%} below the committed baseline")
-        sys.exit(1)
+    if lower_is_better:
+        ceiling = (1.0 + args.threshold) * baseline
+        print(f"{label}: current {current:.3f}, "
+              f"baseline {baseline:.3f}, ceiling {ceiling:.3f}")
+        if current > ceiling:
+            print(f"FAIL: {label} regressed more "
+                  f"than {args.threshold:.0%} above the committed baseline")
+            sys.exit(1)
+    else:
+        floor = (1.0 - args.threshold) * baseline
+        print(f"{label}: current {current:.3f}, "
+              f"baseline {baseline:.3f}, floor {floor:.3f}")
+        if current < floor:
+            print(f"FAIL: {label} regressed more "
+                  f"than {args.threshold:.0%} below the committed baseline")
+            sys.exit(1)
     print("OK")
 
 

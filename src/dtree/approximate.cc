@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "src/dtree/prune.h"
 #include "src/util/check.h"
@@ -13,20 +14,85 @@ namespace {
 
 ProbabilityBounds Exact(double p) { return {p, p}; }
 
+// Iterative interval-propagation kernel. Decomposition frames carry lazily
+// materialised child subproblems (component regroupings and Shannon
+// branches are built exactly when evaluation reaches them), so the budget
+// is consumed -- and the pool grows -- in the same order as the recursive
+// formulation; the memo is a dense ExprId-indexed vector.
 class Approximator {
  public:
   Approximator(ExprPool* pool, const VariableTable& variables, size_t budget)
       : pool_(pool), variables_(variables), budget_(budget) {}
 
   ProbabilityBounds Bounds(ExprId e) {
-    auto it = memo_.find(e);
-    if (it != memo_.end()) return it->second;
-    ProbabilityBounds result = ComputeBounds(e);
-    memo_.emplace(e, result);
-    return result;
+    if (const ProbabilityBounds* hit = Find(e)) return *hit;
+    PushOrSettle(e);
+    while (!frames_.empty()) {
+      Frame& f = frames_.back();
+      if (f.next < f.pending_count) {
+        PendingChild& pc = pending_[f.pending_begin + f.next];
+        if (!pc.resolved) {
+          Resolve(f, &pc);
+          pc.resolved = true;
+        }
+        if (const ProbabilityBounds* b = Find(pc.expr)) {
+          Fold(&f, *b, pc);
+          ++f.next;
+          continue;
+        }
+        PushOrSettle(pc.expr);
+        continue;
+      }
+      ProbabilityBounds result = f.acc;
+      ExprId expr = f.expr;
+      pending_.resize(f.pending_begin);
+      members_.resize(f.members_base);
+      frames_.pop_back();
+      Settle(expr, result);
+    }
+    return *Find(e);
   }
 
  private:
+  enum class Combine : uint8_t { kOr, kAnd, kShannon, kRedirect };
+
+  struct PendingChild {
+    enum class Kind : uint8_t { kExpr, kCombine, kBranch };
+    Kind kind = Kind::kExpr;
+    ExprId expr = kInvalidExpr;
+    bool resolved = false;
+    uint32_t members_begin = 0;  ///< kCombine: range in members_.
+    uint32_t members_count = 0;
+    int64_t branch_value = 0;  ///< kBranch.
+    double weight = 0.0;       ///< kBranch: P_x[branch_value].
+  };
+
+  struct Frame {
+    ExprId expr = kInvalidExpr;
+    Combine combine = Combine::kOr;
+    ExprKind combine_kind = ExprKind::kAddS;  ///< Op of kCombine children.
+    VarId var = 0;                            ///< kShannon.
+    ProbabilityBounds acc{0.0, 0.0};
+    uint32_t next = 0;
+    uint32_t pending_begin = 0;
+    uint32_t pending_count = 0;
+    uint32_t members_base = 0;
+  };
+
+  const ProbabilityBounds* Find(ExprId e) const {
+    if (e < has_.size() && has_[e]) return &memo_[e];
+    return nullptr;
+  }
+
+  void Settle(ExprId e, ProbabilityBounds b) {
+    if (e >= has_.size()) {
+      has_.resize(pool_->NumNodes(), 0);
+      memo_.resize(pool_->NumNodes());
+    }
+    has_[e] = 1;
+    memo_[e] = b;
+  }
+
   bool ConsumeBudget() {
     if (budget_ == 0) return false;
     --budget_;
@@ -39,61 +105,69 @@ class Approximator {
     return std::max(0.0, d.TotalMass() - d.ProbOf(0));
   }
 
-  ProbabilityBounds ShannonBounds(ExprId e) {
-    // Mutex decomposition (Eq. 10) on the first variable: interval-weighted
-    // mixture over the branches.
-    const ExprNode& n = pool_->node(e);
-    VarId x = n.vars.front();
-    ProbabilityBounds acc{0.0, 0.0};
-    for (const auto& [s, p] : variables_.DistributionOf(x).entries()) {
-      ExprId branch = pool_->Substitute(e, x, s);
-      ProbabilityBounds b = Bounds(branch);
-      acc.low += p * b.low;
-      acc.high += p * b.high;
-    }
-    return acc;
-  }
-
-  ProbabilityBounds ComputeBounds(ExprId e) {
-    const ExprNode n = pool_->node(e);  // Copy: pool may grow below.
+  /// Settles `e` directly (constants, variables, exhausted budget) or
+  /// pushes a decomposition frame.
+  void PushOrSettle(ExprId e) {
+    const ExprNode n = pool_->node(e);  // Copy: the pool may grow below.
     if (n.kind == ExprKind::kConstS) {
-      return Exact(n.value != 0 ? 1.0 : 0.0);
+      Settle(e, Exact(n.value != 0 ? 1.0 : 0.0));
+      return;
     }
-    if (!ConsumeBudget()) return {0.0, 1.0};
+    if (!ConsumeBudget()) {
+      Settle(e, {0.0, 1.0});
+      return;
+    }
     switch (n.kind) {
       case ExprKind::kVar:
-        return Exact(VarProbability(n.var()));
-      case ExprKind::kAddS: {
-        // Group children into independent components; OR-combine bounds of
-        // components (monotone), Shannon within a shared component.
-        std::vector<std::vector<ExprId>> groups = Components(n.children);
-        if (groups.size() == 1) return ShannonBounds(e);
-        ProbabilityBounds acc = Exact(0.0);
-        for (std::vector<ExprId>& group : groups) {
-          ExprId sub = pool_->AddS(std::move(group));
-          ProbabilityBounds b = Bounds(sub);
-          // OR: 1 - (1-a)(1-b), monotone increasing in both.
-          acc.low = 1.0 - (1.0 - acc.low) * (1.0 - b.low);
-          acc.high = 1.0 - (1.0 - acc.high) * (1.0 - b.high);
-        }
-        return acc;
-      }
+        Settle(e, Exact(VarProbability(n.var())));
+        return;
+      case ExprKind::kAddS:
       case ExprKind::kMulS: {
-        std::vector<std::vector<ExprId>> groups = Components(n.children);
-        if (groups.size() == 1) return ShannonBounds(e);
-        ProbabilityBounds acc = Exact(1.0);
-        for (std::vector<ExprId>& group : groups) {
-          ExprId sub = pool_->MulS(std::move(group));
-          ProbabilityBounds b = Bounds(sub);
-          acc.low *= b.low;
-          acc.high *= b.high;
+        // Group children into independent components; OR/AND-combine the
+        // components' bounds (monotone), Shannon within a shared one.
+        std::vector<std::vector<ExprId>> groups = Components(n.children());
+        if (groups.size() == 1) {
+          PushShannon(e, n);
+          return;
         }
-        return acc;
+        Frame f;
+        f.expr = e;
+        f.combine = n.kind == ExprKind::kAddS ? Combine::kOr : Combine::kAnd;
+        f.combine_kind = n.kind;
+        f.acc = n.kind == ExprKind::kAddS ? Exact(0.0) : Exact(1.0);
+        f.pending_begin = static_cast<uint32_t>(pending_.size());
+        f.members_base = static_cast<uint32_t>(members_.size());
+        for (const std::vector<ExprId>& group : groups) {
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kCombine;
+          pc.members_begin = static_cast<uint32_t>(members_.size());
+          members_.insert(members_.end(), group.begin(), group.end());
+          pc.members_count = static_cast<uint32_t>(group.size());
+          pending_.push_back(pc);
+        }
+        f.pending_count = static_cast<uint32_t>(groups.size());
+        frames_.push_back(f);
+        return;
       }
       case ExprKind::kCmp: {
         ExprId pruned = PruneComparison(*pool_, e);
-        if (pruned != e) return Bounds(pruned);
-        return ShannonBounds(e);
+        if (pruned != e) {
+          Frame f;
+          f.expr = e;
+          f.combine = Combine::kRedirect;
+          f.pending_begin = static_cast<uint32_t>(pending_.size());
+          f.members_base = static_cast<uint32_t>(members_.size());
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kExpr;
+          pc.expr = pruned;
+          pc.resolved = true;
+          pending_.push_back(pc);
+          f.pending_count = 1;
+          frames_.push_back(f);
+          return;
+        }
+        PushShannon(e, n);
+        return;
       }
       case ExprKind::kTensor:
       case ExprKind::kAddM:
@@ -106,9 +180,72 @@ class Approximator {
     PVC_FAIL("unreachable");
   }
 
-  // Connected components by shared variables (same notion as the compiler).
-  std::vector<std::vector<ExprId>> Components(
-      const std::vector<ExprId>& items) {
+  // Mutex decomposition (Eq. 10) on the first variable: interval-weighted
+  // mixture over the branches, substituted lazily in branch order.
+  void PushShannon(ExprId e, const ExprNode& n) {
+    VarId x = n.vars().front();
+    Frame f;
+    f.expr = e;
+    f.combine = Combine::kShannon;
+    f.var = x;
+    f.acc = {0.0, 0.0};
+    f.pending_begin = static_cast<uint32_t>(pending_.size());
+    f.members_base = static_cast<uint32_t>(members_.size());
+    const Distribution& px = variables_.DistributionOf(x);
+    for (const auto& [s, p] : px.entries()) {
+      PendingChild pc;
+      pc.kind = PendingChild::Kind::kBranch;
+      pc.branch_value = s;
+      pc.weight = p;
+      pending_.push_back(pc);
+    }
+    f.pending_count = static_cast<uint32_t>(px.size());
+    frames_.push_back(f);
+  }
+
+  void Resolve(const Frame& f, PendingChild* pc) {
+    switch (pc->kind) {
+      case PendingChild::Kind::kExpr:
+        return;
+      case PendingChild::Kind::kBranch:
+        pc->expr = pool_->Substitute(f.expr, f.var, pc->branch_value);
+        return;
+      case PendingChild::Kind::kCombine: {
+        const ExprId* m = members_.data() + pc->members_begin;
+        pc->expr = f.combine_kind == ExprKind::kAddS
+                       ? pool_->AddSRange(m, pc->members_count)
+                       : pool_->MulSRange(m, pc->members_count);
+        return;
+      }
+    }
+    PVC_FAIL("unknown pending-child kind");
+  }
+
+  void Fold(Frame* f, const ProbabilityBounds& b, const PendingChild& pc) {
+    switch (f->combine) {
+      case Combine::kOr:
+        // OR: 1 - (1-a)(1-b), monotone increasing in both.
+        f->acc.low = 1.0 - (1.0 - f->acc.low) * (1.0 - b.low);
+        f->acc.high = 1.0 - (1.0 - f->acc.high) * (1.0 - b.high);
+        return;
+      case Combine::kAnd:
+        f->acc.low *= b.low;
+        f->acc.high *= b.high;
+        return;
+      case Combine::kShannon:
+        f->acc.low += pc.weight * b.low;
+        f->acc.high += pc.weight * b.high;
+        return;
+      case Combine::kRedirect:
+        f->acc = b;
+        return;
+    }
+    PVC_FAIL("unknown combine kind");
+  }
+
+  // Connected components by shared variables (same notion as the
+  // compiler), as groups of member expressions in first-occurrence order.
+  std::vector<std::vector<ExprId>> Components(Span<ExprId> items) {
     std::unordered_map<VarId, size_t> owner;
     std::vector<size_t> parent(items.size());
     for (size_t i = 0; i < items.size(); ++i) parent[i] = i;
@@ -139,7 +276,11 @@ class Approximator {
   ExprPool* pool_;
   const VariableTable& variables_;
   size_t budget_;
-  std::unordered_map<ExprId, ProbabilityBounds> memo_;
+  std::vector<ProbabilityBounds> memo_;
+  std::vector<uint8_t> has_;
+  std::vector<Frame> frames_;
+  std::vector<PendingChild> pending_;
+  std::vector<ExprId> members_;
 };
 
 }  // namespace

@@ -1,7 +1,6 @@
 #include "src/dtree/compile.h"
 
 #include <algorithm>
-#include <optional>
 #include <utility>
 
 #include "src/dtree/prune.h"
@@ -12,32 +11,14 @@ namespace pvcdb {
 
 namespace {
 
-// Union-find over item indices, used for connected-component grouping.
-class UnionFind {
- public:
-  explicit UnionFind(size_t n) : parent_(n) {
-    for (size_t i = 0; i < n; ++i) parent_[i] = i;
-  }
-
-  size_t Find(size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void Union(size_t a, size_t b) { parent_[Find(a)] = Find(b); }
-
- private:
-  std::vector<size_t> parent_;
-};
-
 // The multiset of semiring factors of a child of a sum: the factor list of
 // a product node, or the node itself.
 std::vector<ExprId> FactorsOf(const ExprPool& pool, ExprId e) {
   const ExprNode& n = pool.node(e);
-  if (n.kind == ExprKind::kMulS) return n.children;  // Already sorted.
+  if (n.kind == ExprKind::kMulS) {
+    Span<ExprId> c = n.children();  // Already sorted.
+    return {c.begin(), c.end()};
+  }
   return {e};
 }
 
@@ -48,6 +29,22 @@ std::vector<ExprId> MultisetMinus(const std::vector<ExprId>& a,
   std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
                       std::back_inserter(out));
   return out;
+}
+
+// Whether two sorted variable sets are disjoint.
+bool SortedDisjoint(Span<VarId> a, Span<VarId> b) {
+  const VarId* i = a.begin();
+  const VarId* j = b.begin();
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -81,36 +78,397 @@ std::vector<DTree> CompileBatch(const ExprPool& pool,
 }
 
 DTree DTreeCompiler::Compile(ExprId e) {
-  memo_.clear();
+  memo_.assign(pool_->NumNodes(), kNoNode);
+  frames_.clear();
+  pending_.clear();
+  members_.clear();
   DTree out;
-  DTree::NodeId root = CompileRec(e, &out);
-  out.set_root(root);
+  Visit(e, &out);
+  // Drive the frame stack: each iteration either materialises and descends
+  // into the top frame's next child subproblem, or -- when every child is
+  // compiled -- emits the frame's d-tree node. The emission order matches
+  // the recursive formulation's postorder exactly.
+  while (!frames_.empty()) {
+    Frame& f = frames_.back();
+    if (f.next < f.pending_count) {
+      PendingChild& pc = pending_[f.pending_begin + f.next];
+      if (!pc.resolved) {
+        ResolveChild(f, &pc);
+        pc.resolved = true;
+      }
+      if (MemoLookup(pc.expr) != kNoNode) {
+        ++f.next;
+        continue;
+      }
+      Visit(pc.expr, &out);
+      continue;
+    }
+    DTree::NodeId result;
+    if (f.redirect) {
+      result = MemoLookup(pending_[f.pending_begin].expr);
+    } else {
+      child_ids_.clear();
+      branch_scratch_.clear();
+      for (uint32_t i = 0; i < f.pending_count; ++i) {
+        const PendingChild& pc = pending_[f.pending_begin + i];
+        child_ids_.push_back(MemoLookup(pc.expr));
+        if (f.kind == DTreeNodeKind::kMutex) {
+          branch_scratch_.push_back(pc.branch_value);
+        }
+      }
+      result = out.AddNode(f.kind, f.sort, f.agg, f.cmp, f.var, 0,
+                           {child_ids_.data(), child_ids_.size()},
+                           {branch_scratch_.data(), branch_scratch_.size()});
+    }
+    MemoStore(f.expr, result);
+    pending_.resize(f.pending_begin);
+    members_.resize(f.members_base);
+    frames_.pop_back();
+  }
+  out.set_root(MemoLookup(e));
   return out;
 }
 
-std::vector<std::vector<size_t>> DTreeCompiler::Components(
-    const std::vector<ExprId>& items) {
-  UnionFind uf(items.size());
-  std::unordered_map<VarId, size_t> first_owner;
-  for (size_t i = 0; i < items.size(); ++i) {
-    for (VarId v : pool_->VarsOf(items[i])) {
-      auto [it, inserted] = first_owner.emplace(v, i);
-      if (!inserted) uf.Union(i, it->second);
+void DTreeCompiler::Visit(ExprId e, DTree* out) {
+  PVC_CHECK_MSG(out->size() < options_.max_nodes,
+                "d-tree node budget exceeded (" << options_.max_nodes << ")");
+  if (MemoLookup(e) != kNoNode) return;
+
+  // Pruning (rule 4 preamble): simplify conditional expressions first.
+  if (options_.enable_pruning && pool_->node(e).kind == ExprKind::kCmp) {
+    ExprId pruned = PruneComparison(*pool_, e);
+    if (pruned != e) {
+      ++stats_.prunings;
+      PushRedirect(e, pruned);
+      return;
     }
   }
-  std::unordered_map<size_t, size_t> root_to_component;
+
+  const ExprNode n = pool_->node(e);  // Copy: the pool grows below.
+  switch (n.kind) {
+    case ExprKind::kVar:
+      MemoStore(e, out->AddNode(DTreeNodeKind::kLeafVar, ExprSort::kSemiring,
+                                AggKind::kSum, CmpOp::kEq, n.var(), 0, {},
+                                {}));
+      return;
+    case ExprKind::kConstS:
+    case ExprKind::kConstM:
+      MemoStore(e, out->AddNode(DTreeNodeKind::kLeafConst, n.sort, n.agg,
+                                CmpOp::kEq, 0, n.value, {}, {}));
+      return;
+    case ExprKind::kAddS:
+    case ExprKind::kAddM: {
+      if (!options_.enable_independence) {
+        PushShannon(e, n);
+        return;
+      }
+      Span<ExprId> kids = n.children();
+      std::vector<std::vector<size_t>> components = Components(kids);
+      if (components.size() > 1) {
+        // Rule 1: independent sum.
+        ++stats_.independence_splits;
+        Frame f;
+        f.expr = e;
+        f.kind = DTreeNodeKind::kOplus;
+        f.sort = n.sort;
+        f.agg = n.agg;
+        f.combine_kind = n.kind;
+        f.pending_begin = static_cast<uint32_t>(pending_.size());
+        f.members_base = static_cast<uint32_t>(members_.size());
+        for (const std::vector<size_t>& comp : components) {
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kCombine;
+          pc.members_begin = static_cast<uint32_t>(members_.size());
+          for (size_t idx : comp) members_.push_back(kids[idx]);
+          pc.members_count = static_cast<uint32_t>(comp.size());
+          pending_.push_back(pc);
+        }
+        f.pending_count = static_cast<uint32_t>(components.size());
+        frames_.push_back(f);
+        return;
+      }
+      // Single component: attempt read-once common-factor extraction.
+      if (options_.enable_factorization) {
+        std::optional<ExprId> factored = n.kind == ExprKind::kAddS
+                                             ? TryFactorSum(n)
+                                             : TryFactorTensorSum(n);
+        if (factored.has_value() && *factored != e) {
+          ++stats_.factorizations;
+          PushRedirect(e, *factored);
+          return;
+        }
+      }
+      PushShannon(e, n);
+      return;
+    }
+    case ExprKind::kMulS: {
+      if (!options_.enable_independence) {
+        PushShannon(e, n);
+        return;
+      }
+      Span<ExprId> kids = n.children();
+      std::vector<std::vector<size_t>> components = Components(kids);
+      if (components.size() > 1) {
+        // Rule 2: independent product.
+        ++stats_.independence_splits;
+        Frame f;
+        f.expr = e;
+        f.kind = DTreeNodeKind::kOdot;
+        f.sort = ExprSort::kSemiring;
+        f.combine_kind = ExprKind::kMulS;
+        f.pending_begin = static_cast<uint32_t>(pending_.size());
+        f.members_base = static_cast<uint32_t>(members_.size());
+        for (const std::vector<size_t>& comp : components) {
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kCombine;
+          pc.members_begin = static_cast<uint32_t>(members_.size());
+          for (size_t idx : comp) members_.push_back(kids[idx]);
+          pc.members_count = static_cast<uint32_t>(comp.size());
+          pending_.push_back(pc);
+        }
+        f.pending_count = static_cast<uint32_t>(components.size());
+        frames_.push_back(f);
+        return;
+      }
+      PushShannon(e, n);
+      return;
+    }
+    case ExprKind::kTensor: {
+      if (options_.enable_independence &&
+          SortedDisjoint(pool_->VarsOf(n.child(0)),
+                         pool_->VarsOf(n.child(1)))) {
+        // Rule 3: independent tensor.
+        ++stats_.independence_splits;
+        Frame f;
+        f.expr = e;
+        f.kind = DTreeNodeKind::kOtimes;
+        f.sort = ExprSort::kMonoid;
+        f.agg = n.agg;
+        f.pending_begin = static_cast<uint32_t>(pending_.size());
+        f.members_base = static_cast<uint32_t>(members_.size());
+        for (int i = 0; i < 2; ++i) {
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kExpr;
+          pc.expr = n.child(i);
+          pc.resolved = true;
+          pending_.push_back(pc);
+        }
+        f.pending_count = 2;
+        frames_.push_back(f);
+        return;
+      }
+      PushShannon(e, n);
+      return;
+    }
+    case ExprKind::kCmp: {
+      if (options_.enable_independence &&
+          SortedDisjoint(pool_->VarsOf(n.child(0)),
+                         pool_->VarsOf(n.child(1)))) {
+        // Rule 4: independent comparison.
+        ++stats_.independence_splits;
+        Frame f;
+        f.expr = e;
+        f.kind = DTreeNodeKind::kCmp;
+        f.sort = ExprSort::kSemiring;
+        f.cmp = n.cmp;
+        f.pending_begin = static_cast<uint32_t>(pending_.size());
+        f.members_base = static_cast<uint32_t>(members_.size());
+        for (int i = 0; i < 2; ++i) {
+          PendingChild pc;
+          pc.kind = PendingChild::Kind::kExpr;
+          pc.expr = n.child(i);
+          pc.resolved = true;
+          pending_.push_back(pc);
+        }
+        f.pending_count = 2;
+        frames_.push_back(f);
+        return;
+      }
+      PushShannon(e, n);
+      return;
+    }
+  }
+  PVC_FAIL("unknown expression kind");
+}
+
+void DTreeCompiler::PushRedirect(ExprId e, ExprId target) {
+  Frame f;
+  f.expr = e;
+  f.redirect = true;
+  f.pending_begin = static_cast<uint32_t>(pending_.size());
+  f.members_base = static_cast<uint32_t>(members_.size());
+  PendingChild pc;
+  pc.kind = PendingChild::Kind::kExpr;
+  pc.expr = target;
+  pc.resolved = true;
+  pending_.push_back(pc);
+  f.pending_count = 1;
+  frames_.push_back(f);
+}
+
+void DTreeCompiler::PushShannon(ExprId e, const ExprNode& n) {
+  VarId x = ChooseVariable(e);
+  ++stats_.mutex_expansions;
+  const Distribution& px = variables_->DistributionOf(x);
+  Frame f;
+  f.expr = e;
+  f.kind = DTreeNodeKind::kMutex;
+  f.sort = n.sort;
+  f.agg = n.agg;
+  f.var = x;
+  f.pending_begin = static_cast<uint32_t>(pending_.size());
+  f.members_base = static_cast<uint32_t>(members_.size());
+  for (const auto& entry : px.entries()) {
+    PendingChild pc;
+    pc.kind = PendingChild::Kind::kBranch;
+    pc.branch_value = entry.first;
+    pending_.push_back(pc);
+  }
+  f.pending_count = static_cast<uint32_t>(px.size());
+  frames_.push_back(f);
+}
+
+void DTreeCompiler::ResolveChild(const Frame& f, PendingChild* pc) {
+  switch (pc->kind) {
+    case PendingChild::Kind::kExpr:
+      return;
+    case PendingChild::Kind::kBranch:
+      pc->expr = pool_->Substitute(f.expr, f.var, pc->branch_value);
+      return;
+    case PendingChild::Kind::kCombine: {
+      const ExprId* m = members_.data() + pc->members_begin;
+      switch (f.combine_kind) {
+        case ExprKind::kAddS:
+          pc->expr = pool_->AddSRange(m, pc->members_count);
+          return;
+        case ExprKind::kMulS:
+          pc->expr = pool_->MulSRange(m, pc->members_count);
+          return;
+        case ExprKind::kAddM:
+          pc->expr = pool_->AddMRange(f.agg, m, pc->members_count);
+          return;
+        default:
+          PVC_FAIL("unexpected combine kind");
+      }
+    }
+  }
+  PVC_FAIL("unknown pending-child kind");
+}
+
+std::vector<std::vector<size_t>> DTreeCompiler::Components(
+    Span<ExprId> items) {
+  size_t n = items.size();
+  uf_parent_.resize(n);
+  for (size_t i = 0; i < n; ++i) uf_parent_[i] = i;
+  auto find = [this](size_t x) {
+    while (uf_parent_[x] != x) {
+      uf_parent_[x] = uf_parent_[uf_parent_[x]];
+      x = uf_parent_[x];
+    }
+    return x;
+  };
+  if (++var_epoch_ == 0) {
+    std::fill(var_stamp_.begin(), var_stamp_.end(), 0u);
+    var_epoch_ = 1;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (VarId v : pool_->VarsOf(items[i])) {
+      if (v >= var_stamp_.size()) {
+        var_stamp_.resize(v + 1, 0);
+        var_owner_.resize(v + 1, 0);
+      }
+      if (var_stamp_[v] != var_epoch_) {
+        var_stamp_[v] = var_epoch_;
+        var_owner_[v] = static_cast<uint32_t>(i);
+      } else {
+        uf_parent_[find(i)] = find(var_owner_[v]);
+      }
+    }
+  }
+  comp_of_.assign(n, static_cast<uint32_t>(-1));
   std::vector<std::vector<size_t>> components;
-  for (size_t i = 0; i < items.size(); ++i) {
-    size_t root = uf.Find(i);
-    auto [it, inserted] = root_to_component.emplace(root, components.size());
-    if (inserted) components.emplace_back();
-    components[it->second].push_back(i);
+  for (size_t i = 0; i < n; ++i) {
+    size_t root = find(i);
+    if (comp_of_[root] == static_cast<uint32_t>(-1)) {
+      comp_of_[root] = static_cast<uint32_t>(components.size());
+      components.emplace_back();
+    }
+    components[comp_of_[root]].push_back(i);
   }
   return components;
 }
 
+void DTreeCompiler::CountOccurrences(ExprId e) {
+  size_t n = pool_->NumNodes();
+  if (node_stamp_.size() < n) {
+    node_stamp_.resize(n, 0);
+    node_state_.resize(n, 0);
+    node_paths_.resize(n, 0.0);
+  }
+  if (++node_epoch_ == 0) {
+    std::fill(node_stamp_.begin(), node_stamp_.end(), 0u);
+    node_epoch_ = 1;
+  }
+  if (++occ_epoch_ == 0) {
+    std::fill(occ_stamp_.begin(), occ_stamp_.end(), 0u);
+    occ_epoch_ = 1;
+  }
+  order_.clear();
+  dfs_stack_.clear();
+  dfs_stack_.push_back(e);
+  while (!dfs_stack_.empty()) {
+    ExprId id = dfs_stack_.back();
+    uint8_t state = node_stamp_[id] == node_epoch_ ? node_state_[id] : 0;
+    if (state == 2) {
+      dfs_stack_.pop_back();
+      continue;
+    }
+    if (state == 0) {
+      node_stamp_[id] = node_epoch_;
+      node_state_[id] = 1;
+      node_paths_[id] = 0.0;
+      for (ExprId c : pool_->node(id).children()) {
+        if (node_stamp_[c] != node_epoch_) dfs_stack_.push_back(c);
+      }
+    } else {
+      node_state_[id] = 2;
+      order_.push_back(id);
+      dfs_stack_.pop_back();
+    }
+  }
+  // Parents first: distribute path counts down the DAG, accumulating the
+  // per-variable occurrence totals. Path counts are integer-valued, so the
+  // accumulation order cannot perturb them.
+  node_paths_[e] = 1.0;
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    ExprId id = *it;
+    double p = node_paths_[id];
+    const ExprNode& nd = pool_->node(id);
+    if (nd.kind == ExprKind::kVar) {
+      VarId v = nd.var();
+      if (v >= occ_stamp_.size()) {
+        occ_stamp_.resize(v + 1, 0);
+        occ_count_.resize(v + 1, 0.0);
+      }
+      if (occ_stamp_[v] != occ_epoch_) {
+        occ_stamp_[v] = occ_epoch_;
+        occ_count_[v] = p;
+      } else {
+        occ_count_[v] += p;
+      }
+    }
+    for (ExprId c : nd.children()) node_paths_[c] += p;
+  }
+}
+
+double DTreeCompiler::OccurrencesOf(VarId v) const {
+  return (v < occ_stamp_.size() && occ_stamp_[v] == occ_epoch_)
+             ? occ_count_[v]
+             : 0.0;
+}
+
 VarId DTreeCompiler::ChooseVariable(ExprId e) {
-  const std::vector<VarId>& vars = pool_->VarsOf(e);
+  Span<VarId> vars = pool_->VarsOf(e);
   PVC_CHECK(!vars.empty());
   switch (options_.heuristic) {
     case VarChoiceHeuristic::kFirst:
@@ -119,13 +477,12 @@ VarId DTreeCompiler::ChooseVariable(ExprId e) {
       return vars[static_cast<size_t>(
           rng_.UniformInt(0, static_cast<int64_t>(vars.size()) - 1))];
     case VarChoiceHeuristic::kMostOccurrences: {
-      std::unordered_map<VarId, double> counts;
-      pool_->CountVarOccurrences(e, &counts);
+      CountOccurrences(e);
       VarId best = vars.front();
       double best_count = -1.0;
       // Deterministic tie-break on the smaller id: iterate the sorted list.
       for (VarId v : vars) {
-        double c = counts[v];
+        double c = OccurrencesOf(v);
         if (c > best_count) {
           best = v;
           best_count = c;
@@ -137,249 +494,68 @@ VarId DTreeCompiler::ChooseVariable(ExprId e) {
   PVC_FAIL("unknown variable-choice heuristic");
 }
 
-DTree::NodeId DTreeCompiler::CompileShannon(ExprId e, DTree* out) {
-  VarId x = ChooseVariable(e);
-  ++stats_.mutex_expansions;
-  const Distribution& px = variables_->DistributionOf(x);
-  DTreeNode node;
-  node.kind = DTreeNodeKind::kMutex;
-  node.var = x;
-  const ExprNode& en = pool_->node(e);
-  node.sort = en.sort;
-  node.agg = en.agg;
-  for (const auto& [s, p] : px.entries()) {
-    ExprId branch = pool_->Substitute(e, x, s);
-    node.children.push_back(CompileRec(branch, out));
-    node.branch_values.push_back(s);
+std::optional<ExprId> DTreeCompiler::TryFactorSum(const ExprNode& n) {
+  // Common semiring factor: x*a + x*b = x*(a + b).
+  Span<ExprId> kids = n.children();
+  std::vector<ExprId> common = FactorsOf(*pool_, kids.front());
+  for (size_t i = 1; i < kids.size() && !common.empty(); ++i) {
+    std::vector<ExprId> fi = FactorsOf(*pool_, kids[i]);
+    std::vector<ExprId> inter;
+    std::set_intersection(common.begin(), common.end(), fi.begin(), fi.end(),
+                          std::back_inserter(inter));
+    common = std::move(inter);
   }
-  return out->AddNode(std::move(node));
+  // Never factor out ground factors; constants are already canonicalised
+  // by the smart constructors.
+  common.erase(std::remove_if(
+                   common.begin(), common.end(),
+                   [&](ExprId f) { return pool_->node(f).IsGround(); }),
+               common.end());
+  if (common.empty()) return std::nullopt;
+  std::vector<ExprId> residuals;
+  residuals.reserve(kids.size());
+  for (ExprId c : kids) {
+    std::vector<ExprId> rest = MultisetMinus(FactorsOf(*pool_, c), common);
+    residuals.push_back(pool_->MulS(rest));
+  }
+  return pool_->MulS(pool_->MulS(common), pool_->AddS(residuals));
 }
 
-DTree::NodeId DTreeCompiler::CompileRec(ExprId e, DTree* out) {
-  PVC_CHECK_MSG(out->size() < options_.max_nodes,
-                "d-tree node budget exceeded (" << options_.max_nodes << ")");
-  auto it = memo_.find(e);
-  if (it != memo_.end()) return it->second;
-
-  // Pruning (rule 4 preamble): simplify conditional expressions first.
-  if (options_.enable_pruning &&
-      pool_->node(e).kind == ExprKind::kCmp) {
-    ExprId pruned = PruneComparison(*pool_, e);
-    if (pruned != e) {
-      ++stats_.prunings;
-      DTree::NodeId id = CompileRec(pruned, out);
-      memo_.emplace(e, id);
-      return id;
+std::optional<ExprId> DTreeCompiler::TryFactorTensorSum(const ExprNode& n) {
+  // Common semiring factor across tensor terms:
+  // (x*a) (x) m1 +op (x*b) (x) m2 = x (x) (a (x) m1 +op b (x) m2).
+  Span<ExprId> kids = n.children();
+  std::vector<ExprId> common;
+  bool first = true;
+  for (ExprId c : kids) {
+    const ExprNode& cn = pool_->node(c);
+    if (cn.kind != ExprKind::kTensor) return std::nullopt;
+    std::vector<ExprId> fi = FactorsOf(*pool_, cn.child(0));
+    if (first) {
+      common = std::move(fi);
+      first = false;
+    } else {
+      std::vector<ExprId> inter;
+      std::set_intersection(common.begin(), common.end(), fi.begin(),
+                            fi.end(), std::back_inserter(inter));
+      common = std::move(inter);
     }
+    if (common.empty()) return std::nullopt;
   }
-
-  const ExprNode n = pool_->node(e);  // Copy: the pool grows below.
-  DTree::NodeId result = 0;
-  switch (n.kind) {
-    case ExprKind::kVar: {
-      DTreeNode leaf;
-      leaf.kind = DTreeNodeKind::kLeafVar;
-      leaf.sort = ExprSort::kSemiring;
-      leaf.var = n.var();
-      result = out->AddNode(std::move(leaf));
-      break;
-    }
-    case ExprKind::kConstS:
-    case ExprKind::kConstM: {
-      DTreeNode leaf;
-      leaf.kind = DTreeNodeKind::kLeafConst;
-      leaf.sort = n.sort;
-      leaf.agg = n.agg;
-      leaf.value = n.value;
-      result = out->AddNode(std::move(leaf));
-      break;
-    }
-    case ExprKind::kAddS:
-    case ExprKind::kAddM: {
-      if (!options_.enable_independence) {
-        result = CompileShannon(e, out);
-        break;
-      }
-      std::vector<std::vector<size_t>> components = Components(n.children);
-      if (components.size() > 1) {
-        // Rule 1: independent sum.
-        ++stats_.independence_splits;
-        DTreeNode sum;
-        sum.kind = DTreeNodeKind::kOplus;
-        sum.sort = n.sort;
-        sum.agg = n.agg;
-        for (const std::vector<size_t>& comp : components) {
-          std::vector<ExprId> members;
-          members.reserve(comp.size());
-          for (size_t idx : comp) members.push_back(n.children[idx]);
-          ExprId sub = n.kind == ExprKind::kAddS
-                           ? pool_->AddS(std::move(members))
-                           : pool_->AddM(n.agg, std::move(members));
-          sum.children.push_back(CompileRec(sub, out));
-        }
-        result = out->AddNode(std::move(sum));
-        break;
-      }
-      // Single component: attempt read-once common-factor extraction.
-      if (options_.enable_factorization) {
-        std::optional<ExprId> factored =
-            n.kind == ExprKind::kAddS
-                ? [&]() -> std::optional<ExprId> {
-                    // Common semiring factor: x*a + x*b = x*(a + b).
-                    std::vector<ExprId> common =
-                        FactorsOf(*pool_, n.children.front());
-                    for (size_t i = 1; i < n.children.size() && !common.empty();
-                         ++i) {
-                      std::vector<ExprId> fi =
-                          FactorsOf(*pool_, n.children[i]);
-                      std::vector<ExprId> inter;
-                      std::set_intersection(common.begin(), common.end(),
-                                            fi.begin(), fi.end(),
-                                            std::back_inserter(inter));
-                      common = std::move(inter);
-                    }
-                    // Never factor out ground factors; constants are already
-                    // canonicalised by the smart constructors.
-                    common.erase(
-                        std::remove_if(common.begin(), common.end(),
-                                       [&](ExprId f) {
-                                         return pool_->node(f).IsGround();
-                                       }),
-                        common.end());
-                    if (common.empty()) return std::nullopt;
-                    std::vector<ExprId> residuals;
-                    residuals.reserve(n.children.size());
-                    for (ExprId c : n.children) {
-                      std::vector<ExprId> rest =
-                          MultisetMinus(FactorsOf(*pool_, c), common);
-                      residuals.push_back(pool_->MulS(std::move(rest)));
-                    }
-                    return pool_->MulS(pool_->MulS(std::move(common)),
-                                       pool_->AddS(std::move(residuals)));
-                  }()
-                : [&]() -> std::optional<ExprId> {
-                    // Common semiring factor across tensor terms:
-                    // (x*a) (x) m1 +op (x*b) (x) m2
-                    //   = x (x) (a (x) m1 +op b (x) m2).
-                    std::vector<ExprId> common;
-                    bool first = true;
-                    for (ExprId c : n.children) {
-                      const ExprNode& cn = pool_->node(c);
-                      if (cn.kind != ExprKind::kTensor) return std::nullopt;
-                      std::vector<ExprId> fi =
-                          FactorsOf(*pool_, cn.children[0]);
-                      if (first) {
-                        common = std::move(fi);
-                        first = false;
-                      } else {
-                        std::vector<ExprId> inter;
-                        std::set_intersection(common.begin(), common.end(),
-                                              fi.begin(), fi.end(),
-                                              std::back_inserter(inter));
-                        common = std::move(inter);
-                      }
-                      if (common.empty()) return std::nullopt;
-                    }
-                    common.erase(
-                        std::remove_if(common.begin(), common.end(),
-                                       [&](ExprId f) {
-                                         return pool_->node(f).IsGround();
-                                       }),
-                        common.end());
-                    if (common.empty()) return std::nullopt;
-                    std::vector<ExprId> residuals;
-                    residuals.reserve(n.children.size());
-                    for (ExprId c : n.children) {
-                      const ExprNode& cn = pool_->node(c);
-                      std::vector<ExprId> rest =
-                          MultisetMinus(FactorsOf(*pool_, cn.children[0]),
-                                        common);
-                      residuals.push_back(pool_->Tensor(
-                          pool_->MulS(std::move(rest)), cn.children[1]));
-                    }
-                    return pool_->Tensor(
-                        pool_->MulS(std::move(common)),
-                        pool_->AddM(n.agg, std::move(residuals)));
-                  }();
-        if (factored.has_value() && *factored != e) {
-          ++stats_.factorizations;
-          result = CompileRec(*factored, out);
-          break;
-        }
-      }
-      result = CompileShannon(e, out);
-      break;
-    }
-    case ExprKind::kMulS: {
-      if (!options_.enable_independence) {
-        result = CompileShannon(e, out);
-        break;
-      }
-      std::vector<std::vector<size_t>> components = Components(n.children);
-      if (components.size() > 1) {
-        // Rule 2: independent product.
-        ++stats_.independence_splits;
-        DTreeNode prod;
-        prod.kind = DTreeNodeKind::kOdot;
-        prod.sort = ExprSort::kSemiring;
-        for (const std::vector<size_t>& comp : components) {
-          std::vector<ExprId> members;
-          members.reserve(comp.size());
-          for (size_t idx : comp) members.push_back(n.children[idx]);
-          prod.children.push_back(
-              CompileRec(pool_->MulS(std::move(members)), out));
-        }
-        result = out->AddNode(std::move(prod));
-        break;
-      }
-      result = CompileShannon(e, out);
-      break;
-    }
-    case ExprKind::kTensor: {
-      const std::vector<VarId>& sv = pool_->VarsOf(n.children[0]);
-      const std::vector<VarId>& mv = pool_->VarsOf(n.children[1]);
-      std::vector<VarId> shared;
-      std::set_intersection(sv.begin(), sv.end(), mv.begin(), mv.end(),
-                            std::back_inserter(shared));
-      if (options_.enable_independence && shared.empty()) {
-        // Rule 3: independent tensor.
-        ++stats_.independence_splits;
-        DTreeNode tensor;
-        tensor.kind = DTreeNodeKind::kOtimes;
-        tensor.sort = ExprSort::kMonoid;
-        tensor.agg = n.agg;
-        tensor.children = {CompileRec(n.children[0], out),
-                           CompileRec(n.children[1], out)};
-        result = out->AddNode(std::move(tensor));
-        break;
-      }
-      result = CompileShannon(e, out);
-      break;
-    }
-    case ExprKind::kCmp: {
-      const std::vector<VarId>& lv = pool_->VarsOf(n.children[0]);
-      const std::vector<VarId>& rv = pool_->VarsOf(n.children[1]);
-      std::vector<VarId> shared;
-      std::set_intersection(lv.begin(), lv.end(), rv.begin(), rv.end(),
-                            std::back_inserter(shared));
-      if (options_.enable_independence && shared.empty()) {
-        // Rule 4: independent comparison.
-        ++stats_.independence_splits;
-        DTreeNode cmp;
-        cmp.kind = DTreeNodeKind::kCmp;
-        cmp.sort = ExprSort::kSemiring;
-        cmp.cmp = n.cmp;
-        cmp.children = {CompileRec(n.children[0], out),
-                        CompileRec(n.children[1], out)};
-        result = out->AddNode(std::move(cmp));
-        break;
-      }
-      result = CompileShannon(e, out);
-      break;
-    }
+  common.erase(std::remove_if(
+                   common.begin(), common.end(),
+                   [&](ExprId f) { return pool_->node(f).IsGround(); }),
+               common.end());
+  if (common.empty()) return std::nullopt;
+  std::vector<ExprId> residuals;
+  residuals.reserve(kids.size());
+  for (ExprId c : kids) {
+    const ExprNode cn = pool_->node(c);  // Copy: interning below.
+    std::vector<ExprId> rest =
+        MultisetMinus(FactorsOf(*pool_, cn.child(0)), common);
+    residuals.push_back(pool_->Tensor(pool_->MulS(rest), cn.child(1)));
   }
-  memo_.emplace(e, result);
-  return result;
+  return pool_->Tensor(pool_->MulS(common), pool_->AddM(n.agg, residuals));
 }
 
 }  // namespace pvcdb

@@ -17,12 +17,21 @@
 //   5. otherwise the expression is Shannon-expanded on one variable
 //      (a |_|_x mutex node, Eq. 10); the default heuristic picks the
 //      variable with the most occurrences, as in the paper.
+//
+// The engine is an iterative explicit-stack kernel: decomposition frames
+// carry lazily materialised child subproblems (component regroupings and
+// Shannon branches are built exactly when compilation reaches them, so the
+// pool grows in the same order as the recursive formulation), the memo is a
+// dense ExprId-indexed vector, and the per-expansion scratch (connected
+// components, occurrence counting) is epoch-stamped instead of hashed --
+// no recursion depth limit and no per-node allocation on the hot path.
 
 #ifndef PVCDB_DTREE_COMPILE_H_
 #define PVCDB_DTREE_COMPILE_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <optional>
+#include <vector>
 
 #include "src/dtree/dtree.h"
 #include "src/expr/expr.h"
@@ -80,20 +89,110 @@ class DTreeCompiler {
   const CompileStats& stats() const { return stats_; }
 
  private:
-  DTree::NodeId CompileRec(ExprId e, DTree* out);
-  DTree::NodeId CompileShannon(ExprId e, DTree* out);
+  /// Sentinel for "not yet compiled" in the dense memo.
+  static constexpr DTree::NodeId kNoNode = static_cast<DTree::NodeId>(-1);
+
+  /// One child subproblem of a decomposition frame. kCombine and kBranch
+  /// children are materialised (regrouped / substituted) only when
+  /// compilation reaches them, preserving the recursive formulation's pool
+  /// growth order exactly.
+  struct PendingChild {
+    enum class Kind : uint8_t {
+      kExpr,     ///< An existing expression id.
+      kCombine,  ///< Regroup members_[begin, begin+count) under the parent op.
+      kBranch,   ///< Substitute(parent expr, frame var, branch_value).
+    };
+    Kind kind = Kind::kExpr;
+    ExprId expr = kInvalidExpr;  ///< Input (kExpr) or resolved id.
+    bool resolved = false;
+    uint32_t members_begin = 0;  ///< kCombine: range in the members arena.
+    uint32_t members_count = 0;
+    int64_t branch_value = 0;  ///< kBranch: substituted semiring value.
+  };
+
+  /// One decomposition in flight: the node under construction plus its
+  /// pending child subproblems (a range in the shared pending_ arena, which
+  /// grows and shrinks stack-like with the frame stack).
+  struct Frame {
+    ExprId expr = kInvalidExpr;
+    DTreeNodeKind kind = DTreeNodeKind::kOplus;
+    ExprSort sort = ExprSort::kSemiring;
+    AggKind agg = AggKind::kSum;
+    CmpOp cmp = CmpOp::kEq;
+    VarId var = 0;
+    bool redirect = false;      ///< Result is the sole child's node id.
+    ExprKind combine_kind = ExprKind::kAddS;  ///< Op of kCombine children.
+    uint32_t next = 0;
+    uint32_t pending_begin = 0;
+    uint32_t pending_count = 0;
+    uint32_t members_base = 0;
+  };
+
+  /// Classifies `e` (rules 0-5): settles leaves immediately, pushes a
+  /// decomposition frame otherwise.
+  void Visit(ExprId e, DTree* out);
+  void PushRedirect(ExprId e, ExprId target);
+  void PushShannon(ExprId e, const ExprNode& n);
+  void ResolveChild(const Frame& f, PendingChild* pc);
+
+  DTree::NodeId MemoLookup(ExprId e) const {
+    return e < memo_.size() ? memo_[e] : kNoNode;
+  }
+  void MemoStore(ExprId e, DTree::NodeId id) {
+    if (e >= memo_.size()) memo_.resize(pool_->NumNodes(), kNoNode);
+    memo_[e] = id;
+  }
+
   VarId ChooseVariable(ExprId e);
+
+  /// Path-weighted occurrence counting over the DAG below `e` into the
+  /// epoch-stamped var_occ_ scratch (read back via OccurrencesOf).
+  void CountOccurrences(ExprId e);
+  double OccurrencesOf(VarId v) const;
 
   /// Groups `items` into connected components of shared variables; returns
   /// one vector of item indices per component.
-  std::vector<std::vector<size_t>> Components(const std::vector<ExprId>& items);
+  std::vector<std::vector<size_t>> Components(Span<ExprId> items);
+
+  /// Read-once common-factor extraction for single-component sums (kAddS)
+  /// and monoid sums of tensors (kAddM); nullopt when nothing factors.
+  std::optional<ExprId> TryFactorSum(const ExprNode& n);
+  std::optional<ExprId> TryFactorTensorSum(const ExprNode& n);
 
   ExprPool* pool_;
   const VariableTable* variables_;
   CompileOptions options_;
   CompileStats stats_;
   Rng rng_;
-  std::unordered_map<ExprId, DTree::NodeId> memo_;
+
+  /// Dense ExprId -> d-tree node memo (kNoNode when uncompiled).
+  std::vector<DTree::NodeId> memo_;
+
+  // Frame stack and its side arenas.
+  std::vector<Frame> frames_;
+  std::vector<PendingChild> pending_;
+  std::vector<ExprId> members_;
+  std::vector<DTree::NodeId> child_ids_;  // Scratch for AddNode specs.
+  std::vector<int64_t> branch_scratch_;
+
+  // Epoch-stamped scratch: connected components (per variable) and
+  // occurrence counting (per node and per variable).
+  std::vector<uint32_t> var_stamp_;
+  std::vector<uint32_t> var_owner_;
+  uint32_t var_epoch_ = 0;
+  std::vector<size_t> uf_parent_;
+  std::vector<uint32_t> comp_of_;
+
+  std::vector<uint32_t> node_stamp_;
+  std::vector<uint8_t> node_state_;
+  std::vector<double> node_paths_;
+  uint32_t node_epoch_ = 0;
+  std::vector<ExprId> order_;
+  std::vector<ExprId> dfs_stack_;
+
+  std::vector<uint32_t> occ_stamp_;
+  std::vector<double> occ_count_;
+  uint32_t occ_epoch_ = 0;
 };
 
 /// Convenience one-shot compilation.

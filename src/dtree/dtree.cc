@@ -6,23 +6,60 @@
 
 namespace pvcdb {
 
-DTree::NodeId DTree::AddNode(DTreeNode node) {
-  for (NodeId c : node.children) {
+DTree::NodeId DTree::AddNode(DTreeNodeSpec node) {
+  return AddNode(node.kind, node.sort, node.agg, node.cmp, node.var,
+                 node.value, {node.children.data(), node.children.size()},
+                 {node.branch_values.data(), node.branch_values.size()});
+}
+
+DTree::NodeId DTree::AddNode(DTreeNodeKind kind, ExprSort sort, AggKind agg,
+                             CmpOp cmp, VarId var, int64_t value,
+                             Span<uint32_t> children,
+                             Span<int64_t> branch_values) {
+  for (NodeId c : children) {
     PVC_CHECK_MSG(c < nodes_.size(), "d-tree child " << c << " out of range");
   }
+  PVC_CHECK_MSG(
+      branch_values.empty() || branch_values.size() == children.size(),
+      "branch values must parallel the children");
   NodeId id = static_cast<NodeId>(nodes_.size());
-  nodes_.push_back(std::move(node));
+  NodeHeader header;
+  header.kind = kind;
+  header.sort = sort;
+  header.agg = agg;
+  header.cmp = cmp;
+  header.var = var;
+  header.value = value;
+  header.child_begin = static_cast<uint32_t>(child_arena_.size());
+  header.num_children = static_cast<uint32_t>(children.size());
+  header.branch_begin = static_cast<uint32_t>(branch_arena_.size());
+  header.num_branches = static_cast<uint32_t>(branch_values.size());
+  child_arena_.insert(child_arena_.end(), children.begin(), children.end());
+  branch_arena_.insert(branch_arena_.end(), branch_values.begin(),
+                       branch_values.end());
+  nodes_.push_back(header);
   return id;
 }
 
-const DTreeNode& DTree::node(NodeId id) const {
+DTreeNode DTree::node(NodeId id) const {
   PVC_CHECK_MSG(id < nodes_.size(), "invalid d-tree node id " << id);
-  return nodes_[id];
+  const NodeHeader& h = nodes_[id];
+  DTreeNode view;
+  view.kind = h.kind;
+  view.sort = h.sort;
+  view.agg = h.agg;
+  view.cmp = h.cmp;
+  view.var = h.var;
+  view.value = h.value;
+  view.children = {child_arena_.data() + h.child_begin, h.num_children};
+  view.branch_values = {branch_arena_.data() + h.branch_begin,
+                        h.num_branches};
+  return view;
 }
 
 size_t DTree::MutexCount() const {
   size_t count = 0;
-  for (const DTreeNode& n : nodes_) {
+  for (const NodeHeader& n : nodes_) {
     if (n.kind == DTreeNodeKind::kMutex) ++count;
   }
   return count;
@@ -52,7 +89,7 @@ const char* KindLabel(DTreeNodeKind kind) {
 
 void Render(const DTree& tree, DTree::NodeId id, int depth,
             std::ostream& out) {
-  const DTreeNode& n = tree.node(id);
+  const DTreeNode n = tree.node(id);
   for (int i = 0; i < depth; ++i) out << "  ";
   out << KindLabel(n.kind);
   switch (n.kind) {

@@ -15,6 +15,14 @@
 //
 // Shared subexpressions compile to shared d-tree nodes, so a DTree is
 // physically a DAG; each node's distribution is computed once.
+//
+// Storage layout: nodes are fixed-size headers in one vector; child lists
+// and mutex branch values live in shared arena vectors. Builders pass a
+// DTreeNodeSpec (with plain std::vectors) to AddNode; readers get a
+// DTreeNode *view* whose children/branch_values are spans into the arenas.
+// Views returned by node() are invalidated by the next AddNode -- d-trees
+// are built once (by the compiler) and read-only afterwards, so every
+// reader sees stable spans.
 
 #ifndef PVCDB_DTREE_DTREE_H_
 #define PVCDB_DTREE_DTREE_H_
@@ -24,6 +32,7 @@
 #include <vector>
 
 #include "src/expr/expr.h"
+#include "src/util/span.h"
 
 namespace pvcdb {
 
@@ -38,10 +47,10 @@ enum class DTreeNodeKind : uint8_t {
   kMutex,      ///< |_|_x: mutually exclusive expansion on variable x.
 };
 
-/// One d-tree node. The `sort` is the sort of the *value* this node
-/// produces (kCmp nodes produce semiring values even over monoid children).
-struct DTreeNode {
-  DTreeNodeKind kind;
+/// Builder input of DTree::AddNode: one node with owned child / branch
+/// lists (the compiler assembles these incrementally).
+struct DTreeNodeSpec {
+  DTreeNodeKind kind = DTreeNodeKind::kLeafConst;
   ExprSort sort = ExprSort::kSemiring;
   AggKind agg = AggKind::kSum;  ///< Monoid of monoid-sorted nodes.
   CmpOp cmp = CmpOp::kEq;       ///< Operator of kCmp nodes.
@@ -53,15 +62,38 @@ struct DTreeNode {
   std::vector<int64_t> branch_values;
 };
 
+/// Read-only view of one d-tree node. The `sort` is the sort of the *value*
+/// this node produces (kCmp nodes produce semiring values even over monoid
+/// children). `children`/`branch_values` are spans into the owning DTree's
+/// arenas, valid as long as the tree exists and no further AddNode runs.
+struct DTreeNode {
+  DTreeNodeKind kind;
+  ExprSort sort;
+  AggKind agg;
+  CmpOp cmp;
+  VarId var;
+  int64_t value;
+  Span<uint32_t> children;
+  Span<int64_t> branch_values;
+};
+
 /// A compiled decomposition tree (physically a DAG over shared nodes).
 class DTree {
  public:
   using NodeId = uint32_t;
 
-  /// Appends a node; children must already exist.
-  NodeId AddNode(DTreeNode node);
+  /// Appends a node; children must already exist. Invalidates outstanding
+  /// node() views.
+  NodeId AddNode(DTreeNodeSpec node);
 
-  const DTreeNode& node(NodeId id) const;
+  /// Allocation-free overload for the compiler's hot path; `branch_values`
+  /// must be empty or parallel to `children` (kMutex).
+  NodeId AddNode(DTreeNodeKind kind, ExprSort sort, AggKind agg, CmpOp cmp,
+                 VarId var, int64_t value, Span<uint32_t> children,
+                 Span<int64_t> branch_values);
+
+  /// View of node `id` (cheap; by value).
+  DTreeNode node(NodeId id) const;
 
   size_t size() const { return nodes_.size(); }
 
@@ -76,7 +108,23 @@ class DTree {
   std::string ToString() const;
 
  private:
-  std::vector<DTreeNode> nodes_;
+  /// Fixed-size per-node header; child / branch lists live in the arenas.
+  struct NodeHeader {
+    DTreeNodeKind kind;
+    ExprSort sort;
+    AggKind agg;
+    CmpOp cmp;
+    VarId var;
+    int64_t value;
+    uint32_t child_begin;  ///< Offset into child_arena_.
+    uint32_t num_children;
+    uint32_t branch_begin;  ///< Offset into branch_arena_ (kMutex only).
+    uint32_t num_branches;  ///< Actual stored branch values (0 or children).
+  };
+
+  std::vector<NodeHeader> nodes_;
+  std::vector<uint32_t> child_arena_;
+  std::vector<int64_t> branch_arena_;
   NodeId root_ = 0;
 };
 

@@ -34,7 +34,7 @@ std::optional<int64_t> TermValue(const ExprPool& pool, ExprId term) {
   const ExprNode& n = pool.node(term);
   if (n.kind == ExprKind::kConstM) return n.value;
   if (n.kind == ExprKind::kTensor) {
-    const ExprNode& m = pool.node(n.children[1]);
+    const ExprNode& m = pool.node(n.child(1));
     if (m.kind == ExprKind::kConstM) return m.value;
   }
   return std::nullopt;
@@ -47,7 +47,7 @@ bool TermAlwaysPresent(const ExprPool& pool, ExprId term) {
   const ExprNode& n = pool.node(term);
   if (n.kind == ExprKind::kConstM) return true;
   if (n.kind == ExprKind::kTensor) {
-    const ExprNode& s = pool.node(n.children[0]);
+    const ExprNode& s = pool.node(n.child(0));
     return s.kind == ExprKind::kConstS &&
            s.value != pool.semiring().Zero();
   }
@@ -101,7 +101,7 @@ bool SideInterval(const ExprPool& pool, ExprId side, ValueInterval* out) {
   if (n.sort != ExprSort::kMonoid) return false;
   std::vector<ExprId> terms;
   if (n.kind == ExprKind::kAddM) {
-    terms = n.children;
+    terms.assign(n.children().begin(), n.children().end());
   } else {
     terms = {side};
   }
@@ -181,8 +181,8 @@ ExprId PruneComparison(ExprPool& pool, ExprId e) {
   const ExprNode& n = pool.node(e);
   if (n.kind != ExprKind::kCmp) return e;
 
-  ExprId lhs = n.children[0];
-  ExprId rhs = n.children[1];
+  ExprId lhs = n.child(0);
+  ExprId rhs = n.child(1);
   CmpOp op = n.cmp;
   // Normalise the constant to the right-hand side.
   if (pool.node(lhs).kind == ExprKind::kConstM) {
@@ -216,7 +216,7 @@ ExprId PruneComparison(ExprPool& pool, ExprId e) {
   // counts as a one-term sum).
   std::vector<ExprId> terms;
   if (ln.kind == ExprKind::kAddM) {
-    terms = ln.children;
+    terms.assign(ln.children().begin(), ln.children().end());
   } else {
     terms = {lhs};
   }

@@ -11,10 +11,11 @@ namespace pvcdb {
 Distribution IsolatedAnnotationDistribution(const ExprPool& source,
                                             const VariableTable& variables,
                                             ExprId annotation,
-                                            const CompileOptions& options) {
+                                            const CompileOptions& options,
+                                            int intra_tree_threads) {
   // One pipeline for every facade and the step II cache alike (delta.h).
   return IsolatedCompileAndDistribution(source, variables, annotation,
-                                        options)
+                                        options, intra_tree_threads)
       .distribution;
 }
 
@@ -202,7 +203,9 @@ PvcTable Database::RunDeterministic(const Query& q) {
 Distribution Database::DistributionOfExpr(ExprId e) {
   VariableTable::EvalScope scope(*variables_);
   DTree tree = CompileToDTree(&pool_, variables_.get(), e, compile_options_);
-  return ComputeDistribution(tree, *variables_, pool_.semiring());
+  ProbabilityOptions popts;
+  popts.num_threads = eval_options_.intra_tree_threads;
+  return ComputeDistribution(tree, *variables_, pool_.semiring(), popts);
 }
 
 double Database::TupleProbability(const Row& row) {
@@ -223,7 +226,8 @@ std::vector<Distribution> Database::AnnotationDistributions(
   ParallelFor(eval_options_.num_threads, table.NumRows(), [&](size_t i) {
     out[i] = IsolatedAnnotationDistribution(pool_, *variables_,
                                             table.row(i).annotation,
-                                            compile_options_);
+                                            compile_options_,
+                                            eval_options_.intra_tree_threads);
   });
   return out;
 }

@@ -10,13 +10,15 @@ namespace pvcdb {
 
 CompiledDistribution IsolatedCompileAndDistribution(
     const ExprPool& source, const VariableTable& variables, ExprId annotation,
-    const CompileOptions& options) {
+    const CompileOptions& options, int intra_tree_threads) {
   ExprPool local(source.semiring().kind());
   ExprId e = source.CloneInto(&local, annotation);
   CompiledDistribution out;
   out.tree = CompileToDTree(&local, &variables, e, options);
+  ProbabilityOptions popts;
+  popts.num_threads = intra_tree_threads;
   out.distribution =
-      ComputeDistribution(out.tree, variables, local.semiring());
+      ComputeDistribution(out.tree, variables, local.semiring(), popts);
   return out;
 }
 
@@ -41,9 +43,32 @@ bool SameSupport(const Distribution& a, const Distribution& b) {
   return true;
 }
 
+void StepTwoCache::Touch(Entry* entry) {
+  if (entry->lru_it != lru_.begin()) {
+    lru_.splice(lru_.begin(), lru_, entry->lru_it);
+  }
+}
+
+void StepTwoCache::Erase(std::unordered_map<ExprId, Entry>::iterator it) {
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+}
+
+void StepTwoCache::EnforceCapacity(size_t capacity) {
+  if (capacity == 0) return;
+  while (entries_.size() > capacity) {
+    ExprId victim = lru_.back();
+    auto it = entries_.find(victim);
+    PVC_CHECK_MSG(it != entries_.end(), "LRU list out of sync");
+    Erase(it);
+    ++stats_.evicted;
+  }
+}
+
 std::vector<double> StepTwoCache::Probabilities(
     const ExprPool& pool, const VariableTable& variables,
-    const PvcTable& table, const CompileOptions& options, int num_threads) {
+    const PvcTable& table, const CompileOptions& options,
+    const EvalOptions& eval_options) {
   size_t n = table.NumRows();
 
   // Eviction: deleted rows leave dead entries behind (every insert mints
@@ -56,7 +81,8 @@ std::vector<double> StepTwoCache::Probabilities(
     for (size_t i = 0; i < n; ++i) live.emplace(table.row(i).annotation, 0);
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (live.count(it->first) == 0) {
-        it = entries_.erase(it);
+        auto victim = it++;
+        Erase(victim);
         ++stats_.pruned;
       } else {
         ++it;
@@ -72,13 +98,19 @@ std::vector<double> StepTwoCache::Probabilities(
   }
 
   // Distinct missing annotations, in first-occurrence row order (duplicate
-  // tuples share one annotation id thanks to hash-consing).
+  // tuples share one annotation id thanks to hash-consing). Hits are
+  // touched to the front of the recency list.
   std::vector<ExprId> missing;
   {
     std::unordered_map<ExprId, size_t> seen;
     for (size_t i = 0; i < n; ++i) {
       ExprId a = table.row(i).annotation;
-      if (entries_.count(a) > 0 || seen.count(a) > 0) continue;
+      auto hit = entries_.find(a);
+      if (hit != entries_.end()) {
+        Touch(&hit->second);
+        continue;
+      }
+      if (seen.count(a) > 0) continue;
       seen.emplace(a, missing.size());
       missing.push_back(a);
     }
@@ -87,9 +119,10 @@ std::vector<double> StepTwoCache::Probabilities(
   // Pure phase: the per-row pipeline per missing annotation, fanned across
   // threads exactly like an uncached batch pass.
   std::vector<CompiledDistribution> compiled(missing.size());
-  ParallelFor(num_threads, missing.size(), [&](size_t i) {
+  ParallelFor(eval_options.num_threads, missing.size(), [&](size_t i) {
     compiled[i] =
-        IsolatedCompileAndDistribution(pool, variables, missing[i], options);
+        IsolatedCompileAndDistribution(pool, variables, missing[i], options,
+                                       eval_options.intra_tree_threads);
   });
 
   // Serial phase: memoize and index the new entries. An annotation that
@@ -100,6 +133,8 @@ std::vector<double> StepTwoCache::Probabilities(
     Entry entry;
     entry.probability = NonZeroMass(compiled[i].distribution);
     entry.compiled = std::move(compiled[i]);
+    lru_.push_front(missing[i]);
+    entry.lru_it = lru_.begin();
     for (VarId v : pool.VarsOf(missing[i])) {
       std::vector<ExprId>& list = var_index_[v];
       if (std::find(list.begin(), list.end(), missing[i]) == list.end()) {
@@ -114,8 +149,14 @@ std::vector<double> StepTwoCache::Probabilities(
   std::vector<double> out;
   out.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    out.push_back(entries_.at(table.row(i).annotation).probability);
+    auto it = entries_.find(table.row(i).annotation);
+    PVC_CHECK_MSG(it != entries_.end(), "missing step II cache entry");
+    out.push_back(it->second.probability);
   }
+
+  // Bound the cache only after answering: rows beyond the capacity still
+  // get exact answers this round, they just are not retained.
+  EnforceCapacity(eval_options.step_two_cache_capacity);
   return out;
 }
 
@@ -129,7 +170,10 @@ void StepTwoCache::OnVariableUpdate(VarId var, const VariableTable& variables,
     // entries and recompile lazily. The inverted-index lists of the other
     // variables keep stale ids -- harmless, they miss on lookup.
     for (ExprId a : it->second) {
-      stats_.dropped += entries_.erase(a);
+      auto entry = entries_.find(a);
+      if (entry == entries_.end()) continue;
+      Erase(entry);
+      ++stats_.dropped;
     }
     var_index_.erase(it);
     return;
@@ -148,6 +192,7 @@ void StepTwoCache::OnVariableUpdate(VarId var, const VariableTable& variables,
 void StepTwoCache::Clear() {
   entries_.clear();
   var_index_.clear();
+  lru_.clear();
 }
 
 }  // namespace pvcdb

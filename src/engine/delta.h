@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "src/dtree/probability.h"
 #include "src/expr/expr.h"
 #include "src/prob/variable.h"
+#include "src/query/eval.h"
 #include "src/table/pvc_table.h"
 
 namespace pvcdb {
@@ -72,10 +74,14 @@ struct CompiledDistribution {
 /// The per-row step II pipeline behind every probability pass and cache
 /// fill: clone the annotation from `source` into a task-private pool,
 /// compile it, run the bottom-up probability pass. `source` is only read,
-/// so concurrent calls against one pool are safe.
+/// so concurrent calls against one pool are safe. `intra_tree_threads`
+/// fans the probability pass across subtrees of this one d-tree
+/// (EvalOptions::intra_tree_threads; bit-identical to serial, and
+/// automatically serial when the caller already runs inside a parallel
+/// batch).
 CompiledDistribution IsolatedCompileAndDistribution(
     const ExprPool& source, const VariableTable& variables, ExprId annotation,
-    const CompileOptions& options);
+    const CompileOptions& options, int intra_tree_threads = 0);
 
 /// True when both distributions have the same support (value sets); the
 /// condition under which a cached d-tree survives a distribution update.
@@ -91,9 +97,9 @@ size_t DeleteRowsMatchingKey(const PvcTable& table, const Cell& key,
 
 /// Memo of per-tuple step II results for one expression pool, keyed by
 /// annotation ExprId, with a var -> annotations inverted index for targeted
-/// refresh on probability updates. Not thread-safe; the owning facade
-/// serializes mutations, and batch fills fan only the pure per-row pipeline
-/// across threads.
+/// refresh on probability updates and an LRU recency list for bounded
+/// operation. Not thread-safe; the owning facade serializes mutations, and
+/// batch fills fan only the pure per-row pipeline across threads.
 class StepTwoCache {
  public:
   struct Stats {
@@ -102,20 +108,24 @@ class StepTwoCache {
     size_t refreshed = 0;  ///< Entries re-evaluated after a var update.
     size_t dropped = 0;    ///< Entries dropped (support change).
     size_t pruned = 0;     ///< Dead entries evicted (insert/delete churn).
+    size_t evicted = 0;    ///< Entries evicted by the LRU capacity bound.
   };
 
   /// P[Phi != 0_S] for every row of `table`, in row order: cached entries
   /// answer directly, misses run the per-row pipeline fanned across up to
-  /// `num_threads` threads and are memoized. Bit-identical to an uncached
-  /// batch pass at any thread count. When insert/delete churn has grown
-  /// the cache well past the live row count, dead entries (annotations no
-  /// row references any more) are evicted first, bounding the cache by
-  /// O(live rows) across any mutation history.
+  /// `eval_options.num_threads` threads (each row's probability pass using
+  /// `eval_options.intra_tree_threads`) and are memoized. Bit-identical to
+  /// an uncached batch pass at any thread count. When insert/delete churn
+  /// has grown the cache well past the live row count, dead entries
+  /// (annotations no row references any more) are evicted first, bounding
+  /// the cache by O(live rows) across any mutation history; on top of
+  /// that, `eval_options.step_two_cache_capacity` (when non-zero) bounds
+  /// the cache absolutely, evicting least-recently-used entries.
   std::vector<double> Probabilities(const ExprPool& pool,
                                     const VariableTable& variables,
                                     const PvcTable& table,
                                     const CompileOptions& options,
-                                    int num_threads);
+                                    const EvalOptions& eval_options);
 
   /// A variable's distribution changed. With `same_support`, every cached
   /// entry mentioning `var` re-runs the bottom-up probability pass on its
@@ -132,11 +142,23 @@ class StepTwoCache {
   struct Entry {
     CompiledDistribution compiled;
     double probability = 0.0;
+    /// Position in lru_ (front = most recently used).
+    std::list<ExprId>::iterator lru_it;
   };
+
+  /// Moves `it`'s entry to the front of the recency list.
+  void Touch(Entry* entry);
+  /// Erases an entry and its recency node (var_index_ lists keep stale
+  /// ids; they miss harmlessly on lookup, exactly like the drop path).
+  void Erase(std::unordered_map<ExprId, Entry>::iterator it);
+  /// Applies the LRU capacity bound (0 = unbounded).
+  void EnforceCapacity(size_t capacity);
 
   std::unordered_map<ExprId, Entry> entries_;
   /// Inverted index: var -> annotations of cached entries mentioning it.
   std::unordered_map<VarId, std::vector<ExprId>> var_index_;
+  /// Recency order of entries_ keys, most recent first.
+  std::list<ExprId> lru_;
   Stats stats_;
 };
 

@@ -27,7 +27,11 @@ std::vector<VariableInfluence> SensitivityAnalysis(
                 "sensitivity analysis applies to annotations (semiring "
                 "expressions)");
   std::vector<VariableInfluence> result;
-  for (VarId x : pool->VarsOf(e)) {
+  // Copy the variable set: the substitutions below grow the pool, which
+  // invalidates inline VarsOf spans (see src/expr/README.md).
+  Span<VarId> vars_span = pool->VarsOf(e);
+  std::vector<VarId> vars(vars_span.begin(), vars_span.end());
+  for (VarId x : vars) {
     ExprId with = pool->Substitute(e, x, pool->semiring().One());
     ExprId without = pool->Substitute(e, x, pool->semiring().Zero());
     double p_with = NonZeroProbability(pool, variables, with, options);

@@ -326,13 +326,14 @@ std::vector<Distribution> ShardedDatabase::DistributionsImpl(
   std::vector<Distribution> out(order.size());
   const VariableTable& vars = variables();
   CompileOptions compile_options = coordinator_.compile_options();
+  int intra_tree = coordinator_.eval_options().intra_tree_threads;
   ParallelFor(coordinator_.eval_options().num_threads, order.size(),
               [&](size_t i) {
                 const auto& [part, row] = order[i];
                 const PartRef& ref = parts[part];
                 out[i] = IsolatedAnnotationDistribution(
                     *ref.pool, vars, ref.table->row(row).annotation,
-                    compile_options);
+                    compile_options, intra_tree);
               });
   return out;
 }
@@ -664,7 +665,7 @@ std::vector<double> ShardedDatabase::ViewProbabilities(
   if (view == nullptr) return coordinator_.ViewProbabilities(name);
   SyncShardOptions();
   VariableTable::EvalScope scope(variables());
-  int num_threads = coordinator_.eval_options().num_threads;
+  const EvalOptions& eval_options = coordinator_.eval_options();
   const CompileOptions& options = coordinator_.compile_options();
   // Per-shard cached passes (the identical per-row pipeline), gathered in
   // global row order.
@@ -672,7 +673,7 @@ std::vector<double> ShardedDatabase::ViewProbabilities(
   for (size_t s = 0; s < shards_.size(); ++s) {
     per_shard[s] = view->caches[s].Probabilities(
         shards_[s]->pool(), variables(), view->parts[s], options,
-        num_threads);
+        eval_options);
   }
   std::vector<double> out;
   out.reserve(view->order.size());

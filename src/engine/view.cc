@@ -353,7 +353,7 @@ std::vector<double> MaterializedView::Probabilities(
     const ViewContext& ctx) {
   const PvcTable& table = Table(ctx);
   return step_two_.Probabilities(*ctx.pool, variables, table, options,
-                                 ctx.eval_options.num_threads);
+                                 ctx.eval_options);
 }
 
 void MaterializedView::Apply(const TableDelta& delta, const ViewContext& ctx) {

@@ -1,66 +1,88 @@
 #include "src/expr/eval.h"
 
+#include <unordered_map>
+#include <vector>
+
 #include "src/util/check.h"
 
 namespace pvcdb {
 
 namespace {
 
+// Iterative bottom-up evaluation, safe on arbitrarily deep expressions.
+// The memo is a hash map so one evaluation costs O(reachable nodes), not
+// O(pool prefix) -- EvalExpr runs once per Monte-Carlo sample / per
+// enumerated world, typically on small expressions inside large pools.
 class Evaluator {
  public:
   Evaluator(const ExprPool& pool, const Valuation& nu)
       : pool_(pool), nu_(nu) {}
 
-  int64_t Eval(ExprId e) {
-    auto it = memo_.find(e);
-    if (it != memo_.end()) return it->second;
-    const ExprNode& n = pool_.node(e);
+  int64_t Eval(ExprId root) {
+    std::unordered_map<ExprId, int64_t> memo;
+    std::vector<ExprId> stack = {root};
     const Semiring& semiring = pool_.semiring();
-    int64_t result = 0;
-    switch (n.kind) {
-      case ExprKind::kVar:
-        result = semiring.Canonical(nu_(n.var()));
-        break;
-      case ExprKind::kConstS:
-      case ExprKind::kConstM:
-        result = n.value;
-        break;
-      case ExprKind::kAddS: {
-        result = semiring.Zero();
-        for (ExprId c : n.children) result = semiring.Plus(result, Eval(c));
-        break;
+    while (!stack.empty()) {
+      ExprId id = stack.back();
+      if (memo.count(id) > 0) {
+        stack.pop_back();
+        continue;
       }
-      case ExprKind::kMulS: {
-        result = semiring.One();
-        for (ExprId c : n.children) result = semiring.Times(result, Eval(c));
-        break;
+      const ExprNode& n = pool_.node(id);
+      Span<ExprId> kids = n.children();
+      bool ready = true;
+      for (size_t i = kids.size(); i-- > 0;) {
+        if (memo.count(kids[i]) == 0) {
+          stack.push_back(kids[i]);
+          ready = false;
+        }
       }
-      case ExprKind::kAddM: {
-        Monoid monoid(n.agg);
-        result = monoid.Neutral();
-        for (ExprId c : n.children) result = monoid.Plus(result, Eval(c));
-        break;
+      if (!ready) continue;
+      int64_t result = 0;
+      switch (n.kind) {
+        case ExprKind::kVar:
+          result = semiring.Canonical(nu_(n.var()));
+          break;
+        case ExprKind::kConstS:
+        case ExprKind::kConstM:
+          result = n.value;
+          break;
+        case ExprKind::kAddS: {
+          result = semiring.Zero();
+          for (ExprId c : kids) result = semiring.Plus(result, memo[c]);
+          break;
+        }
+        case ExprKind::kMulS: {
+          result = semiring.One();
+          for (ExprId c : kids) result = semiring.Times(result, memo[c]);
+          break;
+        }
+        case ExprKind::kAddM: {
+          Monoid monoid(n.agg);
+          result = monoid.Neutral();
+          for (ExprId c : kids) result = monoid.Plus(result, memo[c]);
+          break;
+        }
+        case ExprKind::kTensor: {
+          Monoid monoid(n.agg);
+          result = monoid.Tensor(semiring, memo[kids[0]], memo[kids[1]]);
+          break;
+        }
+        case ExprKind::kCmp: {
+          bool holds = EvalCmp(n.cmp, memo[kids[0]], memo[kids[1]]);
+          result = holds ? semiring.One() : semiring.Zero();
+          break;
+        }
       }
-      case ExprKind::kTensor: {
-        Monoid monoid(n.agg);
-        result = monoid.Tensor(semiring, Eval(n.children[0]),
-                               Eval(n.children[1]));
-        break;
-      }
-      case ExprKind::kCmp: {
-        bool holds = EvalCmp(n.cmp, Eval(n.children[0]), Eval(n.children[1]));
-        result = holds ? semiring.One() : semiring.Zero();
-        break;
-      }
+      memo.emplace(id, result);
+      stack.pop_back();
     }
-    memo_.emplace(e, result);
-    return result;
+    return memo[root];
   }
 
  private:
   const ExprPool& pool_;
   const Valuation& nu_;
-  std::unordered_map<ExprId, int64_t> memo_;
 };
 
 }  // namespace

@@ -33,7 +33,7 @@ class Printer {
         bool paren = parent_prec > kSumPrec;
         if (paren) out << "(";
         bool first = true;
-        for (ExprId c : n.children) {
+        for (ExprId c : n.children()) {
           if (!first) out << " + ";
           first = false;
           Print(c, kSumPrec + 1, out);
@@ -45,7 +45,7 @@ class Printer {
         bool paren = parent_prec > kProdPrec;
         if (paren) out << "(";
         bool first = true;
-        for (ExprId c : n.children) {
+        for (ExprId c : n.children()) {
           if (!first) out << "*";
           first = false;
           Print(c, kProdPrec + 1, out);
@@ -56,9 +56,9 @@ class Printer {
       case ExprKind::kTensor: {
         bool paren = parent_prec > kProdPrec;
         if (paren) out << "(";
-        Print(n.children[0], kProdPrec + 1, out);
+        Print(n.child(0), kProdPrec + 1, out);
         out << " (x) ";
-        Print(n.children[1], kProdPrec + 1, out);
+        Print(n.child(1), kProdPrec + 1, out);
         if (paren) out << ")";
         return;
       }
@@ -66,7 +66,7 @@ class Printer {
         bool paren = parent_prec > kSumPrec;
         if (paren) out << "(";
         bool first = true;
-        for (ExprId c : n.children) {
+        for (ExprId c : n.children()) {
           if (!first) out << " +" << AggKindName(n.agg) << " ";
           first = false;
           Print(c, kSumPrec + 1, out);
@@ -76,9 +76,9 @@ class Printer {
       }
       case ExprKind::kCmp: {
         out << "[";
-        Print(n.children[0], kSumPrec, out);
+        Print(n.child(0), kSumPrec, out);
         out << " " << CmpOpName(n.cmp) << " ";
-        Print(n.children[1], kSumPrec, out);
+        Print(n.child(1), kSumPrec, out);
         out << "]";
         return;
       }

@@ -13,7 +13,7 @@ Distribution MonteCarloDistribution(const ExprPool& pool,
                                     size_t num_samples, uint64_t seed) {
   PVC_CHECK_MSG(num_samples > 0, "need at least one sample");
   Rng rng(seed);
-  const std::vector<VarId>& vars = pool.VarsOf(e);
+  Span<VarId> vars = pool.VarsOf(e);
   std::unordered_map<VarId, int64_t> nu;
   std::unordered_map<int64_t, double> histogram;
   const double weight = 1.0 / static_cast<double>(num_samples);

@@ -15,7 +15,7 @@ std::vector<VarId> UnionVars(const ExprPool& pool,
                              const std::vector<ExprId>& exprs) {
   std::vector<VarId> vars;
   for (ExprId e : exprs) {
-    const std::vector<VarId>& ev = pool.VarsOf(e);
+    Span<VarId> ev = pool.VarsOf(e);
     std::vector<VarId> merged;
     std::set_union(vars.begin(), vars.end(), ev.begin(), ev.end(),
                    std::back_inserter(merged));
@@ -27,7 +27,7 @@ std::vector<VarId> UnionVars(const ExprPool& pool,
 // Calls `visit(nu, prob)` for every world over `vars`.
 template <typename Visitor>
 void ForEachWorld(const VariableTable& variables,
-                  const std::vector<VarId>& vars, uint64_t max_worlds,
+                  Span<VarId> vars, uint64_t max_worlds,
                   Visitor&& visit) {
   uint64_t world_count = 1;
   for (VarId v : vars) {

@@ -93,8 +93,14 @@ Distribution Distribution::Map(const UnaryOp& f) const {
 
 Distribution Distribution::Mix(
     const std::vector<std::pair<double, Distribution>>& parts) {
+  return Mix(parts.data(), parts.size());
+}
+
+Distribution Distribution::Mix(const std::pair<double, Distribution>* parts,
+                               size_t n) {
   std::vector<Entry> result;
-  for (const auto& [weight, dist] : parts) {
+  for (size_t i = 0; i < n; ++i) {
+    const auto& [weight, dist] = parts[i];
     PVC_CHECK_MSG(weight >= 0.0, "negative mixture weight " << weight);
     for (const Entry& e : dist.entries_) {
       result.push_back({e.first, weight * e.second});

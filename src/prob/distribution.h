@@ -74,6 +74,11 @@ class Distribution {
   static Distribution Mix(
       const std::vector<std::pair<double, Distribution>>& parts);
 
+  /// Range overload of Mix for callers keeping parts in a shared arena
+  /// (the iterative probability kernel). Identical accumulation order.
+  static Distribution Mix(const std::pair<double, Distribution>* parts,
+                          size_t n);
+
   /// Largest/smallest support value. Precondition: !empty().
   int64_t MinValue() const;
   int64_t MaxValue() const;

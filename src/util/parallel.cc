@@ -139,4 +139,39 @@ void ParallelFor(int num_threads, size_t n,
   }
 }
 
+WorkStealingDeques::WorkStealingDeques(size_t num_workers) {
+  deques_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    deques_.push_back(std::make_unique<Deque>());
+  }
+}
+
+void WorkStealingDeques::Push(size_t worker, uint32_t task) {
+  Deque& d = *deques_[worker];
+  std::unique_lock<std::mutex> lock(d.mutex);
+  d.items.push_back(task);
+}
+
+bool WorkStealingDeques::Pop(size_t worker, uint32_t* task) {
+  Deque& d = *deques_[worker];
+  std::unique_lock<std::mutex> lock(d.mutex);
+  if (d.items.empty()) return false;
+  *task = d.items.back();
+  d.items.pop_back();
+  return true;
+}
+
+bool WorkStealingDeques::Steal(size_t thief, uint32_t* task) {
+  size_t n = deques_.size();
+  for (size_t step = 1; step <= n; ++step) {
+    Deque& d = *deques_[(thief + step) % n];
+    std::unique_lock<std::mutex> lock(d.mutex);
+    if (d.items.empty()) continue;
+    *task = d.items.front();
+    d.items.pop_front();
+    return true;
+  }
+  return false;
+}
+
 }  // namespace pvcdb

@@ -1,0 +1,110 @@
+// A minimal read-only span plus a stable-address arena, shared by the flat
+// expression pool (src/expr/expr.h) and the flat d-tree (src/dtree/dtree.h).
+//
+// StableArena hands out contiguous runs whose addresses never move: storage
+// is block-allocated and a run never spans blocks, so a Span into the arena
+// stays valid for the arena's lifetime even while it keeps growing. This is
+// what lets pool nodes carry raw child/var pointers instead of one
+// heap-allocated std::vector each.
+
+#ifndef PVCDB_UTIL_SPAN_H_
+#define PVCDB_UTIL_SPAN_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace pvcdb {
+
+/// Read-only view of `size` contiguous items starting at `data`.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T& front() const { return data_[0]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+template <typename T>
+bool operator==(Span<T> a, Span<T> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+template <typename T>
+bool operator==(Span<T> a, const std::vector<T>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+template <typename T>
+bool operator==(const std::vector<T>& a, Span<T> b) {
+  return b == a;
+}
+
+template <typename T>
+bool operator!=(Span<T> a, const std::vector<T>& b) {
+  return !(a == b);
+}
+
+template <typename T>
+bool operator!=(const std::vector<T>& a, Span<T> b) {
+  return !(b == a);
+}
+
+namespace detail {
+
+/// Block-allocating arena of trivially copyable items with stable
+/// addresses. Append() copies a run into the current block (or a fresh,
+/// geometrically larger one) and returns its stable base pointer.
+template <typename T>
+class StableArena {
+ public:
+  const T* Append(const T* data, size_t n) {
+    if (n == 0) return nullptr;
+    if (n > remaining_) Grow(n);
+    T* out = cursor_;
+    std::copy(data, data + n, out);
+    cursor_ += n;
+    remaining_ -= n;
+    total_ += n;
+    return out;
+  }
+
+  /// Total items stored (for memory accounting; slack at block ends is not
+  /// counted).
+  size_t size() const { return total_; }
+
+ private:
+  void Grow(size_t need) {
+    size_t block = std::max<size_t>(next_block_, need);
+    blocks_.push_back(std::make_unique<T[]>(block));
+    cursor_ = blocks_.back().get();
+    remaining_ = block;
+    next_block_ = std::min<size_t>(block * 2, size_t{1} << 20);
+  }
+
+  std::vector<std::unique_ptr<T[]>> blocks_;
+  T* cursor_ = nullptr;
+  size_t remaining_ = 0;
+  size_t total_ = 0;
+  size_t next_block_ = 256;
+};
+
+}  // namespace detail
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_SPAN_H_

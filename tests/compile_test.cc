@@ -167,7 +167,7 @@ TEST_F(CompileTest, MostOccurrencesHeuristicPicksRepeatedVariable) {
   // triangle all have count 2, so check it is a mutex at all and that the
   // chosen variable occurs in the expression.
   ASSERT_EQ(t.node(t.root()).kind, DTreeNodeKind::kMutex);
-  const std::vector<VarId>& evars = pool.VarsOf(e);
+  Span<VarId> evars = pool.VarsOf(e);
   EXPECT_TRUE(std::find(evars.begin(), evars.end(), t.node(t.root()).var) !=
               evars.end());
 }

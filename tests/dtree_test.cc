@@ -9,17 +9,17 @@ namespace {
 
 TEST(DTreeTest, AddAndAccessNodes) {
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafVar;
   leaf.var = 3;
   DTree::NodeId a = tree.AddNode(leaf);
-  DTreeNode konst;
+  DTreeNodeSpec konst;
   konst.kind = DTreeNodeKind::kLeafConst;
   konst.value = 10;
   konst.sort = ExprSort::kMonoid;
   konst.agg = AggKind::kMin;
   DTree::NodeId b = tree.AddNode(konst);
-  DTreeNode tensor;
+  DTreeNodeSpec tensor;
   tensor.kind = DTreeNodeKind::kOtimes;
   tensor.sort = ExprSort::kMonoid;
   tensor.agg = AggKind::kMin;
@@ -33,7 +33,7 @@ TEST(DTreeTest, AddAndAccessNodes) {
 
 TEST(DTreeTest, ChildrenMustExist) {
   DTree tree;
-  DTreeNode bad;
+  DTreeNodeSpec bad;
   bad.kind = DTreeNodeKind::kOplus;
   bad.children = {5};
   EXPECT_THROW(tree.AddNode(bad), CheckError);
@@ -41,11 +41,11 @@ TEST(DTreeTest, ChildrenMustExist) {
 
 TEST(DTreeTest, MutexCountCountsShannonNodes) {
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafConst;
   DTree::NodeId a = tree.AddNode(leaf);
   DTree::NodeId b = tree.AddNode(leaf);
-  DTreeNode mutex;
+  DTreeNodeSpec mutex;
   mutex.kind = DTreeNodeKind::kMutex;
   mutex.var = 0;
   mutex.children = {a, b};
@@ -56,13 +56,13 @@ TEST(DTreeTest, MutexCountCountsShannonNodes) {
 
 TEST(DTreeTest, ToStringRendersStructure) {
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafVar;
   leaf.var = 1;
   DTree::NodeId a = tree.AddNode(leaf);
   leaf.var = 2;
   DTree::NodeId b = tree.AddNode(leaf);
-  DTreeNode sum;
+  DTreeNodeSpec sum;
   sum.kind = DTreeNodeKind::kOplus;
   sum.children = {a, b};
   tree.set_root(tree.AddNode(sum));

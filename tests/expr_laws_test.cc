@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
 #include "src/expr/eval.h"
 #include "src/expr/expr.h"
+#include "src/prob/variable.h"
 #include "src/util/rng.h"
 
 namespace pvcdb {
@@ -175,7 +178,110 @@ TEST_P(ExprLawsTest, TensorMergePreservesSemantics) {
   }
 }
 
+TEST_P(ExprLawsTest, CanonicalizationLawsInternIdentically) {
+  // Hash-consing must map both sides of every algebraic rewrite of
+  // Definitions 3/4 to the *same ExprId*: commutativity and associativity
+  // of sums and products (Remark 2's canonical ordering), idempotence
+  // under PosBool(X) and under the min/max monoids.
+  Rng rng(static_cast<uint64_t>(GetParam()) + 2100);
+  for (SemiringKind kind : {SemiringKind::kBool, SemiringKind::kNatural}) {
+    ExprPool pool(kind);
+    RandomExprFactory factory(&pool, 5, &rng);
+    for (int trial = 0; trial < 25; ++trial) {
+      ExprId a = factory.Semiring(3);
+      ExprId b = factory.Semiring(3);
+      ExprId c = factory.Semiring(3);
+      // Commutativity: a + b = b + a, a * b = b * a.
+      EXPECT_EQ(pool.AddS(a, b), pool.AddS(b, a));
+      EXPECT_EQ(pool.MulS(a, b), pool.MulS(b, a));
+      // Associativity: (a + b) + c = a + (b + c), same for products.
+      EXPECT_EQ(pool.AddS(pool.AddS(a, b), c), pool.AddS(a, pool.AddS(b, c)));
+      EXPECT_EQ(pool.MulS(pool.MulS(a, b), c), pool.MulS(a, pool.MulS(b, c)));
+      if (kind == SemiringKind::kBool) {
+        // Idempotence of PosBool(X): a + a = a, a * a = a.
+        EXPECT_EQ(pool.AddS(a, a), a);
+        EXPECT_EQ(pool.MulS(a, a), a);
+      }
+    }
+    // Monoid sums: commutativity/associativity for every monoid,
+    // idempotence for min/max.
+    for (AggKind agg : {AggKind::kSum, AggKind::kMin, AggKind::kMax}) {
+      RandomExprFactory mfactory(&pool, 5, &rng);
+      for (int trial = 0; trial < 10; ++trial) {
+        ExprId a = mfactory.Monoid(agg, 2);
+        ExprId b = mfactory.Monoid(agg, 2);
+        ExprId c = mfactory.Monoid(agg, 2);
+        EXPECT_EQ(pool.AddM(agg, a, b), pool.AddM(agg, b, a));
+        EXPECT_EQ(pool.AddM(agg, pool.AddM(agg, a, b), c),
+                  pool.AddM(agg, a, pool.AddM(agg, b, c)));
+        if (agg == AggKind::kMin || agg == AggKind::kMax) {
+          EXPECT_EQ(pool.AddM(agg, a, a), a);
+        }
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ExprLawsTest, ::testing::Range(0, 6));
+
+// -- Deep-expression regressions for the iterative kernels ------------------
+//
+// The compile, substitution, probability and evaluation kernels are
+// explicit-stack iterative: they must survive expressions far deeper than
+// any thread's call stack. The chain below alternates sums and products of
+// fresh variables (no flattening), > 100k nodes deep.
+
+class DeepExprTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kDepth = 60000;  // ~120k interned nodes.
+
+  // x_0 at the bottom, alternately summed / multiplied with fresh
+  // variables on the way up.
+  ExprId BuildChain(ExprPool* pool, VariableTable* vars) {
+    VarId x0 = vars->AddBernoulli(0.5);
+    ExprId e = pool->Var(x0);
+    for (size_t i = 1; i <= kDepth; ++i) {
+      ExprId v = pool->Var(vars->AddBernoulli(0.25 + 0.5 * (i % 2)));
+      e = (i % 2 == 0) ? pool->AddS(v, e) : pool->MulS(v, e);
+    }
+    return e;
+  }
+};
+
+TEST_F(DeepExprTest, CompileAndProbabilityHandleHundredThousandNodes) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprId e = BuildChain(&pool, &vars);
+  ASSERT_GE(pool.NumNodes(), 100000u);
+  DTree tree = CompileToDTree(&pool, &vars, e);
+  ASSERT_GE(tree.size(), 100000u);
+  Distribution d = ComputeDistribution(tree, vars, pool.semiring());
+  EXPECT_TRUE(d.IsNormalized(1e-6));
+  double p = NonZeroMass(d);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_F(DeepExprTest, SubstituteCloneAndEvalHandleHundredThousandNodes) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprId e = BuildChain(&pool, &vars);
+  ASSERT_GE(pool.NumNodes(), 100000u);
+
+  // Substituting the bottom-most variable rewrites the entire chain.
+  ExprId substituted = pool.Substitute(e, 0, 1);
+  EXPECT_NE(substituted, e);
+  // Evaluation agrees with evaluating the original under nu[x0 <- 1].
+  auto all_one = [](VarId) -> int64_t { return 1; };
+  EXPECT_EQ(EvalExpr(pool, substituted, all_one), EvalExpr(pool, e, all_one));
+
+  // Cloning reproduces the chain in a fresh pool, same valuation
+  // semantics.
+  ExprPool copy(SemiringKind::kBool);
+  ExprId cloned = pool.CloneInto(&copy, e);
+  EXPECT_EQ(EvalExpr(copy, cloned, all_one), EvalExpr(pool, e, all_one));
+  EXPECT_EQ(copy.ReachableSize(cloned), pool.ReachableSize(e));
+}
 
 }  // namespace
 }  // namespace pvcdb

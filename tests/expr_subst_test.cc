@@ -79,7 +79,7 @@ TEST_F(SubstituteTest, ExampleThirteenLeftBranch) {
 TEST_F(SubstituteTest, RemovesVariableCompletely) {
   ExprId e = pool_.AddS({pool_.MulS(x_, y_), pool_.MulS(x_, z_), x_});
   ExprId sub = pool_.Substitute(e, 0, 1);
-  const std::vector<VarId>& vars = pool_.VarsOf(sub);
+  Span<VarId> vars = pool_.VarsOf(sub);
   EXPECT_TRUE(std::find(vars.begin(), vars.end(), 0u) == vars.end());
 }
 
@@ -90,7 +90,7 @@ TEST_F(SubstituteTest, SharedSubexpressionsSubstitutedOnce) {
       pool_.AddS(pool_.MulS(shared, z_), shared);  // Bool: absorbed forms ok.
   ExprId sub = pool_.Substitute(e, 0, 1);
   // (y*z + y) with idempotence handling; verify no variable 0 remains.
-  const std::vector<VarId>& vars = pool_.VarsOf(sub);
+  Span<VarId> vars = pool_.VarsOf(sub);
   EXPECT_TRUE(std::find(vars.begin(), vars.end(), 0u) == vars.end());
 }
 

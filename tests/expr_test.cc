@@ -59,7 +59,7 @@ TEST_F(ExprPoolTest, NaturalSemiringKeepsMultiplicity) {
   ExprId x = nat_pool_.Var(0);
   ExprId sum = nat_pool_.AddS(x, x);
   EXPECT_NE(sum, x) << "x + x != x under N (bag semantics)";
-  EXPECT_EQ(nat_pool_.node(sum).children.size(), 2u);
+  EXPECT_EQ(nat_pool_.node(sum).children().size(), 2u);
 }
 
 TEST_F(ExprPoolTest, MulSAnnihilatorAndNeutral) {
@@ -74,11 +74,11 @@ TEST_F(ExprPoolTest, SumsAndProductsFlatten) {
   ExprId y = nat_pool_.Var(1);
   ExprId z = nat_pool_.Var(2);
   ExprId nested = nat_pool_.AddS(nat_pool_.AddS(x, y), z);
-  EXPECT_EQ(nat_pool_.node(nested).children.size(), 3u);
+  EXPECT_EQ(nat_pool_.node(nested).children().size(), 3u);
   ExprId flat = nat_pool_.AddS({x, y, z});
   EXPECT_EQ(nested, flat);
   ExprId nested_mul = nat_pool_.MulS(nat_pool_.MulS(x, y), z);
-  EXPECT_EQ(nat_pool_.node(nested_mul).children.size(), 3u);
+  EXPECT_EQ(nat_pool_.node(nested_mul).children().size(), 3u);
 }
 
 TEST_F(ExprPoolTest, VarSetsAreSortedUnions) {

@@ -1,0 +1,179 @@
+// Bit-identity of the intra-d-tree parallel probability pass (the
+// work-stealing shared-memo mode behind EvalOptions::intra_tree_threads):
+// for every thread count, ComputeDistribution must produce the exact same
+// Distribution -- value for value, bit for bit -- as the serial kernel, on
+// the Figure 1 workload, on a >= 100k-node stress d-tree, and on
+// adversarial shapes (deep sequential Shannon towers, wide flat sums).
+//
+// Labelled "parallel": the TSan CI job runs this suite.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/dtree/compile.h"
+#include "src/dtree/probability.h"
+#include "src/engine/database.h"
+#include "src/expr/expr.h"
+#include "src/prob/variable.h"
+#include "tests/figure1_db.h"
+
+namespace pvcdb {
+namespace {
+
+using testing_fixtures::BuildFigure1Database;
+using testing_fixtures::BuildFigure1Q1;
+
+void ExpectBitIdentical(const Distribution& actual,
+                        const Distribution& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_EQ(actual.entries()[i].first, expected.entries()[i].first);
+    // Bit-level equality, not approximate.
+    EXPECT_EQ(actual.entries()[i].second, expected.entries()[i].second);
+  }
+}
+
+void ExpectParallelMatchesSerial(const DTree& tree, const VariableTable& vars,
+                                 const Semiring& semiring) {
+  Distribution expected = ComputeDistribution(tree, vars, semiring);
+  for (int threads : {2, 4, 8}) {
+    ProbabilityOptions options;
+    options.num_threads = threads;
+    Distribution d = ComputeDistribution(tree, vars, semiring, options);
+    ExpectBitIdentical(d, expected);
+  }
+}
+
+double VarProb(size_t i) { return 0.05 + 0.9 * ((i * 37 + 11) % 97) / 96.0; }
+
+VarId Fresh(VariableTable* vars) {
+  return vars->AddBernoulli(VarProb(vars->size()));
+}
+
+// x_0*x_1 + x_1*x_2 + ... over fresh adjacent variables: non-hierarchical,
+// so compilation Shannon-expands into a deep mutex tower (a sequential
+// spine for the parallel pass).
+ExprId Chain(ExprPool* pool, VariableTable* vars, size_t len) {
+  std::vector<VarId> xs;
+  for (size_t i = 0; i <= len; ++i) xs.push_back(Fresh(vars));
+  std::vector<ExprId> sum;
+  for (size_t i = 0; i < len; ++i) {
+    sum.push_back(pool->MulS(pool->Var(xs[i]), pool->Var(xs[i + 1])));
+  }
+  return pool->AddS(sum);
+}
+
+// OR of `terms` ANDs of `width` fresh variables: compiles read-once into a
+// wide independent sum (many small parallel subtrees).
+ExprId ReadOnceOr(ExprPool* pool, VariableTable* vars, size_t terms,
+                  size_t width) {
+  std::vector<ExprId> sum;
+  for (size_t t = 0; t < terms; ++t) {
+    std::vector<ExprId> factors;
+    for (size_t f = 0; f < width; ++f) factors.push_back(pool->Var(Fresh(vars)));
+    sum.push_back(pool->MulS(factors));
+  }
+  return pool->AddS(sum);
+}
+
+TEST(IntraTreeParallelTest, Figure1AnnotationsMatchSerial) {
+  Database db;
+  BuildFigure1Database(&db);
+  PvcTable result = db.Run(*BuildFigure1Q1());
+  ASSERT_GT(result.NumRows(), 0u);
+  for (const Row& row : result.rows()) {
+    ExprPool local(db.semiring().kind());
+    ExprId e = db.pool().CloneInto(&local, row.annotation);
+    DTree tree = CompileToDTree(&local, &db.variables(), e);
+    ExpectParallelMatchesSerial(tree, db.variables(), db.semiring());
+  }
+}
+
+TEST(IntraTreeParallelTest, Figure1DatabaseKnobMatchesSerial) {
+  // The engine-level knob: TupleProbabilities with intra_tree_threads set
+  // must equal the fully serial batch bit for bit.
+  Database serial_db;
+  BuildFigure1Database(&serial_db);
+  PvcTable result = serial_db.Run(*BuildFigure1Q1());
+  std::vector<double> expected = serial_db.TupleProbabilities(result);
+  for (int threads : {2, 4, 8}) {
+    serial_db.eval_options().intra_tree_threads = threads;
+    EXPECT_EQ(serial_db.TupleProbabilities(result), expected);
+  }
+  serial_db.eval_options().intra_tree_threads = 0;
+}
+
+TEST(IntraTreeParallelTest, HundredThousandNodeStressMatchesSerial) {
+  // The bench_hotpath giant shape: many medium Shannon towers plus a
+  // read-once bulk under one independent sum. >= 100k d-tree nodes.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> parts;
+  for (int c = 0; c < 480; ++c) parts.push_back(Chain(&pool, &vars, 56));
+  parts.push_back(ReadOnceOr(&pool, &vars, 512, 3));
+  ExprId giant = pool.AddS(parts);
+  DTree tree = CompileToDTree(&pool, &vars, giant);
+  ASSERT_GE(tree.size(), 100000u);
+  ExpectParallelMatchesSerial(tree, vars, pool.semiring());
+}
+
+TEST(IntraTreeParallelTest, DeepSequentialTowerMatchesSerial) {
+  // One deep tower: the over-grain skeleton is a pure sequential spine, so
+  // the pass must fall back to (or behave like) serial execution without
+  // deadlocking or diverging.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprId chain = Chain(&pool, &vars, 600);
+  DTree tree = CompileToDTree(&pool, &vars, chain);
+  ASSERT_GE(tree.size(), 2000u);
+  ExpectParallelMatchesSerial(tree, vars, pool.semiring());
+}
+
+TEST(IntraTreeParallelTest, WideFlatSumMatchesSerial) {
+  // A single wide independent sum: thousands of tiny subtrees under one
+  // inner node exercises the group-job batching path.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  ExprId wide = ReadOnceOr(&pool, &vars, 3000, 2);
+  DTree tree = CompileToDTree(&pool, &vars, wide);
+  ASSERT_GE(tree.size(), 9000u);
+  ExpectParallelMatchesSerial(tree, vars, pool.semiring());
+}
+
+TEST(IntraTreeParallelTest, AggregateComparisonClampsMatchSerial) {
+  // Clamped SUM comparison subproblems ((node, clamp) keys with a real
+  // clamp bound) must flow through the parallel task graph unchanged.
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> terms;
+  for (int i = 0; i < 160; ++i) {
+    terms.push_back(
+        pool.Tensor(pool.Var(Fresh(&vars)), pool.ConstM(AggKind::kSum, 3)));
+  }
+  ExprId sum = pool.AddM(AggKind::kSum, terms);
+  ExprId cmp = pool.Cmp(CmpOp::kLe, sum, pool.ConstM(AggKind::kSum, 40));
+  DTree tree = CompileToDTree(&pool, &vars, cmp);
+  ASSERT_GE(tree.size(), 128u);
+  ExpectParallelMatchesSerial(tree, vars, pool.semiring());
+}
+
+TEST(IntraTreeParallelTest, RepeatedRunsAreDeterministic) {
+  ExprPool pool(SemiringKind::kBool);
+  VariableTable vars;
+  std::vector<ExprId> parts;
+  for (int c = 0; c < 24; ++c) parts.push_back(Chain(&pool, &vars, 32));
+  ExprId e = pool.AddS(parts);
+  DTree tree = CompileToDTree(&pool, &vars, e);
+  ProbabilityOptions options;
+  options.num_threads = 4;
+  Distribution first =
+      ComputeDistribution(tree, vars, pool.semiring(), options);
+  for (int run = 0; run < 8; ++run) {
+    Distribution d = ComputeDistribution(tree, vars, pool.semiring(), options);
+    ExpectBitIdentical(d, first);
+  }
+}
+
+}  // namespace
+}  // namespace pvcdb

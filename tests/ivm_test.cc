@@ -608,6 +608,36 @@ TEST(IvmCacheTest, ChurnPrunesDeadEntries) {
   EXPECT_GT(cache.stats().pruned, 0u);
 }
 
+// EvalOptions::step_two_cache_capacity bounds the cache by LRU eviction;
+// answers stay bit-identical to an unbounded cache (evicted rows are
+// simply recompiled on the next access).
+TEST(IvmCacheTest, LruCapacityBoundsCacheAndPreservesResults) {
+  std::mt19937 gen(33);
+  DbSpec spec = MakeSpec(&gen, 12, 0, 0);
+  spec.tables.resize(1);
+  std::unique_ptr<Database> bounded = FreshDatabase(spec, 1);
+  std::unique_ptr<Database> unbounded = FreshDatabase(spec, 1);
+  bounded->eval_options().step_two_cache_capacity = 4;
+  bounded->RegisterView("v", Query::Scan("T"));
+  unbounded->RegisterView("v", Query::Scan("T"));
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<double> lhs = bounded->ViewProbabilities("v");
+    std::vector<double> rhs = unbounded->ViewProbabilities("v");
+    EXPECT_EQ(lhs, rhs);
+    const StepTwoCache& cache = bounded->views().view("v").step_two();
+    EXPECT_LE(cache.size(), 4u);
+  }
+  const StepTwoCache& cache = bounded->views().view("v").step_two();
+  EXPECT_GT(cache.stats().evicted, 0u);
+  EXPECT_GT(cache.stats().hits + cache.stats().misses, 0u);
+  EXPECT_EQ(unbounded->views().view("v").step_two().stats().evicted, 0u);
+
+  // Default capacity (0) stays unbounded.
+  EXPECT_EQ(unbounded->views().view("v").step_two().size(),
+            unbounded->table("T").NumRows());
+}
+
 // -- API behaviour ---------------------------------------------------------
 
 TEST(IvmApiTest, DeleteTupleByKeyRemovesAllMatches) {

@@ -106,9 +106,9 @@ TEST_F(Figure1Test, Q2StructureMatchesFigure1e) {
   for (const Row& row : result.rows()) {
     const ExprNode& ann = db_.pool().node(row.annotation);
     ASSERT_EQ(ann.kind, ExprKind::kMulS);
-    ASSERT_EQ(ann.children.size(), 2u);
-    EXPECT_EQ(db_.pool().node(ann.children[0]).kind, ExprKind::kCmp);
-    EXPECT_EQ(db_.pool().node(ann.children[1]).kind, ExprKind::kCmp);
+    ASSERT_EQ(ann.children().size(), 2u);
+    EXPECT_EQ(db_.pool().node(ann.child(0)).kind, ExprKind::kCmp);
+    EXPECT_EQ(db_.pool().node(ann.child(1)).kind, ExprKind::kCmp);
   }
 }
 

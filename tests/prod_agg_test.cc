@@ -111,8 +111,8 @@ TEST(PaperExample10Test, SyntacticIndependence) {
       pool.Tensor(pool.MulS(pool.Var(a), pool.AddS(pool.Var(b), pool.Var(c))),
                   pool.ConstM(AggKind::kSum, 10)),
       pool.Tensor(pool.Var(c), pool.ConstM(AggKind::kSum, 20)));
-  const std::vector<VarId>& pv = pool.VarsOf(phi);
-  const std::vector<VarId>& av = pool.VarsOf(alpha);
+  Span<VarId> pv = pool.VarsOf(phi);
+  Span<VarId> av = pool.VarsOf(alpha);
   std::vector<VarId> overlap;
   std::set_intersection(pv.begin(), pv.end(), av.begin(), av.end(),
                         std::back_inserter(overlap));

@@ -51,12 +51,12 @@ TEST(ValidateTest, RejectsDependentChildrenUnderOplus) {
   VariableTable vars;
   VarId x = vars.AddBernoulli(0.5);
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafVar;
   leaf.var = x;
   DTree::NodeId a = tree.AddNode(leaf);
   DTree::NodeId b = tree.AddNode(leaf);
-  DTreeNode sum;
+  DTreeNodeSpec sum;
   sum.kind = DTreeNodeKind::kOplus;
   sum.children = {a, b};
   tree.set_root(tree.AddNode(sum));
@@ -70,12 +70,12 @@ TEST(ValidateTest, RejectsIncompleteMutexSupport) {
   VariableTable vars;
   VarId x = vars.Add(Distribution::FromPairs({{0, 0.3}, {1, 0.3}, {2, 0.4}}));
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafConst;
   leaf.value = 1;
   DTree::NodeId a = tree.AddNode(leaf);
   DTree::NodeId b = tree.AddNode(leaf);
-  DTreeNode mutex;
+  DTreeNodeSpec mutex;
   mutex.kind = DTreeNodeKind::kMutex;
   mutex.var = x;
   mutex.children = {a, b};
@@ -90,14 +90,14 @@ TEST(ValidateTest, RejectsMutexVariableInBranch) {
   VariableTable vars;
   VarId x = vars.AddBernoulli(0.5);
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafVar;
   leaf.var = x;
   DTree::NodeId a = tree.AddNode(leaf);
-  DTreeNode konst;
+  DTreeNodeSpec konst;
   konst.kind = DTreeNodeKind::kLeafConst;
   DTree::NodeId b = tree.AddNode(konst);
-  DTreeNode mutex;
+  DTreeNodeSpec mutex;
   mutex.kind = DTreeNodeKind::kMutex;
   mutex.var = x;
   mutex.children = {a, b};  // Branch a still mentions x.
@@ -113,13 +113,13 @@ TEST(ValidateTest, RejectsMalformedTensor) {
   VarId x = vars.AddBernoulli(0.5);
   VarId y = vars.AddBernoulli(0.5);
   DTree tree;
-  DTreeNode leaf;
+  DTreeNodeSpec leaf;
   leaf.kind = DTreeNodeKind::kLeafVar;
   leaf.var = x;
   DTree::NodeId a = tree.AddNode(leaf);
   leaf.var = y;
   DTree::NodeId b = tree.AddNode(leaf);
-  DTreeNode tensor;
+  DTreeNodeSpec tensor;
   tensor.kind = DTreeNodeKind::kOtimes;
   tensor.sort = ExprSort::kMonoid;
   tensor.agg = AggKind::kMin;

@@ -59,10 +59,10 @@ TEST(WorkloadTest, CountTermsHaveValueOne) {
   params.max_value = 100;
   GeneratedExpr gen = GenerateComparisonExpr(&pool, &vars, params, 3);
   const ExprNode& lhs = pool.node(gen.lhs);
-  for (ExprId child : lhs.children) {
+  for (ExprId child : lhs.children()) {
     const ExprNode& t = pool.node(child);
     if (t.kind == ExprKind::kTensor) {
-      EXPECT_EQ(pool.node(t.children[1]).value, 1);
+      EXPECT_EQ(pool.node(t.child(1)).value, 1);
     }
   }
 }

@@ -74,6 +74,7 @@ struct Session {
   std::unique_ptr<ShardedDatabase> sharded;
   std::vector<std::string> history;  ///< State-changing lines, in order.
   int num_threads = 0;
+  int intra_tree_threads = 0;
 
   const Database& catalog() const {
     return sharded != nullptr ? sharded->coordinator() : *db;
@@ -94,6 +95,8 @@ void PrintHelp() {
             << "  views                    list materialized views\n"
             << "  threads [n]              show or set the thread count\n"
             << "                           (0 = serial, -1 = all cores)\n"
+            << "  intratree [n]            show or set the intra-d-tree\n"
+            << "                           probability thread count\n"
             << "  shards [n]               show or set the shard count\n"
             << "                           (0 = single database)\n"
             << "  help | quit\n";
@@ -192,11 +195,11 @@ bool LoadInto(Session* session, const std::string& table,
 }
 
 void ApplyThreads(Session* session) {
-  if (session->sharded != nullptr) {
-    session->sharded->eval_options().num_threads = session->num_threads;
-  } else {
-    session->db->eval_options().num_threads = session->num_threads;
-  }
+  EvalOptions& options = session->sharded != nullptr
+                             ? session->sharded->eval_options()
+                             : session->db->eval_options();
+  options.num_threads = session->num_threads;
+  options.intra_tree_threads = session->intra_tree_threads;
 }
 
 // Parses the whole of `token` as a double; rejects trailing garbage.
@@ -587,6 +590,15 @@ int main() {
         ApplyThreads(&session);
       }
       std::cout << "num_threads = " << session.num_threads
+                << " (0 = serial; " << DefaultThreadCount()
+                << " hardware threads)\n";
+    } else if (command == "intratree") {
+      int n = 0;
+      if (stream >> n) {
+        session.intra_tree_threads = n;
+        ApplyThreads(&session);
+      }
+      std::cout << "intra_tree_threads = " << session.intra_tree_threads
                 << " (0 = serial; " << DefaultThreadCount()
                 << " hardware threads)\n";
     } else if (command == "shards") {
