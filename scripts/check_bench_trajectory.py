@@ -19,7 +19,9 @@ the recorded speedup field of the summary record selected by
 `speedup_incremental_vs_recompute` (bench_ivm); pass
 --field speedup_vs_serial for the bench_hotpath intra-tree curve. The
 speedup is already a within-run ratio, so no further normalization is
-applied.
+applied. When either side's record was captured with hardware_threads=1
+the gate is SKIPPED (exit 0, loud warning): parallel speedups measured
+on a single core are scheduling noise, not signal.
 
 --metric ns-per-node (`bench_hotpath --json`): compares the compile +
 probability cost per d-tree node of the selected record. Lower is
@@ -77,12 +79,16 @@ def throughput(records, bench, shards, threads):
                  ["rows_per_second"])
 
 
-def field_value(records, bench, shards, threads, field):
-    record = find_record(records, bench, shards, threads)
+def field_from(record, bench, field):
     if field not in record:
         print(f"ERROR: record '{bench}' has no field '{field}'")
         sys.exit(2)
     return float(record[field])
+
+
+def field_value(records, bench, shards, threads, field):
+    return field_from(find_record(records, bench, shards, threads), bench,
+                      field)
 
 
 def normalized(records, shards, threads):
@@ -142,10 +148,27 @@ def main():
         label = f"{args.series} ns per d-tree node"
         lower_is_better = True
     else:
-        current = field_value(load_records(args.current), args.series,
-                              args.shards, args.threads, args.field)
-        baseline = field_value(load_records(args.baseline), args.series,
-                               args.shards, args.threads, args.field)
+        current_record = find_record(load_records(args.current), args.series,
+                                     args.shards, args.threads)
+        baseline_record = find_record(load_records(args.baseline),
+                                      args.series, args.shards, args.threads)
+        # Parallel speedups measured on a 1-CPU host are noise, not signal:
+        # the helper threads share one core, so "speedup" is pure scheduling
+        # overhead (e.g. the 0.38x intra-tree points in a single-core
+        # BENCH_hotpath.json). Gating on such a number fails healthy code
+        # and passes broken code, so the only safe move is to skip loudly.
+        single = [name for name, record in (("current", current_record),
+                                            ("baseline", baseline_record))
+                  if record.get("hardware_threads") == 1]
+        if single:
+            print(f"SKIPPED: speedup gate for {args.series} {args.field}: "
+                  f"the {' and '.join(single)} run(s) were captured with "
+                  "hardware_threads=1, where parallel speedups are "
+                  "meaningless. Refresh from a multi-core bench-trajectory "
+                  "artifact to arm this gate (docs/CI.md).")
+            sys.exit(0)
+        current = field_from(current_record, args.series, args.field)
+        baseline = field_from(baseline_record, args.series, args.field)
         label = f"{args.series} {args.field}"
 
     if lower_is_better:

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/engine/delta.h"
+#include "src/engine/wal.h"
 #include "src/util/check.h"
 #include "src/util/parallel.h"
 
@@ -70,6 +71,22 @@ void Database::AddTupleIndependentTable(
     std::vector<std::vector<Cell>> rows, std::vector<double> probabilities) {
   PVC_CHECK_MSG(rows.size() == probabilities.size(),
                 "one probability per row required");
+  // Build the record before the rows are consumed: the load is one atomic
+  // mutation -- the fresh variables in creation order plus the table.
+  WalRecord record;
+  if (wal_ != nullptr) {
+    VarId base = static_cast<VarId>(variables_->size());
+    std::vector<VarId> vars;
+    vars.reserve(rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      record.ops.push_back(
+          WalOp::RegisterVariable(name + "#" + std::to_string(i),
+                                  Distribution::Bernoulli(probabilities[i])));
+      vars.push_back(base + static_cast<VarId>(i));
+    }
+    record.ops.push_back(
+        WalOp::CreateTable(name, schema, "", rows, std::move(vars)));
+  }
   PvcTable table{std::move(schema)};
   for (size_t i = 0; i < rows.size(); ++i) {
     VarId x = variables_->AddBernoulli(probabilities[i],
@@ -77,6 +94,7 @@ void Database::AddTupleIndependentTable(
     table.AddRow(std::move(rows[i]), pool_.Var(x));
   }
   AddTable(name, std::move(table));
+  if (wal_ != nullptr) LogWalRecord(wal_, record);
 }
 
 void Database::AddVariableAnnotatedTable(const std::string& name,
@@ -84,6 +102,10 @@ void Database::AddVariableAnnotatedTable(const std::string& name,
                                          std::vector<std::vector<Cell>> rows,
                                          const std::vector<VarId>& vars) {
   PVC_CHECK_MSG(rows.size() == vars.size(), "one variable per row required");
+  WalRecord record;
+  if (wal_ != nullptr) {
+    record.ops.push_back(WalOp::CreateTable(name, schema, "", rows, vars));
+  }
   PvcTable table{std::move(schema)};
   for (size_t i = 0; i < rows.size(); ++i) {
     PVC_CHECK_MSG(vars[i] < variables_->size(),
@@ -91,6 +113,7 @@ void Database::AddVariableAnnotatedTable(const std::string& name,
     table.AddRow(std::move(rows[i]), pool_.Var(vars[i]));
   }
   AddTable(name, std::move(table));
+  if (wal_ != nullptr) LogWalRecord(wal_, record);
 }
 
 namespace {
@@ -134,9 +157,21 @@ size_t Database::InsertTuple(const std::string& table,
   // final state.
   PvcTable& t = MutableTable(table);
   CheckRowShape(t.schema(), cells);
+  // One atomic record: the fresh Bernoulli variable plus the row insert
+  // that interns it. A crash tears the whole mutation or none of it.
+  WalRecord record;
+  if (wal_ != nullptr) {
+    record.ops.push_back(
+        WalOp::RegisterVariable(table + "#" + std::to_string(t.NumRows()),
+                                Distribution::Bernoulli(p)));
+    record.ops.push_back(WalOp::InsertRow(
+        table, cells, static_cast<VarId>(variables_->size())));
+  }
   VarId x = variables_->AddBernoulli(
       p, table + "#" + std::to_string(t.NumRows()));
-  return AppendRowToTable(table, std::move(cells), pool_.Var(x));
+  size_t index = AppendRowToTable(table, std::move(cells), pool_.Var(x));
+  if (wal_ != nullptr) LogWalRecord(wal_, record);
+  return index;
 }
 
 void Database::DeleteRowAt(const std::string& table, size_t row_index) {
@@ -150,6 +185,11 @@ void Database::DeleteRowAt(const std::string& table, size_t row_index) {
   delta.cells = t.row(row_index).cells;
   t.DeleteRow(row_index);
   views_.Apply(delta, Context());
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.ops.push_back(WalOp::DeleteRow(table, row_index));
+    LogWalRecord(wal_, record);
+  }
 }
 
 size_t Database::DeleteTuple(const std::string& table, const Cell& key) {
@@ -163,11 +203,35 @@ void Database::UpdateProbability(VarId var, double p) {
   bool same_support = SameSupport(variables_->DistributionOf(var), next);
   variables_->SetDistribution(var, std::move(next));
   views_.OnVariableUpdate(var, *variables_, pool_.semiring(), same_support);
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.ops.push_back(WalOp::UpdateProbability(var, p));
+    LogWalRecord(wal_, record);
+  }
 }
 
 const PvcTable& Database::RegisterView(const std::string& name,
                                        QueryPtr query) {
-  return views_.Register(name, std::move(query), Context());
+  // Log only after the registration succeeds: a rejected query (unknown
+  // table, bad schema) throws out of Register and must never reach the
+  // log, or replay would throw too.
+  const PvcTable& result = views_.Register(name, query, Context());
+  if (wal_ != nullptr) {
+    WalRecord record;
+    record.ops.push_back(WalOp::RegisterView(name, std::move(query)));
+    LogWalRecord(wal_, record);
+  }
+  return result;
+}
+
+void Database::DropView(const std::string& name) {
+  bool existed = views_.Has(name);
+  views_.Drop(name);
+  if (existed && wal_ != nullptr) {
+    WalRecord record;
+    record.ops.push_back(WalOp::DropView(name));
+    LogWalRecord(wal_, record);
+  }
 }
 
 const PvcTable& Database::ViewTable(const std::string& name) {

@@ -27,6 +27,9 @@
 
 namespace pvcdb {
 
+class WalWriter;
+struct WalRecord;
+
 /// The per-row step II pipeline used by every batch probability pass, in
 /// Database and ShardedDatabase alike: clone the annotation from `source`
 /// into a task-private pool, compile it, run the bottom-up probability
@@ -73,6 +76,15 @@ class Database {
 
   /// D-tree compilation knobs used by the probability methods.
   CompileOptions& compile_options() { return compile_options_; }
+
+  /// Durability hook (src/engine/wal.h): with a writer attached, every
+  /// logical mutation appends one WAL record; an append failure fails the
+  /// mutation's PVC_CHECK, so no mutation reports success without being
+  /// durable. nullptr (the default) disables logging. Replay and rebuild
+  /// paths run with the writer detached. The low-level hooks AddTable and
+  /// AppendRowToTable are themselves replay targets and never log.
+  void set_wal(WalWriter* wal) { wal_ = wal; }
+  WalWriter* wal() const { return wal_; }
 
   /// Engine-wide evaluation knobs. Set `eval_options().num_threads` to fan
   /// query evaluation and the batch probability methods across threads;
@@ -145,7 +157,7 @@ class Database {
   const PvcTable& RegisterView(const std::string& name, QueryPtr query);
 
   bool HasView(const std::string& name) const { return views_.Has(name); }
-  void DropView(const std::string& name) { views_.Drop(name); }
+  void DropView(const std::string& name);
   std::vector<std::string> ViewNames() const { return views_.Names(); }
 
   /// The view's cached step I result (recomputed first when stale).
@@ -222,6 +234,7 @@ class Database {
   CompileOptions compile_options_;
   EvalOptions eval_options_;
   ViewRegistry views_;
+  WalWriter* wal_ = nullptr;
 };
 
 }  // namespace pvcdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/engine/wal.h"
 #include "src/util/check.h"
 #include "src/util/parallel.h"
 
@@ -14,6 +15,24 @@ namespace {
 /// gather can merge per-shard results back into global row order. Queries
 /// mentioning this name fall back to the coordinator.
 constexpr const char* kRowIdColumn = "__pvcdb_rowid";
+
+/// Detaches the coordinator's WAL writer for the guarded scope. Used where
+/// the sharded facade logs a richer record itself (table loads carry the
+/// routing key column; view replacement is one logical op, not
+/// drop-then-register) and the coordinator's own logging must stay quiet.
+class WalDetachGuard {
+ public:
+  explicit WalDetachGuard(Database* db) : db_(db), wal_(db->wal()) {
+    db_->set_wal(nullptr);
+  }
+  ~WalDetachGuard() { db_->set_wal(wal_); }
+
+  WalWriter* wal() const { return wal_; }
+
+ private:
+  Database* db_;
+  WalWriter* wal_;
+};
 
 }  // namespace
 
@@ -58,20 +77,38 @@ void ShardedDatabase::AddTupleIndependentTable(
   PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
   size_t key_index = key_column.empty() ? 0 : schema.IndexOf(key_column);
 
-  // The coordinator performs the exact load an unsharded Database would:
-  // Bernoulli variables are created in global row order, so VarIds match
-  // the unsharded engine's.
+  // The sharded load logs its own record (it must carry the routing key
+  // column), so the coordinator's WAL stays detached for the inner call.
+  WalRecord record;
+  std::string key_name = schema.column(key_index).name;
   VarId var_base = static_cast<VarId>(variables().size());
   size_t num_rows = rows.size();
-  coordinator_.AddTupleIndependentTable(name, std::move(schema),
-                                        std::move(rows),
-                                        std::move(probabilities));
   std::vector<VarId> vars;
   vars.reserve(num_rows);
   for (size_t i = 0; i < num_rows; ++i) {
     vars.push_back(var_base + static_cast<VarId>(i));
   }
+  if (wal() != nullptr) {
+    for (size_t i = 0; i < num_rows; ++i) {
+      record.ops.push_back(
+          WalOp::RegisterVariable(name + "#" + std::to_string(i),
+                                  Distribution::Bernoulli(probabilities[i])));
+    }
+    record.ops.push_back(
+        WalOp::CreateTable(name, schema, key_name, rows, vars));
+  }
+
+  {
+    // The coordinator performs the exact load an unsharded Database would:
+    // Bernoulli variables are created in global row order, so VarIds match
+    // the unsharded engine's.
+    WalDetachGuard guard(&coordinator_);
+    coordinator_.AddTupleIndependentTable(name, std::move(schema),
+                                          std::move(rows),
+                                          std::move(probabilities));
+  }
   PartitionLoadedTable(name, key_index, vars);
+  if (wal() != nullptr) LogWalRecord(wal(), record);
 }
 
 void ShardedDatabase::AddVariableAnnotatedTable(
@@ -80,9 +117,18 @@ void ShardedDatabase::AddVariableAnnotatedTable(
     const std::string& key_column) {
   PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
   size_t key_index = key_column.empty() ? 0 : schema.IndexOf(key_column);
-  coordinator_.AddVariableAnnotatedTable(name, std::move(schema),
-                                         std::move(rows), vars);
+  WalRecord record;
+  if (wal() != nullptr) {
+    record.ops.push_back(WalOp::CreateTable(
+        name, schema, schema.column(key_index).name, rows, vars));
+  }
+  {
+    WalDetachGuard guard(&coordinator_);
+    coordinator_.AddVariableAnnotatedTable(name, std::move(schema),
+                                           std::move(rows), vars);
+  }
   PartitionLoadedTable(name, key_index, vars);
+  if (wal() != nullptr) LogWalRecord(wal(), record);
 }
 
 void ShardedDatabase::PartitionLoadedTable(const std::string& name,
@@ -138,6 +184,13 @@ std::vector<std::string> ShardedDatabase::TableNames() const {
 
 size_t ShardedDatabase::NumRows(const std::string& name) const {
   return coordinator_.table(name).NumRows();
+}
+
+std::string ShardedDatabase::KeyColumnName(const std::string& name) const {
+  auto it = key_columns_.find(name);
+  PVC_CHECK_MSG(it != key_columns_.end(),
+                "no sharded table named '" << name << "'");
+  return coordinator_.table(name).schema().column(it->second).name;
 }
 
 std::vector<size_t> ShardedDatabase::ShardRowCounts(
@@ -430,14 +483,37 @@ size_t ShardedDatabase::InsertTuple(const std::string& table,
 
   // The coordinator replays the unsharded mutation: the fresh Bernoulli
   // variable gets the next global id, and coordinator-registered views
-  // absorb the delta.
+  // absorb the delta. It also logs the [variable, insert] WAL record,
+  // which is all replay needs (the key column was recorded at load time).
   VarId x = static_cast<VarId>(variables().size());
   size_t global_row = coordinator_.InsertTuple(table, cells, p);
+  RouteAppendedRow(table, key_it->second, cells, x, global_row);
+  return global_row;
+}
 
+size_t ShardedDatabase::AppendRowToTable(const std::string& table,
+                                         std::vector<Cell> cells, VarId var) {
+  auto key_it = key_columns_.find(table);
+  PVC_CHECK_MSG(key_it != key_columns_.end(),
+                "no sharded table named '" << table << "'");
+  PVC_CHECK_MSG(key_it->second < cells.size(),
+                "row is missing its key cell");
+  PVC_CHECK_MSG(var < variables().size(),
+                "unknown variable id " << var);
+  size_t global_row = coordinator_.AppendRowToTable(
+      table, cells, coordinator_.pool().Var(var));
+  RouteAppendedRow(table, key_it->second, cells, var, global_row);
+  return global_row;
+}
+
+void ShardedDatabase::RouteAppendedRow(const std::string& table,
+                                       size_t key_index,
+                                       const std::vector<Cell>& cells,
+                                       VarId var, size_t global_row) {
   // Route the row to its shard, exactly as the load would.
-  size_t s = router_->Route(cells[key_it->second], shards_.size());
+  size_t s = router_->Route(cells[key_index], shards_.size());
   size_t shard_row = shards_[s]->table(table).NumRows();
-  ExprId shard_annotation = shards_[s]->pool().Var(x);
+  ExprId shard_annotation = shards_[s]->pool().Var(var);
   shards_[s]->AppendRowToTable(table, cells, shard_annotation);
   placements_[table].emplace_back(static_cast<uint32_t>(s),
                                   static_cast<uint32_t>(shard_row));
@@ -457,7 +533,6 @@ size_t ShardedDatabase::InsertTuple(const std::string& table,
                              shard_annotation);
     }
   }
-  return global_row;
 }
 
 void ShardedDatabase::DeleteRowAt(const std::string& table,
@@ -539,14 +614,26 @@ void ShardedDatabase::RegisterView(const std::string& name, QueryPtr query) {
       !QueryMentionsColumn(*query, kRowIdColumn)) {
     auto view = std::make_unique<ShardedView>();
     view->name = name;
-    view->query = std::move(query);
+    view->query = query;
     view->driving = *driving;
     SeedShardedView(view.get());
-    DropView(name);
+    {
+      // Replacement is ONE logical op: the inner drop must not log its own
+      // record (replay's RegisterView handles replacing the old name).
+      WalDetachGuard guard(&coordinator_);
+      DropView(name);
+    }
     sharded_views_.push_back(std::move(view));
+    if (wal() != nullptr) {
+      WalRecord record;
+      record.ops.push_back(WalOp::RegisterView(name, std::move(query)));
+      LogWalRecord(wal(), record);
+    }
     return;
   }
   SyncShardOptions();
+  // The coordinator logs the kRegisterView record itself; retiring a
+  // same-name per-shard view below is part of the same logical op.
   coordinator_.RegisterView(name, std::move(query));
   // The name may previously have named a per-shard view; retire it only
   // now that the replacement exists.
@@ -569,9 +656,15 @@ void ShardedDatabase::DropView(const std::string& name) {
   for (auto it = sharded_views_.begin(); it != sharded_views_.end(); ++it) {
     if ((*it)->name == name) {
       sharded_views_.erase(it);
+      if (wal() != nullptr) {
+        WalRecord record;
+        record.ops.push_back(WalOp::DropView(name));
+        LogWalRecord(wal(), record);
+      }
       return;
     }
   }
+  // Logs through the coordinator (only when the view exists).
   coordinator_.DropView(name);
 }
 
@@ -582,6 +675,18 @@ std::vector<std::string> ShardedDatabase::ViewNames() const {
     names.push_back(name);
   }
   return names;
+}
+
+std::vector<std::pair<std::string, QueryPtr>> ShardedDatabase::ViewCatalog()
+    const {
+  std::vector<std::pair<std::string, QueryPtr>> catalog;
+  for (const auto& view : sharded_views_) {
+    catalog.emplace_back(view->name, view->query);
+  }
+  for (const std::string& name : coordinator_.ViewNames()) {
+    catalog.emplace_back(name, coordinator_.views().view(name).query());
+  }
+  return catalog;
 }
 
 void ShardedDatabase::ApplyShardedViewInsert(

@@ -142,6 +142,14 @@ class ShardedDatabase {
   Database& coordinator() { return coordinator_; }
   const Database& coordinator() const { return coordinator_; }
 
+  /// Durability hook (src/engine/wal.h): attaches the writer to the
+  /// coordinator, through which every mutation routes -- so inserts,
+  /// deletes and probability updates log exactly like the unsharded
+  /// engine's. Table loads and view registration log at this level (they
+  /// carry sharded-only state: the routing key column, per-shard views).
+  void set_wal(WalWriter* wal) { coordinator_.set_wal(wal); }
+  WalWriter* wal() const { return coordinator_.wal(); }
+
   /// Shard `s`'s engine (partition tables + shard-local pool).
   const Database& shard(size_t s) const;
 
@@ -168,6 +176,10 @@ class ShardedDatabase {
   std::vector<std::string> TableNames() const;
   size_t NumRows(const std::string& name) const;
 
+  /// Name of the column rows of `name` are routed by (capture hook for
+  /// snapshots: reloading with this key reproduces the placement).
+  std::string KeyColumnName(const std::string& name) const;
+
   /// Rows per shard for `name` (skew diagnostics; sums to NumRows).
   std::vector<size_t> ShardRowCounts(const std::string& name) const;
 
@@ -184,6 +196,13 @@ class ShardedDatabase {
   /// its key-column cell. Returns the new global row index.
   size_t InsertTuple(const std::string& table, std::vector<Cell> cells,
                      double p);
+
+  /// Replay hook mirroring Database::AppendRowToTable: appends a row
+  /// annotated with the *existing* shared variable `var`, routed exactly
+  /// like InsertTuple. Never writes to the WAL (it is what WAL replay
+  /// calls).
+  size_t AppendRowToTable(const std::string& table, std::vector<Cell> cells,
+                          VarId var);
 
   /// Removes the row at global index `row_index`.
   void DeleteRowAt(const std::string& table, size_t row_index);
@@ -208,6 +227,12 @@ class ShardedDatabase {
   bool HasView(const std::string& name) const;
   void DropView(const std::string& name);
   std::vector<std::string> ViewNames() const;
+
+  /// (name, query) of every registered view, per-shard views first --
+  /// the order snapshot capture records and recovery re-registers them in
+  /// (the two registries intern into disjoint pools, so this order is
+  /// bit-identity-safe regardless of original interleaving).
+  std::vector<std::pair<std::string, QueryPtr>> ViewCatalog() const;
 
   /// Snapshot of the view's cached step I result in global row order.
   ShardedResult ViewResult(const std::string& name);
@@ -309,6 +334,13 @@ class ShardedDatabase {
   /// pool) and refreshes placement, key column and dependent caches.
   void PartitionLoadedTable(const std::string& name, size_t key_index,
                             const std::vector<VarId>& vars);
+
+  /// The routing + bookkeeping tail shared by InsertTuple and
+  /// AppendRowToTable: sends the already-appended coordinator row to its
+  /// shard and updates placement, caches and per-shard views.
+  void RouteAppendedRow(const std::string& table, size_t key_index,
+                        const std::vector<Cell>& cells, VarId var,
+                        size_t global_row);
 
   ShardedView* FindShardedView(const std::string& name);
   /// Builds / rebuilds `view`'s cached parts from the current partitions.

@@ -1,0 +1,155 @@
+// Point-in-time snapshots and crash recovery (the durability layer's
+// upper half; the WAL is the lower half, src/engine/wal.h).
+//
+// A snapshot serializes an engine's complete logical state -- semiring,
+// shard topology, the variable registry in creation order with current
+// marginals, every base table with its row variables and routing key, and
+// every registered view -- as a *rebuild script* of WAL ops. Restoring a
+// snapshot replays that script through the engine's rebuild hooks, the
+// exact replay shape whose bit-identity to a live mutated engine the IVM
+// oracle (tests/ivm_test.cc) proves. Materialized view caches are not
+// persisted: re-registering the views rebuilds step I results and step II
+// caches from scratch, bit-identical to the never-crashed engine.
+//
+// DurableSession ties the two halves together. A durable directory holds
+// one active generation g:
+//
+//   snapshot-0000000g       full state when the generation opened
+//   wal-0000000g.log        every mutation since
+//
+// Recovery picks the newest generation whose snapshot validates, rebuilds
+// the engine from it, truncates the WAL's torn tail (first bad length /
+// CRC / payload), replays the surviving records, and resumes appending.
+// Checkpoint() writes generation g+1 (tmp file + atomic rename), switches
+// to a fresh WAL and deletes generation g -- a crash anywhere in between
+// leaves at least one recoverable generation on disk.
+
+#ifndef PVCDB_ENGINE_SNAPSHOT_H_
+#define PVCDB_ENGINE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/engine/shard.h"
+#include "src/engine/wal.h"
+#include "src/util/io.h"
+
+namespace pvcdb {
+
+/// An engine's complete logical state: topology plus the rebuild script
+/// (kRegisterVariable ops in creation order, then kCreateTable per table,
+/// then kRegisterView in registration order).
+struct EngineState {
+  SemiringKind semiring = SemiringKind::kBool;
+  uint64_t num_shards = 0;  ///< 0 = single Database, else ShardedDatabase.
+  std::vector<WalOp> ops;
+};
+
+/// Captures the engine's current logical state.
+EngineState CaptureState(const Database& db);
+EngineState CaptureState(const ShardedDatabase& db);
+
+/// Applies one replayable op to exactly one engine (`db` or `sharded`
+/// non-null). kReshard is a topology change and is handled by
+/// DurableSession, not here.
+void ApplyWalOp(const WalOp& op, Database* db, ShardedDatabase* sharded);
+
+/// Serializes `state` into a self-validating snapshot file image
+/// (magic + length + CRC32C + body).
+std::string EncodeSnapshot(const EngineState& state);
+
+/// Validates and decodes a snapshot file image; false when the image is
+/// torn, corrupt or malformed (recovery then falls back to the previous
+/// generation).
+bool DecodeSnapshot(const std::string& data, EngineState* state);
+
+struct DurableConfig {
+  std::string dir;
+  FileSystem* fs = nullptr;  ///< DefaultFileSystem() when null.
+  bool sync = false;         ///< fsync after every WAL append / snapshot.
+};
+
+struct DurableStats {
+  uint32_t generation = 0;
+  bool recovered = false;       ///< Opened via Recover().
+  bool tail_truncated = false;  ///< Recovery cut a torn WAL tail.
+  uint64_t replayed_records = 0;
+  uint64_t wal_records = 0;  ///< Including replayed ones.
+  uint64_t wal_bytes = 0;
+};
+
+/// One durable engine: owns the Database *or* ShardedDatabase, the active
+/// WAL writer, and the generation protocol of the directory.
+class DurableSession {
+ public:
+  /// True when `dir` holds at least one snapshot file (valid or not).
+  static bool HasState(FileSystem* fs, const std::string& dir);
+
+  /// Starts a fresh durable directory at generation 0 holding `initial`
+  /// (typically CaptureState of a live engine being made durable). Fails
+  /// when the directory already holds state. nullptr + `*error` on failure.
+  static std::unique_ptr<DurableSession> Create(const DurableConfig& config,
+                                                const EngineState& initial,
+                                                std::string* error);
+
+  /// Recovers from an existing durable directory: newest valid snapshot,
+  /// torn WAL tail truncated, surviving records replayed.
+  static std::unique_ptr<DurableSession> Recover(const DurableConfig& config,
+                                                 std::string* error);
+
+  ~DurableSession();
+
+  DurableSession(const DurableSession&) = delete;
+  DurableSession& operator=(const DurableSession&) = delete;
+
+  bool is_sharded() const { return sharded_ != nullptr; }
+  Database* db() { return db_.get(); }
+  ShardedDatabase* sharded() { return sharded_.get(); }
+
+  /// Writes generation g+1 (snapshot of the current state + fresh WAL) and
+  /// deletes generation g. On failure the session keeps running on the old
+  /// generation.
+  bool Checkpoint(std::string* error);
+
+  /// Logs a kReshard record and rebuilds the engine with `num_shards`
+  /// shards (0 = single Database), preserving evaluation / compile options.
+  /// Replayed on recovery, so the topology survives restarts.
+  bool Reshard(uint64_t num_shards, std::string* error);
+
+  DurableStats stats() const;
+  const std::string& dir() const { return config_.dir; }
+
+ private:
+  explicit DurableSession(DurableConfig config);
+
+  std::string SnapshotPath(uint32_t generation) const;
+  std::string WalPath(uint32_t generation) const;
+  uint64_t CurrentShardCount() const;
+  EngineState CaptureCurrent() const;
+  /// Captures the current state and rebuilds it at `num_shards` shards,
+  /// carrying the evaluation / compile options over.
+  void RebuildTopology(uint64_t num_shards);
+  /// Rebuilds db_/sharded_ from `state` (WAL detached during the rebuild).
+  void BuildFromState(const EngineState& state);
+  void AttachWal();
+  bool WriteSnapshot(uint32_t generation, const EngineState& state,
+                     std::string* error);
+  /// Best-effort removal of all generation files except `keep`.
+  void RemoveOtherGenerations(uint32_t keep);
+
+  DurableConfig config_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<ShardedDatabase> sharded_;
+  std::unique_ptr<WalWriter> wal_;
+  uint32_t generation_ = 0;
+  bool recovered_ = false;
+  bool tail_truncated_ = false;
+  uint64_t replayed_records_ = 0;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_SNAPSHOT_H_

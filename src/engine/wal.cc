@@ -1,0 +1,371 @@
+#include "src/engine/wal.h"
+
+#include <utility>
+
+#include "src/query/serialize.h"
+#include "src/util/check.h"
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace pvcdb {
+namespace {
+
+constexpr char kWalMagic[] = "PVCWAL01";
+constexpr size_t kMagicSize = 8;
+constexpr size_t kRecordHeaderSize = 8;  // u32 payload_len + u32 crc.
+
+void EncodeDistribution(std::string* out, const Distribution& d) {
+  EncodeU32(out, static_cast<uint32_t>(d.entries().size()));
+  for (const auto& [value, p] : d.entries()) {
+    EncodeI64(out, value);
+    EncodeDouble(out, p);
+  }
+}
+
+Distribution DecodeDistribution(ByteReader* reader) {
+  uint32_t n = reader->ReadU32();
+  if (n > reader->remaining()) {
+    reader->Fail();
+    return Distribution();
+  }
+  std::vector<Distribution::Entry> entries;
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t value = reader->ReadI64();
+    double p = reader->ReadDouble();
+    entries.emplace_back(value, p);
+  }
+  // entries() is canonical (sorted, zero-mass dropped), so FromPairs is the
+  // identity on a round-trip and the decoded marginal is bit-identical.
+  return Distribution::FromPairs(std::move(entries));
+}
+
+void EncodeSchema(std::string* out, const Schema& schema) {
+  EncodeU32(out, static_cast<uint32_t>(schema.NumColumns()));
+  for (const Column& column : schema.columns()) {
+    EncodeString(out, column.name);
+    EncodeU8(out, static_cast<uint8_t>(column.type));
+  }
+}
+
+Schema DecodeSchema(ByteReader* reader) {
+  uint32_t n = reader->ReadU32();
+  if (n > reader->remaining()) {
+    reader->Fail();
+    return Schema();
+  }
+  std::vector<Column> columns;
+  columns.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Column column;
+    column.name = reader->ReadString();
+    uint8_t type = reader->ReadU8();
+    if (type > static_cast<uint8_t>(CellType::kAggExpr)) {
+      reader->Fail();
+      return Schema();
+    }
+    column.type = static_cast<CellType>(type);
+    columns.push_back(std::move(column));
+  }
+  if (!reader->ok()) return Schema();
+  return Schema(std::move(columns));
+}
+
+void EncodeOp(std::string* out, const WalOp& op) {
+  EncodeU8(out, static_cast<uint8_t>(op.type));
+  switch (op.type) {
+    case WalOpType::kRegisterVariable:
+      EncodeString(out, op.name);
+      EncodeDistribution(out, op.distribution);
+      return;
+    case WalOpType::kCreateTable: {
+      PVC_CHECK_MSG(op.rows.size() == op.vars.size(),
+                    "kCreateTable needs one variable per row");
+      EncodeString(out, op.name);
+      EncodeString(out, op.key_column);
+      EncodeSchema(out, op.schema);
+      EncodeU64(out, op.rows.size());
+      for (size_t i = 0; i < op.rows.size(); ++i) {
+        PVC_CHECK_MSG(op.rows[i].size() == op.schema.NumColumns(),
+                      "kCreateTable row arity mismatch");
+        for (const Cell& cell : op.rows[i]) EncodeCell(out, cell);
+        EncodeU32(out, op.vars[i]);
+      }
+      return;
+    }
+    case WalOpType::kInsertRow:
+      EncodeString(out, op.name);
+      EncodeU32(out, static_cast<uint32_t>(op.cells.size()));
+      for (const Cell& cell : op.cells) EncodeCell(out, cell);
+      EncodeU32(out, op.var);
+      return;
+    case WalOpType::kDeleteRow:
+      EncodeString(out, op.name);
+      EncodeU64(out, op.row_index);
+      return;
+    case WalOpType::kUpdateProbability:
+      EncodeU32(out, op.var);
+      EncodeDouble(out, op.probability);
+      return;
+    case WalOpType::kRegisterView:
+      PVC_CHECK_MSG(op.query != nullptr, "kRegisterView needs a query");
+      EncodeString(out, op.name);
+      EncodeQuery(out, *op.query);
+      return;
+    case WalOpType::kDropView:
+      EncodeString(out, op.name);
+      return;
+    case WalOpType::kReshard:
+      EncodeU64(out, op.num_shards);
+      return;
+  }
+  PVC_FAIL("unknown WAL op type");
+}
+
+bool DecodeOp(ByteReader* reader, WalOp* op) {
+  uint8_t type = reader->ReadU8();
+  if (!reader->ok()) return false;
+  if (type < static_cast<uint8_t>(WalOpType::kRegisterVariable) ||
+      type > static_cast<uint8_t>(WalOpType::kReshard)) {
+    reader->Fail();
+    return false;
+  }
+  op->type = static_cast<WalOpType>(type);
+  switch (op->type) {
+    case WalOpType::kRegisterVariable:
+      op->name = reader->ReadString();
+      op->distribution = DecodeDistribution(reader);
+      break;
+    case WalOpType::kCreateTable: {
+      op->name = reader->ReadString();
+      op->key_column = reader->ReadString();
+      op->schema = DecodeSchema(reader);
+      uint64_t n = reader->ReadU64();
+      if (n > reader->remaining()) {
+        reader->Fail();
+        return false;
+      }
+      op->rows.clear();
+      op->vars.clear();
+      op->rows.reserve(n);
+      op->vars.reserve(n);
+      for (uint64_t i = 0; i < n && reader->ok(); ++i) {
+        std::vector<Cell> row;
+        row.reserve(op->schema.NumColumns());
+        for (size_t c = 0; c < op->schema.NumColumns(); ++c) {
+          row.push_back(DecodeCell(reader));
+        }
+        op->rows.push_back(std::move(row));
+        op->vars.push_back(reader->ReadU32());
+      }
+      break;
+    }
+    case WalOpType::kInsertRow: {
+      op->name = reader->ReadString();
+      uint32_t n = reader->ReadU32();
+      if (n > reader->remaining()) {
+        reader->Fail();
+        return false;
+      }
+      op->cells.clear();
+      op->cells.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) op->cells.push_back(DecodeCell(reader));
+      op->var = reader->ReadU32();
+      break;
+    }
+    case WalOpType::kDeleteRow:
+      op->name = reader->ReadString();
+      op->row_index = reader->ReadU64();
+      break;
+    case WalOpType::kUpdateProbability:
+      op->var = reader->ReadU32();
+      op->probability = reader->ReadDouble();
+      break;
+    case WalOpType::kRegisterView:
+      op->name = reader->ReadString();
+      op->query = DecodeQuery(reader);
+      if (op->query == nullptr) return false;
+      break;
+    case WalOpType::kDropView:
+      op->name = reader->ReadString();
+      break;
+    case WalOpType::kReshard:
+      op->num_shards = reader->ReadU64();
+      break;
+  }
+  return reader->ok();
+}
+
+}  // namespace
+
+WalOp WalOp::RegisterVariable(std::string name, Distribution distribution) {
+  WalOp op;
+  op.type = WalOpType::kRegisterVariable;
+  op.name = std::move(name);
+  op.distribution = std::move(distribution);
+  return op;
+}
+
+WalOp WalOp::CreateTable(std::string name, Schema schema,
+                         std::string key_column,
+                         std::vector<std::vector<Cell>> rows,
+                         std::vector<VarId> vars) {
+  WalOp op;
+  op.type = WalOpType::kCreateTable;
+  op.name = std::move(name);
+  op.schema = std::move(schema);
+  op.key_column = std::move(key_column);
+  op.rows = std::move(rows);
+  op.vars = std::move(vars);
+  return op;
+}
+
+WalOp WalOp::InsertRow(std::string table, std::vector<Cell> cells, VarId var) {
+  WalOp op;
+  op.type = WalOpType::kInsertRow;
+  op.name = std::move(table);
+  op.cells = std::move(cells);
+  op.var = var;
+  return op;
+}
+
+WalOp WalOp::DeleteRow(std::string table, uint64_t row_index) {
+  WalOp op;
+  op.type = WalOpType::kDeleteRow;
+  op.name = std::move(table);
+  op.row_index = row_index;
+  return op;
+}
+
+WalOp WalOp::UpdateProbability(VarId var, double probability) {
+  WalOp op;
+  op.type = WalOpType::kUpdateProbability;
+  op.var = var;
+  op.probability = probability;
+  return op;
+}
+
+WalOp WalOp::RegisterView(std::string name, QueryPtr query) {
+  WalOp op;
+  op.type = WalOpType::kRegisterView;
+  op.name = std::move(name);
+  op.query = std::move(query);
+  return op;
+}
+
+WalOp WalOp::DropView(std::string name) {
+  WalOp op;
+  op.type = WalOpType::kDropView;
+  op.name = std::move(name);
+  return op;
+}
+
+WalOp WalOp::Reshard(uint64_t num_shards) {
+  WalOp op;
+  op.type = WalOpType::kReshard;
+  op.num_shards = num_shards;
+  return op;
+}
+
+std::string EncodeWalOps(const std::vector<WalOp>& ops) {
+  std::string payload;
+  for (const WalOp& op : ops) EncodeOp(&payload, op);
+  return payload;
+}
+
+bool DecodeWalOps(const std::string& payload, std::vector<WalOp>* ops) {
+  ops->clear();
+  ByteReader reader(payload);
+  while (reader.ok() && !reader.AtEnd()) {
+    WalOp op;
+    if (!DecodeOp(&reader, &op)) return false;
+    ops->push_back(std::move(op));
+  }
+  return reader.ok();
+}
+
+WalWriter::WalWriter(std::unique_ptr<WritableFile> file, std::string path,
+                     bool sync, uint64_t bytes, uint64_t records)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      sync_(sync),
+      bytes_(bytes),
+      records_(records) {}
+
+std::unique_ptr<WalWriter> WalWriter::Open(FileSystem* fs,
+                                           const std::string& path,
+                                           uint64_t existing_bytes,
+                                           uint64_t existing_records,
+                                           bool sync, std::string* error) {
+  std::unique_ptr<WritableFile> file = fs->OpenForAppend(path, error);
+  if (file == nullptr) return nullptr;
+  uint64_t bytes = existing_bytes;
+  if (existing_bytes == 0) {
+    if (!file->Append(kWalMagic, kMagicSize) || (sync && !file->Sync())) {
+      if (error != nullptr) *error = "cannot write WAL header to " + path;
+      return nullptr;
+    }
+    bytes = kMagicSize;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      std::move(file), path, sync, bytes, existing_records));
+}
+
+bool WalWriter::Append(const WalRecord& record) {
+  std::string payload = EncodeWalOps(record.ops);
+  std::string buffer;
+  buffer.reserve(kRecordHeaderSize + payload.size());
+  EncodeU32(&buffer, static_cast<uint32_t>(payload.size()));
+  EncodeU32(&buffer, Crc32c(payload));
+  buffer.append(payload);
+  if (!file_->Append(buffer.data(), buffer.size())) return false;
+  if (sync_ && !file_->Sync()) return false;
+  bytes_ += buffer.size();
+  records_ += 1;
+  return true;
+}
+
+void LogWalRecord(WalWriter* wal, const WalRecord& record) {
+  PVC_CHECK_MSG(wal->Append(record),
+                "WAL append to '" << wal->path()
+                                  << "' failed; the engine must be "
+                                     "recovered before further mutations");
+}
+
+WalReadResult ReadWal(FileSystem* fs, const std::string& path) {
+  WalReadResult result;
+  if (!fs->FileExists(path)) return result;
+  result.file_exists = true;
+  std::string data;
+  if (!fs->ReadFile(path, &data, &result.error)) return result;
+  result.file_bytes = data.size();
+  if (data.size() < kMagicSize ||
+      data.compare(0, kMagicSize, kWalMagic, kMagicSize) != 0) {
+    // The magic itself was torn (a crash while creating the log): the whole
+    // file is debris.
+    result.torn_tail = data.size() > 0;
+    return result;
+  }
+  result.magic_valid = true;
+  size_t pos = kMagicSize;
+  while (pos + kRecordHeaderSize <= data.size()) {
+    ByteReader header(data.data() + pos, kRecordHeaderSize);
+    uint32_t payload_len = header.ReadU32();
+    uint32_t crc = header.ReadU32();
+    // Every real record has ops; an all-zero header is write debris.
+    if (payload_len == 0) break;
+    if (payload_len > data.size() - pos - kRecordHeaderSize) break;
+    std::string payload =
+        data.substr(pos + kRecordHeaderSize, payload_len);
+    if (Crc32c(payload) != crc) break;
+    WalRecord record;
+    if (!DecodeWalOps(payload, &record.ops)) break;
+    result.records.push_back(std::move(record));
+    pos += kRecordHeaderSize + payload_len;
+  }
+  result.valid_bytes = pos;
+  result.torn_tail = pos < data.size();
+  return result;
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,164 @@
+// The write-ahead log of the durability layer (see src/engine/README.md
+// for the on-disk format and the recovery invariants).
+//
+// Every logical mutation of a Database / ShardedDatabase -- table loads,
+// row inserts and deletes, probability updates, view registration and
+// drops, and topology resharding -- appends exactly one WalRecord before
+// the engine considers the mutation durable. A record holds the ops that
+// make the mutation replayable against the *rebuild hooks* of the engine
+// (VariableTable::Add in creation order, AddVariableAnnotatedTable,
+// AppendRowToTable), i.e. exactly the replay shape whose bit-identity to a
+// live mutated engine the IVM oracle (tests/ivm_test.cc) proves. Replaying
+// a prefix of records therefore reconstructs, bit for bit, the engine
+// state after the corresponding prefix of logical mutations -- which is
+// what makes crash recovery exact.
+//
+// File layout:
+//
+//   "PVCWAL01"                                    8-byte magic
+//   repeated records:
+//     u32 payload_len  (little-endian)
+//     u32 crc32c(payload)
+//     payload          (encoded ops, see EncodeWalOps)
+//
+// A crash can tear the last record (or the magic itself). ReadWal scans
+// the longest valid prefix: it stops at the first record whose header is
+// short, whose payload is short, whose CRC mismatches, or whose payload
+// fails to decode, and reports the prefix length so recovery can truncate
+// the tail and resume appending.
+
+#ifndef PVCDB_ENGINE_WAL_H_
+#define PVCDB_ENGINE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/prob/distribution.h"
+#include "src/prob/variable.h"
+#include "src/query/ast.h"
+#include "src/table/cell.h"
+#include "src/table/schema.h"
+#include "src/util/io.h"
+
+namespace pvcdb {
+
+/// One replayable operation inside a WAL record.
+enum class WalOpType : uint8_t {
+  kRegisterVariable = 1,   ///< VariableTable::Add (creation order).
+  kCreateTable = 2,        ///< AddVariableAnnotatedTable.
+  kInsertRow = 3,          ///< AppendRowToTable with an existing variable.
+  kDeleteRow = 4,          ///< DeleteRowAt.
+  kUpdateProbability = 5,  ///< UpdateProbability.
+  kRegisterView = 6,       ///< RegisterView (replaces an existing name).
+  kDropView = 7,           ///< DropView.
+  kReshard = 8,            ///< Topology change (DurableSession::Reshard).
+};
+
+/// A tagged union of the op payloads (only the fields of the op's type are
+/// meaningful; build ops through the factories).
+struct WalOp {
+  WalOpType type = WalOpType::kInsertRow;
+
+  std::string name;  ///< Variable / table / view name.
+
+  Distribution distribution;            ///< kRegisterVariable.
+  Schema schema;                        ///< kCreateTable.
+  std::string key_column;               ///< kCreateTable ("" = first column).
+  std::vector<std::vector<Cell>> rows;  ///< kCreateTable.
+  std::vector<VarId> vars;              ///< kCreateTable (one per row).
+  std::vector<Cell> cells;              ///< kInsertRow.
+  VarId var = 0;                        ///< kInsertRow, kUpdateProbability.
+  uint64_t row_index = 0;               ///< kDeleteRow.
+  double probability = 0.0;             ///< kUpdateProbability.
+  QueryPtr query;                       ///< kRegisterView.
+  uint64_t num_shards = 0;              ///< kReshard (0 = unsharded).
+
+  static WalOp RegisterVariable(std::string name, Distribution distribution);
+  static WalOp CreateTable(std::string name, Schema schema,
+                           std::string key_column,
+                           std::vector<std::vector<Cell>> rows,
+                           std::vector<VarId> vars);
+  static WalOp InsertRow(std::string table, std::vector<Cell> cells,
+                         VarId var);
+  static WalOp DeleteRow(std::string table, uint64_t row_index);
+  static WalOp UpdateProbability(VarId var, double probability);
+  static WalOp RegisterView(std::string name, QueryPtr query);
+  static WalOp DropView(std::string name);
+  static WalOp Reshard(uint64_t num_shards);
+};
+
+/// One atomic unit of the log: the ops of a single logical mutation. The
+/// record either survives a crash whole or not at all (torn records are
+/// discarded), so recovered states are exact logical-mutation prefixes.
+struct WalRecord {
+  std::vector<WalOp> ops;
+};
+
+/// Encodes `ops` into a record payload.
+std::string EncodeWalOps(const std::vector<WalOp>& ops);
+
+/// Decodes a record payload; false when the payload is malformed (recovery
+/// treats that exactly like a CRC mismatch).
+bool DecodeWalOps(const std::string& payload, std::vector<WalOp>* ops);
+
+/// Appends records to one WAL file.
+class WalWriter {
+ public:
+  /// Opens `path` for appending. With `existing_bytes` == 0 the file is
+  /// expected to be empty and the magic is written; otherwise the caller
+  /// (recovery) has validated that the file holds `existing_bytes` bytes
+  /// of magic + whole records (`existing_records` of them). `sync` fsyncs
+  /// after every append. nullptr + `*error` on I/O failure.
+  static std::unique_ptr<WalWriter> Open(FileSystem* fs,
+                                         const std::string& path,
+                                         uint64_t existing_bytes,
+                                         uint64_t existing_records, bool sync,
+                                         std::string* error);
+
+  /// Appends one record (header + payload in a single write call, so a
+  /// torn write tears the record, never record boundaries). False when the
+  /// write failed -- the record must be considered torn and the engine
+  /// stops accepting mutations (see LogWalRecord).
+  bool Append(const WalRecord& record);
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t records() const { return records_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::unique_ptr<WritableFile> file, std::string path, bool sync,
+            uint64_t bytes, uint64_t records);
+
+  std::unique_ptr<WritableFile> file_;
+  std::string path_;
+  bool sync_;
+  uint64_t bytes_;
+  uint64_t records_;
+};
+
+/// Appends `record` and fails a PVC_CHECK when the append does not fully
+/// succeed: a mutation whose record cannot be made durable must not report
+/// success (the in-memory state may already include it; the process is
+/// treated as crashed and the next recovery serves the durable prefix).
+void LogWalRecord(WalWriter* wal, const WalRecord& record);
+
+/// The longest valid prefix of a WAL file.
+struct WalReadResult {
+  bool file_exists = false;
+  bool magic_valid = false;        ///< False also tears the whole file.
+  std::vector<WalRecord> records;  ///< Fully valid records, in log order.
+  uint64_t valid_bytes = 0;  ///< Magic + whole records (0 on bad magic).
+  uint64_t file_bytes = 0;
+  bool torn_tail = false;  ///< Bytes past valid_bytes exist (crash debris).
+  std::string error;       ///< I/O failure reading the file (not torn data).
+};
+
+/// Scans `path`, validating magic, lengths, checksums and payload
+/// decoding; stops at the first invalid byte.
+WalReadResult ReadWal(FileSystem* fs, const std::string& path);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_WAL_H_

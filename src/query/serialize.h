@@ -1,0 +1,46 @@
+// Binary serialization of Q query trees, predicates and constant cells,
+// used by the durability layer (src/engine/wal.h, src/engine/snapshot.h) to
+// persist registered views and table rows.
+//
+// The encoding is a pre-order walk of the query tree using the codec in
+// src/util/codec.h. Decoding rebuilds the tree through the public Query
+// factories, so every decoded query satisfies the same invariants as one
+// built in-process. Round-tripping is exact: ToString() of the decoded tree
+// equals ToString() of the original (covered by tests/wal_test.cc).
+
+#ifndef PVCDB_QUERY_SERIALIZE_H_
+#define PVCDB_QUERY_SERIALIZE_H_
+
+#include <string>
+
+#include "src/query/ast.h"
+#include "src/table/cell.h"
+#include "src/util/codec.h"
+
+namespace pvcdb {
+
+/// Appends the encoding of a constant cell (kNull/kInt/kDouble/kString).
+/// Aggregation-expression cells reference an ExprPool and cannot be
+/// persisted standalone; encountering one fails a PVC_CHECK.
+void EncodeCell(std::string* out, const Cell& cell);
+
+/// Decodes a cell written by EncodeCell. On malformed input the reader is
+/// failed and a null cell returned.
+Cell DecodeCell(ByteReader* reader);
+
+/// Appends the encoding of `pred`.
+void EncodePredicate(std::string* out, const Predicate& pred);
+
+/// Decodes a predicate written by EncodePredicate.
+Predicate DecodePredicate(ByteReader* reader);
+
+/// Appends the encoding of the query tree rooted at `query`.
+void EncodeQuery(std::string* out, const Query& query);
+
+/// Decodes a query tree written by EncodeQuery; nullptr (and a failed
+/// reader) on malformed input.
+QueryPtr DecodeQuery(ByteReader* reader);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_QUERY_SERIALIZE_H_

@@ -1,0 +1,134 @@
+// Little-endian binary encoding helpers shared by the WAL record and
+// snapshot formats (src/engine/wal.h, src/engine/snapshot.h).
+//
+// The encoding is explicitly byte-ordered (independent of host endianness
+// and of struct layout), so a WAL written on one machine replays on any
+// other. Readers are bounds-checked: a decode past the end of the buffer
+// flips the reader into a sticky failed state instead of reading garbage --
+// recovery treats a failed decode exactly like a corrupt record.
+
+#ifndef PVCDB_UTIL_CODEC_H_
+#define PVCDB_UTIL_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace pvcdb {
+
+// -- Encoding (append to a std::string buffer) ------------------------------
+
+inline void EncodeU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void EncodeU32(std::string* out, uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 4);
+}
+
+inline void EncodeU64(std::string* out, uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out->append(bytes, 8);
+}
+
+inline void EncodeI64(std::string* out, int64_t v) {
+  EncodeU64(out, static_cast<uint64_t>(v));
+}
+
+/// Doubles travel as their IEEE-754 bit pattern: decoding reproduces the
+/// written value bit for bit (the durability layer's identity contract).
+inline void EncodeDouble(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  EncodeU64(out, bits);
+}
+
+inline void EncodeString(std::string* out, const std::string& s) {
+  EncodeU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// -- Decoding ---------------------------------------------------------------
+
+/// Bounds-checked cursor over an encoded buffer. After any out-of-bounds
+/// read, ok() is false and every subsequent read returns a zero value; the
+/// caller checks ok() once at the end.
+class ByteReader {
+ public:
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::string& buffer)
+      : ByteReader(buffer.data(), buffer.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  uint8_t ReadU8() {
+    if (!Require(1)) return 0;
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  uint32_t ReadU32() {
+    if (!Require(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  uint64_t ReadU64() {
+    if (!Require(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+
+  double ReadDouble() {
+    uint64_t bits = ReadU64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::string ReadString() {
+    uint32_t n = ReadU32();
+    if (!Require(n)) return std::string();
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Marks the reader failed (decoders call this on a bad tag).
+  void Fail() { ok_ = false; }
+
+ private:
+  bool Require(size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_CODEC_H_

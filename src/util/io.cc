@@ -1,0 +1,168 @@
+#include "src/util/io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace pvcdb {
+namespace {
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool Append(const void* data, size_t n) override {
+    if (fd_ < 0) return false;
+    const char* p = static_cast<const char*>(data);
+    while (n > 0) {
+      ssize_t written = ::write(fd_, p, n);
+      if (written < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      p += written;
+      n -= static_cast<size_t>(written);
+    }
+    return true;
+  }
+
+  bool Sync() override { return fd_ >= 0 && ::fsync(fd_) == 0; }
+
+  bool Close() override {
+    if (fd_ < 0) return false;
+    bool ok = ::fsync(fd_) == 0;
+    ok = ::close(fd_) == 0 && ok;
+    fd_ = -1;
+    return ok;
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileSystem : public FileSystem {
+ public:
+  std::unique_ptr<WritableFile> OpenForAppend(const std::string& path,
+                                              std::string* error) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      if (error != nullptr) *error = ErrnoMessage("cannot open", path);
+      return nullptr;
+    }
+    return std::make_unique<PosixWritableFile>(fd, path);
+  }
+
+  bool ReadFile(const std::string& path, std::string* out,
+                std::string* error) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (error != nullptr) *error = ErrnoMessage("cannot read", path);
+      return false;
+    }
+    out->clear();
+    char buffer[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buffer, sizeof(buffer));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (error != nullptr) *error = ErrnoMessage("read failed", path);
+        ::close(fd);
+        return false;
+      }
+      if (n == 0) break;
+      out->append(buffer, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return true;
+  }
+
+  bool Truncate(const std::string& path, uint64_t size,
+                std::string* error) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      if (error != nullptr) *error = ErrnoMessage("cannot truncate", path);
+      return false;
+    }
+    return true;
+  }
+
+  bool Rename(const std::string& from, const std::string& to,
+              std::string* error) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      if (error != nullptr) *error = ErrnoMessage("cannot rename", from);
+      return false;
+    }
+    return true;
+  }
+
+  bool Remove(const std::string& path, std::string* error) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (error != nullptr) *error = ErrnoMessage("cannot remove", path);
+      return false;
+    }
+    return true;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  bool CreateDir(const std::string& path, std::string* error) override {
+    // Create each component of the path in turn (mkdir -p).
+    for (size_t i = 1; i <= path.size(); ++i) {
+      if (i != path.size() && path[i] != '/') continue;
+      std::string prefix = path.substr(0, i);
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        if (error != nullptr) *error = ErrnoMessage("cannot mkdir", prefix);
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::string> ListDir(const std::string& path) override {
+    std::vector<std::string> names;
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+};
+
+}  // namespace
+
+FileSystem* DefaultFileSystem() {
+  static PosixFileSystem* fs = new PosixFileSystem();
+  return fs;
+}
+
+std::string JoinPath(const std::string& dir, const std::string& name) {
+  if (dir.empty()) return name;
+  if (dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+}  // namespace pvcdb

@@ -1,0 +1,85 @@
+// The file-system seam of the durability layer.
+//
+// Everything the WAL writer, the snapshot writer and recovery touch on
+// disk goes through this FileSystem interface, for one reason: the crash
+// tests (tests/crash_injection.h) substitute a fault-injecting
+// implementation that fails or tears writes after a byte budget, so every
+// interesting partial-write state is reachable deterministically without
+// actually killing a process. DefaultFileSystem() is the POSIX-backed
+// implementation used in production.
+//
+// Failure convention: operations return false (or nullptr) on failure and
+// fill `*error` with a human-readable message when an error out-param is
+// accepted. Durability code treats every failure as "the process may have
+// died here" -- the caller stops, and recovery takes over on next open.
+
+#ifndef PVCDB_UTIL_IO_H_
+#define PVCDB_UTIL_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pvcdb {
+
+/// An append-only output file. Append() may perform a partial write before
+/// failing (exactly what a crash mid-write leaves behind).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `n` bytes; false when (part of) the write failed.
+  virtual bool Append(const void* data, size_t n) = 0;
+
+  /// Flushes application and OS buffers to stable storage (fsync).
+  virtual bool Sync() = 0;
+
+  /// Flushes and closes; the destructor closes without flushing.
+  virtual bool Close() = 0;
+};
+
+/// Minimal file-system interface: exactly the operations the durability
+/// layer needs, no more.
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Opens `path` for appending (created when missing).
+  virtual std::unique_ptr<WritableFile> OpenForAppend(
+      const std::string& path, std::string* error) = 0;
+
+  /// Reads the whole of `path` into `*out`.
+  virtual bool ReadFile(const std::string& path, std::string* out,
+                        std::string* error) = 0;
+
+  /// Shrinks `path` to `size` bytes (recovery cuts a torn WAL tail).
+  virtual bool Truncate(const std::string& path, uint64_t size,
+                        std::string* error) = 0;
+
+  /// Atomically renames `from` to `to` (the snapshot publish step).
+  virtual bool Rename(const std::string& from, const std::string& to,
+                      std::string* error) = 0;
+
+  virtual bool Remove(const std::string& path, std::string* error) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Creates `path` (and missing parents) as a directory; true when it
+  /// already exists.
+  virtual bool CreateDir(const std::string& path, std::string* error) = 0;
+
+  /// Plain file names (not paths) inside `path`, sorted ascending.
+  virtual std::vector<std::string> ListDir(const std::string& path) = 0;
+};
+
+/// The POSIX-backed implementation (a process-lifetime singleton).
+FileSystem* DefaultFileSystem();
+
+/// `dir` + "/" + `name` (no trailing-slash duplication).
+std::string JoinPath(const std::string& dir, const std::string& name);
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_IO_H_

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/check_bench_trajectory.py, run via ctest.
+
+Each case writes synthetic JSON-lines bench output to a temp dir and
+checks the script's exit code and output, in particular the satellite
+rule: a speedup gate whose current OR baseline record was captured with
+hardware_threads=1 is skipped (exit 0) with a loud warning, because
+parallel speedups measured on one core are noise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, "scripts", "check_bench_trajectory.py")
+
+
+def record(bench, shards, threads, hardware_threads=8, **params):
+    merged = {"shards": shards, "threads": threads,
+              "hardware_threads": hardware_threads,
+              "bit_identical": "true"}
+    merged.update(params)
+    return {"bench": bench, "params": merged, "mean_seconds": 0.01}
+
+
+def shard_run(serial_rps, parallel_rps, hardware_threads=8):
+    return [record("shard_query", 1, 1, hardware_threads,
+                   rows_per_second=serial_rps),
+            record("shard_query", 4, 4, hardware_threads,
+                   rows_per_second=parallel_rps)]
+
+
+def hotpath_run(speedup, hardware_threads=8):
+    return [record("hotpath_giant_tree", 0, 4, hardware_threads,
+                   speedup_vs_serial=speedup)]
+
+
+class CheckBenchTrajectoryTest(unittest.TestCase):
+    def setUp(self):
+        self._dir = tempfile.TemporaryDirectory()
+
+    def tearDown(self):
+        self._dir.cleanup()
+
+    def write(self, name, records):
+        path = os.path.join(self._dir.name, name)
+        with open(path, "w") as f:
+            for r in records:
+                f.write(json.dumps(r) + "\n")
+        return path
+
+    def run_script(self, current, baseline, *extra):
+        return subprocess.run(
+            [sys.executable, SCRIPT, current, "--baseline", baseline,
+             *extra],
+            capture_output=True, text=True)
+
+    def run_speedup(self, current, baseline):
+        return self.run_script(current, baseline, "--metric", "speedup",
+                               "--series", "hotpath_giant_tree",
+                               "--field", "speedup_vs_serial",
+                               "--shards", "0", "--threads", "4")
+
+    def test_speedup_within_threshold_passes(self):
+        current = self.write("current.json", hotpath_run(2.9))
+        baseline = self.write("baseline.json", hotpath_run(3.0))
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+
+    def test_speedup_regression_fails(self):
+        current = self.write("current.json", hotpath_run(1.2))
+        baseline = self.write("baseline.json", hotpath_run(3.0))
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_speedup_skipped_when_current_is_single_core(self):
+        # The satellite case: a 0.38x "speedup" recorded on a 1-CPU host
+        # must not arm the gate, no matter how bad it looks.
+        current = self.write("current.json",
+                             hotpath_run(0.38, hardware_threads=1))
+        baseline = self.write("baseline.json", hotpath_run(3.0))
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("SKIPPED", result.stdout)
+        self.assertIn("hardware_threads=1", result.stdout)
+
+    def test_speedup_skipped_when_baseline_is_single_core(self):
+        current = self.write("current.json", hotpath_run(3.0))
+        baseline = self.write("baseline.json",
+                              hotpath_run(0.40, hardware_threads=1))
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("SKIPPED", result.stdout)
+
+    def test_throughput_gate_still_runs_on_single_core(self):
+        # Normalized throughput is a within-run ratio of the same series;
+        # the 1-CPU case only warns, it does not skip.
+        current = self.write("current.json",
+                             shard_run(100.0, 350.0, hardware_threads=1))
+        baseline = self.write("baseline.json",
+                              shard_run(100.0, 360.0, hardware_threads=1))
+        result = self.run_script(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("WARNING", result.stdout)
+        self.assertIn("OK", result.stdout)
+
+    def test_throughput_regression_fails(self):
+        current = self.write("current.json", shard_run(100.0, 150.0))
+        baseline = self.write("baseline.json", shard_run(100.0, 360.0))
+        result = self.run_script(current, baseline)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_ns_per_node_fails_when_cost_rises(self):
+        current = self.write(
+            "current.json",
+            [record("hotpath_skewed_batch", 0, 1, ns_per_node=1000.0)])
+        baseline = self.write(
+            "baseline.json",
+            [record("hotpath_skewed_batch", 0, 1, ns_per_node=700.0)])
+        result = self.run_script(current, baseline, "--metric",
+                                 "ns-per-node", "--series",
+                                 "hotpath_skewed_batch", "--shards", "0",
+                                 "--threads", "1")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_missing_record_exits_2(self):
+        current = self.write("current.json", hotpath_run(3.0))
+        baseline = self.write("baseline.json", [])
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 2, result.stdout)
+
+    def test_non_bit_identical_record_fails(self):
+        broken = record("hotpath_giant_tree", 0, 4, 8,
+                        speedup_vs_serial=3.0)
+        broken["params"]["bit_identical"] = "false"
+        current = self.write("current.json", [broken])
+        baseline = self.write("baseline.json", hotpath_run(3.0))
+        result = self.run_speedup(current, baseline)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("bit-identical", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,116 @@
+// Deterministic crash injection for the durability tests: a FileSystem
+// shim that persists exactly N bytes into matching files and then fails
+// every further write. Because PosixWritableFile semantics allow partial
+// writes, "fail after N bytes" models a process dying mid-write: the first
+// N bytes of the record are on disk, the rest never happen, and the
+// engine's mutation throws (LogWalRecord's PVC_CHECK) exactly like a real
+// I/O failure would. Sweeping N across every WAL record boundary +-1 byte
+// drives recovery through every torn-tail shape a crash can produce.
+
+#ifndef PVCDB_TESTS_CRASH_INJECTION_H_
+#define PVCDB_TESTS_CRASH_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/util/io.h"
+
+namespace pvcdb {
+
+class FaultInjectingFileSystem;
+
+/// Wraps a real WritableFile; writes draw from the owning file system's
+/// shared byte budget. Once the budget is exhausted, the remaining bytes of
+/// the current write -- and every later write -- are dropped and reported
+/// as failures.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectingFileSystem* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  bool Append(const void* data, size_t n) override;
+  bool Sync() override { return base_->Sync(); }
+  bool Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingFileSystem* fs_;
+};
+
+/// Delegates to `base` (DefaultFileSystem when null), injecting the byte
+/// budget into every file whose path contains `match`. Non-matching files
+/// (snapshots, when sweeping the WAL) write through untouched.
+class FaultInjectingFileSystem : public FileSystem {
+ public:
+  FaultInjectingFileSystem(FileSystem* base, std::string match,
+                           uint64_t budget)
+      : base_(base != nullptr ? base : DefaultFileSystem()),
+        match_(std::move(match)),
+        budget_(budget) {}
+
+  /// True once a write has hit the budget (the simulated crash happened).
+  bool tripped() const { return tripped_; }
+  uint64_t budget() const { return budget_; }
+
+  std::unique_ptr<WritableFile> OpenForAppend(const std::string& path,
+                                              std::string* error) override {
+    std::unique_ptr<WritableFile> base = base_->OpenForAppend(path, error);
+    if (base == nullptr) return nullptr;
+    if (path.find(match_) == std::string::npos) return base;
+    return std::make_unique<FaultInjectingFile>(std::move(base), this);
+  }
+
+  bool ReadFile(const std::string& path, std::string* contents,
+                std::string* error) override {
+    return base_->ReadFile(path, contents, error);
+  }
+  bool Truncate(const std::string& path, uint64_t size,
+                std::string* error) override {
+    return base_->Truncate(path, size, error);
+  }
+  bool Rename(const std::string& from, const std::string& to,
+              std::string* error) override {
+    return base_->Rename(from, to, error);
+  }
+  bool Remove(const std::string& path, std::string* error) override {
+    return base_->Remove(path, error);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  bool CreateDir(const std::string& path, std::string* error) override {
+    return base_->CreateDir(path, error);
+  }
+  std::vector<std::string> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+
+ private:
+  friend class FaultInjectingFile;
+
+  FileSystem* base_;
+  std::string match_;
+  uint64_t budget_;
+  bool tripped_ = false;
+};
+
+inline bool FaultInjectingFile::Append(const void* data, size_t n) {
+  if (fs_->tripped_ || fs_->budget_ < n) {
+    // The crash: persist whatever fits (a torn write), then fail this and
+    // every later append.
+    size_t persisted = fs_->tripped_ ? 0 : static_cast<size_t>(fs_->budget_);
+    if (persisted > 0) base_->Append(data, persisted);
+    fs_->budget_ = 0;
+    fs_->tripped_ = true;
+    return false;
+  }
+  fs_->budget_ -= n;
+  return base_->Append(data, n);
+}
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_TESTS_CRASH_INJECTION_H_

@@ -1,0 +1,333 @@
+// Shared fixtures for the durability test suite (crash_recovery_test,
+// durability_property_test): a deterministic mutation workload language,
+// a seeded workload generator, the fault-free twin builder and the bitwise
+// state comparator.
+//
+// The oracle leans on the IVM bit-identity contract (tests/ivm_test.cc):
+// recovery rebuilds through the same rebuild hooks the oracle proves
+// bit-identical to a live mutated engine, so "recovered == twin at prefix
+// j" is an exact, bitwise assertion with no tolerance.
+
+#ifndef PVCDB_TESTS_DURABILITY_TESTLIB_H_
+#define PVCDB_TESTS_DURABILITY_TESTLIB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/engine/shard.h"
+#include "src/engine/snapshot.h"
+#include "src/engine/wal.h"
+#include "src/query/ast.h"
+#include "src/util/check.h"
+#include "src/util/io.h"
+
+namespace pvcdb {
+namespace durability_test {
+
+inline std::string TestDir(const std::string& name) {
+  std::string dir =
+      JoinPath(::testing::TempDir(), "pvcdb_crash_test_" + name);
+  FileSystem* fs = DefaultFileSystem();
+  for (const std::string& file : fs->ListDir(dir)) {
+    std::string error;
+    fs->Remove(JoinPath(dir, file), &error);
+  }
+  return dir;
+}
+
+inline Schema StockSchema() {
+  return Schema({{"id", CellType::kInt},
+                 {"kind", CellType::kString},
+                 {"qty", CellType::kInt}});
+}
+
+/// The initial state every crash run starts from (snapshotted by Create).
+inline EngineState InitialState(uint64_t num_shards) {
+  std::vector<std::vector<Cell>> rows;
+  std::vector<double> probs;
+  for (int64_t i = 0; i < 6; ++i) {
+    rows.push_back({Cell(i), Cell(std::string(i % 2 == 0 ? "bolt" : "nut")),
+                    Cell(i * 10)});
+    probs.push_back(0.1 + 0.12 * static_cast<double>(i));
+  }
+  Database seed;
+  seed.AddTupleIndependentTable("stock", StockSchema(), rows, probs);
+  seed.RegisterView("low",
+                    Query::Select(Query::Scan("stock"),
+                                  Predicate::ColCmpInt("qty", CmpOp::kLe, 30)));
+  EngineState state = CaptureState(seed);
+  state.num_shards = num_shards;
+  return state;
+}
+
+/// One logical mutation of the crash workload. Values are fixed up front
+/// (optionally from a seeded RNG), so applying the same prefix to two
+/// sessions is deterministic.
+struct Mutation {
+  enum Kind { kInsert, kDelete, kSetProb, kView, kDropView, kReshard };
+  Kind kind;
+  int64_t id = 0;        ///< kInsert.
+  int64_t qty = 0;       ///< kInsert / kView threshold.
+  double p = 0.0;        ///< kInsert / kSetProb.
+  VarId var = 0;         ///< kSetProb.
+  size_t row = 0;        ///< kDelete (modulo the current row count).
+  uint64_t shards = 0;   ///< kReshard.
+};
+
+/// The fixed sweep workload: every WAL record type appears, including a
+/// view replacement (one record, not drop+register) and topology changes
+/// in both directions.
+inline std::vector<Mutation> SweepWorkload(bool with_reshard) {
+  std::vector<Mutation> w;
+  w.push_back({Mutation::kInsert, 100, 15, 0.35, 0, 0, 0});
+  w.push_back({Mutation::kSetProb, 0, 0, 0.8, 2, 0, 0});
+  w.push_back({Mutation::kView, 0, 25, 0.0, 0, 0, 0});
+  w.push_back({Mutation::kInsert, 101, 80, 0.6, 0, 0, 0});
+  w.push_back({Mutation::kDelete, 0, 0, 0.0, 0, 3, 0});
+  if (with_reshard) w.push_back({Mutation::kReshard, 0, 0, 0.0, 0, 0, 2});
+  w.push_back({Mutation::kInsert, 102, 5, 0.45, 0, 0, 0});
+  w.push_back({Mutation::kView, 0, 50, 0.0, 0, 0, 0});  // Replacement.
+  w.push_back({Mutation::kSetProb, 0, 0, 0.05, 4, 0, 0});
+  w.push_back({Mutation::kDropView, 0, 0, 0.0, 0, 0, 0});
+  if (with_reshard) w.push_back({Mutation::kReshard, 0, 0, 0.0, 0, 0, 0});
+  w.push_back({Mutation::kInsert, 103, 33, 0.7, 0, 0, 0});
+  return w;
+}
+
+/// A tiny deterministic LCG: identical across platforms and processes.
+class Lcg {
+ public:
+  explicit Lcg(uint32_t seed) : state_(seed * 2654435761u + 12345) {}
+  uint32_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<uint32_t>(state_ >> 33);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// A seeded random workload. `with_reshard` mixes topology changes into
+/// the stream (the property runs); the fork/SIGKILL runs leave it out and
+/// pin the topology per run instead.
+inline std::vector<Mutation> SeededWorkload(uint32_t seed, size_t n,
+                                            bool with_reshard = false) {
+  Lcg rng(seed);
+  auto next = [&rng]() { return rng.Next(); };
+  std::vector<Mutation> w;
+  int64_t next_id = 200;
+  for (size_t i = 0; i < n; ++i) {
+    switch (next() % (with_reshard ? 6 : 5)) {
+      case 0:
+      case 1:
+        w.push_back({Mutation::kInsert, next_id++,
+                     static_cast<int64_t>(next() % 100),
+                     0.05 + 0.9 * (next() % 100) / 100.0, 0, 0, 0});
+        break;
+      case 2:
+        w.push_back({Mutation::kSetProb, 0, 0,
+                     0.05 + 0.9 * (next() % 100) / 100.0,
+                     static_cast<VarId>(next() % 6), 0, 0});
+        break;
+      case 3:
+        w.push_back({Mutation::kDelete, 0, 0, 0.0, 0, next() % 7, 0});
+        break;
+      case 4:
+        w.push_back({Mutation::kView, 0,
+                     static_cast<int64_t>(next() % 90), 0.0, 0, 0, 0});
+        break;
+      default:
+        w.push_back({Mutation::kReshard, 0, 0, 0.0, 0, 0, next() % 4});
+        break;
+    }
+  }
+  return w;
+}
+
+/// Applies one mutation to whichever engine the session holds. Throws
+/// CheckError when the WAL append fails (the simulated crash); Reshard
+/// reports that through its return value instead.
+inline void Apply(DurableSession* session, const Mutation& m) {
+  Database* db = session->is_sharded() ? nullptr : session->db();
+  ShardedDatabase* sharded =
+      session->is_sharded() ? session->sharded() : nullptr;
+  switch (m.kind) {
+    case Mutation::kInsert: {
+      std::vector<Cell> cells = {Cell(m.id), Cell(std::string("new")),
+                                 Cell(m.qty)};
+      if (sharded != nullptr) {
+        sharded->InsertTuple("stock", std::move(cells), m.p);
+      } else {
+        db->InsertTuple("stock", std::move(cells), m.p);
+      }
+      return;
+    }
+    case Mutation::kDelete: {
+      size_t rows = sharded != nullptr ? sharded->NumRows("stock")
+                                       : db->table("stock").NumRows();
+      if (rows == 0) return;
+      size_t index = m.row % rows;
+      if (sharded != nullptr) {
+        sharded->DeleteRowAt("stock", index);
+      } else {
+        db->DeleteRowAt("stock", index);
+      }
+      return;
+    }
+    case Mutation::kSetProb:
+      if (sharded != nullptr) {
+        sharded->UpdateProbability(m.var, m.p);
+      } else {
+        db->UpdateProbability(m.var, m.p);
+      }
+      return;
+    case Mutation::kView: {
+      QueryPtr q = Query::Select(
+          Query::Scan("stock"),
+          Predicate::ColCmpInt("qty", CmpOp::kLe, m.qty));
+      if (sharded != nullptr) {
+        sharded->RegisterView("low", std::move(q));
+      } else {
+        db->RegisterView("low", std::move(q));
+      }
+      return;
+    }
+    case Mutation::kDropView:
+      if (sharded != nullptr) {
+        sharded->DropView("low");
+      } else {
+        db->DropView("low");
+      }
+      return;
+    case Mutation::kReshard: {
+      std::string error;
+      PVC_CHECK_MSG(session->Reshard(m.shards, &error), error);
+      return;
+    }
+  }
+}
+
+inline std::vector<double> TableProbabilities(DurableSession* session,
+                                              const std::string& name) {
+  if (session->is_sharded()) {
+    return session->sharded()->TupleProbabilities(name);
+  }
+  Database* db = session->db();
+  return db->TupleProbabilities(db->table(name));
+}
+
+inline std::vector<std::vector<Cell>> TableCells(DurableSession* session,
+                                                 const std::string& name) {
+  const Database& catalog = session->is_sharded()
+                                ? session->sharded()->coordinator()
+                                : *session->db();
+  std::vector<std::vector<Cell>> out;
+  const PvcTable& table = catalog.table(name);
+  for (size_t i = 0; i < table.NumRows(); ++i) {
+    out.push_back(table.row(i).cells);
+  }
+  return out;
+}
+
+/// Bitwise equality of everything observable: topology, table contents,
+/// per-tuple probabilities, view catalog and cached view probabilities.
+inline void ExpectSameState(DurableSession* recovered, DurableSession* twin,
+                            const std::string& what) {
+  ASSERT_EQ(recovered->is_sharded(), twin->is_sharded()) << what;
+  if (recovered->is_sharded()) {
+    ASSERT_EQ(recovered->sharded()->num_shards(),
+              twin->sharded()->num_shards())
+        << what;
+  }
+  const Database& a_catalog = recovered->is_sharded()
+                                  ? recovered->sharded()->coordinator()
+                                  : *recovered->db();
+  const Database& b_catalog = twin->is_sharded()
+                                  ? twin->sharded()->coordinator()
+                                  : *twin->db();
+  ASSERT_EQ(a_catalog.TableNames(), b_catalog.TableNames()) << what;
+  ASSERT_EQ(a_catalog.variables().size(), b_catalog.variables().size())
+      << what;
+  for (const std::string& name : a_catalog.TableNames()) {
+    std::vector<std::vector<Cell>> a_cells = TableCells(recovered, name);
+    std::vector<std::vector<Cell>> b_cells = TableCells(twin, name);
+    ASSERT_EQ(a_cells.size(), b_cells.size()) << what << " table " << name;
+    for (size_t i = 0; i < a_cells.size(); ++i) {
+      ASSERT_EQ(a_cells[i].size(), b_cells[i].size()) << what;
+      for (size_t c = 0; c < a_cells[i].size(); ++c) {
+        EXPECT_TRUE(a_cells[i][c] == b_cells[i][c])
+            << what << " " << name << "[" << i << "][" << c << "]";
+      }
+    }
+    // The core durability claim: bit-identical probabilities (operator==
+    // on double, no tolerance).
+    EXPECT_EQ(TableProbabilities(recovered, name),
+              TableProbabilities(twin, name))
+        << what << " table " << name;
+  }
+  std::vector<std::string> a_views, b_views;
+  if (recovered->is_sharded()) {
+    a_views = recovered->sharded()->ViewNames();
+    b_views = twin->sharded()->ViewNames();
+  } else {
+    a_views = recovered->db()->ViewNames();
+    b_views = twin->db()->ViewNames();
+  }
+  ASSERT_EQ(a_views, b_views) << what;
+  for (const std::string& view : a_views) {
+    std::vector<double> a_probs =
+        recovered->is_sharded()
+            ? recovered->sharded()->ViewProbabilities(view)
+            : recovered->db()->ViewProbabilities(view);
+    std::vector<double> b_probs =
+        twin->is_sharded() ? twin->sharded()->ViewProbabilities(view)
+                           : twin->db()->ViewProbabilities(view);
+    EXPECT_EQ(a_probs, b_probs) << what << " view " << view;
+  }
+}
+
+/// Builds the never-crashed twin: a fresh durable session (scratch dir, no
+/// faults) that applies exactly the first `prefix` mutations.
+inline std::unique_ptr<DurableSession> BuildTwin(
+    const std::string& dir, const EngineState& initial,
+    const std::vector<Mutation>& workload, size_t prefix) {
+  FileSystem* fs = DefaultFileSystem();
+  for (const std::string& file : fs->ListDir(dir)) {
+    std::string error;
+    fs->Remove(JoinPath(dir, file), &error);
+  }
+  DurableConfig config;
+  config.dir = dir;
+  std::string error;
+  std::unique_ptr<DurableSession> twin =
+      DurableSession::Create(config, initial, &error);
+  PVC_CHECK_MSG(twin != nullptr, error);
+  for (size_t i = 0; i < prefix; ++i) Apply(twin.get(), workload[i]);
+  return twin;
+}
+
+/// Reference run: applies the whole workload fault-free and records the
+/// WAL byte offset after every record (the crash boundaries to sweep).
+inline std::vector<uint64_t> RecordBoundaries(
+    const std::string& dir, const EngineState& initial,
+    const std::vector<Mutation>& workload) {
+  std::unique_ptr<DurableSession> session =
+      BuildTwin(dir, initial, workload, 0);
+  std::vector<uint64_t> boundaries;
+  boundaries.push_back(session->stats().wal_bytes);  // The magic.
+  for (const Mutation& m : workload) {
+    Apply(session.get(), m);
+    boundaries.push_back(session->stats().wal_bytes);
+  }
+  return boundaries;
+}
+
+}  // namespace durability_test
+}  // namespace pvcdb
+
+#endif  // PVCDB_TESTS_DURABILITY_TESTLIB_H_

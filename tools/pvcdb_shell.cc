@@ -27,6 +27,10 @@
 //                             loaded CSV and replaying mutations + views),
 //                             0 returns to a single database. Results are
 //                             bit-identical either way.
+//   open <dir>                make the session durable (WAL + snapshots;
+//                             recovers <dir> when it already holds state)
+//   save                      write a checkpoint generation
+//   log                       durability status
 //   help                      this text
 //   quit                      exit
 //
@@ -53,6 +57,7 @@
 #include "src/engine/csv.h"
 #include "src/engine/database.h"
 #include "src/engine/shard.h"
+#include "src/engine/snapshot.h"
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
 #include "src/util/check.h"
@@ -69,15 +74,35 @@ using namespace pvcdb;
 // the interleaving (a reload between mutations, a view redefined after
 // inserts) is what makes the rebuilt state, and hence every printed
 // result, bit-identical across shard counts.
+// With `open <dir>` the session becomes durable: the engines move into a
+// DurableSession (WAL + snapshot generations, src/engine/snapshot.h),
+// every mutation is logged before it reports success, `save` writes a
+// checkpoint, and reopening the directory recovers the exact state --
+// including a torn tail from a crash mid-write. Resharding then logs a
+// kReshard record instead of replaying the history.
 struct Session {
-  std::unique_ptr<Database> db = std::make_unique<Database>();
-  std::unique_ptr<ShardedDatabase> sharded;
+  std::unique_ptr<Database> owned_db = std::make_unique<Database>();
+  std::unique_ptr<ShardedDatabase> owned_sharded;
+  std::unique_ptr<DurableSession> durable;
   std::vector<std::string> history;  ///< State-changing lines, in order.
   int num_threads = 0;
   int intra_tree_threads = 0;
 
+  Database* db() const {
+    if (durable != nullptr) {
+      return durable->is_sharded() ? nullptr : durable->db();
+    }
+    return owned_db.get();
+  }
+  ShardedDatabase* sharded() const {
+    if (durable != nullptr) {
+      return durable->is_sharded() ? durable->sharded() : nullptr;
+    }
+    return owned_sharded.get();
+  }
   const Database& catalog() const {
-    return sharded != nullptr ? sharded->coordinator() : *db;
+    ShardedDatabase* s = sharded();
+    return s != nullptr ? s->coordinator() : *db();
   }
 };
 
@@ -99,6 +124,13 @@ void PrintHelp() {
             << "                           probability thread count\n"
             << "  shards [n]               show or set the shard count\n"
             << "                           (0 = single database)\n"
+            << "  open <dir>               make the session durable: recover\n"
+            << "                           <dir> if it holds state, else\n"
+            << "                           snapshot the current state there\n"
+            << "  save                     write a checkpoint (new snapshot\n"
+            << "                           generation, fresh WAL)\n"
+            << "  log                      durability status (generation,\n"
+            << "                           WAL records/bytes, recovery info)\n"
             << "  help | quit\n";
 }
 
@@ -127,8 +159,8 @@ void RunSql(Session* session, const std::string& sql) {
     return;
   }
   try {
-    if (session->sharded != nullptr) {
-      ShardedDatabase& db = *session->sharded;
+    if (session->sharded() != nullptr) {
+      ShardedDatabase& db = *session->sharded();
       ShardedResult result = db.Run(*parsed.query);
       std::cout << db.ResultToString(result);
       std::vector<double> probabilities = db.TupleProbabilities(result);
@@ -138,7 +170,7 @@ void RunSql(Session* session, const std::string& sql) {
             return db.ConditionalAggregateDistribution(result, i, name);
           });
     } else {
-      Database& db = *session->db;
+      Database& db = *session->db();
       PvcTable result = db.Run(*parsed.query);
       std::cout << result.ToString(&db.pool());
       // Batch step II: fans across db.eval_options().num_threads threads.
@@ -183,9 +215,9 @@ void Classify(const Database& db, const std::string& sql) {
 
 bool LoadInto(Session* session, const std::string& table,
               const std::string& path) {
-  CsvResult r = session->sharded != nullptr
-                    ? LoadCsvTableFromFile(session->sharded.get(), table, path)
-                    : LoadCsvTableFromFile(session->db.get(), table, path);
+  CsvResult r = session->sharded() != nullptr
+                    ? LoadCsvTableFromFile(session->sharded(), table, path)
+                    : LoadCsvTableFromFile(session->db(), table, path);
   if (r.ok) {
     std::cout << "loaded " << r.rows << " rows into " << table << "\n";
   } else {
@@ -195,9 +227,9 @@ bool LoadInto(Session* session, const std::string& table,
 }
 
 void ApplyThreads(Session* session) {
-  EvalOptions& options = session->sharded != nullptr
-                             ? session->sharded->eval_options()
-                             : session->db->eval_options();
+  EvalOptions& options = session->sharded() != nullptr
+                             ? session->sharded()->eval_options()
+                             : session->db()->eval_options();
   options.num_threads = session->num_threads;
   options.intra_tree_threads = session->intra_tree_threads;
 }
@@ -274,10 +306,10 @@ bool RunInsert(Session* session, std::istream& stream, bool quiet) {
     return false;
   }
   try {
-    if (session->sharded != nullptr) {
-      session->sharded->InsertTuple(table, std::move(cells), p);
+    if (session->sharded() != nullptr) {
+      session->sharded()->InsertTuple(table, std::move(cells), p);
     } else {
-      session->db->InsertTuple(table, std::move(cells), p);
+      session->db()->InsertTuple(table, std::move(cells), p);
     }
   } catch (const CheckError& e) {
     std::cout << "error: " << e.what() << "\n";
@@ -308,9 +340,9 @@ bool RunDelete(Session* session, std::istream& stream, bool quiet) {
   }
   size_t removed = 0;
   try {
-    removed = session->sharded != nullptr
-                  ? session->sharded->DeleteTuple(table, key)
-                  : session->db->DeleteTuple(table, key);
+    removed = session->sharded() != nullptr
+                  ? session->sharded()->DeleteTuple(table, key)
+                  : session->db()->DeleteTuple(table, key);
   } catch (const CheckError& e) {
     std::cout << "error: " << e.what() << "\n";
     return false;
@@ -351,10 +383,10 @@ bool RunSetProb(Session* session, std::istream& stream, bool quiet) {
     return false;
   }
   try {
-    if (session->sharded != nullptr) {
-      session->sharded->UpdateProbability(var, p);
+    if (session->sharded() != nullptr) {
+      session->sharded()->UpdateProbability(var, p);
     } else {
-      session->db->UpdateProbability(var, p);
+      session->db()->UpdateProbability(var, p);
     }
   } catch (const CheckError& e) {
     std::cout << "error: " << e.what() << "\n";
@@ -388,11 +420,11 @@ bool RegisterViewCommand(Session* session, const std::string& name,
   }
   try {
     size_t rows = 0;
-    if (session->sharded != nullptr) {
-      session->sharded->RegisterView(name, parsed.query);
-      rows = session->sharded->ViewResult(name).NumRows();
+    if (session->sharded() != nullptr) {
+      session->sharded()->RegisterView(name, parsed.query);
+      rows = session->sharded()->ViewResult(name).NumRows();
     } else {
-      rows = session->db->RegisterView(name, parsed.query).NumRows();
+      rows = session->db()->RegisterView(name, parsed.query).NumRows();
     }
     if (!quiet) {
       std::cout << "view " << name << " registered (" << rows << " rows)\n";
@@ -406,8 +438,8 @@ bool RegisterViewCommand(Session* session, const std::string& name,
 
 void PrintView(Session* session, const std::string& name) {
   try {
-    if (session->sharded != nullptr) {
-      ShardedDatabase& db = *session->sharded;
+    if (session->sharded() != nullptr) {
+      ShardedDatabase& db = *session->sharded();
       if (!db.HasView(name)) {
         std::cout << "no view '" << name << "'\n";
         return;
@@ -420,7 +452,7 @@ void PrintView(Session* session, const std::string& name) {
             return db.ConditionalAggregateDistribution(result, i, column);
           });
     } else {
-      Database& db = *session->db;
+      Database& db = *session->db();
       if (!db.HasView(name)) {
         std::cout << "no view '" << name << "'\n";
         return;
@@ -439,15 +471,15 @@ void PrintView(Session* session, const std::string& name) {
 }
 
 void ListViews(Session* session) {
-  if (session->sharded != nullptr) {
+  if (session->sharded() != nullptr) {
     for (const ShardedDatabase::ViewInfo& info :
-         session->sharded->ViewInfos()) {
+         session->sharded()->ViewInfos()) {
       std::cout << info.name << " (" << info.plan << ", " << info.rows
                 << " rows, " << info.cache_entries << " cached d-trees)\n";
     }
     return;
   }
-  Database& db = *session->db;
+  Database& db = *session->db();
   for (const std::string& name : db.ViewNames()) {
     const MaterializedView& view = db.views().view(name);
     std::cout << name << " ("
@@ -458,6 +490,20 @@ void ListViews(Session* session) {
 }
 
 void Reshard(Session* session, int n) {
+  // A durable session reshards through its WAL: the kReshard record is
+  // logged and the engine rebuilt from its own captured state -- no
+  // history replay, and the topology survives a restart.
+  if (session->durable != nullptr) {
+    std::string error;
+    if (!session->durable->Reshard(static_cast<uint64_t>(n), &error)) {
+      std::cout << "error: " << error << "\n";
+      return;
+    }
+    ApplyThreads(session);
+    std::cout << "shards = " << n << " (durable reshard logged)\n";
+    return;
+  }
+
   // The new engine is built and the session history replayed onto it, in
   // the original command order, before the old engine is torn down. The
   // history survives failed replays (e.g. a CSV that has vanished), so a
@@ -470,8 +516,8 @@ void Reshard(Session* session, int n) {
   } else {
     db = std::make_unique<Database>();
   }
-  std::swap(session->db, db);
-  std::swap(session->sharded, sharded);
+  std::swap(session->owned_db, db);
+  std::swap(session->owned_sharded, sharded);
   ApplyThreads(session);
   size_t reloaded = 0;
   size_t replayed = 0;
@@ -503,6 +549,68 @@ void Reshard(Session* session, int n) {
   std::cout << "shards = " << n << " (" << reloaded
             << " tables re-imported, " << replayed
             << " mutations replayed, " << views << " views)\n";
+}
+
+void OpenDurable(Session* session, const std::string& dir) {
+  if (session->durable != nullptr) {
+    std::cout << "already durable at " << session->durable->dir()
+              << " (one directory per session)\n";
+    return;
+  }
+  DurableConfig config;
+  config.dir = dir;
+  std::string error;
+  std::unique_ptr<DurableSession> durable;
+  const bool recovered = DurableSession::HasState(DefaultFileSystem(), dir);
+  try {
+    durable = recovered ? DurableSession::Recover(config, &error)
+                        : DurableSession::Create(
+                              config,
+                              session->sharded() != nullptr
+                                  ? CaptureState(*session->sharded())
+                                  : CaptureState(*session->db()),
+                              &error);
+  } catch (const CheckError& e) {
+    std::cout << "error: " << e.what() << "\n";
+    return;
+  }
+  if (durable == nullptr) {
+    std::cout << "error: " << error << "\n";
+    return;
+  }
+  // The durable engine was rebuilt from the captured / recovered state
+  // (bit-identical to the live one); the undurable engines retire.
+  session->durable = std::move(durable);
+  session->owned_db.reset();
+  session->owned_sharded.reset();
+  ApplyThreads(session);
+  DurableStats stats = session->durable->stats();
+  if (recovered) {
+    std::cout << "recovered " << dir << " (generation " << stats.generation
+              << ", " << stats.replayed_records << " WAL records replayed"
+              << (stats.tail_truncated ? ", torn tail truncated" : "")
+              << ")\n";
+  } else {
+    std::cout << "opened " << dir << " (generation " << stats.generation
+              << ", " << session->catalog().TableNames().size()
+              << " tables snapshotted)\n";
+  }
+}
+
+void PrintDurabilityLog(Session* session) {
+  if (session->durable == nullptr) {
+    std::cout << "not durable (use 'open <dir>')\n";
+    return;
+  }
+  DurableStats stats = session->durable->stats();
+  std::cout << "dir = " << session->durable->dir() << "\n"
+            << "generation = " << stats.generation << "\n"
+            << "wal_records = " << stats.wal_records << "\n"
+            << "wal_bytes = " << stats.wal_bytes << "\n"
+            << "recovered = " << (stats.recovered ? "yes" : "no") << "\n"
+            << "replayed_records = " << stats.replayed_records << "\n"
+            << "tail_truncated = " << (stats.tail_truncated ? "yes" : "no")
+            << "\n";
 }
 
 }  // namespace
@@ -539,9 +647,9 @@ int main() {
       const Database& catalog = session.catalog();
       for (const std::string& name : catalog.TableNames()) {
         std::cout << name << " (" << catalog.table(name).NumRows() << " rows";
-        if (session.sharded != nullptr) {
+        if (session.sharded() != nullptr) {
           std::cout << "; per shard:";
-          for (size_t count : session.sharded->ShardRowCounts(name)) {
+          for (size_t count : session.sharded()->ShardRowCounts(name)) {
             std::cout << " " << count;
           }
         }
@@ -611,15 +719,37 @@ int main() {
         Reshard(&session, n);
       } else {
         std::cout << "shards = "
-                  << (session.sharded != nullptr
-                          ? static_cast<int>(session.sharded->num_shards())
+                  << (session.sharded() != nullptr
+                          ? static_cast<int>(session.sharded()->num_shards())
                           : 0)
                   << " (0 = single database; router "
-                  << (session.sharded != nullptr
-                          ? session.sharded->router().name()
+                  << (session.sharded() != nullptr
+                          ? session.sharded()->router().name()
                           : "fnv1a")
                   << ")\n";
       }
+    } else if (command == "open") {
+      std::string dir;
+      stream >> dir;
+      if (dir.empty()) {
+        std::cout << "usage: open <dir>\n";
+        continue;
+      }
+      OpenDurable(&session, dir);
+    } else if (command == "save") {
+      if (session.durable == nullptr) {
+        std::cout << "no durable directory open -- use 'open <dir>'\n";
+        continue;
+      }
+      std::string error;
+      if (session.durable->Checkpoint(&error)) {
+        std::cout << "checkpoint written (generation "
+                  << session.durable->stats().generation << ")\n";
+      } else {
+        std::cout << "error: " << error << "\n";
+      }
+    } else if (command == "log") {
+      PrintDurabilityLog(&session);
     } else if (command == "SELECT" || command == "select") {
       RunSql(&session, line);
     } else {
