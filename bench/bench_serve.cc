@@ -1,0 +1,263 @@
+// bench_serve -- throughput/latency of the out-of-process serving path.
+//
+// Forks a pvcdb server (worker processes or --in-process reference mode),
+// loads a synthetic tuple-independent table, then drives it with N
+// concurrent shell clients each issuing M distributable chain queries.
+// Reports aggregate qps and client-observed latency percentiles per
+// (shards x clients) grid point, for both backend modes -- the spread
+// between them is the socket + worker-process overhead.
+//
+// Every reply is also compared against the first reply byte for byte; any
+// divergence across clients or modes fails the run (exit 1), so the smoke
+// doubles as a serving bit-identity check.
+//
+//   bench_serve [--smoke|--full] [--json]
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/frame.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+#include "src/serve/server.h"
+#include "src/util/timer.h"
+
+namespace {
+
+using namespace pvcdb;
+using namespace pvcdb_bench;
+
+std::string WriteDataset(const std::string& dir, size_t rows) {
+  std::string path = dir + "/bench.csv";
+  std::ofstream f(path);
+  f << "k:int,v:int,_prob\n";
+  for (size_t i = 0; i < rows; ++i) {
+    f << i << "," << (i * 37) % 1000 << ",0."
+      << 3 + (i % 6) << "\n";
+  }
+  return path;
+}
+
+class Client {
+ public:
+  bool Connect(const std::string& address) {
+    std::string error;
+    sock_ = ConnectWithRetry(address, 250, &error);
+    return sock_.valid();
+  }
+  bool Send(const std::string& line, std::string* text) {
+    if (!SendFrame(&sock_, static_cast<uint8_t>(MsgKind::kClientCommand),
+                   line)) {
+      return false;
+    }
+    uint8_t kind = 0;
+    std::string payload;
+    if (RecvFrame(&sock_, &kind, &payload) != FrameResult::kOk ||
+        static_cast<MsgKind>(kind) != MsgKind::kClientReply) {
+      return false;
+    }
+    ClientReplyMsg reply;
+    if (!ClientReplyMsg::Decode(payload, &reply)) return false;
+    *text = reply.text;
+    return true;
+  }
+
+ private:
+  Socket sock_;
+};
+
+pid_t StartServer(const std::string& address, size_t shards,
+                  bool in_process) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    ServerConfig config;
+    config.listen_address = address;
+    config.num_shards = shards;
+    config.in_process = in_process;
+    config.quiet = true;
+    _exit(RunServer(config));
+  }
+  return pid;
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  size_t index = static_cast<size_t>(p * (sorted->size() - 1));
+  return (*sorted)[index];
+}
+
+struct GridResult {
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_seconds = 0.0;
+  double stddev_seconds = 0.0;
+  bool ok = false;
+};
+
+GridResult RunGridPoint(const std::string& dir, const std::string& csv,
+                        size_t shards, size_t num_clients, int requests,
+                        bool in_process, std::string* expected) {
+  GridResult result;
+  const std::string address = dir + "/bench.sock";
+  ::unlink(address.c_str());
+  pid_t server = StartServer(address, shards, in_process);
+  if (server <= 0) return result;
+
+  const std::string query = "SELECT * FROM bench WHERE v >= 700";
+  Client setup;
+  std::string text;
+  bool loaded = setup.Connect(address) &&
+                setup.Send("load bench " + csv, &text) &&
+                setup.Send(query, &text);  // Warm-up + reference reply.
+  if (!loaded) {
+    kill(server, SIGKILL);
+    waitpid(server, nullptr, 0);
+    return result;
+  }
+  if (expected->empty()) {
+    *expected = text;
+  } else if (*expected != text) {
+    std::fprintf(stderr,
+                 "bench_serve: reply diverged (shards=%zu, in_process=%d)\n",
+                 shards, in_process ? 1 : 0);
+    kill(server, SIGKILL);
+    waitpid(server, nullptr, 0);
+    return result;
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<int> failures{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&]() {
+      Client client;
+      if (!client.Connect(address)) {
+        ++failures;
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(requests));
+      std::string reply;
+      for (int r = 0; r < requests; ++r) {
+        WallTimer timer;
+        if (!client.Send(query, &reply) || reply != *expected) {
+          ++failures;
+          return;
+        }
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  setup.Send("shutdown", &text);
+  int status = -1;
+  waitpid(server, &status, 0);
+  if (failures.load() != 0 || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return result;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  result.qps = elapsed > 0.0 ? latencies.size() / elapsed : 0.0;
+  result.p50_ms = Percentile(&latencies, 0.50) * 1000.0;
+  result.p99_ms = Percentile(&latencies, 0.99) * 1000.0;
+  RunStats stats = Summarize(latencies);
+  result.mean_seconds = stats.mean_seconds;
+  result.stddev_seconds = stats.stddev_seconds;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = SmokeMode(argc, argv);
+  const bool full = FullMode(argc, argv);
+  const bool json = JsonMode(argc, argv);
+
+  const size_t rows = smoke ? 200 : full ? 20000 : 2000;
+  const int requests = smoke ? 20 : full ? 200 : 60;
+  const std::vector<size_t> shard_grid =
+      smoke ? std::vector<size_t>{2} : std::vector<size_t>{1, 2, 4};
+  const std::vector<size_t> client_grid =
+      smoke ? std::vector<size_t>{4} : std::vector<size_t>{1, 4, 8};
+
+  char tmpl[] = "/tmp/pvcdb_bench_serve_XXXXXX";
+  char* dir = mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "bench_serve: mkdtemp failed\n");
+    return 1;
+  }
+  const std::string csv = WriteDataset(dir, rows);
+
+  TablePrinter table(
+      {"mode", "shards", "clients", "requests", "qps", "p50_ms", "p99_ms"});
+  // One reference reply across every grid point and both modes: the bench
+  // is also a serving bit-identity check.
+  std::string expected;
+  bool failed = false;
+  for (bool in_process : {true, false}) {
+    for (size_t shards : shard_grid) {
+      for (size_t clients : client_grid) {
+        GridResult r = RunGridPoint(dir, csv, shards, clients, requests,
+                                    in_process, &expected);
+        if (!r.ok) {
+          failed = true;
+          continue;
+        }
+        const char* mode = in_process ? "in-process" : "workers";
+        if (json) {
+          JsonParams params;
+          params.Set("mode", mode)
+              .Set("shards", static_cast<int64_t>(shards))
+              .Set("clients", static_cast<int64_t>(clients))
+              .Set("requests", static_cast<int64_t>(clients) * requests)
+              .Set("rows", static_cast<int64_t>(rows))
+              .Set("qps", r.qps)
+              .Set("p50_ms", r.p50_ms)
+              .Set("p99_ms", r.p99_ms);
+          RunStats stats;
+          stats.mean_seconds = r.mean_seconds;
+          stats.stddev_seconds = r.stddev_seconds;
+          PrintJsonRecord("serve", params, stats);
+        } else {
+          table.PrintRow({mode, std::to_string(shards),
+                          std::to_string(clients),
+                          std::to_string(static_cast<size_t>(requests) *
+                                         clients),
+                          FormatDouble(r.qps, 1), FormatDouble(r.p50_ms, 3),
+                          FormatDouble(r.p99_ms, 3)});
+        }
+      }
+    }
+  }
+  std::string cleanup = std::string("rm -rf '") + dir + "'";
+  if (std::system(cleanup.c_str()) != 0) {
+    // Best-effort cleanup.
+  }
+  if (failed) {
+    std::fprintf(stderr, "bench_serve: FAILED (transport error or reply "
+                         "divergence)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,557 @@
+#include "src/engine/coordinator.h"
+
+#include <algorithm>
+
+#include "src/engine/delta.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+Coordinator::Coordinator(SemiringKind semiring,
+                         std::vector<RemoteShard> workers,
+                         WorkerSpawner spawner)
+    : semiring_(semiring),
+      local_(semiring),
+      workers_(std::move(workers)),
+      spawner_(std::move(spawner)),
+      synced_vars_(workers_.size(), 0) {
+  PVC_CHECK_MSG(!workers_.empty(), "a coordinator needs >= 1 worker");
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    HelloMsg hello;
+    hello.semiring = semiring_;
+    hello.shard_index = static_cast<uint32_t>(s);
+    hello.num_shards = static_cast<uint32_t>(workers_.size());
+    workers_[s].Handshake(hello);  // Failure marks the worker down.
+  }
+}
+
+std::string Coordinator::DownWarning(const char* what) const {
+  std::string warning = "warning:";
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s].down()) warning += " worker " + std::to_string(s);
+  }
+  warning += " down; ";
+  warning += what;
+  return warning;
+}
+
+void Coordinator::MarkDiverged(size_t s, const std::string& why) {
+  // A healthy worker rejecting a replicated mutation means its state no
+  // longer mirrors the replica's; keep the connection out of every future
+  // scatter until a respawn rebuilds it. (The engine invariant message is
+  // intentionally dropped: the replica already applied the mutation, and
+  // correctness is preserved by the fallback path.)
+  (void)why;
+  workers_[s].MarkDown();
+}
+
+void Coordinator::SyncVarsTo(size_t s) {
+  const VariableTable& variables = local_.variables();
+  if (synced_vars_[s] >= variables.size()) return;
+  SyncVarsMsg msg;
+  msg.first_id = static_cast<VarId>(synced_vars_[s]);
+  msg.entries.reserve(variables.size() - synced_vars_[s]);
+  for (size_t v = synced_vars_[s]; v < variables.size(); ++v) {
+    VarSyncEntry entry;
+    entry.name = variables.NameOf(static_cast<VarId>(v));
+    entry.distribution = variables.DistributionOf(static_cast<VarId>(v));
+    msg.entries.push_back(std::move(entry));
+  }
+  workers_[s].SyncVars(msg);
+  synced_vars_[s] = variables.size();
+}
+
+template <typename Reply>
+bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
+                          MsgKind expect, std::vector<Reply>* replies) {
+  size_t n = workers_.size();
+  replies->assign(n, Reply{});
+  std::vector<bool> sent(n, false);
+  bool complete = true;
+  for (size_t s = 0; s < n; ++s) {
+    if (workers_[s].down()) {
+      complete = false;
+      continue;
+    }
+    try {
+      SyncVarsTo(s);
+      workers_[s].SendRequest(kind, payload);
+      sent[s] = true;
+    } catch (const WorkerDown&) {
+      complete = false;
+    }
+  }
+  // Drain every pending reply even after a failure: the request/reply
+  // sequencing of the surviving connections must stay aligned.
+  std::string request_error;
+  for (size_t s = 0; s < n; ++s) {
+    if (!sent[s]) continue;
+    try {
+      std::string reply = workers_[s].RecvReply(expect);
+      if (!Reply::Decode(reply, &(*replies)[s])) {
+        workers_[s].MarkDown();
+        complete = false;
+      }
+    } catch (const WorkerDown&) {
+      complete = false;
+    } catch (const CheckError& e) {
+      // The worker is healthy; the request itself was bad. Surface the
+      // first such error to the caller once the scatter is drained.
+      if (request_error.empty()) request_error = e.what();
+    }
+  }
+  if (!request_error.empty()) throw CheckError(request_error);
+  return complete;
+}
+
+// -- Catalog ----------------------------------------------------------------
+
+void Coordinator::AddTupleIndependentTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, std::vector<double> probabilities) {
+  PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
+  const size_t key_index = 0;  // CSV loads route by the primary key.
+  VarId var_base = static_cast<VarId>(local_.variables().size());
+  size_t num_rows = rows.size();
+  std::vector<VarId> vars;
+  vars.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    vars.push_back(var_base + static_cast<VarId>(i));
+  }
+  // The replica performs the exact load an unsharded Database would:
+  // Bernoulli variables in global row order, VarIds matching.
+  local_.AddTupleIndependentTable(name, std::move(schema), std::move(rows),
+                                  std::move(probabilities));
+
+  // Partition the loaded logical table across the workers, mirroring
+  // ShardedDatabase::PartitionLoadedTable.
+  const PvcTable& logical = local_.table(name);
+  std::vector<LoadPartitionMsg> parts(workers_.size());
+  std::string key_name = logical.schema().column(key_index).name;
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    parts[s].table = name;
+    parts[s].key_column = key_name;
+    parts[s].schema = logical.schema();
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> placement;
+  placement.reserve(logical.NumRows());
+  for (size_t i = 0; i < logical.NumRows(); ++i) {
+    size_t s = router_.Route(logical.row(i).cells[key_index],
+                             workers_.size());
+    placement.emplace_back(static_cast<uint32_t>(s),
+                           static_cast<uint32_t>(parts[s].rows.size()));
+    parts[s].rows.push_back(logical.row(i).cells);
+    parts[s].vars.push_back(vars[i]);
+    parts[s].global_rows.push_back(i);
+  }
+  placements_[name] = std::move(placement);
+  key_columns_[name] = key_index;
+  table_vars_[name] = std::move(vars);
+
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s].down()) continue;  // Respawn resyncs in full.
+    try {
+      SyncVarsTo(s);
+      workers_[s].LoadPartition(parts[s]);
+      // The worker re-seeds its views of the replaced table itself.
+    } catch (const WorkerDown&) {
+    } catch (const CheckError& e) {
+      MarkDiverged(s, e.what());
+    }
+  }
+}
+
+std::vector<size_t> Coordinator::ShardRowCounts(
+    const std::string& name) const {
+  auto it = placements_.find(name);
+  PVC_CHECK_MSG(it != placements_.end(),
+                "no sharded table named '" << name << "'");
+  std::vector<size_t> counts(workers_.size(), 0);
+  for (const auto& [s, r] : it->second) ++counts[s];
+  return counts;
+}
+
+// -- Mutations --------------------------------------------------------------
+
+size_t Coordinator::InsertTuple(const std::string& table,
+                                std::vector<Cell> cells, double p) {
+  auto key_it = key_columns_.find(table);
+  PVC_CHECK_MSG(key_it != key_columns_.end(),
+                "no sharded table named '" << table << "'");
+  PVC_CHECK_MSG(key_it->second < cells.size(), "row is missing its key cell");
+
+  // The replica replays the unsharded mutation first (fresh Bernoulli
+  // variable with the next global id, replica-registered views absorb the
+  // delta), then the owning worker gets the routed append.
+  VarId x = static_cast<VarId>(local_.variables().size());
+  size_t global_row = local_.InsertTuple(table, cells, p);
+  table_vars_[table].push_back(x);
+
+  size_t s = router_.Route(cells[key_it->second], workers_.size());
+  std::vector<std::pair<uint32_t, uint32_t>>& placement = placements_[table];
+  uint32_t shard_row = 0;
+  for (const auto& [ps, pr] : placement) {
+    if (ps == s) ++shard_row;
+  }
+  placement.emplace_back(static_cast<uint32_t>(s), shard_row);
+
+  if (!workers_[s].down()) {
+    AppendRowMsg msg;
+    msg.table = table;
+    msg.cells = std::move(cells);
+    msg.var = x;
+    msg.global_row = global_row;
+    try {
+      SyncVarsTo(s);
+      workers_[s].AppendRow(msg);
+    } catch (const WorkerDown&) {
+    } catch (const CheckError& e) {
+      MarkDiverged(s, e.what());
+    }
+  }
+  return global_row;
+}
+
+void Coordinator::DeleteRowAt(const std::string& table, size_t row_index) {
+  auto it = placements_.find(table);
+  PVC_CHECK_MSG(it != placements_.end(),
+                "no sharded table named '" << table << "'");
+  std::vector<std::pair<uint32_t, uint32_t>>& placement = it->second;
+  PVC_CHECK_MSG(row_index < placement.size(),
+                "row index " << row_index << " out of range");
+  auto [s, shard_row] = placement[row_index];
+
+  local_.DeleteRowAt(table, row_index);
+  placement.erase(placement.begin() + static_cast<ptrdiff_t>(row_index));
+  for (auto& [ps, pr] : placement) {
+    if (ps == s && pr > shard_row) --pr;
+  }
+  std::vector<VarId>& vars = table_vars_[table];
+  vars.erase(vars.begin() + static_cast<ptrdiff_t>(row_index));
+
+  // Broadcast: the owner drops its local row, everyone shifts global ids.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    if (workers_[w].down()) continue;
+    DeleteRowMsg msg;
+    msg.table = table;
+    msg.has_local_row = (w == s);
+    msg.local_row = shard_row;
+    msg.global_row = row_index;
+    try {
+      workers_[w].DeleteRow(msg);
+    } catch (const WorkerDown&) {
+    } catch (const CheckError& e) {
+      MarkDiverged(w, e.what());
+    }
+  }
+}
+
+size_t Coordinator::DeleteTuple(const std::string& table, const Cell& key) {
+  return DeleteRowsMatchingKey(
+      local_.table(table), key,
+      [&](size_t index) { DeleteRowAt(table, index); });
+}
+
+void Coordinator::UpdateProbability(VarId var, double p) {
+  local_.UpdateProbability(var, p);
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s].down()) continue;
+    // A worker that has not synced this variable yet receives the new
+    // distribution with its first sync -- nothing to replay.
+    if (synced_vars_[s] <= var) continue;
+    try {
+      workers_[s].UpdateVar(var, p);
+    } catch (const WorkerDown&) {
+    } catch (const CheckError& e) {
+      MarkDiverged(s, e.what());
+    }
+  }
+}
+
+// -- Queries ----------------------------------------------------------------
+
+bool Coordinator::Distributable(const Query& q, std::string* driving) const {
+  std::optional<std::string> table = ShardDrivingTable(q);
+  if (!table.has_value() || placements_.count(*table) == 0) return false;
+  if (local_.table(*table).schema().Find(kShardRowIdColumn).has_value()) {
+    return false;
+  }
+  if (QueryMentionsColumn(q, kShardRowIdColumn)) return false;
+  *driving = *table;
+  return true;
+}
+
+QueryRun Coordinator::GatherChainRows(const Schema& schema,
+                                      std::vector<ChainResultMsg> replies) {
+  std::vector<ChainRow> merged;
+  for (ChainResultMsg& reply : replies) {
+    for (ChainRow& row : reply.rows) merged.push_back(std::move(row));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const ChainRow& a, const ChainRow& b) {
+              return a.global_row < b.global_row;
+            });
+
+  QueryRun run;
+  run.schema = schema;
+  run.distributed = true;
+  // Render through a scratch pool, like ShardedDatabase::ResultToString:
+  // annotations of the distributable fragment are single variables, so the
+  // text matches the replica's rendering exactly.
+  ExprPool scratch(semiring_);
+  PvcTable gathered{schema};
+  run.probabilities.reserve(merged.size());
+  for (const ChainRow& row : merged) {
+    gathered.AddRow(row.cells, scratch.Var(row.var));
+    run.probabilities.push_back(row.probability);
+  }
+  run.text = gathered.ToString(&scratch);
+  return run;
+}
+
+QueryRun Coordinator::EvalChainLocally(const Query& q) {
+  QueryRun run;
+  PvcTable result = local_.Run(q);
+  run.schema = result.schema();
+  run.text = result.ToString(&local_.pool());
+  run.probabilities = local_.TupleProbabilities(result);
+  run.local_result = std::move(result);
+  return run;
+}
+
+QueryRun Coordinator::Run(const Query& q) {
+  std::string driving;
+  if (Distributable(q, &driving)) {
+    EvalChainMsg msg;
+    msg.table = driving;
+    // Non-owning alias: the message only lives for this call, and Encode
+    // just serializes the query.
+    msg.query = QueryPtr(&q, [](const Query*) {});
+    std::string payload = msg.Encode();
+    std::vector<ChainResultMsg> replies;
+    if (Scatter<ChainResultMsg>(MsgKind::kEvalChain, payload,
+                                MsgKind::kChainResult, &replies)) {
+      Schema schema = replies.empty() ? Schema{} : replies[0].schema;
+      return GatherChainRows(schema, std::move(replies));
+    }
+    QueryRun run = EvalChainLocally(q);
+    run.warnings.push_back(DownWarning("evaluated on coordinator"));
+    return run;
+  }
+  // Gather shapes (joins, aggregates, projections, unions) always run on
+  // the replica -- the same division of labor as the in-process facade.
+  return EvalChainLocally(q);
+}
+
+Distribution Coordinator::ConditionalAggregateDistribution(
+    const QueryRun& run, size_t row_index, const std::string& column) {
+  PVC_CHECK_MSG(!run.distributed,
+                "aggregation columns only occur on coordinator-evaluated "
+                "results (aggregates always gather)");
+  return local_.ConditionalAggregateDistribution(run.local_result, row_index,
+                                                 column);
+}
+
+// -- Materialized views -----------------------------------------------------
+
+Coordinator::RemoteView* Coordinator::FindRemoteView(const std::string& name) {
+  for (RemoteView& view : remote_views_) {
+    if (view.name == name) return &view;
+  }
+  return nullptr;
+}
+
+size_t Coordinator::RegisterView(const std::string& name, QueryPtr query,
+                                 std::vector<std::string>* warnings) {
+  std::string driving;
+  if (Distributable(*query, &driving)) {
+    // Validate the chain on the replica first (bad column names and the
+    // like fail here, before any worker state changes; chains intern
+    // nothing, so the replica's pool is undisturbed). The row count of the
+    // materialization is the local count in every case.
+    size_t rows = local_.Run(*query).NumRows();
+
+    RegisterChainViewMsg msg;
+    msg.name = name;
+    msg.table = driving;
+    msg.query = query;
+    std::string payload = msg.Encode();
+    std::vector<OkMsg> replies;
+    if (!Scatter<OkMsg>(MsgKind::kRegisterChainView, payload, MsgKind::kOk,
+                        &replies) &&
+        warnings != nullptr) {
+      warnings->push_back(
+          DownWarning("view registered; down workers resync on respawn"));
+    }
+    if (RemoteView* existing = FindRemoteView(name)) {
+      existing->driving = driving;
+      existing->query = std::move(query);
+    } else {
+      remote_views_.push_back({name, driving, std::move(query)});
+    }
+    // The name may previously have named a replica view.
+    if (local_.HasView(name)) local_.DropView(name);
+    return rows;
+  }
+
+  size_t rows = local_.RegisterView(name, std::move(query)).NumRows();
+  // Retire a same-name remote view only now that the replacement exists.
+  for (auto it = remote_views_.begin(); it != remote_views_.end(); ++it) {
+    if (it->name == name) {
+      remote_views_.erase(it);
+      NameMsg msg;
+      msg.name = name;
+      std::string payload = msg.Encode();
+      std::vector<OkMsg> replies;
+      Scatter<OkMsg>(MsgKind::kDropChainView, payload, MsgKind::kOk,
+                     &replies);
+      break;
+    }
+  }
+  return rows;
+}
+
+bool Coordinator::HasView(const std::string& name) const {
+  for (const RemoteView& view : remote_views_) {
+    if (view.name == name) return true;
+  }
+  return local_.HasView(name);
+}
+
+QueryRun Coordinator::PrintView(const std::string& name) {
+  if (RemoteView* view = FindRemoteView(name)) {
+    NameMsg msg;
+    msg.name = name;
+    std::string payload = msg.Encode();
+    std::vector<ChainResultMsg> replies;
+    if (Scatter<ChainResultMsg>(MsgKind::kViewProbs, payload,
+                                MsgKind::kChainResult, &replies)) {
+      Schema schema = replies.empty() ? Schema{} : replies[0].schema;
+      return GatherChainRows(schema, std::move(replies));
+    }
+    // Fallback: recompute on the replica (no cache, identical values).
+    QueryRun run = EvalChainLocally(*view->query);
+    run.warnings.push_back(DownWarning("evaluated on coordinator"));
+    return run;
+  }
+  QueryRun run;
+  PvcTable result = local_.ViewTable(name);  // Copy: refresh + snapshot.
+  run.schema = result.schema();
+  run.text = result.ToString(&local_.pool());
+  run.probabilities = local_.ViewProbabilities(name);
+  run.local_result = std::move(result);
+  return run;
+}
+
+std::vector<ShardedDatabase::ViewInfo> Coordinator::ViewInfos() {
+  std::vector<ShardedDatabase::ViewInfo> infos;
+  for (RemoteView& view : remote_views_) {
+    ShardedDatabase::ViewInfo info;
+    info.name = view.name;
+    info.plan = "chain (per shard)";
+    NameMsg msg;
+    msg.name = view.name;
+    std::string payload = msg.Encode();
+    std::vector<ViewInfoMsg> replies;
+    if (Scatter<ViewInfoMsg>(MsgKind::kViewInfo, payload,
+                             MsgKind::kViewInfoResult, &replies)) {
+      for (const ViewInfoMsg& reply : replies) {
+        info.rows += reply.rows;
+        info.cache_entries += reply.cache_entries;
+      }
+    } else {
+      // Degraded: the row count comes from the replica, cache entries
+      // from whatever workers answered.
+      info.rows = local_.Run(*view.query).NumRows();
+      for (const ViewInfoMsg& reply : replies) {
+        info.cache_entries += reply.cache_entries;
+      }
+    }
+    infos.push_back(std::move(info));
+  }
+  for (const std::string& name : local_.ViewNames()) {
+    const MaterializedView& view = local_.views().view(name);
+    ShardedDatabase::ViewInfo info;
+    info.name = name;
+    info.plan = MaterializedView::PlanName(view.plan());
+    info.rows = local_.ViewTable(name).NumRows();
+    info.cache_entries = view.step_two().size();
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+// -- Worker management ------------------------------------------------------
+
+LoadPartitionMsg Coordinator::PartitionFor(const std::string& name,
+                                           size_t s) const {
+  const PvcTable& logical = local_.table(name);
+  const auto& placement = placements_.at(name);
+  const std::vector<VarId>& vars = table_vars_.at(name);
+  LoadPartitionMsg msg;
+  msg.table = name;
+  msg.key_column = logical.schema().column(key_columns_.at(name)).name;
+  msg.schema = logical.schema();
+  for (size_t i = 0; i < placement.size(); ++i) {
+    if (placement[i].first != s) continue;
+    msg.rows.push_back(logical.row(i).cells);
+    msg.vars.push_back(vars[i]);
+    msg.global_rows.push_back(i);
+  }
+  return msg;
+}
+
+bool Coordinator::Respawn(size_t s, std::string* error) {
+  if (s >= workers_.size()) {
+    *error = "no worker " + std::to_string(s);
+    return false;
+  }
+  if (spawner_ == nullptr) {
+    *error = "no worker spawner configured";
+    return false;
+  }
+  RemoteShard fresh(static_cast<uint32_t>(s), Socket(), 0);
+  if (!spawner_(static_cast<uint32_t>(s), &fresh, error)) return false;
+  HelloMsg hello;
+  hello.semiring = semiring_;
+  hello.shard_index = static_cast<uint32_t>(s);
+  hello.num_shards = static_cast<uint32_t>(workers_.size());
+  if (!fresh.Handshake(hello)) {
+    *error = "handshake with respawned worker failed";
+    return false;
+  }
+  workers_[s] = std::move(fresh);
+  synced_vars_[s] = 0;
+
+  // Full resync: variables, then every partition (map order -- placement
+  // and annotations reproduce the original load exactly), then the remote
+  // chain views (the registration re-seeds them from the partitions).
+  try {
+    SyncVarsTo(s);
+    for (const auto& [name, placement] : placements_) {
+      (void)placement;
+      workers_[s].LoadPartition(PartitionFor(name, s));
+    }
+    for (const RemoteView& view : remote_views_) {
+      RegisterChainViewMsg msg;
+      msg.name = view.name;
+      msg.table = view.driving;
+      msg.query = view.query;
+      workers_[s].RegisterChainView(msg);
+    }
+  } catch (const WorkerDown& e) {
+    *error = e.what();
+    return false;
+  } catch (const CheckError& e) {
+    workers_[s].MarkDown();
+    *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+void Coordinator::Shutdown() {
+  for (RemoteShard& worker : workers_) worker.Shutdown();
+}
+
+}  // namespace pvcdb

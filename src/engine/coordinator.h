@@ -1,0 +1,224 @@
+// Coordinator: the out-of-process counterpart of ShardedDatabase
+// (src/engine/shard.h), driving the same scatter-gather over RemoteShard
+// connections to shard worker processes instead of over in-process shard
+// engines.
+//
+// Like the in-process facade, the coordinator keeps a FULL local Database
+// replica that replays exactly the load / interning sequence of an
+// unsharded engine -- the documented 2x memory trade-off that buys
+// bit-identity. Everything that gathers in process (joins, projections,
+// aggregates, unions) evaluates on that replica; only the distributable
+// Select/Rename fragment (ShardDrivingTable) scatters to the workers. The
+// workers compute each surviving row's probability themselves through
+// IsolatedAnnotationDistribution -- the per-row step II pipeline that is
+// independent of pool history -- so the gathered numbers are bit-identical
+// to the in-process scatter at any shard count.
+//
+// Degraded mode: any transport failure marks that worker down (WorkerDown)
+// and every distributed path falls back to the local replica, with a
+// "warning: worker N down..." line attached to the result. Values stay
+// bit-identical -- chains intern nothing into the pool, so the fallback
+// leaves the replica's pool exactly as the healthy path would. A down
+// worker stays down until Respawn() hands the coordinator a fresh
+// connection (via the server-supplied spawner), after which the worker is
+// rebuilt by a full resync: variable table, every partition, every remote
+// chain view.
+
+#ifndef PVCDB_ENGINE_COORDINATOR_H_
+#define PVCDB_ENGINE_COORDINATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/engine/remote_shard.h"
+#include "src/engine/shard.h"
+
+namespace pvcdb {
+
+/// One executed query (or view print) over the coordinator: the rendered
+/// tuples, the per-row probabilities in global row order, and where the
+/// rows came from. `local_result` is valid only when !distributed (it is
+/// what conditional aggregate distributions are computed against;
+/// distributed chain results never have aggregation columns).
+struct QueryRun {
+  Schema schema;
+  std::string text;
+  std::vector<double> probabilities;
+  bool distributed = false;
+  PvcTable local_result{Schema{}};
+  std::vector<std::string> warnings;  ///< Degraded-mode notices, if any.
+  /// Producer-private state kept alive with the run (the in-process
+  /// backend parks its ShardedResult here for aggregate follow-ups).
+  std::shared_ptr<void> backend_state;
+};
+
+class Coordinator {
+ public:
+  /// Replaces a down worker: connects/spawns shard `shard` and fills
+  /// `*out` with a fresh, NOT yet handshaken RemoteShard. False + error on
+  /// failure. Supplied by the server (which knows whether workers are
+  /// forked children or standalone processes to re-dial).
+  using WorkerSpawner =
+      std::function<bool(uint32_t shard, RemoteShard* out, std::string* error)>;
+
+  /// Takes ownership of one connected RemoteShard per shard and performs
+  /// the kHello handshake on each (a failed handshake marks that worker
+  /// down; the coordinator still starts, degraded).
+  Coordinator(SemiringKind semiring, std::vector<RemoteShard> workers,
+              WorkerSpawner spawner);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  size_t num_shards() const { return workers_.size(); }
+
+  /// The full local replica (catalog, schemas, variable registry). Pool
+  /// state is bit-identical to an in-process ShardedDatabase coordinator
+  /// fed the same command sequence.
+  Database& local() { return local_; }
+  const Database& local() const { return local_; }
+
+  // -- Catalog ------------------------------------------------------------
+
+  /// Registers a tuple-independent table, routed by its first column:
+  /// loads the local replica (fresh Bernoulli variables in global row
+  /// order), then partitions across the live workers.
+  void AddTupleIndependentTable(const std::string& name, Schema schema,
+                                std::vector<std::vector<Cell>> rows,
+                                std::vector<double> probabilities);
+
+  bool HasTable(const std::string& name) const {
+    return local_.HasTable(name);
+  }
+  std::vector<std::string> TableNames() const { return local_.TableNames(); }
+  size_t NumRows(const std::string& name) const {
+    return local_.table(name).NumRows();
+  }
+
+  /// Rows per shard (from the placement map, so it is exact even while
+  /// workers are down).
+  std::vector<size_t> ShardRowCounts(const std::string& name) const;
+
+  // -- Mutations (stream through IVM on replica, owning worker, views) ----
+
+  size_t InsertTuple(const std::string& table, std::vector<Cell> cells,
+                     double p);
+  size_t DeleteTuple(const std::string& table, const Cell& key);
+  void UpdateProbability(VarId var, double p);
+
+  // -- Queries ------------------------------------------------------------
+
+  /// Evaluates `q`: scattered to the workers for the distributable
+  /// fragment (all workers up), on the local replica otherwise. Rendered
+  /// text and probabilities are bit-identical either way.
+  QueryRun Run(const Query& q);
+
+  /// P[alpha = v | present] for an aggregation column of a
+  /// non-distributed run.
+  Distribution ConditionalAggregateDistribution(const QueryRun& run,
+                                                size_t row_index,
+                                                const std::string& column);
+
+  // -- Materialized views -------------------------------------------------
+
+  /// Registers a view; the distributable fragment becomes a
+  /// worker-maintained chain view (kRegisterChainView to every live
+  /// worker), everything else registers on the local replica. Returns the
+  /// view's row count.
+  size_t RegisterView(const std::string& name, QueryPtr query,
+                      std::vector<std::string>* warnings);
+
+  bool HasView(const std::string& name) const;
+
+  /// The view's tuples + cached probabilities (kViewProbs scatter for
+  /// remote views; replica caches otherwise).
+  QueryRun PrintView(const std::string& name);
+
+  /// One diagnostics line per view, remote chain views first (matching
+  /// ShardedDatabase::ViewInfos order and plan naming).
+  std::vector<ShardedDatabase::ViewInfo> ViewInfos();
+
+  // -- Worker management --------------------------------------------------
+
+  bool WorkerUp(size_t s) const { return !workers_[s].down(); }
+  pid_t WorkerPid(size_t s) const { return workers_[s].pid(); }
+
+  /// Spawns a replacement for worker `s` and resyncs it in full:
+  /// variables, every table partition, every remote chain view.
+  bool Respawn(size_t s, std::string* error);
+
+  /// Best-effort kShutdown broadcast to every live worker.
+  void Shutdown();
+
+ private:
+  struct RemoteView {
+    std::string name;
+    std::string driving;
+    QueryPtr query;
+  };
+
+  /// True when `q` can scatter: the same predicate as ShardedDatabase::Run.
+  bool Distributable(const Query& q, std::string* driving) const;
+
+  /// Ships any variables the worker has not seen yet (contiguous run; the
+  /// worker checks the ids line up). Throws WorkerDown on failure.
+  void SyncVarsTo(size_t s);
+
+  /// Sends `kind` to every live worker (send-all-then-recv-all scatter)
+  /// and decodes each reply into `replies[s]`. Returns false if any worker
+  /// was down or died mid-scatter (partial replies are drained so
+  /// sequencing survives). A worker-side CheckError is rethrown after the
+  /// drain -- the caller's request was bad, the workers are fine.
+  template <typename Reply>
+  bool Scatter(MsgKind kind, const std::string& payload, MsgKind expect,
+               std::vector<Reply>* replies);
+
+  /// Merges per-worker chain rows by global driving-row order and renders
+  /// them through a scratch pool (annotations of the distributable
+  /// fragment are single variables, so the rendering matches the
+  /// replica's).
+  QueryRun GatherChainRows(const Schema& schema,
+                           std::vector<ChainResultMsg> replies);
+
+  /// The local fallback for a distributable chain: evaluate on the
+  /// replica, compute per-row probabilities through the identical isolated
+  /// pipeline. Bit-identical values; chains intern nothing, so the
+  /// replica's pool is undisturbed.
+  QueryRun EvalChainLocally(const Query& q);
+
+  /// Builds worker `s`'s partition of `name` from the replica + placement.
+  LoadPartitionMsg PartitionFor(const std::string& name, size_t s) const;
+
+  void DeleteRowAt(const std::string& table, size_t row_index);
+
+  RemoteView* FindRemoteView(const std::string& name);
+  std::string DownWarning(const char* what) const;
+
+  /// Marks `s` down after a state-divergence error (a healthy worker
+  /// rejected a mutation it should have accepted -- its replica state can
+  /// no longer be trusted).
+  void MarkDiverged(size_t s, const std::string& why);
+
+  SemiringKind semiring_;
+  FnvShardRouter router_;
+  Database local_;
+  std::vector<RemoteShard> workers_;
+  WorkerSpawner spawner_;
+  std::vector<size_t> synced_vars_;  ///< Per worker: variables shipped.
+  /// Per table: global row -> (shard, row within the shard's partition).
+  std::map<std::string, std::vector<std::pair<uint32_t, uint32_t>>>
+      placements_;
+  std::map<std::string, size_t> key_columns_;
+  /// Per table: the annotation VarId of every global row (respawn resync).
+  std::map<std::string, std::vector<VarId>> table_vars_;
+  std::vector<RemoteView> remote_views_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_COORDINATOR_H_

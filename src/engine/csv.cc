@@ -8,6 +8,7 @@
 
 #include "src/dtree/compile.h"
 #include "src/dtree/probability.h"
+#include "src/engine/coordinator.h"
 #include "src/engine/shard.h"
 
 namespace pvcdb {
@@ -188,6 +189,16 @@ CsvResult LoadCsvTable(ShardedDatabase* db, const std::string& table_name,
   return parsed.status;
 }
 
+CsvResult LoadCsvTable(Coordinator* db, const std::string& table_name,
+                       std::istream& input) {
+  ParsedCsv parsed = ParseCsv(input);
+  if (!parsed.status.ok) return parsed.status;
+  db->AddTupleIndependentTable(table_name, Schema(std::move(parsed.columns)),
+                               std::move(parsed.rows),
+                               std::move(parsed.probs));
+  return parsed.status;
+}
+
 CsvResult LoadCsvTableFromFile(Database* db, const std::string& table_name,
                                const std::string& path) {
   std::ifstream file(path);
@@ -201,6 +212,17 @@ CsvResult LoadCsvTableFromFile(Database* db, const std::string& table_name,
 
 CsvResult LoadCsvTableFromFile(ShardedDatabase* db,
                                const std::string& table_name,
+                               const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    CsvResult result;
+    result.error = "cannot open file '" + path + "'";
+    return result;
+  }
+  return LoadCsvTable(db, table_name, file);
+}
+
+CsvResult LoadCsvTableFromFile(Coordinator* db, const std::string& table_name,
                                const std::string& path) {
   std::ifstream file(path);
   if (!file) {

@@ -20,6 +20,7 @@
 
 namespace pvcdb {
 
+class Coordinator;
 class ShardedDatabase;
 
 /// Outcome of a CSV import.
@@ -45,6 +46,14 @@ CsvResult LoadCsvTable(ShardedDatabase* db, const std::string& table_name,
                        std::istream& input);
 CsvResult LoadCsvTableFromFile(ShardedDatabase* db,
                                const std::string& table_name,
+                               const std::string& path);
+
+/// Out-of-process serving overloads (src/engine/coordinator.h): registered
+/// through Coordinator::AddTupleIndependentTable, which loads the local
+/// replica and partitions across the shard workers.
+CsvResult LoadCsvTable(Coordinator* db, const std::string& table_name,
+                       std::istream& input);
+CsvResult LoadCsvTableFromFile(Coordinator* db, const std::string& table_name,
                                const std::string& path);
 
 /// Writes `table` (data columns only; aggregation columns are rejected)

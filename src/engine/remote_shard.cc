@@ -1,0 +1,176 @@
+#include "src/engine/remote_shard.h"
+
+#include <utility>
+
+#include "src/net/frame.h"
+#include "src/util/check.h"
+
+namespace pvcdb {
+
+RemoteShard::RemoteShard(uint32_t shard_index, Socket sock, pid_t pid)
+    : shard_index_(shard_index), sock_(std::move(sock)), pid_(pid) {
+  down_ = !sock_.valid();
+}
+
+void RemoteShard::MarkDown() {
+  down_ = true;
+  sock_.Close();
+}
+
+bool RemoteShard::Handshake(const HelloMsg& hello) {
+  if (down_) return false;
+  if (!SendFrame(&sock_, static_cast<uint8_t>(MsgKind::kHello),
+                 hello.Encode())) {
+    MarkDown();
+    return false;
+  }
+  uint8_t kind = 0;
+  std::string payload;
+  if (RecvFrame(&sock_, &kind, &payload) != FrameResult::kOk ||
+      static_cast<MsgKind>(kind) != MsgKind::kHelloAck) {
+    MarkDown();
+    return false;
+  }
+  return true;
+}
+
+void RemoteShard::SendRequest(MsgKind request, const std::string& payload) {
+  if (down_) throw WorkerDown(shard_index_, "already marked down");
+  if (!SendFrame(&sock_, static_cast<uint8_t>(request), payload)) {
+    MarkDown();
+    throw WorkerDown(shard_index_, "send failed");
+  }
+}
+
+std::string RemoteShard::RecvReply(MsgKind expect) {
+  if (down_) throw WorkerDown(shard_index_, "already marked down");
+  uint8_t kind = 0;
+  std::string payload;
+  FrameResult r = RecvFrame(&sock_, &kind, &payload);
+  if (r != FrameResult::kOk) {
+    MarkDown();
+    throw WorkerDown(shard_index_, r == FrameResult::kClosed
+                                       ? "connection closed"
+                                       : "corrupt reply frame");
+  }
+  if (static_cast<MsgKind>(kind) == MsgKind::kError) {
+    // The worker is healthy; the engine over there rejected the request.
+    ErrorMsg err;
+    if (!ErrorMsg::Decode(payload, &err)) {
+      MarkDown();
+      throw WorkerDown(shard_index_, "undecodable error reply");
+    }
+    throw CheckError(err.text);
+  }
+  if (static_cast<MsgKind>(kind) != expect) {
+    MarkDown();
+    throw WorkerDown(shard_index_, "protocol confusion: unexpected reply kind " +
+                                       std::to_string(kind));
+  }
+  return payload;
+}
+
+std::string RemoteShard::Call(MsgKind request, const std::string& payload,
+                              MsgKind expect) {
+  SendRequest(request, payload);
+  return RecvReply(expect);
+}
+
+namespace {
+
+template <typename T>
+T DecodeReplyOrDown(uint32_t shard, const std::string& payload) {
+  T out;
+  if (!T::Decode(payload, &out)) {
+    throw WorkerDown(shard, "undecodable typed reply");
+  }
+  return out;
+}
+
+}  // namespace
+
+void RemoteShard::SyncVars(const SyncVarsMsg& msg) {
+  Call(MsgKind::kSyncVars, msg.Encode(), MsgKind::kOk);
+}
+
+void RemoteShard::UpdateVar(VarId var, double probability) {
+  UpdateVarMsg msg;
+  msg.var = var;
+  msg.probability = probability;
+  Call(MsgKind::kUpdateVar, msg.Encode(), MsgKind::kOk);
+}
+
+uint64_t RemoteShard::LoadPartition(const LoadPartitionMsg& msg) {
+  std::string reply = Call(MsgKind::kLoadPartition, msg.Encode(), MsgKind::kOk);
+  return DecodeReplyOrDown<OkMsg>(shard_index_, reply).value;
+}
+
+void RemoteShard::AppendRow(const AppendRowMsg& msg) {
+  Call(MsgKind::kAppendRow, msg.Encode(), MsgKind::kOk);
+}
+
+void RemoteShard::DeleteRow(const DeleteRowMsg& msg) {
+  Call(MsgKind::kDeleteRow, msg.Encode(), MsgKind::kOk);
+}
+
+ChainResultMsg RemoteShard::EvalChain(const EvalChainMsg& msg) {
+  std::string reply =
+      Call(MsgKind::kEvalChain, msg.Encode(), MsgKind::kChainResult);
+  return DecodeReplyOrDown<ChainResultMsg>(shard_index_, reply);
+}
+
+ProbsResultMsg RemoteShard::TableProbs(const TableProbsMsg& msg) {
+  std::string reply =
+      Call(MsgKind::kTableProbs, msg.Encode(), MsgKind::kProbsResult);
+  return DecodeReplyOrDown<ProbsResultMsg>(shard_index_, reply);
+}
+
+uint64_t RemoteShard::RegisterChainView(const RegisterChainViewMsg& msg) {
+  std::string reply =
+      Call(MsgKind::kRegisterChainView, msg.Encode(), MsgKind::kOk);
+  return DecodeReplyOrDown<OkMsg>(shard_index_, reply).value;
+}
+
+void RemoteShard::DropChainView(const std::string& name) {
+  NameMsg msg;
+  msg.name = name;
+  Call(MsgKind::kDropChainView, msg.Encode(), MsgKind::kOk);
+}
+
+ChainResultMsg RemoteShard::ViewProbs(const std::string& name) {
+  NameMsg msg;
+  msg.name = name;
+  std::string reply =
+      Call(MsgKind::kViewProbs, msg.Encode(), MsgKind::kChainResult);
+  return DecodeReplyOrDown<ChainResultMsg>(shard_index_, reply);
+}
+
+ViewInfoMsg RemoteShard::ViewInfo(const std::string& name) {
+  NameMsg msg;
+  msg.name = name;
+  std::string reply =
+      Call(MsgKind::kViewInfo, msg.Encode(), MsgKind::kViewInfoResult);
+  return DecodeReplyOrDown<ViewInfoMsg>(shard_index_, reply);
+}
+
+bool RemoteShard::Ping() {
+  if (down_) return false;
+  try {
+    Call(MsgKind::kPing, std::string(), MsgKind::kPong);
+    return true;
+  } catch (const WorkerDown&) {
+    return false;
+  }
+}
+
+void RemoteShard::Shutdown() {
+  if (down_) return;
+  try {
+    Call(MsgKind::kShutdown, std::string(), MsgKind::kOk);
+  } catch (const WorkerDown&) {
+  } catch (const CheckError&) {
+  }
+  MarkDown();
+}
+
+}  // namespace pvcdb

@@ -9,12 +9,12 @@
 
 namespace pvcdb {
 
+const char kShardRowIdColumn[] = "__pvcdb_rowid";
+
 namespace {
 
-/// Hidden provenance column carried through distributed step I plans so the
-/// gather can merge per-shard results back into global row order. Queries
-/// mentioning this name fall back to the coordinator.
-constexpr const char* kRowIdColumn = "__pvcdb_rowid";
+/// File-local alias; see the declaration in shard.h.
+constexpr const char* kRowIdColumn = kShardRowIdColumn;
 
 /// Detaches the coordinator's WAL writer for the guarded scope. Used where
 /// the sharded facade logs a richer record itself (table loads carry the

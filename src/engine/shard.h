@@ -53,6 +53,13 @@
 
 namespace pvcdb {
 
+/// Hidden provenance column carried through distributed step I plans so the
+/// gather can merge per-shard results back into global row order. Queries
+/// mentioning this name fall back to the coordinator. Shared with the
+/// out-of-process worker (src/engine/shard_worker.h), which must augment
+/// its partitions with the identical column name.
+extern const char kShardRowIdColumn[];
+
 /// Routing policy: which shard owns a row, given its key cell. Routes must
 /// be pure functions of (key, num_shards) -- placement is recomputed on
 /// reload and must agree across processes.

@@ -1,0 +1,137 @@
+// The shard worker: the out-of-process counterpart of one inner Database
+// shard of ShardedDatabase (src/engine/shard.h), serving the wire protocol
+// of src/net/protocol.h over one coordinator connection.
+//
+// A worker holds exactly the state an in-process shard holds -- a Database
+// with its partition tables (rows annotated by re-interned shared
+// variables), a replica of the shared VariableTable (replayed in Add order
+// through kSyncVars, so ids line up by construction), the
+// provenance-extended partitions of tables serving distributed plans, and
+// per-shard chain views with their step II caches. Every computation runs
+// the identical code paths the in-process shard runs:
+//
+//  - kEvalChain mirrors ShardedDatabase::EvalDistributed's scatter half: a
+//    QueryEvaluator over the partition extended with the hidden
+//    kShardRowIdColumn, surviving rows reported with their global driving
+//    row, annotation variable, and a probability from
+//    IsolatedAnnotationDistribution -- the single per-row step II pipeline
+//    both facades share, which clones into a task-private pool and is
+//    therefore independent of this worker's pool history. That is the
+//    whole bit-identity argument: the coordinator's merge of these rows
+//    equals the in-process scatter-gather bit for bit.
+//  - kAppendRow / kDeleteRow mirror RouteAppendedRow / DeleteRowAt
+//    (including the broadcast global-row shift on deletes), and chain
+//    views absorb deltas through the same EvalChainOnSingleRow pipeline as
+//    ShardedDatabase::ApplyShardedViewInsert.
+//  - kViewProbs serves cached per-row view probabilities from a
+//    StepTwoCache exactly like ShardedDatabase::ViewProbabilities' per-
+//    shard passes, with kUpdateVar driving the same refresh-or-drop rule.
+//
+// A worker never crashes its connection on bad input: malformed payloads
+// and failed engine invariants (CheckError) become kError replies.
+
+#ifndef PVCDB_ENGINE_SHARD_WORKER_H_
+#define PVCDB_ENGINE_SHARD_WORKER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
+
+namespace pvcdb {
+
+/// One shard's serving state and request handlers. Construct from the
+/// coordinator's kHello, then either drive Serve() on a connected socket
+/// or feed Handle() directly (the unit-test hook).
+class ShardWorker {
+ public:
+  explicit ShardWorker(const HelloMsg& hello);
+
+  /// Outcome of a Serve() loop.
+  enum class ServeStatus : uint8_t {
+    kShutdown,      ///< Coordinator sent kShutdown; reply was sent.
+    kDisconnected,  ///< Peer closed the connection.
+    kProtocolError, ///< Corrupt frame or transport error; connection dead.
+  };
+
+  /// Request/reply loop: one frame in, one frame out, until shutdown or
+  /// disconnect.
+  ServeStatus Serve(Socket* sock);
+
+  /// Handles one decoded frame, producing the reply frame. Never throws:
+  /// engine failures become kError replies. Returns false only for
+  /// kShutdown (reply still valid; the caller stops serving).
+  bool Handle(MsgKind kind, const std::string& payload, MsgKind* reply_kind,
+              std::string* reply_payload);
+
+  /// Accepts coordinator connections on `address` and serves each with a
+  /// fresh ShardWorker until a kShutdown arrives (standalone worker
+  /// process mode, `pvcdb_server --worker`). A reconnect therefore hands
+  /// the new coordinator a blank worker to resync -- the same contract as
+  /// a respawned forked worker. Returns 0, or 1 on a listen failure.
+  static int RunStandalone(const std::string& address, bool quiet);
+
+ private:
+  struct TableState {
+    std::vector<int64_t> global;  ///< Global row id per local row.
+    bool augmented_valid = false;
+    PvcTable augmented{Schema{}};  ///< Partition + provenance column.
+  };
+
+  /// Worker half of ShardedDatabase::ShardedView: this shard's partition
+  /// of a chain view's result.
+  struct WorkerView {
+    std::string name;
+    std::string driving;
+    QueryPtr query;
+    Schema schema;  ///< Output schema (provenance column stripped).
+    PvcTable part{Schema{}};
+    std::vector<int64_t> global;
+    StepTwoCache cache;
+  };
+
+  void HandleSyncVars(const SyncVarsMsg& msg);
+  void HandleUpdateVar(const UpdateVarMsg& msg);
+  uint64_t HandleLoadPartition(const LoadPartitionMsg& msg);
+  void HandleAppendRow(const AppendRowMsg& msg);
+  void HandleDeleteRow(const DeleteRowMsg& msg);
+  ChainResultMsg HandleEvalChain(const EvalChainMsg& msg);
+  ProbsResultMsg HandleTableProbs(const TableProbsMsg& msg);
+  uint64_t HandleRegisterChainView(RegisterChainViewMsg msg);
+  ChainResultMsg HandleViewProbs(const std::string& name);
+  ViewInfoMsg HandleViewInfo(const std::string& name);
+
+  /// The partition extended with kShardRowIdColumn (built lazily, kept
+  /// across queries, extended in place on appends, invalidated on deletes
+  /// and reloads -- mirroring ShardedDatabase::AugmentedPartitionsOf).
+  const PvcTable& AugmentedPartition(const std::string& table);
+
+  /// Evaluates the chain over the augmented partition and strips the
+  /// provenance column: the scatter half of EvalDistributed for this one
+  /// shard. Fills `schema`, `part`, `global`.
+  void EvalChainParts(const Query& q, const std::string& table,
+                      Schema* schema, PvcTable* part,
+                      std::vector<int64_t>* global);
+
+  WorkerView* FindView(const std::string& name);
+  void SeedView(WorkerView* view);
+  void ApplyViewInsert(WorkerView* view, int64_t global_row,
+                       const std::vector<Cell>& cells, ExprId annotation);
+  void ApplyViewDelete(WorkerView* view, int64_t global_row);
+
+  TableState& StateOf(const std::string& table);
+
+  Database db_;
+  uint32_t shard_index_ = 0;
+  uint32_t num_shards_ = 1;
+  std::map<std::string, TableState> tables_;
+  std::vector<std::unique_ptr<WorkerView>> views_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_ENGINE_SHARD_WORKER_H_

@@ -14,62 +14,8 @@ constexpr char kWalMagic[] = "PVCWAL01";
 constexpr size_t kMagicSize = 8;
 constexpr size_t kRecordHeaderSize = 8;  // u32 payload_len + u32 crc.
 
-void EncodeDistribution(std::string* out, const Distribution& d) {
-  EncodeU32(out, static_cast<uint32_t>(d.entries().size()));
-  for (const auto& [value, p] : d.entries()) {
-    EncodeI64(out, value);
-    EncodeDouble(out, p);
-  }
-}
-
-Distribution DecodeDistribution(ByteReader* reader) {
-  uint32_t n = reader->ReadU32();
-  if (n > reader->remaining()) {
-    reader->Fail();
-    return Distribution();
-  }
-  std::vector<Distribution::Entry> entries;
-  entries.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    int64_t value = reader->ReadI64();
-    double p = reader->ReadDouble();
-    entries.emplace_back(value, p);
-  }
-  // entries() is canonical (sorted, zero-mass dropped), so FromPairs is the
-  // identity on a round-trip and the decoded marginal is bit-identical.
-  return Distribution::FromPairs(std::move(entries));
-}
-
-void EncodeSchema(std::string* out, const Schema& schema) {
-  EncodeU32(out, static_cast<uint32_t>(schema.NumColumns()));
-  for (const Column& column : schema.columns()) {
-    EncodeString(out, column.name);
-    EncodeU8(out, static_cast<uint8_t>(column.type));
-  }
-}
-
-Schema DecodeSchema(ByteReader* reader) {
-  uint32_t n = reader->ReadU32();
-  if (n > reader->remaining()) {
-    reader->Fail();
-    return Schema();
-  }
-  std::vector<Column> columns;
-  columns.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    Column column;
-    column.name = reader->ReadString();
-    uint8_t type = reader->ReadU8();
-    if (type > static_cast<uint8_t>(CellType::kAggExpr)) {
-      reader->Fail();
-      return Schema();
-    }
-    column.type = static_cast<CellType>(type);
-    columns.push_back(std::move(column));
-  }
-  if (!reader->ok()) return Schema();
-  return Schema(std::move(columns));
-}
+// Schema/distribution codecs live in src/query/serialize.h, shared with
+// the serving wire protocol (src/net/protocol.h).
 
 void EncodeOp(std::string* out, const WalOp& op) {
   EncodeU8(out, static_cast<uint8_t>(op.type));

@@ -1,0 +1,87 @@
+#include "src/net/frame.h"
+
+#include <cstring>
+
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
+
+namespace pvcdb {
+namespace {
+
+// Little-endian u32 at a raw pointer (the fixed header lives outside the
+// checksummed region, so it is read directly rather than via ByteReader).
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeFrame(std::string* out, uint8_t kind, const std::string& payload) {
+  const uint32_t length = static_cast<uint32_t>(payload.size()) + 1;
+  uint32_t crc = Crc32cExtend(0, &kind, 1);
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  EncodeU32(out, length);
+  EncodeU32(out, crc);
+  EncodeU8(out, kind);
+  out->append(payload);
+}
+
+bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload) {
+  std::string wire;
+  wire.reserve(9 + payload.size());
+  EncodeFrame(&wire, kind, payload);
+  return sock->SendAll(wire.data(), wire.size());
+}
+
+FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload) {
+  char header[8];
+  IoStatus st = sock->RecvAll(header, sizeof(header));
+  if (st == IoStatus::kClosed) return FrameResult::kClosed;
+  if (st == IoStatus::kError) return FrameResult::kIoError;
+  const uint32_t length = LoadU32(header);
+  const uint32_t crc = LoadU32(header + 4);
+  if (length == 0 || length > kMaxFrameLength) return FrameResult::kCorrupt;
+  std::string body(length, '\0');
+  st = sock->RecvAll(&body[0], body.size());
+  if (st == IoStatus::kClosed) return FrameResult::kCorrupt;  // torn frame
+  if (st == IoStatus::kError) return FrameResult::kIoError;
+  if (Crc32c(body) != crc) return FrameResult::kCorrupt;
+  *kind = static_cast<uint8_t>(body[0]);
+  payload->assign(body, 1, body.size() - 1);
+  return FrameResult::kOk;
+}
+
+FrameResult FrameParser::Next(uint8_t* kind, std::string* payload) {
+  if (corrupt_) return FrameResult::kCorrupt;
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t avail = buffer_.size() - consumed_;
+  if (avail < 8) return FrameResult::kNeedMore;
+  const char* base = buffer_.data() + consumed_;
+  const uint32_t length = LoadU32(base);
+  const uint32_t crc = LoadU32(base + 4);
+  if (length == 0 || length > kMaxFrameLength) {
+    corrupt_ = true;
+    return FrameResult::kCorrupt;
+  }
+  if (avail < 8 + static_cast<size_t>(length)) return FrameResult::kNeedMore;
+  const char* body = base + 8;
+  if (Crc32c(body, length) != crc) {
+    corrupt_ = true;
+    return FrameResult::kCorrupt;
+  }
+  *kind = static_cast<uint8_t>(body[0]);
+  payload->assign(body + 1, length - 1);
+  consumed_ += 8 + static_cast<size_t>(length);
+  return FrameResult::kOk;
+}
+
+}  // namespace pvcdb

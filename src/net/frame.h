@@ -1,0 +1,80 @@
+// Length-prefixed, CRC-checked message framing for the serving layer.
+//
+// Every message on a pvcdb connection — coordinator → worker RPCs, worker
+// replies, and client ↔ front-end commands — travels as one frame:
+//
+//     [u32 length][u32 crc32c][u8 kind][payload bytes]
+//
+// `length` counts the kind byte plus the payload (so an empty-payload frame
+// has length 1); `crc32c` covers exactly those `length` bytes. Both fixed
+// fields are little-endian (src/util/codec.h). The layout deliberately
+// matches the WAL record frame `[u32 len][u32 crc32c][payload]`
+// (src/engine/wal.h) with the message kind folded into the checksummed
+// region, so the same torn/corrupt-tail reasoning applies: a receiver
+// rejects any frame whose CRC mismatches or whose length exceeds
+// kMaxFramePayload, instead of trusting a corrupted length and reading
+// garbage (or allocating gigabytes).
+//
+// Two consumption styles share the format:
+//  - SendFrame/RecvFrame: blocking, exact-length I/O for request/response
+//    conversations (RemoteShard, the shell's client mode, shard workers).
+//  - FrameParser: an incremental reassembler fed from a non-blocking poll
+//    loop (src/serve/server.cc), which may receive frames split or
+//    coalesced arbitrarily by the transport.
+
+#ifndef PVCDB_NET_FRAME_H_
+#define PVCDB_NET_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/net/socket.h"
+
+namespace pvcdb {
+
+/// Upper bound on `length` (kind byte + payload). Generous for any real
+/// message (a million-row partition encodes well under this) while keeping
+/// a corrupted length field from triggering a huge allocation.
+constexpr uint32_t kMaxFrameLength = 64u << 20;  // 64 MiB
+
+enum class FrameResult : uint8_t {
+  kOk,       ///< A complete, CRC-valid frame.
+  kNeedMore, ///< (FrameParser only) more bytes required.
+  kClosed,   ///< Orderly peer close on a frame boundary.
+  kCorrupt,  ///< CRC mismatch, oversized length, or mid-frame EOF.
+  kIoError,  ///< errno-level socket failure.
+};
+
+/// Appends one encoded frame for (kind, payload) to `*out`.
+void EncodeFrame(std::string* out, uint8_t kind, const std::string& payload);
+
+/// Writes one frame; false on I/O error.
+bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload);
+
+/// Blocking read of one full frame. kClosed only when the peer closed
+/// cleanly between frames; an EOF inside a frame is kCorrupt (torn frame).
+FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload);
+
+/// Incremental frame reassembly for non-blocking receivers. Feed() raw
+/// bytes as they arrive, then drain complete frames with Next() until it
+/// returns kNeedMore. kCorrupt is sticky: the stream position is lost, so
+/// the connection must be dropped.
+class FrameParser {
+ public:
+  void Feed(const char* data, size_t n) { buffer_.append(data, n); }
+
+  /// kOk (frame extracted into *kind/*payload), kNeedMore, or kCorrupt.
+  FrameResult Next(uint8_t* kind, std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t pending_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< Prefix of buffer_ already handed out.
+  bool corrupt_ = false;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_NET_FRAME_H_

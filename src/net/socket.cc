@@ -1,0 +1,293 @@
+#include "src/net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace pvcdb {
+namespace {
+
+bool IsTcpAddress(const std::string& address) {
+  return address.find(':') != std::string::npos;
+}
+
+// Splits "host:port" at the last ':' (so a future "[::1]:80" keeps working
+// for the host part as written).
+bool SplitHostPort(const std::string& address, std::string* host,
+                   std::string* port) {
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= address.size()) return false;
+  *host = address.substr(0, colon);
+  *port = address.substr(colon + 1);
+  if (host->empty()) *host = "127.0.0.1";
+  return true;
+}
+
+bool FillUnixAddr(const std::string& path, sockaddr_un* addr,
+                  std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    *error = "unix socket path too long: " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size());
+  return true;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::Release() {
+  int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::SendAll(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t sent = ::send(fd_, p, n, 0);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+IoStatus Socket::RecvAll(void* data, size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    ssize_t got = ::recv(fd_, p, n, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return IoStatus::kError;
+    }
+    if (got == 0) return IoStatus::kClosed;
+    p += got;
+    n -= static_cast<size_t>(got);
+  }
+  return IoStatus::kOk;
+}
+
+ssize_t Socket::SendSome(const void* data, size_t n) {
+  while (true) {
+    ssize_t sent = ::send(fd_, data, n, 0);
+    if (sent >= 0) return sent;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
+    return -1;
+  }
+}
+
+ssize_t Socket::RecvSome(void* data, size_t n) {
+  while (true) {
+    ssize_t got = ::recv(fd_, data, n, 0);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
+    return -1;
+  }
+}
+
+bool Socket::SetNonBlocking(bool nonblocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  return ::fcntl(fd_, F_SETFL, flags) == 0;
+}
+
+Listener Listener::Listen(const std::string& address, std::string* error) {
+  Listener listener;
+  listener.address_ = address;
+  if (IsTcpAddress(address)) {
+    std::string host, port;
+    if (!SplitHostPort(address, &host, &port)) {
+      *error = "bad tcp address (want host:port): " + address;
+      return listener;
+    }
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags = AI_PASSIVE;
+    addrinfo* res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+      *error = std::string("getaddrinfo: ") + gai_strerror(rc);
+      return listener;
+    }
+    int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      ::freeaddrinfo(res);
+      return listener;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, res->ai_addr, res->ai_addrlen) != 0) {
+      *error = std::string("bind ") + address + ": " + std::strerror(errno);
+      ::close(fd);
+      ::freeaddrinfo(res);
+      return listener;
+    }
+    ::freeaddrinfo(res);
+    if (::listen(fd, SOMAXCONN) != 0) {
+      *error = std::string("listen: ") + std::strerror(errno);
+      ::close(fd);
+      return listener;
+    }
+    listener.sock_ = Socket(fd);
+  } else {
+    sockaddr_un addr;
+    if (!FillUnixAddr(address, &addr, error)) return listener;
+    // A previous server that died without cleanup leaves the socket file
+    // behind; bind would fail with EADDRINUSE forever.
+    ::unlink(address.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return listener;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      *error = std::string("bind ") + address + ": " + std::strerror(errno);
+      ::close(fd);
+      return listener;
+    }
+    if (::listen(fd, SOMAXCONN) != 0) {
+      *error = std::string("listen: ") + std::strerror(errno);
+      ::close(fd);
+      return listener;
+    }
+    listener.sock_ = Socket(fd);
+    listener.unix_path_ = address;
+  }
+  return listener;
+}
+
+Socket Listener::Accept() {
+  while (true) {
+    int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd >= 0) return Socket(fd);
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+void Listener::UnlinkSocketFile() {
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Socket ConnectAddress(const std::string& address, std::string* error) {
+  if (IsTcpAddress(address)) {
+    std::string host, port;
+    if (!SplitHostPort(address, &host, &port)) {
+      *error = "bad tcp address (want host:port): " + address;
+      return Socket();
+    }
+    addrinfo hints;
+    std::memset(&hints, 0, sizeof(hints));
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &res);
+    if (rc != 0) {
+      *error = std::string("getaddrinfo: ") + gai_strerror(rc);
+      return Socket();
+    }
+    int fd = -1;
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) continue;
+      int crc;
+      do {
+        crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+      } while (crc != 0 && errno == EINTR);
+      if (crc == 0) break;
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) {
+      *error = std::string("connect ") + address + ": " + std::strerror(errno);
+      return Socket();
+    }
+    // Request/response frames are small; Nagle only adds latency here.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+  }
+  sockaddr_un addr;
+  if (!FillUnixAddr(address, &addr, error)) return Socket();
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return Socket();
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    *error = std::string("connect ") + address + ": " + std::strerror(errno);
+    ::close(fd);
+    return Socket();
+  }
+  return Socket(fd);
+}
+
+Socket ConnectWithRetry(const std::string& address, int attempts,
+                        std::string* error) {
+  for (int i = 0; i < attempts; ++i) {
+    Socket sock = ConnectAddress(address, error);
+    if (sock.valid()) return sock;
+    ::usleep(20 * 1000);
+  }
+  return Socket();
+}
+
+bool MakeSocketPair(Socket* parent_end, Socket* child_end) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+  *parent_end = Socket(fds[0]);
+  *child_end = Socket(fds[1]);
+  return true;
+}
+
+void IgnoreSigPipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+}  // namespace pvcdb

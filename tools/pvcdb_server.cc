@@ -1,0 +1,133 @@
+// pvcdb_server -- the out-of-process serving entry point.
+//
+// Three roles, selected by flags:
+//
+//   Front-end server (default):
+//     pvcdb_server --listen /tmp/pvcdb.sock --shards 4
+//   forks one shard worker process per shard (socketpair transport),
+//   listens for shell clients, and serves commands until one sends
+//   `shutdown`. Connect with `pvcdb_shell --connect /tmp/pvcdb.sock`.
+//
+//   Front-end over standalone workers:
+//     pvcdb_server --listen host:6000 --shards 2 \
+//                  --workers hostA:7000,hostB:7000
+//   dials one pre-started worker endpoint per shard instead of forking.
+//
+//   Standalone shard worker:
+//     pvcdb_server --worker hostA:7000
+//   serves coordinator connections on the given address (each connection
+//   gets a fresh worker state to resync) until a kShutdown arrives.
+//
+// Addresses follow the convention of src/net/socket.h: "host:port" is TCP,
+// anything else is a Unix-domain socket path. docs/SERVING.md is the
+// operational runbook.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/engine/shard_worker.h"
+#include "src/serve/server.h"
+
+namespace {
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage: pvcdb_server --listen <addr> [--shards <n>] [--in-process]\n"
+      "                    [--workers <addr,addr,...>] [--quiet]\n"
+      "       pvcdb_server --worker <addr> [--quiet]\n"
+      "\n"
+      "  --listen <addr>   front-end address (host:port for TCP, otherwise\n"
+      "                    a Unix socket path)\n"
+      "  --shards <n>      number of shards (default 1)\n"
+      "  --workers <list>  comma-separated standalone worker addresses, one\n"
+      "                    per shard (default: fork one worker per shard)\n"
+      "  --in-process      serve an in-process ShardedDatabase instead of\n"
+      "                    worker processes (bit-identity reference mode)\n"
+      "  --worker <addr>   run as a standalone shard worker on <addr>\n"
+      "  --quiet           suppress startup banners\n");
+}
+
+std::vector<std::string> SplitCommas(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) {
+      out.push_back(list.substr(start));
+      break;
+    }
+    out.push_back(list.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pvcdb::ServerConfig config;
+  std::string worker_address;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pvcdb_server: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--listen") {
+      const char* v = next("--listen");
+      if (v == nullptr) return 2;
+      config.listen_address = v;
+    } else if (arg == "--shards") {
+      const char* v = next("--shards");
+      if (v == nullptr) return 2;
+      int n = std::atoi(v);
+      if (n < 1) {
+        std::fprintf(stderr, "pvcdb_server: --shards needs n >= 1\n");
+        return 2;
+      }
+      config.num_shards = static_cast<size_t>(n);
+    } else if (arg == "--workers") {
+      const char* v = next("--workers");
+      if (v == nullptr) return 2;
+      config.worker_addresses = SplitCommas(v);
+    } else if (arg == "--worker") {
+      const char* v = next("--worker");
+      if (v == nullptr) return 2;
+      worker_address = v;
+    } else if (arg == "--in-process") {
+      config.in_process = true;
+    } else if (arg == "--quiet") {
+      config.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "pvcdb_server: unknown flag '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  if (!worker_address.empty()) {
+    return pvcdb::ShardWorker::RunStandalone(worker_address, config.quiet);
+  }
+  if (config.listen_address.empty()) {
+    PrintUsage();
+    return 2;
+  }
+  if (!config.worker_addresses.empty() &&
+      config.worker_addresses.size() != config.num_shards) {
+    std::fprintf(stderr,
+                 "pvcdb_server: --workers lists %zu addresses for %zu "
+                 "shards\n",
+                 config.worker_addresses.size(), config.num_shards);
+    return 2;
+  }
+  return pvcdb::RunServer(config);
+}

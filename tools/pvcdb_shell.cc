@@ -34,6 +34,12 @@
 //   help                      this text
 //   quit                      exit
 //
+// Client mode: `pvcdb_shell --connect <addr>` attaches to a running
+// pvcdb_server (tools/pvcdb_server.cc) instead of hosting an engine. Each
+// line travels as one kClientCommand frame; the server's rendered reply is
+// printed verbatim, so transcripts match the local shell line for line
+// (modulo server-only commands -- see docs/SERVING.md).
+//
 // Example session:
 //   load items data/items.csv
 //   view pricey SELECT * FROM items WHERE price >= 1000
@@ -58,6 +64,9 @@
 #include "src/engine/database.h"
 #include "src/engine/shard.h"
 #include "src/engine/snapshot.h"
+#include "src/net/frame.h"
+#include "src/net/protocol.h"
+#include "src/net/socket.h"
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
 #include "src/util/check.h"
@@ -613,9 +622,69 @@ void PrintDurabilityLog(Session* session) {
             << "\n";
 }
 
+// Client mode: one request/reply conversation per input line against a
+// running pvcdb_server. quit/exit terminate locally (like the local shell);
+// shutdown is forwarded, its reply printed, and the session ends.
+int RunClient(const std::string& address) {
+  IgnoreSigPipe();
+  std::string error;
+  Socket sock = ConnectWithRetry(address, 100, &error);
+  if (!sock.valid()) {
+    std::cout << "error: " << error << "\n";
+    return 1;
+  }
+  const bool interactive = isatty(fileno(stdin)) != 0;
+  if (interactive) {
+    std::cout << "pvcdb shell -- connected to " << address
+              << " ('help' for commands)\n";
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "pvcdb> " << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream stream(line);
+    std::string command;
+    stream >> command;
+    if (command.empty()) continue;
+    if (command == "quit" || command == "exit") break;
+    if (!SendFrame(&sock, static_cast<uint8_t>(MsgKind::kClientCommand),
+                   line)) {
+      std::cout << "error: connection to " << address << " lost\n";
+      return 1;
+    }
+    uint8_t kind = 0;
+    std::string payload;
+    if (RecvFrame(&sock, &kind, &payload) != FrameResult::kOk ||
+        static_cast<MsgKind>(kind) != MsgKind::kClientReply) {
+      std::cout << "error: connection to " << address << " lost\n";
+      return 1;
+    }
+    ClientReplyMsg reply;
+    if (!ClientReplyMsg::Decode(payload, &reply)) {
+      std::cout << "error: malformed reply from server\n";
+      return 1;
+    }
+    std::cout << reply.text << std::flush;
+    if (command == "shutdown") break;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string connect_address;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect_address = argv[++i];
+    } else {
+      std::cout << "usage: pvcdb_shell [--connect <addr>]\n";
+      return 2;
+    }
+  }
+  if (!connect_address.empty()) return RunClient(connect_address);
+
   Session session;
   const bool interactive = isatty(fileno(stdin)) != 0;
   if (interactive) {
