@@ -11,6 +11,19 @@
 // divergence across clients or modes fails the run (exit 1), so the smoke
 // doubles as a serving bit-identity check.
 //
+// Two durability sweeps ride along:
+//
+//  - Mutation throughput/latency per fsync discipline: concurrent clients
+//    stream inserts through a worker-process server running volatile,
+//    fsync-per-mutation (--open), and group-commit (--open
+//    --group-commit). The spread between the last two is what batching
+//    the window's fsyncs buys.
+//  - Resync cost, tail vs full: a durable coordinator over standalone
+//    worker processes is restarted; surviving workers take the
+//    WAL-shipping tail path (zero shipped entries), blank replacements
+//    the full rebuild. Shipped entries/bytes and wall time per worker are
+//    the series the resync-bytes trajectory gate tracks.
+//
 //   bench_serve [--smoke|--full] [--json]
 
 #include <signal.h>
@@ -22,12 +35,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/engine/coordinator.h"
+#include "src/engine/shard_worker.h"
+#include "src/engine/snapshot.h"
 #include "src/net/frame.h"
 #include "src/net/protocol.h"
 #include "src/net/socket.h"
@@ -78,8 +95,8 @@ class Client {
   Socket sock_;
 };
 
-pid_t StartServer(const std::string& address, size_t shards,
-                  bool in_process) {
+pid_t StartServer(const std::string& address, size_t shards, bool in_process,
+                  const std::string& open_dir = "", int group_commit_ms = -1) {
   pid_t pid = fork();
   if (pid == 0) {
     ServerConfig config;
@@ -87,6 +104,8 @@ pid_t StartServer(const std::string& address, size_t shards,
     config.num_shards = shards;
     config.in_process = in_process;
     config.quiet = true;
+    config.open_dir = open_dir;
+    config.group_commit_ms = group_commit_ms;
     _exit(RunServer(config));
   }
   return pid;
@@ -187,6 +206,294 @@ GridResult RunGridPoint(const std::string& dir, const std::string& csv,
   return result;
 }
 
+// One fsync discipline of the mutation sweep.
+struct DurabilityMode {
+  const char* name;
+  bool durable;
+  int group_commit_ms;
+};
+
+// Streams inserts from `num_clients` concurrent clients through a
+// worker-process server under one fsync discipline. `tables_after`
+// collects the final `tables` reply: the logical end state must not
+// depend on the discipline.
+GridResult RunMutationPoint(const std::string& dir, const std::string& csv,
+                            size_t shards, size_t num_clients,
+                            int mutations_per_client,
+                            const DurabilityMode& mode,
+                            std::string* tables_after) {
+  GridResult result;
+  const std::string address = dir + "/bench_mut.sock";
+  ::unlink(address.c_str());
+  std::string store;
+  if (mode.durable) {
+    store = dir + "/store_" + mode.name;
+    std::string rm = "rm -rf '" + store + "'";
+    if (std::system(rm.c_str()) != 0) return result;
+  }
+  pid_t server =
+      StartServer(address, shards, /*in_process=*/false, store,
+                  mode.group_commit_ms);
+  if (server <= 0) return result;
+
+  Client setup;
+  std::string text;
+  if (!setup.Connect(address) || !setup.Send("load bench " + csv, &text)) {
+    kill(server, SIGKILL);
+    waitpid(server, nullptr, 0);
+    return result;
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<int> failures{0};
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < num_clients; ++c) {
+    threads.emplace_back([&, c]() {
+      Client client;
+      if (!client.Connect(address)) {
+        ++failures;
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(static_cast<size_t>(mutations_per_client));
+      std::string reply;
+      // Distinct key ranges per client: every insert routes and applies
+      // independently of the interleaving.
+      const int base = 1000000 + static_cast<int>(c) * mutations_per_client;
+      for (int r = 0; r < mutations_per_client; ++r) {
+        const int key = base + r;
+        std::string line = "insert bench " + std::to_string(key) + " " +
+                           std::to_string((key * 37) % 1000) + " 0.5";
+        WallTimer timer;
+        if (!client.Send(line, &reply)) {
+          ++failures;
+          return;
+        }
+        local.push_back(timer.ElapsedSeconds());
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  bool state_ok = setup.Send("tables", tables_after);
+  setup.Send("shutdown", &text);
+  int status = -1;
+  waitpid(server, &status, 0);
+  if (failures.load() != 0 || !state_ok || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return result;
+  }
+
+  std::sort(latencies.begin(), latencies.end());
+  result.qps = elapsed > 0.0 ? latencies.size() / elapsed : 0.0;
+  result.p50_ms = Percentile(&latencies, 0.50) * 1000.0;
+  result.p99_ms = Percentile(&latencies, 0.99) * 1000.0;
+  RunStats stats = Summarize(latencies);
+  result.mean_seconds = stats.mean_seconds;
+  result.stddev_seconds = stats.stddev_seconds;
+  result.ok = true;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Resync cost: WAL-shipping tail vs full rebuild.
+// ---------------------------------------------------------------------------
+
+struct ResyncPoint {
+  double seconds = 0.0;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  bool ok = false;
+};
+
+pid_t StartStandaloneWorker(const std::string& address) {
+  pid_t pid = fork();
+  if (pid == 0) {
+    _exit(ShardWorker::RunStandalone(address, /*quiet=*/true));
+  }
+  return pid;
+}
+
+std::vector<RemoteShard> DialWorkers(const std::vector<std::string>& addrs) {
+  std::vector<RemoteShard> workers;
+  for (size_t s = 0; s < addrs.size(); ++s) {
+    std::string error;
+    Socket sock = ConnectWithRetry(addrs[s], 250, &error);
+    if (!sock.valid()) {
+      std::fprintf(stderr, "bench_serve: dial %s: %s\n", addrs[s].c_str(),
+                   error.c_str());
+    }
+    workers.emplace_back(static_cast<uint32_t>(s), std::move(sock), 0);
+  }
+  return workers;
+}
+
+Coordinator::WorkerSpawner RedialSpawner(std::vector<std::string> addrs) {
+  return [addrs](uint32_t shard, RemoteShard* out,
+                 std::string* error) -> bool {
+    Socket sock = ConnectWithRetry(addrs[shard], 250, error);
+    if (!sock.valid()) return false;
+    *out = RemoteShard(shard, std::move(sock), 0);
+    return true;
+  };
+}
+
+// Sums the entries/bytes out of ReconcileWorkers' report lines; false when
+// any worker failed or took the unexpected path.
+bool SumResync(const std::vector<std::string>& lines, bool expect_full,
+               ResyncPoint* point) {
+  for (const std::string& line : lines) {
+    const bool full = line.find("full resync") != std::string::npos;
+    const bool tail = line.find("tail resync") != std::string::npos;
+    if ((expect_full && !full) || (!expect_full && !tail)) {
+      std::fprintf(stderr, "bench_serve: unexpected resync path: %s\n",
+                   line.c_str());
+      return false;
+    }
+    unsigned long long entries = 0;
+    unsigned long long bytes = 0;
+    size_t comma = line.find(", ");
+    if (comma == std::string::npos ||
+        std::sscanf(line.c_str() + comma, ", %llu entries, %llu bytes",
+                    &entries, &bytes) != 2) {
+      std::fprintf(stderr, "bench_serve: unparseable resync line: %s\n",
+                   line.c_str());
+      return false;
+    }
+    point->entries += entries;
+    point->bytes += bytes;
+  }
+  return true;
+}
+
+// Builds a durable coordinator state of `rows` base rows + `mutations`
+// inserts over standalone workers, then measures both recovery paths:
+// reconnecting the SAME workers (tail: chain proof passes, nothing to
+// ship) and blank replacements (full rebuild).
+bool RunResyncPoints(const std::string& dir, size_t shards, size_t rows,
+                     int mutations, ResyncPoint* tail, ResyncPoint* full) {
+  std::vector<std::string> addrs;
+  std::vector<pid_t> pids;
+  for (size_t s = 0; s < shards; ++s) {
+    addrs.push_back(dir + "/resync_w" + std::to_string(s) + ".sock");
+    ::unlink(addrs.back().c_str());
+    pid_t pid = StartStandaloneWorker(addrs.back());
+    if (pid <= 0) return false;
+    pids.push_back(pid);
+  }
+
+  DurableConfig dcfg;
+  dcfg.dir = dir + "/resync_store";
+  std::string rm = "rm -rf '" + dcfg.dir + "'";
+  if (std::system(rm.c_str()) != 0) return false;
+
+  bool ok = false;
+  {
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(addrs), RedialSpawner(addrs));
+    std::string error;
+    std::unique_ptr<DurableSession> session =
+        DurableSession::CreateAttached(dcfg, coordinator.get(), &error);
+    if (session == nullptr) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+    } else {
+      Schema schema({{"k", CellType::kInt}, {"v", CellType::kInt}});
+      std::vector<std::vector<Cell>> cells;
+      std::vector<double> probs;
+      for (size_t i = 0; i < rows; ++i) {
+        cells.push_back({Cell(static_cast<int64_t>(i)),
+                         Cell(static_cast<int64_t>((i * 37) % 1000))});
+        probs.push_back(0.3 + 0.1 * (i % 6));
+      }
+      coordinator->AddTupleIndependentTable("bench", schema, cells, probs);
+      for (int m = 0; m < mutations; ++m) {
+        coordinator->InsertTuple(
+            "bench",
+            {Cell(static_cast<int64_t>(1000000 + m)),
+             Cell(static_cast<int64_t>((m * 37) % 1000))},
+            0.5);
+      }
+      ok = true;
+    }
+    session.reset();
+    coordinator.reset();  // Front-end gone; workers keep their state.
+  }
+  if (!ok) return false;
+
+  // Tail path: the same worker processes reconnect.
+  {
+    WallTimer timer;
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(addrs), RedialSpawner(addrs));
+    std::string error;
+    std::unique_ptr<DurableSession> session =
+        DurableSession::RecoverAttached(dcfg, coordinator.get(), &error);
+    if (session == nullptr) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+      return false;
+    }
+    std::vector<std::string> lines;
+    coordinator->ReconcileWorkers(&lines);
+    tail->seconds = timer.ElapsedSeconds();
+    if (!SumResync(lines, /*expect_full=*/false, tail)) return false;
+    tail->ok = true;
+    session.reset();
+    coordinator.reset();
+  }
+  for (pid_t pid : pids) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
+
+  // Full path: blank replacement workers.
+  std::vector<std::string> fresh_addrs;
+  std::vector<pid_t> fresh_pids;
+  for (size_t s = 0; s < shards; ++s) {
+    fresh_addrs.push_back(dir + "/resync_f" + std::to_string(s) + ".sock");
+    ::unlink(fresh_addrs.back().c_str());
+    pid_t pid = StartStandaloneWorker(fresh_addrs.back());
+    if (pid <= 0) return false;
+    fresh_pids.push_back(pid);
+  }
+  {
+    WallTimer timer;
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(fresh_addrs),
+        RedialSpawner(fresh_addrs));
+    std::string error;
+    std::unique_ptr<DurableSession> session =
+        DurableSession::RecoverAttached(dcfg, coordinator.get(), &error);
+    if (session == nullptr) {
+      std::fprintf(stderr, "bench_serve: %s\n", error.c_str());
+      return false;
+    }
+    std::vector<std::string> lines;
+    coordinator->ReconcileWorkers(&lines);
+    full->seconds = timer.ElapsedSeconds();
+    if (!SumResync(lines, /*expect_full=*/true, full)) return false;
+    full->ok = true;
+    coordinator->Shutdown();
+    session.reset();
+    coordinator.reset();
+  }
+  for (pid_t pid : fresh_pids) waitpid(pid, nullptr, 0);
+  // The tail path must actually be the cheap one.
+  if (tail->entries != 0 || full->entries == 0) {
+    std::fprintf(stderr,
+                 "bench_serve: resync paths inverted (tail %llu entries, "
+                 "full %llu entries)\n",
+                 static_cast<unsigned long long>(tail->entries),
+                 static_cast<unsigned long long>(full->entries));
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,8 +516,13 @@ int main(int argc, char** argv) {
   }
   const std::string csv = WriteDataset(dir, rows);
 
-  TablePrinter table(
-      {"mode", "shards", "clients", "requests", "qps", "p50_ms", "p99_ms"});
+  // Markdown tables only outside --json: their header rows would corrupt
+  // the JSON-lines trajectory file.
+  std::unique_ptr<TablePrinter> table;
+  if (!json) {
+    table = std::make_unique<TablePrinter>(std::vector<std::string>{
+        "mode", "shards", "clients", "requests", "qps", "p50_ms", "p99_ms"});
+  }
   // One reference reply across every grid point and both modes: the bench
   // is also a serving bit-identity check.
   std::string expected;
@@ -240,7 +552,7 @@ int main(int argc, char** argv) {
           stats.stddev_seconds = r.stddev_seconds;
           PrintJsonRecord("serve", params, stats);
         } else {
-          table.PrintRow({mode, std::to_string(shards),
+          table->PrintRow({mode, std::to_string(shards),
                           std::to_string(clients),
                           std::to_string(static_cast<size_t>(requests) *
                                          clients),
@@ -250,6 +562,104 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Mutation throughput/latency per fsync discipline. The logical end
+  // state (the `tables` reply) must not depend on the discipline.
+  const int mutations = smoke ? 25 : full ? 250 : 75;
+  const size_t mutation_clients = 4;
+  const size_t mutation_shards = 2;
+  const std::vector<DurabilityMode> modes = {
+      {"volatile", false, -1},
+      {"fsync", true, -1},
+      {"group-commit", true, 2},
+  };
+  std::unique_ptr<TablePrinter> mutation_table;
+  if (!json) {
+    mutation_table = std::make_unique<TablePrinter>(std::vector<std::string>{
+        "durability", "shards", "clients", "mutations", "qps", "p50_ms",
+        "p99_ms"});
+  }
+  std::string tables_reference;
+  for (const DurabilityMode& mode : modes) {
+    std::string tables_after;
+    GridResult r =
+        RunMutationPoint(dir, csv, mutation_shards, mutation_clients,
+                         mutations, mode, &tables_after);
+    if (!r.ok) {
+      failed = true;
+      continue;
+    }
+    if (tables_reference.empty()) {
+      tables_reference = tables_after;
+    } else if (tables_reference != tables_after) {
+      std::fprintf(stderr,
+                   "bench_serve: end state diverged under durability=%s\n",
+                   mode.name);
+      failed = true;
+      continue;
+    }
+    if (json) {
+      JsonParams params;
+      params.Set("durability", mode.name)
+          .Set("shards", static_cast<int64_t>(mutation_shards))
+          .Set("threads", 0)
+          .Set("clients", static_cast<int64_t>(mutation_clients))
+          .Set("mutations",
+               static_cast<int64_t>(mutation_clients) * mutations)
+          .Set("qps", r.qps)
+          .Set("p50_ms", r.p50_ms)
+          .Set("p99_ms", r.p99_ms);
+      RunStats stats;
+      stats.mean_seconds = r.mean_seconds;
+      stats.stddev_seconds = r.stddev_seconds;
+      PrintJsonRecord("serve_mutation", params, stats);
+    } else {
+      mutation_table->PrintRow(
+          {mode.name, std::to_string(mutation_shards),
+           std::to_string(mutation_clients),
+           std::to_string(mutation_clients * static_cast<size_t>(mutations)),
+           FormatDouble(r.qps, 1), FormatDouble(r.p50_ms, 3),
+           FormatDouble(r.p99_ms, 3)});
+    }
+  }
+
+  // Resync cost: WAL-shipping tail (surviving workers) vs full rebuild
+  // (blank replacements) after a coordinator restart on the same WAL.
+  ResyncPoint tail;
+  ResyncPoint fullsync;
+  if (RunResyncPoints(dir, mutation_shards, rows, mutations, &tail,
+                      &fullsync)) {
+    std::unique_ptr<TablePrinter> resync_table;
+    if (!json) {
+      resync_table = std::make_unique<TablePrinter>(std::vector<std::string>{
+          "path", "shards", "entries", "bytes", "seconds"});
+    }
+    struct {
+      const char* name;
+      const ResyncPoint* point;
+    } paths[] = {{"resync_tail", &tail}, {"resync_full", &fullsync}};
+    for (const auto& p : paths) {
+      if (json) {
+        JsonParams params;
+        params.Set("shards", static_cast<int64_t>(mutation_shards))
+            .Set("threads", 0)
+            .Set("rows", static_cast<int64_t>(rows))
+            .Set("mutations", static_cast<int64_t>(mutations))
+            .Set("resync_entries", static_cast<int64_t>(p.point->entries))
+            .Set("resync_bytes", static_cast<int64_t>(p.point->bytes));
+        RunStats stats;
+        stats.mean_seconds = p.point->seconds;
+        PrintJsonRecord(p.name, params, stats);
+      } else {
+        resync_table->PrintRow({p.name, std::to_string(mutation_shards),
+                               std::to_string(p.point->entries),
+                               std::to_string(p.point->bytes),
+                               FormatSeconds(p.point->seconds)});
+      }
+    }
+  } else {
+    failed = true;
+  }
+
   std::string cleanup = std::string("rm -rf '") + dir + "'";
   if (std::system(cleanup.c_str()) != 0) {
     // Best-effort cleanup.

@@ -28,6 +28,14 @@ probability cost per d-tree node of the selected record. Lower is
 better, so the check fails when the current value rises more than
 --threshold above the baseline (the inverse of the other metrics).
 
+--metric resync-bytes (`bench_serve --json`): compares the shipped
+resync payload bytes of the record selected by --series (default
+resync_full; resync_tail gates the WAL-shipping tail path, whose
+expected value is zero -- any growth there means surviving workers
+stopped passing the chain proof). Bytes are deterministic functions of
+the workload, not the machine, so no normalization or hardware skip
+applies. Lower is better, as for ns-per-node.
+
 Unless stated otherwise the check fails when the current value drops
 more than --threshold below the baseline's.
 
@@ -114,7 +122,8 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--baseline", required=True)
     parser.add_argument("--metric",
-                        choices=["throughput", "speedup", "ns-per-node"],
+                        choices=["throughput", "speedup", "ns-per-node",
+                                 "resync-bytes"],
                         default="throughput")
     parser.add_argument("--series", default="shard_query",
                         help="bench name of the record to gate on "
@@ -146,6 +155,17 @@ def main():
         baseline = field_value(baseline_records, args.series, args.shards,
                                args.threads, "ns_per_node")
         label = f"{args.series} ns per d-tree node"
+        lower_is_better = True
+    elif args.metric == "resync-bytes":
+        series = (args.series if args.series != "shard_query"
+                  else "resync_full")
+        current = field_value(load_records(args.current), series,
+                              args.shards, args.threads, "resync_bytes")
+        # Byte counts are workload-determined, not machine-determined: no
+        # 1-CPU baseline warning or skip applies.
+        baseline = field_value(load_records(args.baseline), series,
+                               args.shards, args.threads, "resync_bytes")
+        label = f"{series} shipped resync bytes"
         lower_is_better = True
     else:
         current_record = find_record(load_records(args.current), args.series,

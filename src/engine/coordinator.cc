@@ -3,9 +3,58 @@
 #include <algorithm>
 
 #include "src/engine/delta.h"
+#include "src/engine/shard_worker.h"
 #include "src/util/check.h"
 
 namespace pvcdb {
+namespace {
+
+/// Retained bytes per shard log. A worker whose position predates the
+/// trimmed base simply takes the full-resync path; correctness never
+/// depends on retention.
+constexpr uint64_t kMaxShardLogBytes = 64ull << 20;
+
+/// Target kShipWal batch size: tails stream in ~1 MiB request frames so a
+/// long tail neither builds one giant frame nor pays a round-trip per
+/// entry.
+constexpr uint64_t kShipBatchBytes = 1ull << 20;
+
+}  // namespace
+
+// -- ShardLog ---------------------------------------------------------------
+
+uint32_t Coordinator::ShardLog::chain_at(uint64_t lsn) const {
+  PVC_CHECK_MSG(lsn >= base_lsn && lsn <= end_lsn(),
+                "lsn " << lsn << " outside retained log ["
+                       << base_lsn << ", " << end_lsn() << "]");
+  if (lsn == base_lsn) return base_chain;
+  return entries[lsn - base_lsn - 1].chain;
+}
+
+void Coordinator::ShardLog::Append(MsgKind kind, std::string payload) {
+  uint32_t next = ShardWorker::NextChain(end_chain(), kind, payload);
+  bytes += payload.size();
+  entries.push_back(Entry{kind, std::move(payload), next});
+}
+
+void Coordinator::ShardLog::TrimTo(uint64_t max_bytes) {
+  while (bytes > max_bytes && !entries.empty()) {
+    Entry& front = entries.front();
+    bytes -= front.payload.size();
+    base_chain = front.chain;
+    ++base_lsn;
+    entries.pop_front();
+  }
+}
+
+void Coordinator::ShardLog::Clear() {
+  base_lsn = 0;
+  base_chain = 0;
+  entries.clear();
+  bytes = 0;
+}
+
+// -- Coordinator ------------------------------------------------------------
 
 Coordinator::Coordinator(SemiringKind semiring,
                          std::vector<RemoteShard> workers,
@@ -14,7 +63,7 @@ Coordinator::Coordinator(SemiringKind semiring,
       local_(semiring),
       workers_(std::move(workers)),
       spawner_(std::move(spawner)),
-      synced_vars_(workers_.size(), 0) {
+      logs_(workers_.size()) {
   PVC_CHECK_MSG(!workers_.empty(), "a coordinator needs >= 1 worker");
   for (size_t s = 0; s < workers_.size(); ++s) {
     HelloMsg hello;
@@ -45,20 +94,40 @@ void Coordinator::MarkDiverged(size_t s, const std::string& why) {
   workers_[s].MarkDown();
 }
 
-void Coordinator::SyncVarsTo(size_t s) {
+void Coordinator::FlushVars() {
   const VariableTable& variables = local_.variables();
-  if (synced_vars_[s] >= variables.size()) return;
+  if (logged_vars_ >= variables.size()) return;
   SyncVarsMsg msg;
-  msg.first_id = static_cast<VarId>(synced_vars_[s]);
-  msg.entries.reserve(variables.size() - synced_vars_[s]);
-  for (size_t v = synced_vars_[s]; v < variables.size(); ++v) {
+  msg.first_id = static_cast<VarId>(logged_vars_);
+  msg.entries.reserve(variables.size() - logged_vars_);
+  for (size_t v = logged_vars_; v < variables.size(); ++v) {
     VarSyncEntry entry;
     entry.name = variables.NameOf(static_cast<VarId>(v));
     entry.distribution = variables.DistributionOf(static_cast<VarId>(v));
     msg.entries.push_back(std::move(entry));
   }
-  workers_[s].SyncVars(msg);
-  synced_vars_[s] = variables.size();
+  logged_vars_ = variables.size();
+  std::string payload = msg.Encode();
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    LogAndShip(s, MsgKind::kSyncVars, payload);
+  }
+}
+
+bool Coordinator::LogAndShip(size_t s, MsgKind kind,
+                             const std::string& payload) {
+  ShardLog& log = logs_[s];
+  log.Append(kind, payload);
+  log.TrimTo(kMaxShardLogBytes);
+  if (replaying_ || workers_[s].down()) return false;
+  try {
+    workers_[s].Call(kind, payload, MsgKind::kOk);
+    return true;
+  } catch (const WorkerDown&) {
+    return false;
+  } catch (const CheckError& e) {
+    MarkDiverged(s, e.what());
+    return false;
+  }
 }
 
 template <typename Reply>
@@ -74,7 +143,6 @@ bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
       continue;
     }
     try {
-      SyncVarsTo(s);
       workers_[s].SendRequest(kind, payload);
       sent[s] = true;
     } catch (const WorkerDown&) {
@@ -106,25 +174,12 @@ bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
 
 // -- Catalog ----------------------------------------------------------------
 
-void Coordinator::AddTupleIndependentTable(
-    const std::string& name, Schema schema,
-    std::vector<std::vector<Cell>> rows, std::vector<double> probabilities) {
-  PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
-  const size_t key_index = 0;  // CSV loads route by the primary key.
-  VarId var_base = static_cast<VarId>(local_.variables().size());
-  size_t num_rows = rows.size();
-  std::vector<VarId> vars;
-  vars.reserve(num_rows);
-  for (size_t i = 0; i < num_rows; ++i) {
-    vars.push_back(var_base + static_cast<VarId>(i));
-  }
-  // The replica performs the exact load an unsharded Database would:
-  // Bernoulli variables in global row order, VarIds matching.
-  local_.AddTupleIndependentTable(name, std::move(schema), std::move(rows),
-                                  std::move(probabilities));
+void Coordinator::PartitionAndShip(const std::string& name, size_t key_index,
+                                   std::vector<VarId> vars) {
+  // The kSyncVars entry for the table's variables must precede its
+  // kLoadPartition entries in every shard log.
+  FlushVars();
 
-  // Partition the loaded logical table across the workers, mirroring
-  // ShardedDatabase::PartitionLoadedTable.
   const PvcTable& logical = local_.table(name);
   std::vector<LoadPartitionMsg> parts(workers_.size());
   std::string key_name = logical.schema().column(key_index).name;
@@ -149,16 +204,45 @@ void Coordinator::AddTupleIndependentTable(
   table_vars_[name] = std::move(vars);
 
   for (size_t s = 0; s < workers_.size(); ++s) {
-    if (workers_[s].down()) continue;  // Respawn resyncs in full.
-    try {
-      SyncVarsTo(s);
-      workers_[s].LoadPartition(parts[s]);
-      // The worker re-seeds its views of the replaced table itself.
-    } catch (const WorkerDown&) {
-    } catch (const CheckError& e) {
-      MarkDiverged(s, e.what());
-    }
+    // The worker re-seeds its views of a replaced table itself.
+    LogAndShip(s, MsgKind::kLoadPartition, parts[s].Encode());
   }
+}
+
+void Coordinator::AddTupleIndependentTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, std::vector<double> probabilities) {
+  PVC_CHECK_MSG(schema.NumColumns() > 0, "cannot shard a zero-column table");
+  const size_t key_index = 0;  // CSV loads route by the primary key.
+  VarId var_base = static_cast<VarId>(local_.variables().size());
+  size_t num_rows = rows.size();
+  std::vector<VarId> vars;
+  vars.reserve(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    vars.push_back(var_base + static_cast<VarId>(i));
+  }
+  // The replica performs the exact load an unsharded Database would:
+  // Bernoulli variables in global row order, VarIds matching.
+  local_.AddTupleIndependentTable(name, std::move(schema), std::move(rows),
+                                  std::move(probabilities));
+  PartitionAndShip(name, key_index, std::move(vars));
+}
+
+void Coordinator::AddVariableAnnotatedTable(
+    const std::string& name, Schema schema,
+    std::vector<std::vector<Cell>> rows, const std::vector<VarId>& vars,
+    const std::string& key_column) {
+  size_t key_index = 0;
+  if (!key_column.empty()) {
+    std::optional<size_t> found = schema.Find(key_column);
+    PVC_CHECK_MSG(found.has_value(),
+                  "table '" << name << "' has no key column '" << key_column
+                            << "'");
+    key_index = *found;
+  }
+  local_.AddVariableAnnotatedTable(name, std::move(schema), std::move(rows),
+                                   vars);
+  PartitionAndShip(name, key_index, vars);
 }
 
 std::vector<size_t> Coordinator::ShardRowCounts(
@@ -173,6 +257,29 @@ std::vector<size_t> Coordinator::ShardRowCounts(
 
 // -- Mutations --------------------------------------------------------------
 
+void Coordinator::ShipAppendedRow(const std::string& table, size_t key_index,
+                                  const std::vector<Cell>& cells, VarId var,
+                                  size_t global_row) {
+  FlushVars();
+  table_vars_[table].push_back(var);
+
+  size_t s = router_.Route(cells[key_index], workers_.size());
+  std::vector<std::pair<uint32_t, uint32_t>>& placement = placements_[table];
+  uint32_t shard_row = 0;
+  for (const auto& [ps, pr] : placement) {
+    (void)pr;
+    if (ps == s) ++shard_row;
+  }
+  placement.emplace_back(static_cast<uint32_t>(s), shard_row);
+
+  AppendRowMsg msg;
+  msg.table = table;
+  msg.cells = cells;
+  msg.var = var;
+  msg.global_row = global_row;
+  LogAndShip(s, MsgKind::kAppendRow, msg.Encode());
+}
+
 size_t Coordinator::InsertTuple(const std::string& table,
                                 std::vector<Cell> cells, double p) {
   auto key_it = key_columns_.find(table);
@@ -185,30 +292,7 @@ size_t Coordinator::InsertTuple(const std::string& table,
   // delta), then the owning worker gets the routed append.
   VarId x = static_cast<VarId>(local_.variables().size());
   size_t global_row = local_.InsertTuple(table, cells, p);
-  table_vars_[table].push_back(x);
-
-  size_t s = router_.Route(cells[key_it->second], workers_.size());
-  std::vector<std::pair<uint32_t, uint32_t>>& placement = placements_[table];
-  uint32_t shard_row = 0;
-  for (const auto& [ps, pr] : placement) {
-    if (ps == s) ++shard_row;
-  }
-  placement.emplace_back(static_cast<uint32_t>(s), shard_row);
-
-  if (!workers_[s].down()) {
-    AppendRowMsg msg;
-    msg.table = table;
-    msg.cells = std::move(cells);
-    msg.var = x;
-    msg.global_row = global_row;
-    try {
-      SyncVarsTo(s);
-      workers_[s].AppendRow(msg);
-    } catch (const WorkerDown&) {
-    } catch (const CheckError& e) {
-      MarkDiverged(s, e.what());
-    }
-  }
+  ShipAppendedRow(table, key_it->second, cells, x, global_row);
   return global_row;
 }
 
@@ -231,18 +315,12 @@ void Coordinator::DeleteRowAt(const std::string& table, size_t row_index) {
 
   // Broadcast: the owner drops its local row, everyone shifts global ids.
   for (size_t w = 0; w < workers_.size(); ++w) {
-    if (workers_[w].down()) continue;
     DeleteRowMsg msg;
     msg.table = table;
     msg.has_local_row = (w == s);
     msg.local_row = shard_row;
     msg.global_row = row_index;
-    try {
-      workers_[w].DeleteRow(msg);
-    } catch (const WorkerDown&) {
-    } catch (const CheckError& e) {
-      MarkDiverged(w, e.what());
-    }
+    LogAndShip(w, MsgKind::kDeleteRow, msg.Encode());
   }
 }
 
@@ -254,18 +332,65 @@ size_t Coordinator::DeleteTuple(const std::string& table, const Cell& key) {
 
 void Coordinator::UpdateProbability(VarId var, double p) {
   local_.UpdateProbability(var, p);
+  // The update entry must land after the kSyncVars entry that introduces
+  // the variable (a no-op unless a load is mid-flight).
+  FlushVars();
+  UpdateVarMsg msg;
+  msg.var = var;
+  msg.probability = p;
+  std::string payload = msg.Encode();
   for (size_t s = 0; s < workers_.size(); ++s) {
-    if (workers_[s].down()) continue;
-    // A worker that has not synced this variable yet receives the new
-    // distribution with its first sync -- nothing to replay.
-    if (synced_vars_[s] <= var) continue;
-    try {
-      workers_[s].UpdateVar(var, p);
-    } catch (const WorkerDown&) {
-    } catch (const CheckError& e) {
-      MarkDiverged(s, e.what());
-    }
+    LogAndShip(s, MsgKind::kUpdateVar, payload);
   }
+}
+
+// -- Recovery replay --------------------------------------------------------
+
+void Coordinator::ApplyRecoveredOp(const WalOp& op) {
+  switch (op.type) {
+    case WalOpType::kRegisterVariable: {
+      // Mirrors the Database-level ApplyWalOp: creation-order Add plus the
+      // pool interning an unsharded load performs.
+      VarId id = local_.variables().Add(op.distribution, op.name);
+      local_.pool().Var(id);
+      return;
+    }
+    case WalOpType::kCreateTable:
+      AddVariableAnnotatedTable(op.name, op.schema, op.rows, op.vars,
+                                op.key_column);
+      return;
+    case WalOpType::kInsertRow: {
+      PVC_CHECK_MSG(op.var < local_.variables().size(),
+                    "kInsertRow references unregistered variable x"
+                        << op.var);
+      auto key_it = key_columns_.find(op.name);
+      PVC_CHECK_MSG(key_it != key_columns_.end(),
+                    "kInsertRow for unknown sharded table '" << op.name
+                                                             << "'");
+      size_t global_row = local_.AppendRowToTable(
+          op.name, op.cells, local_.pool().Var(op.var));
+      ShipAppendedRow(op.name, key_it->second, op.cells, op.var, global_row);
+      return;
+    }
+    case WalOpType::kDeleteRow:
+      DeleteRowAt(op.name, op.row_index);
+      return;
+    case WalOpType::kUpdateProbability:
+      UpdateProbability(op.var, op.probability);
+      return;
+    case WalOpType::kRegisterView:
+      RegisterView(op.name, op.query, nullptr);
+      return;
+    case WalOpType::kDropView:
+      DropView(op.name);
+      return;
+    case WalOpType::kReshard:
+      // Server-mode topology is deployment configuration, not durable
+      // state: the recovered history replays against the current worker
+      // set (placements recompute; mismatched workers full-resync).
+      return;
+  }
+  PVC_FAIL("unknown WAL op type");
 }
 
 // -- Queries ----------------------------------------------------------------
@@ -371,26 +496,45 @@ size_t Coordinator::RegisterView(const std::string& name, QueryPtr query,
     // materialization is the local count in every case.
     size_t rows = local_.Run(*query).NumRows();
 
+    FlushVars();
     RegisterChainViewMsg msg;
     msg.name = name;
     msg.table = driving;
     msg.query = query;
     std::string payload = msg.Encode();
-    std::vector<OkMsg> replies;
-    if (!Scatter<OkMsg>(MsgKind::kRegisterChainView, payload, MsgKind::kOk,
-                        &replies) &&
-        warnings != nullptr) {
+    bool complete = true;
+    for (size_t s = 0; s < workers_.size(); ++s) {
+      if (!LogAndShip(s, MsgKind::kRegisterChainView, payload)) {
+        complete = false;
+      }
+    }
+    if (!complete && !replaying_ && warnings != nullptr) {
       warnings->push_back(
           DownWarning("view registered; down workers resync on respawn"));
     }
     if (RemoteView* existing = FindRemoteView(name)) {
       existing->driving = driving;
-      existing->query = std::move(query);
+      existing->query = query;
     } else {
-      remote_views_.push_back({name, driving, std::move(query)});
+      remote_views_.push_back({name, driving, query});
     }
-    // The name may previously have named a replica view.
-    if (local_.HasView(name)) local_.DropView(name);
+    // Remote chain views never materialize on the replica, so the replica
+    // cannot log them: one coordinator-level kRegisterView record covers
+    // the whole branch (its replay re-runs this function).
+    if (WalWriter* wal = local_.wal()) {
+      WalRecord record;
+      record.ops.push_back(WalOp::RegisterView(name, query));
+      LogWalRecord(wal, record);
+    }
+    // A replica view previously under this name retires WITHOUT its own
+    // kDropView record: the kRegisterView replay performs the drop again,
+    // and a paired record would fail replay (the view is already gone).
+    if (local_.HasView(name)) {
+      WalWriter* wal = local_.wal();
+      local_.set_wal(nullptr);
+      local_.DropView(name);
+      local_.set_wal(wal);
+    }
     return rows;
   }
 
@@ -402,9 +546,9 @@ size_t Coordinator::RegisterView(const std::string& name, QueryPtr query,
       NameMsg msg;
       msg.name = name;
       std::string payload = msg.Encode();
-      std::vector<OkMsg> replies;
-      Scatter<OkMsg>(MsgKind::kDropChainView, payload, MsgKind::kOk,
-                     &replies);
+      for (size_t s = 0; s < workers_.size(); ++s) {
+        LogAndShip(s, MsgKind::kDropChainView, payload);
+      }
       break;
     }
   }
@@ -416,6 +560,29 @@ bool Coordinator::HasView(const std::string& name) const {
     if (view.name == name) return true;
   }
   return local_.HasView(name);
+}
+
+void Coordinator::DropView(const std::string& name) {
+  for (auto it = remote_views_.begin(); it != remote_views_.end(); ++it) {
+    if (it->name == name) {
+      remote_views_.erase(it);
+      NameMsg msg;
+      msg.name = name;
+      std::string payload = msg.Encode();
+      for (size_t s = 0; s < workers_.size(); ++s) {
+        LogAndShip(s, MsgKind::kDropChainView, payload);
+      }
+      // Remote views live only in coordinator-level records, so their drop
+      // must log at this level too.
+      if (WalWriter* wal = local_.wal()) {
+        WalRecord record;
+        record.ops.push_back(WalOp::DropView(name));
+        LogWalRecord(wal, record);
+      }
+      return;
+    }
+  }
+  local_.DropView(name);  // Logs its own kDropView when a WAL is attached.
 }
 
 QueryRun Coordinator::PrintView(const std::string& name) {
@@ -481,6 +648,47 @@ std::vector<ShardedDatabase::ViewInfo> Coordinator::ViewInfos() {
   return infos;
 }
 
+// -- Snapshot-capture hooks -------------------------------------------------
+
+std::string Coordinator::KeyColumnName(const std::string& name) const {
+  return local_.table(name).schema().column(key_columns_.at(name)).name;
+}
+
+std::vector<std::pair<std::string, QueryPtr>> Coordinator::ViewCatalog()
+    const {
+  std::vector<std::pair<std::string, QueryPtr>> catalog;
+  for (const RemoteView& view : remote_views_) {
+    catalog.emplace_back(view.name, view.query);
+  }
+  for (const std::string& name : local_.ViewNames()) {
+    catalog.emplace_back(name, local_.views().view(name).query());
+  }
+  return catalog;
+}
+
+// -- Evaluation knobs -------------------------------------------------------
+
+void Coordinator::SetEvalOptions(int num_threads, int intra_tree_threads) {
+  local_.eval_options().num_threads = num_threads;
+  local_.eval_options().intra_tree_threads = intra_tree_threads;
+  for (size_t s = 0; s < workers_.size(); ++s) SendOptionsTo(s);
+}
+
+void Coordinator::SendOptionsTo(size_t s) {
+  if (replaying_ || workers_[s].down()) return;
+  EvalOptionsMsg msg;
+  // Round-trips negative counts (-1 = all cores) through the u32 field.
+  msg.num_threads = static_cast<uint32_t>(local_.eval_options().num_threads);
+  msg.intra_tree_threads =
+      static_cast<uint32_t>(local_.eval_options().intra_tree_threads);
+  try {
+    workers_[s].Call(MsgKind::kSetOptions, msg.Encode(), MsgKind::kOk);
+  } catch (const WorkerDown&) {
+  } catch (const CheckError& e) {
+    MarkDiverged(s, e.what());
+  }
+}
+
 // -- Worker management ------------------------------------------------------
 
 LoadPartitionMsg Coordinator::PartitionFor(const std::string& name,
@@ -501,7 +709,137 @@ LoadPartitionMsg Coordinator::PartitionFor(const std::string& name,
   return msg;
 }
 
-bool Coordinator::Respawn(size_t s, std::string* error) {
+bool Coordinator::ResyncWorker(size_t s, ResyncStats* stats,
+                               std::string* error) {
+  *stats = ResyncStats{};
+  ShardLog& log = logs_[s];
+
+  // Position probe + tail replay. The worker's (lsn, chain) pair must name
+  // a retained log position AND reproduce the chain CRC at that position:
+  // that proves its applied history is a prefix of this log, so shipping
+  // entries [lsn, end) brings it exactly current. lsn 0 (a blank worker)
+  // always takes the full path -- the consolidated rebuild is cheaper than
+  // a from-zero tail. Any CheckError here (a rejected tail entry) falls
+  // through to the full rebuild, which is always correct.
+  try {
+    ReplayTailMsg probe;
+    probe.base_lsn = log.base_lsn;
+    std::string reply = workers_[s].Call(MsgKind::kReplayTail, probe.Encode(),
+                                         MsgKind::kTailInfo);
+    TailInfoMsg info;
+    if (TailInfoMsg::Decode(reply, &info) && info.lsn > 0 &&
+        info.lsn >= log.base_lsn && info.lsn <= log.end_lsn() &&
+        info.chain == log.chain_at(info.lsn)) {
+      ShipWalMsg batch;
+      batch.first_lsn = info.lsn;
+      uint64_t batch_bytes = 0;
+      auto flush = [&]() {
+        if (batch.entries.empty()) return;
+        uint64_t shipped = batch.entries.size();
+        workers_[s].Call(MsgKind::kShipWal, batch.Encode(), MsgKind::kOk);
+        batch.first_lsn += shipped;
+        batch.entries.clear();
+        batch_bytes = 0;
+      };
+      for (uint64_t lsn = info.lsn; lsn < log.end_lsn(); ++lsn) {
+        const ShardLog::Entry& entry = log.entries[lsn - log.base_lsn];
+        WalEntry wire;
+        wire.kind = static_cast<uint8_t>(entry.kind);
+        wire.payload = entry.payload;
+        batch_bytes += entry.payload.size();
+        stats->entries += 1;
+        stats->bytes += entry.payload.size();
+        batch.entries.push_back(std::move(wire));
+        if (batch_bytes >= kShipBatchBytes) flush();
+      }
+      flush();
+      SendOptionsTo(s);
+      return true;
+    }
+  } catch (const WorkerDown& e) {
+    *error = e.what();
+    return false;
+  } catch (const CheckError&) {
+    // Fall through to the full rebuild.
+  }
+
+  // Full rebuild: reset the worker, then replay the replica's consolidated
+  // state. Every entry is appended to the REBASED log as it ships, so the
+  // worker's restarted (lsn, chain) stays aligned with the log and future
+  // resyncs can tail again.
+  try {
+    workers_[s].Call(MsgKind::kReset, std::string(), MsgKind::kOk);
+    log.Clear();
+    stats->full = true;
+    auto ship = [&](MsgKind kind, std::string payload) {
+      stats->entries += 1;
+      stats->bytes += payload.size();
+      log.Append(kind, std::move(payload));
+      workers_[s].Call(kind, log.entries.back().payload, MsgKind::kOk);
+    };
+    // Only variables already covered by kSyncVars entries: any newer ones
+    // reach every log (including this rebased one) with the next
+    // FlushVars, and no retained data entry can reference them yet.
+    if (logged_vars_ > 0) {
+      const VariableTable& variables = local_.variables();
+      SyncVarsMsg msg;
+      msg.first_id = 0;
+      msg.entries.reserve(logged_vars_);
+      for (size_t v = 0; v < logged_vars_; ++v) {
+        VarSyncEntry entry;
+        entry.name = variables.NameOf(static_cast<VarId>(v));
+        entry.distribution = variables.DistributionOf(static_cast<VarId>(v));
+        msg.entries.push_back(std::move(entry));
+      }
+      ship(MsgKind::kSyncVars, msg.Encode());
+    }
+    // Map order: placement and annotations reproduce the original load.
+    for (const auto& [name, placement] : placements_) {
+      (void)placement;
+      ship(MsgKind::kLoadPartition, PartitionFor(name, s).Encode());
+    }
+    for (const RemoteView& view : remote_views_) {
+      RegisterChainViewMsg msg;
+      msg.name = view.name;
+      msg.table = view.driving;
+      msg.query = view.query;
+      ship(MsgKind::kRegisterChainView, msg.Encode());
+    }
+    SendOptionsTo(s);
+    return true;
+  } catch (const WorkerDown& e) {
+    *error = e.what();
+    return false;
+  } catch (const CheckError& e) {
+    workers_[s].MarkDown();
+    *error = e.what();
+    return false;
+  }
+}
+
+void Coordinator::ReconcileWorkers(std::vector<std::string>* lines) {
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    std::string line = "worker " + std::to_string(s) + ": ";
+    if (workers_[s].down()) {
+      if (lines != nullptr) {
+        lines->push_back(line + "down (respawn to resync)");
+      }
+      continue;
+    }
+    ResyncStats stats;
+    std::string error;
+    if (ResyncWorker(s, &stats, &error)) {
+      line += (stats.full ? "full resync, " : "tail resync, ") +
+              std::to_string(stats.entries) + " entries, " +
+              std::to_string(stats.bytes) + " bytes";
+    } else {
+      line += "resync failed (" + error + ")";
+    }
+    if (lines != nullptr) lines->push_back(line);
+  }
+}
+
+bool Coordinator::Respawn(size_t s, std::string* error, ResyncStats* stats) {
   if (s >= workers_.size()) {
     *error = "no worker " + std::to_string(s);
     return false;
@@ -521,32 +859,13 @@ bool Coordinator::Respawn(size_t s, std::string* error) {
     return false;
   }
   workers_[s] = std::move(fresh);
-  synced_vars_[s] = 0;
 
-  // Full resync: variables, then every partition (map order -- placement
-  // and annotations reproduce the original load exactly), then the remote
-  // chain views (the registration re-seeds them from the partitions).
-  try {
-    SyncVarsTo(s);
-    for (const auto& [name, placement] : placements_) {
-      (void)placement;
-      workers_[s].LoadPartition(PartitionFor(name, s));
-    }
-    for (const RemoteView& view : remote_views_) {
-      RegisterChainViewMsg msg;
-      msg.name = view.name;
-      msg.table = view.driving;
-      msg.query = view.query;
-      workers_[s].RegisterChainView(msg);
-    }
-  } catch (const WorkerDown& e) {
-    *error = e.what();
-    return false;
-  } catch (const CheckError& e) {
-    workers_[s].MarkDown();
-    *error = e.what();
-    return false;
-  }
+  // A forked replacement is blank and takes the full rebuild; a standalone
+  // worker that kept its state across the reconnect proves its position
+  // and gets just the tail.
+  ResyncStats local_stats;
+  if (!ResyncWorker(s, &local_stats, error)) return false;
+  if (stats != nullptr) *stats = local_stats;
   return true;
 }
 

@@ -21,12 +21,35 @@
 // leaves the replica's pool exactly as the healthy path would. A down
 // worker stays down until Respawn() hands the coordinator a fresh
 // connection (via the server-supplied spawner), after which the worker is
-// rebuilt by a full resync: variable table, every partition, every remote
-// chain view.
+// resynced -- by a tail replay when possible, by a full rebuild otherwise.
+//
+// Durability plane (protocol v2): every mutating request shipped to a
+// worker is first appended to that shard's in-memory log (ShardLog), the
+// coordinator-side mirror of the (lsn, chain) position the worker tracks.
+// The log is what a correct worker at this shard must have applied, entry
+// for entry -- so after a worker reconnect (standalone worker surviving a
+// coordinator restart) or a respawn, ResyncWorker can ask the worker for
+// its position (kReplayTail), prove with the chain CRC that its state is a
+// prefix of the log, and ship just the missing tail (kShipWal) instead of
+// retransmitting every partition. Any mismatch -- blank worker, diverged
+// chain, log trimmed past the worker's position -- falls back to kReset
+// plus a full rebuild from the replica's consolidated state, which also
+// rebases the log so later tails stay valid.
+//
+// Variable sync is eager: FlushVars appends one kSyncVars entry to EVERY
+// shard log (and ships it to live workers) before any data-plane entry
+// that could reference a new variable. Because the flush points are
+// functions of the logical mutation sequence alone, a recovery replay
+// (DurableSession reapplying WAL records with replaying_ set, sends
+// suppressed) reconstructs logs byte-identical to the ones a never-crashed
+// coordinator would hold -- which is exactly what makes the post-recovery
+// kReplayTail proof against surviving workers sound.
 
 #ifndef PVCDB_ENGINE_COORDINATOR_H_
 #define PVCDB_ENGINE_COORDINATOR_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,6 +60,7 @@
 #include "src/engine/database.h"
 #include "src/engine/remote_shard.h"
 #include "src/engine/shard.h"
+#include "src/engine/wal.h"
 
 namespace pvcdb {
 
@@ -55,6 +79,15 @@ struct QueryRun {
   /// Producer-private state kept alive with the run (the in-process
   /// backend parks its ShardedResult here for aggregate follow-ups).
   std::shared_ptr<void> backend_state;
+};
+
+/// Outcome of one worker resync (a respawn or a post-recovery reconcile):
+/// whether the worker needed a full rebuild, and how many mutation entries
+/// / payload bytes were shipped to bring it current.
+struct ResyncStats {
+  bool full = false;
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
 };
 
 class Coordinator {
@@ -82,6 +115,53 @@ class Coordinator {
   /// fed the same command sequence.
   Database& local() { return local_; }
   const Database& local() const { return local_; }
+
+  // -- Durability ----------------------------------------------------------
+
+  /// Attaches / detaches the write-ahead log. Records are written by the
+  /// replica (every coordinator mutation replays on it first), plus one
+  /// coordinator-level kRegisterView record for distributable views, which
+  /// never materialize on the replica.
+  void set_wal(WalWriter* wal) { local_.set_wal(wal); }
+  WalWriter* wal() const { return local_.wal(); }
+
+  /// Recovery replay mode: mutations rebuild the replica, the placement
+  /// bookkeeping and the per-shard logs, but nothing is sent to workers
+  /// (ReconcileWorkers squares them up afterwards).
+  void BeginReplay() { replaying_ = true; }
+  void EndReplay() { replaying_ = false; }
+  bool replaying() const { return replaying_; }
+
+  /// Applies one recovered WAL op (the serving-stack counterpart of the
+  /// Database-level ApplyWalOp in src/engine/snapshot.h). kReshard ops are
+  /// ignored: in server mode topology is deployment configuration.
+  void ApplyRecoveredOp(const WalOp& op);
+
+  /// Rebuild hook: registers a table whose rows are annotated by existing
+  /// variables (snapshot kCreateTable replay), then partitions it across
+  /// the shard logs / live workers exactly like a fresh load.
+  void AddVariableAnnotatedTable(const std::string& name, Schema schema,
+                                 std::vector<std::vector<Cell>> rows,
+                                 const std::vector<VarId>& vars,
+                                 const std::string& key_column);
+
+  /// Resyncs every live worker against its shard log after a recovery
+  /// replay: a tail replay when the worker's (lsn, chain) position proves
+  /// its state is a log prefix, a kReset + full rebuild otherwise. One
+  /// human-readable summary line per worker in `*lines` (may be null).
+  void ReconcileWorkers(std::vector<std::string>* lines);
+
+  /// Snapshot-capture hooks (see CaptureState(const Coordinator&)).
+  std::string KeyColumnName(const std::string& name) const;
+  std::vector<std::pair<std::string, QueryPtr>> ViewCatalog() const;
+
+  // -- Evaluation knobs ----------------------------------------------------
+
+  /// Sets the replica's EvalOptions and broadcasts them to every live
+  /// worker (kSetOptions). Not logged: every thread count computes
+  /// bit-identical results, so parallelism is session state, not durable
+  /// state; resyncs re-send the current options.
+  void SetEvalOptions(int num_threads, int intra_tree_threads);
 
   // -- Catalog ------------------------------------------------------------
 
@@ -135,6 +215,10 @@ class Coordinator {
 
   bool HasView(const std::string& name) const;
 
+  /// Drops a view by name (remote chain view or replica view). Replay
+  /// target for kDropView records.
+  void DropView(const std::string& name);
+
   /// The view's tuples + cached probabilities (kViewProbs scatter for
   /// remote views; replica caches otherwise).
   QueryRun PrintView(const std::string& name);
@@ -148,9 +232,11 @@ class Coordinator {
   bool WorkerUp(size_t s) const { return !workers_[s].down(); }
   pid_t WorkerPid(size_t s) const { return workers_[s].pid(); }
 
-  /// Spawns a replacement for worker `s` and resyncs it in full:
-  /// variables, every table partition, every remote chain view.
-  bool Respawn(size_t s, std::string* error);
+  /// Spawns a replacement for worker `s` and resyncs it: a standalone
+  /// worker that kept its state gets a tail replay, a fresh blank worker
+  /// gets the full rebuild. `stats` (optional) reports which path ran and
+  /// how much was shipped.
+  bool Respawn(size_t s, std::string* error, ResyncStats* stats = nullptr);
 
   /// Best-effort kShutdown broadcast to every live worker.
   void Shutdown();
@@ -162,12 +248,74 @@ class Coordinator {
     QueryPtr query;
   };
 
+  /// The coordinator-side mirror of one worker's applied-mutation history:
+  /// the suffix of logged entries still held in memory, anchored at
+  /// (base_lsn, base_chain). chain_at(lsn) reproduces the worker's chain
+  /// CRC at any retained position, which is the kReplayTail proof.
+  struct ShardLog {
+    struct Entry {
+      MsgKind kind;
+      std::string payload;
+      uint32_t chain;  ///< Chain value after applying this entry.
+    };
+    uint64_t base_lsn = 0;
+    uint32_t base_chain = 0;
+    std::deque<Entry> entries;
+    uint64_t bytes = 0;  ///< Retained payload bytes (the trim metric).
+
+    uint64_t end_lsn() const { return base_lsn + entries.size(); }
+    uint32_t end_chain() const {
+      return entries.empty() ? base_chain : entries.back().chain;
+    }
+    /// `lsn` must be in [base_lsn, end_lsn].
+    uint32_t chain_at(uint64_t lsn) const;
+    void Append(MsgKind kind, std::string payload);
+    /// Drops oldest entries until <= `max_bytes` are retained (a worker
+    /// behind the new base needs a full resync; correctness is unaffected).
+    void TrimTo(uint64_t max_bytes);
+    void Clear();
+  };
+
   /// True when `q` can scatter: the same predicate as ShardedDatabase::Run.
   bool Distributable(const Query& q, std::string* driving) const;
 
-  /// Ships any variables the worker has not seen yet (contiguous run; the
-  /// worker checks the ids line up). Throws WorkerDown on failure.
-  void SyncVarsTo(size_t s);
+  /// Appends one kSyncVars entry covering every not-yet-logged variable to
+  /// EVERY shard log (shipping it to live workers), so any data-plane
+  /// entry that follows can reference them. No-op when all variables are
+  /// logged. The eager discipline keeps recovery-replayed logs
+  /// byte-identical to live ones (see the file comment).
+  void FlushVars();
+
+  /// The single mutating-send path: appends (kind, payload) to shard `s`'s
+  /// log, then -- unless replaying or the worker is down -- ships it,
+  /// expecting kOk. Transport failure marks the worker down; a worker-side
+  /// CheckError marks it diverged. The entry is retained either way (the
+  /// log records what a correct worker must have applied). Returns true
+  /// when the worker acked.
+  bool LogAndShip(size_t s, MsgKind kind, const std::string& payload);
+
+  /// Shared tail of table registration: records placement / key / vars
+  /// bookkeeping for the replica table `name` and ships one kLoadPartition
+  /// per shard.
+  void PartitionAndShip(const std::string& name, size_t key_index,
+                        std::vector<VarId> vars);
+
+  /// Shared tail of row insertion: placement bookkeeping plus the routed
+  /// kAppendRow to the owning shard.
+  void ShipAppendedRow(const std::string& table, size_t key_index,
+                       const std::vector<Cell>& cells, VarId var,
+                       size_t global_row);
+
+  /// Brings worker `s` (up, freshly handshaken or reconnected) in line
+  /// with its shard log: kReplayTail position probe, then either a
+  /// kShipWal tail replay or kReset + full rebuild (which rebases the
+  /// log). Re-sends the current EvalOptions either way. False + error when
+  /// the worker died mid-resync.
+  bool ResyncWorker(size_t s, ResyncStats* stats, std::string* error);
+
+  /// Best-effort kSetOptions to worker `s` with the replica's current
+  /// EvalOptions.
+  void SendOptionsTo(size_t s);
 
   /// Sends `kind` to every live worker (send-all-then-recv-all scatter)
   /// and decodes each reply into `replies[s]`. Returns false if any worker
@@ -209,7 +357,9 @@ class Coordinator {
   Database local_;
   std::vector<RemoteShard> workers_;
   WorkerSpawner spawner_;
-  std::vector<size_t> synced_vars_;  ///< Per worker: variables shipped.
+  std::vector<ShardLog> logs_;  ///< One applied-mutation log per shard.
+  size_t logged_vars_ = 0;      ///< Variables covered by kSyncVars entries.
+  bool replaying_ = false;      ///< Recovery replay: log, don't send.
   /// Per table: global row -> (shard, row within the shard's partition).
   std::map<std::string, std::vector<std::pair<uint32_t, uint32_t>>>
       placements_;

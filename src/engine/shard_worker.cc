@@ -8,13 +8,56 @@
 #include "src/engine/view.h"
 #include "src/net/frame.h"
 #include "src/util/check.h"
+#include "src/util/codec.h"
+#include "src/util/crc32c.h"
 
 namespace pvcdb {
 
 ShardWorker::ShardWorker(const HelloMsg& hello)
-    : db_(hello.semiring),
+    : db_(std::make_unique<Database>(hello.semiring)),
+      semiring_(hello.semiring),
       shard_index_(hello.shard_index),
       num_shards_(hello.num_shards) {}
+
+bool ShardWorker::IsLoggedMutation(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kSyncVars:
+    case MsgKind::kUpdateVar:
+    case MsgKind::kLoadPartition:
+    case MsgKind::kAppendRow:
+    case MsgKind::kDeleteRow:
+    case MsgKind::kRegisterChainView:
+    case MsgKind::kDropChainView:
+      return true;
+    default:
+      return false;
+  }
+}
+
+uint32_t ShardWorker::NextChain(uint32_t chain, MsgKind kind,
+                                const std::string& payload) {
+  // Chain over a fixed-size digest instead of the raw payload so the cost
+  // per entry is one extra CRC over 9 bytes; the payload digest itself
+  // already pins every byte.
+  std::string link;
+  EncodeU32(&link, chain);
+  EncodeU32(&link, Crc32c(payload));
+  EncodeU8(&link, static_cast<uint8_t>(kind));
+  return Crc32c(link);
+}
+
+void ShardWorker::ResetState() {
+  db_ = std::make_unique<Database>(semiring_);
+  tables_.clear();
+  views_.clear();
+  lsn_ = 0;
+  chain_ = 0;
+}
+
+bool ShardWorker::MatchesHello(const HelloMsg& hello) const {
+  return hello.semiring == semiring_ && hello.shard_index == shard_index_ &&
+         hello.num_shards == num_shards_;
+}
 
 ShardWorker::TableState& ShardWorker::StateOf(const std::string& table) {
   auto it = tables_.find(table);
@@ -27,26 +70,26 @@ ShardWorker::TableState& ShardWorker::StateOf(const std::string& table) {
 void ShardWorker::HandleSyncVars(const SyncVarsMsg& msg) {
   // Variables are append-only and replayed in Add order; ids line up with
   // the coordinator's exactly when the runs arrive contiguously.
-  PVC_CHECK_MSG(msg.first_id == db_.variables().size(),
-                "variable sync gap: worker has " << db_.variables().size()
+  PVC_CHECK_MSG(msg.first_id == db_->variables().size(),
+                "variable sync gap: worker has " << db_->variables().size()
                                                  << " variables, run starts at "
                                                  << msg.first_id);
   for (const VarSyncEntry& entry : msg.entries) {
-    db_.variables().Add(entry.distribution, entry.name);
+    db_->variables().Add(entry.distribution, entry.name);
   }
 }
 
 void ShardWorker::HandleUpdateVar(const UpdateVarMsg& msg) {
-  PVC_CHECK_MSG(msg.var < db_.variables().size(),
+  PVC_CHECK_MSG(msg.var < db_->variables().size(),
                 "unknown variable id " << msg.var);
   // The same refresh-or-drop decision ShardedDatabase::UpdateProbability
   // makes for its per-shard view caches.
-  bool same_support = SameSupport(db_.variables().DistributionOf(msg.var),
+  bool same_support = SameSupport(db_->variables().DistributionOf(msg.var),
                                   Distribution::Bernoulli(msg.probability));
-  db_.UpdateProbability(msg.var, msg.probability);
-  const Semiring& semiring = db_.pool().semiring();
+  db_->UpdateProbability(msg.var, msg.probability);
+  const Semiring& semiring = db_->pool().semiring();
   for (auto& view : views_) {
-    view->cache.OnVariableUpdate(msg.var, db_.variables(), semiring,
+    view->cache.OnVariableUpdate(msg.var, db_->variables(), semiring,
                                  same_support);
   }
 }
@@ -59,12 +102,12 @@ uint64_t ShardWorker::HandleLoadPartition(const LoadPartitionMsg& msg) {
   // variable into this worker's pool.
   PvcTable part{msg.schema};
   for (size_t i = 0; i < msg.rows.size(); ++i) {
-    PVC_CHECK_MSG(msg.vars[i] < db_.variables().size(),
+    PVC_CHECK_MSG(msg.vars[i] < db_->variables().size(),
                   "partition row references unsynced variable "
                       << msg.vars[i]);
-    part.AddRow(msg.rows[i], db_.pool().Var(msg.vars[i]));
+    part.AddRow(msg.rows[i], db_->pool().Var(msg.vars[i]));
   }
-  db_.AddTable(msg.table, std::move(part));
+  db_->AddTable(msg.table, std::move(part));
   TableState& state = tables_[msg.table];
   state.global.assign(msg.global_rows.begin(), msg.global_rows.end());
   state.augmented_valid = false;
@@ -76,10 +119,10 @@ uint64_t ShardWorker::HandleLoadPartition(const LoadPartitionMsg& msg) {
 
 void ShardWorker::HandleAppendRow(const AppendRowMsg& msg) {
   TableState& state = StateOf(msg.table);
-  PVC_CHECK_MSG(msg.var < db_.variables().size(),
+  PVC_CHECK_MSG(msg.var < db_->variables().size(),
                 "append references unsynced variable " << msg.var);
-  ExprId annotation = db_.pool().Var(msg.var);
-  db_.AppendRowToTable(msg.table, msg.cells, annotation);
+  ExprId annotation = db_->pool().Var(msg.var);
+  db_->AppendRowToTable(msg.table, msg.cells, annotation);
   state.global.push_back(static_cast<int64_t>(msg.global_row));
   // Appends carry the maximal global id, so the cached provenance-extended
   // partition extends in place (same as RouteAppendedRow).
@@ -105,7 +148,7 @@ void ShardWorker::HandleDeleteRow(const DeleteRowMsg& msg) {
     PVC_CHECK_MSG(state.global[msg.local_row] == g,
                   "delete provenance mismatch at local row "
                       << msg.local_row);
-    db_.DeleteRowAt(msg.table, msg.local_row);
+    db_->DeleteRowAt(msg.table, msg.local_row);
     state.global.erase(state.global.begin() +
                        static_cast<ptrdiff_t>(msg.local_row));
   }
@@ -123,7 +166,7 @@ void ShardWorker::HandleDeleteRow(const DeleteRowMsg& msg) {
 const PvcTable& ShardWorker::AugmentedPartition(const std::string& table) {
   TableState& state = StateOf(table);
   if (state.augmented_valid) return state.augmented;
-  const PvcTable& partition = db_.table(table);
+  const PvcTable& partition = db_->table(table);
   PVC_CHECK_MSG(partition.NumRows() == state.global.size(),
                 "partition and provenance sizes disagree for '" << table
                                                                 << "'");
@@ -145,12 +188,12 @@ void ShardWorker::EvalChainParts(const Query& q, const std::string& table,
                                  std::vector<int64_t>* global) {
   const PvcTable& augmented = AugmentedPartition(table);
   QueryEvaluator evaluator(
-      &db_.pool(),
+      &db_->pool(),
       [&](const std::string& name) -> const PvcTable& {
         if (name == table) return augmented;
-        return db_.table(name);
+        return db_->table(name);
       },
-      EvalMode::kProbabilistic, db_.eval_options());
+      EvalMode::kProbabilistic, db_->eval_options());
   PvcTable result = evaluator.Eval(q);
 
   size_t rowid_index = result.schema().IndexOf(kShardRowIdColumn);
@@ -178,15 +221,15 @@ ChainResultMsg ShardWorker::HandleEvalChain(const EvalChainMsg& msg) {
   // Step II per surviving row: the shared pipeline, so the probability is
   // independent of this worker's pool history (bit-identity with the
   // in-process scatter).
-  VariableTable::EvalScope scope(db_.variables());
+  VariableTable::EvalScope scope(db_->variables());
   ChainResultMsg reply;
   reply.schema = schema;
   reply.rows.reserve(part.NumRows());
-  const CompileOptions& compile_options = db_.compile_options();
-  int intra_tree = db_.eval_options().intra_tree_threads;
+  const CompileOptions& compile_options = db_->compile_options();
+  int intra_tree = db_->eval_options().intra_tree_threads;
   for (size_t j = 0; j < part.NumRows(); ++j) {
     const Row& r = part.row(j);
-    const ExprNode& node = db_.pool().node(r.annotation);
+    const ExprNode& node = db_->pool().node(r.annotation);
     PVC_CHECK_MSG(node.kind == ExprKind::kVar,
                   "distributable chain produced a non-variable annotation");
     ChainRow row;
@@ -194,7 +237,7 @@ ChainResultMsg ShardWorker::HandleEvalChain(const EvalChainMsg& msg) {
     row.cells = r.cells;
     row.var = node.var();
     Distribution d = IsolatedAnnotationDistribution(
-        db_.pool(), db_.variables(), r.annotation, compile_options,
+        db_->pool(), db_->variables(), r.annotation, compile_options,
         intra_tree);
     row.probability = NonZeroMass(d);
     if (msg.want_distributions) row.distribution = std::move(d);
@@ -205,17 +248,17 @@ ChainResultMsg ShardWorker::HandleEvalChain(const EvalChainMsg& msg) {
 
 ProbsResultMsg ShardWorker::HandleTableProbs(const TableProbsMsg& msg) {
   TableState& state = StateOf(msg.table);
-  const PvcTable& partition = db_.table(msg.table);
-  VariableTable::EvalScope scope(db_.variables());
+  const PvcTable& partition = db_->table(msg.table);
+  VariableTable::EvalScope scope(db_->variables());
   ProbsResultMsg reply;
   reply.rows.reserve(partition.NumRows());
-  const CompileOptions& compile_options = db_.compile_options();
-  int intra_tree = db_.eval_options().intra_tree_threads;
+  const CompileOptions& compile_options = db_->compile_options();
+  int intra_tree = db_->eval_options().intra_tree_threads;
   for (size_t j = 0; j < partition.NumRows(); ++j) {
     ProbRow row;
     row.global_row = static_cast<uint64_t>(state.global[j]);
     Distribution d = IsolatedAnnotationDistribution(
-        db_.pool(), db_.variables(), partition.row(j).annotation,
+        db_->pool(), db_->variables(), partition.row(j).annotation,
         compile_options, intra_tree);
     row.probability = NonZeroMass(d);
     if (msg.want_distributions) row.distribution = std::move(d);
@@ -260,7 +303,7 @@ void ShardWorker::ApplyViewInsert(WorkerView* view, int64_t global_row,
                                   const std::vector<Cell>& cells,
                                   ExprId annotation) {
   // The delta-row pipeline of ShardedDatabase::ApplyShardedViewInsert.
-  const PvcTable& partition = db_.table(view->driving);
+  const PvcTable& partition = db_->table(view->driving);
   std::vector<Column> columns = partition.schema().columns();
   columns.push_back({kShardRowIdColumn, CellType::kInt});
   Schema augmented{std::move(columns)};
@@ -269,8 +312,8 @@ void ShardWorker::ApplyViewInsert(WorkerView* view, int64_t global_row,
   delta_row.cells.emplace_back(global_row);
   delta_row.annotation = annotation;
   std::optional<Row> out =
-      EvalChainOnSingleRow(&db_.pool(), *view->query, view->driving,
-                           augmented, delta_row, db_.eval_options());
+      EvalChainOnSingleRow(&db_->pool(), *view->query, view->driving,
+                           augmented, delta_row, db_->eval_options());
   if (!out.has_value()) return;
   size_t rowid_index = partition.schema().NumColumns();
   PVC_CHECK_MSG(out->cells.size() == view->schema.NumColumns() + 1,
@@ -299,17 +342,17 @@ ChainResultMsg ShardWorker::HandleViewProbs(const std::string& name) {
   WorkerView* view = FindView(name);
   PVC_CHECK_MSG(view != nullptr,
                 "worker " << shard_index_ << " has no view '" << name << "'");
-  VariableTable::EvalScope scope(db_.variables());
+  VariableTable::EvalScope scope(db_->variables());
   // The cached per-shard pass of ShardedDatabase::ViewProbabilities.
   std::vector<double> probs =
-      view->cache.Probabilities(db_.pool(), db_.variables(), view->part,
-                                db_.compile_options(), db_.eval_options());
+      view->cache.Probabilities(db_->pool(), db_->variables(), view->part,
+                                db_->compile_options(), db_->eval_options());
   ChainResultMsg reply;
   reply.schema = view->schema;
   reply.rows.reserve(view->part.NumRows());
   for (size_t j = 0; j < view->part.NumRows(); ++j) {
     const Row& r = view->part.row(j);
-    const ExprNode& node = db_.pool().node(r.annotation);
+    const ExprNode& node = db_->pool().node(r.annotation);
     ChainRow row;
     row.global_row = static_cast<uint64_t>(view->global[j]);
     row.cells = r.cells;
@@ -344,32 +387,43 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
     *reply_kind = MsgKind::kOk;
     *reply_payload = msg.Encode();
   };
+  // Called exactly once per successfully applied logged mutation, before
+  // the reply is built: the worker-side half of the kTailInfo contract.
+  auto applied = [&] {
+    ++lsn_;
+    chain_ = NextChain(chain_, kind, payload);
+  };
   try {
     switch (kind) {
       case MsgKind::kSyncVars: {
         SyncVarsMsg msg;
         if (!SyncVarsMsg::Decode(payload, &msg)) break;
         HandleSyncVars(msg);
-        ok(db_.variables().size());
+        applied();
+        ok(db_->variables().size());
         return true;
       }
       case MsgKind::kUpdateVar: {
         UpdateVarMsg msg;
         if (!UpdateVarMsg::Decode(payload, &msg)) break;
         HandleUpdateVar(msg);
+        applied();
         ok(0);
         return true;
       }
       case MsgKind::kLoadPartition: {
         LoadPartitionMsg msg;
         if (!LoadPartitionMsg::Decode(payload, &msg)) break;
-        ok(HandleLoadPartition(msg));
+        uint64_t rows = HandleLoadPartition(msg);
+        applied();
+        ok(rows);
         return true;
       }
       case MsgKind::kAppendRow: {
         AppendRowMsg msg;
         if (!AppendRowMsg::Decode(payload, &msg)) break;
         HandleAppendRow(msg);
+        applied();
         ok(0);
         return true;
       }
@@ -377,6 +431,7 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
         DeleteRowMsg msg;
         if (!DeleteRowMsg::Decode(payload, &msg)) break;
         HandleDeleteRow(msg);
+        applied();
         ok(0);
         return true;
       }
@@ -397,7 +452,9 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
       case MsgKind::kRegisterChainView: {
         RegisterChainViewMsg msg;
         if (!RegisterChainViewMsg::Decode(payload, &msg)) break;
-        ok(HandleRegisterChainView(std::move(msg)));
+        uint64_t rows = HandleRegisterChainView(std::move(msg));
+        applied();
+        ok(rows);
         return true;
       }
       case MsgKind::kDropChainView: {
@@ -409,6 +466,7 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
             break;
           }
         }
+        applied();
         ok(0);
         return true;
       }
@@ -426,6 +484,68 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
         *reply_payload = HandleViewInfo(msg.name).Encode();
         return true;
       }
+      case MsgKind::kSetOptions: {
+        EvalOptionsMsg msg;
+        if (!EvalOptionsMsg::Decode(payload, &msg)) break;
+        // Knob mirroring, not a logged mutation: parallel passes are
+        // bit-identical by construction, so the chain ignores it and the
+        // coordinator re-sends it on respawn instead of replaying it.
+        db_->eval_options().num_threads = static_cast<int>(msg.num_threads);
+        db_->eval_options().intra_tree_threads =
+            static_cast<int>(msg.intra_tree_threads);
+        ok(0);
+        return true;
+      }
+      case MsgKind::kReplayTail: {
+        ReplayTailMsg msg;
+        if (!ReplayTailMsg::Decode(payload, &msg)) break;
+        TailInfoMsg info;
+        info.lsn = lsn_;
+        info.chain = chain_;
+        *reply_kind = MsgKind::kTailInfo;
+        *reply_payload = info.Encode();
+        return true;
+      }
+      case MsgKind::kShipWal: {
+        ShipWalMsg msg;
+        if (!ShipWalMsg::Decode(payload, &msg)) break;
+        if (msg.first_lsn != lsn_) {
+          error("wal shipment starts at lsn " +
+                std::to_string(msg.first_lsn) + " but worker is at " +
+                std::to_string(lsn_));
+          return true;
+        }
+        for (const WalEntry& entry : msg.entries) {
+          MsgKind entry_kind = static_cast<MsgKind>(entry.kind);
+          if (!IsLoggedMutation(entry_kind)) {
+            error("wal shipment carries non-mutation kind " +
+                  std::to_string(static_cast<int>(entry.kind)));
+            return true;
+          }
+          // Each entry replays through the normal dispatch, advancing
+          // (lsn, chain) exactly as the live request did. A failing entry
+          // leaves the worker mid-shipment; the coordinator's fallback is
+          // kReset + full resync, so partial application is safe.
+          MsgKind entry_reply = MsgKind::kError;
+          std::string entry_payload;
+          Handle(entry_kind, entry.payload, &entry_reply, &entry_payload);
+          if (entry_reply == MsgKind::kError) {
+            ErrorMsg err;
+            std::string text = ErrorMsg::Decode(entry_payload, &err)
+                                   ? err.text
+                                   : "unknown error";
+            error("wal entry at lsn " + std::to_string(lsn_) +
+                  " failed: " + text);
+            return true;
+          }
+        }
+        ok(lsn_);
+        return true;
+      }
+      case MsgKind::kReset:
+        ResetState();
+        ok(0);
+        return true;
       case MsgKind::kPing:
         *reply_kind = MsgKind::kPong;
         reply_payload->clear();
@@ -479,11 +599,15 @@ int ShardWorker::RunStandalone(const std::string& address, bool quiet) {
   if (!quiet) {
     std::fprintf(stderr, "pvcdb worker listening on %s\n", address.c_str());
   }
+  // One worker persists across coordinator connections: a front end that
+  // restarts (crash recovery) re-dials and finds the applied state still
+  // here, so its resync is a kReplayTail/kShipWal tail instead of a full
+  // retransfer. A hello for a different configuration replaces the worker
+  // with a blank one.
+  std::unique_ptr<ShardWorker> worker;
   while (true) {
     Socket conn = listener.Accept();
     if (!conn.valid()) continue;
-    // The handshake configures a fresh worker per connection; a
-    // reconnecting coordinator resyncs from scratch.
     uint8_t kind = 0;
     std::string payload;
     if (RecvFrame(&conn, &kind, &payload) != FrameResult::kOk) continue;
@@ -501,8 +625,10 @@ int ShardWorker::RunStandalone(const std::string& address, bool quiet) {
                    std::string())) {
       continue;
     }
-    ShardWorker worker(hello);
-    if (worker.Serve(&conn) == ServeStatus::kShutdown) {
+    if (worker == nullptr || !worker->MatchesHello(hello)) {
+      worker = std::make_unique<ShardWorker>(hello);
+    }
+    if (worker->Serve(&conn) == ServeStatus::kShutdown) {
       listener.UnlinkSocketFile();
       return 0;
     }

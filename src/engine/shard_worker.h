@@ -29,6 +29,14 @@
 //
 // A worker never crashes its connection on bad input: malformed payloads
 // and failed engine invariants (CheckError) become kError replies.
+//
+// Durability plane (protocol v2): the worker tracks an (lsn, chain) pair
+// over every state-mutating request it applies -- lsn counts applied
+// mutations, chain is a running CRC32C over (kind, payload digest). The
+// coordinator keeps the same pair per shard in its in-memory log, so after
+// a coordinator restart kReplayTail can prove the worker's state is a
+// prefix of the log and kShipWal replays just the missing tail; any
+// mismatch falls back to kReset + full resync, which is always correct.
 
 #ifndef PVCDB_ENGINE_SHARD_WORKER_H_
 #define PVCDB_ENGINE_SHARD_WORKER_H_
@@ -68,12 +76,28 @@ class ShardWorker {
   bool Handle(MsgKind kind, const std::string& payload, MsgKind* reply_kind,
               std::string* reply_payload);
 
-  /// Accepts coordinator connections on `address` and serves each with a
-  /// fresh ShardWorker until a kShutdown arrives (standalone worker
-  /// process mode, `pvcdb_server --worker`). A reconnect therefore hands
-  /// the new coordinator a blank worker to resync -- the same contract as
-  /// a respawned forked worker. Returns 0, or 1 on a listen failure.
+  /// Accepts coordinator connections on `address` until a kShutdown
+  /// arrives (standalone worker process mode, `pvcdb_server --worker`).
+  /// The worker state *persists across connections*: a reconnecting
+  /// coordinator whose kHello matches the previous session (semiring,
+  /// shard index, shard count) finds the applied state still there and can
+  /// resync with a kReplayTail/kShipWal tail replay instead of a full
+  /// retransfer; a mismatched kHello gets a fresh blank worker. Returns 0,
+  /// or 1 on a listen failure.
   static int RunStandalone(const std::string& address, bool quiet);
+
+  /// Applied-mutation position (the kTailInfo pair); test hooks.
+  uint64_t lsn() const { return lsn_; }
+  uint32_t chain() const { return chain_; }
+
+  /// True when `kind` is a state-mutating request the durability chain
+  /// covers (the set the coordinator logs and ships).
+  static bool IsLoggedMutation(MsgKind kind);
+
+  /// Advances `chain` by one applied entry: the exact formula both sides
+  /// of kReplayTail must share.
+  static uint32_t NextChain(uint32_t chain, MsgKind kind,
+                            const std::string& payload);
 
  private:
   struct TableState {
@@ -125,11 +149,22 @@ class ShardWorker {
 
   TableState& StateOf(const std::string& table);
 
-  Database db_;
+  /// Drops every table, view, variable and the (lsn, chain) position:
+  /// kReset, the precondition of a full resync.
+  void ResetState();
+
+  /// True when a reconnecting coordinator's hello describes this worker's
+  /// configuration (standalone reuse check).
+  bool MatchesHello(const HelloMsg& hello) const;
+
+  std::unique_ptr<Database> db_;
+  SemiringKind semiring_ = SemiringKind::kBool;
   uint32_t shard_index_ = 0;
   uint32_t num_shards_ = 1;
   std::map<std::string, TableState> tables_;
   std::vector<std::unique_ptr<WorkerView>> views_;
+  uint64_t lsn_ = 0;
+  uint32_t chain_ = 0;
 };
 
 }  // namespace pvcdb

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/engine/coordinator.h"
 #include "src/util/check.h"
 #include "src/util/codec.h"
 #include "src/util/crc32c.h"
@@ -107,6 +108,23 @@ EngineState CaptureState(const ShardedDatabase& db) {
         RowVariables(db.coordinator().pool(), table)));
   }
   for (const auto& [name, query] : db.ViewCatalog()) {
+    state.ops.push_back(WalOp::RegisterView(name, query));
+  }
+  return state;
+}
+
+EngineState CaptureState(const Coordinator& coordinator) {
+  EngineState state;
+  state.semiring = coordinator.local().pool().semiring().kind();
+  state.num_shards = coordinator.num_shards();
+  CaptureVariables(coordinator.local().variables(), &state.ops);
+  for (const std::string& name : coordinator.TableNames()) {
+    const PvcTable& table = coordinator.local().table(name);
+    state.ops.push_back(WalOp::CreateTable(
+        name, table.schema(), coordinator.KeyColumnName(name),
+        RowCells(table), RowVariables(coordinator.local().pool(), table)));
+  }
+  for (const auto& [name, query] : coordinator.ViewCatalog()) {
     state.ops.push_back(WalOp::RegisterView(name, query));
   }
   return state;
@@ -224,6 +242,7 @@ DurableSession::DurableSession(DurableConfig config)
 DurableSession::~DurableSession() {
   if (db_ != nullptr) db_->set_wal(nullptr);
   if (sharded_ != nullptr) sharded_->set_wal(nullptr);
+  if (attached_ != nullptr) attached_->set_wal(nullptr);
 }
 
 std::string DurableSession::SnapshotPath(uint32_t generation) const {
@@ -235,14 +254,23 @@ std::string DurableSession::WalPath(uint32_t generation) const {
 }
 
 uint64_t DurableSession::CurrentShardCount() const {
+  if (attached_ != nullptr) return attached_->num_shards();
   return sharded_ != nullptr ? sharded_->num_shards() : 0;
 }
 
 EngineState DurableSession::CaptureCurrent() const {
+  if (attached_ != nullptr) return CaptureState(*attached_);
   return db_ != nullptr ? CaptureState(*db_) : CaptureState(*sharded_);
 }
 
 void DurableSession::BuildFromState(const EngineState& state) {
+  if (attached_ != nullptr) {
+    // Attached mode replays INTO the externally owned (freshly
+    // constructed) coordinator; the snapshot's recorded shard count is
+    // deliberately ignored -- topology is deployment configuration.
+    for (const WalOp& op : state.ops) attached_->ApplyRecoveredOp(op);
+    return;
+  }
   db_.reset();
   sharded_.reset();
   if (state.num_shards == 0) {
@@ -259,6 +287,7 @@ void DurableSession::BuildFromState(const EngineState& state) {
 void DurableSession::AttachWal() {
   if (db_ != nullptr) db_->set_wal(wal_.get());
   if (sharded_ != nullptr) sharded_->set_wal(wal_.get());
+  if (attached_ != nullptr) attached_->set_wal(wal_.get());
 }
 
 bool DurableSession::WriteSnapshot(uint32_t generation,
@@ -323,8 +352,46 @@ std::unique_ptr<DurableSession> DurableSession::Create(
   return session;
 }
 
+std::unique_ptr<DurableSession> DurableSession::CreateAttached(
+    const DurableConfig& config, Coordinator* coordinator,
+    std::string* error) {
+  DurableConfig cfg = config;
+  if (cfg.fs == nullptr) cfg.fs = DefaultFileSystem();
+  if (!cfg.fs->CreateDir(cfg.dir, error)) return nullptr;
+  if (HasState(cfg.fs, cfg.dir)) {
+    SetError(error, "'" + cfg.dir +
+                        "' already holds a durable database; recover it "
+                        "instead of creating over it");
+    return nullptr;
+  }
+  std::unique_ptr<DurableSession> session(new DurableSession(cfg));
+  session->attached_ = coordinator;
+  // The coordinator IS the live engine: snapshot its current state (blank
+  // at a fresh server start), no rebuild needed.
+  if (!session->WriteSnapshot(0, CaptureState(*coordinator), error)) {
+    return nullptr;
+  }
+  std::string wal_path = session->WalPath(0);
+  if (cfg.fs->FileExists(wal_path)) cfg.fs->Remove(wal_path, nullptr);
+  session->wal_ = WalWriter::Open(cfg.fs, wal_path, 0, 0, cfg.sync, error);
+  if (session->wal_ == nullptr) return nullptr;
+  session->AttachWal();
+  return session;
+}
+
 std::unique_ptr<DurableSession> DurableSession::Recover(
     const DurableConfig& config, std::string* error) {
+  return RecoverImpl(config, nullptr, error);
+}
+
+std::unique_ptr<DurableSession> DurableSession::RecoverAttached(
+    const DurableConfig& config, Coordinator* coordinator,
+    std::string* error) {
+  return RecoverImpl(config, coordinator, error);
+}
+
+std::unique_ptr<DurableSession> DurableSession::RecoverImpl(
+    const DurableConfig& config, Coordinator* attached, std::string* error) {
   DurableConfig cfg = config;
   if (cfg.fs == nullptr) cfg.fs = DefaultFileSystem();
 
@@ -359,11 +426,17 @@ std::unique_ptr<DurableSession> DurableSession::Recover(
     return nullptr;
   }
   session->recovered_ = true;
+  session->attached_ = attached;
+  // Attached replay suppresses worker sends: the logs rebuild exactly as a
+  // never-crashed coordinator's would, and ReconcileWorkers squares any
+  // surviving workers up against them afterwards.
+  if (attached != nullptr) attached->BeginReplay();
   session->BuildFromState(state);
 
   std::string wal_path = session->WalPath(session->generation_);
   WalReadResult wal = ReadWal(cfg.fs, wal_path);
   if (!wal.error.empty()) {
+    if (attached != nullptr) attached->EndReplay();
     SetError(error, wal.error);
     return nullptr;
   }
@@ -371,18 +444,26 @@ std::unique_ptr<DurableSession> DurableSession::Recover(
   if (wal.file_exists && wal.torn_tail) {
     // Cut the torn record (or torn magic) so the file is a pure prefix of
     // whole records again before we append to it.
-    if (!cfg.fs->Truncate(wal_path, valid_bytes, error)) return nullptr;
+    if (!cfg.fs->Truncate(wal_path, valid_bytes, error)) {
+      if (attached != nullptr) attached->EndReplay();
+      return nullptr;
+    }
     session->tail_truncated_ = true;
   }
   for (const WalRecord& record : wal.records) {
     for (const WalOp& op : record.ops) {
       if (op.type == WalOpType::kReshard) {
-        session->RebuildTopology(op.num_shards);
+        // Attached mode ignores recorded topology (deployment config);
+        // the replayed history re-partitions over the current workers.
+        if (attached == nullptr) session->RebuildTopology(op.num_shards);
+      } else if (attached != nullptr) {
+        attached->ApplyRecoveredOp(op);
       } else {
         ApplyWalOp(op, session->db_.get(), session->sharded_.get());
       }
     }
   }
+  if (attached != nullptr) attached->EndReplay();
   session->replayed_records_ = wal.records.size();
   session->wal_ = WalWriter::Open(cfg.fs, wal_path, valid_bytes,
                                   wal.records.size(), cfg.sync, error);
@@ -406,6 +487,12 @@ void DurableSession::RebuildTopology(uint64_t num_shards) {
 }
 
 bool DurableSession::Reshard(uint64_t num_shards, std::string* error) {
+  if (attached_ != nullptr) {
+    SetError(error,
+             "reshard is unavailable in server mode (topology is "
+             "deployment configuration)");
+    return false;
+  }
   if (num_shards == CurrentShardCount()) return true;
   WalRecord record;
   record.ops.push_back(WalOp::Reshard(num_shards));

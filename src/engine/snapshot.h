@@ -39,6 +39,8 @@
 
 namespace pvcdb {
 
+class Coordinator;
+
 /// An engine's complete logical state: topology plus the rebuild script
 /// (kRegisterVariable ops in creation order, then kCreateTable per table,
 /// then kRegisterView in registration order).
@@ -51,6 +53,9 @@ struct EngineState {
 /// Captures the engine's current logical state.
 EngineState CaptureState(const Database& db);
 EngineState CaptureState(const ShardedDatabase& db);
+/// Server mode: the coordinator's replica plus its placement bookkeeping
+/// (key columns, remote chain views) describe the full logical state.
+EngineState CaptureState(const Coordinator& coordinator);
 
 /// Applies one replayable op to exactly one engine (`db` or `sharded`
 /// non-null). kReshard is a topology change and is handled by
@@ -100,6 +105,23 @@ class DurableSession {
   static std::unique_ptr<DurableSession> Recover(const DurableConfig& config,
                                                  std::string* error);
 
+  /// Attached mode (server durability): the session wraps an externally
+  /// owned Coordinator instead of owning an engine. CreateAttached starts
+  /// a fresh directory from the coordinator's current state (typically
+  /// blank at server startup); RecoverAttached replays the newest snapshot
+  /// + WAL tail INTO the coordinator (which must be freshly constructed)
+  /// with its replay mode set, so nothing is sent to workers -- the server
+  /// calls Coordinator::ReconcileWorkers afterwards. Topology is
+  /// deployment configuration in this mode: Reshard() fails and recovered
+  /// kReshard records are ignored (history re-partitions over the current
+  /// worker set).
+  static std::unique_ptr<DurableSession> CreateAttached(
+      const DurableConfig& config, Coordinator* coordinator,
+      std::string* error);
+  static std::unique_ptr<DurableSession> RecoverAttached(
+      const DurableConfig& config, Coordinator* coordinator,
+      std::string* error);
+
   ~DurableSession();
 
   DurableSession(const DurableSession&) = delete;
@@ -108,6 +130,11 @@ class DurableSession {
   bool is_sharded() const { return sharded_ != nullptr; }
   Database* db() { return db_.get(); }
   ShardedDatabase* sharded() { return sharded_.get(); }
+  bool attached() const { return attached_ != nullptr; }
+
+  /// The active WAL writer (group-commit callers use WalWriter::Sync to
+  /// batch fsyncs; see ServerConfig::group_commit_ms).
+  WalWriter* wal() { return wal_.get(); }
 
   /// Writes generation g+1 (snapshot of the current state + fresh WAL) and
   /// deletes generation g. On failure the session keeps running on the old
@@ -124,6 +151,9 @@ class DurableSession {
 
  private:
   explicit DurableSession(DurableConfig config);
+
+  static std::unique_ptr<DurableSession> RecoverImpl(
+      const DurableConfig& config, Coordinator* attached, std::string* error);
 
   std::string SnapshotPath(uint32_t generation) const;
   std::string WalPath(uint32_t generation) const;
@@ -143,6 +173,7 @@ class DurableSession {
   DurableConfig config_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<ShardedDatabase> sharded_;
+  Coordinator* attached_ = nullptr;  ///< Externally owned (server mode).
   std::unique_ptr<WalWriter> wal_;
   uint32_t generation_ = 0;
   bool recovered_ = false;

@@ -265,9 +265,20 @@ bool WalWriter::Append(const WalRecord& record) {
   EncodeU32(&buffer, Crc32c(payload));
   buffer.append(payload);
   if (!file_->Append(buffer.data(), buffer.size())) return false;
-  if (sync_ && !file_->Sync()) return false;
+  if (sync_) {
+    if (!file_->Sync()) return false;
+  } else {
+    ++unsynced_appends_;
+  }
   bytes_ += buffer.size();
   records_ += 1;
+  return true;
+}
+
+bool WalWriter::Sync() {
+  if (unsynced_appends_ == 0) return true;
+  if (!file_->Sync()) return false;
+  unsynced_appends_ = 0;
   return true;
 }
 

@@ -123,6 +123,17 @@ class WalWriter {
   /// stops accepting mutations (see LogWalRecord).
   bool Append(const WalRecord& record);
 
+  /// Group commit: fsyncs the file, making every append so far durable in
+  /// one device round-trip. A no-op when nothing is pending. Only
+  /// meaningful with `sync` == false at Open; the per-append mode has
+  /// nothing pending by construction.
+  bool Sync();
+
+  /// True when appends have happened since the last fsync -- replies
+  /// acknowledging them must be held until Sync() succeeds.
+  bool HasUnsyncedAppends() const { return unsynced_appends_ > 0; }
+  uint64_t unsynced_appends() const { return unsynced_appends_; }
+
   uint64_t bytes() const { return bytes_; }
   uint64_t records() const { return records_; }
   const std::string& path() const { return path_; }
@@ -136,6 +147,7 @@ class WalWriter {
   bool sync_;
   uint64_t bytes_;
   uint64_t records_;
+  uint64_t unsynced_appends_ = 0;
 };
 
 /// Appends `record` and fails a PVC_CHECK when the append does not fully

@@ -293,6 +293,73 @@ bool ViewInfoMsg::Decode(const std::string& payload, ViewInfoMsg* out) {
   return reader.ok() && reader.AtEnd();
 }
 
+std::string EvalOptionsMsg::Encode() const {
+  std::string out;
+  EncodeU32(&out, num_threads);
+  EncodeU32(&out, intra_tree_threads);
+  return out;
+}
+
+bool EvalOptionsMsg::Decode(const std::string& payload, EvalOptionsMsg* out) {
+  ByteReader reader(payload);
+  out->num_threads = reader.ReadU32();
+  out->intra_tree_threads = reader.ReadU32();
+  return reader.ok() && reader.AtEnd();
+}
+
+std::string ReplayTailMsg::Encode() const {
+  std::string out;
+  EncodeU64(&out, base_lsn);
+  return out;
+}
+
+bool ReplayTailMsg::Decode(const std::string& payload, ReplayTailMsg* out) {
+  ByteReader reader(payload);
+  out->base_lsn = reader.ReadU64();
+  return reader.ok() && reader.AtEnd();
+}
+
+std::string TailInfoMsg::Encode() const {
+  std::string out;
+  EncodeU64(&out, lsn);
+  EncodeU32(&out, chain);
+  return out;
+}
+
+bool TailInfoMsg::Decode(const std::string& payload, TailInfoMsg* out) {
+  ByteReader reader(payload);
+  out->lsn = reader.ReadU64();
+  out->chain = reader.ReadU32();
+  return reader.ok() && reader.AtEnd();
+}
+
+std::string ShipWalMsg::Encode() const {
+  std::string out;
+  EncodeU64(&out, first_lsn);
+  EncodeU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const WalEntry& entry : entries) {
+    EncodeU8(&out, entry.kind);
+    EncodeString(&out, entry.payload);
+  }
+  return out;
+}
+
+bool ShipWalMsg::Decode(const std::string& payload, ShipWalMsg* out) {
+  ByteReader reader(payload);
+  out->first_lsn = reader.ReadU64();
+  uint32_t n = reader.ReadU32();
+  if (!PlausibleCount(&reader, n)) return false;
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    WalEntry entry;
+    entry.kind = reader.ReadU8();
+    entry.payload = reader.ReadString();
+    out->entries.push_back(std::move(entry));
+  }
+  return reader.ok() && reader.AtEnd();
+}
+
 std::string OkMsg::Encode() const {
   std::string out;
   EncodeU64(&out, value);

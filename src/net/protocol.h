@@ -46,7 +46,9 @@
 namespace pvcdb {
 
 /// Bumped on any incompatible change to framing or message payloads.
-constexpr uint32_t kProtocolVersion = 1;
+/// Version 2 added the durability plane: kSetOptions, kReplayTail /
+/// kTailInfo, kShipWal and kReset (WAL-shipping resync; docs/SERVING.md).
+constexpr uint32_t kProtocolVersion = 2;
 
 /// Frame kind bytes. Requests are < 64, replies 64–127, client traffic
 /// >= 128 — the ranges make a reply-where-request-expected bug an
@@ -67,6 +69,10 @@ enum class MsgKind : uint8_t {
   kPing = 12,
   kShutdown = 13,
   kViewInfo = 14,
+  kSetOptions = 15,
+  kReplayTail = 16,
+  kShipWal = 17,
+  kReset = 18,
   // Worker → coordinator replies.
   kHelloAck = 64,
   kOk = 65,
@@ -75,6 +81,7 @@ enum class MsgKind : uint8_t {
   kProbsResult = 68,
   kPong = 69,
   kViewInfoResult = 70,
+  kTailInfo = 71,
   // Client ↔ front-end server.
   kClientCommand = 128,
   kClientReply = 129,
@@ -250,6 +257,65 @@ struct ViewInfoMsg {
 
   std::string Encode() const;
   static bool Decode(const std::string& payload, ViewInfoMsg* out);
+};
+
+// ---------------------------------------------------------------------------
+// Durability plane: per-worker evaluation options and WAL-shipping resync.
+// ---------------------------------------------------------------------------
+
+/// kSetOptions: mirrors the coordinator's intra-command parallelism knobs
+/// onto the worker (shell `threads` / `intratree`). Bit-identity is by
+/// construction — parallel passes produce identical bytes — so this is
+/// never WAL-logged or replayed; the coordinator re-sends it on respawn.
+struct EvalOptionsMsg {
+  uint32_t num_threads = 1;
+  uint32_t intra_tree_threads = 1;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, EvalOptionsMsg* out);
+};
+
+/// kReplayTail: asks a worker where its applied mutation stream ends. The
+/// coordinator compares the reply (kTailInfo) against its in-memory
+/// per-shard log; `base_lsn` is the first entry the coordinator can still
+/// ship (older entries may have been dropped to bound memory).
+struct ReplayTailMsg {
+  uint64_t base_lsn = 0;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, ReplayTailMsg* out);
+};
+
+/// kTailInfo reply: the worker has applied mutations [0, lsn); `chain` is
+/// the running CRC32C chain over every applied entry (kind byte + payload
+/// digest), so a matching (lsn, chain) pair proves the worker's state is a
+/// prefix of the coordinator's log and a tail replay suffices.
+struct TailInfoMsg {
+  uint64_t lsn = 0;
+  uint32_t chain = 0;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, TailInfoMsg* out);
+};
+
+/// One logged mutation inside a kShipWal batch: the kind byte and the
+/// exact payload bytes of the original request frame.
+struct WalEntry {
+  uint8_t kind = 0;
+  std::string payload;
+};
+
+/// kShipWal: replays a contiguous run of logged mutations starting at
+/// `first_lsn` (which must equal the worker's current lsn). The worker
+/// applies each entry through the normal request dispatch and replies
+/// kOk{new_lsn}; an lsn mismatch or a failing entry is a kError and the
+/// coordinator falls back to kReset + full resync.
+struct ShipWalMsg {
+  uint64_t first_lsn = 0;
+  std::vector<WalEntry> entries;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, ShipWalMsg* out);
 };
 
 // ---------------------------------------------------------------------------

@@ -3,9 +3,12 @@
 #include <errno.h>
 #include <poll.h>
 #include <signal.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <iomanip>
 #include <sstream>
 #include <utility>
@@ -15,6 +18,7 @@
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
 #include "src/util/check.h"
+#include "src/util/parallel.h"
 
 namespace pvcdb {
 
@@ -178,6 +182,12 @@ void ServerHelp(std::ostream& out) {
       << "  views                    list materialized views\n"
       << "  workers                  worker process liveness\n"
       << "  respawn <shard>          replace a down worker\n"
+      << "  threads [n]              show or set the thread count\n"
+      << "                           (0 = serial, -1 = all cores)\n"
+      << "  intratree [n]            show or set the intra-d-tree\n"
+      << "                           probability thread count\n"
+      << "  save                     checkpoint the durable directory\n"
+      << "  log                      durable directory status\n"
       << "  shutdown                 stop the server\n"
       << "  help | quit\n";
 }
@@ -386,7 +396,7 @@ bool RunViewCommand(ServeBackend* backend, std::istream& stream,
 }  // namespace
 
 ClientReplyMsg ExecuteCommand(ServeBackend* backend, const std::string& line,
-                              bool* shutdown) {
+                              bool* shutdown, ServeSession* session) {
   ClientReplyMsg reply;
   std::ostringstream out;
   // Precision 17 round-trips doubles exactly, so reply-text equality
@@ -473,9 +483,59 @@ ClientReplyMsg ExecuteCommand(ServeBackend* backend, const std::string& line,
     } else if (command == "shutdown") {
       *shutdown = true;
       out << "shutting down\n";
-    } else if (command == "threads" || command == "intratree" ||
-               command == "shards" || command == "open" ||
-               command == "save" || command == "log") {
+    } else if (command == "threads" || command == "intratree") {
+      if (session == nullptr) {
+        out << "command '" << command << "' is not available in server mode\n";
+        reply.ok = false;
+      } else {
+        int n = 0;
+        if (stream >> n) {
+          (command == "threads" ? session->num_threads
+                                : session->intra_tree_threads) = n;
+          backend->SetEvalOptions(session->num_threads,
+                                  session->intra_tree_threads);
+        }
+        // Mirrors the shell's display exactly (session-level knob values,
+        // not the engine's resolved counts).
+        if (command == "threads") {
+          out << "num_threads = " << session->num_threads << " (0 = serial; "
+              << DefaultThreadCount() << " hardware threads)\n";
+        } else {
+          out << "intra_tree_threads = " << session->intra_tree_threads
+              << " (0 = serial; " << DefaultThreadCount()
+              << " hardware threads)\n";
+        }
+      }
+    } else if (command == "save") {
+      if (session == nullptr || session->durable == nullptr) {
+        out << "not durable (start the server with --open <dir>)\n";
+        reply.ok = false;
+      } else {
+        std::string error;
+        if (session->durable->Checkpoint(&error)) {
+          out << "checkpoint written (generation "
+              << session->durable->stats().generation << ")\n";
+        } else {
+          out << "error: " << error << "\n";
+          reply.ok = false;
+        }
+      }
+    } else if (command == "log") {
+      if (session == nullptr || session->durable == nullptr) {
+        out << "not durable (start the server with --open <dir>)\n";
+        reply.ok = false;
+      } else {
+        DurableStats stats = session->durable->stats();
+        out << "dir = " << session->durable->dir() << "\n"
+            << "generation = " << stats.generation << "\n"
+            << "wal_records = " << stats.wal_records << "\n"
+            << "wal_bytes = " << stats.wal_bytes << "\n"
+            << "recovered = " << (stats.recovered ? "yes" : "no") << "\n"
+            << "replayed_records = " << stats.replayed_records << "\n"
+            << "tail_truncated = " << (stats.tail_truncated ? "yes" : "no")
+            << "\n";
+      }
+    } else if (command == "shards" || command == "open") {
       out << "command '" << command << "' is not available in server mode\n";
       reply.ok = false;
     } else {
@@ -565,11 +625,47 @@ int RunServer(const ServerConfig& config) {
   std::unique_ptr<ShardedDatabase> sharded;
   std::unique_ptr<Coordinator> coordinator;
   std::unique_ptr<ServeBackend> backend;
+  // Declared after the coordinator: the attached session's destructor
+  // detaches its WAL from the (still live) coordinator.
+  std::unique_ptr<DurableSession> durable;
+
+  DurableConfig durable_config;
+  durable_config.dir = config.open_dir;
+  durable_config.fs = DefaultFileSystem();
+  // Group commit keeps appends unsynced and batches the fsync in the poll
+  // loop; otherwise every append syncs before its command acknowledges.
+  durable_config.sync = config.group_commit_ms < 0;
 
   if (config.in_process) {
-    sharded =
-        std::make_unique<ShardedDatabase>(config.num_shards, config.semiring);
-    backend = std::make_unique<InProcessBackend>(sharded.get());
+    if (!config.open_dir.empty()) {
+      std::string derr;
+      if (DurableSession::HasState(durable_config.fs, config.open_dir)) {
+        durable = DurableSession::Recover(durable_config, &derr);
+      } else {
+        EngineState initial;
+        initial.semiring = config.semiring;
+        initial.num_shards = config.num_shards;
+        durable = DurableSession::Create(durable_config, initial, &derr);
+      }
+      if (durable == nullptr) {
+        std::fprintf(stderr, "pvcdb server: %s\n", derr.c_str());
+        return 1;
+      }
+      // The command line owns the topology: rebuild recovered state at the
+      // configured shard count when they disagree.
+      if (durable->sharded() == nullptr ||
+          durable->sharded()->num_shards() != config.num_shards) {
+        if (!durable->Reshard(config.num_shards, &derr)) {
+          std::fprintf(stderr, "pvcdb server: %s\n", derr.c_str());
+          return 1;
+        }
+      }
+      backend = std::make_unique<InProcessBackend>(durable->sharded());
+    } else {
+      sharded = std::make_unique<ShardedDatabase>(config.num_shards,
+                                                  config.semiring);
+      backend = std::make_unique<InProcessBackend>(sharded.get());
+    }
   } else {
     auto spawner = [&config, &listener, &clients](
                        uint32_t shard, RemoteShard* out,
@@ -623,6 +719,33 @@ int RunServer(const ServerConfig& config) {
     coordinator = std::make_unique<Coordinator>(
         config.semiring, std::move(workers), spawner);
     backend = std::make_unique<RemoteBackend>(coordinator.get());
+
+    if (!config.open_dir.empty()) {
+      std::string derr;
+      bool has_state =
+          DurableSession::HasState(durable_config.fs, config.open_dir);
+      durable = has_state ? DurableSession::RecoverAttached(
+                                durable_config, coordinator.get(), &derr)
+                          : DurableSession::CreateAttached(
+                                durable_config, coordinator.get(), &derr);
+      if (durable == nullptr) {
+        std::fprintf(stderr, "pvcdb server: %s\n", derr.c_str());
+        coordinator->Shutdown();
+        return 1;
+      }
+      if (has_state) {
+        // Recovery replayed into the coordinator's replica and shard logs
+        // only; bring each worker to that state (WAL tail replay when its
+        // chain matches, full partition resync otherwise).
+        std::vector<std::string> lines;
+        coordinator->ReconcileWorkers(&lines);
+        if (!config.quiet) {
+          for (const std::string& l : lines) {
+            std::fprintf(stderr, "pvcdb server: %s\n", l.c_str());
+          }
+        }
+      }
+    }
   }
 
   std::string error;
@@ -636,7 +759,61 @@ int RunServer(const ServerConfig& config) {
     std::fprintf(stderr, "pvcdb server listening on %s (%zu shards, %s)\n",
                  config.listen_address.c_str(), config.num_shards,
                  config.in_process ? "in-process" : "worker processes");
+    if (durable != nullptr) {
+      DurableStats stats = durable->stats();
+      if (stats.recovered) {
+        std::fprintf(stderr,
+                     "pvcdb server: recovered %s (generation %u, %ju WAL "
+                     "records replayed%s)\n",
+                     config.open_dir.c_str(), stats.generation,
+                     static_cast<uintmax_t>(stats.replayed_records),
+                     stats.tail_truncated ? ", torn tail truncated" : "");
+      } else {
+        std::fprintf(stderr, "pvcdb server: opened %s (generation %u)\n",
+                     config.open_dir.c_str(), stats.generation);
+      }
+    }
   }
+
+  ServeSession session;
+  session.durable = durable.get();
+
+  // Group commit: replies to commands that appended unsynced WAL records
+  // are queued (in arrival order, across all clients) and sent only after
+  // one fsync at the end of the commit window covers them all.
+  const bool group_commit = durable != nullptr && config.group_commit_ms >= 0;
+  struct QueuedReply {
+    int fd;  ///< Client socket at queue time (purged when the client dies).
+    std::string payload;
+  };
+  std::deque<QueuedReply> queued;
+  int64_t window_deadline_ms = -1;  // -1: no commit window open.
+  auto now_ms = []() {
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+  };
+  // One fsync covers every queued reply, then they flush in arrival order.
+  // May erase clients whose send fails, so only call between poll-loop
+  // passes (no live ClientConn reference, no fds->clients mapping).
+  auto flush_queued = [&]() {
+    window_deadline_ms = -1;
+    if (queued.empty()) return;
+    PVC_CHECK_MSG(durable->wal()->Sync(),
+                  "WAL fsync failed; queued mutations cannot be "
+                  "acknowledged");
+    for (QueuedReply& q : queued) {
+      for (size_t i = 0; i < clients.size(); ++i) {
+        if (clients[i].sock.fd() != q.fd) continue;
+        if (!SendFrameFlush(&clients[i].sock, MsgKind::kClientReply,
+                            q.payload)) {
+          clients.erase(clients.begin() + static_cast<ptrdiff_t>(i));
+        }
+        break;
+      }
+    }
+    queued.clear();
+  };
 
   bool shutdown = false;
   while (!shutdown) {
@@ -655,11 +832,23 @@ int RunServer(const ServerConfig& config) {
       pfd.revents = 0;
       fds.push_back(pfd);
     }
-    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    int timeout_ms = -1;
+    if (window_deadline_ms >= 0) {
+      int64_t remain = window_deadline_ms - now_ms();
+      timeout_ms = remain > 0 ? static_cast<int>(remain) : 0;
+    }
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
     }
+    if (window_deadline_ms >= 0 && now_ms() >= window_deadline_ms) {
+      // Commit window expired. Flushing may erase clients, which would
+      // invalidate this pass's fds->clients mapping, so re-poll after.
+      flush_queued();
+      continue;
+    }
+    if (rc == 0) continue;
 
     // Service clients first (fds[i + 1] maps to clients[i]; the accept
     // below only appends, so the mapping is stable for this iteration).
@@ -699,18 +888,41 @@ int RunServer(const ServerConfig& config) {
             break;
           }
           ClientReplyMsg reply =
-              ExecuteCommand(backend.get(), payload, &shutdown);
-          if (!SendFrameFlush(&client.sock, MsgKind::kClientReply,
-                              reply.Encode())) {
-            drop = true;
-            break;
+              ExecuteCommand(backend.get(), payload, &shutdown, &session);
+          std::string encoded = reply.Encode();
+          // Any reply is deferred while unacknowledged (unsynced) WAL
+          // appends exist -- including read-only replies behind them, which
+          // keeps per-connection replies in command order.
+          bool defer =
+              group_commit && (durable->wal()->HasUnsyncedAppends() ||
+                               !queued.empty());
+          if (defer) {
+            queued.push_back(QueuedReply{client.sock.fd(),
+                                         std::move(encoded)});
+            if (shutdown) break;  // Flushed (fsync + ack) below the loop.
+            if (window_deadline_ms < 0) {
+              window_deadline_ms = now_ms() + config.group_commit_ms;
+            }
+          } else {
+            if (!SendFrameFlush(&client.sock, MsgKind::kClientReply,
+                                encoded)) {
+              drop = true;
+              break;
+            }
+            if (shutdown) break;
           }
-          if (shutdown) break;
         }
       }
       if (drop || saw_eof) dead.push_back(i);
     }
     for (size_t d = dead.size(); d-- > 0;) {
+      int fd = clients[dead[d]].sock.fd();
+      // Drop queued replies for the dying fd so a later accept reusing the
+      // same fd number cannot receive them.
+      queued.erase(
+          std::remove_if(queued.begin(), queued.end(),
+                         [fd](const QueuedReply& q) { return q.fd == fd; }),
+          queued.end());
       clients.erase(clients.begin() + static_cast<ptrdiff_t>(dead[d]));
     }
     if (shutdown) break;
@@ -724,6 +936,10 @@ int RunServer(const ServerConfig& config) {
       }
     }
   }
+
+  // Close any open commit window (one fsync + the queued acks, including
+  // the deferred shutdown reply) before workers go down.
+  if (group_commit) flush_queued();
 
   if (coordinator != nullptr) coordinator->Shutdown();
   listener.UnlinkSocketFile();

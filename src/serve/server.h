@@ -18,8 +18,15 @@
 // local InProcessBackend. Probabilities print at precision 17, so text
 // equality is double bit-equality.
 //
-// Durability (src/engine/wal.h) is NOT wired into server mode yet; see
-// docs/SERVING.md for the operational consequences and the follow-up.
+// Durability is wired in through ServerConfig::open_dir: the server opens
+// (or recovers) a DurableSession over the durable directory, logs every
+// served mutation to its WAL before acknowledging, and -- in the default
+// remote mode -- attaches the session to the Coordinator so recovery
+// replays history into the coordinator's replica and shard logs without
+// touching workers (ReconcileWorkers then tail- or full-resyncs each one).
+// ServerConfig::group_commit_ms batches WAL fsyncs: replies to commands
+// that appended unsynced WAL records are queued and sent only after one
+// fsync covering the whole commit window.
 
 #ifndef PVCDB_SERVE_SERVER_H_
 #define PVCDB_SERVE_SERVER_H_
@@ -31,6 +38,7 @@
 #include "src/engine/coordinator.h"
 #include "src/engine/csv.h"
 #include "src/engine/shard.h"
+#include "src/engine/snapshot.h"
 #include "src/net/protocol.h"
 
 namespace pvcdb {
@@ -66,6 +74,10 @@ class ServeBackend {
   virtual std::string Workers() = 0;
   /// `respawn <s>`: replaces a down worker. False + message on failure.
   virtual bool Respawn(size_t shard, std::string* message) = 0;
+
+  /// `threads` / `intratree`: pushes the evaluation thread knobs into the
+  /// engine (and, for remote workers, over the wire via kSetOptions).
+  virtual void SetEvalOptions(int num_threads, int intra_tree_threads) = 0;
 };
 
 /// Reference backend over an in-process ShardedDatabase (does not own it).
@@ -104,6 +116,10 @@ class InProcessBackend : public ServeBackend {
   }
   std::string Workers() override;
   bool Respawn(size_t shard, std::string* message) override;
+  void SetEvalOptions(int num_threads, int intra_tree_threads) override {
+    db_->eval_options().num_threads = num_threads;
+    db_->eval_options().intra_tree_threads = intra_tree_threads;
+  }
 
  private:
   ShardedDatabase* db_;
@@ -155,17 +171,31 @@ class RemoteBackend : public ServeBackend {
   }
   std::string Workers() override;
   bool Respawn(size_t shard, std::string* message) override;
+  void SetEvalOptions(int num_threads, int intra_tree_threads) override {
+    coordinator_->SetEvalOptions(num_threads, intra_tree_threads);
+  }
 
  private:
   Coordinator* coordinator_;
 };
 
+/// Mutable per-server state beyond the backend: the durable session (for
+/// `save` / `log`) and the session-level thread knobs (`threads` /
+/// `intratree`, mirroring the shell's display semantics). Null members
+/// render those commands unavailable.
+struct ServeSession {
+  DurableSession* durable = nullptr;
+  int num_threads = 0;
+  int intra_tree_threads = 0;
+};
+
 /// Parses and executes one shell command line against `backend`, rendering
 /// the full reply text (mirroring tools/pvcdb_shell.cc output formats,
 /// with probabilities at precision 17). Sets `*shutdown` when the command
-/// was `shutdown`. Never throws.
+/// was `shutdown`. Never throws. `session` may be null (a serving surface
+/// with no durable directory and no thread knobs, as in unit tests).
 ClientReplyMsg ExecuteCommand(ServeBackend* backend, const std::string& line,
-                              bool* shutdown);
+                              bool* shutdown, ServeSession* session = nullptr);
 
 struct ServerConfig {
   std::string listen_address;
@@ -178,6 +208,14 @@ struct ServerConfig {
   /// worker process per shard over a socketpair.
   std::vector<std::string> worker_addresses;
   bool quiet = false;
+  /// Durable directory: recover it when it holds state, else create it,
+  /// and log every served mutation before acknowledging. Empty: volatile.
+  std::string open_dir;
+  /// Group-commit window in milliseconds. Negative: fsync on every WAL
+  /// append, acknowledge immediately. >= 0: appends stay unsynced and the
+  /// affected replies queue until one fsync at window expiry covers them
+  /// all (0 = sync on the next poll-loop pass). Ignored without open_dir.
+  int group_commit_ms = -1;
 };
 
 /// Runs the front-end server until a client sends `shutdown`. Returns 0 on

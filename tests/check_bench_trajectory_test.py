@@ -131,6 +131,55 @@ class CheckBenchTrajectoryTest(unittest.TestCase):
         self.assertEqual(result.returncode, 1, result.stdout)
         self.assertIn("FAIL", result.stdout)
 
+    def resync_run(self, tail_bytes, full_bytes, hardware_threads=8):
+        return [record("resync_tail", 2, 0, hardware_threads,
+                       resync_entries=0, resync_bytes=tail_bytes),
+                record("resync_full", 2, 0, hardware_threads,
+                       resync_entries=4, resync_bytes=full_bytes)]
+
+    def run_resync(self, current, baseline, *extra):
+        return self.run_script(current, baseline, "--metric",
+                               "resync-bytes", "--shards", "2",
+                               "--threads", "0", *extra)
+
+    def test_resync_bytes_within_threshold_passes(self):
+        current = self.write("current.json", self.resync_run(0, 30000))
+        baseline = self.write("baseline.json", self.resync_run(0, 29000))
+        result = self.run_resync(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+        self.assertIn("resync_full", result.stdout)
+
+    def test_resync_bytes_fails_when_payload_grows(self):
+        # Lower is better: a full resync that ships far more bytes than
+        # the committed baseline is a regression.
+        current = self.write("current.json", self.resync_run(0, 60000))
+        baseline = self.write("baseline.json", self.resync_run(0, 29000))
+        result = self.run_resync(current, baseline)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_resync_bytes_tail_series_gates_on_zero(self):
+        # The tail path's expected payload is zero; any bytes at all mean
+        # surviving workers stopped passing the chain proof.
+        current = self.write("current.json", self.resync_run(5000, 30000))
+        baseline = self.write("baseline.json", self.resync_run(0, 30000))
+        result = self.run_resync(current, baseline, "--series",
+                                 "resync_tail")
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_resync_bytes_runs_on_single_core(self):
+        # Byte counts are workload-determined: no 1-CPU skip.
+        current = self.write("current.json",
+                             self.resync_run(0, 30000, hardware_threads=1))
+        baseline = self.write("baseline.json",
+                              self.resync_run(0, 29000, hardware_threads=1))
+        result = self.run_resync(current, baseline)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+        self.assertNotIn("SKIPPED", result.stdout)
+
     def test_missing_record_exits_2(self):
         current = self.write("current.json", hotpath_run(3.0))
         baseline = self.write("baseline.json", [])

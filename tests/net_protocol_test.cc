@@ -353,6 +353,65 @@ TEST(ProtocolTest, ScalarRepliesRoundTrip) {
   ExpectRoundTripStable(reply);
 }
 
+TEST(ProtocolTest, EvalOptionsRoundTrip) {
+  EvalOptionsMsg msg;
+  msg.num_threads = 8;
+  msg.intra_tree_threads = 2;
+  ExpectRoundTripStable(msg);
+
+  // Negative knob values (-1 = all cores) travel through the u32 fields
+  // via static_cast on both sides; the bytes must round-trip unchanged.
+  EvalOptionsMsg negative;
+  negative.num_threads = static_cast<uint32_t>(-1);
+  negative.intra_tree_threads = static_cast<uint32_t>(-1);
+  ExpectRoundTripStable(negative);
+  EvalOptionsMsg decoded;
+  ASSERT_TRUE(EvalOptionsMsg::Decode(negative.Encode(), &decoded));
+  EXPECT_EQ(static_cast<int>(decoded.num_threads), -1);
+}
+
+TEST(ProtocolTest, ReplayTailAndTailInfoRoundTrip) {
+  ReplayTailMsg probe;
+  probe.base_lsn = 123456789012345ull;
+  ExpectRoundTripStable(probe);
+
+  TailInfoMsg info;
+  info.lsn = 42;
+  info.chain = 0xdeadbeef;
+  ExpectRoundTripStable(info);
+}
+
+TEST(ProtocolTest, ShipWalRoundTrip) {
+  ShipWalMsg msg;
+  msg.first_lsn = 7;
+  WalEntry sync_vars;
+  sync_vars.kind = static_cast<uint8_t>(MsgKind::kSyncVars);
+  SyncVarsMsg vars;
+  vars.first_id = 0;
+  vars.entries.push_back({"x0", Distribution::Bernoulli(0.5)});
+  sync_vars.payload = vars.Encode();
+  msg.entries.push_back(sync_vars);
+  WalEntry update;
+  update.kind = static_cast<uint8_t>(MsgKind::kUpdateVar);
+  UpdateVarMsg upd;
+  upd.var = 0;
+  upd.probability = 0.75;
+  update.payload = upd.Encode();
+  msg.entries.push_back(update);
+  ExpectRoundTripStable(msg);
+
+  ShipWalMsg decoded;
+  ASSERT_TRUE(ShipWalMsg::Decode(msg.Encode(), &decoded));
+  ASSERT_EQ(decoded.entries.size(), 2u);
+  EXPECT_EQ(decoded.entries[0].kind,
+            static_cast<uint8_t>(MsgKind::kSyncVars));
+  EXPECT_EQ(decoded.entries[1].payload, upd.Encode());
+
+  ShipWalMsg empty;
+  empty.first_lsn = 0;
+  ExpectRoundTripStable(empty);
+}
+
 TEST(ProtocolTest, HelloRejectsUnknownSemiring) {
   HelloMsg msg;
   std::string bytes = msg.Encode();

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Crash/restart across the serving boundary, driven entirely through the
+# shipped binaries: two pvcdb_server front-ends with worker processes and
+# durable stores (--open) receive the same mutations over pvcdb_shell
+# --connect. One is then SIGKILLed -- no shutdown, no checkpoint -- and
+# restarted on its store. Recovery must replay the WAL, resync the fresh
+# workers, report `recovered = yes`, and serve every read (P-lines
+# included) byte-identically to the never-crashed twin.
+#
+# The `views` diagnostics line carries a d-tree cache occupancy count that
+# depends on print history (recovery replays mutations, not reads), so
+# that one number is scrubbed before diffing; every other byte must match.
+#
+# Usage: run_server_durability_test.sh <pvcdb_server> <pvcdb_shell> <repo-root>
+set -u
+
+server_bin="$1"
+shell_bin="$2"
+src_dir="$3"
+cd "$src_dir" || exit 2
+
+scratch="$(mktemp -d)" || exit 2
+twin_pid=""
+crash_pid=""
+cleanup() {
+  [ -n "$twin_pid" ] && kill -9 "$twin_pid" 2>/dev/null
+  [ -n "$crash_pid" ] && kill -9 "$crash_pid" 2>/dev/null
+  rm -rf "$scratch"
+}
+trap cleanup EXIT
+
+mutations() {
+  cat <<'EOF'
+load items data/items.csv
+view pricey SELECT * FROM items WHERE price >= 1000
+view pricey
+insert items tool drill 1450 0.7
+delete items garden
+setprob x1 0.45
+view pricey
+quit
+EOF
+}
+
+reads() {
+  cat <<'EOF'
+SELECT * FROM items WHERE price >= 1000
+SELECT kind, COUNT(*) AS n FROM items GROUP BY kind HAVING n >= 1
+view pricey
+views
+show items
+quit
+EOF
+}
+
+scrub() {
+  sed 's/[0-9][0-9]* cached d-trees/# cached d-trees/'
+}
+
+"$server_bin" --listen "$scratch/twin.sock" --shards 2 \
+              --open "$scratch/twin_store" --quiet &
+twin_pid=$!
+"$server_bin" --listen "$scratch/crash.sock" --shards 2 \
+              --open "$scratch/crash_store" --quiet &
+crash_pid=$!
+
+# The shell client retries the connect, so no explicit readiness wait is
+# needed. Both servers must acknowledge the identical mutation sequence
+# identically.
+mutations | "$shell_bin" --connect "$scratch/twin.sock" \
+  > "$scratch/twin_mutations.txt" || exit 1
+mutations | "$shell_bin" --connect "$scratch/crash.sock" \
+  > "$scratch/crash_mutations.txt" || exit 1
+if ! diff -u "$scratch/twin_mutations.txt" "$scratch/crash_mutations.txt"; then
+  echo "mutation transcripts diverged before the crash"
+  exit 1
+fi
+
+# Crash one server outright and restart it on the same durable store.
+kill -9 "$crash_pid"
+wait "$crash_pid" 2>/dev/null
+"$server_bin" --listen "$scratch/crash.sock" --shards 2 \
+              --open "$scratch/crash_store" --quiet &
+crash_pid=$!
+
+# The restarted server must know it recovered.
+printf 'log\nquit\n' | "$shell_bin" --connect "$scratch/crash.sock" \
+  > "$scratch/crash_log.txt" || exit 1
+if ! grep -q '^recovered = yes$' "$scratch/crash_log.txt"; then
+  echo "restarted server did not report recovered = yes:"
+  cat "$scratch/crash_log.txt"
+  exit 1
+fi
+
+# Served reads -- including every P-line -- must match the twin that never
+# crashed, byte for byte (modulo the print-history cache count).
+reads | "$shell_bin" --connect "$scratch/twin.sock" | scrub \
+  > "$scratch/twin_reads.txt" || exit 1
+reads | "$shell_bin" --connect "$scratch/crash.sock" | scrub \
+  > "$scratch/crash_reads.txt" || exit 1
+if ! diff -u "$scratch/twin_reads.txt" "$scratch/crash_reads.txt"; then
+  echo "served reads diverged after crash/restart"
+  exit 1
+fi
+if ! grep -q '^P\[row' "$scratch/crash_reads.txt"; then
+  echo "read transcript unexpectedly carries no probability lines:"
+  cat "$scratch/crash_reads.txt"
+  exit 1
+fi
+
+# Both servers shut down cleanly on request.
+printf 'shutdown\n' | "$shell_bin" --connect "$scratch/twin.sock" > /dev/null
+wait "$twin_pid"
+twin_status=$?
+twin_pid=""
+printf 'shutdown\n' | "$shell_bin" --connect "$scratch/crash.sock" > /dev/null
+wait "$crash_pid"
+crash_status=$?
+crash_pid=""
+if [ "$twin_status" != 0 ] || [ "$crash_status" != 0 ]; then
+  echo "server exit statuses: twin=$twin_status crash=$crash_status"
+  exit 1
+fi
+
+echo "server durability transcripts match"
+exit 0

@@ -36,7 +36,8 @@ void PrintUsage() {
   std::fprintf(
       stderr,
       "usage: pvcdb_server --listen <addr> [--shards <n>] [--in-process]\n"
-      "                    [--workers <addr,addr,...>] [--quiet]\n"
+      "                    [--workers <addr,addr,...>] [--open <dir>]\n"
+      "                    [--group-commit <ms>] [--quiet]\n"
       "       pvcdb_server --worker <addr> [--quiet]\n"
       "\n"
       "  --listen <addr>   front-end address (host:port for TCP, otherwise\n"
@@ -46,6 +47,12 @@ void PrintUsage() {
       "                    per shard (default: fork one worker per shard)\n"
       "  --in-process      serve an in-process ShardedDatabase instead of\n"
       "                    worker processes (bit-identity reference mode)\n"
+      "  --open <dir>      durable directory: recover it if it holds state,\n"
+      "                    else create it; every served mutation is WAL-\n"
+      "                    logged before its reply is acknowledged\n"
+      "  --group-commit <ms>  batch WAL fsyncs: replies to mutations wait\n"
+      "                    up to <ms> for one fsync covering the window\n"
+      "                    (default: fsync per mutation; requires --open)\n"
       "  --worker <addr>   run as a standalone shard worker on <addr>\n"
       "  --quiet           suppress startup banners\n");
 }
@@ -100,6 +107,19 @@ int main(int argc, char** argv) {
       const char* v = next("--worker");
       if (v == nullptr) return 2;
       worker_address = v;
+    } else if (arg == "--open") {
+      const char* v = next("--open");
+      if (v == nullptr) return 2;
+      config.open_dir = v;
+    } else if (arg == "--group-commit") {
+      const char* v = next("--group-commit");
+      if (v == nullptr) return 2;
+      int ms = std::atoi(v);
+      if (ms < 0) {
+        std::fprintf(stderr, "pvcdb_server: --group-commit needs ms >= 0\n");
+        return 2;
+      }
+      config.group_commit_ms = ms;
     } else if (arg == "--in-process") {
       config.in_process = true;
     } else if (arg == "--quiet") {
@@ -119,6 +139,10 @@ int main(int argc, char** argv) {
   }
   if (config.listen_address.empty()) {
     PrintUsage();
+    return 2;
+  }
+  if (config.group_commit_ms >= 0 && config.open_dir.empty()) {
+    std::fprintf(stderr, "pvcdb_server: --group-commit requires --open\n");
     return 2;
   }
   if (!config.worker_addresses.empty() &&
