@@ -43,12 +43,14 @@
 
 #include "bench/bench_util.h"
 #include "src/engine/coordinator.h"
+#include "src/engine/shard.h"
 #include "src/engine/shard_worker.h"
 #include "src/engine/snapshot.h"
 #include "src/net/frame.h"
 #include "src/net/protocol.h"
 #include "src/net/socket.h"
 #include "src/serve/server.h"
+#include "src/util/metrics.h"
 #include "src/util/timer.h"
 
 namespace {
@@ -562,6 +564,96 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // Instrumentation overhead, in two parts.
+  //
+  // Reply invariance: one worker-process grid point with the runtime kill
+  // switch thrown (the forked server inherits the flag across fork). Its
+  // replies are checked byte for byte against the same `expected` as
+  // every metrics-on point above -- flipping the switch may not change a
+  // single reply byte.
+  //
+  // The overhead number itself cannot come from forked-server qps: a
+  // fork-serve-kill cycle swings tens of percent run to run (scheduler,
+  // page cache, frequency scaling -- measured far above any real
+  // instrumentation cost even with this binary's metrics compiled out).
+  // So the <= 5% gate (--metric overhead-pct) tracks a controlled paired
+  // loop instead: the same command pipeline the poll loop runs per
+  // request (CommandTraceScope, command counter, ExecuteCommand, encode
+  // span, reply encode) driven in-process, alternating metrics on/off
+  // batches, best batch time per side. Alternation cancels warm-up bias;
+  // best-of filters transient slowdowns, which only ever add time.
+  {
+    const size_t overhead_shards = 2;
+    SetMetricsEnabled(false);
+    GridResult off_grid = RunGridPoint(dir, csv, overhead_shards, 4,
+                                       smoke ? 40 : 120,
+                                       /*in_process=*/false, &expected);
+    SetMetricsEnabled(true);
+    if (!off_grid.ok) failed = true;
+
+    const int batch = smoke ? 200 : full ? 800 : 400;
+    const int trials = 5;
+    ShardedDatabase db(overhead_shards);
+    InProcessBackend backend(&db);
+    bool shutdown = false;
+    const std::string query = "SELECT * FROM bench WHERE v >= 700";
+    ExecuteCommand(&backend, "load bench " + csv, &shutdown);
+    size_t sink = 0;
+    auto run_batch = [&](int n) {
+      WallTimer timer;
+      for (int i = 0; i < n; ++i) {
+        CommandTraceScope trace_scope(query);
+        PVCDB_COUNTER_ADD("server.commands", 1);
+        ClientReplyMsg reply = ExecuteCommand(&backend, query, &shutdown);
+        PVCDB_SPAN(encode_span, "encode");
+        sink += reply.Encode().size();
+      }
+      return timer.ElapsedSeconds();
+    };
+    run_batch(batch / 2);  // Warm-up: caches filled, pools sized.
+    double best_on = 0.0, best_off = 0.0;
+    for (int t = 0; t < trials; ++t) {
+      for (bool enabled : {t % 2 == 0, t % 2 != 0}) {
+        SetMetricsEnabled(enabled);
+        double seconds = run_batch(batch);
+        SetMetricsEnabled(true);
+        double& best = enabled ? best_on : best_off;
+        if (best == 0.0 || seconds < best) best = seconds;
+      }
+    }
+    if (sink == 0 || best_on <= 0.0 || best_off <= 0.0) {
+      failed = true;
+    } else {
+      const double qps_on = batch / best_on;
+      const double qps_off = batch / best_off;
+      const double overhead_pct = (qps_off - qps_on) / qps_off * 100.0;
+      if (json) {
+        JsonParams params;
+        params.Set("shards", static_cast<int64_t>(overhead_shards))
+            .Set("threads", 0)
+            .Set("requests", static_cast<int64_t>(batch))
+            .Set("trials", static_cast<int64_t>(trials))
+            .Set("qps_on", qps_on)
+            .Set("qps_off", qps_off)
+            .Set("overhead_pct", overhead_pct);
+        RunStats stats;
+        stats.mean_seconds = best_on / batch;
+        stats.stddev_seconds = 0.0;
+        PrintJsonRecord("metrics_overhead", params, stats);
+      } else {
+        TablePrinter overhead_table(std::vector<std::string>{
+            "metrics", "shards", "batch", "qps", "overhead_pct"});
+        overhead_table.PrintRow({"on", std::to_string(overhead_shards),
+                                 std::to_string(batch),
+                                 FormatDouble(qps_on, 1),
+                                 FormatDouble(overhead_pct, 2)});
+        overhead_table.PrintRow({"off", std::to_string(overhead_shards),
+                                 std::to_string(batch),
+                                 FormatDouble(qps_off, 1), "0.00"});
+      }
+    }
+  }
+
   // Mutation throughput/latency per fsync discipline. The logical end
   // state (the `tables` reply) must not depend on the discipline.
   const int mutations = smoke ? 25 : full ? 250 : 75;

@@ -36,6 +36,14 @@ stopped passing the chain proof). Bytes are deterministic functions of
 the workload, not the machine, so no normalization or hardware skip
 applies. Lower is better, as for ns-per-node.
 
+--metric overhead-pct (`bench_serve --json`): gates the metrics_overhead
+record's overhead_pct field -- the qps lost to instrumentation relative
+to the same server with the metrics kill switch thrown -- against an
+ABSOLUTE ceiling of --threshold (as a fraction; default 0.05 = 5%). No
+baseline file is needed or read: the bound is the observability layer's
+contract, not a trajectory. The record is captured at shards=2
+threads=0, so pass --shards 2 --threads 0.
+
 Unless stated otherwise the check fails when the current value drops
 more than --threshold below the baseline's.
 
@@ -120,10 +128,12 @@ def warn_if_weak_baseline(records):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current")
-    parser.add_argument("--baseline", required=True)
+    parser.add_argument("--baseline",
+                        help="committed baseline JSON (required for every "
+                             "metric except overhead-pct)")
     parser.add_argument("--metric",
                         choices=["throughput", "speedup", "ns-per-node",
-                                 "resync-bytes"],
+                                 "resync-bytes", "overhead-pct"],
                         default="throughput")
     parser.add_argument("--series", default="shard_query",
                         help="bench name of the record to gate on "
@@ -131,11 +141,33 @@ def main():
     parser.add_argument("--field", default="speedup_incremental_vs_recompute",
                         help="record field holding the speedup "
                              "(speedup metric)")
-    parser.add_argument("--threshold", type=float, default=0.20,
-                        help="allowed fractional drop (0.20 = 20%%)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="allowed fractional drop (default 0.20 = 20%%); "
+                             "for overhead-pct, the absolute overhead "
+                             "ceiling as a fraction (default 0.05 = 5%%)")
     parser.add_argument("--shards", type=int, default=4)
     parser.add_argument("--threads", type=int, default=4)
     args = parser.parse_args()
+
+    if args.threshold is None:
+        args.threshold = 0.05 if args.metric == "overhead-pct" else 0.20
+    if args.metric != "overhead-pct" and args.baseline is None:
+        parser.error(f"--baseline is required for --metric {args.metric}")
+
+    if args.metric == "overhead-pct":
+        series = (args.series if args.series != "shard_query"
+                  else "metrics_overhead")
+        current = field_value(load_records(args.current), series,
+                              args.shards, args.threads, "overhead_pct")
+        ceiling = args.threshold * 100.0
+        print(f"{series} instrumentation overhead: current {current:.3f}%, "
+              f"ceiling {ceiling:.3f}%")
+        if current > ceiling:
+            print(f"FAIL: metrics overhead exceeds the "
+                  f"{args.threshold:.0%} contract")
+            sys.exit(1)
+        print("OK")
+        return
 
     lower_is_better = False
     if args.metric == "throughput":

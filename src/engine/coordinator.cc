@@ -5,6 +5,8 @@
 #include "src/engine/delta.h"
 #include "src/engine/shard_worker.h"
 #include "src/util/check.h"
+#include "src/util/metrics.h"
+#include "src/util/timer.h"
 
 namespace pvcdb {
 namespace {
@@ -75,6 +77,7 @@ Coordinator::Coordinator(SemiringKind semiring,
 }
 
 std::string Coordinator::DownWarning(const char* what) const {
+  PVCDB_COUNTER_ADD("coord.degraded_fallbacks", 1);
   std::string warning = "warning:";
   for (size_t s = 0; s < workers_.size(); ++s) {
     if (workers_[s].down()) warning += " worker " + std::to_string(s);
@@ -133,6 +136,8 @@ bool Coordinator::LogAndShip(size_t s, MsgKind kind,
 template <typename Reply>
 bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
                           MsgKind expect, std::vector<Reply>* replies) {
+  WallTimer scatter_timer;
+  PVCDB_COUNTER_ADD("coord.scatters", 1);
   size_t n = workers_.size();
   replies->assign(n, Reply{});
   std::vector<bool> sent(n, false);
@@ -145,6 +150,7 @@ bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
     try {
       workers_[s].SendRequest(kind, payload);
       sent[s] = true;
+      CountShardRequest(s);
     } catch (const WorkerDown&) {
       complete = false;
     }
@@ -169,7 +175,20 @@ bool Coordinator::Scatter(MsgKind kind, const std::string& payload,
     }
   }
   if (!request_error.empty()) throw CheckError(request_error);
+  PVCDB_HIST_OBSERVE("coord.scatter.ms", scatter_timer.ElapsedMillis());
   return complete;
+}
+
+void Coordinator::CountShardRequest(size_t s) {
+  if (!MetricsEnabled()) return;
+  if (shard_request_counters_.empty()) {
+    shard_request_counters_.resize(workers_.size(), nullptr);
+  }
+  if (shard_request_counters_[s] == nullptr) {
+    shard_request_counters_[s] = MetricsRegistry::Global().GetCounter(
+        "coord.shard" + std::to_string(s) + ".requests");
+  }
+  shard_request_counters_[s]->Increment(1);
 }
 
 // -- Catalog ----------------------------------------------------------------
@@ -642,7 +661,7 @@ std::vector<ShardedDatabase::ViewInfo> Coordinator::ViewInfos() {
     info.name = name;
     info.plan = MaterializedView::PlanName(view.plan());
     info.rows = local_.ViewTable(name).NumRows();
-    info.cache_entries = view.step_two().size();
+    info.cache_entries = view.step_two().LiveEntries(local_.ViewTable(name));
     infos.push_back(std::move(info));
   }
   return infos;
@@ -712,6 +731,16 @@ LoadPartitionMsg Coordinator::PartitionFor(const std::string& name,
 bool Coordinator::ResyncWorker(size_t s, ResyncStats* stats,
                                std::string* error) {
   *stats = ResyncStats{};
+  // Record what this resync shipped on exit, whichever path ran.
+  struct ResyncRecorder {
+    const ResyncStats* stats;
+    ~ResyncRecorder() {
+      PVCDB_COUNTER_ADD("coord.resyncs", 1);
+      if (stats->full) PVCDB_COUNTER_ADD("coord.resync.full", 1);
+      PVCDB_COUNTER_ADD("coord.resync.entries", stats->entries);
+      PVCDB_COUNTER_ADD("coord.resync.bytes", stats->bytes);
+    }
+  } recorder{stats};
   ShardLog& log = logs_[s];
 
   // Position probe + tail replay. The worker's (lsn, chain) pair must name
@@ -871,6 +900,51 @@ bool Coordinator::Respawn(size_t s, std::string* error, ResyncStats* stats) {
 
 void Coordinator::Shutdown() {
   for (RemoteShard& worker : workers_) worker.Shutdown();
+}
+
+// -- Observability ----------------------------------------------------------
+
+std::vector<MetricSnapshot> Coordinator::AggregatedStats() {
+  std::vector<MetricSnapshot> out = MetricsRegistry::Global().Snapshot();
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    if (workers_[s].down()) continue;
+    std::string reply;
+    try {
+      reply = workers_[s].Call(MsgKind::kStatsRequest, std::string(),
+                               MsgKind::kStatsReply);
+    } catch (const WorkerDown&) {
+      continue;
+    } catch (const CheckError&) {
+      continue;
+    }
+    StatsReplyMsg msg;
+    if (!StatsReplyMsg::Decode(reply, &msg)) continue;
+    std::string prefix = "shard" + std::to_string(s) + ".";
+    for (MetricSnapshot& entry : msg.entries) {
+      entry.name = prefix + entry.name;
+      out.push_back(std::move(entry));
+    }
+  }
+  return out;
+}
+
+bool Coordinator::WorkerTail(size_t s, uint64_t* lsn, uint32_t* chain) {
+  if (s >= workers_.size() || workers_[s].down()) return false;
+  try {
+    ReplayTailMsg probe;
+    probe.base_lsn = logs_[s].base_lsn;
+    std::string reply = workers_[s].Call(MsgKind::kReplayTail, probe.Encode(),
+                                         MsgKind::kTailInfo);
+    TailInfoMsg info;
+    if (!TailInfoMsg::Decode(reply, &info)) return false;
+    *lsn = info.lsn;
+    *chain = info.chain;
+    return true;
+  } catch (const WorkerDown&) {
+    return false;
+  } catch (const CheckError&) {
+    return false;
+  }
 }
 
 }  // namespace pvcdb

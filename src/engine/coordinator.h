@@ -61,6 +61,7 @@
 #include "src/engine/remote_shard.h"
 #include "src/engine/shard.h"
 #include "src/engine/wal.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 
@@ -241,6 +242,19 @@ class Coordinator {
   /// Best-effort kShutdown broadcast to every live worker.
   void Shutdown();
 
+  // -- Observability -------------------------------------------------------
+
+  /// The coordinator's own metrics-registry snapshot plus every live
+  /// worker's (kStatsRequest scatter), worker entries prefixed
+  /// "shard<N>.". Down workers are skipped; stats reads never mark a
+  /// worker down and never touch the durability plane.
+  std::vector<MetricSnapshot> AggregatedStats();
+
+  /// Reads worker `s`'s durability position via kReplayTail (a pure probe;
+  /// the worker's log and chain are unchanged). False when the worker is
+  /// down or the probe fails.
+  bool WorkerTail(size_t s, uint64_t* lsn, uint32_t* chain);
+
  private:
   struct RemoteView {
     std::string name;
@@ -347,6 +361,11 @@ class Coordinator {
   RemoteView* FindRemoteView(const std::string& name);
   std::string DownWarning(const char* what) const;
 
+  /// Bumps the per-shard scatter-request counter "coord.shard<N>.requests"
+  /// (counter pointers resolved lazily and cached; no-op with metrics
+  /// disabled).
+  void CountShardRequest(size_t s);
+
   /// Marks `s` down after a state-divergence error (a healthy worker
   /// rejected a mutation it should have accepted -- its replica state can
   /// no longer be trusted).
@@ -367,6 +386,8 @@ class Coordinator {
   /// Per table: the annotation VarId of every global row (respawn resync).
   std::map<std::string, std::vector<VarId>> table_vars_;
   std::vector<RemoteView> remote_views_;
+  /// Lazily resolved "coord.shard<N>.requests" counters, one per shard.
+  std::vector<Counter*> shard_request_counters_;
 };
 
 }  // namespace pvcdb

@@ -5,6 +5,7 @@
 #include "src/engine/delta.h"
 #include "src/engine/wal.h"
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 #include "src/util/parallel.h"
 
 namespace pvcdb {
@@ -247,6 +248,7 @@ std::vector<double> Database::ViewProbabilities(const std::string& name) {
 }
 
 PvcTable Database::Run(const Query& q) {
+  PVCDB_SPAN(step1_span, "step1");
   QueryEvaluator evaluator(
       &pool_, [this](const std::string& name) -> const PvcTable& {
         return table(name);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 #include "src/util/parallel.h"
 
 namespace pvcdb {
@@ -14,11 +15,21 @@ CompiledDistribution IsolatedCompileAndDistribution(
   ExprPool local(source.semiring().kind());
   ExprId e = source.CloneInto(&local, annotation);
   CompiledDistribution out;
-  out.tree = CompileToDTree(&local, &variables, e, options);
+  // This runs once per result row, so exact spans would double the
+  // instrumentation bill of cheap annotations: sample 1 in 8 (the trace
+  // receives the x8-scaled estimate; see PVCDB_SPAN_SAMPLED).
+  {
+    PVCDB_SPAN_SAMPLED(compile_span, "compile", 8);
+    out.tree = CompileToDTree(&local, &variables, e, options);
+  }
+  PVCDB_COUNTER_ADD("engine.dtrees_compiled", 1);
   ProbabilityOptions popts;
   popts.num_threads = intra_tree_threads;
-  out.distribution =
-      ComputeDistribution(out.tree, variables, local.semiring(), popts);
+  {
+    PVCDB_SPAN_SAMPLED(step2_span, "step2", 8);
+    out.distribution =
+        ComputeDistribution(out.tree, variables, local.semiring(), popts);
+  }
   return out;
 }
 
@@ -62,7 +73,19 @@ void StepTwoCache::EnforceCapacity(size_t capacity) {
     PVC_CHECK_MSG(it != entries_.end(), "LRU list out of sync");
     Erase(it);
     ++stats_.evicted;
+    PVCDB_COUNTER_ADD("cache.evicted", 1);
   }
+}
+
+size_t StepTwoCache::LiveEntries(const PvcTable& table) const {
+  std::unordered_map<ExprId, char> counted;
+  counted.reserve(table.NumRows());
+  size_t live = 0;
+  for (const Row& row : table.rows()) {
+    if (!counted.emplace(row.annotation, 0).second) continue;
+    if (entries_.count(row.annotation) > 0) ++live;
+  }
+  return live;
 }
 
 std::vector<double> StepTwoCache::Probabilities(
@@ -84,6 +107,7 @@ std::vector<double> StepTwoCache::Probabilities(
         auto victim = it++;
         Erase(victim);
         ++stats_.pruned;
+        PVCDB_COUNTER_ADD("cache.pruned", 1);
       } else {
         ++it;
       }
@@ -145,6 +169,8 @@ std::vector<double> StepTwoCache::Probabilities(
   }
   stats_.misses += missing.size();
   stats_.hits += n - missing.size();
+  PVCDB_COUNTER_ADD("cache.misses", missing.size());
+  PVCDB_COUNTER_ADD("cache.hits", n - missing.size());
 
   std::vector<double> out;
   out.reserve(n);
@@ -174,6 +200,7 @@ void StepTwoCache::OnVariableUpdate(VarId var, const VariableTable& variables,
       if (entry == entries_.end()) continue;
       Erase(entry);
       ++stats_.dropped;
+      PVCDB_COUNTER_ADD("cache.dropped", 1);
     }
     var_index_.erase(it);
     return;
@@ -186,6 +213,7 @@ void StepTwoCache::OnVariableUpdate(VarId var, const VariableTable& variables,
     entry->second.probability =
         NonZeroMass(entry->second.compiled.distribution);
     ++stats_.refreshed;
+    PVCDB_COUNTER_ADD("cache.refreshed", 1);
   }
 }
 

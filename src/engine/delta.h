@@ -136,6 +136,11 @@ class StepTwoCache {
 
   void Clear();
   size_t size() const { return entries_.size(); }
+  /// Number of distinct annotations of `table`'s current rows with a cache
+  /// entry. Unlike size(), this excludes dead entries left behind by
+  /// deleted rows, so the count is a deterministic function of the current
+  /// state (the "N cached d-trees" diagnostic), not of print history.
+  size_t LiveEntries(const PvcTable& table) const;
   const Stats& stats() const { return stats_; }
 
  private:

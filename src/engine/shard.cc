@@ -795,8 +795,8 @@ std::vector<ShardedDatabase::ViewInfo> ShardedDatabase::ViewInfos() {
     info.name = view->name;
     info.plan = "chain (per shard)";
     info.rows = view->order.size();
-    for (const StepTwoCache& cache : view->caches) {
-      info.cache_entries += cache.size();
+    for (size_t s = 0; s < view->caches.size(); ++s) {
+      info.cache_entries += view->caches[s].LiveEntries(view->parts[s]);
     }
     infos.push_back(std::move(info));
   }
@@ -806,7 +806,8 @@ std::vector<ShardedDatabase::ViewInfo> ShardedDatabase::ViewInfos() {
     info.name = name;
     info.plan = MaterializedView::PlanName(view.plan());
     info.rows = coordinator_.ViewTable(name).NumRows();
-    info.cache_entries = view.step_two().size();
+    info.cache_entries =
+        view.step_two().LiveEntries(coordinator_.ViewTable(name));
     infos.push_back(std::move(info));
   }
   return infos;

@@ -10,6 +10,7 @@
 #include "src/util/check.h"
 #include "src/util/codec.h"
 #include "src/util/crc32c.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 
@@ -194,7 +195,10 @@ void ShardWorker::EvalChainParts(const Query& q, const std::string& table,
         return db_->table(name);
       },
       EvalMode::kProbabilistic, db_->eval_options());
-  PvcTable result = evaluator.Eval(q);
+  PvcTable result = [&] {
+    PVCDB_SPAN(step1_span, "step1");
+    return evaluator.Eval(q);
+  }();
 
   size_t rowid_index = result.schema().IndexOf(kShardRowIdColumn);
   std::vector<Column> out_columns = result.schema().columns();
@@ -369,7 +373,7 @@ ViewInfoMsg ShardWorker::HandleViewInfo(const std::string& name) {
                 "worker " << shard_index_ << " has no view '" << name << "'");
   ViewInfoMsg info;
   info.rows = view->part.NumRows();
-  info.cache_entries = view->cache.size();
+  info.cache_entries = view->cache.LiveEntries(view->part);
   return info;
 }
 
@@ -393,6 +397,7 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
     ++lsn_;
     chain_ = NextChain(chain_, kind, payload);
   };
+  PVCDB_COUNTER_ADD("worker.requests", 1);
   try {
     switch (kind) {
       case MsgKind::kSyncVars: {
@@ -540,6 +545,14 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
           }
         }
         ok(lsn_);
+        return true;
+      }
+      case MsgKind::kStatsRequest: {
+        // Pure observation: no log entry, (lsn, chain) untouched.
+        StatsReplyMsg msg;
+        msg.entries = MetricsRegistry::Global().Snapshot();
+        *reply_kind = MsgKind::kStatsReply;
+        *reply_payload = msg.Encode();
         return true;
       }
       case MsgKind::kReset:

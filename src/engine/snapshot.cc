@@ -8,6 +8,7 @@
 #include "src/util/check.h"
 #include "src/util/codec.h"
 #include "src/util/crc32c.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 namespace {
@@ -465,6 +466,7 @@ std::unique_ptr<DurableSession> DurableSession::RecoverImpl(
   }
   if (attached != nullptr) attached->EndReplay();
   session->replayed_records_ = wal.records.size();
+  PVCDB_COUNTER_ADD("wal.recovery_replayed_records", wal.records.size());
   session->wal_ = WalWriter::Open(cfg.fs, wal_path, valid_bytes,
                                   wal.records.size(), cfg.sync, error);
   if (session->wal_ == nullptr) return nullptr;

@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/hash.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 
@@ -220,6 +221,7 @@ void MaterializedView::EmitProjected(const ViewContext& ctx) {
 }
 
 void MaterializedView::Rebuild(const ViewContext& ctx) {
+  PVCDB_COUNTER_ADD("views.rebuilds", 1);
   // Re-analyze: a referenced table may have been replaced with a
   // different schema, which can change join key indices or the plan kind.
   AnalyzePlan(ctx);
@@ -359,17 +361,22 @@ std::vector<double> MaterializedView::Probabilities(
 void MaterializedView::Apply(const TableDelta& delta, const ViewContext& ctx) {
   if (!References(delta.table)) return;
   if (stale_) return;  // Already pending a recompute.
+  PVCDB_SPAN(ivm_span, "ivm");
   switch (plan_) {
     case PlanKind::kChain:
+      PVCDB_COUNTER_ADD("views.incremental_applies", 1);
       ApplyChain(delta, ctx);
       return;
     case PlanKind::kProjectChain:
+      PVCDB_COUNTER_ADD("views.incremental_applies", 1);
       ApplyProjectChain(delta, ctx);
       return;
     case PlanKind::kJoin:
+      PVCDB_COUNTER_ADD("views.incremental_applies", 1);
       ApplyJoin(delta, ctx);
       return;
     case PlanKind::kRecompute:
+      PVCDB_COUNTER_ADD("views.recompute_fallbacks", 1);
       stale_ = true;
       return;
   }

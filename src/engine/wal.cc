@@ -6,6 +6,7 @@
 #include "src/util/check.h"
 #include "src/util/codec.h"
 #include "src/util/crc32c.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 namespace {
@@ -265,8 +266,13 @@ bool WalWriter::Append(const WalRecord& record) {
   EncodeU32(&buffer, Crc32c(payload));
   buffer.append(payload);
   if (!file_->Append(buffer.data(), buffer.size())) return false;
+  PVCDB_COUNTER_ADD("wal.appends", 1);
+  PVCDB_COUNTER_ADD("wal.append_bytes", buffer.size());
   if (sync_) {
     if (!file_->Sync()) return false;
+    PVCDB_COUNTER_ADD("wal.fsyncs", 1);
+    PVCDB_HIST_OBSERVE_IN("wal.group_commit_batch",
+                          Histogram::CountBuckets(), 1.0);
   } else {
     ++unsynced_appends_;
   }
@@ -278,6 +284,9 @@ bool WalWriter::Append(const WalRecord& record) {
 bool WalWriter::Sync() {
   if (unsynced_appends_ == 0) return true;
   if (!file_->Sync()) return false;
+  PVCDB_COUNTER_ADD("wal.fsyncs", 1);
+  PVCDB_HIST_OBSERVE_IN("wal.group_commit_batch", Histogram::CountBuckets(),
+                        static_cast<double>(unsynced_appends_));
   unsynced_appends_ = 0;
   return true;
 }

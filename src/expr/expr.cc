@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/hash.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 
@@ -168,6 +169,7 @@ ExprId ExprPool::Intern(ExprKind kind, ExprSort sort, AggKind agg, CmpOp cmp,
   nodes_.push_back(node);
   table_[i] = id;
   ++table_used_;
+  PVCDB_COUNTER_ADD("engine.exprs_interned", 1);
   if ((table_used_ + 1) * 10 >= table_.size() * 7) Rehash(table_.size() * 2);
   return id;
 }

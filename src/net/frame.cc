@@ -4,6 +4,7 @@
 
 #include "src/util/codec.h"
 #include "src/util/crc32c.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 namespace {
@@ -34,6 +35,8 @@ bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload) {
   std::string wire;
   wire.reserve(9 + payload.size());
   EncodeFrame(&wire, kind, payload);
+  PVCDB_COUNTER_ADD("net.frames_out", 1);
+  PVCDB_COUNTER_ADD("net.bytes_out", wire.size());
   return sock->SendAll(wire.data(), wire.size());
 }
 
@@ -44,14 +47,22 @@ FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload) {
   if (st == IoStatus::kError) return FrameResult::kIoError;
   const uint32_t length = LoadU32(header);
   const uint32_t crc = LoadU32(header + 4);
-  if (length == 0 || length > kMaxFrameLength) return FrameResult::kCorrupt;
+  if (length == 0 || length > kMaxFrameLength) {
+    PVCDB_COUNTER_ADD("net.crc_failures", 1);
+    return FrameResult::kCorrupt;
+  }
   std::string body(length, '\0');
   st = sock->RecvAll(&body[0], body.size());
   if (st == IoStatus::kClosed) return FrameResult::kCorrupt;  // torn frame
   if (st == IoStatus::kError) return FrameResult::kIoError;
-  if (Crc32c(body) != crc) return FrameResult::kCorrupt;
+  if (Crc32c(body) != crc) {
+    PVCDB_COUNTER_ADD("net.crc_failures", 1);
+    return FrameResult::kCorrupt;
+  }
   *kind = static_cast<uint8_t>(body[0]);
   payload->assign(body, 1, body.size() - 1);
+  PVCDB_COUNTER_ADD("net.frames_in", 1);
+  PVCDB_COUNTER_ADD("net.bytes_in", 8 + body.size());
   return FrameResult::kOk;
 }
 
@@ -70,16 +81,20 @@ FrameResult FrameParser::Next(uint8_t* kind, std::string* payload) {
   const uint32_t crc = LoadU32(base + 4);
   if (length == 0 || length > kMaxFrameLength) {
     corrupt_ = true;
+    PVCDB_COUNTER_ADD("net.crc_failures", 1);
     return FrameResult::kCorrupt;
   }
   if (avail < 8 + static_cast<size_t>(length)) return FrameResult::kNeedMore;
   const char* body = base + 8;
   if (Crc32c(body, length) != crc) {
     corrupt_ = true;
+    PVCDB_COUNTER_ADD("net.crc_failures", 1);
     return FrameResult::kCorrupt;
   }
   *kind = static_cast<uint8_t>(body[0]);
   payload->assign(body + 1, length - 1);
+  PVCDB_COUNTER_ADD("net.frames_in", 1);
+  PVCDB_COUNTER_ADD("net.bytes_in", 8 + static_cast<size_t>(length));
   consumed_ += 8 + static_cast<size_t>(length);
   return FrameResult::kOk;
 }

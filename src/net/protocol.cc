@@ -360,6 +360,74 @@ bool ShipWalMsg::Decode(const std::string& payload, ShipWalMsg* out) {
   return reader.ok() && reader.AtEnd();
 }
 
+std::string StatsReplyMsg::Encode() const {
+  std::string out;
+  EncodeU32(&out, static_cast<uint32_t>(entries.size()));
+  for (const MetricSnapshot& entry : entries) {
+    EncodeU8(&out, static_cast<uint8_t>(entry.kind));
+    EncodeString(&out, entry.name);
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        EncodeU64(&out, entry.counter_value);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        EncodeI64(&out, entry.gauge_value);
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        EncodeU32(&out, static_cast<uint32_t>(entry.bounds.size()));
+        for (double bound : entry.bounds) EncodeDouble(&out, bound);
+        // bucket_counts has one extra slot for the overflow bucket.
+        for (uint64_t count : entry.bucket_counts) EncodeU64(&out, count);
+        EncodeU64(&out, entry.observations);
+        EncodeDouble(&out, entry.sum);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool StatsReplyMsg::Decode(const std::string& payload, StatsReplyMsg* out) {
+  ByteReader reader(payload);
+  uint32_t n = reader.ReadU32();
+  if (!PlausibleCount(&reader, n)) return false;
+  out->entries.clear();
+  out->entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    MetricSnapshot entry;
+    uint8_t kind = reader.ReadU8();
+    if (kind > static_cast<uint8_t>(MetricSnapshot::Kind::kHistogram)) return false;
+    entry.kind = static_cast<MetricSnapshot::Kind>(kind);
+    entry.name = reader.ReadString();
+    switch (entry.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        entry.counter_value = reader.ReadU64();
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        entry.gauge_value = reader.ReadI64();
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        uint32_t n_bounds = reader.ReadU32();
+        if (!PlausibleCount(&reader, n_bounds)) return false;
+        entry.bounds.resize(n_bounds);
+        for (uint32_t b = 0; b < n_bounds; ++b) {
+          entry.bounds[b] = reader.ReadDouble();
+        }
+        entry.bucket_counts.resize(n_bounds + 1);
+        for (uint32_t b = 0; b < n_bounds + 1; ++b) {
+          entry.bucket_counts[b] = reader.ReadU64();
+        }
+        entry.observations = reader.ReadU64();
+        entry.sum = reader.ReadDouble();
+        break;
+      }
+    }
+    if (!reader.ok()) return false;
+    out->entries.push_back(std::move(entry));
+  }
+  return reader.ok() && reader.AtEnd();
+}
+
 std::string OkMsg::Encode() const {
   std::string out;
   EncodeU64(&out, value);

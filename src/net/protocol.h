@@ -42,13 +42,16 @@
 #include "src/query/ast.h"
 #include "src/table/cell.h"
 #include "src/table/schema.h"
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 
 /// Bumped on any incompatible change to framing or message payloads.
 /// Version 2 added the durability plane: kSetOptions, kReplayTail /
 /// kTailInfo, kShipWal and kReset (WAL-shipping resync; docs/SERVING.md).
-constexpr uint32_t kProtocolVersion = 2;
+/// Version 3 added the observability plane: kStatsRequest / kStatsReply
+/// (the coordinator aggregating worker-side metrics registries).
+constexpr uint32_t kProtocolVersion = 3;
 
 /// Frame kind bytes. Requests are < 64, replies 64–127, client traffic
 /// >= 128 — the ranges make a reply-where-request-expected bug an
@@ -73,6 +76,7 @@ enum class MsgKind : uint8_t {
   kReplayTail = 16,
   kShipWal = 17,
   kReset = 18,
+  kStatsRequest = 19,
   // Worker → coordinator replies.
   kHelloAck = 64,
   kOk = 65,
@@ -82,6 +86,7 @@ enum class MsgKind : uint8_t {
   kPong = 69,
   kViewInfoResult = 70,
   kTailInfo = 71,
+  kStatsReply = 72,
   // Client ↔ front-end server.
   kClientCommand = 128,
   kClientReply = 129,
@@ -316,6 +321,23 @@ struct ShipWalMsg {
 
   std::string Encode() const;
   static bool Decode(const std::string& payload, ShipWalMsg* out);
+};
+
+// ---------------------------------------------------------------------------
+// Observability plane.
+// ---------------------------------------------------------------------------
+
+/// kStatsReply: the worker's full metrics-registry snapshot (counters,
+/// gauges, histograms). The request (kStatsRequest) has an empty payload.
+/// Stats reads are pure observation: they are never WAL-logged and do not
+/// advance the worker's (lsn, chain) position. The coordinator prefixes
+/// each entry with "shard<N>." when aggregating, so per-shard counts stay
+/// visible end to end.
+struct StatsReplyMsg {
+  std::vector<MetricSnapshot> entries;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, StatsReplyMsg* out);
 };
 
 // ---------------------------------------------------------------------------

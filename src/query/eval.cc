@@ -5,6 +5,7 @@
 
 #include "src/util/check.h"
 #include "src/util/hash.h"
+#include "src/util/metrics.h"
 #include "src/util/parallel.h"
 
 namespace pvcdb {
@@ -180,6 +181,7 @@ PvcTable QueryEvaluator::Eval(const Query& q) {
 
 PvcTable QueryEvaluator::EvalScan(const Query& q) {
   const PvcTable& base = resolver_(q.table_name());
+  PVCDB_COUNTER_ADD("engine.rows_scanned", base.NumRows());
   if (mode_ == EvalMode::kProbabilistic) return base;
   // Q0: evaluate on the deterministic database -- every tuple is present.
   PvcTable out{base.schema()};

@@ -18,6 +18,7 @@
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 #include "src/util/parallel.h"
 
 namespace pvcdb {
@@ -83,8 +84,17 @@ bool InProcessBackend::Respawn(size_t shard, std::string* message) {
 std::string RemoteBackend::Workers() {
   std::ostringstream out;
   for (size_t s = 0; s < coordinator_->num_shards(); ++s) {
-    out << "worker " << s << ": pid " << coordinator_->WorkerPid(s) << ", "
-        << (coordinator_->WorkerUp(s) ? "up" : "down") << "\n";
+    out << "worker " << s << ": pid " << coordinator_->WorkerPid(s) << ", ";
+    uint64_t lsn = 0;
+    uint32_t chain = 0;
+    if (coordinator_->WorkerUp(s) && coordinator_->WorkerTail(s, &lsn, &chain)) {
+      char tail[64];
+      std::snprintf(tail, sizeof(tail), "up (lsn %ju, chain %08x)",
+                    static_cast<uintmax_t>(lsn), chain);
+      out << tail << "\n";
+    } else {
+      out << (coordinator_->WorkerUp(s) ? "up" : "down") << "\n";
+    }
   }
   return out.str();
 }
@@ -180,7 +190,8 @@ void ServerHelp(std::ostream& out) {
       << "  setprob <var> <p>        update a variable's marginal\n"
       << "  view <name> [SELECT ...] register / print a view\n"
       << "  views                    list materialized views\n"
-      << "  workers                  worker process liveness\n"
+      << "  workers                  worker process liveness, (lsn, chain)\n"
+      << "  stats [--json]           metrics snapshot (table or JSON Lines)\n"
       << "  respawn <shard>          replace a down worker\n"
       << "  threads [n]              show or set the thread count\n"
       << "                           (0 = serial, -1 = all cores)\n"
@@ -194,7 +205,10 @@ void ServerHelp(std::ostream& out) {
 
 bool RunSelect(ServeBackend* backend, const std::string& line,
                std::ostream& out) {
-  ParseResult parsed = ParseQuery(line);
+  ParseResult parsed = [&] {
+    PVCDB_SPAN(parse_span, "parse");
+    return ParseQuery(line);
+  }();
   if (!parsed.ok()) {
     out << parsed.error << "\n";
     return false;
@@ -213,7 +227,10 @@ bool RunSelect(ServeBackend* backend, const std::string& line,
 
 bool RunTractable(ServeBackend* backend, const std::string& sql,
                   std::ostream& out) {
-  ParseResult parsed = ParseQuery(sql);
+  ParseResult parsed = [&] {
+    PVCDB_SPAN(parse_span, "parse");
+    return ParseQuery(sql);
+  }();
   if (!parsed.ok()) {
     out << parsed.error << "\n";
     return false;
@@ -376,7 +393,10 @@ bool RunViewCommand(ServeBackend* backend, std::istream& stream,
       return false;
     }
   }
-  ParseResult parsed = ParseQuery(rest.substr(sql_start));
+  ParseResult parsed = [&] {
+    PVCDB_SPAN(parse_span, "parse");
+    return ParseQuery(rest.substr(sql_start));
+  }();
   if (!parsed.ok()) {
     out << parsed.error << "\n";
     return false;
@@ -466,6 +486,17 @@ ClientReplyMsg ExecuteCommand(ServeBackend* backend, const std::string& line,
       for (const ShardedDatabase::ViewInfo& info : backend->ViewInfos()) {
         out << info.name << " (" << info.plan << ", " << info.rows
             << " rows, " << info.cache_entries << " cached d-trees)\n";
+      }
+    } else if (command == "stats") {
+      std::string flag;
+      stream >> flag;
+      if (!flag.empty() && flag != "--json") {
+        out << "usage: stats [--json]\n";
+        reply.ok = false;
+      } else {
+        std::vector<MetricSnapshot> entries = backend->StatsSnapshot();
+        out << (flag == "--json" ? RenderMetricsJson(entries)
+                                 : RenderMetricsTable(entries));
       }
     } else if (command == "workers") {
       out << backend->Workers();
@@ -588,6 +619,10 @@ bool SendFrameFlush(Socket* sock, MsgKind kind, const std::string& payload) {
 /// Worker child entry after fork: the per-connection half of
 /// ShardWorker::RunStandalone over the inherited socketpair end.
 int RunForkedWorker(Socket sock) {
+  // The child inherits the parent's metric values at fork time; reset so
+  // this worker's registry reports only its own activity (matching a
+  // standalone worker's fresh process).
+  MetricsRegistry::Global().Reset();
   uint8_t kind = 0;
   std::string payload;
   if (RecvFrame(&sock, &kind, &payload) != FrameResult::kOk) return 1;
@@ -614,6 +649,7 @@ int RunForkedWorker(Socket sock) {
 
 int RunServer(const ServerConfig& config) {
   IgnoreSigPipe();
+  TraceLog::Global().set_slow_query_ms(config.slow_query_ms);
   // Forked workers are fire-and-forget children; auto-reap them.
   ::signal(SIGCHLD, SIG_IGN);
 
@@ -887,9 +923,18 @@ int RunServer(const ServerConfig& config) {
             drop = true;
             break;
           }
-          ClientReplyMsg reply =
-              ExecuteCommand(backend.get(), payload, &shutdown, &session);
-          std::string encoded = reply.Encode();
+          ClientReplyMsg reply;
+          std::string encoded;
+          {
+            // The trace scope covers execution plus reply encode, so its
+            // total is the server-side latency the slow-query log reports.
+            CommandTraceScope trace_scope(payload);
+            PVCDB_COUNTER_ADD("server.commands", 1);
+            reply = ExecuteCommand(backend.get(), payload, &shutdown,
+                                   &session);
+            PVCDB_SPAN(encode_span, "encode");
+            encoded = reply.Encode();
+          }
           // Any reply is deferred while unacknowledged (unsynced) WAL
           // appends exist -- including read-only replies behind them, which
           // keeps per-connection replies in command order.
@@ -935,11 +980,25 @@ int RunServer(const ServerConfig& config) {
         clients.push_back(std::move(client));
       }
     }
+    PVCDB_GAUGE_SET("server.live_connections",
+                    static_cast<int64_t>(clients.size()));
   }
 
   // Close any open commit window (one fsync + the queued acks, including
   // the deferred shutdown reply) before workers go down.
   if (group_commit) flush_queued();
+
+  // Dump the final aggregated snapshot while workers are still reachable.
+  if (!config.metrics_dump.empty()) {
+    std::string json = RenderMetricsJson(backend->StatsSnapshot());
+    if (std::FILE* f = std::fopen(config.metrics_dump.c_str(), "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "pvcdb server: cannot write metrics dump %s\n",
+                   config.metrics_dump.c_str());
+    }
+  }
 
   if (coordinator != nullptr) coordinator->Shutdown();
   listener.UnlinkSocketFile();

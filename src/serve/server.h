@@ -78,6 +78,13 @@ class ServeBackend {
   /// `threads` / `intratree`: pushes the evaluation thread knobs into the
   /// engine (and, for remote workers, over the wire via kSetOptions).
   virtual void SetEvalOptions(int num_threads, int intra_tree_threads) = 0;
+
+  /// `stats`: one snapshot of every metric this backend can see. The
+  /// in-process backend reads the process registry; the remote backend
+  /// additionally gathers each live worker's registry over kStatsRequest
+  /// (entries prefixed "shard<N>."). Pure observation -- never logged,
+  /// never advances worker (lsn, chain).
+  virtual std::vector<MetricSnapshot> StatsSnapshot() = 0;
 };
 
 /// Reference backend over an in-process ShardedDatabase (does not own it).
@@ -119,6 +126,9 @@ class InProcessBackend : public ServeBackend {
   void SetEvalOptions(int num_threads, int intra_tree_threads) override {
     db_->eval_options().num_threads = num_threads;
     db_->eval_options().intra_tree_threads = intra_tree_threads;
+  }
+  std::vector<MetricSnapshot> StatsSnapshot() override {
+    return MetricsRegistry::Global().Snapshot();
   }
 
  private:
@@ -174,6 +184,9 @@ class RemoteBackend : public ServeBackend {
   void SetEvalOptions(int num_threads, int intra_tree_threads) override {
     coordinator_->SetEvalOptions(num_threads, intra_tree_threads);
   }
+  std::vector<MetricSnapshot> StatsSnapshot() override {
+    return coordinator_->AggregatedStats();
+  }
 
  private:
   Coordinator* coordinator_;
@@ -216,6 +229,13 @@ struct ServerConfig {
   /// affected replies queue until one fsync at window expiry covers them
   /// all (0 = sync on the next poll-loop pass). Ignored without open_dir.
   int group_commit_ms = -1;
+  /// Slow-query threshold in milliseconds. Commands whose total wall time
+  /// meets it emit one structured line on stderr and bump
+  /// `server.slow_queries`. Negative: disabled.
+  double slow_query_ms = -1.0;
+  /// When non-empty: the final metrics snapshot is written here as JSON
+  /// Lines (one metric per line) on clean shutdown.
+  std::string metrics_dump;
 };
 
 /// Runs the front-end server until a client sends `shutdown`. Returns 0 on

@@ -1,0 +1,387 @@
+#include "src/util/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+namespace pvcdb {
+namespace {
+
+/// %.9g, the JSON double rendering shared with bench/bench_util.h: short,
+/// locale-independent, round-trips every value the metrics layer emits.
+std::string FormatDouble(double v) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+  return buffer;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+thread_local CommandTrace* g_active_trace = nullptr;
+
+}  // namespace
+
+// -- Kill switches ----------------------------------------------------------
+
+#if !defined(PVCDB_METRICS_OFF)
+namespace metrics_internal {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled(std::getenv("PVCDB_METRICS_OFF") ==
+                                   nullptr);
+  return enabled;
+}
+
+}  // namespace metrics_internal
+#endif
+
+void SetMetricsEnabled(bool enabled) {
+#if defined(PVCDB_METRICS_OFF)
+  (void)enabled;
+#else
+  metrics_internal::EnabledFlag().store(enabled, std::memory_order_relaxed);
+#endif
+}
+
+// -- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]) {
+  for (size_t i = 0; i + 1 < bounds_.size(); ++i) {
+    if (bounds_[i] >= bounds_[i + 1]) {
+      bounds_.clear();  // Defensive: a bad spec degrades to one bucket.
+      break;
+    }
+  }
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::LatencyBucketsMs() {
+  static const std::vector<double> kBuckets = {
+      0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000};
+  return kBuckets;
+}
+
+const std::vector<double>& Histogram::CountBuckets() {
+  static const std::vector<double> kBuckets = {1, 2, 4, 8, 16, 32, 64, 128,
+                                               256};
+  return kBuckets;
+}
+
+// -- Registry ---------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  return GetHistogram(name, Histogram::LatencyBucketsMs());
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kCounter;
+    snap.name = name;
+    snap.counter_value = counter->Value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kGauge;
+    snap.name = name;
+    snap.gauge_value = gauge->Value();
+    out.push_back(std::move(snap));
+  }
+  for (const auto& [name, hist] : histograms_) {
+    Histogram::Snapshot h = hist->Snap();
+    MetricSnapshot snap;
+    snap.kind = MetricSnapshot::Kind::kHistogram;
+    snap.name = name;
+    snap.bounds = std::move(h.bounds);
+    snap.bucket_counts = std::move(h.counts);
+    snap.observations = h.count;
+    snap.sum = h.sum;
+    out.push_back(std::move(snap));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+// -- Rendering --------------------------------------------------------------
+
+namespace {
+
+std::string HistogramCell(const MetricSnapshot& snap) {
+  std::ostringstream out;
+  out << "count=" << snap.observations;
+  if (snap.observations > 0) {
+    out << " mean=" << FormatDouble(snap.sum /
+                                    static_cast<double>(snap.observations));
+    for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+      if (snap.bucket_counts[i] == 0) continue;
+      out << " le";
+      if (i < snap.bounds.size()) {
+        out << FormatDouble(snap.bounds[i]);
+      } else {
+        out << "inf";
+      }
+      out << ":" << snap.bucket_counts[i];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderMetricsTable(const std::vector<MetricSnapshot>& entries) {
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"metric", "type", "value"});
+  for (const MetricSnapshot& snap : entries) {
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        rows.push_back(
+            {snap.name, "counter", std::to_string(snap.counter_value)});
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        rows.push_back({snap.name, "gauge",
+                        std::to_string(snap.gauge_value)});
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        rows.push_back({snap.name, "histogram", HistogramCell(snap)});
+        break;
+    }
+  }
+  std::vector<size_t> widths(3, 0);
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < 3; ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    out << "|";
+    for (size_t c = 0; c < 3; ++c) {
+      out << " " << rows[r][c]
+          << std::string(widths[c] - rows[r][c].size(), ' ') << " |";
+    }
+    out << "\n";
+    if (r == 0) {
+      out << "|";
+      for (size_t c = 0; c < 3; ++c) {
+        out << std::string(widths[c] + 2, '-') << "|";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string RenderMetricsJson(const std::vector<MetricSnapshot>& entries) {
+  std::ostringstream out;
+  for (const MetricSnapshot& snap : entries) {
+    out << "{\"metric\": \"" << JsonEscape(snap.name) << "\"";
+    switch (snap.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out << ", \"type\": \"counter\", \"value\": " << snap.counter_value;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out << ", \"type\": \"gauge\", \"value\": " << snap.gauge_value;
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out << ", \"type\": \"histogram\", \"count\": " << snap.observations
+            << ", \"sum\": " << FormatDouble(snap.sum) << ", \"buckets\": [";
+        for (size_t i = 0; i < snap.bucket_counts.size(); ++i) {
+          if (i > 0) out << ", ";
+          out << "{\"le\": ";
+          if (i < snap.bounds.size()) {
+            out << FormatDouble(snap.bounds[i]);
+          } else {
+            out << "\"inf\"";
+          }
+          out << ", \"count\": " << snap.bucket_counts[i] << "}";
+        }
+        out << "]";
+        break;
+      }
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+// -- Command tracing --------------------------------------------------------
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::Record(CommandTrace trace) {
+  double slow_ms = slow_query_ms();
+  if (slow_ms >= 0.0 && trace.total_ms >= slow_ms) {
+    PVCDB_COUNTER_ADD("server.slow_queries", 1);
+    // One structured line, key=value pairs then the command, so a scraper
+    // splits on spaces up to cmd=.
+    std::string line = "pvcdb slow-query total_ms=" +
+                       FormatDouble(trace.total_ms);
+    for (const PhaseTiming& phase : trace.phases) {
+      line += " ";
+      line += phase.phase;
+      line += "_ms=" + FormatDouble(phase.ms);
+    }
+    std::string command = trace.command;
+    std::replace(command.begin(), command.end(), '\n', ' ');
+    line += " cmd=\"" + command + "\"";
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > kRingCapacity) ring_.pop_front();
+}
+
+std::vector<CommandTrace> TraceLog::Recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CommandTrace>(ring_.begin(), ring_.end());
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+TraceSpan::TraceSpan(const char* phase, Histogram* hist,
+                     uint32_t trace_scale) {
+  if (phase == nullptr || !MetricsEnabled()) return;
+  phase_ = phase;
+  hist_ = hist;
+  trace_scale_ = trace_scale;
+  timer_.Reset();
+}
+
+TraceSpan::~TraceSpan() {
+  if (phase_ == nullptr) return;
+  double ms = timer_.ElapsedMillis();
+  if (hist_ != nullptr) hist_->Observe(ms);
+  if (CommandTrace* trace = g_active_trace) {
+    // The trace takes the scaled time (x1 for exact spans, x rate for
+    // sampled ones -- the unbiased per-command estimate).
+    double scaled = ms * trace_scale_;
+    // Aggregate repeated phases (per-row compile/step2 spans) into one
+    // entry per phase name, so a 10k-row command traces as 6 phases, not
+    // 20k. Phase names are string literals; the list stays tiny.
+    for (PhaseTiming& existing : trace->phases) {
+      if (std::strcmp(existing.phase, phase_) == 0) {
+        existing.ms += scaled;
+        return;
+      }
+    }
+    trace->phases.push_back({phase_, scaled});
+  }
+}
+
+CommandTraceScope::CommandTraceScope(std::string command) {
+  if (!MetricsEnabled()) return;
+  active_ = true;
+  trace_.command = std::move(command);
+  prev_ = g_active_trace;
+  g_active_trace = &trace_;
+  timer_.Reset();
+}
+
+CommandTraceScope::~CommandTraceScope() {
+  if (!active_) return;
+  g_active_trace = prev_;
+  trace_.total_ms = timer_.ElapsedMillis();
+  TraceLog::Global().Record(std::move(trace_));
+}
+
+CommandTrace* CommandTraceScope::Active() { return g_active_trace; }
+
+}  // namespace pvcdb

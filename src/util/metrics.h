@@ -1,0 +1,373 @@
+// Process-wide metrics registry and per-command phase tracing.
+//
+// The observability layer has one hard invariant (docs/ARCHITECTURE.md):
+// instrumentation never changes results or acks. Everything here is
+// read-modify-write on relaxed atomics off to the side of the data path --
+// no metric participates in any reply, and disabling the layer (runtime
+// kill switch or the PVCDB_METRICS_OFF compile definition) changes nothing
+// but the counters themselves.
+//
+// Three primitives, all owned by the process-global MetricsRegistry:
+//
+//   Counter    -- monotone u64, lock-free increment.
+//   Gauge      -- signed level, lock-free set/add.
+//   Histogram  -- fixed upper-bound buckets + count + sum, lock-free
+//                 observe; defaults to latency-in-milliseconds buckets.
+//
+// Registration (name -> metric) takes a mutex once per call site; the hot
+// path caches the returned pointer in a function-local static (see the
+// PVCDB_COUNTER_* / PVCDB_SPAN macros), so steady-state cost is one
+// relaxed atomic op guarded by one relaxed bool load. Registered metrics
+// are never deallocated before process exit, so cached pointers stay valid
+// across MetricsRegistry::Reset().
+//
+// Phase tracing: TraceSpan is an RAII scope that times one query phase
+// (parse, step1, ivm, compile, step2, encode), feeds the phase's latency
+// histogram, and -- when a CommandTraceScope is active on the same thread
+// -- appends the timing to the current command's trace. Completed traces
+// land in the TraceLog ring buffer; traces slower than the configured
+// threshold additionally emit a structured one-line slow-query log entry
+// on stderr.
+
+#ifndef PVCDB_UTIL_METRICS_H_
+#define PVCDB_UTIL_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace pvcdb {
+
+// -- Kill switches ----------------------------------------------------------
+
+/// Runtime toggle (also reachable by exporting PVCDB_METRICS_OFF=1 before
+/// process start). The overhead benchmark flips this in the measured
+/// server; forked workers inherit whatever the parent set.
+void SetMetricsEnabled(bool enabled);
+
+#if defined(PVCDB_METRICS_OFF)
+/// Compiled out: every instrumentation macro below folds to nothing.
+inline bool MetricsEnabled() { return false; }
+#else
+namespace metrics_internal {
+std::atomic<bool>& EnabledFlag();
+}  // namespace metrics_internal
+
+inline bool MetricsEnabled() {
+  return metrics_internal::EnabledFlag().load(std::memory_order_relaxed);
+}
+#endif
+
+// -- Primitives -------------------------------------------------------------
+
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing inclusive upper bounds; one implicit
+  /// overflow bucket catches everything above the last bound.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 (overflow last).
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Default buckets for latency-in-milliseconds histograms: 0.05 ms to
+  /// 1 s, roughly 1-2.5-5 per decade.
+  static const std::vector<double>& LatencyBucketsMs();
+  /// Buckets for small-count histograms (group-commit batch sizes):
+  /// powers of two, 1 to 256.
+  static const std::vector<double>& CountBuckets();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// -- Snapshots --------------------------------------------------------------
+
+/// One metric's point-in-time value, decoupled from the live registry.
+/// Also the unit the kStatsReply wire message carries (the coordinator
+/// aggregates worker registries from these).
+struct MetricSnapshot {
+  enum class Kind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+  Kind kind = Kind::kCounter;
+  std::string name;
+  uint64_t counter_value = 0;                   ///< kCounter.
+  int64_t gauge_value = 0;                      ///< kGauge.
+  std::vector<double> bounds;                   ///< kHistogram.
+  std::vector<uint64_t> bucket_counts;          ///< bounds.size() + 1.
+  uint64_t observations = 0;                    ///< kHistogram.
+  double sum = 0.0;                             ///< kHistogram.
+};
+
+/// Markdown-style text table (the TablePrinter idiom of bench/bench_util.h)
+/// for the `stats` command. Histograms render count / mean / non-empty
+/// buckets.
+std::string RenderMetricsTable(const std::vector<MetricSnapshot>& entries);
+
+/// JSON Lines, one record per metric, for `stats --json` and
+/// --metrics-dump. Counters/gauges: {"metric":n,"type":t,"value":v};
+/// histograms additionally carry count, sum, and per-bucket counts.
+std::string RenderMetricsJson(const std::vector<MetricSnapshot>& entries);
+
+// -- Registry ---------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Worker processes have their own (separate
+  /// address spaces); the coordinator merges them over kStatsRequest.
+  static MetricsRegistry& Global();
+
+  /// Find-or-create. The returned pointer is stable for the process
+  /// lifetime (metrics are never deallocated); hot paths cache it.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Default (latency-ms) buckets. A histogram that already exists keeps
+  /// its original buckets regardless of later calls.
+  Histogram* GetHistogram(const std::string& name);
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Point-in-time snapshot of every registered metric, sorted by name.
+  /// Safe against concurrent increments (relaxed reads: each metric is
+  /// internally consistent, cross-metric skew is possible).
+  std::vector<MetricSnapshot> Snapshot() const;
+
+  /// Zeroes every registered metric (keeps registrations, so cached
+  /// pointers stay valid). Used by tests and by freshly forked workers,
+  /// whose registries inherit the parent's pre-fork values otherwise.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// -- Command tracing --------------------------------------------------------
+
+struct PhaseTiming {
+  const char* phase = nullptr;  ///< Static string (macro literal).
+  double ms = 0.0;
+};
+
+struct CommandTrace {
+  std::string command;
+  double total_ms = 0.0;
+  std::vector<PhaseTiming> phases;  ///< Completion order.
+};
+
+/// Process-wide ring of recent command traces plus the slow-query policy.
+class TraceLog {
+ public:
+  static TraceLog& Global();
+
+  /// Threshold in milliseconds; negative disables slow-query logging
+  /// (the default). Settable at any time (pvcdb_server --slow-query-ms).
+  void set_slow_query_ms(double ms) {
+    slow_ms_.store(ms, std::memory_order_relaxed);
+  }
+  double slow_query_ms() const {
+    return slow_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Ring-buffers the trace; when it ran past the slow-query threshold,
+  /// bumps server.slow_queries and emits one structured line on stderr:
+  ///   pvcdb slow-query total_ms=12.345 step1_ms=... cmd="select ..."
+  void Record(CommandTrace trace);
+
+  std::vector<CommandTrace> Recent() const;
+  void Clear();
+
+ private:
+  static constexpr size_t kRingCapacity = 128;
+
+  mutable std::mutex mu_;
+  std::deque<CommandTrace> ring_;
+  std::atomic<double> slow_ms_{-1.0};
+};
+
+/// RAII phase timer. Feeds `hist` (when non-null) and the thread's active
+/// CommandTraceScope, if any. Construct through PVCDB_SPAN so the
+/// histogram lookup happens once per call site.
+class TraceSpan {
+ public:
+  /// A null `phase` constructs an inactive span (the sampled macro's
+  /// skipped passages). `trace_scale` multiplies the measured time before
+  /// it enters the active command trace -- 1 for exact spans, the sample
+  /// rate for sampled ones (an unbiased estimate of the phase total). The
+  /// histogram always receives the raw measured time.
+  TraceSpan(const char* phase, Histogram* hist, uint32_t trace_scale = 1);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* phase_ = nullptr;  ///< Null when metrics are disabled.
+  Histogram* hist_ = nullptr;
+  uint32_t trace_scale_ = 1;
+  WallTimer timer_;
+};
+
+/// RAII scope around one command: collects the TraceSpan timings completed
+/// on this thread (worker-thread spans still feed their histograms but not
+/// the per-command breakdown), then hands the finished trace to
+/// TraceLog::Global(). Nestable; the innermost scope collects.
+class CommandTraceScope {
+ public:
+  explicit CommandTraceScope(std::string command);
+  ~CommandTraceScope();
+
+  CommandTraceScope(const CommandTraceScope&) = delete;
+  CommandTraceScope& operator=(const CommandTraceScope&) = delete;
+
+  /// The thread's innermost active trace (null outside any scope).
+  static CommandTrace* Active();
+
+ private:
+  bool active_ = false;
+  CommandTrace trace_;
+  CommandTrace* prev_ = nullptr;
+  WallTimer timer_;
+};
+
+// -- Hot-path macros --------------------------------------------------------
+//
+// Each expands to a guarded relaxed atomic op with the registry lookup
+// memoized in a function-local static. `name` must be a string literal (or
+// otherwise identical across executions of the call site).
+
+#if defined(PVCDB_METRICS_OFF)
+
+#define PVCDB_COUNTER_ADD(name, n) \
+  do {                             \
+  } while (0)
+#define PVCDB_GAUGE_SET(name, v) \
+  do {                           \
+  } while (0)
+#define PVCDB_HIST_OBSERVE(name, value) \
+  do {                                  \
+  } while (0)
+#define PVCDB_HIST_OBSERVE_IN(name, bounds, value) \
+  do {                                             \
+  } while (0)
+#define PVCDB_SPAN(var, phase) \
+  do {                         \
+  } while (0)
+#define PVCDB_SPAN_SAMPLED(var, phase, rate) \
+  do {                                       \
+  } while (0)
+
+#else
+
+#define PVCDB_COUNTER_ADD(name, n)                                      \
+  do {                                                                  \
+    if (pvcdb::MetricsEnabled()) {                                      \
+      static pvcdb::Counter* pvcdb_metrics_counter =                    \
+          pvcdb::MetricsRegistry::Global().GetCounter(name);            \
+      pvcdb_metrics_counter->Increment(                                 \
+          static_cast<uint64_t>(n));                                    \
+    }                                                                   \
+  } while (0)
+
+#define PVCDB_GAUGE_SET(name, v)                                        \
+  do {                                                                  \
+    if (pvcdb::MetricsEnabled()) {                                      \
+      static pvcdb::Gauge* pvcdb_metrics_gauge =                        \
+          pvcdb::MetricsRegistry::Global().GetGauge(name);              \
+      pvcdb_metrics_gauge->Set(static_cast<int64_t>(v));                \
+    }                                                                   \
+  } while (0)
+
+/// Observe into a histogram with the default latency-ms buckets.
+#define PVCDB_HIST_OBSERVE(name, value)                                 \
+  do {                                                                  \
+    if (pvcdb::MetricsEnabled()) {                                      \
+      static pvcdb::Histogram* pvcdb_metrics_hist =                     \
+          pvcdb::MetricsRegistry::Global().GetHistogram(name);          \
+      pvcdb_metrics_hist->Observe(static_cast<double>(value));          \
+    }                                                                   \
+  } while (0)
+
+/// Observe into a histogram with explicit buckets (e.g.
+/// Histogram::CountBuckets() for group-commit batch sizes).
+#define PVCDB_HIST_OBSERVE_IN(name, bounds, value)                      \
+  do {                                                                  \
+    if (pvcdb::MetricsEnabled()) {                                      \
+      static pvcdb::Histogram* pvcdb_metrics_hist =                     \
+          pvcdb::MetricsRegistry::Global().GetHistogram(name, bounds);  \
+      pvcdb_metrics_hist->Observe(static_cast<double>(value));          \
+    }                                                                   \
+  } while (0)
+
+/// Declares a TraceSpan named `var` timing `phase` (a string literal)
+/// into the "phase.<phase>.ms" histogram for the rest of the scope.
+#define PVCDB_SPAN(var, phase)                                          \
+  static pvcdb::Histogram* var##_hist =                                 \
+      pvcdb::MetricsRegistry::Global().GetHistogram("phase." phase      \
+                                                    ".ms");             \
+  pvcdb::TraceSpan var(phase, var##_hist)
+
+/// PVCDB_SPAN for call sites too hot to time every passage (the per-row
+/// step II pipeline): times 1 of every `rate` passages per thread, at a
+/// skipped-passage cost of one thread-local increment. The histogram sees
+/// the sampled passages' raw timings (so the bucket shape is right and
+/// the count is the *sample* count); the active command trace receives
+/// ms x rate, an unbiased estimate of the phase's per-command total, so
+/// slow-query breakdowns of large commands stay approximately right.
+#define PVCDB_SPAN_SAMPLED(var, phase, rate)                            \
+  static pvcdb::Histogram* var##_hist =                                 \
+      pvcdb::MetricsRegistry::Global().GetHistogram("phase." phase      \
+                                                    ".ms");             \
+  static thread_local uint32_t var##_tick = 0;                          \
+  pvcdb::TraceSpan var((var##_tick++ % (rate)) == 0 ? phase : nullptr,  \
+                       var##_hist, (rate))
+
+#endif  // PVCDB_METRICS_OFF
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_UTIL_METRICS_H_

@@ -180,6 +180,59 @@ class CheckBenchTrajectoryTest(unittest.TestCase):
         self.assertIn("OK", result.stdout)
         self.assertNotIn("SKIPPED", result.stdout)
 
+    def overhead_run(self, pct):
+        return [record("metrics_overhead", 2, 0, qps_on=9000.0,
+                       qps_off=9300.0, overhead_pct=pct)]
+
+    def run_overhead(self, current, *extra):
+        # overhead-pct is an absolute ceiling: no --baseline on purpose.
+        return subprocess.run(
+            [sys.executable, SCRIPT, current, "--metric", "overhead-pct",
+             "--shards", "2", "--threads", "0", *extra],
+            capture_output=True, text=True)
+
+    def test_overhead_pct_under_ceiling_passes(self):
+        current = self.write("current.json", self.overhead_run(3.2))
+        result = self.run_overhead(current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+        self.assertIn("metrics_overhead", result.stdout)
+
+    def test_overhead_pct_over_ceiling_fails(self):
+        # Default ceiling is 5%: instrumentation costing more than that
+        # breaks the observability layer's contract.
+        current = self.write("current.json", self.overhead_run(8.0))
+        result = self.run_overhead(current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("FAIL", result.stdout)
+
+    def test_overhead_pct_negative_passes(self):
+        # Run-to-run noise can make the instrumented server come out
+        # faster; a negative overhead is trivially under the ceiling.
+        current = self.write("current.json", self.overhead_run(-1.1))
+        result = self.run_overhead(current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+
+    def test_overhead_pct_custom_threshold(self):
+        current = self.write("current.json", self.overhead_run(8.0))
+        result = self.run_overhead(current, "--threshold", "0.10")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("OK", result.stdout)
+
+    def test_overhead_pct_missing_record_exits_2(self):
+        current = self.write("current.json", hotpath_run(3.0))
+        result = self.run_overhead(current)
+        self.assertEqual(result.returncode, 2, result.stdout)
+
+    def test_baseline_still_required_for_other_metrics(self):
+        current = self.write("current.json", shard_run(100.0, 350.0))
+        result = subprocess.run(
+            [sys.executable, SCRIPT, current, "--metric", "throughput"],
+            capture_output=True, text=True)
+        self.assertEqual(result.returncode, 2, result.stderr)
+        self.assertIn("--baseline is required", result.stderr)
+
     def test_missing_record_exits_2(self):
         current = self.write("current.json", hotpath_run(3.0))
         baseline = self.write("baseline.json", [])

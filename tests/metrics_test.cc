@@ -1,0 +1,286 @@
+// Units for the observability layer (src/util/metrics.h): registry
+// find-or-create semantics, histogram bucketing, snapshot/rendering,
+// command tracing with phase aggregation, the slow-query policy, the
+// runtime kill switch, and the kStatsReply wire codec. The concurrency
+// test runs under TSan via the `parallel` label: N threads hammer one
+// counter and one histogram; totals must be exact.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/protocol.h"
+#include "src/util/metrics.h"
+
+namespace pvcdb {
+namespace {
+
+TEST(MetricsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.stable.counter");
+  EXPECT_EQ(c, reg.GetCounter("test.stable.counter"));
+  c->Reset();
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+
+  Gauge* g = reg.GetGauge("test.stable.gauge");
+  EXPECT_EQ(g, reg.GetGauge("test.stable.gauge"));
+  g->Set(-7);
+  g->Add(10);
+  EXPECT_EQ(g->Value(), 3);
+
+  // A histogram keeps its original buckets regardless of later requests.
+  Histogram* h = reg.GetHistogram("test.stable.hist",
+                                  std::vector<double>{1.0, 2.0});
+  EXPECT_EQ(h, reg.GetHistogram("test.stable.hist"));
+  EXPECT_EQ(h->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.reset.counter");
+  c->Increment(5);
+  reg.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  // The cached pointer survives (metrics are never deallocated).
+  EXPECT_EQ(c, reg.GetCounter("test.reset.counter"));
+}
+
+TEST(HistogramTest, BucketsAreInclusiveUpperBoundsWithOverflow) {
+  Histogram h(std::vector<double>{1.0, 10.0, 100.0});
+  h.Observe(0.5);    // bucket 0 (<= 1)
+  h.Observe(1.0);    // bucket 0 (inclusive)
+  h.Observe(5.0);    // bucket 1
+  h.Observe(100.0);  // bucket 2
+  h.Observe(999.0);  // overflow
+  Histogram::Snapshot s = h.Snap();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 5.0 + 100.0 + 999.0);
+
+  h.Reset();
+  s = h.Snap();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndTyped) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snap.zzz")->Increment(3);
+  reg.GetGauge("test.snap.aaa")->Set(-1);
+  reg.GetHistogram("test.snap.mmm")->Observe(0.2);
+
+  std::vector<MetricSnapshot> entries = reg.Snapshot();
+  ASSERT_GE(entries.size(), 3u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_hist = false;
+  for (const MetricSnapshot& e : entries) {
+    if (e.name == "test.snap.zzz") {
+      EXPECT_EQ(e.kind, MetricSnapshot::Kind::kCounter);
+      EXPECT_EQ(e.counter_value, 3u);
+      saw_counter = true;
+    } else if (e.name == "test.snap.aaa") {
+      EXPECT_EQ(e.kind, MetricSnapshot::Kind::kGauge);
+      EXPECT_EQ(e.gauge_value, -1);
+      saw_gauge = true;
+    } else if (e.name == "test.snap.mmm") {
+      EXPECT_EQ(e.kind, MetricSnapshot::Kind::kHistogram);
+      EXPECT_EQ(e.observations, 1u);
+      EXPECT_EQ(e.bucket_counts.size(), e.bounds.size() + 1);
+      saw_hist = true;
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(MetricsRenderTest, TableAndJsonCarryEveryMetric) {
+  std::vector<MetricSnapshot> entries;
+  MetricSnapshot c;
+  c.kind = MetricSnapshot::Kind::kCounter;
+  c.name = "render.counter";
+  c.counter_value = 7;
+  entries.push_back(c);
+  MetricSnapshot h;
+  h.kind = MetricSnapshot::Kind::kHistogram;
+  h.name = "render.hist";
+  h.bounds = {1.0, 2.0};
+  h.bucket_counts = {4, 0, 1};
+  h.observations = 5;
+  h.sum = 6.5;
+  entries.push_back(h);
+
+  std::string table = RenderMetricsTable(entries);
+  EXPECT_NE(table.find("render.counter"), std::string::npos) << table;
+  EXPECT_NE(table.find("| 7"), std::string::npos) << table;
+  EXPECT_NE(table.find("render.hist"), std::string::npos) << table;
+  EXPECT_NE(table.find("count=5"), std::string::npos) << table;
+
+  std::string json = RenderMetricsJson(entries);
+  EXPECT_NE(json.find("{\"metric\": \"render.counter\", \"type\": "
+                      "\"counter\", \"value\": 7}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"metric\": \"render.hist\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 5"), std::string::npos) << json;
+  // One line per metric, each a complete JSON object.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '\n'), 2);
+}
+
+TEST(MetricsKillSwitchTest, DisabledMacrosAreNoOps) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.kill.counter");
+  c->Reset();
+  SetMetricsEnabled(false);
+  PVCDB_COUNTER_ADD("test.kill.counter", 1);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(c->Value(), 0u);
+  PVCDB_COUNTER_ADD("test.kill.counter", 1);
+  EXPECT_EQ(c->Value(), 1u);
+}
+
+TEST(TraceTest, SpansAggregateByPhaseIntoTheActiveTrace) {
+  TraceLog::Global().Clear();
+  TraceLog::Global().set_slow_query_ms(-1.0);
+  {
+    CommandTraceScope scope("SELECT 1");
+    ASSERT_NE(CommandTraceScope::Active(), nullptr);
+    // Two spans of the same phase fold into one PhaseTiming entry, so
+    // per-row spans cannot bloat a command's trace.
+    { PVCDB_SPAN(span_a, "testphase"); }
+    { PVCDB_SPAN(span_b, "testphase"); }
+    { PVCDB_SPAN(span_c, "otherphase"); }
+  }
+  EXPECT_EQ(CommandTraceScope::Active(), nullptr);
+  std::vector<CommandTrace> recent = TraceLog::Global().Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent.back().command, "SELECT 1");
+  ASSERT_EQ(recent.back().phases.size(), 2u);
+  EXPECT_STREQ(recent.back().phases[0].phase, "testphase");
+  EXPECT_STREQ(recent.back().phases[1].phase, "otherphase");
+  EXPECT_GE(recent.back().total_ms, 0.0);
+}
+
+TEST(TraceTest, SampledSpansObserveOneInRateAndScaleTheTrace) {
+  TraceLog::Global().Clear();
+  TraceLog::Global().set_slow_query_ms(-1.0);
+  Histogram* hist =
+      MetricsRegistry::Global().GetHistogram("phase.sampled_unit.ms");
+  hist->Reset();
+  {
+    CommandTraceScope scope("sampled");
+    // The per-thread tick starts at 0, so 16 passages at rate 4 time
+    // exactly passages 0, 4, 8, 12.
+    for (int i = 0; i < 16; ++i) {
+      PVCDB_SPAN_SAMPLED(samp_span, "sampled_unit", 4);
+    }
+  }
+  EXPECT_EQ(hist->Snap().count, 4u);
+  std::vector<CommandTrace> recent = TraceLog::Global().Recent();
+  ASSERT_EQ(recent.size(), 1u);
+  // The sampled phase still appears (scaled) in the command's trace.
+  ASSERT_EQ(recent.back().phases.size(), 1u);
+  EXPECT_STREQ(recent.back().phases[0].phase, "sampled_unit");
+  EXPECT_GE(recent.back().phases[0].ms, 0.0);
+}
+
+TEST(TraceTest, SlowQueryThresholdBumpsTheCounter) {
+  TraceLog::Global().Clear();
+  Counter* slow = MetricsRegistry::Global().GetCounter("server.slow_queries");
+  slow->Reset();
+  TraceLog::Global().set_slow_query_ms(0.0);  // Everything is slow.
+  {
+    CommandTraceScope scope("view pricey");
+  }
+  TraceLog::Global().set_slow_query_ms(-1.0);
+  EXPECT_EQ(slow->Value(), 1u);
+  {
+    CommandTraceScope scope("view pricey");  // Disabled again: no bump.
+  }
+  EXPECT_EQ(slow->Value(), 1u);
+}
+
+TEST(StatsReplyMsgTest, CodecRoundTripsEveryKind) {
+  StatsReplyMsg msg;
+  MetricSnapshot c;
+  c.kind = MetricSnapshot::Kind::kCounter;
+  c.name = "wire.counter";
+  c.counter_value = 123456789;
+  msg.entries.push_back(c);
+  MetricSnapshot g;
+  g.kind = MetricSnapshot::Kind::kGauge;
+  g.name = "wire.gauge";
+  g.gauge_value = -42;
+  msg.entries.push_back(g);
+  MetricSnapshot h;
+  h.kind = MetricSnapshot::Kind::kHistogram;
+  h.name = "wire.hist";
+  h.bounds = {0.5, 5.0};
+  h.bucket_counts = {1, 2, 3};
+  h.observations = 6;
+  h.sum = 12.25;
+  msg.entries.push_back(h);
+
+  StatsReplyMsg decoded;
+  ASSERT_TRUE(StatsReplyMsg::Decode(msg.Encode(), &decoded));
+  ASSERT_EQ(decoded.entries.size(), 3u);
+  EXPECT_EQ(decoded.entries[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_EQ(decoded.entries[0].name, "wire.counter");
+  EXPECT_EQ(decoded.entries[0].counter_value, 123456789u);
+  EXPECT_EQ(decoded.entries[1].gauge_value, -42);
+  EXPECT_EQ(decoded.entries[2].bounds, h.bounds);
+  EXPECT_EQ(decoded.entries[2].bucket_counts, h.bucket_counts);
+  EXPECT_EQ(decoded.entries[2].observations, 6u);
+  EXPECT_DOUBLE_EQ(decoded.entries[2].sum, 12.25);
+
+  // Truncated payloads and bad kinds are rejected, never misparsed.
+  std::string wire = msg.Encode();
+  EXPECT_FALSE(StatsReplyMsg::Decode(wire.substr(0, wire.size() - 3),
+                                     &decoded));
+  std::string bad = wire;
+  bad[4] = 7;  // First entry's kind byte (after the u32 count).
+  EXPECT_FALSE(StatsReplyMsg::Decode(bad, &decoded));
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentIncrementsAreExact) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* c = reg.GetCounter("test.concurrent.counter");
+  Histogram* h = reg.GetHistogram("test.concurrent.hist",
+                                  std::vector<double>{10.0, 100.0});
+  c->Reset();
+  h->Reset();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Observe(static_cast<double>(t));
+        PVCDB_COUNTER_ADD("test.concurrent.macro", 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  Histogram::Snapshot s = h->Snap();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.counts[0], static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(reg.GetCounter("test.concurrent.macro")->Value() % kPerThread,
+            0u);
+}
+
+}  // namespace
+}  // namespace pvcdb

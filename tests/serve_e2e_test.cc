@@ -333,28 +333,6 @@ TEST(ServeE2eTest, KilledWorkerDegradesThenRespawns) {
   ExpectCleanExit(server);
 }
 
-// The `views` diagnostics line reports step II d-tree cache occupancy,
-// which is print-history-dependent: a twin that printed the view before a
-// delete still holds cached trees for the deleted rows, while a recovered
-// server only ever printed the post-recovery state. The cache is not
-// served data (recovery replays mutations, not reads), so crash/restart
-// comparisons scrub the count; rows, names, and every probability byte
-// must still match exactly.
-std::string ScrubCachedTreeCounts(std::string text) {
-  const std::string marker = " cached d-trees";
-  size_t at = text.find(marker);
-  while (at != std::string::npos) {
-    size_t digits_begin = at;
-    while (digits_begin > 0 &&
-           std::isdigit(static_cast<unsigned char>(text[digits_begin - 1]))) {
-      --digits_begin;
-    }
-    text.replace(digits_begin, at - digits_begin, "#");
-    at = text.find(marker, digits_begin + marker.size());
-  }
-  return text;
-}
-
 // The crash gauntlet (ISSUE acceptance): a durable server is SIGKILLed
 // mid-session -- no shutdown, no checkpoint -- restarted on the same
 // directory, and must serve every read byte-identical to a never-crashed
@@ -408,10 +386,11 @@ void RunSigkillRestartGauntlet(int group_commit_ms) {
 
   log_text = c1.Send("log");
   EXPECT_NE(log_text.find("recovered = yes"), std::string::npos) << log_text;
+  // `views` cache occupancy counts only live entries (current-row
+  // annotations), so the recovered server matches the never-crashed twin
+  // byte for byte -- no scrubbing.
   for (size_t i = 0; i < reads.size(); ++i) {
-    EXPECT_EQ(ScrubCachedTreeCounts(c1.Send(reads[i])),
-              ScrubCachedTreeCounts(expected[i]))
-        << "command: " << reads[i];
+    EXPECT_EQ(c1.Send(reads[i]), expected[i]) << "command: " << reads[i];
   }
 
   // The recovered server keeps serving durable mutations bit-identically.
@@ -458,9 +437,7 @@ TEST(ServeDurabilityE2eTest, InProcessDurableServerRecovers) {
   Client c1;
   ASSERT_TRUE(c1.Connect(address));
   for (const std::string& line : ReadCommands()) {
-    EXPECT_EQ(ScrubCachedTreeCounts(c1.Send(line)),
-              ScrubCachedTreeCounts(ref.Run(line)))
-        << "command: " << line;
+    EXPECT_EQ(c1.Send(line), ref.Run(line)) << "command: " << line;
   }
   EXPECT_EQ(c1.Send("shutdown"), "shutting down\n");
   ExpectCleanExit(reborn);

@@ -23,6 +23,7 @@
 // operational runbook.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -37,7 +38,8 @@ void PrintUsage() {
       stderr,
       "usage: pvcdb_server --listen <addr> [--shards <n>] [--in-process]\n"
       "                    [--workers <addr,addr,...>] [--open <dir>]\n"
-      "                    [--group-commit <ms>] [--quiet]\n"
+      "                    [--group-commit <ms>] [--slow-query-ms <t>]\n"
+      "                    [--metrics-dump <path>] [--quiet]\n"
       "       pvcdb_server --worker <addr> [--quiet]\n"
       "\n"
       "  --listen <addr>   front-end address (host:port for TCP, otherwise\n"
@@ -53,6 +55,10 @@ void PrintUsage() {
       "  --group-commit <ms>  batch WAL fsyncs: replies to mutations wait\n"
       "                    up to <ms> for one fsync covering the window\n"
       "                    (default: fsync per mutation; requires --open)\n"
+      "  --slow-query-ms <t>  log commands slower than <t> ms (one\n"
+      "                    structured line per slow command on stderr)\n"
+      "  --metrics-dump <path>  write the final metrics snapshot to <path>\n"
+      "                    as JSON Lines on clean shutdown\n"
       "  --worker <addr>   run as a standalone shard worker on <addr>\n"
       "  --quiet           suppress startup banners\n");
 }
@@ -120,6 +126,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       config.group_commit_ms = ms;
+    } else if (arg == "--slow-query-ms") {
+      const char* v = next("--slow-query-ms");
+      if (v == nullptr) return 2;
+      double ms = std::atof(v);
+      if (ms < 0.0) {
+        std::fprintf(stderr, "pvcdb_server: --slow-query-ms needs t >= 0\n");
+        return 2;
+      }
+      config.slow_query_ms = ms;
+    } else if (arg == "--metrics-dump") {
+      const char* v = next("--metrics-dump");
+      if (v == nullptr) return 2;
+      config.metrics_dump = v;
     } else if (arg == "--in-process") {
       config.in_process = true;
     } else if (arg == "--quiet") {

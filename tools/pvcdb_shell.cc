@@ -70,6 +70,7 @@
 #include "src/query/parser.h"
 #include "src/query/tractability.h"
 #include "src/util/check.h"
+#include "src/util/metrics.h"
 #include "src/util/parallel.h"
 
 namespace {
@@ -127,6 +128,8 @@ void PrintHelp() {
             << "  setprob <var> <p>        update a variable's marginal\n"
             << "  view <name> [SELECT ...] register / print a view\n"
             << "  views                    list materialized views\n"
+            << "  stats [--json]           metrics snapshot (table or JSON\n"
+            << "                           Lines)\n"
             << "  threads [n]              show or set the thread count\n"
             << "                           (0 = serial, -1 = all cores)\n"
             << "  intratree [n]            show or set the intra-d-tree\n"
@@ -494,7 +497,8 @@ void ListViews(Session* session) {
     std::cout << name << " ("
               << MaterializedView::PlanName(view.plan()) << ", "
               << db.ViewTable(name).NumRows() << " rows, "
-              << view.step_two().size() << " cached d-trees)\n";
+              << view.step_two().LiveEntries(db.ViewTable(name))
+              << " cached d-trees)\n";
   }
 }
 
@@ -760,6 +764,17 @@ int main(int argc, char** argv) {
       }
     } else if (command == "views") {
       ListViews(&session);
+    } else if (command == "stats") {
+      std::string flag;
+      stream >> flag;
+      if (!flag.empty() && flag != "--json") {
+        std::cout << "usage: stats [--json]\n";
+      } else {
+        std::vector<MetricSnapshot> entries =
+            MetricsRegistry::Global().Snapshot();
+        std::cout << (flag == "--json" ? RenderMetricsJson(entries)
+                                       : RenderMetricsTable(entries));
+      }
     } else if (command == "threads") {
       int n = 0;
       if (stream >> n) {
