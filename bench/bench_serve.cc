@@ -24,6 +24,12 @@
 //    the full rebuild. Shipped entries/bytes and wall time per worker are
 //    the series the resync-bytes trajectory gate tracks.
 //
+// And one fault-plane sweep: client-observed latency with every
+// coordinator <-> worker frame routed through a seeded FaultProxy that
+// delays 1% of frames (the fault_p99 record). Replies must stay
+// distributed and bit-identical -- a merely flaky link may cost latency,
+// never correctness or availability.
+//
 //   bench_serve [--smoke|--full] [--json]
 
 #include <signal.h>
@@ -46,9 +52,11 @@
 #include "src/engine/shard.h"
 #include "src/engine/shard_worker.h"
 #include "src/engine/snapshot.h"
+#include "src/net/fault.h"
 #include "src/net/frame.h"
 #include "src/net/protocol.h"
 #include "src/net/socket.h"
+#include "src/query/parser.h"
 #include "src/serve/server.h"
 #include "src/util/metrics.h"
 #include "src/util/timer.h"
@@ -496,6 +504,108 @@ bool RunResyncPoints(const std::string& dir, size_t shards, size_t rows,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Flaky-link latency: the fault_p99 record.
+// ---------------------------------------------------------------------------
+
+// Runs `requests` distributable chain queries over a coordinator whose
+// every worker link passes through a FaultProxy delaying each frame by
+// `delay_ms` with probability `probability` (seeded per shard, so the
+// schedule is reproducible). Every reply must stay distributed -- the
+// delays sit far under the RPC deadline -- and bit-identical to the first.
+bool RunFaultPoint(const std::string& dir, size_t shards, size_t rows,
+                   int requests, double probability, uint64_t delay_ms,
+                   GridResult* result) {
+  std::vector<std::string> worker_addrs;
+  std::vector<std::string> proxy_addrs;
+  std::vector<pid_t> pids;
+  std::vector<std::unique_ptr<FaultProxy>> proxies;
+  bool ok = true;
+  for (size_t s = 0; s < shards; ++s) {
+    worker_addrs.push_back(dir + "/fault_w" + std::to_string(s) + ".sock");
+    proxy_addrs.push_back(dir + "/fault_p" + std::to_string(s) + ".sock");
+    ::unlink(worker_addrs.back().c_str());
+    ::unlink(proxy_addrs.back().c_str());
+    pid_t pid = StartStandaloneWorker(worker_addrs.back());
+    if (pid <= 0) return false;
+    pids.push_back(pid);
+    FaultSchedule schedule;
+    schedule.delay_probability = probability;
+    schedule.delay_ms = delay_ms;
+    schedule.seed = 0x5eedf417 + s;
+    proxies.push_back(std::make_unique<FaultProxy>());
+    std::string error;
+    if (!proxies.back()->Start(proxy_addrs.back(), worker_addrs.back(),
+                               schedule, &error)) {
+      std::fprintf(stderr, "bench_serve: fault proxy: %s\n", error.c_str());
+      ok = false;
+      break;
+    }
+  }
+
+  if (ok) {
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(proxy_addrs),
+        RedialSpawner(worker_addrs));
+    FaultToleranceOptions ft;
+    ft.rpc_deadline_ms = 10000;  // Armed, but far above any injected delay.
+    coordinator->ConfigureFaultTolerance(ft);
+
+    Schema schema({{"k", CellType::kInt}, {"v", CellType::kInt}});
+    std::vector<std::vector<Cell>> cells;
+    std::vector<double> probs;
+    for (size_t i = 0; i < rows; ++i) {
+      cells.push_back({Cell(static_cast<int64_t>(i)),
+                       Cell(static_cast<int64_t>((i * 37) % 1000))});
+      probs.push_back(0.3 + 0.1 * (i % 6));
+    }
+    coordinator->AddTupleIndependentTable("bench", schema, cells, probs);
+
+    ParseResult parsed = ParseQuery("SELECT * FROM bench WHERE v >= 700");
+    if (!parsed.ok()) {
+      ok = false;
+    } else {
+      QueryRun reference = coordinator->Run(*parsed.query);
+      ok = reference.distributed;
+      std::vector<double> latencies;
+      latencies.reserve(static_cast<size_t>(requests));
+      WallTimer wall;
+      for (int r = 0; ok && r < requests; ++r) {
+        WallTimer timer;
+        QueryRun run = coordinator->Run(*parsed.query);
+        latencies.push_back(timer.ElapsedSeconds());
+        if (!run.distributed || run.text != reference.text ||
+            run.probabilities != reference.probabilities) {
+          std::fprintf(stderr,
+                       "bench_serve: flaky-link reply degraded or "
+                       "diverged at request %d\n",
+                       r);
+          ok = false;
+        }
+      }
+      if (ok) {
+        const double elapsed = wall.ElapsedSeconds();
+        std::sort(latencies.begin(), latencies.end());
+        result->qps = elapsed > 0.0 ? latencies.size() / elapsed : 0.0;
+        result->p50_ms = Percentile(&latencies, 0.50) * 1000.0;
+        result->p99_ms = Percentile(&latencies, 0.99) * 1000.0;
+        RunStats stats = Summarize(latencies);
+        result->mean_seconds = stats.mean_seconds;
+        result->stddev_seconds = stats.stddev_seconds;
+        result->ok = true;
+      }
+    }
+    coordinator->Shutdown();
+    coordinator.reset();
+  }
+  for (auto& proxy : proxies) proxy->Stop();
+  for (pid_t pid : pids) {
+    kill(pid, SIGKILL);
+    waitpid(pid, nullptr, 0);
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -750,6 +860,45 @@ int main(int argc, char** argv) {
     }
   } else {
     failed = true;
+  }
+
+  // Client-observed latency on a flaky link: 1% of frames delayed 2ms by
+  // a seeded per-shard FaultProxy. Availability and bit-identity must
+  // survive; the p99 spread vs the clean serve records is the cost.
+  {
+    const double delay_probability = 0.01;
+    const uint64_t delay_ms = 2;
+    GridResult r;
+    if (RunFaultPoint(dir, mutation_shards, rows, requests,
+                      delay_probability, delay_ms, &r) &&
+        r.ok) {
+      if (json) {
+        JsonParams params;
+        params.Set("shards", static_cast<int64_t>(mutation_shards))
+            .Set("threads", 0)
+            .Set("rows", static_cast<int64_t>(rows))
+            .Set("requests", static_cast<int64_t>(requests))
+            .Set("delay_probability", delay_probability)
+            .Set("delay_ms", static_cast<int64_t>(delay_ms))
+            .Set("qps", r.qps)
+            .Set("p50_ms", r.p50_ms)
+            .Set("p99_ms", r.p99_ms);
+        RunStats stats;
+        stats.mean_seconds = r.mean_seconds;
+        stats.stddev_seconds = r.stddev_seconds;
+        PrintJsonRecord("fault_p99", params, stats);
+      } else {
+        TablePrinter fault_table(std::vector<std::string>{
+            "link", "shards", "requests", "qps", "p50_ms", "p99_ms"});
+        fault_table.PrintRow({"flaky-1pct", std::to_string(mutation_shards),
+                              std::to_string(requests),
+                              FormatDouble(r.qps, 1),
+                              FormatDouble(r.p50_ms, 3),
+                              FormatDouble(r.p99_ms, 3)});
+      }
+    } else {
+      failed = true;
+    }
   }
 
   std::string cleanup = std::string("rm -rf '") + dir + "'";

@@ -879,6 +879,10 @@ bool Coordinator::Respawn(size_t s, std::string* error, ResyncStats* stats) {
   }
   RemoteShard fresh(static_cast<uint32_t>(s), Socket(), 0);
   if (!spawner_(static_cast<uint32_t>(s), &fresh, error)) return false;
+  // The replacement stub inherits the RPC deadline BEFORE the handshake: a
+  // SIGSTOP'd standalone worker accepts the connect (kernel backlog) and
+  // only the handshake recv would reveal the hang.
+  fresh.set_rpc_options(workers_[s].rpc_options());
   HelloMsg hello;
   hello.semiring = semiring_;
   hello.shard_index = static_cast<uint32_t>(s);
@@ -900,6 +904,170 @@ bool Coordinator::Respawn(size_t s, std::string* error, ResyncStats* stats) {
 
 void Coordinator::Shutdown() {
   for (RemoteShard& worker : workers_) worker.Shutdown();
+}
+
+// -- Fault tolerance ---------------------------------------------------------
+
+const char* WorkerHealthName(WorkerHealth health) {
+  switch (health) {
+    case WorkerHealth::kHealthy:
+      return "healthy";
+    case WorkerHealth::kSuspect:
+      return "suspect";
+    case WorkerHealth::kDown:
+      return "down";
+    case WorkerHealth::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+void Coordinator::ConfigureFaultTolerance(
+    const FaultToleranceOptions& options) {
+  ft_options_ = options;
+  if (ft_options_.clock == nullptr) ft_options_.clock = Clock::Real();
+  RpcOptions rpc;
+  rpc.deadline_ms = ft_options_.rpc_deadline_ms;
+  for (RemoteShard& worker : workers_) worker.set_rpc_options(rpc);
+  health_.clear();
+  health_.resize(workers_.size());
+  for (size_t s = 0; s < health_.size(); ++s) {
+    // Decorrelate the jittered respawn schedules so a mass outage does not
+    // hammer the spawner in lockstep.
+    BackoffPolicy policy = ft_options_.respawn_backoff;
+    policy.seed += s;
+    health_[s].respawn_backoff = ExponentialBackoff(policy);
+    health_[s].breaker = std::make_unique<CircuitBreaker>(
+        ft_options_.respawn_max_failures, ft_options_.respawn_window_ms,
+        ft_options_.clock);
+  }
+}
+
+WorkerHealth Coordinator::Health(size_t s) const {
+  if (s >= workers_.size()) return WorkerHealth::kDown;
+  if (!workers_[s].down()) return WorkerHealth::kHealthy;
+  if (s >= health_.size()) return WorkerHealth::kDown;
+  const WorkerHealthState& h = health_[s];
+  if (h.circuit_open) return WorkerHealth::kDegraded;
+  return h.misses < ft_options_.down_after_misses ? WorkerHealth::kSuspect
+                                                  : WorkerHealth::kDown;
+}
+
+void Coordinator::HeartbeatTick(std::vector<std::string>* lines) {
+  if (health_.empty()) return;
+  auto note = [lines](std::string text) {
+    if (lines != nullptr) lines->push_back(std::move(text));
+  };
+  int open_circuits = 0;
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    WorkerHealthState& h = health_[s];
+    std::string who = "worker " + std::to_string(s);
+    if (!workers_[s].down()) {
+      PVCDB_COUNTER_ADD("coordinator.heartbeats_sent", 1);
+      PongMsg pong;
+      if (workers_[s].Ping(next_ping_nonce_++, &pong)) {
+        if (h.misses != 0) note(who + ": healthy (heartbeat restored)");
+        h.misses = 0;
+        h.circuit_open = false;
+        h.respawn_backoff.Reset();
+        h.breaker->RecordSuccess();
+        continue;
+      }
+      // Ping marked the stub down (the transport is poisoned); the walk
+      // below decides suspect vs down and whether to respawn next ticks.
+      PVCDB_COUNTER_ADD("coordinator.heartbeats_missed", 1);
+      ++h.misses;
+      note("warning: " + who + " " +
+           WorkerHealthName(h.misses < ft_options_.down_after_misses
+                                ? WorkerHealth::kSuspect
+                                : WorkerHealth::kDown) +
+           " (heartbeat missed, " + std::to_string(h.misses) + "/" +
+           std::to_string(ft_options_.down_after_misses) + ")");
+      continue;
+    }
+    // Transport already down: a ping failed on an earlier tick, or a query
+    // RPC timed out in between (a miss count of zero means the latter).
+    // Every tick spent down is a missed beat, so the suspect -> down walk
+    // advances even when nothing can be pinged.
+    int before = h.misses;
+    if (h.misses < ft_options_.down_after_misses) ++h.misses;
+    if (before == 0) {
+      note("warning: " + who + " suspect (rpc failure)");
+    } else if (before < ft_options_.down_after_misses &&
+               h.misses >= ft_options_.down_after_misses) {
+      note("warning: " + who + " down (" + std::to_string(h.misses) +
+           " heartbeats missed)");
+    }
+    if (!ft_options_.auto_respawn) {
+      if (h.circuit_open) ++open_circuits;
+      continue;
+    }
+    if (h.breaker->open()) {
+      if (!h.circuit_open) {
+        note("warning: " + who + " circuit open (" +
+             std::to_string(h.breaker->failures_in_window()) +
+             " respawn failures in " +
+             std::to_string(ft_options_.respawn_window_ms) +
+             "ms); shard degraded, serving from local replica");
+      }
+      h.circuit_open = true;
+      ++open_circuits;
+      continue;
+    }
+    h.circuit_open = false;
+    if (ft_options_.clock->NowMillis() < h.next_respawn_at_ms) continue;
+    std::string error;
+    ResyncStats stats;
+    if (Respawn(s, &error, &stats)) {
+      PVCDB_COUNTER_ADD("coordinator.auto_respawns", 1);
+      h.misses = 0;
+      h.respawn_backoff.Reset();
+      h.breaker->RecordSuccess();
+      note(who + ": respawned (" + (stats.full ? "full" : "tail") +
+           " resync, " + std::to_string(stats.entries) + " entries)");
+    } else {
+      h.breaker->RecordFailure();
+      uint64_t delay = h.respawn_backoff.NextDelayMs();
+      h.next_respawn_at_ms = ft_options_.clock->NowMillis() + delay;
+      if (h.breaker->open()) {
+        h.circuit_open = true;
+        ++open_circuits;
+        note("warning: " + who + " circuit open (" +
+             std::to_string(h.breaker->failures_in_window()) +
+             " respawn failures in " +
+             std::to_string(ft_options_.respawn_window_ms) +
+             "ms); shard degraded, serving from local replica");
+      } else {
+        note("warning: " + who + " respawn failed (" + error +
+             "); next attempt in " + std::to_string(delay) + "ms");
+      }
+    }
+  }
+  PVCDB_GAUGE_SET("coordinator.circuit_open",
+                  static_cast<int64_t>(open_circuits));
+}
+
+std::vector<std::pair<uint64_t, uint32_t>> Coordinator::ShardTails() const {
+  std::vector<std::pair<uint64_t, uint32_t>> tails;
+  tails.reserve(logs_.size());
+  for (const ShardLog& log : logs_) {
+    tails.emplace_back(log.end_lsn(), log.end_chain());
+  }
+  return tails;
+}
+
+void Coordinator::RebaseShardLogs(
+    const std::vector<std::pair<uint64_t, uint32_t>>& tails) {
+  if (tails.size() != logs_.size()) return;
+  for (size_t s = 0; s < logs_.size(); ++s) {
+    logs_[s].Clear();
+    logs_[s].base_lsn = tails[s].first;
+    logs_[s].base_chain = tails[s].second;
+  }
+  // Every variable the snapshot rebuilt was covered by kSyncVars entries
+  // in the live logs the tails describe; only genuinely newer variables
+  // (from the WAL tail about to replay) still need flushing.
+  logged_vars_ = local_.variables().size();
 }
 
 // -- Observability ----------------------------------------------------------

@@ -61,9 +61,52 @@
 #include "src/engine/remote_shard.h"
 #include "src/engine/shard.h"
 #include "src/engine/wal.h"
+#include "src/net/backoff.h"
 #include "src/util/metrics.h"
 
 namespace pvcdb {
+
+/// Knobs of the coordinator's fault-tolerance plane (server flags
+/// --rpc-timeout-ms / --heartbeat-ms / --auto-respawn). Heartbeats and
+/// auto-respawn run inside HeartbeatTick(), driven by the server's poll
+/// loop — or directly by tests, which also substitute `clock`.
+struct FaultToleranceOptions {
+  /// Deadline for every worker RPC frame send/receive; kNoDeadline blocks
+  /// forever (the pre-fault-tolerance behaviour).
+  int rpc_deadline_ms = kNoDeadline;
+  /// Heartbeat interval; < 0 disables the cycle (ticks become no-ops).
+  int heartbeat_ms = -1;
+  /// Consecutive missed beats before a worker is reported down (one miss
+  /// reports it suspect).
+  int down_after_misses = 2;
+  /// Respawn+resync a down worker from the heartbeat cycle, paced by
+  /// `respawn_backoff` and fused by the circuit breaker below.
+  bool auto_respawn = false;
+  /// Circuit breaker: this many respawn failures within `respawn_window_ms`
+  /// leave the shard degraded (no further respawn attempts until the
+  /// window drains) instead of respawn-thrashing.
+  int respawn_max_failures = 3;
+  uint64_t respawn_window_ms = 10000;
+  BackoffPolicy respawn_backoff;
+  /// Mock seam for tests; nullptr means Clock::Real().
+  Clock* clock = nullptr;
+
+  FaultToleranceOptions() {
+    // Respawns are expensive (fork/dial + resync): pace them in hundreds
+    // of milliseconds, not the connect-race defaults.
+    respawn_backoff.base_ms = 100;
+    respawn_backoff.max_ms = 5000;
+  }
+};
+
+/// Health of one worker as the heartbeat cycle sees it. kSuspect after the
+/// first missed beat (or any failed RPC between beats), kDown after
+/// `down_after_misses` consecutive misses, kDegraded when the respawn
+/// circuit breaker is open (the shard serves from the coordinator's local
+/// replica until the window drains).
+enum class WorkerHealth : uint8_t { kHealthy, kSuspect, kDown, kDegraded };
+
+const char* WorkerHealthName(WorkerHealth health);
 
 /// One executed query (or view print) over the coordinator: the rendered
 /// tuples, the per-row probabilities in global row order, and where the
@@ -255,6 +298,47 @@ class Coordinator {
   /// down or the probe fails.
   bool WorkerTail(size_t s, uint64_t* lsn, uint32_t* chain);
 
+  // -- Fault tolerance -----------------------------------------------------
+
+  /// Installs the fault-tolerance plane: sets RpcOptions{rpc_deadline_ms}
+  /// on every stub (including future Respawn replacements) and arms the
+  /// per-worker heartbeat / respawn-backoff / circuit-breaker state.
+  void ConfigureFaultTolerance(const FaultToleranceOptions& options);
+  const FaultToleranceOptions& fault_tolerance_options() const {
+    return ft_options_;
+  }
+
+  /// One heartbeat cycle: pings every live worker (kPing/kPong with a
+  /// fresh nonce), walks failing workers suspect -> down, and -- when
+  /// auto_respawn is armed -- attempts backoff-paced respawns of down
+  /// workers unless their circuit breaker is open. Mutations are never
+  /// blind-retried here: respawn recovery goes through ResyncWorker's
+  /// (lsn, chain) probe. Appends human-readable transition lines to
+  /// `*lines` (may be null). No-op before ConfigureFaultTolerance.
+  void HeartbeatTick(std::vector<std::string>* lines = nullptr);
+
+  /// Worker `s`'s health as the heartbeat plane sees it. Before
+  /// ConfigureFaultTolerance this degrades to kHealthy/kDown straight from
+  /// the stub's transport state.
+  WorkerHealth Health(size_t s) const;
+
+  /// Per-shard (end_lsn, end_chain) of the mutation logs -- the position a
+  /// fully caught-up worker holds right now. Captured into snapshots so
+  /// recovery can RebaseShardLogs and keep tail-resync working across a
+  /// checkpoint.
+  std::vector<std::pair<uint64_t, uint32_t>> ShardTails() const;
+
+  /// Re-anchors every shard log at the recorded checkpoint tails: the
+  /// entries synthesized while rebuilding the replica from the snapshot
+  /// are dropped and each log's base becomes the (lsn, chain) position a
+  /// live worker that survived the restart actually holds, so the WAL-tail
+  /// replay that follows appends with matching continuity and
+  /// ReconcileWorkers can prove a (possibly empty) tail instead of forcing
+  /// a full resync. No-op when the tail count does not match the topology
+  /// (a changed shard count needs the full rebuild anyway).
+  void RebaseShardLogs(
+      const std::vector<std::pair<uint64_t, uint32_t>>& tails);
+
  private:
   struct RemoteView {
     std::string name;
@@ -371,6 +455,16 @@ class Coordinator {
   /// no longer be trusted).
   void MarkDiverged(size_t s, const std::string& why);
 
+  /// Heartbeat-plane bookkeeping for one worker (armed by
+  /// ConfigureFaultTolerance).
+  struct WorkerHealthState {
+    int misses = 0;  ///< Consecutive missed beats; 0 while healthy.
+    bool circuit_open = false;  ///< Cached breaker verdict (for Health()).
+    uint64_t next_respawn_at_ms = 0;  ///< Backoff gate for the next attempt.
+    ExponentialBackoff respawn_backoff;
+    std::unique_ptr<CircuitBreaker> breaker;
+  };
+
   SemiringKind semiring_;
   FnvShardRouter router_;
   Database local_;
@@ -388,6 +482,10 @@ class Coordinator {
   std::vector<RemoteView> remote_views_;
   /// Lazily resolved "coord.shard<N>.requests" counters, one per shard.
   std::vector<Counter*> shard_request_counters_;
+  FaultToleranceOptions ft_options_;
+  /// Empty until ConfigureFaultTolerance; one entry per worker afterwards.
+  std::vector<WorkerHealthState> health_;
+  uint64_t next_ping_nonce_ = 1;
 };
 
 }  // namespace pvcdb

@@ -559,10 +559,22 @@ bool ShardWorker::Handle(MsgKind kind, const std::string& payload,
         ResetState();
         ok(0);
         return true;
-      case MsgKind::kPing:
+      case MsgKind::kPing: {
+        PingMsg ping;
+        if (!PingMsg::Decode(payload, &ping)) {
+          error("bad kPing payload");
+          return true;
+        }
+        // Heartbeats double as durability-position probes: the pong
+        // piggybacks (lsn, chain) without advancing either.
+        PongMsg pong;
+        pong.nonce = ping.nonce;
+        pong.lsn = lsn_;
+        pong.chain = chain_;
         *reply_kind = MsgKind::kPong;
-        reply_payload->clear();
+        *reply_payload = pong.Encode();
         return true;
+      }
       case MsgKind::kShutdown:
         ok(0);
         return false;

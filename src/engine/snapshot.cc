@@ -13,7 +13,11 @@
 namespace pvcdb {
 namespace {
 
-constexpr char kSnapshotMagic[] = "PVCSNP01";
+// v2 prepends the per-shard (end_lsn, end_chain) tails to the op script;
+// v1 snapshots (no tails) still decode, they just cost surviving workers a
+// full resync after the restart.
+constexpr char kSnapshotMagic[] = "PVCSNP02";
+constexpr char kSnapshotMagicV1[] = "PVCSNP01";
 constexpr size_t kMagicSize = 8;
 constexpr size_t kHeaderSize = 16;  // magic + u32 body_len + u32 crc.
 
@@ -128,6 +132,9 @@ EngineState CaptureState(const Coordinator& coordinator) {
   for (const auto& [name, query] : coordinator.ViewCatalog()) {
     state.ops.push_back(WalOp::RegisterView(name, query));
   }
+  // Record where the shard logs end: recovery rebases its rebuilt logs to
+  // these positions so surviving workers keep their tail-resync proof.
+  state.shard_tails = coordinator.ShardTails();
   return state;
 }
 
@@ -201,6 +208,11 @@ std::string EncodeSnapshot(const EngineState& state) {
   std::string body;
   EncodeU8(&body, static_cast<uint8_t>(state.semiring));
   EncodeU64(&body, state.num_shards);
+  EncodeU64(&body, state.shard_tails.size());
+  for (const auto& [lsn, chain] : state.shard_tails) {
+    EncodeU64(&body, lsn);
+    EncodeU32(&body, chain);
+  }
   body += EncodeWalOps(state.ops);
   std::string out(kSnapshotMagic, kMagicSize);
   EncodeU32(&out, static_cast<uint32_t>(body.size()));
@@ -210,8 +222,9 @@ std::string EncodeSnapshot(const EngineState& state) {
 }
 
 bool DecodeSnapshot(const std::string& data, EngineState* state) {
-  if (data.size() < kHeaderSize ||
-      data.compare(0, kMagicSize, kSnapshotMagic, kMagicSize) != 0) {
+  if (data.size() < kHeaderSize) return false;
+  bool v1 = data.compare(0, kMagicSize, kSnapshotMagicV1, kMagicSize) == 0;
+  if (!v1 && data.compare(0, kMagicSize, kSnapshotMagic, kMagicSize) != 0) {
     return false;
   }
   ByteReader header(data.data() + kMagicSize, 8);
@@ -227,6 +240,17 @@ bool DecodeSnapshot(const std::string& data, EngineState* state) {
   if (semiring > static_cast<uint8_t>(SemiringKind::kNatural)) return false;
   state->semiring = static_cast<SemiringKind>(semiring);
   state->num_shards = reader.ReadU64();
+  state->shard_tails.clear();
+  if (!v1) {
+    uint64_t tails = reader.ReadU64();
+    if (!reader.ok() || tails > (1u << 20)) return false;
+    state->shard_tails.reserve(static_cast<size_t>(tails));
+    for (uint64_t i = 0; i < tails; ++i) {
+      uint64_t lsn = reader.ReadU64();
+      uint32_t chain = reader.ReadU32();
+      state->shard_tails.emplace_back(lsn, chain);
+    }
+  }
   if (!reader.ok()) return false;
   if (!DecodeWalOps(body.substr(reader.position()), &state->ops)) {
     return false;
@@ -433,6 +457,15 @@ std::unique_ptr<DurableSession> DurableSession::RecoverImpl(
   // surviving workers up against them afterwards.
   if (attached != nullptr) attached->BeginReplay();
   session->BuildFromState(state);
+  if (attached != nullptr && !state.shard_tails.empty()) {
+    // Re-anchor the rebuilt shard logs at the positions the snapshot's live
+    // workers held, BEFORE the WAL tail replays on top: the tail's entries
+    // then extend the logs with continuous (lsn, chain) history, and
+    // workers that survived the restart prove a (possibly empty) tail
+    // instead of taking a full resync across the checkpoint. No-op when
+    // the recorded tail count does not match the current topology.
+    attached->RebaseShardLogs(state.shard_tails);
+  }
 
   std::string wal_path = session->WalPath(session->generation_);
   WalReadResult wal = ReadWal(cfg.fs, wal_path);

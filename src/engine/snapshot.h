@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/engine/database.h"
@@ -48,6 +49,13 @@ struct EngineState {
   SemiringKind semiring = SemiringKind::kBool;
   uint64_t num_shards = 0;  ///< 0 = single Database, else ShardedDatabase.
   std::vector<WalOp> ops;
+  /// Server mode only: per-shard (end_lsn, end_chain) of the coordinator's
+  /// mutation logs at capture time -- the durability position a caught-up
+  /// worker holds. Recovery rebases the rebuilt logs here
+  /// (Coordinator::RebaseShardLogs) so workers that survived the restart
+  /// tail-resync across the checkpoint instead of taking a full rebuild.
+  /// Empty for non-coordinator captures and for v1 (PVCSNP01) snapshots.
+  std::vector<std::pair<uint64_t, uint32_t>> shard_tails;
 };
 
 /// Captures the engine's current logical state.

@@ -1,0 +1,101 @@
+#include "src/net/backoff.h"
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+namespace pvcdb {
+namespace {
+
+class RealClock : public Clock {
+ public:
+  uint64_t NowMillis() override {
+    timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+           static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+  }
+
+  void SleepMillis(uint64_t ms) override {
+    ::usleep(static_cast<useconds_t>(ms * 1000));
+  }
+};
+
+// splitmix64: tiny, seedable, and good enough for jitter. Not <random> so
+// the sequence is identical across standard libraries (the schedule is
+// asserted bit-exactly in tests).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Clock* Clock::Real() {
+  static RealClock clock;
+  return &clock;
+}
+
+ExponentialBackoff::ExponentialBackoff(const BackoffPolicy& policy)
+    : policy_(policy), rng_state_(policy.seed) {}
+
+uint64_t ExponentialBackoff::NextDelayMs() {
+  double delay = static_cast<double>(policy_.base_ms);
+  for (int i = 0; i < attempts_; ++i) {
+    delay *= policy_.multiplier;
+    if (delay >= static_cast<double>(policy_.max_ms)) break;
+  }
+  uint64_t capped = std::min(
+      policy_.max_ms, static_cast<uint64_t>(delay < 1.0 ? 1.0 : delay));
+  ++attempts_;
+  if (policy_.jitter > 0.0 && capped > 0) {
+    // Uniform in [capped * (1 - jitter), capped].
+    const double unit =
+        static_cast<double>(SplitMix64(&rng_state_) >> 11) / 9007199254740992.0;
+    const double low = static_cast<double>(capped) * (1.0 - policy_.jitter);
+    const double jittered =
+        low + (static_cast<double>(capped) - low) * unit;
+    capped = static_cast<uint64_t>(jittered + 0.5);
+  }
+  return capped;
+}
+
+void ExponentialBackoff::Reset() {
+  attempts_ = 0;
+  rng_state_ = policy_.seed;
+}
+
+CircuitBreaker::CircuitBreaker(int max_failures, uint64_t window_ms,
+                               Clock* clock)
+    : max_failures_(max_failures),
+      window_ms_(window_ms),
+      clock_(clock != nullptr ? clock : Clock::Real()) {}
+
+void CircuitBreaker::Expire(uint64_t now) {
+  while (!failure_times_.empty() &&
+         now - failure_times_.front() > window_ms_) {
+    failure_times_.pop_front();
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  uint64_t now = clock_->NowMillis();
+  Expire(now);
+  failure_times_.push_back(now);
+}
+
+void CircuitBreaker::RecordSuccess() { failure_times_.clear(); }
+
+bool CircuitBreaker::open() {
+  return failures_in_window() >= max_failures_;
+}
+
+int CircuitBreaker::failures_in_window() {
+  Expire(clock_->NowMillis());
+  return static_cast<int>(failure_times_.size());
+}
+
+}  // namespace pvcdb

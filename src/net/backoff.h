@@ -1,0 +1,100 @@
+// Retry pacing for the fault-tolerance plane: a mockable clock seam, a
+// seeded exponential-backoff schedule, and a sliding-window circuit
+// breaker. Everything here is deterministic given (policy, seed, clock),
+// so backoff schedules and breaker windows are unit-testable without
+// sleeping (tests/backoff_test.cc drives a mock Clock).
+//
+// Consumers: ConnectWithRetry (src/net/socket.h) paces reconnect attempts
+// with an ExponentialBackoff; the coordinator's heartbeat cycle
+// (src/engine/coordinator.h) paces worker auto-respawns with one backoff +
+// breaker per worker, so a shard that keeps dying degrades instead of
+// respawn-thrashing.
+
+#ifndef PVCDB_NET_BACKOFF_H_
+#define PVCDB_NET_BACKOFF_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace pvcdb {
+
+/// Monotonic time + sleep seam. Production code uses Real() (CLOCK_MONOTONIC
+/// + usleep); tests substitute a mock that advances manually, so schedules
+/// assert in microseconds of wall time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds on a monotonic timeline (epoch unspecified).
+  virtual uint64_t NowMillis() = 0;
+
+  virtual void SleepMillis(uint64_t ms) = 0;
+
+  /// Process-wide real clock (never null; not owned by the caller).
+  static Clock* Real();
+};
+
+/// Parameters of an exponential-backoff schedule. The defaults suit
+/// connect races (a server still binding its listener): the first retries
+/// come faster than the old fixed 20ms spacing, the cap keeps the total
+/// budget of a long attempt count bounded.
+struct BackoffPolicy {
+  uint64_t base_ms = 1;      ///< Delay before the first retry.
+  uint64_t max_ms = 50;      ///< Cap on any single delay.
+  double multiplier = 2.0;   ///< Growth factor per attempt.
+  /// Jitter fraction in [0, 1]: each delay is drawn uniformly from
+  /// [delay * (1 - jitter), delay]. 0 disables jitter (exact schedule).
+  double jitter = 0.5;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< Jitter PRNG seed.
+};
+
+/// A deterministic exponential-backoff schedule: NextDelayMs() walks
+/// base * multiplier^n capped at max_ms, jittered by a seeded splitmix64
+/// stream. Same (policy, seed) => same sequence, always.
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff() : ExponentialBackoff(BackoffPolicy()) {}
+  explicit ExponentialBackoff(const BackoffPolicy& policy);
+
+  /// Delay to wait before the next attempt, advancing the schedule.
+  uint64_t NextDelayMs();
+
+  /// Back to the first-attempt delay (and the seed's PRNG position), e.g.
+  /// after a successful reconnect.
+  void Reset();
+
+  int attempts() const { return attempts_; }
+
+ private:
+  BackoffPolicy policy_;
+  uint64_t rng_state_ = 0;
+  int attempts_ = 0;
+};
+
+/// Sliding-window failure counter: `open()` once `max_failures` failures
+/// landed within the trailing `window_ms`. Failures age out of the window,
+/// so an open circuit closes by itself after `window_ms` of quiet — the
+/// half-open probe that then fails re-opens it for another window.
+/// RecordSuccess() clears the history (circuit closed immediately).
+class CircuitBreaker {
+ public:
+  CircuitBreaker(int max_failures, uint64_t window_ms, Clock* clock);
+
+  void RecordFailure();
+  void RecordSuccess();
+  bool open();
+
+  int failures_in_window();
+
+ private:
+  void Expire(uint64_t now);
+
+  int max_failures_;
+  uint64_t window_ms_;
+  Clock* clock_;
+  std::deque<uint64_t> failure_times_;
+};
+
+}  // namespace pvcdb
+
+#endif  // PVCDB_NET_BACKOFF_H_

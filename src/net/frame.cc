@@ -31,20 +31,28 @@ void EncodeFrame(std::string* out, uint8_t kind, const std::string& payload) {
   out->append(payload);
 }
 
-bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload) {
+bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload,
+               int deadline_ms) {
   std::string wire;
   wire.reserve(9 + payload.size());
   EncodeFrame(&wire, kind, payload);
   PVCDB_COUNTER_ADD("net.frames_out", 1);
   PVCDB_COUNTER_ADD("net.bytes_out", wire.size());
-  return sock->SendAll(wire.data(), wire.size());
+  IoStatus st = sock->SendAllDeadline(wire.data(), wire.size(), deadline_ms);
+  if (st == IoStatus::kTimeout) PVCDB_COUNTER_ADD("net.timeouts", 1);
+  return st == IoStatus::kOk;
 }
 
-FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload) {
+FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload,
+                      int deadline_ms) {
   char header[8];
-  IoStatus st = sock->RecvAll(header, sizeof(header));
+  IoStatus st = sock->RecvAll(header, sizeof(header), deadline_ms);
   if (st == IoStatus::kClosed) return FrameResult::kClosed;
   if (st == IoStatus::kError) return FrameResult::kIoError;
+  if (st == IoStatus::kTimeout) {
+    PVCDB_COUNTER_ADD("net.timeouts", 1);
+    return FrameResult::kTimeout;
+  }
   const uint32_t length = LoadU32(header);
   const uint32_t crc = LoadU32(header + 4);
   if (length == 0 || length > kMaxFrameLength) {
@@ -52,9 +60,13 @@ FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload) {
     return FrameResult::kCorrupt;
   }
   std::string body(length, '\0');
-  st = sock->RecvAll(&body[0], body.size());
+  st = sock->RecvAll(&body[0], body.size(), deadline_ms);
   if (st == IoStatus::kClosed) return FrameResult::kCorrupt;  // torn frame
   if (st == IoStatus::kError) return FrameResult::kIoError;
+  if (st == IoStatus::kTimeout) {
+    PVCDB_COUNTER_ADD("net.timeouts", 1);
+    return FrameResult::kTimeout;
+  }
   if (Crc32c(body) != crc) {
     PVCDB_COUNTER_ADD("net.crc_failures", 1);
     return FrameResult::kCorrupt;

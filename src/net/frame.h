@@ -43,17 +43,26 @@ enum class FrameResult : uint8_t {
   kClosed,   ///< Orderly peer close on a frame boundary.
   kCorrupt,  ///< CRC mismatch, oversized length, or mid-frame EOF.
   kIoError,  ///< errno-level socket failure.
+  kTimeout,  ///< Deadline expired mid-frame (counts `net.timeouts`).
 };
 
 /// Appends one encoded frame for (kind, payload) to `*out`.
 void EncodeFrame(std::string* out, uint8_t kind, const std::string& payload);
 
-/// Writes one frame; false on I/O error.
-bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload);
+/// Writes one frame; false on I/O error or deadline expiry (a send-side
+/// timeout also counts `net.timeouts`). `deadline_ms` bounds the whole
+/// frame write; kNoDeadline blocks.
+bool SendFrame(Socket* sock, uint8_t kind, const std::string& payload,
+               int deadline_ms = kNoDeadline);
 
 /// Blocking read of one full frame. kClosed only when the peer closed
 /// cleanly between frames; an EOF inside a frame is kCorrupt (torn frame).
-FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload);
+/// `deadline_ms` bounds each stage of the read (header, then body — worst
+/// case 2x); expiry returns kTimeout and counts `net.timeouts`. A timeout
+/// may strike mid-frame, so the stream position is unreliable afterwards:
+/// the connection must be dropped, the frame never re-read.
+FrameResult RecvFrame(Socket* sock, uint8_t* kind, std::string* payload,
+                      int deadline_ms = kNoDeadline);
 
 /// Incremental frame reassembly for non-blocking receivers. Feed() raw
 /// bytes as they arrive, then drain complete frames with Next() until it

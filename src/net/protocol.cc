@@ -333,6 +333,39 @@ bool TailInfoMsg::Decode(const std::string& payload, TailInfoMsg* out) {
   return reader.ok() && reader.AtEnd();
 }
 
+std::string PingMsg::Encode() const {
+  std::string out;
+  EncodeU64(&out, nonce);
+  return out;
+}
+
+bool PingMsg::Decode(const std::string& payload, PingMsg* out) {
+  // A bare liveness probe: empty payload means nonce 0.
+  if (payload.empty()) {
+    out->nonce = 0;
+    return true;
+  }
+  ByteReader reader(payload);
+  out->nonce = reader.ReadU64();
+  return reader.ok() && reader.AtEnd();
+}
+
+std::string PongMsg::Encode() const {
+  std::string out;
+  EncodeU64(&out, nonce);
+  EncodeU64(&out, lsn);
+  EncodeU32(&out, chain);
+  return out;
+}
+
+bool PongMsg::Decode(const std::string& payload, PongMsg* out) {
+  ByteReader reader(payload);
+  out->nonce = reader.ReadU64();
+  out->lsn = reader.ReadU64();
+  out->chain = reader.ReadU32();
+  return reader.ok() && reader.AtEnd();
+}
+
 std::string ShipWalMsg::Encode() const {
   std::string out;
   EncodeU64(&out, first_lsn);

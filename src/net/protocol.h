@@ -51,7 +51,12 @@ namespace pvcdb {
 /// kTailInfo, kShipWal and kReset (WAL-shipping resync; docs/SERVING.md).
 /// Version 3 added the observability plane: kStatsRequest / kStatsReply
 /// (the coordinator aggregating worker-side metrics registries).
-constexpr uint32_t kProtocolVersion = 3;
+/// Version 4 made heartbeats meaningful: kPing carries PingMsg{nonce} and
+/// kPong replies PongMsg{nonce, lsn, chain}, piggybacking the worker's
+/// durability position so every heartbeat doubles as a (lsn, chain) probe
+/// (the coordinator's health cycle and its exactly-once mutation
+/// resolution both ride on it).
+constexpr uint32_t kProtocolVersion = 4;
 
 /// Frame kind bytes. Requests are < 64, replies 64–127, client traffic
 /// >= 128 — the ranges make a reply-where-request-expected bug an
@@ -321,6 +326,36 @@ struct ShipWalMsg {
 
   std::string Encode() const;
   static bool Decode(const std::string& payload, ShipWalMsg* out);
+};
+
+// ---------------------------------------------------------------------------
+// Health plane: heartbeats that double as durability-position probes.
+// ---------------------------------------------------------------------------
+
+/// kPing: one heartbeat. `nonce` is echoed back verbatim so a reply can be
+/// matched to its request (a mismatched nonce means the one-request/
+/// one-reply alignment was lost and the connection must be dropped). An
+/// empty kPing payload is tolerated and treated as nonce 0, so a bare
+/// liveness probe stays cheap.
+struct PingMsg {
+  uint64_t nonce = 0;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, PingMsg* out);
+};
+
+/// kPong reply: echoes the nonce and piggybacks the worker's applied
+/// (lsn, chain) position — the same pair kTailInfo reports — so every
+/// heartbeat is also a probe of how far the worker's mutation stream got.
+/// Pings are pure observation: never WAL-logged, never advancing the
+/// position they report.
+struct PongMsg {
+  uint64_t nonce = 0;
+  uint64_t lsn = 0;
+  uint32_t chain = 0;
+
+  std::string Encode() const;
+  static bool Decode(const std::string& payload, PongMsg* out);
 };
 
 // ---------------------------------------------------------------------------

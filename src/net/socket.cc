@@ -6,18 +6,51 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <climits>
 #include <cstring>
+
+#include "src/util/metrics.h"
 
 namespace pvcdb {
 namespace {
 
 bool IsTcpAddress(const std::string& address) {
   return address.find(':') != std::string::npos;
+}
+
+uint64_t MonotonicMillis() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000;
+}
+
+// Waits for `events` on `fd` until the absolute monotonic `deadline`:
+// 1 ready, 0 deadline expired, -1 poll error. POLLERR/POLLHUP count as
+// ready — the following syscall surfaces the actual error/EOF.
+int WaitReadyUntil(int fd, short events, uint64_t deadline) {
+  while (true) {
+    uint64_t now = MonotonicMillis();
+    if (now >= deadline) return 0;
+    uint64_t remaining = deadline - now;
+    if (remaining > static_cast<uint64_t>(INT_MAX)) remaining = INT_MAX;
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    int rc = ::poll(&pfd, 1, static_cast<int>(remaining));
+    if (rc > 0) return 1;
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;
+    return -1;
+  }
 }
 
 // Splits "host:port" at the last ':' (so a future "[::1]:80" keeps working
@@ -69,25 +102,55 @@ void Socket::Close() {
 }
 
 bool Socket::SendAll(const void* data, size_t n) {
+  return SendAllDeadline(data, n, kNoDeadline) == IoStatus::kOk;
+}
+
+IoStatus Socket::SendAllDeadline(const void* data, size_t n,
+                                 int deadline_ms) {
+  const uint64_t deadline =
+      deadline_ms < 0 ? 0 : MonotonicMillis() + static_cast<uint64_t>(deadline_ms);
   const char* p = static_cast<const char*>(data);
   while (n > 0) {
-    ssize_t sent = ::send(fd_, p, n, 0);
+    if (deadline_ms >= 0) {
+      int ready = WaitReadyUntil(fd_, POLLOUT, deadline);
+      if (ready == 0) return IoStatus::kTimeout;
+      if (ready < 0) return IoStatus::kError;
+    }
+    // MSG_NOSIGNAL: a send to a dead peer must surface as kError, never as
+    // a process-killing SIGPIPE -- the fault plane turns it into a down
+    // worker. (IgnoreSigPipe() still covers non-socket write paths.)
+    ssize_t sent = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (sent < 0) {
       if (errno == EINTR) continue;
-      return false;
+      // Poll said ready but the buffer filled again (or the socket is
+      // non-blocking): spend the deadline waiting, not spinning.
+      if (deadline_ms >= 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;
+      }
+      return IoStatus::kError;
     }
     p += sent;
     n -= static_cast<size_t>(sent);
   }
-  return true;
+  return IoStatus::kOk;
 }
 
-IoStatus Socket::RecvAll(void* data, size_t n) {
+IoStatus Socket::RecvAll(void* data, size_t n, int deadline_ms) {
+  const uint64_t deadline =
+      deadline_ms < 0 ? 0 : MonotonicMillis() + static_cast<uint64_t>(deadline_ms);
   char* p = static_cast<char*>(data);
   while (n > 0) {
+    if (deadline_ms >= 0) {
+      int ready = WaitReadyUntil(fd_, POLLIN, deadline);
+      if (ready == 0) return IoStatus::kTimeout;
+      if (ready < 0) return IoStatus::kError;
+    }
     ssize_t got = ::recv(fd_, p, n, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
+      if (deadline_ms >= 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        continue;
+      }
       return IoStatus::kError;
     }
     if (got == 0) return IoStatus::kClosed;
@@ -99,7 +162,7 @@ IoStatus Socket::RecvAll(void* data, size_t n) {
 
 ssize_t Socket::SendSome(const void* data, size_t n) {
   while (true) {
-    ssize_t sent = ::send(fd_, data, n, 0);
+    ssize_t sent = ::send(fd_, data, n, MSG_NOSIGNAL);
     if (sent >= 0) return sent;
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
@@ -114,6 +177,26 @@ ssize_t Socket::RecvSome(void* data, size_t n) {
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return kIoWouldBlock;
     return -1;
+  }
+}
+
+ssize_t Socket::RecvSomeDeadline(void* data, size_t n, int deadline_ms) {
+  const uint64_t deadline =
+      deadline_ms < 0 ? 0 : MonotonicMillis() + static_cast<uint64_t>(deadline_ms);
+  while (true) {
+    if (deadline_ms >= 0) {
+      int ready = WaitReadyUntil(fd_, POLLIN, deadline);
+      if (ready == 0) return kIoTimeout;
+      if (ready < 0) return -1;
+    }
+    ssize_t got = RecvSome(data, n);
+    if (got == kIoWouldBlock) {
+      // Poll raced another reader or reported a spurious wakeup; if there
+      // is no deadline, kIoWouldBlock is the answer.
+      if (deadline_ms < 0) return kIoWouldBlock;
+      continue;
+    }
+    return got;
   }
 }
 
@@ -212,7 +295,54 @@ void Listener::UnlinkSocketFile() {
   }
 }
 
-Socket ConnectAddress(const std::string& address, std::string* error) {
+namespace {
+
+// connect(2) on `fd` bounded by `deadline_ms` via the non-blocking
+// connect + poll(POLLOUT) + SO_ERROR dance. 0 on success; -1 with errno
+// set on failure (ETIMEDOUT when the deadline expired). Restores the
+// blocking flag on success.
+int ConnectFdDeadline(int fd, const sockaddr* addr, socklen_t len,
+                      int deadline_ms) {
+  if (deadline_ms < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd, addr, len);
+    } while (rc != 0 && errno == EINTR);
+    return rc;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return -1;
+  int rc;
+  do {
+    rc = ::connect(fd, addr, len);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) return -1;
+    uint64_t deadline = MonotonicMillis() + static_cast<uint64_t>(deadline_ms);
+    int ready = WaitReadyUntil(fd, POLLOUT, deadline);
+    if (ready == 0) {
+      errno = ETIMEDOUT;
+      return -1;
+    }
+    if (ready < 0) return -1;
+    int soerr = 0;
+    socklen_t soerr_len = sizeof(soerr);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &soerr_len) != 0) {
+      return -1;
+    }
+    if (soerr != 0) {
+      errno = soerr;
+      return -1;
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) return -1;
+  return 0;
+}
+
+}  // namespace
+
+Socket ConnectAddress(const std::string& address, std::string* error,
+                      int deadline_ms) {
   if (IsTcpAddress(address)) {
     std::string host, port;
     if (!SplitHostPort(address, &host, &port)) {
@@ -233,11 +363,10 @@ Socket ConnectAddress(const std::string& address, std::string* error) {
     for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
       fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
       if (fd < 0) continue;
-      int crc;
-      do {
-        crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
-      } while (crc != 0 && errno == EINTR);
-      if (crc == 0) break;
+      if (ConnectFdDeadline(fd, ai->ai_addr, ai->ai_addrlen, deadline_ms) ==
+          0) {
+        break;
+      }
       ::close(fd);
       fd = -1;
     }
@@ -258,11 +387,8 @@ Socket ConnectAddress(const std::string& address, std::string* error) {
     *error = std::string("socket: ") + std::strerror(errno);
     return Socket();
   }
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
+  if (ConnectFdDeadline(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr),
+                        deadline_ms) != 0) {
     *error = std::string("connect ") + address + ": " + std::strerror(errno);
     ::close(fd);
     return Socket();
@@ -271,11 +397,17 @@ Socket ConnectAddress(const std::string& address, std::string* error) {
 }
 
 Socket ConnectWithRetry(const std::string& address, int attempts,
-                        std::string* error) {
+                        std::string* error, int deadline_ms,
+                        const BackoffPolicy& policy, Clock* clock) {
+  if (clock == nullptr) clock = Clock::Real();
+  ExponentialBackoff backoff(policy);
   for (int i = 0; i < attempts; ++i) {
-    Socket sock = ConnectAddress(address, error);
+    if (i > 0) {
+      PVCDB_COUNTER_ADD("net.retries", 1);
+      clock->SleepMillis(backoff.NextDelayMs());
+    }
+    Socket sock = ConnectAddress(address, error, deadline_ms);
     if (sock.valid()) return sock;
-    ::usleep(20 * 1000);
   }
   return Socket();
 }

@@ -13,9 +13,16 @@
 // blocking SendAll/RecvAll pair (a request/response conversation). The
 // front-end server switches accepted client sockets to non-blocking and
 // uses SendSome/RecvSome from its poll loop (src/serve/server.cc). Every
-// call retries EINTR internally; SIGPIPE is expected to be ignored
-// process-wide (IgnoreSigPipe), so a peer death surfaces as an EPIPE error
-// return, never a signal.
+// call retries EINTR internally; sends use MSG_NOSIGNAL (and entry points
+// additionally IgnoreSigPipe process-wide), so a peer death surfaces as an
+// EPIPE error return, never a signal.
+//
+// Deadlines: every blocking call takes an optional `deadline_ms` budget
+// enforced with poll(2) before each syscall, surfacing IoStatus::kTimeout
+// (or kIoTimeout for Some-style calls) distinct from EOF and errors. This
+// is the bottom of the fault-tolerance plane: no RPC above this layer is
+// issued without a deadline once one is configured (see
+// docs/ARCHITECTURE.md, cross-cutting invariant 6).
 
 #ifndef PVCDB_NET_SOCKET_H_
 #define PVCDB_NET_SOCKET_H_
@@ -25,18 +32,30 @@
 #include <cstddef>
 #include <string>
 
+#include "src/net/backoff.h"
+
 namespace pvcdb {
 
 /// Outcome of an exact-length I/O call.
 enum class IoStatus : uint8_t {
-  kOk,      ///< The full buffer was transferred.
-  kClosed,  ///< Orderly peer shutdown before (or mid-) buffer.
-  kError,   ///< I/O error (errno-level failure).
+  kOk,       ///< The full buffer was transferred.
+  kClosed,   ///< Orderly peer shutdown before (or mid-) buffer.
+  kError,    ///< I/O error (errno-level failure).
+  kTimeout,  ///< Deadline expired before the buffer completed.
 };
 
 /// Result code SendSome/RecvSome use for "would block" (EAGAIN) so the
 /// poll loop can distinguish it from EOF (0) and errors (-1).
 constexpr ssize_t kIoWouldBlock = -2;
+
+/// Result code of the deadline-bounded Some-style calls: the deadline
+/// expired before any byte moved. Distinct from kIoWouldBlock (EAGAIN
+/// observed, no deadline spent yet), EOF (0), and errors (-1).
+constexpr ssize_t kIoTimeout = -3;
+
+/// "No deadline" sentinel for every `deadline_ms` parameter in this layer:
+/// block indefinitely, exactly the pre-deadline behaviour.
+constexpr int kNoDeadline = -1;
 
 /// Move-only RAII wrapper of a connected (or listening) socket fd.
 class Socket {
@@ -61,10 +80,15 @@ class Socket {
   /// EINTR). False on any error, including EPIPE from a dead peer.
   bool SendAll(const void* data, size_t n);
 
+  /// SendAll under a poll-based deadline covering the whole transfer.
+  /// kTimeout when `deadline_ms` elapses first; kNoDeadline blocks forever.
+  IoStatus SendAllDeadline(const void* data, size_t n, int deadline_ms);
+
   /// Reads exactly `n` bytes. kClosed when the peer shut down before the
   /// buffer was complete (a torn frame and an orderly close both land
-  /// here; the framing layer's CRC separates them).
-  IoStatus RecvAll(void* data, size_t n);
+  /// here; the framing layer's CRC separates them). `deadline_ms` bounds
+  /// the whole transfer (poll-based); kTimeout when it elapses first.
+  IoStatus RecvAll(void* data, size_t n, int deadline_ms = kNoDeadline);
 
   /// One send(2) call on a non-blocking socket: bytes written (>= 0),
   /// kIoWouldBlock, or -1 on error.
@@ -73,6 +97,12 @@ class Socket {
   /// One recv(2) call on a non-blocking socket: bytes read (> 0), 0 on
   /// orderly EOF, kIoWouldBlock, or -1 on error.
   ssize_t RecvSome(void* data, size_t n);
+
+  /// RecvSome that first waits (poll) up to `deadline_ms` for readability:
+  /// bytes read (> 0), 0 on EOF, kIoTimeout when the deadline expired with
+  /// nothing to read, or -1 on error. Used by deadline-bounded relays
+  /// (src/net/fault.h) where kIoWouldBlock would spin.
+  ssize_t RecvSomeDeadline(void* data, size_t n, int deadline_ms);
 
   /// Switches O_NONBLOCK; false on fcntl failure.
   bool SetNonBlocking(bool nonblocking);
@@ -107,14 +137,24 @@ class Listener {
   std::string unix_path_;  ///< Empty for TCP listeners.
 };
 
-/// Connects to `address` (blocking). Invalid socket + `*error` on failure.
-Socket ConnectAddress(const std::string& address, std::string* error);
+/// Connects to `address`. `deadline_ms` bounds the connect itself
+/// (non-blocking connect + poll + SO_ERROR); kNoDeadline blocks. Invalid
+/// socket + `*error` on failure or timeout.
+Socket ConnectAddress(const std::string& address, std::string* error,
+                      int deadline_ms = kNoDeadline);
 
-/// ConnectAddress with up to `attempts` retries spaced ~20ms apart, for
-/// racing a server that is still binding its listener (test and bench
-/// startup). Invalid socket + the last error on exhaustion.
+/// ConnectAddress with up to `attempts` retries paced by a seeded
+/// exponential-backoff schedule (fast early attempts for a server still
+/// binding its listener, capped delays so long attempt counts stay
+/// bounded). Each retry counts `net.retries`. `deadline_ms` bounds each
+/// individual connect attempt. Tests pass a mock `clock` to assert the
+/// schedule without sleeping. Invalid socket + the last error on
+/// exhaustion.
 Socket ConnectWithRetry(const std::string& address, int attempts,
-                        std::string* error);
+                        std::string* error,
+                        int deadline_ms = kNoDeadline,
+                        const BackoffPolicy& policy = BackoffPolicy(),
+                        Clock* clock = nullptr);
 
 /// A connected AF_UNIX stream pair (fork hand-off for in-process-spawned
 /// shard workers). False on failure.

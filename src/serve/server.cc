@@ -91,9 +91,12 @@ std::string RemoteBackend::Workers() {
       char tail[64];
       std::snprintf(tail, sizeof(tail), "up (lsn %ju, chain %08x)",
                     static_cast<uintmax_t>(lsn), chain);
-      out << tail << "\n";
+      out << tail << ", " << WorkerHealthName(coordinator_->Health(s))
+          << "\n";
     } else {
-      out << (coordinator_->WorkerUp(s) ? "up" : "down") << "\n";
+      // The tail probe can itself mark a worker down, so re-read liveness.
+      out << (coordinator_->WorkerUp(s) ? "up" : "down") << " ("
+          << WorkerHealthName(coordinator_->Health(s)) << ")\n";
     }
   }
   return out.str();
@@ -592,6 +595,7 @@ namespace {
 struct ClientConn {
   Socket sock;
   FrameParser parser;
+  int64_t last_activity_ms = 0;  ///< Last received bytes (idle eviction).
 };
 
 /// Sends one frame on a non-blocking socket, waiting on POLLOUT (bounded)
@@ -754,6 +758,17 @@ int RunServer(const ServerConfig& config) {
     }
     coordinator = std::make_unique<Coordinator>(
         config.semiring, std::move(workers), spawner);
+    if (config.rpc_timeout_ms >= 0 || config.heartbeat_ms >= 0 ||
+        config.auto_respawn) {
+      // Armed before any durable recovery so even the resync RPCs below
+      // run under the deadline.
+      FaultToleranceOptions ft;
+      ft.rpc_deadline_ms =
+          config.rpc_timeout_ms >= 0 ? config.rpc_timeout_ms : kNoDeadline;
+      ft.heartbeat_ms = config.heartbeat_ms;
+      ft.auto_respawn = config.auto_respawn;
+      coordinator->ConfigureFaultTolerance(ft);
+    }
     backend = std::make_unique<RemoteBackend>(coordinator.get());
 
     if (!config.open_dir.empty()) {
@@ -851,8 +866,33 @@ int RunServer(const ServerConfig& config) {
     queued.clear();
   };
 
+  // Heartbeat cycle: driven from this loop so worker health checks and
+  // auto-respawns serialize with command execution (no second thread, no
+  // locking on the coordinator).
+  const bool heartbeat_enabled =
+      coordinator != nullptr && config.heartbeat_ms >= 0;
+  int64_t next_heartbeat_ms =
+      heartbeat_enabled ? now_ms() + config.heartbeat_ms : -1;
+
   bool shutdown = false;
   while (!shutdown) {
+    // Evict idle clients before building this pass's fds->clients mapping.
+    if (config.client_idle_ms >= 0 && !clients.empty()) {
+      int64_t now = now_ms();
+      for (size_t i = clients.size(); i-- > 0;) {
+        if (now - clients[i].last_activity_ms < config.client_idle_ms) {
+          continue;
+        }
+        int fd = clients[i].sock.fd();
+        queued.erase(
+            std::remove_if(queued.begin(), queued.end(),
+                           [fd](const QueuedReply& q) { return q.fd == fd; }),
+            queued.end());
+        clients.erase(clients.begin() + static_cast<ptrdiff_t>(i));
+        PVCDB_COUNTER_ADD("server.idle_evictions", 1);
+      }
+    }
+
     std::vector<struct pollfd> fds;
     {
       struct pollfd lfd;
@@ -868,15 +908,37 @@ int RunServer(const ServerConfig& config) {
       pfd.revents = 0;
       fds.push_back(pfd);
     }
+    // Poll until the earliest pending deadline: commit window, next
+    // heartbeat, or the first client to cross the idle threshold.
     int timeout_ms = -1;
-    if (window_deadline_ms >= 0) {
-      int64_t remain = window_deadline_ms - now_ms();
-      timeout_ms = remain > 0 ? static_cast<int>(remain) : 0;
+    auto consider_deadline = [&](int64_t deadline) {
+      if (deadline < 0) return;
+      int64_t remain = deadline - now_ms();
+      int t = remain > 0 ? static_cast<int>(remain) : 0;
+      if (timeout_ms < 0 || t < timeout_ms) timeout_ms = t;
+    };
+    consider_deadline(window_deadline_ms);
+    consider_deadline(next_heartbeat_ms);
+    if (config.client_idle_ms >= 0) {
+      for (const ClientConn& c : clients) {
+        consider_deadline(c.last_activity_ms + config.client_idle_ms);
+      }
     }
     int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       break;
+    }
+    if (heartbeat_enabled && now_ms() >= next_heartbeat_ms) {
+      // Never erases clients, so this pass's fds mapping stays valid.
+      std::vector<std::string> lines;
+      coordinator->HeartbeatTick(&lines);
+      if (!config.quiet) {
+        for (const std::string& l : lines) {
+          std::fprintf(stderr, "pvcdb server: %s\n", l.c_str());
+        }
+      }
+      next_heartbeat_ms = now_ms() + config.heartbeat_ms;
     }
     if (window_deadline_ms >= 0 && now_ms() >= window_deadline_ms) {
       // Commit window expired. Flushing may erase clients, which would
@@ -908,6 +970,7 @@ int RunServer(const ServerConfig& config) {
             drop = true;
             break;
           }
+          client.last_activity_ms = now_ms();
           client.parser.Feed(buf, static_cast<size_t>(got));
           if (static_cast<size_t>(got) < sizeof(buf)) break;
         }
@@ -977,6 +1040,7 @@ int RunServer(const ServerConfig& config) {
       if (conn.valid() && conn.SetNonBlocking(true)) {
         ClientConn client;
         client.sock = std::move(conn);
+        client.last_activity_ms = now_ms();
         clients.push_back(std::move(client));
       }
     }

@@ -236,6 +236,21 @@ struct ServerConfig {
   /// When non-empty: the final metrics snapshot is written here as JSON
   /// Lines (one metric per line) on clean shutdown.
   std::string metrics_dump;
+  /// Deadline (ms) for every coordinator -> worker RPC frame send/receive.
+  /// Negative: block forever (the pre-fault-tolerance behaviour). A
+  /// timed-out worker is marked down and served around (degraded replies
+  /// from the local replica); mutations are never blind-retried.
+  int rpc_timeout_ms = -1;
+  /// Heartbeat interval (ms): the poll loop pings every worker this often,
+  /// walking failures suspect -> down. Negative: disabled.
+  int heartbeat_ms = -1;
+  /// Respawn down workers from the heartbeat cycle (backoff-paced, circuit
+  /// breaker on repeated failures). Requires heartbeat_ms >= 0 to fire.
+  bool auto_respawn = false;
+  /// Evict clients idle (no bytes received) for this long (ms). Negative:
+  /// never. Evicted clients see an orderly close ("server closed
+  /// connection" in the shell).
+  int client_idle_ms = -1;
 };
 
 /// Runs the front-end server until a client sends `shutdown`. Returns 0 on

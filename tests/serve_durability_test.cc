@@ -418,5 +418,97 @@ TEST(ServeDurabilityTest, CoordinatorRestartTailResyncsSurvivingWorkers) {
   }
 }
 
+TEST(ServeDurabilityTest, CheckpointKeepsSurvivorsOnTheTailPath) {
+  // A checkpoint rotates the WAL, so a later recovery replays only the
+  // post-checkpoint tail -- and the snapshot records each shard log's
+  // (lsn, chain) rotation point so the rebuilt logs sit at the positions
+  // the surviving workers are already at. Without that, every recovery
+  // after a checkpoint would force a full partition retransfer.
+  TempDir dir;
+  const std::string store = dir.path() + "/store";
+  const std::vector<std::string> addrs = {dir.path() + "/w0.sock",
+                                          dir.path() + "/w1.sock"};
+  std::vector<pid_t> worker_pids;
+  for (const std::string& a : addrs) {
+    pid_t pid = StartStandaloneWorker(a);
+    ASSERT_GT(pid, 0);
+    worker_pids.push_back(pid);
+  }
+
+  DurableConfig dcfg;
+  dcfg.dir = store;
+  dcfg.sync = true;
+
+  // Phase A: mutate, checkpoint mid-history, mutate some more, crash.
+  std::string before_text;
+  std::vector<double> before_probs;
+  {
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(addrs), RedialSpawner(addrs));
+    std::string error;
+    std::unique_ptr<DurableSession> session =
+        DurableSession::CreateAttached(dcfg, coordinator.get(), &error);
+    ASSERT_NE(session, nullptr) << error;
+    MutateAll(coordinator.get());
+    ASSERT_TRUE(session->Checkpoint(&error)) << error;
+    // Post-checkpoint traffic: lives only in the fresh WAL's tail.
+    coordinator->InsertTuple(
+        "items", {Cell(std::string("saw")), Cell(int64_t{1700})}, 0.65);
+    QueryRun run = RunChain(coordinator.get());
+    ASSERT_TRUE(run.distributed);
+    before_text = run.text;
+    before_probs = run.probabilities;
+    session.reset();
+    coordinator.reset();
+  }
+
+  // Phase B: recover. The snapshot rebuilds pre-checkpoint state and
+  // rebases the shard logs at the recorded tails; the WAL tail replay
+  // appends the post-checkpoint entries on top. The surviving workers
+  // applied all of it live, so the chain proof must pass with an empty
+  // tail for every shard.
+  {
+    auto coordinator = std::make_unique<Coordinator>(
+        SemiringKind::kBool, DialWorkers(addrs), RedialSpawner(addrs));
+    std::string error;
+    std::unique_ptr<DurableSession> session =
+        DurableSession::RecoverAttached(dcfg, coordinator.get(), &error);
+    ASSERT_NE(session, nullptr) << error;
+    EXPECT_TRUE(session->stats().recovered);
+    std::vector<std::string> lines;
+    coordinator->ReconcileWorkers(&lines);
+    ASSERT_EQ(lines.size(), addrs.size());
+    for (const std::string& line : lines) {
+      ResyncLine parsed = ParseResyncLine(line);
+      EXPECT_TRUE(parsed.tail) << line;
+      EXPECT_FALSE(parsed.full) << line;
+      EXPECT_EQ(parsed.entries, 0u) << line;
+      EXPECT_EQ(parsed.bytes, 0u) << line;
+    }
+
+    QueryRun run = RunChain(coordinator.get());
+    EXPECT_TRUE(run.distributed);
+    EXPECT_TRUE(run.warnings.empty());
+    EXPECT_EQ(run.text, before_text);
+    EXPECT_EQ(run.probabilities, before_probs);
+
+    // Still serving durably after the checkpointed recovery.
+    coordinator->InsertTuple(
+        "items", {Cell(std::string("axe")), Cell(int64_t{2100})}, 0.8);
+    QueryRun after = RunChain(coordinator.get());
+    EXPECT_TRUE(after.distributed);
+    EXPECT_EQ(after.probabilities.size(), before_probs.size() + 1);
+
+    coordinator->Shutdown();
+    session.reset();
+    coordinator.reset();
+  }
+
+  for (pid_t pid : worker_pids) {
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+  }
+}
+
 }  // namespace
 }  // namespace pvcdb

@@ -9,8 +9,8 @@
 //   `shutdown`. Connect with `pvcdb_shell --connect /tmp/pvcdb.sock`.
 //
 //   Front-end over standalone workers:
-//     pvcdb_server --listen host:6000 --shards 2 \
-//                  --workers hostA:7000,hostB:7000
+//     pvcdb_server --listen host:6000 --shards 2
+//                  --workers hostA:7000,hostB:7000   (one command line)
 //   dials one pre-started worker endpoint per shard instead of forking.
 //
 //   Standalone shard worker:
@@ -39,7 +39,9 @@ void PrintUsage() {
       "usage: pvcdb_server --listen <addr> [--shards <n>] [--in-process]\n"
       "                    [--workers <addr,addr,...>] [--open <dir>]\n"
       "                    [--group-commit <ms>] [--slow-query-ms <t>]\n"
-      "                    [--metrics-dump <path>] [--quiet]\n"
+      "                    [--metrics-dump <path>] [--rpc-timeout-ms <ms>]\n"
+      "                    [--heartbeat-ms <ms>] [--auto-respawn]\n"
+      "                    [--client-idle-ms <ms>] [--quiet]\n"
       "       pvcdb_server --worker <addr> [--quiet]\n"
       "\n"
       "  --listen <addr>   front-end address (host:port for TCP, otherwise\n"
@@ -59,6 +61,17 @@ void PrintUsage() {
       "                    structured line per slow command on stderr)\n"
       "  --metrics-dump <path>  write the final metrics snapshot to <path>\n"
       "                    as JSON Lines on clean shutdown\n"
+      "  --rpc-timeout-ms <ms>  deadline for every coordinator -> worker\n"
+      "                    RPC; a timed-out worker is marked down and the\n"
+      "                    query degrades to the local replica (default:\n"
+      "                    block forever)\n"
+      "  --heartbeat-ms <ms>  ping every worker this often, walking\n"
+      "                    failures suspect -> down (default: disabled)\n"
+      "  --auto-respawn    respawn down workers from the heartbeat cycle\n"
+      "                    (backoff-paced; a circuit breaker stops the\n"
+      "                    thrash after repeated failures)\n"
+      "  --client-idle-ms <ms>  evict clients idle for this long\n"
+      "                    (default: never)\n"
       "  --worker <addr>   run as a standalone shard worker on <addr>\n"
       "  --quiet           suppress startup banners\n");
 }
@@ -139,6 +152,35 @@ int main(int argc, char** argv) {
       const char* v = next("--metrics-dump");
       if (v == nullptr) return 2;
       config.metrics_dump = v;
+    } else if (arg == "--rpc-timeout-ms") {
+      const char* v = next("--rpc-timeout-ms");
+      if (v == nullptr) return 2;
+      int ms = std::atoi(v);
+      if (ms < 1) {
+        std::fprintf(stderr, "pvcdb_server: --rpc-timeout-ms needs ms >= 1\n");
+        return 2;
+      }
+      config.rpc_timeout_ms = ms;
+    } else if (arg == "--heartbeat-ms") {
+      const char* v = next("--heartbeat-ms");
+      if (v == nullptr) return 2;
+      int ms = std::atoi(v);
+      if (ms < 1) {
+        std::fprintf(stderr, "pvcdb_server: --heartbeat-ms needs ms >= 1\n");
+        return 2;
+      }
+      config.heartbeat_ms = ms;
+    } else if (arg == "--auto-respawn") {
+      config.auto_respawn = true;
+    } else if (arg == "--client-idle-ms") {
+      const char* v = next("--client-idle-ms");
+      if (v == nullptr) return 2;
+      int ms = std::atoi(v);
+      if (ms < 1) {
+        std::fprintf(stderr, "pvcdb_server: --client-idle-ms needs ms >= 1\n");
+        return 2;
+      }
+      config.client_idle_ms = ms;
     } else if (arg == "--in-process") {
       config.in_process = true;
     } else if (arg == "--quiet") {
@@ -162,6 +204,11 @@ int main(int argc, char** argv) {
   }
   if (config.group_commit_ms >= 0 && config.open_dir.empty()) {
     std::fprintf(stderr, "pvcdb_server: --group-commit requires --open\n");
+    return 2;
+  }
+  if (config.auto_respawn && config.heartbeat_ms < 0) {
+    std::fprintf(stderr,
+                 "pvcdb_server: --auto-respawn requires --heartbeat-ms\n");
     return 2;
   }
   if (!config.worker_addresses.empty() &&

@@ -658,7 +658,14 @@ int RunClient(const std::string& address) {
     }
     uint8_t kind = 0;
     std::string payload;
-    if (RecvFrame(&sock, &kind, &payload) != FrameResult::kOk ||
+    FrameResult r = RecvFrame(&sock, &kind, &payload);
+    if (r == FrameResult::kClosed) {
+      // Orderly close on a frame boundary: the server evicted this client
+      // (idle timeout) or shut down. Distinct from a torn connection.
+      std::cout << "error: server closed connection to " << address << "\n";
+      return 1;
+    }
+    if (r != FrameResult::kOk ||
         static_cast<MsgKind>(kind) != MsgKind::kClientReply) {
       std::cout << "error: connection to " << address << " lost\n";
       return 1;
